@@ -1,0 +1,39 @@
+//! Criterion microbenches for the elemental mat-vec kernel (paper §IV-E,
+//! equation (4)) — the ablation behind DESIGN.md's "EMV kernel" entry:
+//! column-major axpy (vectorized) vs strided dot-product order, across the
+//! element dimensions the paper's experiments use (Hex8 Poisson nd=8 up to
+//! Hex27 elasticity nd=81).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hymv_la::dense::{emv, emv_dot_strided, emv_portable};
+
+fn bench_emv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emv_kernel");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(600));
+    let mut rng = StdRng::seed_from_u64(42);
+    for nd in [8usize, 24, 30, 60, 81] {
+        let ke: Vec<f64> = (0..nd * nd).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let ue: Vec<f64> = (0..nd).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut ve = vec![0.0; nd];
+        group.throughput(Throughput::Elements((2 * nd * nd) as u64));
+        group.bench_with_input(BenchmarkId::new("axpy_dispatched", nd), &nd, |b, _| {
+            b.iter(|| emv(std::hint::black_box(&ke), std::hint::black_box(&ue), &mut ve));
+        });
+        group.bench_with_input(BenchmarkId::new("axpy_portable", nd), &nd, |b, _| {
+            b.iter(|| emv_portable(std::hint::black_box(&ke), std::hint::black_box(&ue), &mut ve));
+        });
+        group.bench_with_input(BenchmarkId::new("dot_strided", nd), &nd, |b, _| {
+            b.iter(|| emv_dot_strided(std::hint::black_box(&ke), std::hint::black_box(&ue), &mut ve));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emv);
+criterion_main!(benches);

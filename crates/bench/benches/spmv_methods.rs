@@ -1,0 +1,60 @@
+//! Criterion benches of one full operator application per method —
+//! the per-SPMV cost behind every scalability figure, on a fixed
+//! single-rank problem (no communication, pure kernel comparison).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hymv_comm::Universe;
+use hymv_core::system::{BuildOptions, FemSystem, Method};
+use hymv_fem::analytic::PoissonProblem;
+use hymv_fem::PoissonKernel;
+use hymv_la::LinOp as _;
+use hymv_mesh::partition::{partition_mesh, PartitionMethod};
+use hymv_mesh::{ElementType, StructuredHexMesh};
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv_methods");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (label, et, n) in [("hex8", ElementType::Hex8, 12), ("hex20", ElementType::Hex20, 5)] {
+        let mesh = StructuredHexMesh::unit(n, et).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        for method in [Method::Hymv, Method::MatFree, Method::Assembled] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{method:?}"), label),
+                &method,
+                |b, &method| {
+                    // One universe per measurement batch: criterion's timer
+                    // covers only the apply loop. (Universe::run takes a
+                    // `Fn` closure; the bencher is threaded through a
+                    // single-rank mutex.)
+                    let b = std::sync::Mutex::new(b);
+                    Universe::run(1, |comm| {
+                        let b = &mut *b.lock().expect("single rank");
+                        let kernel = Arc::new(PoissonKernel::with_body(et, PoissonProblem::body()));
+                        let mut sys = FemSystem::build(
+                            comm,
+                            &pm.parts[0],
+                            kernel,
+                            &PoissonProblem::dirichlet(),
+                            BuildOptions::new(method),
+                        );
+                        let x: Vec<f64> =
+                            (0..sys.n_owned()).map(|i| (i as f64 * 0.1).sin()).collect();
+                        let mut y = vec![0.0; sys.n_owned()];
+                        b.iter(|| sys.op.apply(comm, std::hint::black_box(&x), &mut y));
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! Ablations of the design choices DESIGN.md §5 calls out.
+//!
+//! * `ablation overlap`  — Algorithm 2's communication/computation overlap
+//!   vs a blocking exchange.
+//! * `ablation smp`      — shared-memory strategies for the elemental
+//!   loop: serial vs colored vs chunk-private.
+//! * `ablation adaptive` — adaptive-update cost vs the fraction of
+//!   elements touched, against full reassembly.
+
+use hymv_bench::{elasticity_case, poisson_case, ratio, secs, Reporter};
+use hymv_comm::Universe;
+use hymv_core::assembled::AssembledOperator;
+use hymv_core::operator::HymvOperator;
+use hymv_core::ParallelMode;
+use hymv_la::LinOp as _;
+use hymv_fem::analytic::BarProblem;
+use hymv_mesh::{partition::partition_mesh, ElementType, PartitionMethod, StructuredHexMesh, unstructured_tet_mesh};
+
+fn overlap() {
+    // High-latency fabric makes the overlap benefit visible at this scale.
+    let model = hymv_comm::CostModel { alpha: 50.0e-6, beta: 2.0e9, ..Default::default() };
+    let mesh = unstructured_tet_mesh(10, ElementType::Tet10, 0.15, 77);
+    let case = poisson_case("ablation-overlap", mesh);
+    let mut rep = Reporter::new(
+        "ablation-overlap",
+        &["p", "blocking 10SPMV", "overlapped 10SPMV", "gain"],
+    );
+    for p in [4usize, 8, 16] {
+        let pm = partition_mesh(&case.mesh, p, PartitionMethod::GreedyGraph);
+        let out = Universe::run_with(model, p, |comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = (case.kernel)();
+            let (mut op, _) = HymvOperator::setup(comm, part, &*kernel);
+            let x: Vec<f64> = (0..op.n_owned()).map(|i| (i as f64 * 0.1).sin()).collect();
+            let mut y = vec![0.0; op.n_owned()];
+
+            comm.reset_ledger();
+            let vt0 = comm.vt();
+            for _ in 0..10 {
+                op.matvec_blocking(comm, &x, &mut y);
+            }
+            let blocking = comm.allreduce_max_f64(comm.vt() - vt0);
+
+            comm.reset_ledger();
+            let vt0 = comm.vt();
+            for _ in 0..10 {
+                op.matvec(comm, &x, &mut y);
+            }
+            let overlapped = comm.allreduce_max_f64(comm.vt() - vt0);
+            (blocking, overlapped)
+        });
+        let (b, o) = out[0];
+        rep.row(vec![p.to_string(), secs(b), secs(o), ratio(b, o)]);
+    }
+    rep.note("Algorithm 2 hides the ghost-scatter latency behind the independent-element EMVs; measured on a slow-fabric cost model (alpha=50us) where latency matters at bench scale");
+    rep.finish();
+}
+
+fn smp() {
+    let bar = BarProblem::default_unit();
+    let (lo, hi) = bar.bbox();
+    let mesh = StructuredHexMesh::new(10, 10, 10, ElementType::Hex20, lo, hi).build();
+    let case = elasticity_case("ablation-smp", mesh, bar);
+    let mut rep = Reporter::new(
+        "ablation-smp",
+        &["mode", "threads", "10SPMV", "vs serial"],
+    );
+    let pm = partition_mesh(&case.mesh, 2, PartitionMethod::Slabs);
+    let configs = [
+        ("serial", ParallelMode::Serial),
+        ("colored", ParallelMode::Colored { threads: 4 }),
+        ("chunk-private", ParallelMode::ChunkPrivate { threads: 4 }),
+        ("colored", ParallelMode::Colored { threads: 14 }),
+        ("chunk-private", ParallelMode::ChunkPrivate { threads: 14 }),
+    ];
+    let mut serial_time = 0.0;
+    for (name, mode) in configs {
+        let out = Universe::run(2, |comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = (case.kernel)();
+            let (mut op, _) = HymvOperator::setup(comm, part, &*kernel);
+            op.set_parallel_mode(mode);
+            let x: Vec<f64> = (0..op.n_owned()).map(|i| (i as f64 * 0.1).cos()).collect();
+            let mut y = vec![0.0; op.n_owned()];
+            comm.reset_ledger();
+            let vt0 = comm.vt();
+            for _ in 0..10 {
+                op.matvec(comm, &x, &mut y);
+            }
+            comm.allreduce_max_f64(comm.vt() - vt0)
+        });
+        let t = out[0];
+        if mode == ParallelMode::Serial {
+            serial_time = t;
+        }
+        rep.row(vec![
+            name.to_string(),
+            mode.threads().to_string(),
+            secs(t),
+            ratio(serial_time, t),
+        ]);
+    }
+    rep.note("colored writes directly to the shared DA (no extra memory); chunk-private pays a buffer reduction; thread speedup is modeled (1-core host), the race-freedom machinery is real");
+    rep.finish();
+}
+
+fn adaptive() {
+    let bar = BarProblem::default_unit();
+    let (lo, hi) = bar.bbox();
+    let n = 12;
+    let mesh = StructuredHexMesh::new(n, n, n, ElementType::Hex8, lo, hi).build();
+    let case = elasticity_case("ablation-adaptive", mesh, bar);
+    let pm = partition_mesh(&case.mesh, 4, PartitionMethod::Slabs);
+    let mut rep = Reporter::new(
+        "ablation-adaptive",
+        &["touched %", "HYMV update", "full reassembly", "speedup"],
+    );
+    for percent in [1usize, 5, 10, 25, 50, 100] {
+        let out = Universe::run(4, |comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = (case.kernel)();
+            let (mut op, _) = HymvOperator::setup(comm, part, &*kernel);
+            let stride = (100 / percent).max(1);
+            let touched: Vec<usize> = (0..part.n_elems()).step_by(stride).collect();
+            comm.barrier();
+            let t_update = op.update_elements(comm, part, &*kernel, &touched);
+            let t_update = comm.allreduce_max_f64(t_update);
+
+            comm.barrier();
+            let vt0 = comm.vt();
+            let (_asm, _) = AssembledOperator::setup(comm, part, &*kernel);
+            let t_full = comm.allreduce_max_f64(comm.vt() - vt0);
+            (t_update, t_full)
+        });
+        let (u, f) = out[0];
+        rep.row(vec![format!("{percent}%"), secs(u), secs(f), ratio(f, u)]);
+    }
+    rep.note("the XFEM motivation (paper §I): enrichment touches few elements; HYMV update cost is proportional to the touched fraction while reassembly always pays the full global cost");
+    rep.finish();
+}
+
+fn pipelined() {
+    use hymv_core::system::{BuildOptions, FemSystem, Method, PrecondKind, SolverKind};
+    use hymv_fem::analytic::PoissonProblem;
+    use std::sync::Arc;
+    // A high-latency fabric exposes the per-iteration reduction cost that
+    // pipelined CG hides behind the SPMV.
+    let model = hymv_comm::CostModel { alpha: 100.0e-6, beta: 4.0e9, ..Default::default() };
+    let mesh = hymv_mesh::unstructured_hex_mesh(
+        10, 10, 10, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.2, 5,
+    );
+    let case = poisson_case("ablation-pipelined", mesh);
+    let mut rep = Reporter::new(
+        "ablation-pipelined",
+        &["p", "CG time", "CG iters", "pipelined time", "pipelined iters", "gain"],
+    );
+    for p in [4usize, 8, 16] {
+        let pm = partition_mesh(&case.mesh, p, PartitionMethod::Rcb);
+        let out = hymv_comm::Universe::run_with(model, p, |comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = Arc::new(hymv_fem::PoissonKernel::with_body(
+                ElementType::Hex8,
+                PoissonProblem::body(),
+            ));
+            let mut sys = FemSystem::build(
+                comm,
+                part,
+                kernel,
+                &PoissonProblem::dirichlet(),
+                BuildOptions::new(Method::Hymv),
+            );
+            comm.reset_ledger();
+            let vt0 = comm.vt();
+            let (_, r_cg) =
+                sys.solve_with(comm, SolverKind::Cg, PrecondKind::Jacobi, 1e-8, 50_000);
+            let t_cg = comm.allreduce_max_f64(comm.vt() - vt0);
+
+            comm.reset_ledger();
+            let vt0 = comm.vt();
+            let (_, r_p) =
+                sys.solve_with(comm, SolverKind::PipelinedCg, PrecondKind::Jacobi, 1e-8, 50_000);
+            let t_p = comm.allreduce_max_f64(comm.vt() - vt0);
+            assert!(r_cg.converged && r_p.converged);
+            (t_cg, r_cg.iterations, t_p, r_p.iterations)
+        });
+        let (tc, ic, tp, ip) = out[0];
+        rep.row(vec![
+            p.to_string(),
+            secs(tc),
+            ic.to_string(),
+            secs(tp),
+            ip.to_string(),
+            ratio(tc, tp),
+        ]);
+    }
+    rep.note("pipelined CG (Ghysels-Vanroose) posts one fused non-blocking reduction per iteration, hidden behind the preconditioner+SPMV; standard CG blocks on three reductions. Gain grows with latency (alpha=100us model here)");
+    rep.note("iteration counts may differ by O(1): the methods are algebraically equivalent up to rounding");
+    rep.finish();
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if mode == "overlap" || mode == "all" {
+        overlap();
+    }
+    if mode == "pipelined" || mode == "all" {
+        pipelined();
+    }
+    if mode == "smp" || mode == "all" {
+        smp();
+    }
+    if mode == "adaptive" || mode == "all" {
+        adaptive();
+    }
+}

@@ -1,0 +1,165 @@
+//! Figure 11: total solve time (setup + CG to convergence, ε = 10⁻³
+//! relative) for the elasticity problem, with preconditioning.
+//!
+//! * `fig11 a` — unstructured Hex8 bar, strong scaling, CG with no
+//!   preconditioner vs Jacobi (paper Fig 11a; HYMV 1.1–1.2× vs PETSc).
+//! * `fig11 b` — structured Hex20 bar, weak scaling, Jacobi vs
+//!   block-Jacobi (paper Fig 11b; HYMV 1.1–1.3×; block-Jacobi cuts the
+//!   iteration count but weakens with p).
+//! * `fig11 c` — unstructured Hex27 bar, weak scaling, HYMV-GPU vs
+//!   PETSc-GPU with Jacobi (paper Fig 11c; HYMV 1.8×).
+
+use std::sync::Arc;
+
+use hymv_bench::{elasticity_case, ratio, run_gpu_solve, run_solve, secs, Case, GpuConfig, GpuMethod, Reporter};
+use hymv_core::system::{Method, PrecondKind};
+use hymv_fem::analytic::BarProblem;
+use hymv_gpu::GpuScheme;
+use hymv_mesh::{unstructured_hex_mesh, ElementType, PartitionMethod};
+
+const RTOL: f64 = 1e-3;
+
+fn build_case(et: ElementType, n: usize, bar: BarProblem) -> Case {
+    let (lo, hi) = bar.bbox();
+    let mesh = unstructured_hex_mesh(n, n, n, et, lo, hi, 0.15, 31);
+    elasticity_case("fig11", mesh, bar)
+}
+
+fn exact_of(bar: BarProblem) -> Arc<dyn Fn([f64; 3]) -> Vec<f64> + Send + Sync> {
+    Arc::new(move |x| bar.exact(x).to_vec())
+}
+
+fn part_a() {
+    let bar = BarProblem::default_unit();
+    let case = build_case(ElementType::Hex8, 14, bar);
+    let mut rep = Reporter::new(
+        "fig11a",
+        &["p", "PETSc none", "HYMV none", "PETSc Jacobi", "HYMV Jacobi", "iters N", "iters J", "err"],
+    );
+    for p in [2usize, 4, 8, 16] {
+        let pn = run_solve(&case, p, Method::Assembled, PrecondKind::None, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
+        let hn = run_solve(&case, p, Method::Hymv, PrecondKind::None, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
+        let pj = run_solve(&case, p, Method::Assembled, PrecondKind::Jacobi, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
+        let hj = run_solve(&case, p, Method::Hymv, PrecondKind::Jacobi, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
+        assert!(pn.converged && hn.converged && pj.converged && hj.converged);
+        assert_eq!(pn.iterations, hn.iterations, "same operator, same iterations");
+        rep.row(vec![
+            p.to_string(),
+            secs(pn.total_s()),
+            secs(hn.total_s()),
+            secs(pj.total_s()),
+            secs(hj.total_s()),
+            hn.iterations.to_string(),
+            hj.iterations.to_string(),
+            format!("{:.1e}", hj.err_inf),
+        ]);
+    }
+    rep.note("paper Fig 11a: 3.4M DoFs, 194 iters (none) / 152 (Jacobi) at all p; HYMV 1.1x (none) and 1.2x (Jacobi) faster than PETSc in total time");
+    rep.finish();
+}
+
+fn part_b() {
+    let bar = BarProblem::default_unit();
+    let mut rep = Reporter::new(
+        "fig11b",
+        &["p", "DoFs", "PETSc J", "HYMV J", "PETSc BJ", "HYMV BJ", "iters J", "iters BJ"],
+    );
+    for p in [1usize, 2, 4, 8] {
+        let n = hymv_bench::mesh_n_for_dofs(ElementType::Hex20, 3, p, 3_000);
+        let case = build_case(ElementType::Hex20, n, bar);
+        let pj = run_solve(&case, p, Method::Assembled, PrecondKind::Jacobi, RTOL, PartitionMethod::Slabs, exact_of(bar));
+        let hj = run_solve(&case, p, Method::Hymv, PrecondKind::Jacobi, RTOL, PartitionMethod::Slabs, exact_of(bar));
+        let pb = run_solve(&case, p, Method::Assembled, PrecondKind::BlockJacobi, RTOL, PartitionMethod::Slabs, exact_of(bar));
+        let hb = run_solve(&case, p, Method::Hymv, PrecondKind::BlockJacobi, RTOL, PartitionMethod::Slabs, exact_of(bar));
+        assert!(pj.converged && hj.converged && pb.converged && hb.converged);
+        rep.row(vec![
+            p.to_string(),
+            case.n_dofs().to_string(),
+            secs(pj.total_s()),
+            secs(hj.total_s()),
+            secs(pb.total_s()),
+            secs(hb.total_s()),
+            hj.iterations.to_string(),
+            hb.iterations.to_string(),
+        ]);
+    }
+    rep.note("paper Fig 11b: block-Jacobi needs fewer iterations than Jacobi (e.g. 697 J vs 520 BJ at p=56), the gap narrowing as blocks shrink with p; HYMV 1.3x (J) / 1.1x (BJ) faster than PETSc");
+    rep.finish();
+}
+
+fn part_c() {
+    let bar = BarProblem::default_unit();
+    let mut rep = Reporter::new(
+        "fig11c",
+        &["p", "DoFs", "PETSc-GPU total", "HYMV-GPU total", "speedup", "iters", "err"],
+    );
+    for p in [2usize, 4, 8] {
+        let n = hymv_bench::mesh_n_for_dofs(ElementType::Hex27, 3, p, 5_000);
+        let case = build_case(ElementType::Hex27, n, bar);
+        let cfg = GpuConfig { scheme: GpuScheme::OverlapGpu, ..GpuConfig::default() };
+        let pg = run_gpu_solve(&case, p, GpuMethod::Petsc, cfg, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
+        let hg = run_gpu_solve(&case, p, GpuMethod::Hymv, cfg, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
+        assert!(pg.converged && hg.converged);
+        rep.row(vec![
+            p.to_string(),
+            case.n_dofs().to_string(),
+            secs(pg.total_s()),
+            secs(hg.total_s()),
+            ratio(pg.total_s(), hg.total_s()),
+            hg.iterations.to_string(),
+            format!("{:.1e}", hg.err_inf),
+        ]);
+    }
+    rep.note("paper Fig 11c: HYMV-GPU 1.8x faster total solve than PETSc-GPU (Jacobi, unstructured Hex27, ~488K DoFs/rank)");
+    rep.finish();
+}
+
+/// Extension (paper future work): the fully GPU-resident CG — device
+/// BLAS-1 + device SPMV, only scalars and ghosts on PCIe — against the
+/// paper's configuration (host CG, GPU SPMV only).
+fn part_c_resident() {
+    use hymv_bench::run_gpu_resident_solve;
+    let bar = BarProblem::default_unit();
+    let mut rep = Reporter::new(
+        "fig11c-resident",
+        &["p", "DoFs", "host-CG+GPU-SPMV", "GPU-resident CG", "gain", "iters"],
+    );
+    // Small rows show the launch-latency regime; the last row (25K
+    // DoFs/rank) crosses into the bandwidth regime where residency wins.
+    for (p, per_rank) in [(2usize, 5_000usize), (4, 5_000), (8, 5_000), (2, 25_000)] {
+        let n = hymv_bench::mesh_n_for_dofs(ElementType::Hex27, 3, p, per_rank);
+        let case = build_case(ElementType::Hex27, n, bar);
+        let cfg = GpuConfig { scheme: GpuScheme::OverlapGpu, ..GpuConfig::default() };
+        let host = run_gpu_solve(&case, p, GpuMethod::Hymv, cfg, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
+        let dev = run_gpu_resident_solve(&case, p, cfg, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
+        assert!(host.converged && dev.converged);
+        assert_eq!(host.iterations, dev.iterations, "same preconditioned operator");
+        rep.row(vec![
+            p.to_string(),
+            case.n_dofs().to_string(),
+            secs(host.solve_s),
+            secs(dev.solve_s),
+            ratio(host.solve_s, dev.solve_s),
+            dev.iterations.to_string(),
+        ]);
+    }
+    rep.note("extension of the paper's future work (§V-F): moving the CG vector ops onto the device removes the host BLAS-1 time from every iteration; solve-time-only comparison (setup identical)");
+    rep.note("at small vectors the device launch latency (~5us/kernel) outweighs the host BLAS-1 it replaces — residency only pays once vectors reach the bandwidth regime (the paper's 488K DoFs/rank is well past the crossover)");
+    rep.finish();
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if mode == "a" || mode == "all" {
+        part_a();
+    }
+    if mode == "b" || mode == "all" {
+        part_b();
+    }
+    if mode == "c" || mode == "all" {
+        part_c();
+    }
+    if mode == "c-resident" || mode == "all" {
+        part_c_resident();
+    }
+}

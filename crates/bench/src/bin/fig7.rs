@@ -1,0 +1,46 @@
+//! Figure 7: strong scalability on an **unstructured** quadratic-tet mesh
+//! (Poisson), HYMV vs the assembled baseline, with the setup breakdown.
+//!
+//! The mesh is the Gmsh stand-in (jittered Kuhn tetrahedralization) and
+//! the partitioner is the METIS stand-in (greedy graph growing), so the
+//! partition boundaries are irregular — the regime where the paper reports
+//! its largest wins (HYMV setup 11×, HYMV SPMV 3.6× vs PETSc).
+
+use hymv_bench::{poisson_case, ratio, run_setup_and_spmv, secs, Reporter};
+use hymv_core::system::Method;
+use hymv_core::ParallelMode;
+use hymv_mesh::{unstructured_tet_mesh, ElementType, PartitionMethod};
+
+const MESH_N: usize = 14; // 6·14³ ≈ 16.5K Tet10 elements, ~23K nodes
+const RANKS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+fn main() {
+    let mesh = unstructured_tet_mesh(MESH_N, ElementType::Tet10, 0.18, 2022);
+    let case = poisson_case("fig7", mesh);
+    let mut rep = Reporter::new(
+        "fig7",
+        &[
+            "p", "DoFs", "PETSc emat", "PETSc comm", "HYMV emat", "HYMV copy+maps",
+            "setup speedup", "PETSc 10SPMV", "HYMV 10SPMV", "SPMV speedup",
+        ],
+    );
+    for p in RANKS {
+        let asm = run_setup_and_spmv(&case, p, Method::Assembled, ParallelMode::Serial, PartitionMethod::GreedyGraph, 10);
+        let hymv = run_setup_and_spmv(&case, p, Method::Hymv, ParallelMode::Serial, PartitionMethod::GreedyGraph, 10);
+        rep.row(vec![
+            p.to_string(),
+            case.n_dofs().to_string(),
+            secs(asm.setup_emat_s),
+            secs(asm.setup_overhead_s),
+            secs(hymv.setup_emat_s),
+            secs(hymv.setup_overhead_s),
+            ratio(asm.setup_total_s(), hymv.setup_total_s()),
+            secs(asm.spmv_s),
+            secs(hymv.spmv_s),
+            ratio(asm.spmv_s, hymv.spmv_s),
+        ]);
+    }
+    rep.note("paper Fig 7: on unstructured meshes HYMV setup ~11x and HYMV SPMV ~3.6x faster than PETSc; the assembled sparsity/partition boundary is irregular while HYMV stays dense-local");
+    rep.note(format!("fixed mesh: 6·{MESH_N}³ Tet10 elements (paper: 6.3M elements / 8.5M DoFs across 1792 cores); virtual seconds"));
+    rep.finish();
+}

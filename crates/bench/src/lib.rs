@@ -1,0 +1,16 @@
+//! # hymv-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index), plus criterion microbenches under `benches/`. This library
+//! holds the shared harness code: experiment runners, report records, and
+//! table printers.
+
+pub mod report;
+pub mod runner;
+
+pub use report::{ratio, secs, ExperimentRecord, Reporter};
+pub use runner::{
+    elasticity_case, mesh_n_for_dofs, partitioned, poisson_case, run_gpu_solve, run_gpu_spmv,
+    run_gpu_resident_solve, run_setup_and_spmv, run_solve, Case, GpuConfig, GpuMethod,
+    SolveReport, SpmvReport,
+};

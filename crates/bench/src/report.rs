@@ -1,0 +1,159 @@
+//! Experiment reporting: aligned console tables plus machine-readable JSON
+//! records under `target/experiments/` (consumed when updating
+//! EXPERIMENTS.md).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// One experiment's table: a name, column headers, rows, and free-form
+/// notes (paper-expectation annotations).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (e.g. "fig4-weak").
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (stringified values).
+    pub rows: Vec<Vec<String>>,
+    /// Notes (paper expectations, scale substitutions).
+    pub notes: Vec<String>,
+}
+
+/// Builder/printer for an [`ExperimentRecord`].
+pub struct Reporter {
+    record: ExperimentRecord,
+}
+
+impl Reporter {
+    /// Start a report.
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        Reporter {
+            record: ExperimentRecord {
+                name: name.to_string(),
+                columns: columns.iter().map(|s| s.to_string()).collect(),
+                rows: Vec::new(),
+                notes: Vec::new(),
+            },
+        }
+    }
+
+    /// Append a row (stringify with `format!`).
+    pub fn row(&mut self, values: Vec<String>) {
+        assert_eq!(values.len(), self.record.columns.len(), "row width mismatch");
+        self.record.rows.push(values);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.record.notes.push(text.into());
+    }
+
+    /// Finished record.
+    pub fn record(&self) -> &ExperimentRecord {
+        &self.record
+    }
+
+    /// Render the aligned console table.
+    pub fn render(&self) -> String {
+        let r = &self.record;
+        let mut widths: Vec<usize> = r.columns.iter().map(|c| c.len()).collect();
+        for row in &r.rows {
+            for (i, v) in row.iter().enumerate() {
+                widths[i] = widths[i].max(v.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", r.name));
+        let header: Vec<String> =
+            r.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &r.rows {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(v, w)| format!("{v:>w$}")).collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for n in &r.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout and persist JSON under `target/experiments/`.
+    pub fn finish(&self) {
+        print!("{}", self.render());
+        let dir = PathBuf::from("target/experiments");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.json", self.record.name));
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                let _ = f.write_all(
+                    serde_json::to_string_pretty(&self.record)
+                        .expect("record serializes")
+                        .as_bytes(),
+                );
+                println!("saved: {}", path.display());
+            }
+        }
+        println!();
+    }
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(x: f64) -> String {
+    if x >= 0.1 {
+        format!("{x:.3}")
+    } else if x >= 1e-4 {
+        format!("{:.3}ms", x * 1e3)
+    } else {
+        format!("{:.1}us", x * 1e6)
+    }
+}
+
+/// Format a ratio like "5.3x".
+pub fn ratio(a: f64, b: f64) -> String {
+    if b > 0.0 {
+        format!("{:.1}x", a / b)
+    } else {
+        "-".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut r = Reporter::new("test-table", &["p", "time"]);
+        r.row(vec!["4".into(), "0.123".into()]);
+        r.row(vec!["128".into(), "0.001".into()]);
+        r.note("hello");
+        let s = r.render();
+        assert!(s.contains("== test-table =="));
+        assert!(s.contains("note: hello"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title + header + separator + 2 rows + note.
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut r = Reporter::new("x", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(1.5), "1.500");
+        assert_eq!(secs(0.005), "5.000ms");
+        assert_eq!(secs(5e-6), "5.0us");
+        assert_eq!(ratio(10.0, 2.0), "5.0x");
+        assert_eq!(ratio(1.0, 0.0), "-");
+    }
+}

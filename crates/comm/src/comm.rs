@@ -1,0 +1,617 @@
+//! The per-rank communicator handle.
+
+use std::sync::Arc;
+
+use crate::ledger::{thread_cpu_time, CommStats, Ledger};
+use crate::payload::Payload;
+use crate::world::{Message, World};
+use crate::RESERVED_TAG_BASE;
+
+/// A completed-immediately send token (sends are buffered: the payload is
+/// moved into the receiver's mailbox at `isend` time, matching MPI's
+/// buffered-send semantics which the paper's algorithms rely on).
+#[derive(Debug, Clone, Copy)]
+pub struct SendHandle {
+    pub(crate) dst: usize,
+    pub(crate) tag: u32,
+}
+
+impl SendHandle {
+    /// Destination rank of the send.
+    pub fn dst(&self) -> usize {
+        self.dst
+    }
+
+    /// Tag of the send.
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// Waits for completion — a no-op for buffered sends, provided so call
+    /// sites read like their MPI counterparts.
+    pub fn wait(self, _comm: &mut Comm) {}
+}
+
+/// A posted non-blocking receive. Completing it (`wait`) blocks until a
+/// matching message exists and advances the rank's virtual clock to the
+/// message's modeled arrival time.
+#[derive(Debug, Clone, Copy)]
+pub struct RecvHandle {
+    pub(crate) src: usize,
+    pub(crate) tag: u32,
+}
+
+impl RecvHandle {
+    /// Block until the matching message arrives; returns its payload.
+    pub fn wait(self, comm: &mut Comm) -> Payload {
+        comm.complete_recv(self.src, self.tag)
+    }
+
+    /// Non-blocking test; returns the payload if the message is already in
+    /// the mailbox.
+    pub fn test(self, comm: &mut Comm) -> Option<Payload> {
+        comm.try_complete_recv(self.src, self.tag)
+    }
+}
+
+/// A posted non-blocking allreduce (see [`Comm::iallreduce_sum_vec`]).
+#[derive(Debug, Clone, Copy)]
+pub struct IallreduceHandle {
+    pub(crate) seq: u64,
+}
+
+impl IallreduceHandle {
+    /// Block until every rank has contributed; returns the element-wise
+    /// sums and synchronizes the virtual clock.
+    pub fn wait(self, comm: &mut Comm) -> Vec<f64> {
+        comm.iallreduce_wait(self)
+    }
+}
+
+/// One rank's communicator: point-to-point, collectives, and the
+/// virtual-time ledger.
+pub struct Comm {
+    rank: usize,
+    world: Arc<World>,
+    ledger: Ledger,
+    coll_seq: u64,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, world: Arc<World>) -> Self {
+        let ledger = Ledger::new(world.model);
+        Comm { rank, world, ledger, coll_seq: 0 }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the universe.
+    pub fn size(&self) -> usize {
+        self.world.size
+    }
+
+    /// Immutable view of the virtual-time ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Current virtual time, seconds.
+    pub fn vt(&self) -> f64 {
+        self.ledger.vt()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CommStats {
+        self.ledger.stats()
+    }
+
+    /// Reset the ledger (between timed phases of an experiment). Collective:
+    /// internally barriers first so no rank resets while messages from the
+    /// previous phase are in flight.
+    pub fn reset_ledger(&mut self) {
+        self.barrier();
+        self.ledger.reset();
+    }
+
+    // ---------------------------------------------------------------- p2p
+
+    /// Non-blocking (buffered) send.
+    pub fn isend(&mut self, dst: usize, tag: u32, payload: Payload) -> SendHandle {
+        assert!(dst < self.size(), "destination rank {dst} out of range");
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag:#x} is in the reserved range");
+        self.isend_internal(dst, tag, payload)
+    }
+
+    fn isend_internal(&mut self, dst: usize, tag: u32, payload: Payload) -> SendHandle {
+        let arrival_vt = self.ledger.on_send(payload.len_bytes());
+        self.world.deliver(dst, Message { src: self.rank, tag, payload, arrival_vt });
+        SendHandle { dst, tag }
+    }
+
+    /// Post a non-blocking receive from `src` with `tag`.
+    pub fn irecv(&mut self, src: usize, tag: u32) -> RecvHandle {
+        assert!(src < self.size(), "source rank {src} out of range");
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag:#x} is in the reserved range");
+        RecvHandle { src, tag }
+    }
+
+    /// Blocking send (buffered, so identical to `isend`).
+    pub fn send(&mut self, dst: usize, tag: u32, payload: Payload) {
+        let _ = self.isend(dst, tag, payload);
+    }
+
+    /// Blocking receive.
+    pub fn recv(&mut self, src: usize, tag: u32) -> Payload {
+        assert!(src < self.size(), "source rank {src} out of range");
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag:#x} is in the reserved range");
+        self.complete_recv(src, tag)
+    }
+
+    fn complete_recv(&mut self, src: usize, tag: u32) -> Payload {
+        let msg = self.world.receive(self.rank, src, tag);
+        self.ledger.on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
+        msg.payload
+    }
+
+    fn try_complete_recv(&mut self, src: usize, tag: u32) -> Option<Payload> {
+        self.world.try_receive(self.rank, src, tag).map(|msg| {
+            self.ledger.on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
+            msg.payload
+        })
+    }
+
+    // ------------------------------------------------------------ compute
+
+    /// Run a compute section, charging its thread-CPU duration to the
+    /// virtual clock. Returns the closure's value.
+    pub fn work<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let t0 = thread_cpu_time();
+        let out = f();
+        self.ledger.add_compute(thread_cpu_time() - t0);
+        out
+    }
+
+    /// Run a shared-memory-parallel ("OpenMP") compute section. The section
+    /// executes on the calling thread; its measured CPU time is divided by
+    /// the cost model's Amdahl speedup for `threads` threads. On a
+    /// many-core host this models what `#pragma omp parallel for` over the
+    /// elemental loop achieves; the host here has one core (see crate docs).
+    pub fn work_smp<R>(&mut self, threads: usize, f: impl FnOnce() -> R) -> R {
+        let t0 = thread_cpu_time();
+        let out = f();
+        let dt = thread_cpu_time() - t0;
+        let speedup = self.ledger.model().smp_speedup(threads);
+        self.ledger.add_compute(dt / speedup);
+        out
+    }
+
+    /// Advance the virtual clock by an externally-modeled duration (e.g. a
+    /// simulated GPU phase whose timeline is produced by `hymv-gpu`).
+    pub fn add_modeled_time(&mut self, seconds: f64) {
+        self.ledger.add_compute(seconds);
+    }
+
+    // -------------------------------------------------------- collectives
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.coll_seq;
+        self.coll_seq += 1;
+        s
+    }
+
+    /// Synchronize all ranks (virtual clocks advance to the global max).
+    pub fn barrier(&mut self) {
+        let seq = self.next_seq();
+        let size = self.size();
+        let (max_vt, _) = self.world.rendezvous(self.rank, seq, self.vt(), None, |_| {
+            vec![Payload::Bytes(Vec::new()); size]
+        });
+        self.ledger.on_collective(max_vt, size);
+    }
+
+    /// Global sum of one f64.
+    pub fn allreduce_sum_f64(&mut self, x: f64) -> f64 {
+        self.allreduce_f64(x, |a, b| a + b)
+    }
+
+    /// Global max of one f64.
+    pub fn allreduce_max_f64(&mut self, x: f64) -> f64 {
+        self.allreduce_f64(x, f64::max)
+    }
+
+    /// Global min of one f64.
+    pub fn allreduce_min_f64(&mut self, x: f64) -> f64 {
+        self.allreduce_f64(x, f64::min)
+    }
+
+    fn allreduce_f64(&mut self, x: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        let seq = self.next_seq();
+        let size = self.size();
+        let (max_vt, result) = self.world.rendezvous(
+            self.rank,
+            seq,
+            self.vt(),
+            Some(Payload::from_f64(vec![x])),
+            move |contrib| {
+                let acc = contrib
+                    .iter()
+                    .map(|c| match c {
+                        Some(Payload::F64(v)) => v[0],
+                        _ => unreachable!("allreduce contributions are F64"),
+                    })
+                    .reduce(&op)
+                    .expect("size >= 1");
+                vec![Payload::from_f64(vec![acc]); size]
+            },
+        );
+        self.ledger.on_collective(max_vt, size);
+        result.into_f64()[0]
+    }
+
+    /// Global sum of one u64.
+    pub fn allreduce_sum_u64(&mut self, x: u64) -> u64 {
+        self.allreduce_u64(x, |a, b| a + b)
+    }
+
+    /// Global max of one u64.
+    pub fn allreduce_max_u64(&mut self, x: u64) -> u64 {
+        self.allreduce_u64(x, u64::max)
+    }
+
+    fn allreduce_u64(&mut self, x: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        let seq = self.next_seq();
+        let size = self.size();
+        let (max_vt, result) = self.world.rendezvous(
+            self.rank,
+            seq,
+            self.vt(),
+            Some(Payload::from_u64(vec![x])),
+            move |contrib| {
+                let acc = contrib
+                    .iter()
+                    .map(|c| match c {
+                        Some(Payload::U64(v)) => v[0],
+                        _ => unreachable!("allreduce contributions are U64"),
+                    })
+                    .reduce(&op)
+                    .expect("size >= 1");
+                vec![Payload::from_u64(vec![acc]); size]
+            },
+        );
+        self.ledger.on_collective(max_vt, size);
+        result.into_u64()[0]
+    }
+
+    /// Post a non-blocking element-wise vector sum-allreduce (MPI's
+    /// `MPI_Iallreduce`). Complete it with [`IallreduceHandle::wait`];
+    /// computation in between absorbs the collective's latency — the
+    /// mechanism pipelined Krylov methods exploit.
+    pub fn iallreduce_sum_vec(&mut self, vals: Vec<f64>) -> IallreduceHandle {
+        let seq = self.next_seq();
+        let size = self.size();
+        let len = vals.len();
+        self.world.rendezvous_post(
+            self.rank,
+            seq,
+            self.vt(),
+            Some(Payload::from_f64(vals)),
+            move |contrib| {
+                let mut acc = vec![0.0f64; len];
+                for c in contrib.iter() {
+                    match c {
+                        Some(Payload::F64(v)) => {
+                            debug_assert_eq!(v.len(), len, "mismatched iallreduce lengths");
+                            for (a, b) in acc.iter_mut().zip(v) {
+                                *a += b;
+                            }
+                        }
+                        _ => unreachable!("iallreduce contributions are F64"),
+                    }
+                }
+                vec![Payload::from_f64(acc); size]
+            },
+        );
+        IallreduceHandle { seq }
+    }
+
+    /// Complete a posted non-blocking allreduce.
+    pub(crate) fn iallreduce_wait(&mut self, h: IallreduceHandle) -> Vec<f64> {
+        let size = self.size();
+        let (max_vt, result) = self.world.rendezvous_await(self.rank, h.seq);
+        self.ledger.on_collective(max_vt, size);
+        result.into_f64()
+    }
+
+    /// Every rank contributes a `u64` list; all ranks receive all lists,
+    /// ordered by rank.
+    pub fn allgather_u64(&mut self, mine: Vec<u64>) -> Vec<Vec<u64>> {
+        let seq = self.next_seq();
+        let size = self.size();
+        let (max_vt, result) = self.world.rendezvous(
+            self.rank,
+            seq,
+            self.vt(),
+            Some(Payload::from_u64(mine)),
+            move |contrib| {
+                // Flatten with length prefixes so one payload carries all.
+                let mut flat = Vec::new();
+                for c in contrib.iter() {
+                    match c {
+                        Some(Payload::U64(v)) => {
+                            flat.push(v.len() as u64);
+                            flat.extend_from_slice(v);
+                        }
+                        _ => unreachable!("allgather contributions are U64"),
+                    }
+                }
+                vec![Payload::from_u64(flat); size]
+            },
+        );
+        self.ledger.on_collective(max_vt, size);
+        let flat = result.into_u64();
+        let mut out = Vec::with_capacity(size);
+        let mut i = 0;
+        for _ in 0..size {
+            let n = flat[i] as usize;
+            out.push(flat[i + 1..i + 1 + n].to_vec());
+            i += 1 + n;
+        }
+        out
+    }
+
+    /// Broadcast a payload from `root` to all ranks.
+    pub fn bcast(&mut self, root: usize, payload: Option<Payload>) -> Payload {
+        assert!(root < self.size(), "broadcast root {root} out of range");
+        debug_assert_eq!(
+            self.rank == root,
+            payload.is_some(),
+            "exactly the root supplies the broadcast payload"
+        );
+        let seq = self.next_seq();
+        let size = self.size();
+        let (max_vt, result) = self.world.rendezvous(
+            self.rank,
+            seq,
+            self.vt(),
+            payload,
+            move |contrib| {
+                let p = contrib[root].take().expect("root contributed");
+                vec![p; size]
+            },
+        );
+        self.ledger.on_collective(max_vt, size);
+        result
+    }
+
+    /// Sparse all-to-all: each rank sends `(dest, payload)` pairs; returns
+    /// the `(src, payload)` pairs addressed to this rank, sorted by source.
+    ///
+    /// Receivers do not know their senders a priori (the situation during
+    /// LNSM/GNGM construction), so a lightweight rendezvous first exchanges
+    /// the sender→receiver incidence, then payloads move point-to-point.
+    pub fn exchange_sparse(&mut self, msgs: Vec<(usize, Payload)>, tag: u32) -> Vec<(usize, Payload)> {
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag:#x} is in the reserved range");
+        for (dst, _) in &msgs {
+            assert!(*dst < self.size(), "destination rank {dst} out of range");
+        }
+        let dests: Vec<u64> = msgs.iter().map(|(d, _)| *d as u64).collect();
+        let incidence = self.allgather_u64(dests);
+
+        // Who will send to me, in rank order (duplicates allowed).
+        let mut senders: Vec<usize> = Vec::new();
+        for (src, dests) in incidence.iter().enumerate() {
+            for d in dests {
+                if *d as usize == self.rank {
+                    senders.push(src);
+                }
+            }
+        }
+        senders.sort_unstable();
+
+        for (dst, payload) in msgs {
+            let _ = self.isend(dst, tag, payload);
+        }
+
+        let mut out = Vec::with_capacity(senders.len());
+        for src in senders {
+            let payload = self.complete_recv(src, tag);
+            out.push((src, payload));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::Universe;
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let out = Universe::run(5, |c| {
+            let s = c.allreduce_sum_f64(c.rank() as f64);
+            let m = c.allreduce_max_f64(c.rank() as f64);
+            let su = c.allreduce_sum_u64(1);
+            let mu = c.allreduce_max_u64(c.rank() as u64 * 10);
+            (s, m, su, mu)
+        });
+        for (s, m, su, mu) in out {
+            assert_eq!(s, 10.0);
+            assert_eq!(m, 4.0);
+            assert_eq!(su, 5);
+            assert_eq!(mu, 40);
+        }
+    }
+
+    #[test]
+    fn allreduce_min() {
+        let out = Universe::run(4, |c| c.allreduce_min_f64(10.0 - c.rank() as f64));
+        assert!(out.iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn allgather_roundtrip() {
+        let out = Universe::run(4, |c| {
+            let mine: Vec<u64> = (0..c.rank() as u64).collect();
+            c.allgather_u64(mine)
+        });
+        for gathered in out {
+            assert_eq!(gathered.len(), 4);
+            for (r, v) in gathered.iter().enumerate() {
+                assert_eq!(v, &(0..r as u64).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = Universe::run(3, |c| {
+            let p = if c.rank() == 2 { Some(Payload::from_f64(vec![3.25])) } else { None };
+            c.bcast(2, p).into_f64()
+        });
+        assert!(out.iter().all(|v| v == &vec![3.25]));
+    }
+
+    #[test]
+    fn nonblocking_overlap_absorbs_latency() {
+        // Rank 1 computes while the message is in flight; its comm wait must
+        // be (nearly) zero while an eager waiter would pay latency.
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.isend(1, 1, Payload::from_f64(vec![1.0; 1024]));
+                0.0
+            } else {
+                let h = c.irecv(0, 1);
+                c.work(|| {
+                    let mut acc = 0.0f64;
+                    for i in 0..200_000 {
+                        acc += (i as f64).sin();
+                    }
+                    acc
+                });
+                let _ = h.wait(c);
+                c.stats().comm_wait_s
+            }
+        });
+        // The compute section should exceed the modeled microseconds of
+        // transit, so wait time is zero.
+        assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    fn exchange_sparse_delivers_all() {
+        // Every rank sends its rank id to every even rank.
+        let out = Universe::run(4, |c| {
+            let msgs: Vec<(usize, Payload)> = (0..c.size())
+                .filter(|d| d % 2 == 0)
+                .map(|d| (d, Payload::from_u64(vec![c.rank() as u64])))
+                .collect();
+            c.exchange_sparse(msgs, 3)
+        });
+        // Even ranks received from everyone, odd ranks from no one.
+        assert_eq!(out[0].len(), 4);
+        assert_eq!(out[1].len(), 0);
+        assert_eq!(out[2].len(), 4);
+        assert_eq!(out[3].len(), 0);
+        let srcs: Vec<usize> = out[0].iter().map(|(s, _)| *s).collect();
+        assert_eq!(srcs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let out = Universe::run(2, |c| {
+            let me = c.rank();
+            c.isend(me, 4, Payload::from_u64(vec![me as u64]));
+            c.recv(me, 4).into_u64()[0]
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn reset_ledger_is_collective_and_clears() {
+        let out = Universe::run(3, |c| {
+            c.allreduce_sum_f64(1.0);
+            c.reset_ledger();
+            c.stats().msgs_sent
+        });
+        assert!(out.iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn barrier_syncs_virtual_clocks() {
+        let out = Universe::run(3, |c| {
+            if c.rank() == 0 {
+                c.add_modeled_time(1.0);
+            }
+            c.barrier();
+            c.vt()
+        });
+        for vt in out {
+            assert!(vt >= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved range")]
+    fn reserved_tag_rejected() {
+        let _ = Universe::run(1, |c| {
+            c.isend(0, crate::RESERVED_TAG_BASE + 1, Payload::from_f64(vec![]));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_destination_rejected() {
+        let _ = Universe::run(2, |c| {
+            c.isend(5, 0, Payload::from_f64(vec![]));
+        });
+    }
+
+    #[test]
+    fn iallreduce_overlaps_and_sums() {
+        let out = Universe::run(3, |c| {
+            let h = c.iallreduce_sum_vec(vec![c.rank() as f64, 1.0]);
+            // Compute while the reduction is in flight.
+            let local = c.work(|| (0..10_000).map(|i| (i as f64).sqrt()).sum::<f64>());
+            assert!(local > 0.0);
+            h.wait(c)
+        });
+        for v in out {
+            assert_eq!(v, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn iallreduce_multiple_in_flight() {
+        let out = Universe::run(2, |c| {
+            let h1 = c.iallreduce_sum_vec(vec![1.0]);
+            let h2 = c.iallreduce_sum_vec(vec![10.0]);
+            let a = h1.wait(c);
+            let b = h2.wait(c);
+            (a[0], b[0])
+        });
+        assert!(out.iter().all(|&(a, b)| a == 2.0 && b == 20.0));
+    }
+
+    #[test]
+    fn irecv_test_polls() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.barrier(); // ensure rank 1 polled once before the send
+                c.isend(1, 8, Payload::from_u64(vec![42]));
+                c.barrier();
+                0
+            } else {
+                let h = c.irecv(0, 8);
+                assert!(h.test(c).is_none());
+                c.barrier();
+                c.barrier();
+                h.test(c).map(|p| p.into_u64()[0]).unwrap_or(0)
+            }
+        });
+        assert_eq!(out[1], 42);
+    }
+}

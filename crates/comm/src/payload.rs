@@ -1,0 +1,146 @@
+//! Typed message payloads.
+//!
+//! HYMV's communication uses a handful of concrete value shapes: `f64`
+//! vector fragments (ghost scatter/gather), `u64` index lists (map
+//! construction), and `(row, col, value)` triples (the assembled baseline's
+//! off-rank matrix contributions). A small enum keeps sends copy-free
+//! (payloads are moved into the receiver's mailbox) while still letting the
+//! ledger account bytes exactly.
+
+/// A message body moved between ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A vector fragment (ghost values, reduction partials, …).
+    F64(Vec<f64>),
+    /// An index list (global node ids, counts, …).
+    U64(Vec<u64>),
+    /// Sparse-matrix triples `(global row, global col, value)` — the traffic
+    /// that makes the matrix-assembled baseline's setup expensive.
+    Triples(Vec<(u64, u64, f64)>),
+    /// Raw bytes for anything else.
+    Bytes(Vec<u8>),
+}
+
+impl Payload {
+    /// Wraps a `f64` vector.
+    pub fn from_f64(v: Vec<f64>) -> Self {
+        Payload::F64(v)
+    }
+
+    /// Wraps a `u64` vector.
+    pub fn from_u64(v: Vec<u64>) -> Self {
+        Payload::U64(v)
+    }
+
+    /// Wraps a triple list.
+    pub fn from_triples(v: Vec<(u64, u64, f64)>) -> Self {
+        Payload::Triples(v)
+    }
+
+    /// The on-wire size this payload would have, used by the α-β cost model.
+    pub fn len_bytes(&self) -> usize {
+        match self {
+            Payload::F64(v) => v.len() * 8,
+            Payload::U64(v) => v.len() * 8,
+            Payload::Triples(v) => v.len() * 24,
+            Payload::Bytes(v) => v.len(),
+        }
+    }
+
+    /// Number of logical entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::F64(v) => v.len(),
+            Payload::U64(v) => v.len(),
+            Payload::Triples(v) => v.len(),
+            Payload::Bytes(v) => v.len(),
+        }
+    }
+
+    /// True if the payload carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Unwraps an `F64` payload.
+    ///
+    /// # Panics
+    /// Panics if the payload has a different variant — a protocol error in
+    /// SPMD code, never a data-dependent condition.
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {}", other.variant_name()),
+        }
+    }
+
+    /// Unwraps a `U64` payload. Panics on variant mismatch.
+    pub fn into_u64(self) -> Vec<u64> {
+        match self {
+            Payload::U64(v) => v,
+            other => panic!("expected U64 payload, got {}", other.variant_name()),
+        }
+    }
+
+    /// Unwraps a `Triples` payload. Panics on variant mismatch.
+    pub fn into_triples(self) -> Vec<(u64, u64, f64)> {
+        match self {
+            Payload::Triples(v) => v,
+            other => panic!("expected Triples payload, got {}", other.variant_name()),
+        }
+    }
+
+    /// Unwraps a `Bytes` payload. Panics on variant mismatch.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(v) => v,
+            other => panic!("expected Bytes payload, got {}", other.variant_name()),
+        }
+    }
+
+    fn variant_name(&self) -> &'static str {
+        match self {
+            Payload::F64(_) => "F64",
+            Payload::U64(_) => "U64",
+            Payload::Triples(_) => "Triples",
+            Payload::Bytes(_) => "Bytes",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        assert_eq!(Payload::from_f64(vec![0.0; 10]).len_bytes(), 80);
+        assert_eq!(Payload::from_u64(vec![0; 3]).len_bytes(), 24);
+        assert_eq!(Payload::from_triples(vec![(0, 1, 2.0); 2]).len_bytes(), 48);
+        assert_eq!(Payload::Bytes(vec![0u8; 7]).len_bytes(), 7);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Payload::from_f64(vec![1.0, 2.0]).len(), 2);
+        assert!(Payload::from_u64(vec![]).is_empty());
+        assert!(!Payload::from_triples(vec![(1, 2, 3.0)]).is_empty());
+    }
+
+    #[test]
+    fn round_trip() {
+        let v = vec![1.5, -2.5];
+        assert_eq!(Payload::from_f64(v.clone()).into_f64(), v);
+        let u = vec![3u64, 9];
+        assert_eq!(Payload::from_u64(u.clone()).into_u64(), u);
+        let t = vec![(1u64, 2u64, 0.5)];
+        assert_eq!(Payload::from_triples(t.clone()).into_triples(), t);
+        assert_eq!(Payload::Bytes(vec![1, 2]).into_bytes(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64 payload")]
+    fn variant_mismatch_panics() {
+        Payload::from_u64(vec![1]).into_f64();
+    }
+}

@@ -1,0 +1,276 @@
+//! The shared "world": mailboxes, collective rendezvous state, and the
+//! [`Universe`] entry point that spawns one thread per rank.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::comm::Comm;
+use crate::ledger::CostModel;
+use crate::payload::Payload;
+
+/// One in-flight message.
+pub(crate) struct Message {
+    pub src: usize,
+    pub tag: u32,
+    pub payload: Payload,
+    /// Modeled (virtual-time) arrival timestamp, stamped at send.
+    pub arrival_vt: f64,
+}
+
+/// A rank's mailbox: FIFO per (src, tag), implemented as one queue searched
+/// in order (message volumes per rank are small; ghost exchanges post a few
+/// dozen messages at most).
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queue: VecDeque<Message>,
+}
+
+pub(crate) struct MailSlot {
+    pub mailbox: Mutex<Mailbox>,
+    pub cond: Condvar,
+}
+
+/// Rendezvous state for one collective operation instance.
+pub(crate) struct CollSlot {
+    arrived: usize,
+    max_vt: f64,
+    /// Per-rank contributions (used by reductions/gathers).
+    contrib: Vec<Option<Payload>>,
+    /// Result, computed by the last arriver.
+    result: Option<Arc<Vec<Payload>>>,
+    departed: usize,
+}
+
+impl CollSlot {
+    fn new(size: usize) -> Self {
+        CollSlot {
+            arrived: 0,
+            max_vt: 0.0,
+            contrib: vec![None; size],
+            result: None,
+            departed: 0,
+        }
+    }
+}
+
+pub(crate) struct CollState {
+    pub slots: Mutex<HashMap<u64, CollSlot>>,
+    pub cond: Condvar,
+}
+
+/// Shared state for one run: `size` mailboxes plus collective slots.
+pub(crate) struct World {
+    pub size: usize,
+    pub model: CostModel,
+    pub mail: Vec<MailSlot>,
+    pub coll: CollState,
+}
+
+impl World {
+    fn new(size: usize, model: CostModel) -> Arc<Self> {
+        let mail = (0..size)
+            .map(|_| MailSlot { mailbox: Mutex::new(Mailbox::default()), cond: Condvar::new() })
+            .collect();
+        Arc::new(World {
+            size,
+            model,
+            mail,
+            coll: CollState { slots: Mutex::new(HashMap::new()), cond: Condvar::new() },
+        })
+    }
+
+    /// Deposit a message into `dst`'s mailbox (buffered send).
+    pub(crate) fn deliver(&self, dst: usize, msg: Message) {
+        let slot = &self.mail[dst];
+        slot.mailbox.lock().queue.push_back(msg);
+        slot.cond.notify_all();
+    }
+
+    /// Blocking matched receive for rank `me` from `src` with `tag`.
+    pub(crate) fn receive(&self, me: usize, src: usize, tag: u32) -> Message {
+        let slot = &self.mail[me];
+        let mut mb = slot.mailbox.lock();
+        loop {
+            if let Some(pos) = mb.queue.iter().position(|m| m.src == src && m.tag == tag) {
+                return mb.queue.remove(pos).expect("position just found");
+            }
+            slot.cond.wait(&mut mb);
+        }
+    }
+
+    /// Non-blocking probe: take a matching message if present.
+    pub(crate) fn try_receive(&self, me: usize, src: usize, tag: u32) -> Option<Message> {
+        let slot = &self.mail[me];
+        let mut mb = slot.mailbox.lock();
+        mb.queue
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+            .map(|pos| mb.queue.remove(pos).expect("position just found"))
+    }
+
+    /// Number of messages pending in rank `me`'s mailbox.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn pending(&self, me: usize) -> usize {
+        self.mail[me].mailbox.lock().queue.len()
+    }
+
+    /// Generic collective rendezvous.
+    ///
+    /// Every rank calls this with the same `seq` (a per-rank monotonically
+    /// increasing collective counter — SPMD code issues collectives in the
+    /// same order on all ranks). Each rank deposits its virtual time and an
+    /// optional contribution; the last arriver runs `combine` over all
+    /// contributions to produce a per-rank result vector. Returns
+    /// `(max_vt, this rank's result)`.
+    pub(crate) fn rendezvous(
+        &self,
+        me: usize,
+        seq: u64,
+        vt: f64,
+        contribution: Option<Payload>,
+        combine: impl FnOnce(&mut Vec<Option<Payload>>) -> Vec<Payload>,
+    ) -> (f64, Payload) {
+        self.rendezvous_post(me, seq, vt, contribution, combine);
+        self.rendezvous_await(me, seq)
+    }
+
+    /// Non-blocking half of [`Self::rendezvous`]: deposit this rank's
+    /// contribution. The last depositor computes the result; no waiting.
+    pub(crate) fn rendezvous_post(
+        &self,
+        me: usize,
+        seq: u64,
+        vt: f64,
+        contribution: Option<Payload>,
+        combine: impl FnOnce(&mut Vec<Option<Payload>>) -> Vec<Payload>,
+    ) {
+        let mut slots = self.coll.slots.lock();
+        let slot = slots.entry(seq).or_insert_with(|| CollSlot::new(self.size));
+        slot.arrived += 1;
+        slot.max_vt = slot.max_vt.max(vt);
+        slot.contrib[me] = contribution;
+        if slot.arrived == self.size {
+            let results = combine(&mut slot.contrib);
+            debug_assert_eq!(results.len(), self.size);
+            slot.result = Some(Arc::new(results));
+            self.coll.cond.notify_all();
+        }
+    }
+
+    /// Blocking half: wait for the result of a posted rendezvous.
+    pub(crate) fn rendezvous_await(&self, me: usize, seq: u64) -> (f64, Payload) {
+        let mut slots = self.coll.slots.lock();
+        while slots.get(&seq).is_some_and(|s| s.result.is_none()) {
+            self.coll.cond.wait(&mut slots);
+        }
+        let slot = slots.get_mut(&seq).expect("slot exists until last departer");
+        let max_vt = slot.max_vt;
+        let result = slot.result.as_ref().expect("result set before wake")[me].clone();
+        slot.departed += 1;
+        if slot.departed == self.size {
+            slots.remove(&seq);
+        }
+        (max_vt, result)
+    }
+}
+
+/// Entry point: spawns `size` thread-ranks running the same SPMD closure.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `size` ranks with the default cost model; returns each
+    /// rank's result, ordered by rank.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`, or propagates a panic from any rank.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        Self::run_with(CostModel::default(), size, f)
+    }
+
+    /// Run `f` on `size` ranks with an explicit [`CostModel`].
+    pub fn run_with<T, F>(model: CostModel, size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        assert!(size > 0, "a universe needs at least one rank");
+        let world = World::new(size, model);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let world = Arc::clone(&world);
+                    scope.spawn(move || {
+                        let mut comm = Comm::new(rank, world);
+                        f(&mut comm)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = Universe::run(1, |comm| comm.rank() + comm.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn results_ordered_by_rank() {
+        let out = Universe::run(7, |comm| comm.rank());
+        assert_eq!(out, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Universe::run(0, |_| ());
+    }
+
+    #[test]
+    fn mailbox_fifo_per_src_tag() {
+        let world = World::new(2, CostModel::default());
+        for i in 0..3 {
+            world.deliver(1, Message { src: 0, tag: 5, payload: Payload::from_u64(vec![i]), arrival_vt: 0.0 });
+        }
+        for i in 0..3 {
+            let m = world.receive(1, 0, 5);
+            assert_eq!(m.payload, Payload::from_u64(vec![i]));
+        }
+    }
+
+    #[test]
+    fn try_receive_misses_then_hits() {
+        let world = World::new(2, CostModel::default());
+        assert!(world.try_receive(0, 1, 9).is_none());
+        world.deliver(0, Message { src: 1, tag: 9, payload: Payload::from_f64(vec![]), arrival_vt: 0.0 });
+        assert!(world.try_receive(0, 1, 9).is_some());
+        assert_eq!(world.pending(0), 0);
+    }
+
+    #[test]
+    fn receive_matches_tag_not_order() {
+        let world = World::new(2, CostModel::default());
+        world.deliver(0, Message { src: 1, tag: 1, payload: Payload::from_u64(vec![1]), arrival_vt: 0.0 });
+        world.deliver(0, Message { src: 1, tag: 2, payload: Payload::from_u64(vec![2]), arrival_vt: 0.0 });
+        let m = world.receive(0, 1, 2);
+        assert_eq!(m.payload, Payload::from_u64(vec![2]));
+        let m = world.receive(0, 1, 1);
+        assert_eq!(m.payload, Payload::from_u64(vec![1]));
+    }
+}

@@ -1,0 +1,236 @@
+//! The Dirichlet wrapper: identical boundary-condition treatment around
+//! every SPMV method.
+//!
+//! The wrapped operator is `K̂ = [K_ii 0; 0 I]` (constrained rows/columns
+//! replaced by identity), with the eliminated coupling moved to the
+//! right-hand side: `f̂_i = f_i − K_ib ū`, `f̂_b = ū`. Masking is local:
+//! constrained dofs are geometric, so every rank masks its own owned dofs
+//! and the ghost values exchanged inside the raw operator are consistent
+//! automatically.
+
+use hymv_comm::Comm;
+use hymv_la::LinOp;
+
+use crate::maps::HymvMaps;
+
+/// `K̂` — a raw operator with Dirichlet rows/columns replaced by identity.
+pub struct DirichletOp<O> {
+    inner: O,
+    /// Constrained owned dofs: `(local owned dof index, prescribed value)`.
+    constrained: Vec<(u32, f64)>,
+    /// Scratch for the masked input vector.
+    xm: Vec<f64>,
+}
+
+impl<O: LinOp> DirichletOp<O> {
+    /// Wrap `inner`; `constrained` lists this rank's owned constrained
+    /// dofs with their prescribed values.
+    pub fn new(inner: O, constrained: Vec<(u32, f64)>) -> Self {
+        let n = inner.n_owned();
+        for &(d, _) in &constrained {
+            assert!((d as usize) < n, "constrained dof {d} out of range {n}");
+        }
+        let xm = vec![0.0; n];
+        DirichletOp { inner, constrained, xm }
+    }
+
+    /// The wrapped operator.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped operator (adaptive updates).
+    pub fn inner_mut(&mut self) -> &mut O {
+        &mut self.inner
+    }
+
+    /// The constrained dof list.
+    pub fn constrained(&self) -> &[(u32, f64)] {
+        &self.constrained
+    }
+
+    /// Build the modified right-hand side: `f̂ = f − K x_b` on free dofs,
+    /// `f̂ = ū` on constrained dofs. `raw_f` is the unconstrained load
+    /// vector (owned dofs). Collective (applies the raw operator once).
+    pub fn build_rhs(&mut self, comm: &mut Comm, raw_f: &[f64]) -> Vec<f64> {
+        let n = self.inner.n_owned();
+        assert_eq!(raw_f.len(), n);
+        // x_b: prescribed values at constrained dofs, zero elsewhere.
+        let mut xb = vec![0.0; n];
+        for &(d, v) in &self.constrained {
+            xb[d as usize] = v;
+        }
+        let mut kxb = vec![0.0; n];
+        self.inner.apply(comm, &xb, &mut kxb);
+        let mut rhs: Vec<f64> = raw_f.iter().zip(&kxb).map(|(f, k)| f - k).collect();
+        for &(d, v) in &self.constrained {
+            rhs[d as usize] = v;
+        }
+        rhs
+    }
+
+    /// Post-process an operator diagonal for use in preconditioners:
+    /// constrained dofs get 1 (the identity rows of `K̂`).
+    pub fn mask_diagonal(&self, diag: &mut [f64]) {
+        for &(d, _) in &self.constrained {
+            diag[d as usize] = 1.0;
+        }
+    }
+}
+
+impl<O: LinOp> LinOp for DirichletOp<O> {
+    fn n_owned(&self) -> usize {
+        self.inner.n_owned()
+    }
+
+    fn apply(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+        // Mask constrained inputs…
+        self.xm.copy_from_slice(x);
+        for &(d, _) in &self.constrained {
+            self.xm[d as usize] = 0.0;
+        }
+        self.inner.apply(comm, &self.xm, y);
+        // …and overwrite constrained outputs with the identity action.
+        for &(d, _) in &self.constrained {
+            y[d as usize] = x[d as usize];
+        }
+    }
+
+    fn flops_per_apply(&self) -> u64 {
+        self.inner.flops_per_apply()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.inner.storage_bytes()
+    }
+}
+
+/// Convert a global constrained-dof list (from
+/// `hymv_fem::dirichlet::constrained_dofs`) to this rank's owned local
+/// indices.
+pub fn owned_constraints(
+    maps: &HymvMaps,
+    ndof: usize,
+    global: &[(u64, f64)],
+) -> Vec<(u32, f64)> {
+    let lo = maps.node_range.0 * ndof as u64;
+    let hi = maps.node_range.1 * ndof as u64;
+    global
+        .iter()
+        .filter(|&&(d, _)| d >= lo && d < hi)
+        .map(|&(d, v)| ((d - lo) as u32, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hymv_comm::Universe;
+    use hymv_la::solver::cg;
+    use hymv_la::Identity;
+
+    /// A toy serial SPD operator.
+    struct ToyOp {
+        a: Vec<f64>, // column-major n×n
+        n: usize,
+    }
+
+    impl LinOp for ToyOp {
+        fn n_owned(&self) -> usize {
+            self.n
+        }
+        fn apply(&mut self, _comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+            y.fill(0.0);
+            for j in 0..self.n {
+                for i in 0..self.n {
+                    y[i] += self.a[j * self.n + i] * x[j];
+                }
+            }
+        }
+    }
+
+    fn laplacian_1d(n: usize) -> Vec<f64> {
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 2.0;
+            if i > 0 {
+                a[(i - 1) * n + i] = -1.0;
+                a[i * n + (i - 1)] = -1.0;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn wrapped_apply_is_identity_on_constrained() {
+        let n = 6;
+        let out = Universe::run(1, |comm| {
+            let op = ToyOp { a: laplacian_1d(n), n };
+            let mut w = DirichletOp::new(op, vec![(0, 5.0), (5, -1.0)]);
+            let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut y = vec![0.0; n];
+            w.apply(comm, &x, &mut y);
+            y
+        });
+        let y = &out[0];
+        assert_eq!(y[0], 0.0); // identity: returns x[0] = 0
+        assert_eq!(y[5], 5.0); // identity: returns x[5] = 5
+        // Interior row 1 of the masked operator: 2·x1 − x2 (x0 masked out).
+        assert!((y[1] - (2.0 * 1.0 - 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_1d_poisson_with_nonzero_bc() {
+        // −u'' = 0 on a 1D chain with u(0)=1, u(L)=3 → linear profile.
+        let n = 9;
+        let out = Universe::run(1, |comm| {
+            let op = ToyOp { a: laplacian_1d(n), n };
+            let mut w = DirichletOp::new(op, vec![(0, 1.0), (8, 3.0)]);
+            let rhs = w.build_rhs(comm, &vec![0.0; n]);
+            let mut x = vec![0.0; n];
+            let res = cg(comm, &mut w, &mut Identity, &rhs, &mut x, 1e-12, 200);
+            assert!(res.converged);
+            x
+        });
+        let x = &out[0];
+        for (i, &v) in x.iter().enumerate() {
+            let want = 1.0 + 2.0 * i as f64 / 8.0;
+            assert!((v - want).abs() < 1e-8, "node {i}: {v} vs {want}");
+        }
+    }
+
+    #[test]
+    fn mask_diagonal_sets_ones() {
+        let op = ToyOp { a: laplacian_1d(3), n: 3 };
+        let w = DirichletOp::new(op, vec![(1, 0.0)]);
+        let mut d = vec![2.0, 2.0, 2.0];
+        w.mask_diagonal(&mut d);
+        assert_eq!(d, vec![2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn owned_constraints_filters_and_localizes() {
+        use hymv_mesh::{ElementType, MeshPartition};
+        let part = MeshPartition {
+            rank: 1,
+            elem_type: ElementType::Tet4,
+            e2g: vec![0, 5, 6, 9],
+            node_range: (5, 7),
+            elem_coords: vec![[0.0; 3]; 4],
+            elem_global_ids: vec![0],
+            n_global_nodes: 10,
+        };
+        let maps = HymvMaps::build(&part);
+        // ndof = 2: owned dof range is [10, 14).
+        let global = vec![(0u64, 1.0), (10, 2.0), (13, 3.0), (18, 4.0)];
+        let local = owned_constraints(&maps, 2, &global);
+        assert_eq!(local, vec![(0, 2.0), (3, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_constraint_rejected() {
+        let op = ToyOp { a: laplacian_1d(3), n: 3 };
+        let _ = DirichletOp::new(op, vec![(7, 0.0)]);
+    }
+}

@@ -1,0 +1,324 @@
+//! Shared-memory ("OpenMP") parallelization of the local elemental loop
+//! (paper §IV-E).
+//!
+//! The EMV loop accumulates element vectors into a shared DA, so naïve
+//! parallelization races on shared nodes. Two standard strategies are
+//! provided (and compared by the `ablation_smp` bench):
+//!
+//! * **Element coloring** — elements are greedily colored so that no two
+//!   elements of a color share a node; within a color the loop is
+//!   embarrassingly parallel and writes directly to the shared DA.
+//! * **Chunk-private accumulation** — each worker accumulates into a
+//!   private buffer; buffers are summed afterwards. No coloring setup, but
+//!   `O(threads × n_total)` extra memory traffic.
+//!
+//! On this reproduction host (one physical core) rayon degenerates to one
+//! worker; the virtual-time ledger models the multi-thread speedup (see
+//! `hymv_comm::CostModel::smp_speedup`). The code itself is correct,
+//! data-race-free parallel Rust on any host.
+
+use rayon::prelude::*;
+
+use hymv_la::dense::emv;
+use hymv_la::ElementMatrixStore;
+
+use crate::da::DistArray;
+use crate::maps::HymvMaps;
+
+std::thread_local! {
+    /// A per-rank rayon pool whose only worker is the rank's own thread
+    /// (`use_current_thread`). Two reasons: the rank's CPU-time clock then
+    /// sees all the elemental work (the virtual-time ledger divides it by
+    /// the modeled thread count), and concurrent thread-ranks don't
+    /// serialize through the shared global pool.
+    static RANK_POOL: rayon::ThreadPool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .use_current_thread()
+        .build()
+        .expect("per-rank rayon pool");
+}
+
+/// Run a rayon section on the rank-local pool.
+fn on_rank_pool<R: Send>(f: impl FnOnce() -> R + Send) -> R {
+    RANK_POOL.with(|p| p.install(f))
+}
+
+/// How the local elemental loop runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelMode {
+    /// One thread (the paper's pure-MPI configuration).
+    Serial,
+    /// Rayon over color classes with direct shared writes.
+    Colored {
+        /// Modeled thread count (OpenMP threads per MPI rank).
+        threads: usize,
+    },
+    /// Rayon with per-worker private accumulation buffers.
+    ChunkPrivate {
+        /// Modeled thread count.
+        threads: usize,
+    },
+}
+
+impl ParallelMode {
+    /// The modeled thread count (1 for serial).
+    pub fn threads(&self) -> usize {
+        match *self {
+            ParallelMode::Serial => 1,
+            ParallelMode::Colored { threads } | ParallelMode::ChunkPrivate { threads } => threads,
+        }
+    }
+}
+
+/// Greedy element coloring over a subset of elements: no two elements of a
+/// color share a local node. Returns color classes (each a list of element
+/// ids from `subset`).
+pub fn color_elements(maps: &HymvMaps, subset: &[u32]) -> Vec<Vec<u32>> {
+    // For each node, a bitmask of colors already used by incident elements
+    // (64 colors is far beyond any mesh's node valence here).
+    let mut node_mask = vec![0u64; maps.n_total()];
+    let mut classes: Vec<Vec<u32>> = Vec::new();
+    for &e in subset {
+        let nodes = maps.elem_local_nodes(e as usize);
+        let mut forbidden = 0u64;
+        for &l in nodes {
+            forbidden |= node_mask[l as usize];
+        }
+        let color = (!forbidden).trailing_zeros() as usize;
+        assert!(color < 64, "element valence exceeded 64 colors");
+        if color == classes.len() {
+            classes.push(Vec::new());
+        }
+        classes[color].push(e);
+        for &l in nodes {
+            node_mask[l as usize] |= 1 << color;
+        }
+    }
+    classes
+}
+
+/// Serial EMV loop over a subset: `v(E2L[e]) += Ke · u(E2L[e])`.
+pub fn emv_loop_serial(
+    maps: &HymvMaps,
+    store: &ElementMatrixStore,
+    u: &DistArray,
+    v: &mut DistArray,
+    subset: &[u32],
+    ue: &mut [f64],
+    ve: &mut [f64],
+) {
+    for &e in subset {
+        let nodes = maps.elem_local_nodes(e as usize);
+        u.extract_elem(nodes, ue);
+        emv(store.ke(e as usize), ue, ve);
+        v.accumulate_elem(nodes, ve);
+    }
+}
+
+/// A `*mut f64` wrapper that lets color-disjoint writers share a slice.
+struct RacyTarget {
+    ptr: *mut f64,
+}
+
+// SAFETY: writers touch disjoint index sets (guaranteed by coloring), so
+// concurrent access through the raw pointer is race-free.
+unsafe impl Sync for RacyTarget {}
+// SAFETY: the pointer's referent is owned by the caller for the whole call.
+unsafe impl Send for RacyTarget {}
+
+impl RacyTarget {
+    /// Accumulate into slot `idx`.
+    ///
+    /// # Safety
+    /// Callers must guarantee no concurrent access to the same `idx`
+    /// (here: element coloring).
+    #[inline]
+    unsafe fn add(&self, idx: usize, val: f64) {
+        *self.ptr.add(idx) += val;
+    }
+}
+
+/// Colored parallel EMV loop: classes run sequentially; elements within a
+/// class run in parallel, writing directly to the shared DA (sound because
+/// same-color elements share no node).
+pub fn emv_loop_colored(
+    maps: &HymvMaps,
+    store: &ElementMatrixStore,
+    u: &DistArray,
+    v: &mut DistArray,
+    classes: &[Vec<u32>],
+) {
+    let nd = store.nd();
+    let ndof = v.ndof;
+    let target = RacyTarget { ptr: v.data.as_mut_ptr() };
+    on_rank_pool(|| {
+    for class in classes {
+        class.par_iter().for_each_init(
+            || (vec![0.0; nd], vec![0.0; nd]),
+            |(ue, ve), &e| {
+                let nodes = maps.elem_local_nodes(e as usize);
+                u.extract_elem(nodes, ue);
+                emv(store.ke(e as usize), ue, ve);
+                for (m, &l) in nodes.iter().enumerate() {
+                    let base = l as usize * ndof;
+                    for c in 0..ndof {
+                        // SAFETY: `l` sets are disjoint across the elements
+                        // of one color class; classes are sequential.
+                        unsafe {
+                            target.add(base + c, ve[m * ndof + c]);
+                        }
+                    }
+                }
+            },
+        );
+    }
+    });
+}
+
+/// Chunk-private parallel EMV loop: workers accumulate into private
+/// buffers, reduced by summation at the end.
+pub fn emv_loop_chunk_private(
+    maps: &HymvMaps,
+    store: &ElementMatrixStore,
+    u: &DistArray,
+    v: &mut DistArray,
+    subset: &[u32],
+) {
+    let nd = store.nd();
+    let len = v.data.len();
+    let partials: Vec<Vec<f64>> = on_rank_pool(|| {
+    let chunk = subset.len().div_ceil(rayon::current_num_threads()).max(1);
+    subset
+        .par_chunks(chunk)
+        .map(|elems| {
+            let mut buf = vec![0.0; len];
+            let mut ue = vec![0.0; nd];
+            let mut ve = vec![0.0; nd];
+            let ndof = u.ndof;
+            for &e in elems {
+                let nodes = maps.elem_local_nodes(e as usize);
+                u.extract_elem(nodes, &mut ue);
+                emv(store.ke(e as usize), &ue, &mut ve);
+                for (m, &l) in nodes.iter().enumerate() {
+                    let base = l as usize * ndof;
+                    for c in 0..ndof {
+                        buf[base + c] += ve[m * ndof + c];
+                    }
+                }
+            }
+            buf
+        })
+        .collect()
+    });
+    for buf in partials {
+        for (dst, src) in v.data.iter_mut().zip(&buf) {
+            *dst += src;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hymv_mesh::partition::{partition_mesh, PartitionMethod};
+    use hymv_mesh::{ElementType, StructuredHexMesh};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(n: usize) -> (HymvMaps, ElementMatrixStore, DistArray) {
+        let mesh = StructuredHexMesh::unit(n, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let maps = HymvMaps::build(&pm.parts[0]);
+        let mut store = ElementMatrixStore::new(8, maps.n_elems);
+        let mut rng = StdRng::seed_from_u64(5);
+        for e in 0..maps.n_elems {
+            for v in store.ke_mut(e) {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+        }
+        let u = {
+            let mut u = DistArray::new(&maps, 1);
+            for v in u.data.iter_mut() {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            u
+        };
+        (maps, store, u)
+    }
+
+    #[test]
+    fn coloring_is_proper_and_covers() {
+        let (maps, _, _) = setup(4);
+        let all: Vec<u32> = (0..maps.n_elems as u32).collect();
+        let classes = color_elements(&maps, &all);
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        assert_eq!(total, maps.n_elems);
+        // Structured hex mesh needs exactly 8 colors.
+        assert_eq!(classes.len(), 8);
+        for class in &classes {
+            let mut seen = std::collections::HashSet::new();
+            for &e in class {
+                for &l in maps.elem_local_nodes(e as usize) {
+                    assert!(seen.insert(l), "color class shares node {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn colored_matches_serial() {
+        let (maps, store, u) = setup(4);
+        let all: Vec<u32> = (0..maps.n_elems as u32).collect();
+
+        let mut v_serial = DistArray::new(&maps, 1);
+        let mut ue = vec![0.0; 8];
+        let mut ve = vec![0.0; 8];
+        emv_loop_serial(&maps, &store, &u, &mut v_serial, &all, &mut ue, &mut ve);
+
+        let classes = color_elements(&maps, &all);
+        let mut v_col = DistArray::new(&maps, 1);
+        emv_loop_colored(&maps, &store, &u, &mut v_col, &classes);
+
+        for (a, b) in v_serial.data.iter().zip(&v_col.data) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chunk_private_matches_serial() {
+        let (maps, store, u) = setup(3);
+        let all: Vec<u32> = (0..maps.n_elems as u32).collect();
+
+        let mut v_serial = DistArray::new(&maps, 1);
+        let mut ue = vec![0.0; 8];
+        let mut ve = vec![0.0; 8];
+        emv_loop_serial(&maps, &store, &u, &mut v_serial, &all, &mut ue, &mut ve);
+
+        let mut v_cp = DistArray::new(&maps, 1);
+        emv_loop_chunk_private(&maps, &store, &u, &mut v_cp, &all);
+
+        for (a, b) in v_serial.data.iter().zip(&v_cp.data) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_subset_is_noop() {
+        let (maps, store, u) = setup(2);
+        let mut v = DistArray::new(&maps, 1);
+        emv_loop_serial(&maps, &store, &u, &mut v, &[], &mut [0.0; 8], &mut [0.0; 8]);
+        assert!(v.data.iter().all(|&x| x == 0.0));
+        let classes = color_elements(&maps, &[]);
+        assert!(classes.is_empty());
+        emv_loop_colored(&maps, &store, &u, &mut v, &classes);
+        emv_loop_chunk_private(&maps, &store, &u, &mut v, &[]);
+        assert!(v.data.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mode_thread_counts() {
+        assert_eq!(ParallelMode::Serial.threads(), 1);
+        assert_eq!(ParallelMode::Colored { threads: 14 }.threads(), 14);
+        assert_eq!(ParallelMode::ChunkPrivate { threads: 4 }.threads(), 4);
+    }
+}

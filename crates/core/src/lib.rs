@@ -1,0 +1,52 @@
+//! # hymv-core — the adaptive-matrix SPMV (HYMV)
+//!
+//! This crate is the paper's primary contribution: a hybrid SPMV for FEM
+//! systems that stores element matrices locally (computed once at setup,
+//! updated selectively on refinement/enrichment) and evaluates the global
+//! operator element-by-element with communication/computation overlap —
+//! "global sparse linear algebra → local dense linear algebra".
+//!
+//! The pieces, following the paper's §IV:
+//!
+//! * [`maps`] — the `E2L` map (Algorithm 1), pre/post ghost identification,
+//!   and the independent/dependent element split;
+//! * [`exchange`] — the communication maps `LNSM` and `GNGM` and the
+//!   non-blocking ghost scatter / ghost-accumulate they drive;
+//! * [`da`] — the distributed array (`[pre-ghost | owned | post-ghost]`
+//!   layout of Fig 2);
+//! * [`operator`] — [`HymvOperator`]: setup (element-matrix computation +
+//!   local copy — **no global assembly**), the SPMV of Algorithm 2, and the
+//!   adaptive per-element update path;
+//! * [`hybrid`] — shared-memory ("OpenMP") parallelization of the local
+//!   elemental loop: element coloring or chunk-private accumulation;
+//! * [`matfree`] — the matrix-free baseline (Algorithm 4: recompute `Ke`
+//!   inside every SPMV);
+//! * [`assembled`] — the matrix-assembled baseline (PETSc-style
+//!   triple-routed global assembly into a distributed CSR);
+//! * [`dirichlet_op`] — the Dirichlet wrapper applied identically around
+//!   all three operators;
+//! * [`assemble`] — right-hand-side assembly, diagonal extraction (Jacobi),
+//!   owned-block extraction (block-Jacobi), nodal coordinate recovery;
+//! * [`system`] — a one-call driver (`FemSystem`) used by the examples,
+//!   tests, and every benchmark binary.
+
+pub mod assemble;
+pub mod assembled;
+pub mod da;
+pub mod dirichlet_op;
+pub mod exchange;
+pub mod hybrid;
+pub mod maps;
+pub mod matfree;
+pub mod operator;
+pub mod system;
+
+pub use assembled::AssembledOperator;
+pub use da::DistArray;
+pub use dirichlet_op::DirichletOp;
+pub use exchange::GhostExchange;
+pub use hybrid::ParallelMode;
+pub use maps::HymvMaps;
+pub use matfree::MatFreeOperator;
+pub use operator::{HymvOperator, SetupTimings};
+pub use system::{FemSystem, Method};

@@ -1,0 +1,294 @@
+//! The `E2L` map (paper Algorithm 1) and element classification.
+//!
+//! Given the inputs HYMV requires from *any* mesh infrastructure —
+//! `|ωi|`, the `E2G` map, and the owned node range `[N_begin, N_end)` —
+//! this module computes, purely locally:
+//!
+//! * the pre-ghost (`Gpre`) and post-ghost (`Gpost`) node lists,
+//! * the `E2L` map into the distributed-array layout
+//!   `[pre-ghost | owned | post-ghost]`,
+//! * the independent (`I(ωi)`, touching only owned nodes) and dependent
+//!   (`D(ωi)`) element sets used to overlap communication with
+//!   computation (Fig 2).
+
+use hymv_mesh::MeshPartition;
+
+/// Per-rank HYMV maps. Node-granular: dof indices are derived as
+/// `local_node * ndof + component`.
+#[derive(Debug, Clone)]
+pub struct HymvMaps {
+    /// Nodes per element.
+    pub npe: usize,
+    /// Local element count `|ωi|`.
+    pub n_elems: usize,
+    /// Owned global node range `[begin, end)`.
+    pub node_range: (u64, u64),
+    /// Total global node count.
+    pub n_global_nodes: u64,
+    /// Sorted global ids of pre-ghost nodes (owned by lower ranks).
+    pub gpre: Vec<u64>,
+    /// Sorted global ids of post-ghost nodes (owned by higher ranks).
+    pub gpost: Vec<u64>,
+    /// Flat `E2L`: `n_elems × npe` local node indices into the DA layout.
+    pub e2l: Vec<u32>,
+    /// Independent elements: all nodes owned.
+    pub independent: Vec<u32>,
+    /// Dependent elements: at least one ghost node.
+    pub dependent: Vec<u32>,
+}
+
+impl HymvMaps {
+    /// Algorithm 1: build the `E2L` map and ghost lists from a partition.
+    pub fn build(part: &MeshPartition) -> Self {
+        let npe = part.elem_type.nodes_per_elem();
+        let n_elems = part.n_elems();
+        let (begin, end) = part.node_range;
+
+        // ComputeGhost(E2G, N_begin, N_end): collect out-of-range ids.
+        let mut gpre: Vec<u64> = part.e2g.iter().copied().filter(|&g| g < begin).collect();
+        gpre.sort_unstable();
+        gpre.dedup();
+        let mut gpost: Vec<u64> = part.e2g.iter().copied().filter(|&g| g >= end).collect();
+        gpost.sort_unstable();
+        gpost.dedup();
+
+        let n_pre = gpre.len();
+        let n_owned = (end - begin) as usize;
+
+        // E2L: offset/reorder of E2G to the DA layout.
+        let mut e2l = Vec::with_capacity(part.e2g.len());
+        for &g in &part.e2g {
+            let l = if g < begin {
+                gpre.binary_search(&g).expect("pre-ghost collected above")
+            } else if g >= end {
+                n_pre + n_owned + gpost.binary_search(&g).expect("post-ghost collected above")
+            } else {
+                n_pre + (g - begin) as usize
+            };
+            e2l.push(l as u32);
+        }
+
+        // Independent/dependent split.
+        let mut independent = Vec::new();
+        let mut dependent = Vec::new();
+        for e in 0..n_elems {
+            let nodes = &e2l[e * npe..(e + 1) * npe];
+            let all_owned =
+                nodes.iter().all(|&l| (l as usize) >= n_pre && (l as usize) < n_pre + n_owned);
+            if all_owned {
+                independent.push(e as u32);
+            } else {
+                dependent.push(e as u32);
+            }
+        }
+
+        HymvMaps {
+            npe,
+            n_elems,
+            node_range: (begin, end),
+            n_global_nodes: part.n_global_nodes,
+            gpre,
+            gpost,
+            e2l,
+            independent,
+            dependent,
+        }
+    }
+
+    /// Owned node count `N_local`.
+    pub fn n_owned(&self) -> usize {
+        (self.node_range.1 - self.node_range.0) as usize
+    }
+
+    /// Total local nodes `N_total` (pre + owned + post).
+    pub fn n_total(&self) -> usize {
+        self.gpre.len() + self.n_owned() + self.gpost.len()
+    }
+
+    /// Local node indices of element `e`.
+    pub fn elem_local_nodes(&self, e: usize) -> &[u32] {
+        &self.e2l[e * self.npe..(e + 1) * self.npe]
+    }
+
+    /// Local DA index of an owned global node.
+    pub fn owned_to_local(&self, g: u64) -> usize {
+        debug_assert!(g >= self.node_range.0 && g < self.node_range.1);
+        self.gpre.len() + (g - self.node_range.0) as usize
+    }
+
+    /// Local DA index of *any* global node this rank references (owned or
+    /// ghost); `None` if the node is not referenced here.
+    pub fn global_to_local(&self, g: u64) -> Option<usize> {
+        if g >= self.node_range.0 && g < self.node_range.1 {
+            Some(self.owned_to_local(g))
+        } else if g < self.node_range.0 {
+            self.gpre.binary_search(&g).ok()
+        } else {
+            self.gpost
+                .binary_search(&g)
+                .ok()
+                .map(|i| self.gpre.len() + self.n_owned() + i)
+        }
+    }
+
+    /// The global id of a local DA node index (inverse of
+    /// [`Self::global_to_local`]).
+    pub fn local_to_global(&self, l: usize) -> u64 {
+        let n_pre = self.gpre.len();
+        let n_owned = self.n_owned();
+        if l < n_pre {
+            self.gpre[l]
+        } else if l < n_pre + n_owned {
+            self.node_range.0 + (l - n_pre) as u64
+        } else {
+            self.gpost[l - n_pre - n_owned]
+        }
+    }
+
+    /// Validate the map invariants (tests and debug builds).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.e2l.len() != self.n_elems * self.npe {
+            return Err("e2l length mismatch".into());
+        }
+        let nt = self.n_total() as u32;
+        if let Some(&bad) = self.e2l.iter().find(|&&l| l >= nt) {
+            return Err(format!("e2l index {bad} >= n_total {nt}"));
+        }
+        if self.independent.len() + self.dependent.len() != self.n_elems {
+            return Err("independent/dependent sets do not partition elements".into());
+        }
+        if !self.gpre.windows(2).all(|w| w[0] < w[1]) {
+            return Err("gpre not strictly sorted".into());
+        }
+        if !self.gpost.windows(2).all(|w| w[0] < w[1]) {
+            return Err("gpost not strictly sorted".into());
+        }
+        if self.gpre.iter().any(|&g| g >= self.node_range.0) {
+            return Err("gpre contains non-pre node".into());
+        }
+        if self.gpost.iter().any(|&g| g < self.node_range.1) {
+            return Err("gpost contains non-post node".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hymv_mesh::partition::{partition_mesh, PartitionMethod};
+    use hymv_mesh::{ElementType, MeshPartition, StructuredHexMesh};
+
+    /// The paper's Fig 1 example, partition P2: 2D mesh flattened into our
+    /// 3D structures (a strip of "hex" elements is overkill; instead we
+    /// reproduce the *numbers*: Nbegin=11, Nend=14 inclusive → [11,15),
+    /// Gpre={0,3,6}, Gpost=∅, element 0 has E2G=[0,3,12,11] and
+    /// E2L=[0,1,4,3]).
+    #[test]
+    fn paper_fig1_p2_example() {
+        let part = MeshPartition {
+            rank: 2,
+            elem_type: ElementType::Tet4, // 4-node elements, like Fig 1's quads
+            e2g: vec![0, 3, 12, 11, 3, 6, 13, 12, 6, 14, 13, 6], // 3 elements
+            node_range: (11, 15),
+            elem_coords: vec![[0.0; 3]; 12],
+            elem_global_ids: vec![0, 1, 2],
+            n_global_nodes: 17,
+        };
+        let maps = HymvMaps::build(&part);
+        assert_eq!(maps.gpre, vec![0, 3, 6]);
+        assert!(maps.gpost.is_empty());
+        assert_eq!(maps.n_owned(), 4);
+        assert_eq!(maps.n_total(), 7);
+        // Element 0: E2G [0,3,12,11] → E2L [0,1,4,3] (the paper's numbers).
+        assert_eq!(maps.elem_local_nodes(0), &[0, 1, 4, 3]);
+        assert!(maps.validate().is_ok());
+    }
+
+    #[test]
+    fn all_local_single_rank() {
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let maps = HymvMaps::build(&pm.parts[0]);
+        assert!(maps.gpre.is_empty() && maps.gpost.is_empty());
+        assert_eq!(maps.independent.len(), 27);
+        assert!(maps.dependent.is_empty());
+        assert_eq!(maps.n_total(), 64);
+        assert!(maps.validate().is_ok());
+    }
+
+    #[test]
+    fn slab_partition_ghost_structure() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 4, PartitionMethod::Slabs);
+        for (r, part) in pm.parts.iter().enumerate() {
+            let maps = HymvMaps::build(part);
+            assert!(maps.validate().is_ok(), "rank {r}");
+            // First rank has no pre-ghosts; last none post (slab ownership:
+            // shared layer is owned by the lower rank).
+            if r == 0 {
+                assert!(maps.gpre.is_empty());
+            } else {
+                assert!(!maps.gpre.is_empty(), "rank {r} must see the layer below");
+            }
+            assert!(maps.gpost.is_empty(), "slab sharing goes to lower ranks only");
+            // Dependent elements exist on every rank except the first when
+            // p > 1 (rank 0's elements only reference owned nodes because it
+            // owns its top shared layer).
+            if r > 0 {
+                assert!(!maps.dependent.is_empty(), "rank {r}");
+            }
+            // Independent + dependent = all.
+            assert_eq!(maps.independent.len() + maps.dependent.len(), part.n_elems());
+        }
+    }
+
+    #[test]
+    fn e2l_round_trips_to_global() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex20).build();
+        let pm = partition_mesh(&mesh, 3, PartitionMethod::Rcb);
+        for part in &pm.parts {
+            let maps = HymvMaps::build(part);
+            for e in 0..part.n_elems() {
+                let locals = maps.elem_local_nodes(e);
+                let globals = part.elem_nodes(e);
+                for (l, g) in locals.iter().zip(globals) {
+                    assert_eq!(maps.local_to_global(*l as usize), *g);
+                    assert_eq!(maps.global_to_local(*g), Some(*l as usize));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn independent_elements_touch_no_ghost() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 4, PartitionMethod::GreedyGraph);
+        for part in &pm.parts {
+            let maps = HymvMaps::build(part);
+            let n_pre = maps.gpre.len();
+            let owned = n_pre..n_pre + maps.n_owned();
+            for &e in &maps.independent {
+                for &l in maps.elem_local_nodes(e as usize) {
+                    assert!(owned.contains(&(l as usize)));
+                }
+            }
+            for &e in &maps.dependent {
+                let any_ghost = maps
+                    .elem_local_nodes(e as usize)
+                    .iter()
+                    .any(|&l| !owned.contains(&(l as usize)));
+                assert!(any_ghost);
+            }
+        }
+    }
+
+    #[test]
+    fn global_to_local_misses_unreferenced() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 4, PartitionMethod::Slabs);
+        let maps = HymvMaps::build(&pm.parts[3]);
+        // Node 0 belongs to the bottom slab, far from rank 3.
+        assert_eq!(maps.global_to_local(0), None);
+    }
+}

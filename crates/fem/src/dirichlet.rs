@@ -1,0 +1,180 @@
+//! Dirichlet constraint extraction.
+//!
+//! All three SPMV methods (HYMV, matrix-assembled, matrix-free) must apply
+//! identical boundary conditions for the comparison to be meaningful. The
+//! approach (used by the paper's PETSc MatShell integration) is operator
+//! wrapping: the raw operator `K` is replaced by
+//! `K̂ = [K_ii 0; 0 I]` with the eliminated coupling moved to the
+//! right-hand side, `f̂_i = f_i − K_ib ū`, `f̂_b = ū`. The wrapper lives in
+//! `hymv-core`; this module extracts, per rank, the constrained global
+//! dofs and their prescribed values from a geometric predicate.
+
+use std::sync::Arc;
+
+use hymv_mesh::MeshPartition;
+
+/// A geometric Dirichlet specification: given a node's coordinates, return
+/// the prescribed values of its `ndof` components, or `None` if the node is
+/// unconstrained.
+#[derive(Clone)]
+pub struct DirichletSpec {
+    predicate: Arc<dyn Fn([f64; 3]) -> Option<Vec<f64>> + Send + Sync>,
+    ndof: usize,
+}
+
+impl DirichletSpec {
+    /// Build from a predicate. The closure must return vectors of length
+    /// `ndof` (checked at extraction time).
+    pub fn new(ndof: usize, predicate: Arc<dyn Fn([f64; 3]) -> Option<Vec<f64>> + Send + Sync>) -> Self {
+        assert!(ndof > 0);
+        DirichletSpec { predicate, ndof }
+    }
+
+    /// Homogeneous Dirichlet (`u = 0`) on nodes satisfying `on_boundary`.
+    pub fn zero(ndof: usize, on_boundary: Arc<dyn Fn([f64; 3]) -> bool + Send + Sync>) -> Self {
+        Self::new(
+            ndof,
+            Arc::new(move |x| if on_boundary(x) { Some(vec![0.0; ndof]) } else { None }),
+        )
+    }
+
+    /// No constraints at all (pure Neumann / singular systems — used by
+    /// tests that only exercise the raw operator).
+    pub fn none(ndof: usize) -> Self {
+        Self::new(ndof, Arc::new(|_| None))
+    }
+
+    /// Degrees of freedom per node.
+    pub fn ndof(&self) -> usize {
+        self.ndof
+    }
+
+    /// Evaluate the predicate at a point.
+    pub fn at(&self, x: [f64; 3]) -> Option<Vec<f64>> {
+        let v = (self.predicate)(x);
+        if let Some(ref vals) = v {
+            assert_eq!(vals.len(), self.ndof, "predicate returned wrong dof count");
+        }
+        v
+    }
+}
+
+/// Extract the constrained `(global_dof, value)` pairs visible to one rank
+/// — every node referenced by a local element (owned *and* ghost), so that
+/// the operator wrapper can mask ghost dofs consistently without extra
+/// communication. Results are sorted by dof id and de-duplicated.
+pub fn constrained_dofs(part: &MeshPartition, spec: &DirichletSpec) -> Vec<(u64, f64)> {
+    let ndof = spec.ndof() as u64;
+    let mut out: Vec<(u64, f64)> = Vec::new();
+    let mut seen_nodes = std::collections::HashSet::new();
+    for e in 0..part.n_elems() {
+        let nodes = part.elem_nodes(e);
+        let coords = part.elem_node_coords(e);
+        for (local, &g) in nodes.iter().enumerate() {
+            if !seen_nodes.insert(g) {
+                continue;
+            }
+            if let Some(values) = spec.at(coords[local]) {
+                for (c, &v) in values.iter().enumerate() {
+                    out.push((g * ndof + c as u64, v));
+                }
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(d, _)| d);
+    out.dedup_by_key(|&mut (d, _)| d);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hymv_mesh::partition::{partition_mesh, PartitionMethod};
+    use hymv_mesh::{ElementType, StructuredHexMesh};
+
+    fn on_cube_boundary(x: [f64; 3]) -> bool {
+        x.iter().any(|&c| c < 1e-12 || c > 1.0 - 1e-12)
+    }
+
+    #[test]
+    fn zero_spec_marks_all_cube_faces() {
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let spec = DirichletSpec::zero(1, Arc::new(on_cube_boundary));
+        let dofs = constrained_dofs(&pm.parts[0], &spec);
+        // 4×4×4 grid: interior is 2×2×2 = 8 nodes; 64 − 8 = 56 boundary.
+        assert_eq!(dofs.len(), 56);
+        assert!(dofs.iter().all(|&(_, v)| v == 0.0));
+        // Sorted and unique.
+        assert!(dofs.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn multi_rank_union_covers_all_boundary() {
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 3, PartitionMethod::Slabs);
+        let spec = DirichletSpec::zero(1, Arc::new(on_cube_boundary));
+        let mut union = std::collections::HashSet::new();
+        for part in &pm.parts {
+            for (d, _) in constrained_dofs(part, &spec) {
+                union.insert(d);
+            }
+        }
+        assert_eq!(union.len(), 56);
+    }
+
+    #[test]
+    fn vector_valued_constraints() {
+        let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        // Prescribe u = (x, 2y, 3z) on the top face z = 1.
+        let spec = DirichletSpec::new(
+            3,
+            Arc::new(|x| {
+                if x[2] > 1.0 - 1e-12 {
+                    Some(vec![x[0], 2.0 * x[1], 3.0 * x[2]])
+                } else {
+                    None
+                }
+            }),
+        );
+        let dofs = constrained_dofs(&pm.parts[0], &spec);
+        // 3×3 top-face nodes × 3 dofs.
+        assert_eq!(dofs.len(), 27);
+        // The z-component of every constrained node is 3·1.
+        let zvals: Vec<f64> =
+            dofs.iter().filter(|&&(d, _)| d % 3 == 2).map(|&(_, v)| v).collect();
+        assert!(zvals.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn ghost_nodes_included() {
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 3, PartitionMethod::Slabs);
+        let spec = DirichletSpec::zero(1, Arc::new(on_cube_boundary));
+        // Middle rank sees boundary nodes owned by neighbours (side faces
+        // of adjacent slabs).
+        let mp = &pm.parts[1];
+        let dofs = constrained_dofs(mp, &spec);
+        let ghosts = dofs
+            .iter()
+            .filter(|&&(d, _)| d < mp.node_range.0 || d >= mp.node_range.1)
+            .count();
+        assert!(ghosts > 0, "middle slab must constrain ghost boundary nodes");
+    }
+
+    #[test]
+    fn none_spec_is_empty() {
+        let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let dofs = constrained_dofs(&pm.parts[0], &DirichletSpec::none(1));
+        assert!(dofs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dof count")]
+    fn wrong_dof_count_detected() {
+        let spec = DirichletSpec::new(3, Arc::new(|_| Some(vec![0.0])));
+        let _ = spec.at([0.0; 3]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Isoparametric mapping: Jacobians and physical gradients.
+
+/// Jacobian data at one quadrature point.
+#[derive(Debug, Clone, Copy)]
+pub struct Jacobian {
+    /// The 3×3 Jacobian `J[r][c] = ∂x_r / ∂ξ_c`.
+    pub j: [[f64; 3]; 3],
+    /// `det J` (positive for well-oriented elements).
+    pub det: f64,
+    /// `J⁻¹`.
+    pub inv: [[f64; 3]; 3],
+}
+
+/// Compute the Jacobian from nodal coordinates and reference gradients.
+///
+/// `coords` is `npe` points; `dn` is `npe × 3` node-major reference
+/// gradients (as produced by [`crate::shape::shape_gradients`]).
+///
+/// # Panics
+/// Panics if the element is degenerate or inverted (`det J ≤ 0`) — a mesh
+/// bug that must not be silently integrated over.
+pub fn jacobian(coords: &[[f64; 3]], dn: &[f64]) -> Jacobian {
+    debug_assert_eq!(dn.len(), 3 * coords.len());
+    let mut j = [[0.0f64; 3]; 3];
+    for (i, x) in coords.iter().enumerate() {
+        for r in 0..3 {
+            for c in 0..3 {
+                j[r][c] += x[r] * dn[3 * i + c];
+            }
+        }
+    }
+    let det = j[0][0] * (j[1][1] * j[2][2] - j[1][2] * j[2][1])
+        - j[0][1] * (j[1][0] * j[2][2] - j[1][2] * j[2][0])
+        + j[0][2] * (j[1][0] * j[2][1] - j[1][1] * j[2][0]);
+    assert!(det > 1e-14, "degenerate or inverted element: det J = {det}");
+    let inv_det = 1.0 / det;
+    let inv = [
+        [
+            (j[1][1] * j[2][2] - j[1][2] * j[2][1]) * inv_det,
+            (j[0][2] * j[2][1] - j[0][1] * j[2][2]) * inv_det,
+            (j[0][1] * j[1][2] - j[0][2] * j[1][1]) * inv_det,
+        ],
+        [
+            (j[1][2] * j[2][0] - j[1][0] * j[2][2]) * inv_det,
+            (j[0][0] * j[2][2] - j[0][2] * j[2][0]) * inv_det,
+            (j[0][2] * j[1][0] - j[0][0] * j[1][2]) * inv_det,
+        ],
+        [
+            (j[1][0] * j[2][1] - j[1][1] * j[2][0]) * inv_det,
+            (j[0][1] * j[2][0] - j[0][0] * j[2][1]) * inv_det,
+            (j[0][0] * j[1][1] - j[0][1] * j[1][0]) * inv_det,
+        ],
+    ];
+    Jacobian { j, det, inv }
+}
+
+/// Transform reference gradients to physical gradients:
+/// `dx[i] = J⁻ᵀ dξ[i]`. Both buffers are `npe × 3` node-major; in-place
+/// operation is not supported (distinct slices required).
+pub fn physical_gradients(jac: &Jacobian, dn_ref: &[f64], dn_phys: &mut [f64]) {
+    debug_assert_eq!(dn_ref.len(), dn_phys.len());
+    let npe = dn_ref.len() / 3;
+    for i in 0..npe {
+        for d in 0..3 {
+            // (J⁻ᵀ)[d][c] = inv[c][d]
+            dn_phys[3 * i + d] = (0..3).map(|c| jac.inv[c][d] * dn_ref[3 * i + c]).sum();
+        }
+    }
+}
+
+/// Interpolate the physical position of a reference point.
+pub fn physical_point(coords: &[[f64; 3]], n: &[f64]) -> [f64; 3] {
+    debug_assert_eq!(n.len(), coords.len());
+    let mut x = [0.0; 3];
+    for (i, c) in coords.iter().enumerate() {
+        for d in 0..3 {
+            x[d] += n[i] * c[d];
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{shape_gradients, shape_values};
+    use hymv_mesh::ElementType;
+
+    #[test]
+    fn unit_cube_jacobian() {
+        // A hex8 spanning [0,h]³ has J = (h/2) I, det = (h/2)³.
+        let h = 0.25;
+        let et = ElementType::Hex8;
+        let coords: Vec<[f64; 3]> = et
+            .ref_coords()
+            .iter()
+            .map(|r| [(r[0] + 1.0) / 2.0 * h, (r[1] + 1.0) / 2.0 * h, (r[2] + 1.0) / 2.0 * h])
+            .collect();
+        let mut dn = vec![0.0; 24];
+        shape_gradients(et, [0.1, -0.2, 0.4], &mut dn);
+        let jac = jacobian(&coords, &dn);
+        assert!((jac.det - (h / 2.0f64).powi(3)).abs() < 1e-14);
+        for r in 0..3 {
+            for c in 0..3 {
+                let want = if r == c { h / 2.0 } else { 0.0 };
+                assert!((jac.j[r][c] - want).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        // Sheared hex: J should still satisfy J · J⁻¹ = I.
+        let et = ElementType::Hex8;
+        let coords: Vec<[f64; 3]> = et
+            .ref_coords()
+            .iter()
+            .map(|r| [r[0] + 0.3 * r[1], r[1] - 0.1 * r[2], r[2] + 0.2 * r[0]])
+            .collect();
+        let mut dn = vec![0.0; 24];
+        shape_gradients(et, [0.0, 0.0, 0.0], &mut dn);
+        let jac = jacobian(&coords, &dn);
+        for r in 0..3 {
+            for c in 0..3 {
+                let prod: f64 = (0..3).map(|k| jac.j[r][k] * jac.inv[k][c]).sum();
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!((prod - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn physical_gradients_of_linear_field_are_exact() {
+        // f(x) = a·x ⇒ ∇f = a, computed as Σ f(x_i) ∇N_i.
+        let a = [1.5, -2.0, 0.7];
+        for et in [ElementType::Hex8, ElementType::Hex27, ElementType::Tet10] {
+            let npe = et.nodes_per_elem();
+            // Distorted but valid element.
+            let coords: Vec<[f64; 3]> = et
+                .ref_coords()
+                .iter()
+                .map(|r| {
+                    [
+                        r[0] + 0.05 * r[1] * r[1],
+                        r[1] - 0.04 * r[2],
+                        r[2] + 0.03 * r[0],
+                    ]
+                })
+                .collect();
+            let xi = if et.is_hex() { [0.2, -0.3, 0.1] } else { [0.2, 0.3, 0.2] };
+            let mut dn_ref = vec![0.0; 3 * npe];
+            let mut dn_phys = vec![0.0; 3 * npe];
+            shape_gradients(et, xi, &mut dn_ref);
+            let jac = jacobian(&coords, &dn_ref);
+            physical_gradients(&jac, &dn_ref, &mut dn_phys);
+            for d in 0..3 {
+                let grad: f64 = (0..npe)
+                    .map(|i| {
+                        let f = a[0] * coords[i][0] + a[1] * coords[i][1] + a[2] * coords[i][2];
+                        f * dn_phys[3 * i + d]
+                    })
+                    .sum();
+                assert!((grad - a[d]).abs() < 1e-10, "{et:?} dim {d}: {grad} vs {}", a[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn physical_point_interpolates() {
+        let et = ElementType::Hex8;
+        let coords: Vec<[f64; 3]> =
+            et.ref_coords().iter().map(|r| [2.0 * r[0], 3.0 * r[1], r[2]]).collect();
+        let mut n = vec![0.0; 8];
+        shape_values(et, [0.5, -0.5, 0.0], &mut n);
+        let x = physical_point(&coords, &n);
+        assert!((x[0] - 1.0).abs() < 1e-14);
+        assert!((x[1] + 1.5).abs() < 1e-14);
+        assert!(x[2].abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate or inverted")]
+    fn inverted_element_detected() {
+        let et = ElementType::Hex8;
+        // Mirror the element in x → negative Jacobian.
+        let coords: Vec<[f64; 3]> =
+            et.ref_coords().iter().map(|r| [-r[0], r[1], r[2]]).collect();
+        let mut dn = vec![0.0; 24];
+        shape_gradients(et, [0.0, 0.0, 0.0], &mut dn);
+        let _ = jacobian(&coords, &dn);
+    }
+}

@@ -1,0 +1,219 @@
+//! Numerical integration rules.
+//!
+//! Hexes use tensor-product Gauss–Legendre over `[-1,1]³` (weights sum to
+//! 8); tetrahedra use Keast rules over the unit simplex (weights sum to
+//! `1/6`, the simplex volume) — the weights already include the volume
+//! normalization.
+
+/// One integration point: reference coordinates and weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QPoint {
+    /// Reference coordinates.
+    pub xi: [f64; 3],
+    /// Weight (includes domain-volume normalization).
+    pub w: f64,
+}
+
+/// 1D Gauss–Legendre abscissae/weights on `[-1,1]` for `n` ∈ 1..=5.
+pub fn gauss_1d(n: usize) -> Vec<(f64, f64)> {
+    match n {
+        1 => vec![(0.0, 2.0)],
+        2 => {
+            let a = 1.0 / 3.0f64.sqrt();
+            vec![(-a, 1.0), (a, 1.0)]
+        }
+        3 => {
+            let a = (3.0f64 / 5.0).sqrt();
+            vec![(-a, 5.0 / 9.0), (0.0, 8.0 / 9.0), (a, 5.0 / 9.0)]
+        }
+        4 => {
+            let a = (3.0 / 7.0 - 2.0 / 7.0 * (6.0f64 / 5.0).sqrt()).sqrt();
+            let b = (3.0 / 7.0 + 2.0 / 7.0 * (6.0f64 / 5.0).sqrt()).sqrt();
+            let wa = (18.0 + 30.0f64.sqrt()) / 36.0;
+            let wb = (18.0 - 30.0f64.sqrt()) / 36.0;
+            vec![(-b, wb), (-a, wa), (a, wa), (b, wb)]
+        }
+        5 => {
+            let a = (5.0 - 2.0 * (10.0f64 / 7.0).sqrt()).sqrt() / 3.0;
+            let b = (5.0 + 2.0 * (10.0f64 / 7.0).sqrt()).sqrt() / 3.0;
+            let wa = (322.0 + 13.0 * 70.0f64.sqrt()) / 900.0;
+            let wb = (322.0 - 13.0 * 70.0f64.sqrt()) / 900.0;
+            vec![(-b, wb), (-a, wa), (0.0, 128.0 / 225.0), (a, wa), (b, wb)]
+        }
+        _ => panic!("gauss_1d supports n in 1..=5, got {n}"),
+    }
+}
+
+/// Tensor-product Gauss rule with `n³` points over the bi-unit cube.
+pub fn hex_rule(n: usize) -> Vec<QPoint> {
+    let g = gauss_1d(n);
+    let mut pts = Vec::with_capacity(n * n * n);
+    for &(z, wz) in &g {
+        for &(y, wy) in &g {
+            for &(x, wx) in &g {
+                pts.push(QPoint { xi: [x, y, z], w: wx * wy * wz });
+            }
+        }
+    }
+    pts
+}
+
+/// Keast rule over the unit tetrahedron, exact to the given polynomial
+/// `degree` (supported: 1, 2, 3, 4). Weights sum to 1/6.
+pub fn tet_rule(degree: usize) -> Vec<QPoint> {
+    match degree {
+        0 | 1 => vec![QPoint { xi: [0.25, 0.25, 0.25], w: 1.0 / 6.0 }],
+        2 => {
+            let a = (5.0 + 3.0 * 5.0f64.sqrt()) / 20.0;
+            let b = (5.0 - 5.0f64.sqrt()) / 20.0;
+            permute_bary_31(a, b, 1.0 / 24.0)
+        }
+        3 => {
+            let mut pts = vec![QPoint { xi: [0.25, 0.25, 0.25], w: -2.0 / 15.0 }];
+            pts.extend(permute_bary_31(0.5, 1.0 / 6.0, 3.0 / 40.0));
+            pts
+        }
+        4 => {
+            // Keast degree-4, 11 points.
+            let mut pts = vec![QPoint {
+                xi: [0.25, 0.25, 0.25],
+                w: -74.0 / 5625.0,
+            }];
+            pts.extend(permute_bary_31(11.0 / 14.0, 1.0 / 14.0, 343.0 / 45000.0));
+            let a = (1.0 + (5.0f64 / 14.0).sqrt()) / 4.0;
+            let b = (1.0 - (5.0f64 / 14.0).sqrt()) / 4.0;
+            pts.extend(permute_bary_22(a, b, 56.0 / 2250.0));
+            pts
+        }
+        _ => panic!("tet_rule supports degree in 0..=4, got {degree}"),
+    }
+}
+
+/// The 4 points with barycentric pattern (a, b, b, b).
+fn permute_bary_31(a: f64, b: f64, w: f64) -> Vec<QPoint> {
+    // Barycentric (l0,l1,l2,l3) ↦ cartesian (l1,l2,l3) on the unit simplex.
+    let barys = [[a, b, b, b], [b, a, b, b], [b, b, a, b], [b, b, b, a]];
+    barys.iter().map(|l| QPoint { xi: [l[1], l[2], l[3]], w }).collect()
+}
+
+/// The 6 points with barycentric pattern (a, a, b, b).
+fn permute_bary_22(a: f64, b: f64, w: f64) -> Vec<QPoint> {
+    let barys = [
+        [a, a, b, b],
+        [a, b, a, b],
+        [a, b, b, a],
+        [b, a, a, b],
+        [b, a, b, a],
+        [b, b, a, a],
+    ];
+    barys.iter().map(|l| QPoint { xi: [l[1], l[2], l[3]], w }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ∫ x^i y^j z^k over the bi-unit cube.
+    fn cube_monomial(i: u32, j: u32, k: u32) -> f64 {
+        fn m1(e: u32) -> f64 {
+            if e % 2 == 1 {
+                0.0
+            } else {
+                2.0 / (e as f64 + 1.0)
+            }
+        }
+        m1(i) * m1(j) * m1(k)
+    }
+
+    /// ∫ x^i y^j z^k over the unit tetrahedron = i! j! k! / (i+j+k+3)!.
+    fn tet_monomial(i: u32, j: u32, k: u32) -> f64 {
+        fn fact(n: u32) -> f64 {
+            (1..=n).map(|x| x as f64).product::<f64>().max(1.0)
+        }
+        fact(i) * fact(j) * fact(k) / fact(i + j + k + 3)
+    }
+
+    fn integrate(pts: &[QPoint], i: u32, j: u32, k: u32) -> f64 {
+        pts.iter()
+            .map(|q| q.w * q.xi[0].powi(i as i32) * q.xi[1].powi(j as i32) * q.xi[2].powi(k as i32))
+            .sum()
+    }
+
+    #[test]
+    fn gauss_weights_sum_to_two() {
+        for n in 1..=5 {
+            let s: f64 = gauss_1d(n).iter().map(|&(_, w)| w).sum();
+            assert!((s - 2.0).abs() < 1e-14, "n={n}: {s}");
+        }
+    }
+
+    #[test]
+    fn hex_rule_exact_for_degree_2n_minus_1() {
+        for n in 1..=4usize {
+            let pts = hex_rule(n);
+            assert_eq!(pts.len(), n * n * n);
+            let deg = 2 * n as u32 - 1;
+            for i in 0..=deg {
+                for j in 0..=deg {
+                    for k in 0..=deg {
+                        let got = integrate(&pts, i, j, k);
+                        let want = cube_monomial(i, j, k);
+                        assert!(
+                            (got - want).abs() < 1e-12,
+                            "n={n} monomial ({i},{j},{k}): {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tet_rules_exact_to_stated_degree() {
+        for degree in 1..=4usize {
+            let pts = tet_rule(degree);
+            for total in 0..=degree as u32 {
+                for i in 0..=total {
+                    for j in 0..=(total - i) {
+                        let k = total - i - j;
+                        let got = integrate(&pts, i, j, k);
+                        let want = tet_monomial(i, j, k);
+                        assert!(
+                            (got - want).abs() < 1e-12,
+                            "degree={degree} monomial ({i},{j},{k}): {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tet_weights_sum_to_volume() {
+        for degree in 1..=4usize {
+            let s: f64 = tet_rule(degree).iter().map(|q| q.w).sum();
+            assert!((s - 1.0 / 6.0).abs() < 1e-14, "degree {degree}: {s}");
+        }
+    }
+
+    #[test]
+    fn tet_points_inside_simplex_for_positive_rules() {
+        // Degree-2 rule has all-interior points.
+        for q in tet_rule(2) {
+            let l0 = 1.0 - q.xi[0] - q.xi[1] - q.xi[2];
+            assert!(l0 > 0.0 && q.xi.iter().all(|&c| c > 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "supports")]
+    fn unsupported_gauss_order() {
+        let _ = gauss_1d(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports")]
+    fn unsupported_tet_degree() {
+        let _ = tet_rule(9);
+    }
+}

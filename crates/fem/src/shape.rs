@@ -1,0 +1,320 @@
+//! Shape functions and reference-coordinate gradients.
+//!
+//! Node ordering matches `hymv_mesh::ElementType::ref_coords()` exactly —
+//! structured meshes are generated *from* those reference coordinates, so
+//! consistency is by construction (and asserted in tests).
+
+use hymv_mesh::ElementType;
+
+/// Evaluate all shape functions at reference point `xi`.
+///
+/// `n` must have length `nodes_per_elem`.
+pub fn shape_values(et: ElementType, xi: [f64; 3], n: &mut [f64]) {
+    debug_assert_eq!(n.len(), et.nodes_per_elem());
+    match et {
+        ElementType::Hex8 => hex8_values(xi, n),
+        ElementType::Hex20 => hex20_values(xi, n),
+        ElementType::Hex27 => hex27_values(xi, n),
+        ElementType::Tet4 => tet4_values(xi, n),
+        ElementType::Tet10 => tet10_values(xi, n),
+    }
+}
+
+/// Evaluate all shape-function gradients (w.r.t. reference coordinates) at
+/// `xi`. `dn` is `nodes_per_elem × 3`, node-major (`dn[3*i + d]`).
+pub fn shape_gradients(et: ElementType, xi: [f64; 3], dn: &mut [f64]) {
+    debug_assert_eq!(dn.len(), 3 * et.nodes_per_elem());
+    match et {
+        ElementType::Hex8 => hex8_gradients(xi, dn),
+        ElementType::Hex20 => hex20_gradients(xi, dn),
+        ElementType::Hex27 => hex27_gradients(xi, dn),
+        ElementType::Tet4 => tet4_gradients(dn),
+        ElementType::Tet10 => tet10_gradients(xi, dn),
+    }
+}
+
+// ------------------------------------------------------------------- Hex8
+
+fn hex8_values(xi: [f64; 3], n: &mut [f64]) {
+    for (i, r) in hymv_mesh::element::HEX_CORNERS.iter().enumerate() {
+        n[i] = 0.125 * (1.0 + r[0] * xi[0]) * (1.0 + r[1] * xi[1]) * (1.0 + r[2] * xi[2]);
+    }
+}
+
+fn hex8_gradients(xi: [f64; 3], dn: &mut [f64]) {
+    for (i, r) in hymv_mesh::element::HEX_CORNERS.iter().enumerate() {
+        let f = [1.0 + r[0] * xi[0], 1.0 + r[1] * xi[1], 1.0 + r[2] * xi[2]];
+        dn[3 * i] = 0.125 * r[0] * f[1] * f[2];
+        dn[3 * i + 1] = 0.125 * f[0] * r[1] * f[2];
+        dn[3 * i + 2] = 0.125 * f[0] * f[1] * r[2];
+    }
+}
+
+// ------------------------------------------------------------------ Hex27
+
+/// 1D quadratic Lagrange basis keyed by node position a ∈ {-1, 0, 1}.
+fn lag1(a: f64, x: f64) -> f64 {
+    if a < -0.5 {
+        0.5 * x * (x - 1.0)
+    } else if a > 0.5 {
+        0.5 * x * (x + 1.0)
+    } else {
+        1.0 - x * x
+    }
+}
+
+fn lag1_d(a: f64, x: f64) -> f64 {
+    if a < -0.5 {
+        x - 0.5
+    } else if a > 0.5 {
+        x + 0.5
+    } else {
+        -2.0 * x
+    }
+}
+
+fn hex27_values(xi: [f64; 3], n: &mut [f64]) {
+    for (i, r) in ElementType::Hex27.ref_coords().iter().enumerate() {
+        n[i] = lag1(r[0], xi[0]) * lag1(r[1], xi[1]) * lag1(r[2], xi[2]);
+    }
+}
+
+fn hex27_gradients(xi: [f64; 3], dn: &mut [f64]) {
+    for (i, r) in ElementType::Hex27.ref_coords().iter().enumerate() {
+        let l = [lag1(r[0], xi[0]), lag1(r[1], xi[1]), lag1(r[2], xi[2])];
+        let d = [lag1_d(r[0], xi[0]), lag1_d(r[1], xi[1]), lag1_d(r[2], xi[2])];
+        dn[3 * i] = d[0] * l[1] * l[2];
+        dn[3 * i + 1] = l[0] * d[1] * l[2];
+        dn[3 * i + 2] = l[0] * l[1] * d[2];
+    }
+}
+
+// ------------------------------------------------------------------ Hex20
+
+fn hex20_values(xi: [f64; 3], n: &mut [f64]) {
+    for (i, r) in ElementType::Hex20.ref_coords().iter().enumerate() {
+        if i < 8 {
+            // Corner: 1/8 (1+ξᵢξ)(1+ηᵢη)(1+ζᵢζ)(ξᵢξ+ηᵢη+ζᵢζ−2)
+            let s = r[0] * xi[0] + r[1] * xi[1] + r[2] * xi[2];
+            n[i] = 0.125
+                * (1.0 + r[0] * xi[0])
+                * (1.0 + r[1] * xi[1])
+                * (1.0 + r[2] * xi[2])
+                * (s - 2.0);
+        } else {
+            // Edge midpoint: one reference coordinate is 0; for that axis the
+            // factor is (1−x²), the other two are (1+aᵢx)/... with 1/4.
+            let mut v = 0.25;
+            for d in 0..3 {
+                v *= if r[d] == 0.0 { 1.0 - xi[d] * xi[d] } else { 1.0 + r[d] * xi[d] };
+            }
+            n[i] = v;
+        }
+    }
+}
+
+fn hex20_gradients(xi: [f64; 3], dn: &mut [f64]) {
+    for (i, r) in ElementType::Hex20.ref_coords().iter().enumerate() {
+        if i < 8 {
+            let f = [1.0 + r[0] * xi[0], 1.0 + r[1] * xi[1], 1.0 + r[2] * xi[2]];
+            let s = r[0] * xi[0] + r[1] * xi[1] + r[2] * xi[2];
+            // d/dξ of 1/8 f0 f1 f2 (s−2): product rule over the two ξ terms.
+            dn[3 * i] = 0.125 * (r[0] * f[1] * f[2] * (s - 2.0) + f[0] * f[1] * f[2] * r[0]);
+            dn[3 * i + 1] = 0.125 * (f[0] * r[1] * f[2] * (s - 2.0) + f[0] * f[1] * f[2] * r[1]);
+            dn[3 * i + 2] = 0.125 * (f[0] * f[1] * r[2] * (s - 2.0) + f[0] * f[1] * f[2] * r[2]);
+        } else {
+            // Factorized form: v = 1/4 ∏ gd, with gd = 1−x² on the zero axis.
+            let g = |d: usize| if r[d] == 0.0 { 1.0 - xi[d] * xi[d] } else { 1.0 + r[d] * xi[d] };
+            let gd = |d: usize| if r[d] == 0.0 { -2.0 * xi[d] } else { r[d] };
+            for d in 0..3 {
+                let mut v = 0.25 * gd(d);
+                for o in 0..3 {
+                    if o != d {
+                        v *= g(o);
+                    }
+                }
+                dn[3 * i + d] = v;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- Tets
+
+fn tet4_values(xi: [f64; 3], n: &mut [f64]) {
+    n[0] = 1.0 - xi[0] - xi[1] - xi[2];
+    n[1] = xi[0];
+    n[2] = xi[1];
+    n[3] = xi[2];
+}
+
+fn tet4_gradients(dn: &mut [f64]) {
+    const G: [[f64; 3]; 4] = [[-1.0, -1.0, -1.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+    for (i, g) in G.iter().enumerate() {
+        dn[3 * i..3 * i + 3].copy_from_slice(g);
+    }
+}
+
+fn tet10_values(xi: [f64; 3], n: &mut [f64]) {
+    let l = [1.0 - xi[0] - xi[1] - xi[2], xi[0], xi[1], xi[2]];
+    for v in 0..4 {
+        n[v] = l[v] * (2.0 * l[v] - 1.0);
+    }
+    for (e, &(a, b)) in hymv_mesh::element::TET_EDGES.iter().enumerate() {
+        n[4 + e] = 4.0 * l[a] * l[b];
+    }
+}
+
+fn tet10_gradients(xi: [f64; 3], dn: &mut [f64]) {
+    let l = [1.0 - xi[0] - xi[1] - xi[2], xi[0], xi[1], xi[2]];
+    // dl[v][d]
+    const DL: [[f64; 3]; 4] = [[-1.0, -1.0, -1.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+    for v in 0..4 {
+        for d in 0..3 {
+            dn[3 * v + d] = (4.0 * l[v] - 1.0) * DL[v][d];
+        }
+    }
+    for (e, &(a, b)) in hymv_mesh::element::TET_EDGES.iter().enumerate() {
+        for d in 0..3 {
+            dn[3 * (4 + e) + d] = 4.0 * (DL[a][d] * l[b] + l[a] * DL[b][d]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [ElementType; 5] = [
+        ElementType::Hex8,
+        ElementType::Hex20,
+        ElementType::Hex27,
+        ElementType::Tet4,
+        ElementType::Tet10,
+    ];
+
+    fn sample_points(et: ElementType) -> Vec<[f64; 3]> {
+        if et.is_hex() {
+            vec![[0.0, 0.0, 0.0], [0.3, -0.7, 0.5], [-1.0, 1.0, -1.0], [0.9, 0.9, 0.9]]
+        } else {
+            vec![[0.25, 0.25, 0.25], [0.1, 0.2, 0.3], [0.0, 0.0, 0.0], [0.6, 0.1, 0.2]]
+        }
+    }
+
+    #[test]
+    fn partition_of_unity() {
+        for et in ALL {
+            let npe = et.nodes_per_elem();
+            let mut n = vec![0.0; npe];
+            for xi in sample_points(et) {
+                shape_values(et, xi, &mut n);
+                let s: f64 = n.iter().sum();
+                assert!((s - 1.0).abs() < 1e-12, "{et:?} at {xi:?}: sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_sum_to_zero() {
+        for et in ALL {
+            let npe = et.nodes_per_elem();
+            let mut dn = vec![0.0; 3 * npe];
+            for xi in sample_points(et) {
+                shape_gradients(et, xi, &mut dn);
+                for d in 0..3 {
+                    let s: f64 = (0..npe).map(|i| dn[3 * i + d]).sum();
+                    assert!(s.abs() < 1e-12, "{et:?} dim {d} at {xi:?}: sum {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kronecker_delta_at_nodes() {
+        for et in ALL {
+            let npe = et.nodes_per_elem();
+            let mut n = vec![0.0; npe];
+            for (j, xi) in et.ref_coords().into_iter().enumerate() {
+                shape_values(et, xi, &mut n);
+                for i in 0..npe {
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    assert!((n[i] - want).abs() < 1e-12, "{et:?} N_{i} at node {j}: {}", n[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_field_reproduction() {
+        // Σ N_i f(x_i) == f(ξ) for linear f, all element types.
+        let f = |p: [f64; 3]| 2.0 + 3.0 * p[0] - 1.5 * p[1] + 0.5 * p[2];
+        for et in ALL {
+            let npe = et.nodes_per_elem();
+            let nodes = et.ref_coords();
+            let mut n = vec![0.0; npe];
+            for xi in sample_points(et) {
+                shape_values(et, xi, &mut n);
+                let got: f64 = (0..npe).map(|i| n[i] * f(nodes[i])).sum();
+                assert!((got - f(xi)).abs() < 1e-12, "{et:?} at {xi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_field_reproduction_for_quadratic_elements() {
+        let f = |p: [f64; 3]| p[0] * p[0] - 2.0 * p[1] * p[2] + p[2] * p[2] + p[0];
+        for et in [ElementType::Hex27, ElementType::Tet10] {
+            let npe = et.nodes_per_elem();
+            let nodes = et.ref_coords();
+            let mut n = vec![0.0; npe];
+            for xi in sample_points(et) {
+                shape_values(et, xi, &mut n);
+                let got: f64 = (0..npe).map(|i| n[i] * f(nodes[i])).sum();
+                assert!((got - f(xi)).abs() < 1e-12, "{et:?} at {xi:?}: {got} vs {}", f(xi));
+            }
+        }
+        // Hex20 (serendipity) reproduces quadratics too.
+        {
+            let et = ElementType::Hex20;
+            let nodes = et.ref_coords();
+            let mut n = vec![0.0; 20];
+            for xi in sample_points(et) {
+                shape_values(et, xi, &mut n);
+                let got: f64 = (0..20).map(|i| n[i] * f(nodes[i])).sum();
+                assert!((got - f(xi)).abs() < 1e-12, "hex20 at {xi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let eps = 1e-6;
+        for et in ALL {
+            let npe = et.nodes_per_elem();
+            let mut dn = vec![0.0; 3 * npe];
+            let mut np = vec![0.0; npe];
+            let mut nm = vec![0.0; npe];
+            for xi in sample_points(et) {
+                // Keep FD probes inside the tet domain.
+                let xi = if et.is_hex() { xi } else { [0.2, 0.25, 0.3] };
+                shape_gradients(et, xi, &mut dn);
+                for d in 0..3 {
+                    let mut xp = xi;
+                    let mut xm = xi;
+                    xp[d] += eps;
+                    xm[d] -= eps;
+                    shape_values(et, xp, &mut np);
+                    shape_values(et, xm, &mut nm);
+                    for i in 0..npe {
+                        let fd = (np[i] - nm[i]) / (2.0 * eps);
+                        assert!(
+                            (dn[3 * i + d] - fd).abs() < 1e-6,
+                            "{et:?} node {i} dim {d}: {} vs {fd}",
+                            dn[3 * i + d]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Surface (Neumann) loads: `∫_∂Ωt t̄ · φ dA`.
+//!
+//! The paper's elastic-bar problem applies a uniform traction
+//! `t_z = ρ g L_z` on the top face (§V-B). This module integrates
+//! tractions over element faces: boundary faces are detected
+//! geometrically, and the load vector contribution is computed with a 2D
+//! quadrature rule on the reference face, mapped through the surface
+//! Jacobian.
+//!
+//! Face node sets and reference geometry are derived from the canonical
+//! volume orderings in `hymv_mesh::element`, so no extra bookkeeping is
+//! required from the mesh layer.
+
+use std::sync::Arc;
+
+use hymv_mesh::ElementType;
+
+use crate::quadrature::gauss_1d;
+use crate::shape::{shape_gradients, shape_values};
+
+/// A traction specification: given a point on the boundary, return the
+/// traction vector (`ndof` components; `None` where no traction acts).
+#[derive(Clone)]
+pub struct TractionSpec {
+    predicate: Arc<dyn Fn([f64; 3]) -> Option<Vec<f64>> + Send + Sync>,
+    ndof: usize,
+}
+
+impl TractionSpec {
+    /// Build from a predicate.
+    pub fn new(
+        ndof: usize,
+        predicate: Arc<dyn Fn([f64; 3]) -> Option<Vec<f64>> + Send + Sync>,
+    ) -> Self {
+        assert!(ndof > 0);
+        TractionSpec { predicate, ndof }
+    }
+
+    /// Components per node.
+    pub fn ndof(&self) -> usize {
+        self.ndof
+    }
+
+    /// Evaluate at a surface point.
+    pub fn at(&self, x: [f64; 3]) -> Option<Vec<f64>> {
+        let t = (self.predicate)(x);
+        if let Some(ref v) = t {
+            assert_eq!(v.len(), self.ndof, "traction returned wrong component count");
+        }
+        t
+    }
+}
+
+/// One face of a reference element: the local node ids on the face and a
+/// 2D→3D embedding of the reference face used for quadrature.
+pub struct RefFace {
+    /// Local (volume) node indices lying on this face.
+    pub nodes: Vec<usize>,
+    /// Maps face coordinates `(s, t)` to volume reference coordinates.
+    pub embed: fn([f64; 2]) -> [f64; 3],
+    /// The embedding's (constant) tangent directions `∂ξ/∂s`, `∂ξ/∂t`.
+    pub dirs: [[f64; 3]; 2],
+    /// Face-coordinate quadrature points and weights.
+    pub quad: Vec<([f64; 2], f64)>,
+}
+
+/// Hex reference faces: the six planes `ξ_d = ±1`.
+fn hex_faces(et: ElementType) -> Vec<RefFace> {
+    // Quadrature: tensor Gauss on [-1,1]²; order 3 covers quadratic
+    // shape functions against smooth tractions.
+    let g = gauss_1d(3);
+    let mut quad = Vec::new();
+    for &(a, wa) in &g {
+        for &(b, wb) in &g {
+            quad.push(([a, b], wa * wb));
+        }
+    }
+
+    // One embedding per (axis, sign): (s, t) fill the other two axes in a
+    // fixed order.
+    type Embed = fn([f64; 2]) -> [f64; 3];
+    let embeds: [Embed; 6] = [
+        |p| [-1.0, p[0], p[1]], // x = -1
+        |p| [1.0, p[0], p[1]],  // x = +1
+        |p| [p[0], -1.0, p[1]], // y = -1
+        |p| [p[0], 1.0, p[1]],  // y = +1
+        |p| [p[0], p[1], -1.0], // z = -1
+        |p| [p[0], p[1], 1.0],  // z = +1
+    ];
+    let ref_pts = et.ref_coords();
+    embeds
+        .iter()
+        .enumerate()
+        .map(|(f, &embed)| {
+            let (axis, sign) = (f / 2, if f % 2 == 0 { -1.0 } else { 1.0 });
+            let nodes: Vec<usize> = ref_pts
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| (r[axis] - sign).abs() < 1e-12)
+                .map(|(i, _)| i)
+                .collect();
+            // (s, t) fill the two non-fixed axes in ascending order.
+            let mut dirs = [[0.0; 3]; 2];
+            let free: Vec<usize> = (0..3).filter(|&d| d != axis).collect();
+            dirs[0][free[0]] = 1.0;
+            dirs[1][free[1]] = 1.0;
+            RefFace { nodes, embed, dirs, quad: quad.clone() }
+        })
+        .collect()
+}
+
+/// Tet reference faces: the four planes of the unit simplex.
+fn tet_faces(et: ElementType) -> Vec<RefFace> {
+    // Triangle quadrature on the reference triangle (s, t ≥ 0, s+t ≤ 1):
+    // 4-point degree-3 rule (weights sum to 1/2, the triangle area).
+    let tri: Vec<([f64; 2], f64)> = vec![
+        ([1.0 / 3.0, 1.0 / 3.0], -27.0 / 96.0),
+        ([0.6, 0.2], 25.0 / 96.0),
+        ([0.2, 0.6], 25.0 / 96.0),
+        ([0.2, 0.2], 25.0 / 96.0),
+    ];
+    type Embed = fn([f64; 2]) -> [f64; 3];
+    // Faces: x=0, y=0, z=0, and x+y+z=1.
+    let embeds: [Embed; 4] = [
+        |p| [0.0, p[0], p[1]],
+        |p| [p[0], 0.0, p[1]],
+        |p| [p[0], p[1], 0.0],
+        |p| [p[0], p[1], 1.0 - p[0] - p[1]],
+    ];
+    let on_face: [fn(&[f64; 3]) -> bool; 4] = [
+        |r| r[0].abs() < 1e-12,
+        |r| r[1].abs() < 1e-12,
+        |r| r[2].abs() < 1e-12,
+        |r| (r[0] + r[1] + r[2] - 1.0).abs() < 1e-12,
+    ];
+    let dirs: [[[f64; 3]; 2]; 4] = [
+        [[0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        [[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]],
+        [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]],
+        [[1.0, 0.0, -1.0], [0.0, 1.0, -1.0]],
+    ];
+    let ref_pts = et.ref_coords();
+    embeds
+        .iter()
+        .zip(on_face)
+        .zip(dirs)
+        .map(|((&embed, pred), dirs)| {
+            let nodes: Vec<usize> = ref_pts
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| pred(r))
+                .map(|(i, _)| i)
+                .collect();
+            RefFace { nodes, embed, dirs, quad: tri.clone() }
+        })
+        .collect()
+}
+
+/// Reference faces of an element type.
+pub fn ref_faces(et: ElementType) -> Vec<RefFace> {
+    if et.is_hex() {
+        hex_faces(et)
+    } else {
+        tet_faces(et)
+    }
+}
+
+/// Accumulate the traction contribution of one element into its load
+/// vector `fe` (`npe × ndof`, node-major). A face is integrated when the
+/// traction predicate yields a value at **all** of its quadrature points
+/// (faces straddling the loaded region are the caller's modeling
+/// decision; the paper's loads are full faces).
+pub fn accumulate_traction(
+    et: ElementType,
+    coords: &[[f64; 3]],
+    spec: &TractionSpec,
+    fe: &mut [f64],
+) {
+    let npe = et.nodes_per_elem();
+    let ndof = spec.ndof();
+    debug_assert_eq!(coords.len(), npe);
+    debug_assert_eq!(fe.len(), npe * ndof);
+
+    let mut n = vec![0.0; npe];
+    let mut dn = vec![0.0; 3 * npe];
+
+    for face in ref_faces(et) {
+        // Gather quadrature data first; skip the face unless every point
+        // carries a traction.
+        let mut contributions: Vec<(Vec<f64>, Vec<f64>, f64)> = Vec::new();
+        let mut full = true;
+        for &(sp, w) in &face.quad {
+            let xi = (face.embed)(sp);
+            shape_values(et, xi, &mut n);
+            shape_gradients(et, xi, &mut dn);
+            // Physical point and surface element dA = |x_s × x_t| ds dt,
+            // with x_s = Σ xi ∂N_i/∂ξ · ∂ξ/∂s via finite embedding step.
+            let x = crate::mapping::physical_point(coords, &n);
+            let Some(t) = spec.at(x) else {
+                full = false;
+                break;
+            };
+            // Exact tangents by the chain rule: x_s = Σ_i x_i (∇N_i · d_s)
+            // with the embedding's constant direction vectors.
+            let mut tangents = [[0.0f64; 3]; 2];
+            for (d, tan) in tangents.iter_mut().enumerate() {
+                let dir = face.dirs[d];
+                for (i, xi_c) in coords.iter().enumerate() {
+                    let dn_dir =
+                        dn[3 * i] * dir[0] + dn[3 * i + 1] * dir[1] + dn[3 * i + 2] * dir[2];
+                    for c in 0..3 {
+                        tan[c] += xi_c[c] * dn_dir;
+                    }
+                }
+            }
+            let cx = tangents[0][1] * tangents[1][2] - tangents[0][2] * tangents[1][1];
+            let cy = tangents[0][2] * tangents[1][0] - tangents[0][0] * tangents[1][2];
+            let cz = tangents[0][0] * tangents[1][1] - tangents[0][1] * tangents[1][0];
+            let da = (cx * cx + cy * cy + cz * cz).sqrt();
+            contributions.push((n.clone(), t, w * da));
+        }
+        if !full {
+            continue;
+        }
+        for (nv, t, wda) in contributions {
+            for &i in &face.nodes {
+                for c in 0..ndof {
+                    fe[i * ndof + c] += wda * nv[i] * t[c];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_hex(et: ElementType) -> Vec<[f64; 3]> {
+        et.ref_coords()
+            .iter()
+            .map(|r| [(r[0] + 1.0) / 2.0, (r[1] + 1.0) / 2.0, (r[2] + 1.0) / 2.0])
+            .collect()
+    }
+
+    #[test]
+    fn hex_faces_have_right_node_counts() {
+        for (et, per_face) in [(ElementType::Hex8, 4), (ElementType::Hex20, 8), (ElementType::Hex27, 9)] {
+            let faces = ref_faces(et);
+            assert_eq!(faces.len(), 6);
+            for f in &faces {
+                assert_eq!(f.nodes.len(), per_face, "{et:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tet_faces_have_right_node_counts() {
+        for (et, per_face) in [(ElementType::Tet4, 3), (ElementType::Tet10, 6)] {
+            let faces = ref_faces(et);
+            assert_eq!(faces.len(), 4);
+            for f in &faces {
+                assert_eq!(f.nodes.len(), per_face, "{et:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_traction_integrates_to_force_times_area() {
+        // t = (0, 0, 5) on the top face (z = 1) of a unit cube: total
+        // force = 5 × area = 5.
+        for et in [ElementType::Hex8, ElementType::Hex20, ElementType::Hex27] {
+            let coords = unit_hex(et);
+            let spec = TractionSpec::new(
+                3,
+                Arc::new(|x: [f64; 3]| {
+                    if x[2] > 1.0 - 1e-9 {
+                        Some(vec![0.0, 0.0, 5.0])
+                    } else {
+                        None
+                    }
+                }),
+            );
+            let npe = et.nodes_per_elem();
+            let mut fe = vec![0.0; npe * 3];
+            accumulate_traction(et, &coords, &spec, &mut fe);
+            let fz: f64 = (0..npe).map(|i| fe[3 * i + 2]).sum();
+            assert!((fz - 5.0).abs() < 1e-10, "{et:?}: {fz}");
+            let fx: f64 = (0..npe).map(|i| fe[3 * i]).sum();
+            assert!(fx.abs() < 1e-12);
+            // Nothing lands on nodes away from the face.
+            let bottom: f64 = et
+                .ref_coords()
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r[2] < -1.0 + 1e-9)
+                .map(|(i, _)| fe[3 * i + 2].abs())
+                .sum();
+            assert!(bottom < 1e-12, "{et:?}");
+        }
+    }
+
+    #[test]
+    fn stretched_face_scales_area() {
+        // Stretch the cube ×3 in x: top face area = 3.
+        let et = ElementType::Hex8;
+        let coords: Vec<[f64; 3]> = unit_hex(et).iter().map(|p| [3.0 * p[0], p[1], p[2]]).collect();
+        let spec = TractionSpec::new(
+            1,
+            Arc::new(|x: [f64; 3]| if x[2] > 1.0 - 1e-9 { Some(vec![2.0]) } else { None }),
+        );
+        let mut fe = vec![0.0; 8];
+        accumulate_traction(et, &coords, &spec, &mut fe);
+        let total: f64 = fe.iter().sum();
+        assert!((total - 6.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn tet_face_integration() {
+        // Unit reference tet, traction 1 on the z = 0 face (area 1/2).
+        let et = ElementType::Tet10;
+        let coords = et.ref_coords();
+        let spec = TractionSpec::new(
+            1,
+            Arc::new(|x: [f64; 3]| if x[2].abs() < 1e-9 { Some(vec![1.0]) } else { None }),
+        );
+        let mut fe = vec![0.0; 10];
+        accumulate_traction(et, &coords, &spec, &mut fe);
+        let total: f64 = fe.iter().sum();
+        assert!((total - 0.5).abs() < 1e-10, "{total}");
+    }
+
+    #[test]
+    fn linear_traction_moment() {
+        // t(x) = x on the top face of the unit cube: ∫ x dA = 1/2.
+        let et = ElementType::Hex27;
+        let coords = unit_hex(et);
+        let spec = TractionSpec::new(
+            1,
+            Arc::new(|x: [f64; 3]| if x[2] > 1.0 - 1e-9 { Some(vec![x[0]]) } else { None }),
+        );
+        let mut fe = vec![0.0; 27];
+        accumulate_traction(et, &coords, &spec, &mut fe);
+        let total: f64 = fe.iter().sum();
+        assert!((total - 0.5).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn interior_element_gets_nothing() {
+        let et = ElementType::Hex8;
+        // Element away from z = 1.
+        let coords: Vec<[f64; 3]> =
+            unit_hex(et).iter().map(|p| [p[0], p[1], 0.5 * p[2]]).collect();
+        let spec = TractionSpec::new(
+            1,
+            Arc::new(|x: [f64; 3]| if x[2] > 1.0 - 1e-9 { Some(vec![1.0]) } else { None }),
+        );
+        let mut fe = vec![0.0; 8];
+        accumulate_traction(et, &coords, &spec, &mut fe);
+        assert!(fe.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong component count")]
+    fn component_count_checked() {
+        let spec = TractionSpec::new(3, Arc::new(|_| Some(vec![1.0])));
+        let _ = spec.at([0.0; 3]);
+    }
+}

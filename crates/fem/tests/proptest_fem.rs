@@ -1,0 +1,180 @@
+//! Property-based tests of the FEM substrate: kernel symmetry and
+//! semi-definiteness, mapping consistency, and load-vector exactness over
+//! randomly distorted elements.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use hymv_fem::kernel::{ElasticityKernel, ElementKernel, KernelScratch, PoissonKernel};
+use hymv_fem::traction::{accumulate_traction, TractionSpec};
+use hymv_mesh::ElementType;
+
+/// A randomly but safely distorted element: reference coordinates plus a
+/// small smooth perturbation (keeps Jacobians positive).
+fn distorted_coords(et: ElementType, amp: f64, seed: [f64; 6]) -> Vec<[f64; 3]> {
+    et.ref_coords()
+        .iter()
+        .map(|r| {
+            [
+                r[0] + amp * (seed[0] * r[1] + seed[1] * r[2] * r[2]),
+                r[1] + amp * (seed[2] * r[2] + seed[3] * r[0] * r[0]),
+                r[2] + amp * (seed[4] * r[0] + seed[5] * r[1] * r[1]),
+            ]
+        })
+        .collect()
+}
+
+fn any_type() -> impl Strategy<Value = ElementType> {
+    prop_oneof![
+        Just(ElementType::Hex8),
+        Just(ElementType::Hex20),
+        Just(ElementType::Hex27),
+        Just(ElementType::Tet4),
+        Just(ElementType::Tet10),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Ke is symmetric and positive semi-definite (checked via xᵀKx ≥ 0
+    /// for random x) for both operators on random distorted elements.
+    #[test]
+    fn kernels_symmetric_and_psd(
+        et in any_type(),
+        amp in 0.0f64..0.08,
+        seed in proptest::array::uniform6(-1.0f64..1.0),
+        xs in proptest::collection::vec(-1.0f64..1.0, 81),
+    ) {
+        let coords = distorted_coords(et, amp, seed);
+        let mut scratch = KernelScratch::default();
+        for (kernel, name) in [
+            (Box::new(PoissonKernel::new(et)) as Box<dyn ElementKernel>, "poisson"),
+            (
+                Box::new(ElasticityKernel::new(et, 100.0, 0.28, [0.0; 3])) as Box<dyn ElementKernel>,
+                "elasticity",
+            ),
+        ] {
+            let nd = kernel.ndof_elem();
+            let mut ke = vec![0.0; nd * nd];
+            kernel.compute_ke(&coords, &mut ke, &mut scratch);
+            for i in 0..nd {
+                for j in 0..i {
+                    prop_assert!(
+                        (ke[j * nd + i] - ke[i * nd + j]).abs() < 1e-8 * (1.0 + ke[i * nd + j].abs()),
+                        "{} ({},{})", name, i, j
+                    );
+                }
+            }
+            let x = &xs[..nd];
+            let mut kx = vec![0.0; nd];
+            for j in 0..nd {
+                for i in 0..nd {
+                    kx[i] += ke[j * nd + i] * x[j];
+                }
+            }
+            let xkx: f64 = x.iter().zip(&kx).map(|(a, b)| a * b).sum();
+            prop_assert!(xkx > -1e-8, "{name}: xᵀKx = {xkx}");
+        }
+    }
+
+    /// The Poisson load vector with unit body force integrates to the
+    /// element volume for any distortion (partition of unity under the
+    /// isoparametric map).
+    #[test]
+    fn unit_body_force_integrates_to_volume(
+        et in any_type(),
+        amp in 0.0f64..0.08,
+        seed in proptest::array::uniform6(-1.0f64..1.0),
+    ) {
+        let coords = distorted_coords(et, amp, seed);
+        let kernel = PoissonKernel::with_body(et, Arc::new(|_| 1.0));
+        let npe = et.nodes_per_elem();
+        let mut fe = vec![0.0; npe];
+        kernel.compute_fe(&coords, &mut fe, &mut KernelScratch::default());
+        let total: f64 = fe.iter().sum();
+        // Volume by divergence theorem via the stiffness route is
+        // circular; instead compare against the quadrature volume.
+        let vol: f64 = {
+            use hymv_fem::kernel::default_rule;
+            use hymv_fem::mapping::jacobian;
+            use hymv_fem::shape::shape_gradients;
+            let mut dn = vec![0.0; 3 * npe];
+            default_rule(et)
+                .iter()
+                .map(|q| {
+                    shape_gradients(et, q.xi, &mut dn);
+                    q.w * jacobian(&coords, &dn).det
+                })
+                .sum()
+        };
+        prop_assert!((total - vol).abs() < 1e-10 * (1.0 + vol), "{total} vs {vol}");
+    }
+
+    /// Rigid-body modes stay in the elasticity null space under
+    /// distortion.
+    #[test]
+    fn rigid_modes_annihilated(
+        et in any_type(),
+        amp in 0.0f64..0.06,
+        seed in proptest::array::uniform6(-1.0f64..1.0),
+        t in proptest::array::uniform3(-2.0f64..2.0),
+    ) {
+        let coords = distorted_coords(et, amp, seed);
+        let kernel = ElasticityKernel::new(et, 10.0, 0.3, [0.0; 3]);
+        let nd = kernel.ndof_elem();
+        let mut ke = vec![0.0; nd * nd];
+        kernel.compute_ke(&coords, &mut ke, &mut KernelScratch::default());
+        // Random translation t plus a random infinitesimal rotation.
+        let u: Vec<f64> = coords
+            .iter()
+            .flat_map(|x| {
+                [
+                    t[0] + 0.3 * x[1] - 0.1 * x[2],
+                    t[1] - 0.3 * x[0] + 0.2 * x[2],
+                    t[2] + 0.1 * x[0] - 0.2 * x[1],
+                ]
+            })
+            .collect();
+        let scale: f64 = ke.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        for i in 0..nd {
+            let v: f64 = (0..nd).map(|j| ke[j * nd + i] * u[j]).sum();
+            prop_assert!(v.abs() < 1e-8 * (1.0 + scale), "dof {i}: {v}");
+        }
+    }
+
+    /// A constant traction over the whole element boundary integrates to
+    /// zero net force on a *closed* surface (divergence theorem).
+    #[test]
+    fn closed_surface_traction_balances(
+        et in any_type(),
+        amp in 0.0f64..0.06,
+        seed in proptest::array::uniform6(-1.0f64..1.0),
+        t in proptest::array::uniform3(-3.0f64..3.0),
+    ) {
+        let coords = distorted_coords(et, amp, seed);
+        // Apply the same constant traction on every face: net force is
+        // t · total area (not zero), but *per component* the face sum
+        // equals t_c × total area, so instead verify consistency: the sum
+        // of per-face areas implied by a unit traction is positive and
+        // the vector result is exactly t × that area.
+        let spec_unit = TractionSpec::new(1, Arc::new(|_| Some(vec![1.0])));
+        let npe = et.nodes_per_elem();
+        let mut fe_area = vec![0.0; npe];
+        accumulate_traction(et, &coords, &spec_unit, &mut fe_area);
+        let area: f64 = fe_area.iter().sum();
+        prop_assert!(area > 0.0);
+
+        let tv = t.to_vec();
+        let spec_t = TractionSpec::new(3, Arc::new(move |_| Some(tv.clone())));
+        let mut fe = vec![0.0; npe * 3];
+        accumulate_traction(et, &coords, &spec_t, &mut fe);
+        for c in 0..3 {
+            let total: f64 = (0..npe).map(|i| fe[3 * i + c]).sum();
+            prop_assert!(
+                (total - t[c] * area).abs() < 1e-9 * (1.0 + area),
+                "component {c}: {total} vs {}", t[c] * area
+            );
+        }
+    }
+}

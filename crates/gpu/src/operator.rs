@@ -1,0 +1,425 @@
+//! [`HymvGpuOperator`] — Algorithm 3 and its overlap schemes (§IV-F, §V-D).
+//!
+//! Element matrices live "on the device" (uploaded once at setup, like the
+//! paper's MAGMA arrays); every SPMV packs the batch input vector `bue` on
+//! the host (OpenMP-parallel in the paper), pipelines
+//! H2D → batched-EMV → D2H chunks across `Ns` streams, accumulates `bve`
+//! on the host, and runs the usual LNSM/GNGM ghost exchange.
+//!
+//! Numerics execute on the host, bit-exact with the CPU operator; the
+//! virtual clock is charged with the *modeled* device makespan plus the
+//! measured host pack/accumulate time.
+
+use hymv_comm::Comm;
+use hymv_core::da::DistArray;
+use hymv_core::exchange::GhostExchange;
+use hymv_core::maps::HymvMaps;
+use hymv_core::operator::{HymvOperator, SetupTimings};
+use hymv_fem::kernel::ElementKernel;
+use hymv_la::dense::{emv, emv_flops};
+use hymv_la::{ElementMatrixStore, LinOp};
+use hymv_mesh::MeshPartition;
+
+use crate::model::GpuModel;
+use crate::sim::DeviceSim;
+
+/// The three distributed execution schemes compared in Fig 8b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuScheme {
+    /// Scheme 1 — blocking MPI exchange, then all elements on the device.
+    Blocking,
+    /// Scheme 2 — GPU/CPU(O): non-blocking exchange overlapped by the
+    /// device computing independent elements while the *host* computes
+    /// dependent elements.
+    OverlapCpu,
+    /// Scheme 3 — GPU/GPU(O): non-blocking exchange overlapped by the
+    /// device computing independent elements, dependent elements follow on
+    /// the device.
+    OverlapGpu,
+}
+
+/// HYMV's GPU SPMV operator.
+pub struct HymvGpuOperator {
+    maps: HymvMaps,
+    exchange: GhostExchange,
+    store: ElementMatrixStore,
+    ndof: usize,
+    u: DistArray,
+    v: DistArray,
+    sim: DeviceSim,
+    scheme: GpuScheme,
+    /// Modeled host ("OpenMP") threads for pack/accumulate.
+    host_threads: usize,
+    /// Batched element vectors (pinned memory in the paper).
+    bue: Vec<f64>,
+    bve: Vec<f64>,
+    /// One-time device upload cost paid at setup (part of "GPU setup").
+    upload_s: f64,
+}
+
+impl HymvGpuOperator {
+    /// GPU setup: the CPU HYMV setup plus a one-time H2D upload of the
+    /// element-matrix store (the overhead that makes GPU setup slightly
+    /// slower than CPU setup in Fig 8). Collective.
+    pub fn setup(
+        comm: &mut Comm,
+        part: &MeshPartition,
+        kernel: &dyn ElementKernel,
+        model: GpuModel,
+        n_streams: usize,
+        scheme: GpuScheme,
+        host_threads: usize,
+    ) -> (Self, SetupTimings) {
+        let (cpu_op, mut timings) = HymvOperator::setup(comm, part, kernel);
+        let (maps, exchange, store, ndof) = cpu_op.into_parts();
+
+        let mut sim = DeviceSim::new(model, n_streams);
+        sim.begin_window();
+        sim.h2d(0, store.bytes(), "upload element matrices");
+        let upload_s = sim.window_elapsed();
+        comm.add_modeled_time(upload_s);
+        // Report the upload inside the setup breakdown's copy component.
+        timings.local_copy_s += upload_s;
+
+        let nd = store.nd();
+        let n_batch = maps.n_elems * nd;
+        let u = DistArray::new(&maps, ndof);
+        let v = DistArray::new(&maps, ndof);
+        let op = HymvGpuOperator {
+            maps,
+            exchange,
+            store,
+            ndof,
+            u,
+            v,
+            sim,
+            scheme,
+            host_threads,
+            bue: vec![0.0; n_batch],
+            bve: vec![0.0; n_batch],
+            upload_s,
+        };
+        (op, timings)
+    }
+
+    /// The device timeline (Fig 3 traces).
+    pub fn sim(&self) -> &DeviceSim {
+        &self.sim
+    }
+
+    /// Mutable device access (clearing traces between phases).
+    pub fn sim_mut(&mut self) -> &mut DeviceSim {
+        &mut self.sim
+    }
+
+    /// The one-time upload cost paid at setup.
+    pub fn upload_seconds(&self) -> f64 {
+        self.upload_s
+    }
+
+    /// The element-matrix store (device-resident in the paper).
+    pub fn store(&self) -> &ElementMatrixStore {
+        &self.store
+    }
+
+    /// The maps.
+    pub fn maps(&self) -> &HymvMaps {
+        &self.maps
+    }
+
+    /// Change the execution scheme.
+    pub fn set_scheme(&mut self, scheme: GpuScheme) {
+        self.scheme = scheme;
+    }
+
+    /// Pack `bue` for a subset of elements (host side, charged as SMP
+    /// work). Entries are stored at each element's slot.
+    fn pack(&mut self, comm: &mut Comm, subset: &[u32]) {
+        let nd = self.store.nd();
+        let (maps, u, bue) = (&self.maps, &self.u, &mut self.bue);
+        comm.work_smp(self.host_threads, || {
+            for &e in subset {
+                let e = e as usize;
+                u.extract_elem(maps.elem_local_nodes(e), &mut bue[e * nd..(e + 1) * nd]);
+            }
+        });
+    }
+
+    /// Accumulate `bve` for a subset of elements into `v` (host side).
+    fn accumulate(&mut self, comm: &mut Comm, subset: &[u32]) {
+        let nd = self.store.nd();
+        let (maps, v, bve) = (&self.maps, &mut self.v, &self.bve);
+        comm.work_smp(self.host_threads, || {
+            for &e in subset {
+                let e = e as usize;
+                v.accumulate_elem(maps.elem_local_nodes(e), &bve[e * nd..(e + 1) * nd]);
+            }
+        });
+    }
+
+    /// Submit a subset of elements to the device as `Ns` pipelined chunks
+    /// and execute the numerics on the host. Returns nothing; device time
+    /// accrues on the simulator timeline.
+    fn submit_batch(&mut self, subset: &[u32], label: &str) {
+        if subset.is_empty() {
+            return;
+        }
+        let nd = self.store.nd();
+        let ns = self.sim.n_streams();
+        let chunk = subset.len().div_ceil(ns);
+        for (s, elems) in subset.chunks(chunk).enumerate() {
+            let vec_bytes = elems.len() * nd * 8;
+            self.sim.h2d(s, vec_bytes, format!("{label} bue s{s}"));
+            self.sim.kernel(
+                s,
+                self.sim.model().batched_emv_flops(elems.len(), nd),
+                self.sim.model().batched_emv_bytes(elems.len(), nd),
+                format!("{label} batched EMV s{s}"),
+            );
+            self.sim.d2h(s, vec_bytes, format!("{label} bve s{s}"));
+            // Bit-exact numerics on the host (emulation, not charged).
+            for &e in elems {
+                let e = e as usize;
+                emv(self.store.ke(e), &self.bue[e * nd..(e + 1) * nd], &mut self.bve[e * nd..(e + 1) * nd]);
+            }
+        }
+    }
+
+    /// Host-side EMV for a subset (scheme 2's dependent elements), charged
+    /// as host SMP work, accumulating directly into `v`.
+    fn host_emv(&mut self, comm: &mut Comm, subset: &[u32]) {
+        let nd = self.store.nd();
+        let (maps, store, u, v) = (&self.maps, &self.store, &self.u, &mut self.v);
+        comm.work_smp(self.host_threads, || {
+            let mut ue = vec![0.0; nd];
+            let mut ve = vec![0.0; nd];
+            for &e in subset {
+                let nodes = maps.elem_local_nodes(e as usize);
+                u.extract_elem(nodes, &mut ue);
+                emv(store.ke(e as usize), &ue, &mut ve);
+                v.accumulate_elem(nodes, &ve);
+            }
+        });
+    }
+
+    /// Algorithm 3 (with the selected overlap scheme).
+    pub fn matvec(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+        self.v.fill_zero();
+        self.u.set_owned(x);
+
+        match self.scheme {
+            GpuScheme::Blocking => {
+                // Blocking exchange, then everything on the device.
+                self.exchange.scatter_begin(comm, &self.u);
+                self.exchange.scatter_end(comm, &mut self.u);
+                let all: Vec<u32> = (0..self.maps.n_elems as u32).collect();
+                self.pack(comm, &all);
+                self.sim.begin_window();
+                self.submit_batch(&all, "all");
+                let dt = self.sim.window_elapsed();
+                comm.add_modeled_time(dt);
+                self.accumulate(comm, &all);
+            }
+            GpuScheme::OverlapCpu | GpuScheme::OverlapGpu => {
+                self.exchange.scatter_begin(comm, &self.u);
+                let indep = self.maps.independent.clone();
+                let dep = self.maps.dependent.clone();
+
+                // Pack + submit independent elements; device runs while the
+                // exchange is in flight.
+                self.pack(comm, &indep);
+                let anchor_vt = comm.vt();
+                self.sim.begin_window();
+                self.submit_batch(&indep, "indep");
+
+                // Complete the exchange (host may wait; device keeps going).
+                self.exchange.scatter_end(comm, &mut self.u);
+
+                if self.scheme == GpuScheme::OverlapCpu {
+                    // Host computes dependent elements while the device
+                    // finishes the independent batch.
+                    self.host_emv(comm, &dep);
+                    // Sync with the device.
+                    let device_done = anchor_vt + self.sim.window_elapsed();
+                    if device_done > comm.vt() {
+                        comm.add_modeled_time(device_done - comm.vt());
+                    }
+                    self.accumulate(comm, &indep);
+                } else {
+                    // Dependent elements follow on the device; they cannot
+                    // start before the host submitted them (post-exchange).
+                    self.pack(comm, &dep);
+                    self.sim.set_submission_floor(comm.vt() - anchor_vt);
+                    self.submit_batch(&dep, "dep");
+                    let device_done = anchor_vt + self.sim.window_elapsed();
+                    if device_done > comm.vt() {
+                        comm.add_modeled_time(device_done - comm.vt());
+                    }
+                    self.accumulate(comm, &indep);
+                    self.accumulate(comm, &dep);
+                }
+            }
+        }
+
+        self.exchange.gather_begin(comm, &self.v);
+        self.exchange.gather_end(comm, &mut self.v);
+        y.copy_from_slice(self.v.owned());
+    }
+}
+
+impl LinOp for HymvGpuOperator {
+    fn n_owned(&self) -> usize {
+        self.maps.n_owned() * self.ndof
+    }
+
+    fn apply(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+        self.matvec(comm, x, y);
+    }
+
+    fn flops_per_apply(&self) -> u64 {
+        self.maps.n_elems as u64 * emv_flops(self.store.nd())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.store.bytes() + (self.bue.len() + self.bve.len()) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hymv_comm::Universe;
+    use hymv_fem::{ElasticityKernel, PoissonKernel};
+    use hymv_mesh::partition::{partition_mesh, PartitionMethod};
+    use hymv_mesh::{ElementType, StructuredHexMesh};
+
+    #[test]
+    fn gpu_matches_cpu_all_schemes() {
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 2, PartitionMethod::Slabs);
+        for scheme in [GpuScheme::Blocking, GpuScheme::OverlapCpu, GpuScheme::OverlapGpu] {
+            let ok = Universe::run(2, |comm| {
+                let part = &pm.parts[comm.rank()];
+                let kernel = PoissonKernel::new(ElementType::Hex8);
+                let (mut cpu, _) = HymvOperator::setup(comm, part, &kernel);
+                let (mut gpu, _) = HymvGpuOperator::setup(
+                    comm,
+                    part,
+                    &kernel,
+                    GpuModel::default(),
+                    4,
+                    scheme,
+                    4,
+                );
+                let x: Vec<f64> =
+                    (0..cpu.n_owned()).map(|i| ((i * 3 % 13) as f64) * 0.3 - 1.0).collect();
+                let mut y_c = vec![0.0; cpu.n_owned()];
+                let mut y_g = vec![0.0; gpu.n_owned()];
+                cpu.matvec(comm, &x, &mut y_c);
+                gpu.matvec(comm, &x, &mut y_g);
+                y_c.iter().zip(&y_g).all(|(a, b)| (a - b).abs() < 1e-12)
+            });
+            assert!(ok.iter().all(|&b| b), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn more_streams_reduce_makespan() {
+        // Same batch, 1 vs 8 streams: pipelining must shrink device time.
+        // Latencies are zeroed so the payload (not per-op overhead)
+        // dominates even on this test-sized mesh; at paper-scale batches
+        // the default model shows the same effect (fig8 -- streams).
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex20).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let model = GpuModel { launch_latency: 0.0, transfer_latency: 0.0, ..GpuModel::default() };
+        let out = Universe::run(1, |comm| {
+            let kernel =
+                ElasticityKernel::new(ElementType::Hex20, 100.0, 0.3, [0.0, 0.0, -1.0]);
+            let mut makespans = Vec::new();
+            for ns in [1usize, 8] {
+                let (mut gpu, _) = HymvGpuOperator::setup(
+                    comm,
+                    &pm.parts[0],
+                    &kernel,
+                    model,
+                    ns,
+                    GpuScheme::Blocking,
+                    1,
+                );
+                let x = vec![1.0; gpu.n_owned()];
+                let mut y = vec![0.0; gpu.n_owned()];
+                gpu.sim_mut().begin_window();
+                gpu.sim_mut().clear_events();
+                gpu.matvec(comm, &x, &mut y);
+                // The window spans the whole matvec (begin_window inside
+                // matvec resets it): use the recorded events instead.
+                let ev = gpu.sim().events();
+                let t0 = ev.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+                let t1 = ev.iter().map(|e| e.end).fold(0.0, f64::max);
+                makespans.push(t1 - t0);
+            }
+            makespans
+        });
+        let m = &out[0];
+        assert!(m[1] < m[0] * 0.85, "8 streams {} must beat 1 stream {}", m[1], m[0]);
+    }
+
+    #[test]
+    fn setup_includes_upload() {
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let out = Universe::run(1, |comm| {
+            let kernel = PoissonKernel::new(ElementType::Hex8);
+            let (cpu, t_cpu) = HymvOperator::setup(comm, &pm.parts[0], &kernel);
+            let bytes = cpu.store().bytes();
+            let (gpu, t_gpu) = HymvGpuOperator::setup(
+                comm,
+                &pm.parts[0],
+                &kernel,
+                GpuModel::default(),
+                2,
+                GpuScheme::Blocking,
+                1,
+            );
+            (t_cpu.local_copy_s, t_gpu.local_copy_s, gpu.upload_seconds(), bytes)
+        });
+        let (_cpu_copy, gpu_copy, upload, bytes) = out[0];
+        // The GPU setup's copy component carries the modeled upload on top
+        // of the host-side local copy (measured CPU time is noisy across
+        // the two separate runs, so only the structural relation is
+        // asserted).
+        let expected = GpuModel::default().h2d_time(bytes);
+        assert!((upload - expected).abs() < 1e-12);
+        assert!(gpu_copy >= upload, "copy component {gpu_copy} includes the upload {upload}");
+    }
+
+    #[test]
+    fn trace_events_cover_three_engines() {
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let out = Universe::run(1, |comm| {
+            let kernel = PoissonKernel::new(ElementType::Hex8);
+            let (mut gpu, _) = HymvGpuOperator::setup(
+                comm,
+                &pm.parts[0],
+                &kernel,
+                GpuModel::default(),
+                4,
+                GpuScheme::Blocking,
+                1,
+            );
+            let x = vec![1.0; gpu.n_owned()];
+            let mut y = vec![0.0; gpu.n_owned()];
+            gpu.sim_mut().clear_events();
+            gpu.matvec(comm, &x, &mut y);
+            gpu.sim().events().to_vec()
+        });
+        use crate::sim::EventKind;
+        let ev = &out[0];
+        assert!(ev.iter().any(|e| e.kind == EventKind::H2D));
+        assert!(ev.iter().any(|e| e.kind == EventKind::Kernel));
+        assert!(ev.iter().any(|e| e.kind == EventKind::D2H));
+        // Chunks spread across streams.
+        assert!(ev.iter().any(|e| e.stream > 0));
+    }
+}

@@ -1,0 +1,115 @@
+//! Timeline export: Chrome-trace JSON (load into `chrome://tracing` or
+//! Perfetto) and an ASCII Gantt renderer — the reproduction of the paper's
+//! Fig 3 profiling snapshot.
+
+use crate::sim::{EventKind, TraceEvent};
+
+/// Serialize events in the Chrome Trace Event format (microseconds).
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    #[derive(serde::Serialize)]
+    struct ChromeEvent<'a> {
+        name: &'a str,
+        cat: &'static str,
+        ph: &'static str,
+        ts: f64,
+        dur: f64,
+        pid: u32,
+        tid: usize,
+    }
+    let rows: Vec<ChromeEvent> = events
+        .iter()
+        .map(|e| ChromeEvent {
+            name: &e.label,
+            cat: match e.kind {
+                EventKind::H2D => "h2d",
+                EventKind::Kernel => "kernel",
+                EventKind::D2H => "d2h",
+            },
+            ph: "X",
+            ts: e.start * 1e6,
+            dur: (e.end - e.start) * 1e6,
+            pid: 0,
+            tid: e.stream,
+        })
+        .collect();
+    serde_json::to_string_pretty(&rows).expect("trace serialization cannot fail")
+}
+
+/// Render an ASCII Gantt chart: one row per (stream, engine-kind), `width`
+/// character columns over the event span. H2D = `h`, kernel = `█`,
+/// D2H = `d`.
+pub fn render_ascii(events: &[TraceEvent], width: usize) -> String {
+    if events.is_empty() {
+        return String::from("(no events)\n");
+    }
+    let t0 = events.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+    let t1 = events.iter().map(|e| e.end).fold(f64::NEG_INFINITY, f64::max);
+    let span = (t1 - t0).max(1e-30);
+    let n_streams = events.iter().map(|e| e.stream).max().expect("non-empty") + 1;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time span: {:.3} ms   (h = H2D, █ = kernel, d = D2H)\n",
+        span * 1e3
+    ));
+    for s in 0..n_streams {
+        let mut row = vec![' '; width];
+        for e in events.iter().filter(|e| e.stream == s) {
+            let c0 = (((e.start - t0) / span) * width as f64) as usize;
+            let c1 = ((((e.end - t0) / span) * width as f64).ceil() as usize).min(width);
+            let ch = match e.kind {
+                EventKind::H2D => 'h',
+                EventKind::Kernel => '█',
+                EventKind::D2H => 'd',
+            };
+            for c in row.iter_mut().take(c1).skip(c0.min(width)) {
+                *c = ch;
+            }
+        }
+        out.push_str(&format!("stream {s:2} |{}|\n", row.iter().collect::<String>()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent { stream: 0, kind: EventKind::H2D, start: 0.0, end: 1.0, label: "h0".into() },
+            TraceEvent { stream: 0, kind: EventKind::Kernel, start: 1.0, end: 2.0, label: "k0".into() },
+            TraceEvent { stream: 1, kind: EventKind::H2D, start: 1.0, end: 2.0, label: "h1".into() },
+            TraceEvent { stream: 1, kind: EventKind::D2H, start: 2.0, end: 3.0, label: "d1".into() },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_all_events() {
+        let json = to_chrome_trace(&sample_events());
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let arr = parsed.as_array().expect("array");
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[0]["ts"], 0.0);
+        assert_eq!(arr[1]["dur"], 1e6);
+        assert_eq!(arr[2]["tid"], 1);
+    }
+
+    #[test]
+    fn ascii_gantt_shape() {
+        let g = render_ascii(&sample_events(), 30);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 streams
+        assert!(lines[1].starts_with("stream  0"));
+        assert!(lines[1].contains('h') && lines[1].contains('█'));
+        assert!(lines[2].contains('d'));
+    }
+
+    #[test]
+    fn empty_events_handled() {
+        assert_eq!(render_ascii(&[], 10), "(no events)\n");
+        let json = to_chrome_trace(&[]);
+        assert_eq!(json.trim(), "[]");
+    }
+}

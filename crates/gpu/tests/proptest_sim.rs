@@ -1,0 +1,111 @@
+//! Property-based tests of the discrete-event device: scheduling
+//! invariants that must hold for any operation sequence.
+
+use proptest::prelude::*;
+
+use hymv_gpu::{DeviceSim, EventKind, GpuModel};
+
+fn any_op() -> impl Strategy<Value = (u8, usize, usize)> {
+    // (kind, stream, size)
+    (0u8..3, 0usize..4, 1usize..2_000_000)
+}
+
+fn run_ops(sim: &mut DeviceSim, ops: &[(u8, usize, usize)]) {
+    for (i, &(kind, stream, size)) in ops.iter().enumerate() {
+        let s = stream % sim.n_streams();
+        match kind {
+            0 => sim.h2d(s, size, format!("h{i}")),
+            1 => sim.kernel(s, size as u64, size, format!("k{i}")),
+            _ => sim.d2h(s, size, format!("d{i}")),
+        };
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Events on one stream never overlap; events on one engine never
+    /// overlap; makespan ≥ busiest engine; makespan ≤ serial sum.
+    #[test]
+    fn scheduling_invariants(
+        n_streams in 1usize..5,
+        ops in proptest::collection::vec(any_op(), 1..40),
+    ) {
+        let mut sim = DeviceSim::new(GpuModel::default(), n_streams);
+        run_ops(&mut sim, &ops);
+        let events = sim.events();
+
+        // Per-stream and per-engine: issue order is schedule order, so
+        // consecutive events on the same resource must not overlap.
+        for group_by_stream in [true, false] {
+            let mut last_end: std::collections::HashMap<usize, f64> = Default::default();
+            for e in events {
+                let key = if group_by_stream {
+                    e.stream
+                } else {
+                    match e.kind {
+                        EventKind::H2D => 100,
+                        EventKind::Kernel => 101,
+                        EventKind::D2H => 102,
+                    }
+                };
+                let prev = last_end.get(&key).copied().unwrap_or(0.0);
+                prop_assert!(e.start + 1e-15 >= prev, "overlap on resource {key}");
+                last_end.insert(key, e.end);
+            }
+        }
+
+        // Makespan bounds.
+        let makespan = sim.now();
+        let serial_sum: f64 = events.iter().map(|e| e.end - e.start).sum();
+        prop_assert!(makespan <= serial_sum + 1e-12);
+        for kind in [EventKind::H2D, EventKind::Kernel, EventKind::D2H] {
+            let busy: f64 = events.iter().filter(|e| e.kind == kind).map(|e| e.end - e.start).sum();
+            prop_assert!(makespan + 1e-12 >= busy, "makespan below {kind:?} busy time");
+        }
+    }
+
+    /// More streams never increase the makespan of a balanced chunked
+    /// pipeline (monotonicity of pipelining for latency-free models).
+    #[test]
+    fn pipelining_is_monotone(
+        chunks in 2usize..10,
+        bytes in 10_000usize..1_000_000,
+    ) {
+        let model = GpuModel {
+            launch_latency: 0.0,
+            transfer_latency: 0.0,
+            ..GpuModel::default()
+        };
+        let mut prev = f64::INFINITY;
+        for ns in [1usize, 2, 4, 8] {
+            let mut sim = DeviceSim::new(model, ns);
+            for c in 0..chunks {
+                let s = c % ns;
+                sim.h2d(s, bytes, "h");
+                sim.kernel(s, (2 * bytes) as u64, bytes * 4, "k");
+                sim.d2h(s, bytes, "d");
+            }
+            let makespan = sim.now();
+            prop_assert!(makespan <= prev + 1e-12, "ns={ns}: {makespan} > {prev}");
+            prev = makespan;
+        }
+    }
+
+    /// Window bookkeeping: total elapsed equals the sum of window
+    /// makespans when windows partition the schedule.
+    #[test]
+    fn windows_partition_time(
+        ops_a in proptest::collection::vec(any_op(), 1..10),
+        ops_b in proptest::collection::vec(any_op(), 1..10),
+    ) {
+        let mut sim = DeviceSim::new(GpuModel::default(), 2);
+        sim.begin_window();
+        run_ops(&mut sim, &ops_a);
+        let w1 = sim.window_elapsed();
+        sim.begin_window();
+        run_ops(&mut sim, &ops_b);
+        let w2 = sim.window_elapsed();
+        prop_assert!((sim.now() - (w1 + w2)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Serial CSR sparse matrices — the node-local building block of the
+//! matrix-assembled (PETSc) baseline.
+
+/// A compressed-sparse-row matrix with sorted, de-duplicated columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerialCsr {
+    n_rows: usize,
+    n_cols: usize,
+    /// Row pointers, length `n_rows + 1`.
+    pub ptr: Vec<usize>,
+    /// Column indices per row, sorted.
+    pub cols: Vec<u32>,
+    /// Values, aligned with `cols`.
+    pub vals: Vec<f64>,
+}
+
+impl SerialCsr {
+    /// Build from (row, col, value) triples; duplicates are summed (FEM
+    /// assembly semantics).
+    pub fn from_triples(n_rows: usize, n_cols: usize, mut triples: Vec<(u32, u32, f64)>) -> Self {
+        for &(r, c, _) in &triples {
+            assert!((r as usize) < n_rows && (c as usize) < n_cols, "triple ({r},{c}) out of range");
+        }
+        triples.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut ptr = vec![0usize; n_rows + 1];
+        let mut cols: Vec<u32> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        let mut cur_row: i64 = -1;
+        for (r, c, v) in triples {
+            if r as i64 == cur_row && cols.last() == Some(&c) {
+                *vals.last_mut().expect("row has an entry") += v;
+            } else {
+                if r as i64 != cur_row {
+                    // Open row r: rows (cur_row, r] all start here.
+                    for row in (cur_row + 1) as usize..=r as usize {
+                        ptr[row] = cols.len();
+                    }
+                    cur_row = r as i64;
+                }
+                cols.push(c);
+                vals.push(v);
+            }
+        }
+        for row in (cur_row + 1) as usize..=n_rows {
+            ptr[row] = cols.len();
+        }
+        SerialCsr { n_rows, n_cols, ptr, cols, vals }
+    }
+
+    /// An empty matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        SerialCsr { n_rows, n_cols, ptr: vec![0; n_rows + 1], cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Bytes of matrix storage (ptr + cols + vals).
+    pub fn bytes(&self) -> usize {
+        self.ptr.len() * 8 + self.cols.len() * 4 + self.vals.len() * 8
+    }
+
+    /// `y = A x` (`accumulate = false`) or `y += A x` (`accumulate = true`).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64], accumulate: bool) {
+        debug_assert_eq!(x.len(), self.n_cols);
+        debug_assert_eq!(y.len(), self.n_rows);
+        for r in 0..self.n_rows {
+            let mut acc = if accumulate { y[r] } else { 0.0 };
+            for idx in self.ptr[r]..self.ptr[r + 1] {
+                acc += self.vals[idx] * x[self.cols[idx] as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Extract the main diagonal (zeros where absent).
+    pub fn diag(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n_rows];
+        for r in 0..self.n_rows.min(self.n_cols) {
+            for idx in self.ptr[r]..self.ptr[r + 1] {
+                if self.cols[idx] as usize == r {
+                    d[r] = self.vals[idx];
+                }
+            }
+        }
+        d
+    }
+
+    /// Value at `(r, c)`, zero if not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        for idx in self.ptr[r]..self.ptr[r + 1] {
+            if self.cols[idx] as usize == c {
+                return self.vals[idx];
+            }
+        }
+        0.0
+    }
+
+    /// FLOPs of one SPMV: `2·nnz`.
+    pub fn spmv_flops(&self) -> u64 {
+        2 * self.nnz() as u64
+    }
+
+    /// Densify (tests only).
+    pub fn to_dense_colmajor(&self) -> Vec<f64> {
+        let mut a = vec![0.0; self.n_rows * self.n_cols];
+        for r in 0..self.n_rows {
+            for idx in self.ptr[r]..self.ptr[r + 1] {
+                a[self.cols[idx] as usize * self.n_rows + r] = self.vals[idx];
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn triples_merge_duplicates() {
+        let a = SerialCsr::from_triples(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 4.0), (0, 1, 0.5)]);
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(0, 1), 0.5);
+        assert_eq!(a.get(1, 0), 0.0);
+        assert_eq!(a.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let a = SerialCsr::from_triples(4, 4, vec![(3, 0, 1.0)]);
+        assert_eq!(a.ptr, vec![0, 0, 0, 0, 1]);
+        let mut y = vec![0.0; 4];
+        a.spmv(&[2.0, 0.0, 0.0, 0.0], &mut y, false);
+        assert_eq!(y, vec![0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn spmv_accumulate() {
+        let a = SerialCsr::from_triples(2, 2, vec![(0, 0, 2.0), (1, 1, 3.0)]);
+        let mut y = vec![1.0, 1.0];
+        a.spmv(&[1.0, 1.0], &mut y, true);
+        assert_eq!(y, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn diag_extraction() {
+        let a = SerialCsr::from_triples(3, 3, vec![(0, 0, 5.0), (1, 2, 1.0), (2, 2, -2.0)]);
+        assert_eq!(a.diag(), vec![5.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn rectangular_spmv() {
+        // 2×3 matrix.
+        let a = SerialCsr::from_triples(2, 3, vec![(0, 2, 1.0), (1, 0, 2.0)]);
+        let mut y = vec![0.0; 2];
+        a.spmv(&[1.0, 10.0, 100.0], &mut y, false);
+        assert_eq!(y, vec![100.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_triple_rejected() {
+        let _ = SerialCsr::from_triples(2, 2, vec![(2, 0, 1.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn csr_spmv_matches_dense(
+            entries in proptest::collection::vec((0u32..8, 0u32..8, -10.0f64..10.0), 0..64),
+            x in proptest::collection::vec(-5.0f64..5.0, 8),
+        ) {
+            let a = SerialCsr::from_triples(8, 8, entries.clone());
+            // Dense reference by direct accumulation.
+            let mut dense = vec![0.0f64; 64];
+            for &(r, c, v) in &entries {
+                dense[c as usize * 8 + r as usize] += v;
+            }
+            let mut y = vec![0.0; 8];
+            a.spmv(&x, &mut y, false);
+            for r in 0..8 {
+                let want: f64 = (0..8).map(|c| dense[c * 8 + r] * x[c]).sum();
+                prop_assert!((y[r] - want).abs() < 1e-9);
+            }
+            // Round-trip through to_dense too.
+            prop_assert_eq!(a.to_dense_colmajor().len(), 64);
+            for r in 0..8 {
+                for c in 0..8 {
+                    prop_assert!((a.get(r, c) - dense[c * 8 + r]).abs() < 1e-12);
+                }
+            }
+        }
+
+        #[test]
+        fn cols_sorted_within_rows(
+            entries in proptest::collection::vec((0u32..6, 0u32..6, -1.0f64..1.0), 0..40),
+        ) {
+            let a = SerialCsr::from_triples(6, 6, entries);
+            for r in 0..6 {
+                let cols = &a.cols[a.ptr[r]..a.ptr[r + 1]];
+                prop_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+}

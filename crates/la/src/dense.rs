@@ -1,0 +1,349 @@
+//! Dense element-matrix storage and the vectorized EMV kernel.
+//!
+//! HYMV's central data structure is the array of locally-stored element
+//! matrices, kept **column-major** so the elemental mat-vec
+//! `ve = Σⱼ Ke[:,j] · ue[j]` (paper equation (4)) walks memory linearly and
+//! vectorizes as a chain of axpy operations. The kernel is dispatched at
+//! runtime: AVX-512F if the CPU has it, then AVX2+FMA, then a portable
+//! chunked loop the autovectorizer handles well.
+
+use std::sync::OnceLock;
+
+/// Contiguous storage of `n_elems` column-major `nd × nd` element matrices.
+#[derive(Debug, Clone)]
+pub struct ElementMatrixStore {
+    nd: usize,
+    n_elems: usize,
+    data: Vec<f64>,
+}
+
+impl ElementMatrixStore {
+    /// Zero-initialized storage.
+    pub fn new(nd: usize, n_elems: usize) -> Self {
+        assert!(nd > 0, "element matrix dimension must be positive");
+        ElementMatrixStore { nd, n_elems, data: vec![0.0; nd * nd * n_elems] }
+    }
+
+    /// Element matrix dimension.
+    pub fn nd(&self) -> usize {
+        self.nd
+    }
+
+    /// Number of stored matrices.
+    pub fn n_elems(&self) -> usize {
+        self.n_elems
+    }
+
+    /// Bytes of matrix storage (the memory-footprint figure HYMV pays for
+    /// its speed).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// Immutable view of element `e`'s matrix.
+    pub fn ke(&self, e: usize) -> &[f64] {
+        let sz = self.nd * self.nd;
+        &self.data[e * sz..(e + 1) * sz]
+    }
+
+    /// Mutable view of element `e`'s matrix (the adaptive-update path:
+    /// XFEM enrichment recomputes only these entries).
+    pub fn ke_mut(&mut self, e: usize) -> &mut [f64] {
+        let sz = self.nd * self.nd;
+        &mut self.data[e * sz..(e + 1) * sz]
+    }
+
+    /// The whole storage as a flat slice (GPU upload path).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// `ve = Ke · ue` for a column-major `nd × nd` matrix; `nd` inferred from
+/// `ue.len()`. Runtime-dispatched to the best available SIMD variant.
+#[inline]
+pub fn emv(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
+    static KERNEL: OnceLock<fn(&[f64], &[f64], &mut [f64])> = OnceLock::new();
+    let k = KERNEL.get_or_init(select_kernel);
+    k(ke, ue, ve);
+}
+
+/// Name of the dispatched kernel variant (for experiment logs).
+pub fn emv_kernel_name() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            return "avx512f";
+        }
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return "avx2+fma";
+        }
+    }
+    "portable"
+}
+
+fn select_kernel() -> fn(&[f64], &[f64], &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            return emv_avx512;
+        }
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return emv_avx2;
+        }
+    }
+    emv_portable
+}
+
+/// Portable column-axpy variant; the inner loop autovectorizes.
+pub fn emv_portable(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
+    let nd = ue.len();
+    debug_assert_eq!(ke.len(), nd * nd);
+    debug_assert_eq!(ve.len(), nd);
+    ve.fill(0.0);
+    for (j, &u) in ue.iter().enumerate() {
+        let col = &ke[j * nd..(j + 1) * nd];
+        for (v, &k) in ve.iter_mut().zip(col) {
+            *v += k * u;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn emv_avx2(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
+    // SAFETY: dispatch guarantees avx2+fma are available.
+    unsafe { emv_avx2_impl(ke, ue, ve) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn emv_avx2_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let nd = ue.len();
+    debug_assert_eq!(ke.len(), nd * nd);
+    debug_assert_eq!(ve.len(), nd);
+    ve.fill(0.0);
+    let chunks = nd / 4;
+    for (j, &u) in ue.iter().enumerate() {
+        let col = ke.as_ptr().add(j * nd);
+        let ub = _mm256_set1_pd(u);
+        let vp = ve.as_mut_ptr();
+        for c in 0..chunks {
+            let k = _mm256_loadu_pd(col.add(4 * c));
+            let v = _mm256_loadu_pd(vp.add(4 * c));
+            _mm256_storeu_pd(vp.add(4 * c), _mm256_fmadd_pd(k, ub, v));
+        }
+        for i in 4 * chunks..nd {
+            *ve.get_unchecked_mut(i) += *col.add(i) * u;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn emv_avx512(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
+    // SAFETY: dispatch guarantees avx512f is available.
+    unsafe { emv_avx512_impl(ke, ue, ve) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn emv_avx512_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let nd = ue.len();
+    debug_assert_eq!(ke.len(), nd * nd);
+    debug_assert_eq!(ve.len(), nd);
+    ve.fill(0.0);
+    let chunks = nd / 8;
+    for (j, &u) in ue.iter().enumerate() {
+        let col = ke.as_ptr().add(j * nd);
+        let ub = _mm512_set1_pd(u);
+        let vp = ve.as_mut_ptr();
+        for c in 0..chunks {
+            let k = _mm512_loadu_pd(col.add(8 * c));
+            let v = _mm512_loadu_pd(vp.add(8 * c));
+            _mm512_storeu_pd(vp.add(8 * c), _mm512_fmadd_pd(k, ub, v));
+        }
+        for i in 8 * chunks..nd {
+            *ve.get_unchecked_mut(i) += *col.add(i) * u;
+        }
+    }
+}
+
+/// The ablation variant: dot-product order over a column-major matrix —
+/// stride-`nd` access, deliberately cache-hostile. Used by the kernel
+/// ablation bench to show why equation (4) prescribes the axpy order.
+pub fn emv_dot_strided(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
+    let nd = ue.len();
+    debug_assert_eq!(ke.len(), nd * nd);
+    debug_assert_eq!(ve.len(), nd);
+    for (i, v) in ve.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (j, &u) in ue.iter().enumerate() {
+            acc += ke[j * nd + i] * u;
+        }
+        *v = acc;
+    }
+}
+
+/// FLOPs of one EMV: `2·nd²` (multiply + add per matrix entry).
+pub fn emv_flops(nd: usize) -> u64 {
+    2 * (nd as u64) * (nd as u64)
+}
+
+/// Dense Gaussian-elimination solve with partial pivoting, used by tests
+/// and tiny reference computations. `a` is column-major `n × n`, consumed.
+pub fn solve_dense(mut a: Vec<f64>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n);
+    for k in 0..n {
+        // Pivot.
+        let piv = (k..n)
+            .max_by(|&i, &j| a[k * n + i].abs().partial_cmp(&a[k * n + j].abs()).expect("finite"))
+            .expect("non-empty");
+        if piv != k {
+            for j in 0..n {
+                a.swap(j * n + k, j * n + piv);
+            }
+            b.swap(k, piv);
+        }
+        let d = a[k * n + k];
+        assert!(d.abs() > 1e-300, "singular matrix in solve_dense");
+        for i in k + 1..n {
+            let f = a[k * n + i] / d;
+            if f != 0.0 {
+                for j in k..n {
+                    a[j * n + i] -= f * a[j * n + k];
+                }
+                b[i] -= f * b[k];
+            }
+        }
+    }
+    for k in (0..n).rev() {
+        let mut s = b[k];
+        for j in k + 1..n {
+            s -= a[j * n + k] * b[j];
+        }
+        b[k] = s / a[k * n + k];
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_system(nd: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ke: Vec<f64> = (0..nd * nd).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let ue: Vec<f64> = (0..nd).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (ke, ue)
+    }
+
+    #[test]
+    fn all_variants_agree() {
+        for nd in [1, 3, 4, 8, 20, 24, 27, 60, 81] {
+            let (ke, ue) = random_system(nd, nd as u64);
+            let mut v_ref = vec![0.0; nd];
+            emv_dot_strided(&ke, &ue, &mut v_ref);
+
+            let mut v = vec![0.0; nd];
+            emv_portable(&ke, &ue, &mut v);
+            for i in 0..nd {
+                assert!((v[i] - v_ref[i]).abs() < 1e-12, "portable nd={nd} i={i}");
+            }
+
+            let mut v = vec![0.0; nd];
+            emv(&ke, &ue, &mut v);
+            for i in 0..nd {
+                assert!((v[i] - v_ref[i]).abs() < 1e-12, "dispatched nd={nd} i={i}");
+            }
+
+            #[cfg(target_arch = "x86_64")]
+            {
+                if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                    let mut v = vec![0.0; nd];
+                    emv_avx2(&ke, &ue, &mut v);
+                    for i in 0..nd {
+                        assert!((v[i] - v_ref[i]).abs() < 1e-12, "avx2 nd={nd} i={i}");
+                    }
+                }
+                if is_x86_feature_detected!("avx512f") {
+                    let mut v = vec![0.0; nd];
+                    emv_avx512(&ke, &ue, &mut v);
+                    for i in 0..nd {
+                        assert!((v[i] - v_ref[i]).abs() < 1e-12, "avx512 nd={nd} i={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let nd = 5;
+        let mut ke = vec![0.0; nd * nd];
+        for i in 0..nd {
+            ke[i * nd + i] = 1.0;
+        }
+        let ue = vec![1.0, -2.0, 3.0, -4.0, 5.0];
+        let mut ve = vec![9.0; nd]; // must be overwritten
+        emv(&ke, &ue, &mut ve);
+        assert_eq!(ve, ue);
+    }
+
+    #[test]
+    fn store_layout_and_update() {
+        let mut store = ElementMatrixStore::new(3, 4);
+        assert_eq!(store.bytes(), 4 * 9 * 8);
+        store.ke_mut(2)[4] = 7.0; // column 1, row 1 of element 2
+        assert_eq!(store.ke(2)[4], 7.0);
+        assert_eq!(store.ke(1)[4], 0.0);
+        assert_eq!(store.as_slice()[2 * 9 + 4], 7.0);
+        assert_eq!(store.nd(), 3);
+        assert_eq!(store.n_elems(), 4);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(emv_flops(10), 200);
+    }
+
+    #[test]
+    fn kernel_name_reports_something() {
+        let name = emv_kernel_name();
+        assert!(["avx512f", "avx2+fma", "portable"].contains(&name));
+    }
+
+    #[test]
+    fn dense_solver_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 12;
+        // SPD-ish: A = M + n·I keeps it well-conditioned.
+        let mut a = vec![0.0; n * n];
+        for v in a.iter_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        for i in 0..n {
+            a[i * n + i] += n as f64;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let mut b = vec![0.0; n];
+        for j in 0..n {
+            for i in 0..n {
+                b[i] += a[j * n + i] * x_true[j];
+            }
+        }
+        let x = solve_dense(a, b);
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_detected() {
+        let _ = solve_dense(vec![0.0; 4], vec![1.0, 1.0]);
+    }
+}

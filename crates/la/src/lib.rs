@@ -1,0 +1,32 @@
+//! # hymv-la — linear-algebra substrate
+//!
+//! The numerical kernels under HYMV and its baselines:
+//!
+//! * [`dense`] — contiguous column-major storage for element matrices and
+//!   the vectorized elemental mat-vec (EMV) kernel of paper §IV-E
+//!   (equation (4)): `ve = Σⱼ Ke[:,j] · ue[j]`, dispatched at runtime to
+//!   AVX-512/AVX2+FMA/portable variants, plus the deliberately strided
+//!   dot-product variant used by the kernel ablation bench,
+//! * [`csr`] — serial CSR matrices (the node-local representation PETSc
+//!   uses),
+//! * [`dist_csr`] — a PETSc `MPIAIJ`-style distributed CSR with
+//!   diag/off-diag block split, compressed ghost-column map, triple
+//!   exchange during assembly (the communication that makes the
+//!   matrix-assembled setup expensive at scale) and
+//!   communication/computation-overlapped SPMV,
+//! * [`solver`] — the [`solver::LinOp`] operator abstraction (PETSc's
+//!   `MatShell`), conjugate gradients, and convergence reporting,
+//! * [`precond`] — Jacobi and block-Jacobi (ILU(0) per-rank block)
+//!   preconditioners, the ones evaluated in the paper's Fig 11.
+
+pub mod csr;
+pub mod dense;
+pub mod dist_csr;
+pub mod precond;
+pub mod solver;
+
+pub use csr::SerialCsr;
+pub use dense::{emv, ElementMatrixStore};
+pub use dist_csr::DistCsr;
+pub use precond::{BlockJacobi, Identity, Jacobi, Precond};
+pub use solver::{cg, pipelined_cg, CgResult, LinOp};

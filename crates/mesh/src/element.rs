@@ -1,0 +1,215 @@
+//! Element types used throughout the reproduction.
+//!
+//! Local node orderings are canonical for this codebase and shared with
+//! `hymv-fem`'s shape functions:
+//!
+//! * **Hex**: 8 corners in the usual counter-clockwise-bottom-then-top
+//!   order, then 12 edge midpoints ([`HEX_EDGES`] order), then 6 face
+//!   centers ([`HEX_FACES`] order, Hex27 only), then the body center.
+//! * **Tet**: 4 vertices, then 6 edge midpoints ([`TET_EDGES`] order).
+
+/// The finite element types the paper evaluates with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElementType {
+    /// 8-node trilinear hexahedron.
+    Hex8,
+    /// 20-node serendipity quadratic hexahedron.
+    Hex20,
+    /// 27-node Lagrange quadratic hexahedron.
+    Hex27,
+    /// 4-node linear tetrahedron.
+    Tet4,
+    /// 10-node quadratic tetrahedron.
+    Tet10,
+}
+
+impl ElementType {
+    /// Number of nodes per element.
+    pub fn nodes_per_elem(self) -> usize {
+        match self {
+            ElementType::Hex8 => 8,
+            ElementType::Hex20 => 20,
+            ElementType::Hex27 => 27,
+            ElementType::Tet4 => 4,
+            ElementType::Tet10 => 10,
+        }
+    }
+
+    /// True for hexahedral types.
+    pub fn is_hex(self) -> bool {
+        matches!(self, ElementType::Hex8 | ElementType::Hex20 | ElementType::Hex27)
+    }
+
+    /// True for quadratic (second-order) elements.
+    pub fn is_quadratic(self) -> bool {
+        !matches!(self, ElementType::Hex8 | ElementType::Tet4)
+    }
+
+    /// Reference coordinates of each local node.
+    ///
+    /// Hexes use the bi-unit cube `[-1,1]³`; tets use the unit simplex
+    /// (vertices at the origin and the three axis unit points).
+    pub fn ref_coords(self) -> Vec<[f64; 3]> {
+        match self {
+            ElementType::Hex8 => HEX_CORNERS.to_vec(),
+            ElementType::Hex20 | ElementType::Hex27 => {
+                let mut pts: Vec<[f64; 3]> = HEX_CORNERS.to_vec();
+                for &(a, b) in HEX_EDGES {
+                    pts.push(midpoint(HEX_CORNERS[a], HEX_CORNERS[b]));
+                }
+                if self == ElementType::Hex27 {
+                    for face in HEX_FACES {
+                        let mut c = [0.0; 3];
+                        for &v in face {
+                            for d in 0..3 {
+                                c[d] += HEX_CORNERS[v][d] / 4.0;
+                            }
+                        }
+                        pts.push(c);
+                    }
+                    pts.push([0.0, 0.0, 0.0]);
+                }
+                pts
+            }
+            ElementType::Tet4 => TET_CORNERS.to_vec(),
+            ElementType::Tet10 => {
+                let mut pts: Vec<[f64; 3]> = TET_CORNERS.to_vec();
+                for &(a, b) in TET_EDGES {
+                    pts.push(midpoint(TET_CORNERS[a], TET_CORNERS[b]));
+                }
+                pts
+            }
+        }
+    }
+}
+
+fn midpoint(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [(a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0, (a[2] + b[2]) / 2.0]
+}
+
+/// Hex corner reference coordinates, canonical order.
+pub const HEX_CORNERS: [[f64; 3]; 8] = [
+    [-1.0, -1.0, -1.0],
+    [1.0, -1.0, -1.0],
+    [1.0, 1.0, -1.0],
+    [-1.0, 1.0, -1.0],
+    [-1.0, -1.0, 1.0],
+    [1.0, -1.0, 1.0],
+    [1.0, 1.0, 1.0],
+    [-1.0, 1.0, 1.0],
+];
+
+/// The 12 hex edges as (corner, corner) pairs — edge-midpoint node order.
+pub const HEX_EDGES: &[(usize, usize)] = &[
+    (0, 1),
+    (1, 2),
+    (2, 3),
+    (3, 0),
+    (4, 5),
+    (5, 6),
+    (6, 7),
+    (7, 4),
+    (0, 4),
+    (1, 5),
+    (2, 6),
+    (3, 7),
+];
+
+/// The 6 hex faces as corner quadruples — face-center node order (Hex27).
+pub const HEX_FACES: &[[usize; 4]] = &[
+    [0, 1, 2, 3], // z = -1
+    [4, 5, 6, 7], // z = +1
+    [0, 1, 5, 4], // y = -1
+    [2, 3, 7, 6], // y = +1
+    [0, 3, 7, 4], // x = -1
+    [1, 2, 6, 5], // x = +1
+];
+
+/// Tet vertex reference coordinates (unit simplex).
+pub const TET_CORNERS: [[f64; 3]; 4] = [
+    [0.0, 0.0, 0.0],
+    [1.0, 0.0, 0.0],
+    [0.0, 1.0, 0.0],
+    [0.0, 0.0, 1.0],
+];
+
+/// The 6 tet edges — edge-midpoint node order (Tet10).
+pub const TET_EDGES: &[(usize, usize)] = &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counts() {
+        assert_eq!(ElementType::Hex8.nodes_per_elem(), 8);
+        assert_eq!(ElementType::Hex20.nodes_per_elem(), 20);
+        assert_eq!(ElementType::Hex27.nodes_per_elem(), 27);
+        assert_eq!(ElementType::Tet4.nodes_per_elem(), 4);
+        assert_eq!(ElementType::Tet10.nodes_per_elem(), 10);
+    }
+
+    #[test]
+    fn ref_coords_counts_match() {
+        for et in [
+            ElementType::Hex8,
+            ElementType::Hex20,
+            ElementType::Hex27,
+            ElementType::Tet4,
+            ElementType::Tet10,
+        ] {
+            assert_eq!(et.ref_coords().len(), et.nodes_per_elem(), "{et:?}");
+        }
+    }
+
+    #[test]
+    fn hex27_contains_center_and_face_centers() {
+        let pts = ElementType::Hex27.ref_coords();
+        assert_eq!(pts[26], [0.0, 0.0, 0.0]);
+        // Face centers have exactly one non-zero coordinate of magnitude 1.
+        for p in &pts[20..26] {
+            let nonzero: Vec<f64> = p.iter().copied().filter(|c| c.abs() > 1e-12).collect();
+            assert_eq!(nonzero.len(), 1);
+            assert!((nonzero[0].abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hex20_edge_nodes_have_one_zero_coordinate() {
+        let pts = ElementType::Hex20.ref_coords();
+        for p in &pts[8..20] {
+            let zeros = p.iter().filter(|c| c.abs() < 1e-12).count();
+            assert_eq!(zeros, 1, "edge midpoint {p:?}");
+        }
+    }
+
+    #[test]
+    fn tet10_midpoints() {
+        let pts = ElementType::Tet10.ref_coords();
+        // Midpoint of edge (0,1) is (0.5, 0, 0).
+        assert_eq!(pts[4], [0.5, 0.0, 0.0]);
+        // Midpoint of edge (2,3) is (0, 0.5, 0.5).
+        assert_eq!(pts[9], [0.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn edges_reference_valid_corners() {
+        for &(a, b) in HEX_EDGES {
+            assert!(a < 8 && b < 8 && a != b);
+        }
+        for &(a, b) in TET_EDGES {
+            assert!(a < 4 && b < 4 && a != b);
+        }
+        for f in HEX_FACES {
+            assert!(f.iter().all(|&v| v < 8));
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(ElementType::Hex20.is_hex());
+        assert!(!ElementType::Tet10.is_hex());
+        assert!(ElementType::Tet10.is_quadratic());
+        assert!(!ElementType::Hex8.is_quadratic());
+    }
+}

@@ -1,0 +1,254 @@
+//! Global and per-rank mesh containers.
+
+use crate::element::ElementType;
+
+/// A complete (serial) mesh: nodal coordinates plus flat connectivity.
+///
+/// This is the view a mesh generator (Gmsh in the paper) produces before
+/// partitioning. Global node ids index `coords`.
+#[derive(Debug, Clone)]
+pub struct GlobalMesh {
+    /// Element type of every element (the paper's meshes are homogeneous).
+    pub elem_type: ElementType,
+    /// Coordinates of each global node.
+    pub coords: Vec<[f64; 3]>,
+    /// Flat connectivity, `n_elems × nodes_per_elem` global node ids.
+    pub connectivity: Vec<u64>,
+}
+
+impl GlobalMesh {
+    /// Number of elements.
+    pub fn n_elems(&self) -> usize {
+        self.connectivity.len() / self.elem_type.nodes_per_elem()
+    }
+
+    /// Number of global nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Global node ids of element `e`.
+    pub fn elem_nodes(&self, e: usize) -> &[u64] {
+        let npe = self.elem_type.nodes_per_elem();
+        &self.connectivity[e * npe..(e + 1) * npe]
+    }
+
+    /// Centroid of element `e` (average of its nodes' coordinates).
+    pub fn elem_centroid(&self, e: usize) -> [f64; 3] {
+        let nodes = self.elem_nodes(e);
+        let mut c = [0.0; 3];
+        for &n in nodes {
+            let p = self.coords[n as usize];
+            for d in 0..3 {
+                c[d] += p[d];
+            }
+        }
+        for d in &mut c {
+            *d /= nodes.len() as f64;
+        }
+        c
+    }
+
+    /// Validates structural invariants; returns a description of the first
+    /// violation, if any. Used by tests and by consumers that accept
+    /// user-provided meshes.
+    pub fn validate(&self) -> Result<(), String> {
+        let npe = self.elem_type.nodes_per_elem();
+        if self.connectivity.len() % npe != 0 {
+            return Err(format!(
+                "connectivity length {} is not a multiple of nodes_per_elem {}",
+                self.connectivity.len(),
+                npe
+            ));
+        }
+        let n = self.n_nodes() as u64;
+        if let Some(&bad) = self.connectivity.iter().find(|&&id| id >= n) {
+            return Err(format!("connectivity references node {bad} >= n_nodes {n}"));
+        }
+        for e in 0..self.n_elems() {
+            let nodes = self.elem_nodes(e);
+            let mut sorted = nodes.to_vec();
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                return Err(format!("element {e} has repeated nodes"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One rank's share of a partitioned mesh — exactly the information HYMV's
+/// setup requires (paper §IV-A): the local element count, the `E2G` map,
+/// and the owned global-node range, plus per-element nodal coordinates so
+/// operators can evaluate element matrices without global data.
+#[derive(Debug, Clone)]
+pub struct MeshPartition {
+    /// This partition's rank.
+    pub rank: usize,
+    /// Element type.
+    pub elem_type: ElementType,
+    /// Flat `E2G` map: `n_elems × nodes_per_elem` global node ids
+    /// (post-renumbering, so owned ids are contiguous per rank).
+    pub e2g: Vec<u64>,
+    /// Owned global-node range `[begin, end)` (half-open; the paper's
+    /// `[N_begin, N_end]` is inclusive — we use the Rust convention).
+    pub node_range: (u64, u64),
+    /// Per-element nodal coordinates, `n_elems × nodes_per_elem` entries,
+    /// aligned with `e2g`.
+    pub elem_coords: Vec<[f64; 3]>,
+    /// Original (pre-renumbering) global element ids, for adaptive-update
+    /// experiments that enrich specific elements.
+    pub elem_global_ids: Vec<u64>,
+    /// Total number of global nodes across all ranks.
+    pub n_global_nodes: u64,
+}
+
+impl MeshPartition {
+    /// Number of local elements `|ωi|`.
+    pub fn n_elems(&self) -> usize {
+        self.elem_global_ids.len()
+    }
+
+    /// Number of owned nodes.
+    pub fn n_owned(&self) -> usize {
+        (self.node_range.1 - self.node_range.0) as usize
+    }
+
+    /// Global node ids of local element `e`.
+    pub fn elem_nodes(&self, e: usize) -> &[u64] {
+        let npe = self.elem_type.nodes_per_elem();
+        &self.e2g[e * npe..(e + 1) * npe]
+    }
+
+    /// Nodal coordinates of local element `e`.
+    pub fn elem_node_coords(&self, e: usize) -> &[[f64; 3]] {
+        let npe = self.elem_type.nodes_per_elem();
+        &self.elem_coords[e * npe..(e + 1) * npe]
+    }
+
+    /// Validates structural invariants of the partition.
+    pub fn validate(&self) -> Result<(), String> {
+        let npe = self.elem_type.nodes_per_elem();
+        if self.e2g.len() != self.n_elems() * npe {
+            return Err(format!(
+                "e2g length {} != n_elems {} × npe {}",
+                self.e2g.len(),
+                self.n_elems(),
+                npe
+            ));
+        }
+        if self.elem_coords.len() != self.e2g.len() {
+            return Err("elem_coords length mismatch".to_string());
+        }
+        if self.node_range.0 > self.node_range.1 {
+            return Err(format!("inverted node range {:?}", self.node_range));
+        }
+        if self.node_range.1 > self.n_global_nodes {
+            return Err("node range exceeds global node count".to_string());
+        }
+        if let Some(&bad) = self.e2g.iter().find(|&&id| id >= self.n_global_nodes) {
+            return Err(format!("e2g references node {bad} >= global count"));
+        }
+        Ok(())
+    }
+}
+
+/// All ranks' partitions of one mesh.
+#[derive(Debug, Clone)]
+pub struct PartitionedMesh {
+    /// Per-rank partitions, indexed by rank.
+    pub parts: Vec<MeshPartition>,
+}
+
+impl PartitionedMesh {
+    /// Number of ranks.
+    pub fn n_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total element count across ranks.
+    pub fn total_elems(&self) -> usize {
+        self.parts.iter().map(|p| p.n_elems()).sum()
+    }
+
+    /// Total owned-node count across ranks (= global node count).
+    pub fn total_owned_nodes(&self) -> usize {
+        self.parts.iter().map(|p| p.n_owned()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_mesh() -> GlobalMesh {
+        // Two hex8 elements sharing a face: 12 nodes.
+        let mut coords = Vec::new();
+        for k in 0..2 {
+            for j in 0..2 {
+                for i in 0..3 {
+                    coords.push([i as f64, j as f64, k as f64]);
+                }
+            }
+        }
+        let n = |i: u64, j: u64, k: u64| i + 3 * j + 6 * k;
+        let connectivity = vec![
+            n(0, 0, 0),
+            n(1, 0, 0),
+            n(1, 1, 0),
+            n(0, 1, 0),
+            n(0, 0, 1),
+            n(1, 0, 1),
+            n(1, 1, 1),
+            n(0, 1, 1),
+            n(1, 0, 0),
+            n(2, 0, 0),
+            n(2, 1, 0),
+            n(1, 1, 0),
+            n(1, 0, 1),
+            n(2, 0, 1),
+            n(2, 1, 1),
+            n(1, 1, 1),
+        ];
+        GlobalMesh { elem_type: ElementType::Hex8, coords, connectivity }
+    }
+
+    #[test]
+    fn counts_and_access() {
+        let m = tiny_mesh();
+        assert_eq!(m.n_elems(), 2);
+        assert_eq!(m.n_nodes(), 12);
+        assert_eq!(m.elem_nodes(0).len(), 8);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn centroid() {
+        let m = tiny_mesh();
+        let c = m.elem_centroid(0);
+        assert!((c[0] - 0.5).abs() < 1e-12);
+        assert!((c[1] - 0.5).abs() < 1e-12);
+        assert!((c[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_catches_bad_node() {
+        let mut m = tiny_mesh();
+        m.connectivity[3] = 99;
+        assert!(m.validate().unwrap_err().contains("references node 99"));
+    }
+
+    #[test]
+    fn validate_catches_repeated_node() {
+        let mut m = tiny_mesh();
+        m.connectivity[1] = m.connectivity[0];
+        assert!(m.validate().unwrap_err().contains("repeated"));
+    }
+
+    #[test]
+    fn validate_catches_ragged_connectivity() {
+        let mut m = tiny_mesh();
+        m.connectivity.pop();
+        assert!(m.validate().unwrap_err().contains("multiple"));
+    }
+}

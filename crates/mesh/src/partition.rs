@@ -1,0 +1,488 @@
+//! Element partitioning and owner-contiguous renumbering.
+//!
+//! The paper partitions structured meshes into z-slabs and unstructured
+//! meshes with METIS. We provide three partitioners of increasing quality:
+//!
+//! * [`PartitionMethod::Slabs`] — split elements into `p` equal chunks by
+//!   centroid z-order (the paper's structured-mesh partitioning),
+//! * [`PartitionMethod::Rcb`] — recursive coordinate bisection,
+//! * [`PartitionMethod::GreedyGraph`] — greedy graph growing over the
+//!   element face-adjacency graph (a METIS stand-in: balanced parts with
+//!   locally-minimized boundary).
+//!
+//! [`partition_mesh`] then renumbers global nodes so each rank owns a
+//! contiguous id range `[N_begin, N_end)` — the precondition of HYMV's
+//! Algorithm 1 — and emits per-rank [`MeshPartition`]s.
+
+use std::collections::VecDeque;
+
+use crate::element::ElementType;
+use crate::mesh::{GlobalMesh, MeshPartition, PartitionedMesh};
+
+/// Partitioning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMethod {
+    /// Equal chunks by centroid z-order (structured meshes in the paper).
+    Slabs,
+    /// Recursive coordinate bisection.
+    Rcb,
+    /// Greedy graph growing over face adjacency (METIS stand-in).
+    GreedyGraph,
+}
+
+/// Minimum number of shared nodes for two elements to count as
+/// face-adjacent, per element type.
+fn face_threshold(et: ElementType) -> usize {
+    match et {
+        ElementType::Hex8 => 4,
+        ElementType::Hex20 => 8,
+        ElementType::Hex27 => 9,
+        ElementType::Tet4 => 3,
+        ElementType::Tet10 => 6,
+    }
+}
+
+/// Assign every element to one of `p` parts.
+///
+/// # Panics
+/// Panics if `p == 0` or `p > n_elems` (every rank must own work).
+pub fn partition_elems(mesh: &GlobalMesh, p: usize, method: PartitionMethod) -> Vec<usize> {
+    assert!(p > 0, "need at least one partition");
+    assert!(p <= mesh.n_elems(), "more partitions ({p}) than elements ({})", mesh.n_elems());
+    match method {
+        PartitionMethod::Slabs => partition_slabs(mesh, p),
+        PartitionMethod::Rcb => partition_rcb(mesh, p),
+        PartitionMethod::GreedyGraph => partition_greedy(mesh, p),
+    }
+}
+
+fn partition_slabs(mesh: &GlobalMesh, p: usize) -> Vec<usize> {
+    let ne = mesh.n_elems();
+    let mut order: Vec<usize> = (0..ne).collect();
+    // Stable sort by centroid z keeps the generator's lexicographic order
+    // within a layer, giving the paper's clean slab partitions.
+    order.sort_by(|&a, &b| {
+        mesh.elem_centroid(a)[2]
+            .partial_cmp(&mesh.elem_centroid(b)[2])
+            .expect("finite centroids")
+    });
+    assign_chunks(&order, ne, p)
+}
+
+fn assign_chunks(order: &[usize], ne: usize, p: usize) -> Vec<usize> {
+    let mut part = vec![0usize; ne];
+    for (pos, &e) in order.iter().enumerate() {
+        // Balanced chunking: first `ne % p` parts get one extra element.
+        part[e] = (pos * p) / ne;
+    }
+    part
+}
+
+fn partition_rcb(mesh: &GlobalMesh, p: usize) -> Vec<usize> {
+    let ne = mesh.n_elems();
+    let centroids: Vec<[f64; 3]> = (0..ne).map(|e| mesh.elem_centroid(e)).collect();
+    let mut part = vec![0usize; ne];
+    let all: Vec<usize> = (0..ne).collect();
+    rcb_recurse(&centroids, &all, 0, p, &mut part);
+    part
+}
+
+/// Recursively split `elems` into parts `[first_part, first_part + nparts)`.
+fn rcb_recurse(centroids: &[[f64; 3]], elems: &[usize], first_part: usize, nparts: usize, out: &mut Vec<usize>) {
+    if nparts == 1 {
+        for &e in elems {
+            out[e] = first_part;
+        }
+        return;
+    }
+    // Widest axis of the bounding box of this subset.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &e in elems {
+        for d in 0..3 {
+            lo[d] = lo[d].min(centroids[e][d]);
+            hi[d] = hi[d].max(centroids[e][d]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).expect("finite extents"))
+        .expect("three axes");
+
+    let left_parts = nparts / 2;
+    let split = elems.len() * left_parts / nparts;
+    let mut sorted = elems.to_vec();
+    sorted.sort_by(|&a, &b| {
+        centroids[a][axis]
+            .partial_cmp(&centroids[b][axis])
+            .expect("finite centroids")
+            .then(a.cmp(&b))
+    });
+    rcb_recurse(centroids, &sorted[..split], first_part, left_parts, out);
+    rcb_recurse(centroids, &sorted[split..], first_part + left_parts, nparts - left_parts, out);
+}
+
+/// Element face-adjacency in CSR form.
+pub(crate) fn element_adjacency(mesh: &GlobalMesh) -> (Vec<usize>, Vec<usize>) {
+    let ne = mesh.n_elems();
+    let threshold = face_threshold(mesh.elem_type);
+
+    // node → incident elements.
+    let mut node_elems: Vec<Vec<u32>> = vec![Vec::new(); mesh.n_nodes()];
+    for e in 0..ne {
+        for &n in mesh.elem_nodes(e) {
+            node_elems[n as usize].push(e as u32);
+        }
+    }
+
+    let mut ptr = vec![0usize; ne + 1];
+    let mut adj: Vec<usize> = Vec::new();
+    let mut shared_count: Vec<u8> = vec![0; ne];
+    let mut touched: Vec<usize> = Vec::new();
+    for e in 0..ne {
+        for &n in mesh.elem_nodes(e) {
+            for &other in &node_elems[n as usize] {
+                let o = other as usize;
+                if o != e {
+                    if shared_count[o] == 0 {
+                        touched.push(o);
+                    }
+                    shared_count[o] += 1;
+                }
+            }
+        }
+        for &o in &touched {
+            if shared_count[o] as usize >= threshold {
+                adj.push(o);
+            }
+            shared_count[o] = 0;
+        }
+        touched.clear();
+        adj[ptr[e]..].sort_unstable();
+        ptr[e + 1] = adj.len();
+    }
+    (ptr, adj)
+}
+
+fn partition_greedy(mesh: &GlobalMesh, p: usize) -> Vec<usize> {
+    let ne = mesh.n_elems();
+    let (ptr, adj) = element_adjacency(mesh);
+    let centroids: Vec<[f64; 3]> = (0..ne).map(|e| mesh.elem_centroid(e)).collect();
+
+    const UNASSIGNED: usize = usize::MAX;
+    let mut part = vec![UNASSIGNED; ne];
+    let mut assigned = 0usize;
+
+    for k in 0..p {
+        let remaining = ne - assigned;
+        let target = remaining / (p - k) + usize::from(remaining % (p - k) != 0);
+
+        // Seed: the unassigned element with lexicographically smallest
+        // centroid (a peripheral element), BFS-grow to the target size.
+        let seed = (0..ne)
+            .filter(|&e| part[e] == UNASSIGNED)
+            .min_by(|&a, &b| {
+                centroids[a]
+                    .partial_cmp(&centroids[b])
+                    .expect("finite centroids")
+                    .then(a.cmp(&b))
+            })
+            .expect("remaining > 0");
+
+        let mut grown = 0usize;
+        let mut queue = VecDeque::from([seed]);
+        let mut in_queue = vec![false; ne];
+        in_queue[seed] = true;
+        while grown < target {
+            let e = match queue.pop_front() {
+                Some(e) => e,
+                None => {
+                    // Disconnected remainder: restart from a fresh seed.
+                    match (0..ne).find(|&e| part[e] == UNASSIGNED && !in_queue[e]) {
+                        Some(s) => {
+                            in_queue[s] = true;
+                            queue.push_back(s);
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+            };
+            if part[e] != UNASSIGNED {
+                continue;
+            }
+            part[e] = k;
+            grown += 1;
+            assigned += 1;
+            for &nb in &adj[ptr[e]..ptr[e + 1]] {
+                if part[nb] == UNASSIGNED && !in_queue[nb] {
+                    in_queue[nb] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+    }
+    debug_assert!(part.iter().all(|&x| x != UNASSIGNED));
+    part
+}
+
+/// Quality metrics of an element partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionStats {
+    /// Elements per part.
+    pub elems_per_part: Vec<usize>,
+    /// Face-adjacency edges crossing part boundaries.
+    pub edge_cut: usize,
+    /// Nodes touched by more than one part (communication volume proxy).
+    pub shared_nodes: usize,
+}
+
+impl PartitionStats {
+    /// Compute stats for a given assignment.
+    pub fn compute(mesh: &GlobalMesh, part: &[usize], p: usize) -> Self {
+        assert_eq!(part.len(), mesh.n_elems());
+        let mut elems_per_part = vec![0usize; p];
+        for &pt in part {
+            elems_per_part[pt] += 1;
+        }
+        let (ptr, adj) = element_adjacency(mesh);
+        let mut edge_cut = 0usize;
+        for e in 0..mesh.n_elems() {
+            for &nb in &adj[ptr[e]..ptr[e + 1]] {
+                if nb > e && part[nb] != part[e] {
+                    edge_cut += 1;
+                }
+            }
+        }
+        let mut first_part: Vec<i64> = vec![-1; mesh.n_nodes()];
+        let mut shared: Vec<bool> = vec![false; mesh.n_nodes()];
+        for e in 0..mesh.n_elems() {
+            for &n in mesh.elem_nodes(e) {
+                let n = n as usize;
+                if first_part[n] < 0 {
+                    first_part[n] = part[e] as i64;
+                } else if first_part[n] != part[e] as i64 {
+                    shared[n] = true;
+                }
+            }
+        }
+        let shared_nodes = shared.iter().filter(|&&s| s).count();
+        PartitionStats { elems_per_part, edge_cut, shared_nodes }
+    }
+
+    /// Max/min element imbalance ratio.
+    pub fn imbalance(&self) -> f64 {
+        let max = *self.elems_per_part.iter().max().expect("p >= 1") as f64;
+        let avg = self.elems_per_part.iter().sum::<usize>() as f64 / self.elems_per_part.len() as f64;
+        max / avg
+    }
+}
+
+/// Partition a mesh into `p` ranks: assign elements, renumber nodes
+/// owner-contiguously, and build each rank's [`MeshPartition`].
+///
+/// Node ownership follows the usual FEM convention the paper's Figure 1
+/// depicts: a node shared by several parts is owned by the lowest rank
+/// among them.
+pub fn partition_mesh(mesh: &GlobalMesh, p: usize, method: PartitionMethod) -> PartitionedMesh {
+    let part = partition_elems(mesh, p, method);
+    partition_mesh_with(mesh, &part, p)
+}
+
+/// Like [`partition_mesh`] but with a caller-provided element assignment.
+pub fn partition_mesh_with(mesh: &GlobalMesh, part: &[usize], p: usize) -> PartitionedMesh {
+    assert_eq!(part.len(), mesh.n_elems(), "one part id per element");
+    assert!(part.iter().all(|&x| x < p), "part id out of range");
+
+    let nn = mesh.n_nodes();
+    // Owner = min rank of the parts touching the node.
+    let mut owner = vec![usize::MAX; nn];
+    for e in 0..mesh.n_elems() {
+        for &n in mesh.elem_nodes(e) {
+            let n = n as usize;
+            owner[n] = owner[n].min(part[e]);
+        }
+    }
+    assert!(
+        owner.iter().all(|&o| o != usize::MAX),
+        "mesh has nodes referenced by no element"
+    );
+
+    // Owner-contiguous renumbering: counting sort by (owner, old id).
+    let mut counts = vec![0u64; p + 1];
+    for &o in &owner {
+        counts[o + 1] += 1;
+    }
+    for r in 0..p {
+        counts[r + 1] += counts[r];
+    }
+    let ranges: Vec<(u64, u64)> = (0..p).map(|r| (counts[r], counts[r + 1])).collect();
+    let mut next = counts.clone();
+    let mut old2new = vec![0u64; nn];
+    for (old, &o) in owner.iter().enumerate() {
+        old2new[old] = next[o];
+        next[o] += 1;
+    }
+
+    // Build per-rank partitions.
+    let npe = mesh.elem_type.nodes_per_elem();
+    let mut parts: Vec<MeshPartition> = (0..p)
+        .map(|rank| MeshPartition {
+            rank,
+            elem_type: mesh.elem_type,
+            e2g: Vec::new(),
+            node_range: ranges[rank],
+            elem_coords: Vec::new(),
+            elem_global_ids: Vec::new(),
+            n_global_nodes: nn as u64,
+        })
+        .collect();
+    for e in 0..mesh.n_elems() {
+        let mp = &mut parts[part[e]];
+        mp.elem_global_ids.push(e as u64);
+        for &n in mesh.elem_nodes(e) {
+            mp.e2g.push(old2new[n as usize]);
+            mp.elem_coords.push(mesh.coords[n as usize]);
+        }
+        debug_assert_eq!(mp.e2g.len() % npe, 0);
+    }
+    debug_assert!(parts.iter().all(|mp| mp.validate().is_ok()));
+    PartitionedMesh { parts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structured::StructuredHexMesh;
+    use crate::unstructured::unstructured_tet_mesh;
+
+    fn methods() -> [PartitionMethod; 3] {
+        [PartitionMethod::Slabs, PartitionMethod::Rcb, PartitionMethod::GreedyGraph]
+    }
+
+    #[test]
+    fn all_methods_cover_and_balance() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        for method in methods() {
+            for p in [1, 2, 3, 4, 7] {
+                let part = partition_elems(&mesh, p, method);
+                let stats = PartitionStats::compute(&mesh, &part, p);
+                assert_eq!(stats.elems_per_part.iter().sum::<usize>(), 64);
+                assert!(
+                    stats.imbalance() < 1.35,
+                    "{method:?} p={p} imbalance {}",
+                    stats.imbalance()
+                );
+                assert!(stats.elems_per_part.iter().all(|&c| c > 0), "{method:?} p={p} empty part");
+            }
+        }
+    }
+
+    #[test]
+    fn slabs_split_by_z() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let part = partition_elems(&mesh, 4, PartitionMethod::Slabs);
+        for e in 0..mesh.n_elems() {
+            let z = mesh.elem_centroid(e)[2];
+            let layer = (z * 4.0).floor() as usize;
+            assert_eq!(part[e], layer.min(3), "element {e} at z {z}");
+        }
+    }
+
+    #[test]
+    fn greedy_beats_random_edge_cut() {
+        let mesh = unstructured_tet_mesh(4, ElementType::Tet4, 0.15, 2);
+        let greedy = partition_elems(&mesh, 8, PartitionMethod::GreedyGraph);
+        let greedy_stats = PartitionStats::compute(&mesh, &greedy, 8);
+        // A round-robin assignment is the "bad partitioner" reference.
+        let rr: Vec<usize> = (0..mesh.n_elems()).map(|e| e % 8).collect();
+        let rr_stats = PartitionStats::compute(&mesh, &rr, 8);
+        assert!(
+            greedy_stats.edge_cut < rr_stats.edge_cut / 2,
+            "greedy {} vs round-robin {}",
+            greedy_stats.edge_cut,
+            rr_stats.edge_cut
+        );
+    }
+
+    #[test]
+    fn partition_mesh_invariants() {
+        let mesh = unstructured_tet_mesh(3, ElementType::Tet10, 0.1, 4);
+        for method in methods() {
+            let pm = partition_mesh(&mesh, 5, method);
+            assert_eq!(pm.n_parts(), 5);
+            assert_eq!(pm.total_elems(), mesh.n_elems());
+            assert_eq!(pm.total_owned_nodes(), mesh.n_nodes());
+            // Ranges are contiguous and ordered.
+            let mut cursor = 0u64;
+            for mp in &pm.parts {
+                assert_eq!(mp.node_range.0, cursor);
+                cursor = mp.node_range.1;
+                assert!(mp.validate().is_ok());
+            }
+            assert_eq!(cursor, mesh.n_nodes() as u64);
+        }
+    }
+
+    #[test]
+    fn renumbering_preserves_geometry() {
+        // Every (new global id, coordinate) pair must be consistent across
+        // all ranks that reference the node.
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex20).build();
+        let pm = partition_mesh(&mesh, 4, PartitionMethod::Rcb);
+        let mut seen: Vec<Option<[f64; 3]>> = vec![None; mesh.n_nodes()];
+        for mp in &pm.parts {
+            for (pos, &g) in mp.e2g.iter().enumerate() {
+                let c = mp.elem_coords[pos];
+                match &seen[g as usize] {
+                    None => seen[g as usize] = Some(c),
+                    Some(prev) => assert_eq!(*prev, c, "node {g} seen with two coordinates"),
+                }
+            }
+        }
+        assert!(seen.iter().all(|s| s.is_some()), "every node referenced");
+    }
+
+    #[test]
+    fn ghost_nodes_exist_for_multi_rank() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 4, PartitionMethod::Slabs);
+        // Middle ranks must reference nodes outside their own range.
+        let mp = &pm.parts[1];
+        let ghosts = mp
+            .e2g
+            .iter()
+            .filter(|&&g| g < mp.node_range.0 || g >= mp.node_range.1)
+            .count();
+        assert!(ghosts > 0, "slab rank 1 must have ghost nodes");
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::GreedyGraph);
+        let mp = &pm.parts[0];
+        assert_eq!(mp.node_range, (0, mesh.n_nodes() as u64));
+        assert_eq!(mp.n_elems(), mesh.n_elems());
+    }
+
+    #[test]
+    #[should_panic(expected = "more partitions")]
+    fn too_many_parts_rejected() {
+        let mesh = StructuredHexMesh::unit(1, ElementType::Hex8).build();
+        let _ = partition_elems(&mesh, 2, PartitionMethod::Slabs);
+    }
+
+    #[test]
+    fn adjacency_symmetric_and_face_based() {
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let (ptr, adj) = element_adjacency(&mesh);
+        for e in 0..mesh.n_elems() {
+            for &nb in &adj[ptr[e]..ptr[e + 1]] {
+                assert!(adj[ptr[nb]..ptr[nb + 1]].contains(&e), "asymmetric {e}-{nb}");
+            }
+        }
+        // Interior element of a 3x3x3 grid has exactly 6 face neighbours.
+        let center = 1 + 3 * (1 + 3);
+        assert_eq!(ptr[center + 1] - ptr[center], 6);
+    }
+}

@@ -1,0 +1,193 @@
+//! Element-quality metrics.
+//!
+//! The unstructured generators jitter nodes; these metrics verify the
+//! meshes stay well-shaped (positive scaled Jacobians, bounded aspect
+//! ratios) — the conditions under which the FEM kernels' Jacobian
+//! assertions hold and the paper's elements are representative of real
+//! Gmsh output.
+
+use crate::element::HEX_CORNERS;
+use crate::mesh::GlobalMesh;
+
+/// Quality summary of one mesh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Minimum corner scaled Jacobian over all elements (1 = perfect,
+    /// ≤ 0 = degenerate/inverted).
+    pub min_scaled_jacobian: f64,
+    /// Mean corner scaled Jacobian.
+    pub mean_scaled_jacobian: f64,
+    /// Maximum edge-length ratio (longest/shortest edge per element).
+    pub max_aspect_ratio: f64,
+}
+
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]]
+}
+
+fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+fn norm(a: [f64; 3]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+/// Scaled Jacobian at a hex corner: det of the three normalized edge
+/// vectors leaving the corner (VTK/Verdict convention).
+fn hex_corner_scaled_jacobians(corners: &[[f64; 3]; 8]) -> [f64; 8] {
+    // Neighbours of each corner in the canonical Hex8 ordering.
+    const NB: [[usize; 3]; 8] = [
+        [1, 3, 4],
+        [2, 0, 5],
+        [3, 1, 6],
+        [0, 2, 7],
+        [7, 5, 0],
+        [4, 6, 1],
+        [5, 7, 2],
+        [6, 4, 3],
+    ];
+    let mut out = [0.0; 8];
+    for (c, nb) in NB.iter().enumerate() {
+        let mut e = [[0.0; 3]; 3];
+        for (k, &n) in nb.iter().enumerate() {
+            let v = sub(corners[n], corners[c]);
+            let l = norm(v).max(1e-300);
+            e[k] = [v[0] / l, v[1] / l, v[2] / l];
+        }
+        out[c] = dot(e[0], cross(e[1], e[2]));
+    }
+    out
+}
+
+/// Scaled Jacobian of a tet: 6V / (l1·l2·l3 of the three edges at the
+/// "best" vertex) — we use the vertex-0 convention, adequate for
+/// comparing jitter levels.
+fn tet_scaled_jacobian(v: &[[f64; 3]; 4]) -> f64 {
+    let a = sub(v[1], v[0]);
+    let b = sub(v[2], v[0]);
+    let c = sub(v[3], v[0]);
+    let det = dot(a, cross(b, c));
+    let scale = norm(a) * norm(b) * norm(c);
+    // Normalize so the regular corner tet (orthogonal unit edges) scores 1.
+    det / scale.max(1e-300)
+}
+
+/// Longest/shortest edge ratio from a set of corner points and an edge
+/// list.
+fn aspect_ratio(points: &[[f64; 3]], edges: &[(usize, usize)]) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for &(a, b) in edges {
+        let l = norm(sub(points[a], points[b]));
+        lo = lo.min(l);
+        hi = hi.max(l);
+    }
+    hi / lo.max(1e-300)
+}
+
+/// Compute the quality report for a mesh (uses element corner vertices;
+/// higher-order nodes follow corners in our generators).
+pub fn assess(mesh: &GlobalMesh) -> QualityReport {
+    let et = mesh.elem_type;
+    let mut min_sj = f64::INFINITY;
+    let mut sum_sj = 0.0;
+    let mut count = 0usize;
+    let mut max_ar = 0.0f64;
+
+    for e in 0..mesh.n_elems() {
+        let nodes = mesh.elem_nodes(e);
+        if et.is_hex() {
+            let mut corners = [[0.0; 3]; 8];
+            for (i, c) in corners.iter_mut().enumerate() {
+                *c = mesh.coords[nodes[i] as usize];
+            }
+            for sj in hex_corner_scaled_jacobians(&corners) {
+                min_sj = min_sj.min(sj);
+                sum_sj += sj;
+                count += 1;
+            }
+            max_ar = max_ar.max(aspect_ratio(&corners, crate::element::HEX_EDGES));
+        } else {
+            let mut v = [[0.0; 3]; 4];
+            for (i, c) in v.iter_mut().enumerate() {
+                *c = mesh.coords[nodes[i] as usize];
+            }
+            let sj = tet_scaled_jacobian(&v);
+            min_sj = min_sj.min(sj);
+            sum_sj += sj;
+            count += 1;
+            max_ar = max_ar.max(aspect_ratio(&v, crate::element::TET_EDGES));
+        }
+    }
+    QualityReport {
+        min_scaled_jacobian: min_sj,
+        mean_scaled_jacobian: sum_sj / count.max(1) as f64,
+        max_aspect_ratio: max_ar,
+    }
+}
+
+/// Check that all reference hex corners give scaled Jacobian 1 — a
+/// self-test of the corner-neighbour table, exposed for documentation.
+pub fn reference_hex_is_perfect() -> bool {
+    let sj = hex_corner_scaled_jacobians(&HEX_CORNERS);
+    sj.iter().all(|&s| (s - 1.0).abs() < 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{unstructured_hex_mesh, unstructured_tet_mesh, ElementType, StructuredHexMesh};
+
+    #[test]
+    fn reference_cube_scores_one() {
+        assert!(reference_hex_is_perfect());
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let q = assess(&mesh);
+        assert!((q.min_scaled_jacobian - 1.0).abs() < 1e-12);
+        assert!((q.mean_scaled_jacobian - 1.0).abs() < 1e-12);
+        assert!((q.max_aspect_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anisotropic_box_has_aspect_ratio() {
+        let mesh =
+            StructuredHexMesh::new(2, 2, 2, ElementType::Hex8, [0.0; 3], [4.0, 1.0, 1.0]).build();
+        let q = assess(&mesh);
+        assert!((q.max_aspect_ratio - 4.0).abs() < 1e-12, "{q:?}");
+        // Axis-aligned stretching keeps corners orthogonal.
+        assert!((q.min_scaled_jacobian - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_degrades_quality_monotonically() {
+        let q0 = assess(&unstructured_hex_mesh(4, 4, 4, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.05, 3));
+        let q1 = assess(&unstructured_hex_mesh(4, 4, 4, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.25, 3));
+        assert!(q1.min_scaled_jacobian < q0.min_scaled_jacobian);
+        assert!(q1.max_aspect_ratio > q0.max_aspect_ratio);
+        // Both stay valid (positive Jacobians) — the generators' contract.
+        assert!(q1.min_scaled_jacobian > 0.0, "{q1:?}");
+    }
+
+    #[test]
+    fn jittered_tets_stay_valid() {
+        for jitter in [0.0, 0.1, 0.2] {
+            let mesh = unstructured_tet_mesh(4, ElementType::Tet4, jitter, 11);
+            let q = assess(&mesh);
+            assert!(q.min_scaled_jacobian > 0.0, "jitter {jitter}: {q:?}");
+            assert!(q.max_aspect_ratio < 10.0, "jitter {jitter}: {q:?}");
+        }
+    }
+
+    #[test]
+    fn quality_sees_quadratic_meshes_via_corners() {
+        let q = assess(&StructuredHexMesh::unit(2, ElementType::Hex27).build());
+        assert!((q.min_scaled_jacobian - 1.0).abs() < 1e-12);
+        let qt = assess(&unstructured_tet_mesh(2, ElementType::Tet10, 0.1, 5));
+        assert!(qt.min_scaled_jacobian > 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Structured hexahedral mesh generation.
+//!
+//! Generates tensor-product hex meshes over an axis-aligned box for the
+//! three hex element types the paper uses. Quadratic meshes are built on a
+//! "fine grid" with `2n+1` points per direction; Hex27 keeps every fine
+//! point, Hex20 (serendipity) keeps points with at most one odd index
+//! (corners and edge midpoints — no face or body centers).
+
+use crate::element::ElementType;
+use crate::mesh::GlobalMesh;
+
+/// Description of a structured hex mesh; call [`StructuredHexMesh::build`]
+/// to realize it as a [`GlobalMesh`].
+#[derive(Debug, Clone, Copy)]
+pub struct StructuredHexMesh {
+    /// Elements in x.
+    pub nx: usize,
+    /// Elements in y.
+    pub ny: usize,
+    /// Elements in z.
+    pub nz: usize,
+    /// Element type (must be a hex type).
+    pub elem_type: ElementType,
+    /// Box lower corner.
+    pub lo: [f64; 3],
+    /// Box upper corner.
+    pub hi: [f64; 3],
+}
+
+impl StructuredHexMesh {
+    /// `n × n × n` elements over the unit cube.
+    pub fn unit(n: usize, elem_type: ElementType) -> Self {
+        Self::new(n, n, n, elem_type, [0.0; 3], [1.0; 3])
+    }
+
+    /// Arbitrary box and per-direction element counts.
+    ///
+    /// # Panics
+    /// Panics if `elem_type` is not a hex type or any count is zero.
+    pub fn new(nx: usize, ny: usize, nz: usize, elem_type: ElementType, lo: [f64; 3], hi: [f64; 3]) -> Self {
+        assert!(elem_type.is_hex(), "StructuredHexMesh requires a hex element type, got {elem_type:?}");
+        assert!(nx > 0 && ny > 0 && nz > 0, "element counts must be positive");
+        assert!((0..3).all(|d| hi[d] > lo[d]), "box must have positive extent");
+        StructuredHexMesh { nx, ny, nz, elem_type, lo, hi }
+    }
+
+    /// Number of elements.
+    pub fn n_elems(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Realize the mesh.
+    pub fn build(&self) -> GlobalMesh {
+        // Fine-grid refinement factor: 1 for linear, 2 for quadratic.
+        let r = if self.elem_type == ElementType::Hex8 { 1usize } else { 2 };
+        let (gx, gy, gz) = (r * self.nx + 1, r * self.ny + 1, r * self.nz + 1);
+
+        // keep(i,j,k): does this fine-grid point exist as a mesh node?
+        let keep = |i: usize, j: usize, k: usize| -> bool {
+            match self.elem_type {
+                ElementType::Hex8 | ElementType::Hex27 => true,
+                ElementType::Hex20 => (i % 2) + (j % 2) + (k % 2) <= 1,
+                _ => unreachable!("constructor enforces hex types"),
+            }
+        };
+
+        // Compact numbering of kept fine-grid points, lexicographic (i,j,k).
+        let fine_id = |i: usize, j: usize, k: usize| i + gx * (j + gy * k);
+        let mut compact: Vec<i64> = vec![-1; gx * gy * gz];
+        let mut coords: Vec<[f64; 3]> = Vec::new();
+        let h = [
+            (self.hi[0] - self.lo[0]) / (gx - 1) as f64,
+            (self.hi[1] - self.lo[1]) / (gy - 1) as f64,
+            (self.hi[2] - self.lo[2]) / (gz - 1) as f64,
+        ];
+        for k in 0..gz {
+            for j in 0..gy {
+                for i in 0..gx {
+                    if keep(i, j, k) {
+                        compact[fine_id(i, j, k)] = coords.len() as i64;
+                        coords.push([
+                            self.lo[0] + i as f64 * h[0],
+                            self.lo[1] + j as f64 * h[1],
+                            self.lo[2] + k as f64 * h[2],
+                        ]);
+                    }
+                }
+            }
+        }
+
+        // Element connectivity straight from the reference coordinates, so
+        // the node ordering matches hymv-fem's shape functions by
+        // construction: local node at reference offset (ξ,η,ζ) ∈ {-1,0,1}³
+        // sits at fine index base + (ξ+1, η+1, ζ+1) (scaled for linear).
+        let npe = self.elem_type.nodes_per_elem();
+        let ref_pts = self.elem_type.ref_coords();
+        let mut connectivity = Vec::with_capacity(self.n_elems() * npe);
+        for ez in 0..self.nz {
+            for ey in 0..self.ny {
+                for ex in 0..self.nx {
+                    let base = [r * ex, r * ey, r * ez];
+                    for p in &ref_pts {
+                        let off = [
+                            ((p[0] + 1.0) / 2.0 * r as f64).round() as usize,
+                            ((p[1] + 1.0) / 2.0 * r as f64).round() as usize,
+                            ((p[2] + 1.0) / 2.0 * r as f64).round() as usize,
+                        ];
+                        let id = compact[fine_id(base[0] + off[0], base[1] + off[1], base[2] + off[2])];
+                        debug_assert!(id >= 0, "element references a dropped fine-grid point");
+                        connectivity.push(id as u64);
+                    }
+                }
+            }
+        }
+
+        GlobalMesh { elem_type: self.elem_type, coords, connectivity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex8_counts() {
+        let m = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        assert_eq!(m.n_elems(), 64);
+        assert_eq!(m.n_nodes(), 5 * 5 * 5);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn hex27_counts() {
+        let m = StructuredHexMesh::unit(2, ElementType::Hex27).build();
+        assert_eq!(m.n_elems(), 8);
+        assert_eq!(m.n_nodes(), 5 * 5 * 5);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn hex20_counts() {
+        // Serendipity node count: corners (n+1)^3 + edge midpoints
+        // 3·n(n+1)^2 for an n×n×n grid.
+        let n = 3usize;
+        let m = StructuredHexMesh::unit(n, ElementType::Hex20).build();
+        let expected = (n + 1).pow(3) + 3 * n * (n + 1).pow(2);
+        assert_eq!(m.n_nodes(), expected);
+        assert_eq!(m.n_elems(), n * n * n);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn shared_face_nodes_are_shared() {
+        let m = StructuredHexMesh::new(2, 1, 1, ElementType::Hex8, [0.0; 3], [2.0, 1.0, 1.0]).build();
+        let a = m.elem_nodes(0);
+        let b = m.elem_nodes(1);
+        let shared: Vec<u64> = a.iter().filter(|n| b.contains(n)).copied().collect();
+        assert_eq!(shared.len(), 4, "two hexes sharing a face share 4 corners");
+    }
+
+    #[test]
+    fn coordinates_span_box() {
+        let lo = [1.0, 2.0, 3.0];
+        let hi = [2.0, 4.0, 6.0];
+        let m = StructuredHexMesh::new(2, 2, 2, ElementType::Hex27, lo, hi).build();
+        for d in 0..3 {
+            let min = m.coords.iter().map(|c| c[d]).fold(f64::INFINITY, f64::min);
+            let max = m.coords.iter().map(|c| c[d]).fold(f64::NEG_INFINITY, f64::max);
+            assert!((min - lo[d]).abs() < 1e-12);
+            assert!((max - hi[d]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn element_geometry_matches_reference_layout() {
+        // For a single unit element, the node at reference (+1,+1,+1) must be
+        // the box's far corner for every hex type.
+        for et in [ElementType::Hex8, ElementType::Hex20, ElementType::Hex27] {
+            let m = StructuredHexMesh::unit(1, et).build();
+            let nodes = m.elem_nodes(0);
+            let ref_pts = et.ref_coords();
+            for (l, p) in ref_pts.iter().enumerate() {
+                let x = m.coords[nodes[l] as usize];
+                for d in 0..3 {
+                    let expected = (p[d] + 1.0) / 2.0;
+                    assert!((x[d] - expected).abs() < 1e-12, "{et:?} local {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hex element type")]
+    fn tet_type_rejected() {
+        let _ = StructuredHexMesh::unit(2, ElementType::Tet4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_count_rejected() {
+        let _ = StructuredHexMesh::new(0, 1, 1, ElementType::Hex8, [0.0; 3], [1.0; 3]);
+    }
+}

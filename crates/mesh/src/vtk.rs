@@ -1,0 +1,190 @@
+//! Legacy-VTK export: meshes and nodal fields, viewable in ParaView/VisIt.
+//!
+//! Cells are written with their **corner connectivity** (linear
+//! `VTK_HEXAHEDRON`/`VTK_TETRA`) regardless of element order — the
+//! standard maximum-compatibility choice; higher-order nodes still carry
+//! point data, they are just not used for cell geometry.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::element::ElementType;
+use crate::mesh::GlobalMesh;
+
+/// A named nodal field to attach to the export.
+pub struct PointField<'a> {
+    /// Field name as it appears in the viewer.
+    pub name: &'a str,
+    /// Values, `n_nodes × components`, node-major.
+    pub values: &'a [f64],
+    /// Components per node (1 = scalar, 3 = vector).
+    pub components: usize,
+}
+
+fn corner_count(et: ElementType) -> usize {
+    if et.is_hex() {
+        8
+    } else {
+        4
+    }
+}
+
+fn vtk_cell_type(et: ElementType) -> u8 {
+    if et.is_hex() {
+        12 // VTK_HEXAHEDRON
+    } else {
+        10 // VTK_TETRA
+    }
+}
+
+/// Render the mesh (plus optional nodal fields) as a legacy-VTK ASCII
+/// string.
+///
+/// # Panics
+/// Panics if a field's length does not match `n_nodes × components`.
+pub fn to_vtk_string(mesh: &GlobalMesh, fields: &[PointField<'_>]) -> String {
+    for f in fields {
+        assert_eq!(
+            f.values.len(),
+            mesh.n_nodes() * f.components,
+            "field '{}' length mismatch",
+            f.name
+        );
+        assert!(f.components == 1 || f.components == 3, "VTK fields are scalars or vectors");
+    }
+
+    let nc = corner_count(mesh.elem_type);
+    let ne = mesh.n_elems();
+    let mut out = String::new();
+    out.push_str("# vtk DataFile Version 3.0\n");
+    out.push_str("hymv mesh export\nASCII\nDATASET UNSTRUCTURED_GRID\n");
+
+    out.push_str(&format!("POINTS {} double\n", mesh.n_nodes()));
+    for p in &mesh.coords {
+        out.push_str(&format!("{} {} {}\n", p[0], p[1], p[2]));
+    }
+
+    out.push_str(&format!("CELLS {} {}\n", ne, ne * (nc + 1)));
+    for e in 0..ne {
+        let nodes = mesh.elem_nodes(e);
+        out.push_str(&format!("{nc}"));
+        for &g in &nodes[..nc] {
+            out.push_str(&format!(" {g}"));
+        }
+        out.push('\n');
+    }
+
+    out.push_str(&format!("CELL_TYPES {ne}\n"));
+    let ct = vtk_cell_type(mesh.elem_type);
+    for _ in 0..ne {
+        out.push_str(&format!("{ct}\n"));
+    }
+
+    if !fields.is_empty() {
+        out.push_str(&format!("POINT_DATA {}\n", mesh.n_nodes()));
+        for f in fields {
+            match f.components {
+                1 => {
+                    out.push_str(&format!("SCALARS {} double 1\nLOOKUP_TABLE default\n", f.name));
+                    for v in f.values {
+                        out.push_str(&format!("{v}\n"));
+                    }
+                }
+                3 => {
+                    out.push_str(&format!("VECTORS {} double\n", f.name));
+                    for v in f.values.chunks_exact(3) {
+                        out.push_str(&format!("{} {} {}\n", v[0], v[1], v[2]));
+                    }
+                }
+                _ => unreachable!("validated above"),
+            }
+        }
+    }
+    out
+}
+
+/// Write the mesh (plus optional nodal fields) to a `.vtk` file.
+pub fn write_vtk(
+    mesh: &GlobalMesh,
+    fields: &[PointField<'_>],
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_vtk_string(mesh, fields).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{unstructured_tet_mesh, StructuredHexMesh};
+
+    #[test]
+    fn hex_export_structure() {
+        let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+        let s = to_vtk_string(&mesh, &[]);
+        assert!(s.starts_with("# vtk DataFile Version 3.0"));
+        assert!(s.contains(&format!("POINTS {} double", mesh.n_nodes())));
+        assert!(s.contains(&format!("CELLS {} {}", 8, 8 * 9)));
+        assert_eq!(s.lines().filter(|l| *l == "12").count(), 8, "eight VTK_HEXAHEDRON rows");
+        assert!(!s.contains("POINT_DATA"));
+    }
+
+    #[test]
+    fn quadratic_mesh_uses_corner_cells() {
+        let mesh = StructuredHexMesh::unit(2, ElementType::Hex27).build();
+        let s = to_vtk_string(&mesh, &[]);
+        // All nodes exported as points, but cells reference 8 corners.
+        assert!(s.contains(&format!("POINTS {} double", mesh.n_nodes())));
+        assert!(s.contains(&format!("CELLS {} {}", 8, 8 * 9)));
+    }
+
+    #[test]
+    fn tet_export_with_scalar_field() {
+        let mesh = unstructured_tet_mesh(2, ElementType::Tet4, 0.1, 3);
+        let u: Vec<f64> = (0..mesh.n_nodes()).map(|i| i as f64).collect();
+        let s = to_vtk_string(&mesh, &[PointField { name: "u", values: &u, components: 1 }]);
+        assert!(s.contains(&format!("POINT_DATA {}", mesh.n_nodes())));
+        assert!(s.contains("SCALARS u double 1"));
+        // Count cell-type rows inside the CELL_TYPES section only (the
+        // scalar field also contains a literal "10" line).
+        let section = &s[s.find("CELL_TYPES").expect("section")..s.find("POINT_DATA").expect("section")];
+        assert_eq!(
+            section.lines().filter(|l| *l == "10").count(),
+            mesh.n_elems(),
+            "VTK_TETRA rows"
+        );
+    }
+
+    #[test]
+    fn vector_field_export() {
+        let mesh = StructuredHexMesh::unit(1, ElementType::Hex8).build();
+        let disp: Vec<f64> = (0..mesh.n_nodes() * 3).map(|i| i as f64 * 0.1).collect();
+        let s = to_vtk_string(
+            &mesh,
+            &[PointField { name: "displacement", values: &disp, components: 3 }],
+        );
+        assert!(s.contains("VECTORS displacement double"));
+        // First vector row.
+        assert!(s.contains("0 0.1 0.2"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+        let dir = std::env::temp_dir().join("hymv_vtk_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("mesh.vtk");
+        write_vtk(&mesh, &[], &path).expect("write");
+        let read = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(read, to_vtk_string(&mesh, &[]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn field_length_checked() {
+        let mesh = StructuredHexMesh::unit(1, ElementType::Hex8).build();
+        let bad = vec![0.0; 3];
+        let _ = to_vtk_string(&mesh, &[PointField { name: "u", values: &bad, components: 1 }]);
+    }
+}

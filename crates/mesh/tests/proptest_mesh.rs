@@ -1,0 +1,151 @@
+//! Property-based tests of mesh generation and partitioning invariants
+//! over randomly drawn configurations.
+
+use proptest::prelude::*;
+
+use hymv_mesh::partition::{partition_elems, partition_mesh, PartitionMethod, PartitionStats};
+use hymv_mesh::{
+    unstructured_hex_mesh, unstructured_tet_mesh, ElementType, GlobalMesh, StructuredHexMesh,
+};
+
+fn any_hex_type() -> impl Strategy<Value = ElementType> {
+    prop_oneof![
+        Just(ElementType::Hex8),
+        Just(ElementType::Hex20),
+        Just(ElementType::Hex27),
+    ]
+}
+
+fn any_method() -> impl Strategy<Value = PartitionMethod> {
+    prop_oneof![
+        Just(PartitionMethod::Slabs),
+        Just(PartitionMethod::Rcb),
+        Just(PartitionMethod::GreedyGraph),
+    ]
+}
+
+/// Sum of signed element volumes of any mesh (by splitting cells through
+/// quadrature would be overkill; Kuhn tets are exact, hexes use 2×2×2
+/// Gauss via the fem crate — out of reach here, so approximate by the
+/// bounding box for structured cases instead).
+fn total_tet_volume(mesh: &GlobalMesh) -> f64 {
+    let mut vol = 0.0;
+    for e in 0..mesh.n_elems() {
+        let n = mesh.elem_nodes(e);
+        let p: Vec<[f64; 3]> = n.iter().map(|&i| mesh.coords[i as usize]).collect();
+        let a = [p[1][0] - p[0][0], p[1][1] - p[0][1], p[1][2] - p[0][2]];
+        let b = [p[2][0] - p[0][0], p[2][1] - p[0][1], p[2][2] - p[0][2]];
+        let c = [p[3][0] - p[0][0], p[3][1] - p[0][1], p[3][2] - p[0][2]];
+        vol += (a[0] * (b[1] * c[2] - b[2] * c[1]) - a[1] * (b[0] * c[2] - b[2] * c[0])
+            + a[2] * (b[0] * c[1] - b[1] * c[0]))
+            / 6.0;
+    }
+    vol
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Structured meshes of every hex type validate, have the expected
+    /// element count, and every node is referenced.
+    #[test]
+    fn structured_meshes_validate(
+        n in 1usize..5,
+        et in any_hex_type(),
+    ) {
+        let mesh = StructuredHexMesh::unit(n, et).build();
+        prop_assert!(mesh.validate().is_ok());
+        prop_assert_eq!(mesh.n_elems(), n * n * n);
+        let mut seen = vec![false; mesh.n_nodes()];
+        for &g in &mesh.connectivity {
+            seen[g as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Jittered tet meshes always tile the unit cube exactly, for any
+    /// jitter in the safe range and any seed.
+    #[test]
+    fn tet_meshes_tile_the_cube(
+        n in 1usize..5,
+        jitter in 0.0f64..0.25,
+        seed in 0u64..10_000,
+    ) {
+        let mesh = unstructured_tet_mesh(n, ElementType::Tet4, jitter, seed);
+        prop_assert!(mesh.validate().is_ok());
+        let vol = total_tet_volume(&mesh);
+        prop_assert!((vol - 1.0).abs() < 1e-9, "volume {}", vol);
+    }
+
+    /// Any partitioner on any mesh: complete cover, no empty part,
+    /// bounded imbalance, owner-contiguous ranges that exactly tile the
+    /// node ids.
+    #[test]
+    fn partitions_are_well_formed(
+        n in 2usize..5,
+        p in 1usize..7,
+        method in any_method(),
+        et in any_hex_type(),
+        jitter in 0.0f64..0.2,
+        seed in 0u64..1000,
+    ) {
+        let mesh = unstructured_hex_mesh(n, n, n, et, [0.0; 3], [1.0; 3], jitter, seed);
+        let p = p.min(mesh.n_elems());
+        let assignment = partition_elems(&mesh, p, method);
+        let stats = PartitionStats::compute(&mesh, &assignment, p);
+        prop_assert_eq!(stats.elems_per_part.iter().sum::<usize>(), mesh.n_elems());
+        prop_assert!(stats.elems_per_part.iter().all(|&c| c > 0));
+        prop_assert!(stats.imbalance() < 1.8, "{:?}", stats.elems_per_part);
+
+        let pm = partition_mesh(&mesh, p, method);
+        let mut cursor = 0u64;
+        for part in &pm.parts {
+            prop_assert!(part.validate().is_ok());
+            prop_assert_eq!(part.node_range.0, cursor);
+            cursor = part.node_range.1;
+        }
+        prop_assert_eq!(cursor, mesh.n_nodes() as u64);
+    }
+
+    /// Renumbering is a bijection: every new global id is owned by
+    /// exactly one rank and carries exactly one coordinate.
+    #[test]
+    fn renumbering_is_bijective(
+        n in 2usize..5,
+        p in 1usize..6,
+        method in any_method(),
+        seed in 0u64..1000,
+    ) {
+        let mesh = unstructured_tet_mesh(n, ElementType::Tet10, 0.12, seed);
+        let p = p.min(mesh.n_elems());
+        let pm = partition_mesh(&mesh, p, method);
+        let mut coord_of: Vec<Option<[f64; 3]>> = vec![None; mesh.n_nodes()];
+        for part in &pm.parts {
+            for (pos, &g) in part.e2g.iter().enumerate() {
+                let c = part.elem_coords[pos];
+                match coord_of[g as usize] {
+                    None => coord_of[g as usize] = Some(c),
+                    Some(prev) => prop_assert_eq!(prev, c, "node {}", g),
+                }
+            }
+        }
+        prop_assert!(coord_of.iter().all(|c| c.is_some()));
+    }
+
+    /// Greedy graph partitions never have a higher edge cut than
+    /// round-robin (the degenerate baseline) on tet meshes.
+    #[test]
+    fn greedy_beats_round_robin(
+        n in 2usize..4,
+        p in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let mesh = unstructured_tet_mesh(n, ElementType::Tet4, 0.1, seed);
+        let p = p.min(mesh.n_elems());
+        let greedy = partition_elems(&mesh, p, PartitionMethod::GreedyGraph);
+        let g = PartitionStats::compute(&mesh, &greedy, p);
+        let rr: Vec<usize> = (0..mesh.n_elems()).map(|e| e % p).collect();
+        let r = PartitionStats::compute(&mesh, &rr, p);
+        prop_assert!(g.edge_cut <= r.edge_cut, "greedy {} vs rr {}", g.edge_cut, r.edge_cut);
+    }
+}

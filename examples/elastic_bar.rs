@@ -1,0 +1,67 @@
+//! The paper's second verification problem (§V-B): a prismatic elastic bar
+//! stretched by its own weight (Timoshenko & Goodier), discretized with
+//! linear (Hex8) and quadratic (Hex20) hexahedra on the paper's mesh
+//! sequence 4³ / 8³ / 16³, partitioned in z into 2 / 4 / 8 partitions.
+//!
+//! The exact displacement field is quadratic in the coordinates, so
+//! quadratic elements reproduce it to solver precision (the paper reports
+//! err < 10⁻⁸ — the discretization is exact and the residual tolerance is
+//! what remains); linear elements converge at second order.
+//!
+//! ```text
+//! cargo run --release --example elastic_bar
+//! ```
+
+use std::sync::Arc;
+
+use hymv::prelude::*;
+
+fn main() {
+    let bar = BarProblem::default_unit();
+    let (lo, hi) = bar.bbox();
+    println!(
+        "elastic bar: {}×{}×{}, E = {}, ν = {}, ρg = {:.2}\n",
+        bar.lx,
+        bar.ly,
+        bar.lz,
+        bar.young,
+        bar.poisson,
+        bar.rho * bar.g
+    );
+    println!("{:>6} {:>6} {:>4} {:>12} {:>14} {:>6}", "elem", "mesh", "p", "DoFs", "‖u−u*‖∞", "iters");
+
+    for (et, label) in [(ElementType::Hex8, "Hex8"), (ElementType::Hex20, "Hex20")] {
+        for (n, p) in [(4usize, 2usize), (8, 4), (16, 8)] {
+            // Hex20 at 16³ is large for a 1-core host; trim the sequence.
+            if et == ElementType::Hex20 && n > 8 {
+                continue;
+            }
+            let mesh = StructuredHexMesh::new(n, n, n, et, lo, hi).build();
+            let pm = partition_mesh(&mesh, p, PartitionMethod::Slabs);
+            let out = Universe::run(p, |comm| {
+                let part = &pm.parts[comm.rank()];
+                let kernel = Arc::new(ElasticityKernel::new(
+                    et,
+                    bar.young,
+                    bar.poisson,
+                    bar.body_force(),
+                ));
+                let mut sys =
+                    FemSystem::build(comm, part, kernel, &bar.dirichlet(), BuildOptions::new(Method::Hymv));
+                let (u, res) = sys.solve(comm, PrecondKind::Jacobi, 1e-12, 50_000);
+                assert!(res.converged, "{res:?}");
+                let err = sys.inf_error(comm, &u, |x| bar.exact(x).to_vec());
+                (err, res.iterations, sys.n_owned())
+            });
+            let (err, iters, _) = out[0];
+            let dofs = mesh.n_nodes() * 3;
+            println!("{label:>6} {n:>4}³ {p:>4} {dofs:>12} {err:>14.3e} {iters:>6}");
+        }
+    }
+
+    println!(
+        "\npaper: all meshes give err < 1e-8 with quadratic elements (the\n\
+         Timoshenko field is quadratic, so Hex20 captures it exactly up to\n\
+         the CG tolerance); Hex8 errors shrink 4x per refinement."
+    );
+}

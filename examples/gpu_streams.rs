@@ -1,0 +1,77 @@
+//! HYMV-GPU stream overlap (paper §IV-F and Fig 3): run one GPU SPMV of
+//! the elasticity operator with 1, 2, 4, and 8 streams on the simulated
+//! device, print the modeled makespans, and render the 8-stream timeline
+//! as an ASCII Gantt chart (the analogue of the paper's profiler
+//! snapshot). A Chrome-trace JSON is written for `chrome://tracing`.
+//!
+//! ```text
+//! cargo run --release --example gpu_streams
+//! ```
+
+use hymv::gpu::trace;
+use hymv::prelude::*;
+
+fn main() {
+    let bar = BarProblem::default_unit();
+    let (lo, hi) = bar.bbox();
+    let n = 10;
+    let mesh = StructuredHexMesh::new(n, n, n, ElementType::Hex20, lo, hi).build();
+    let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+    println!(
+        "elasticity Hex20, {}³ elements, {} DoFs — batched EMV on the simulated RTX 5000\n",
+        n,
+        mesh.n_nodes() * 3
+    );
+
+    let mut gantt = String::new();
+    let mut chrome = String::new();
+    let results = Universe::run(1, |comm| {
+        let part = &pm.parts[0];
+        let kernel = ElasticityKernel::new(ElementType::Hex20, bar.young, bar.poisson, bar.body_force());
+        let mut rows = Vec::new();
+        let mut snapshots = (String::new(), String::new());
+        for ns in [1usize, 2, 4, 8] {
+            let (mut gpu, _) = HymvGpuOperator::setup(
+                comm,
+                part,
+                &kernel,
+                GpuModel::default(),
+                ns,
+                GpuScheme::Blocking,
+                4,
+            );
+            let x: Vec<f64> = (0..gpu.n_owned()).map(|i| (i as f64 * 0.01).sin()).collect();
+            let mut y = vec![0.0; gpu.n_owned()];
+            gpu.sim_mut().clear_events();
+            gpu.matvec(comm, &x, &mut y);
+            let ev = gpu.sim().events().to_vec();
+            let t0 = ev.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+            let t1 = ev.iter().map(|e| e.end).fold(0.0, f64::max);
+            rows.push((ns, (t1 - t0) * 1e3));
+            if ns == 8 {
+                snapshots = (trace::render_ascii(&ev, 100), trace::to_chrome_trace(&ev));
+            }
+        }
+        (rows, snapshots)
+    });
+
+    let (rows, (ascii, json)) = &results[0];
+    println!("{:>8} {:>16}", "streams", "makespan (ms)");
+    for (ns, ms) in rows {
+        println!("{ns:>8} {ms:>16.4}");
+    }
+    gantt.push_str(ascii);
+    chrome.push_str(json);
+
+    println!("\n8-stream timeline (paper Fig 3 analogue):\n{gantt}");
+    let path = "target/gpu_trace.json";
+    if std::fs::create_dir_all("target").is_ok() && std::fs::write(path, &chrome).is_ok() {
+        println!("Chrome trace written to {path} (load in chrome://tracing)");
+    }
+    println!(
+        "\nWith one stream the copy engines idle while the kernel runs; by 8\n\
+         streams H2D, batched-EMV, and D2H pipelines overlap and the\n\
+         makespan approaches the slowest engine's busy time — the paper's\n\
+         observed optimum for the 25M-DoF problem."
+    );
+}

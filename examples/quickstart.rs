@@ -1,0 +1,83 @@
+//! Quickstart: solve the paper's Poisson verification problem (§V-B) with
+//! HYMV on four simulated MPI ranks, and compare all three SPMV methods.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use hymv::prelude::*;
+
+fn main() {
+    // 1. Mesh the unit cube with trilinear hexes and partition into four
+    //    z-slabs (the paper's structured-mesh partitioning).
+    let n = 16;
+    let mesh = StructuredHexMesh::unit(n, ElementType::Hex8).build();
+    println!(
+        "mesh: {}³ Hex8 elements, {} nodes, partitioned into 4 slabs",
+        n,
+        mesh.n_nodes()
+    );
+    let pm = partition_mesh(&mesh, 4, PartitionMethod::Slabs);
+
+    // 2. For each SPMV method, build the system and solve with CG + Jacobi.
+    for method in [Method::Hymv, Method::MatFree, Method::Assembled] {
+        let results = Universe::run(4, |comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = Arc::new(PoissonKernel::with_body(
+                ElementType::Hex8,
+                PoissonProblem::body(),
+            ));
+            let mut sys = FemSystem::build(
+                comm,
+                part,
+                kernel,
+                &PoissonProblem::dirichlet(),
+                BuildOptions::new(method),
+            );
+            let setup = sys.setup;
+            let (u, res) = sys.solve(comm, PrecondKind::Jacobi, 1e-8, 5000);
+            assert!(res.converged, "{method:?} did not converge: {res:?}");
+            let err = sys.inf_error(comm, &u, |x| vec![PoissonProblem::exact(x)]);
+            (setup, res.iterations, err, comm.vt())
+        });
+        let (setup, iters, err, vt) = &results[0];
+        println!(
+            "{method:?}: setup {:.2} ms (emat {:.2} ms + overhead {:.2} ms), \
+             {iters} CG iterations, ‖u−u*‖∞ = {err:.2e}, virtual time {:.1} ms",
+            setup.total() * 1e3,
+            setup.emat_s * 1e3,
+            setup.overhead_s * 1e3,
+            vt * 1e3,
+        );
+    }
+
+    println!(
+        "\nAll three methods produce the same discrete solution; HYMV's setup \
+         avoids the assembled method's global communication, and its SPMV \
+         avoids the matrix-free method's per-iteration re-integration."
+    );
+
+    // Bonus: solve once more serially and export the field for ParaView.
+    let out = Universe::run(1, |comm| {
+        let pm1 = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let kernel = Arc::new(PoissonKernel::with_body(
+            ElementType::Hex8,
+            PoissonProblem::body(),
+        ));
+        let mut sys = FemSystem::build(
+            comm,
+            &pm1.parts[0],
+            kernel,
+            &PoissonProblem::dirichlet(),
+            BuildOptions::new(Method::Hymv),
+        );
+        let (u, _) = sys.solve(comm, PrecondKind::Jacobi, 1e-8, 5000);
+        u
+    });
+    let field = hymv::mesh::vtk::PointField { name: "u", values: &out[0], components: 1 };
+    if hymv::mesh::vtk::write_vtk(&mesh, &[field], "target/quickstart_solution.vtk").is_ok() {
+        println!("solution written to target/quickstart_solution.vtk (open in ParaView)");
+    }
+}

@@ -1,0 +1,81 @@
+//! Unstructured-mesh workflow (paper §V-C.3): Poisson on a jittered
+//! quadratic-tetrahedron mesh (the Gmsh stand-in), partitioned with the
+//! greedy graph partitioner (the METIS stand-in), solved with all three
+//! SPMV methods. Prints the partition quality and per-method setup/SPMV
+//! costs — the ingredients of the paper's Fig 7.
+//!
+//! ```text
+//! cargo run --release --example unstructured_poisson
+//! ```
+
+use std::sync::Arc;
+
+use hymv::mesh::partition::{partition_elems, partition_mesh_with};
+use hymv::prelude::*;
+
+fn main() {
+    let p = 4;
+    let n = 8;
+    let mesh = unstructured_tet_mesh(n, ElementType::Tet10, 0.18, 2022);
+    println!(
+        "unstructured Tet10 mesh: {} elements, {} nodes (jittered Kuhn grid)",
+        mesh.n_elems(),
+        mesh.n_nodes()
+    );
+
+    // Partition with the METIS stand-in and report quality.
+    let assignment = partition_elems(&mesh, p, PartitionMethod::GreedyGraph);
+    let stats = PartitionStats::compute(&mesh, &assignment, p);
+    println!(
+        "greedy graph partition: {:?} elements/part, edge cut {}, {} shared nodes, imbalance {:.3}\n",
+        stats.elems_per_part, stats.edge_cut, stats.shared_nodes, stats.imbalance()
+    );
+    let pm = partition_mesh_with(&mesh, &assignment, p);
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>12} {:>10} {:>12}",
+        "method", "setup emat", "setup overhead", "10 SPMV", "CG iters", "‖u−u*‖∞"
+    );
+    for method in [Method::Hymv, Method::MatFree, Method::Assembled] {
+        let out = Universe::run(p, |comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = Arc::new(PoissonKernel::with_body(
+                ElementType::Tet10,
+                PoissonProblem::body(),
+            ));
+            comm.reset_ledger();
+            let mut sys = FemSystem::build(
+                comm,
+                part,
+                kernel,
+                &PoissonProblem::dirichlet(),
+                BuildOptions::new(method),
+            );
+            let emat = comm.allreduce_max_f64(sys.setup.emat_s);
+            let over = comm.allreduce_max_f64(sys.setup.overhead_s);
+            let t10 = sys.time_spmvs(comm, 10);
+            let t10 = comm.allreduce_max_f64(t10);
+            let (u, res) = sys.solve(comm, PrecondKind::Jacobi, 1e-9, 20_000);
+            assert!(res.converged);
+            let err = sys.inf_error(comm, &u, |x| vec![PoissonProblem::exact(x)]);
+            (emat, over, t10, res.iterations, err)
+        });
+        let (emat, over, t10, iters, err) = out[0];
+        println!(
+            "{:>10} {:>11.2} ms {:>11.2} ms {:>9.2} ms {:>10} {:>12.2e}",
+            format!("{method:?}"),
+            emat * 1e3,
+            over * 1e3,
+            t10 * 1e3,
+            iters,
+            err
+        );
+    }
+
+    println!(
+        "\npaper Fig 7: on unstructured meshes the assembled setup's\n\
+         communication dominates (HYMV setup ~11x faster) and HYMV's SPMV\n\
+         beats the irregular CSR SpMV (~3.6x); matrix-free pays the Tet10\n\
+         re-integration every SPMV."
+    );
+}

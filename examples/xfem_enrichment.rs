@@ -1,0 +1,99 @@
+//! The adaptive-matrix scenario that motivates HYMV (paper §I): XFEM-style
+//! local enrichment. When a crack propagates, a *few* elements change
+//! stiffness; HYMV recomputes only those stored element matrices, while a
+//! matrix-assembled code must re-run the entire global assembly.
+//!
+//! This example simulates a crack advancing through an elastic block:
+//! at each step a small set of "cracked" elements is softened (stiffness
+//! scaled down), the operator is updated, and the system is re-solved. It
+//! reports the per-step update cost of HYMV's local path against a full
+//! assembled rebuild.
+//!
+//! ```text
+//! cargo run --release --example xfem_enrichment
+//! ```
+
+
+use hymv::core::assembled::AssembledOperator;
+use hymv::core::operator::HymvOperator;
+use hymv::prelude::*;
+
+fn main() {
+    let p = 4;
+    let n = 12;
+    let bar = BarProblem::default_unit();
+    let (lo, hi) = bar.bbox();
+    let mesh = StructuredHexMesh::new(n, n, n, ElementType::Hex8, lo, hi).build();
+    let pm = partition_mesh(&mesh, p, PartitionMethod::Slabs);
+    let n_elems = mesh.n_elems();
+    println!(
+        "crack propagation through a {}³ Hex8 elastic block ({} elements, {} ranks)\n",
+        n, n_elems, p
+    );
+
+    // The crack advances along x at mid-height: step k cracks the column
+    // of elements at (x = k, y = *, z = n/2).
+    let steps = 6usize;
+    println!(
+        "{:>5} {:>9} {:>16} {:>18} {:>8}",
+        "step", "cracked", "HYMV update (ms)", "assembled rebuild", "speedup"
+    );
+
+    let out = Universe::run(p, |comm| {
+        let part = &pm.parts[comm.rank()];
+        let kernel = ElasticityKernel::new(ElementType::Hex8, bar.young, bar.poisson, bar.body_force());
+        // Softened operator for cracked elements: 100x lower stiffness.
+        let soft = ElasticityKernel::new(
+            ElementType::Hex8,
+            bar.young / 100.0,
+            bar.poisson,
+            bar.body_force(),
+        );
+        let (mut hymv, _) = HymvOperator::setup(comm, part, &kernel);
+
+        let mut rows = Vec::new();
+        for step in 0..steps {
+            // Which of *my* elements crack this step (global element ids
+            // encode (ex, ey, ez) lexicographically).
+            let cracked: Vec<usize> = (0..part.n_elems())
+                .filter(|&le| {
+                    let ge = part.elem_global_ids[le] as usize;
+                    let (ex, rest) = (ge % n, ge / n);
+                    let (_ey, ez) = (rest % n, rest / n);
+                    ex == step && ez == n / 2
+                })
+                .collect();
+
+            // HYMV path: recompute only the cracked elements' matrices.
+            comm.barrier();
+            let t_update = hymv.update_elements(comm, part, &soft, &cracked);
+            let t_update = comm.allreduce_max_f64(t_update);
+
+            // Assembled path: the entire matrix must be reassembled.
+            comm.barrier();
+            let vt0 = comm.vt();
+            let (_asm, _) = AssembledOperator::setup(comm, part, &kernel);
+            let t_rebuild = comm.allreduce_max_f64(comm.vt() - vt0);
+
+            let n_cracked = comm.allreduce_sum_u64(cracked.len() as u64);
+            rows.push((step, n_cracked, t_update, t_rebuild));
+        }
+        rows
+    });
+
+    for (step, cracked, t_update, t_rebuild) in &out[0] {
+        println!(
+            "{step:>5} {cracked:>9} {:>16.3} {:>15.3} ms {:>7.0}x",
+            t_update * 1e3,
+            t_rebuild * 1e3,
+            t_rebuild / t_update.max(1e-12)
+        );
+    }
+
+    println!(
+        "\nHYMV touches only the cracked elements (no communication, no\n\
+         global assembly); the assembled approach re-routes every element's\n\
+         entries through the network each step. This gap is the paper's\n\
+         'adaptive-matrix' motivation."
+    );
+}

@@ -1,0 +1,175 @@
+//! End-to-end verification against the paper's analytic solutions (§V-B),
+//! for all methods and several element types.
+
+use std::sync::Arc;
+
+use hymv::prelude::*;
+
+fn solve_poisson(mesh: GlobalMesh, p: usize, method: Method, pmeth: PartitionMethod) -> f64 {
+    let et = mesh.elem_type;
+    let pm = partition_mesh(&mesh, p, pmeth);
+    let out = Universe::run(p, |comm| {
+        let part = &pm.parts[comm.rank()];
+        let kernel = Arc::new(PoissonKernel::with_body(et, PoissonProblem::body()));
+        let mut sys = FemSystem::build(
+            comm,
+            part,
+            kernel,
+            &PoissonProblem::dirichlet(),
+            BuildOptions::new(method),
+        );
+        let (u, res) = sys.solve(comm, PrecondKind::Jacobi, 1e-11, 20_000);
+        assert!(res.converged, "{res:?}");
+        sys.inf_error(comm, &u, |x| vec![PoissonProblem::exact(x)])
+    });
+    out[0]
+}
+
+#[test]
+fn poisson_hex8_second_order_convergence() {
+    // 6³ is pre-asymptotic for the sin-product solution; the paper's own
+    // sequence starts at 10³.
+    let e1 = solve_poisson(
+        StructuredHexMesh::unit(10, ElementType::Hex8).build(),
+        2,
+        Method::Hymv,
+        PartitionMethod::Slabs,
+    );
+    let e2 = solve_poisson(
+        StructuredHexMesh::unit(20, ElementType::Hex8).build(),
+        2,
+        Method::Hymv,
+        PartitionMethod::Slabs,
+    );
+    let rate = (e1 / e2).log2();
+    assert!(
+        (1.6..2.4).contains(&rate),
+        "expected second-order convergence, got rate {rate} ({e1} → {e2})"
+    );
+}
+
+#[test]
+fn poisson_hex27_superior_accuracy() {
+    // Quadratic elements at the same node count beat linear ones.
+    let lin = solve_poisson(
+        StructuredHexMesh::unit(8, ElementType::Hex8).build(),
+        2,
+        Method::Hymv,
+        PartitionMethod::Slabs,
+    );
+    let quad = solve_poisson(
+        StructuredHexMesh::unit(4, ElementType::Hex27).build(),
+        2,
+        Method::Hymv,
+        PartitionMethod::Slabs,
+    );
+    assert!(quad < lin / 3.0, "Hex27 {quad} should beat Hex8 {lin}");
+}
+
+#[test]
+fn poisson_unstructured_tet10_converges() {
+    let err = solve_poisson(
+        unstructured_tet_mesh(6, ElementType::Tet10, 0.12, 3),
+        3,
+        Method::Hymv,
+        PartitionMethod::GreedyGraph,
+    );
+    assert!(err < 2e-3, "Tet10 error {err}");
+}
+
+#[test]
+fn poisson_matfree_and_assembled_converge_identically() {
+    let mesh = StructuredHexMesh::unit(8, ElementType::Hex8).build();
+    let a = solve_poisson(mesh.clone(), 2, Method::MatFree, PartitionMethod::Rcb);
+    let b = solve_poisson(mesh, 2, Method::Assembled, PartitionMethod::Rcb);
+    assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+}
+
+#[test]
+fn elastic_bar_hex20_exact_to_solver_precision() {
+    // The Timoshenko field is quadratic; Hex20 reproduces it exactly
+    // (paper: err < 1e-8 on every mesh).
+    let bar = BarProblem::default_unit();
+    let (lo, hi) = bar.bbox();
+    let mesh = StructuredHexMesh::new(4, 4, 4, ElementType::Hex20, lo, hi).build();
+    let pm = partition_mesh(&mesh, 2, PartitionMethod::Slabs);
+    let out = Universe::run(2, |comm| {
+        let part = &pm.parts[comm.rank()];
+        let kernel = Arc::new(ElasticityKernel::new(
+            ElementType::Hex20,
+            bar.young,
+            bar.poisson,
+            bar.body_force(),
+        ));
+        let mut sys =
+            FemSystem::build(comm, part, kernel, &bar.dirichlet(), BuildOptions::new(Method::Hymv));
+        let (u, res) = sys.solve(comm, PrecondKind::Jacobi, 1e-13, 50_000);
+        assert!(res.converged);
+        sys.inf_error(comm, &u, |x| bar.exact(x).to_vec())
+    });
+    assert!(out[0] < 1e-8, "error {}", out[0]);
+}
+
+#[test]
+fn elastic_bar_hex8_converges() {
+    let bar = BarProblem::default_unit();
+    let (lo, hi) = bar.bbox();
+    let errs: Vec<f64> = [4usize, 8]
+        .iter()
+        .map(|&n| {
+            let mesh = StructuredHexMesh::new(n, n, n, ElementType::Hex8, lo, hi).build();
+            let pm = partition_mesh(&mesh, 2, PartitionMethod::Slabs);
+            let out = Universe::run(2, |comm| {
+                let part = &pm.parts[comm.rank()];
+                let kernel = Arc::new(ElasticityKernel::new(
+                    ElementType::Hex8,
+                    bar.young,
+                    bar.poisson,
+                    bar.body_force(),
+                ));
+                let mut sys = FemSystem::build(
+                    comm,
+                    part,
+                    kernel,
+                    &bar.dirichlet(),
+                    BuildOptions::new(Method::Hymv),
+                );
+                let (u, res) = sys.solve(comm, PrecondKind::Jacobi, 1e-12, 50_000);
+                assert!(res.converged);
+                sys.inf_error(comm, &u, |x| bar.exact(x).to_vec())
+            });
+            out[0]
+        })
+        .collect();
+    assert!(errs[1] < errs[0] / 2.0, "no convergence: {errs:?}");
+}
+
+#[test]
+fn gpu_solve_matches_cpu_solve() {
+    use hymv_bench::{run_gpu_solve, run_solve, poisson_case, GpuConfig, GpuMethod};
+    let mesh = StructuredHexMesh::unit(6, ElementType::Hex8).build();
+    let case = poisson_case("gpu-vs-cpu", mesh);
+    let exact: Arc<dyn Fn([f64; 3]) -> Vec<f64> + Send + Sync> =
+        Arc::new(|x| vec![PoissonProblem::exact(x)]);
+    let cpu = run_solve(
+        &case,
+        2,
+        Method::Hymv,
+        PrecondKind::Jacobi,
+        1e-10,
+        PartitionMethod::Slabs,
+        Arc::clone(&exact),
+    );
+    let gpu = run_gpu_solve(
+        &case,
+        2,
+        GpuMethod::Hymv,
+        GpuConfig::default(),
+        1e-10,
+        PartitionMethod::Slabs,
+        exact,
+    );
+    assert!(cpu.converged && gpu.converged);
+    assert!((cpu.err_inf - gpu.err_inf).abs() < 1e-9);
+    assert_eq!(cpu.iterations, gpu.iterations);
+}

@@ -1,0 +1,149 @@
+//! Failure injection: malformed inputs must fail loudly and precisely, not
+//! corrupt results. These tests pin the error behaviour documented on the
+//! public API.
+
+use std::sync::Arc;
+
+use hymv::mesh::partition::partition_mesh_with;
+use hymv::prelude::*;
+
+#[test]
+fn mesh_validation_catches_corruption() {
+    let mut mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+    assert!(mesh.validate().is_ok());
+    // Out-of-range node reference.
+    let saved = mesh.connectivity[0];
+    mesh.connectivity[0] = 10_000;
+    assert!(mesh.validate().is_err());
+    mesh.connectivity[0] = saved;
+    // Duplicate node within an element.
+    mesh.connectivity[1] = mesh.connectivity[0];
+    assert!(mesh.validate().is_err());
+}
+
+#[test]
+fn partition_validation_catches_bad_ranges() {
+    let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+    let pm = partition_mesh(&mesh, 2, PartitionMethod::Slabs);
+    let mut part = pm.parts[0].clone();
+    part.node_range = (10, 5);
+    assert!(part.validate().is_err());
+    let mut part = pm.parts[0].clone();
+    part.node_range = (0, 1_000_000);
+    assert!(part.validate().is_err());
+}
+
+#[test]
+#[should_panic(expected = "part id out of range")]
+fn partition_mesh_with_rejects_bad_assignment() {
+    let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+    let bad = vec![9usize; mesh.n_elems()];
+    let _ = partition_mesh_with(&mesh, &bad, 2);
+}
+
+#[test]
+#[should_panic(expected = "one part id per element")]
+fn partition_mesh_with_rejects_wrong_length() {
+    let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+    let _ = partition_mesh_with(&mesh, &[0usize; 3], 1);
+}
+
+#[test]
+#[should_panic(expected = "degenerate or inverted")]
+fn inverted_element_detected_during_setup() {
+    let mut mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+    // Collapse an element: all nodes at the same point.
+    let p0 = mesh.coords[mesh.connectivity[0] as usize];
+    for i in 0..8 {
+        let n = mesh.connectivity[i] as usize;
+        mesh.coords[n] = p0;
+    }
+    let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+    let _ = Universe::run(1, |comm| {
+        let kernel = Arc::new(PoissonKernel::new(ElementType::Hex8));
+        let _ = FemSystem::build(
+            comm,
+            &pm.parts[0],
+            kernel,
+            &DirichletSpec::none(1),
+            BuildOptions::new(Method::Hymv),
+        );
+    });
+}
+
+#[test]
+#[should_panic(expected = "dof count must match")]
+fn mismatched_dirichlet_spec_rejected() {
+    let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+    let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+    let _ = Universe::run(1, |comm| {
+        let kernel = Arc::new(PoissonKernel::new(ElementType::Hex8)); // ndof = 1
+        let spec = DirichletSpec::none(3); // ndof = 3 — wrong
+        let _ = FemSystem::build(comm, &pm.parts[0], kernel, &spec, BuildOptions::new(Method::Hymv));
+    });
+}
+
+#[test]
+#[should_panic(expected = "positive-definite")]
+fn cg_rejects_indefinite_operator() {
+    // CG on a negative-definite operator must fail loudly, not loop.
+    struct Negative;
+    impl LinOp for Negative {
+        fn n_owned(&self) -> usize {
+            4
+        }
+        fn apply(&mut self, _c: &mut hymv::comm::Comm, x: &[f64], y: &mut [f64]) {
+            for (a, b) in y.iter_mut().zip(x) {
+                *a = -b;
+            }
+        }
+    }
+    let _ = Universe::run(1, |comm| {
+        let mut op = Negative;
+        let mut x = vec![0.0; 4];
+        let _ = cg(comm, &mut op, &mut Identity, &[1.0; 4], &mut x, 1e-8, 100);
+    });
+}
+
+#[test]
+fn cg_reports_non_convergence_honestly() {
+    let mesh = unstructured_hex_mesh(5, 5, 5, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.2, 1);
+    let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+    let out = Universe::run(1, |comm| {
+        let kernel = Arc::new(PoissonKernel::with_body(
+            ElementType::Hex8,
+            PoissonProblem::body(),
+        ));
+        let mut sys = FemSystem::build(
+            comm,
+            &pm.parts[0],
+            kernel,
+            &PoissonProblem::dirichlet(),
+            BuildOptions::new(Method::Hymv),
+        );
+        let (_, res) = sys.solve(comm, PrecondKind::None, 1e-30, 2);
+        res
+    });
+    assert!(!out[0].converged);
+    assert_eq!(out[0].iterations, 2);
+    assert!(out[0].rel_residual > 1e-30);
+}
+
+#[test]
+#[should_panic(expected = "element 999999 out of range")]
+fn adaptive_update_bounds_checked() {
+    let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+    let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+    let _ = Universe::run(1, |comm| {
+        let kernel = PoissonKernel::new(ElementType::Hex8);
+        let (mut op, _) = hymv::core::HymvOperator::setup(comm, &pm.parts[0], &kernel);
+        op.update_elements(comm, &pm.parts[0], &kernel, &[999_999]);
+    });
+}
+
+#[test]
+#[should_panic(expected = "more partitions")]
+fn too_many_ranks_rejected() {
+    let mesh = StructuredHexMesh::unit(1, ElementType::Hex8).build();
+    let _ = partition_mesh(&mesh, 50, PartitionMethod::Rcb);
+}

@@ -1,0 +1,146 @@
+//! Property-based end-to-end tests: over randomly generated meshes,
+//! partitionings, and operators, the core invariants hold.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hymv::prelude::*;
+
+fn any_partitioner() -> impl Strategy<Value = PartitionMethod> {
+    prop_oneof![
+        Just(PartitionMethod::Slabs),
+        Just(PartitionMethod::Rcb),
+        Just(PartitionMethod::GreedyGraph),
+    ]
+}
+
+proptest! {
+    // Universe-spawning cases are expensive; a handful of random cases per
+    // property is plenty on top of the deterministic suites.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// HYMV == matrix-free == assembled on random jittered meshes with
+    /// random partitionings — the paper's central claim of exactness.
+    #[test]
+    fn methods_agree_on_random_meshes(
+        n in 2usize..5,
+        p in 1usize..5,
+        jitter in 0.0f64..0.25,
+        seed in 0u64..1000,
+        method in any_partitioner(),
+    ) {
+        let mesh = unstructured_hex_mesh(n, n, n, ElementType::Hex8, [0.0; 3], [1.0; 3], jitter, seed);
+        let p = p.min(mesh.n_elems());
+        let pm = partition_mesh(&mesh, p, method);
+        let ys: Vec<Vec<Vec<f64>>> = [Method::Hymv, Method::MatFree, Method::Assembled]
+            .iter()
+            .map(|&m| {
+                Universe::run(p, |comm| {
+                    let part = &pm.parts[comm.rank()];
+                    let kernel = Arc::new(PoissonKernel::new(ElementType::Hex8));
+                    let mut sys = FemSystem::build(
+                        comm, part, kernel, &DirichletSpec::none(1), BuildOptions::new(m),
+                    );
+                    let lo = part.node_range.0 as usize;
+                    let x: Vec<f64> =
+                        (0..sys.n_owned()).map(|i| (((lo + i) * 7 % 11) as f64) - 5.0).collect();
+                    let mut y = vec![0.0; sys.n_owned()];
+                    sys.op.apply(comm, &x, &mut y);
+                    y
+                })
+            })
+            .collect();
+        for m in 1..3 {
+            for (a, b) in ys[0].iter().flatten().zip(ys[m].iter().flatten()) {
+                prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// The operator is symmetric: xᵀ(Ky) == yᵀ(Kx) for random vectors —
+    /// a global property that exercises ghost scatter AND gather.
+    #[test]
+    fn operator_is_symmetric(
+        n in 2usize..5,
+        p in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mesh = unstructured_tet_mesh(n, ElementType::Tet4, 0.15, seed);
+        let pm = partition_mesh(&mesh, p, PartitionMethod::GreedyGraph);
+        let out = Universe::run(p, |comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = Arc::new(ElasticityKernel::new(
+                ElementType::Tet4, 10.0, 0.2, [0.0; 3],
+            ));
+            let mut sys = FemSystem::build(
+                comm, part, kernel, &DirichletSpec::none(3), BuildOptions::new(Method::Hymv),
+            );
+            let lo = part.node_range.0 as usize;
+            let nx = sys.n_owned();
+            let x: Vec<f64> = (0..nx).map(|i| (((lo + i) * 13 % 29) as f64) * 0.1).collect();
+            let y: Vec<f64> = (0..nx).map(|i| (((lo + i) * 17 % 31) as f64) * 0.1 - 1.0).collect();
+            let mut kx = vec![0.0; nx];
+            let mut ky = vec![0.0; nx];
+            sys.op.apply(comm, &x, &mut kx);
+            sys.op.apply(comm, &y, &mut ky);
+            let xky: f64 = x.iter().zip(&ky).map(|(a, b)| a * b).sum();
+            let ykx: f64 = y.iter().zip(&kx).map(|(a, b)| a * b).sum();
+            (comm.allreduce_sum_f64(xky), comm.allreduce_sum_f64(ykx))
+        });
+        let (a, b) = out[0];
+        prop_assert!((a - b).abs() < 1e-8 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    /// Constant fields are in the raw operator's null space (partition of
+    /// unity + row sums of the Laplacian Ke), independent of partitioning.
+    #[test]
+    fn laplacian_annihilates_constants(
+        n in 2usize..5,
+        p in 1usize..5,
+        method in any_partitioner(),
+        seed in 0u64..1000,
+    ) {
+        let mesh = unstructured_hex_mesh(n, n, n, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.15, seed);
+        let p = p.min(mesh.n_elems());
+        let pm = partition_mesh(&mesh, p, method);
+        let out = Universe::run(p, |comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = Arc::new(PoissonKernel::new(ElementType::Hex8));
+            let mut sys = FemSystem::build(
+                comm, part, kernel, &DirichletSpec::none(1), BuildOptions::new(Method::Hymv),
+            );
+            let x = vec![3.25; sys.n_owned()];
+            let mut y = vec![0.0; sys.n_owned()];
+            sys.op.apply(comm, &x, &mut y);
+            y.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+        });
+        for m in out {
+            prop_assert!(m < 1e-10, "residual {m}");
+        }
+    }
+
+    /// CG solves random SPD FEM systems to the requested tolerance.
+    #[test]
+    fn cg_converges_on_random_systems(
+        n in 3usize..6,
+        p in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mesh = unstructured_hex_mesh(n, n, n, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.2, seed);
+        let pm = partition_mesh(&mesh, p, PartitionMethod::Rcb);
+        let out = Universe::run(p, |comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = Arc::new(PoissonKernel::with_body(
+                ElementType::Hex8, PoissonProblem::body(),
+            ));
+            let mut sys = FemSystem::build(
+                comm, part, kernel, &PoissonProblem::dirichlet(), BuildOptions::new(Method::Hymv),
+            );
+            let (_, res) = sys.solve(comm, PrecondKind::Jacobi, 1e-9, 20_000);
+            res
+        });
+        prop_assert!(out[0].converged, "{:?}", out[0]);
+        prop_assert!(out[0].rel_residual <= 1e-9);
+    }
+}

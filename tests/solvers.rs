@@ -1,0 +1,157 @@
+//! Solver-level integration: standard CG, pipelined CG, and the
+//! GPU-resident CG produce the same solutions through the full FEM stack.
+
+use std::sync::Arc;
+
+use hymv::prelude::*;
+
+fn jittered_poisson(n: usize) -> GlobalMesh {
+    unstructured_hex_mesh(n, n, n, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.2, 29)
+}
+
+#[test]
+fn pipelined_cg_equals_cg_through_fem_system() {
+    let mesh = jittered_poisson(6);
+    let p = 3;
+    let pm = partition_mesh(&mesh, p, PartitionMethod::GreedyGraph);
+    let out = Universe::run(p, |comm| {
+        let part = &pm.parts[comm.rank()];
+        let kernel = Arc::new(PoissonKernel::with_body(
+            ElementType::Hex8,
+            PoissonProblem::body(),
+        ));
+        let mut sys = FemSystem::build(
+            comm,
+            part,
+            kernel,
+            &PoissonProblem::dirichlet(),
+            BuildOptions::new(Method::Hymv),
+        );
+        let (x_cg, r_cg) =
+            sys.solve_with(comm, SolverKind::Cg, PrecondKind::Jacobi, 1e-11, 50_000);
+        let (x_p, r_p) =
+            sys.solve_with(comm, SolverKind::PipelinedCg, PrecondKind::Jacobi, 1e-11, 50_000);
+        assert!(r_cg.converged && r_p.converged, "{r_cg:?} {r_p:?}");
+        let d = x_cg
+            .iter()
+            .zip(&x_p)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        comm.allreduce_max_f64(d)
+    });
+    assert!(out[0] < 1e-8, "solutions diverge by {}", out[0]);
+}
+
+#[test]
+fn pipelined_cg_all_methods_same_iterations() {
+    let mesh = jittered_poisson(5);
+    let p = 2;
+    let pm = partition_mesh(&mesh, p, PartitionMethod::Rcb);
+    let mut iters = Vec::new();
+    for method in [Method::Hymv, Method::MatFree, Method::Assembled] {
+        let out = Universe::run(p, |comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = Arc::new(PoissonKernel::with_body(
+                ElementType::Hex8,
+                PoissonProblem::body(),
+            ));
+            let mut sys = FemSystem::build(
+                comm,
+                part,
+                kernel,
+                &PoissonProblem::dirichlet(),
+                BuildOptions::new(method),
+            );
+            let (_, res) =
+                sys.solve_with(comm, SolverKind::PipelinedCg, PrecondKind::Jacobi, 1e-9, 50_000);
+            assert!(res.converged);
+            res.iterations
+        });
+        iters.push(out[0]);
+    }
+    assert_eq!(iters[0], iters[1]);
+    assert_eq!(iters[0], iters[2]);
+}
+
+#[test]
+fn gpu_resident_cg_through_full_stack() {
+    use hymv::core::assemble::{
+        assemble_rhs, jacobi_diagonal, owned_node_coords,
+    };
+    use hymv::core::dirichlet_op::{owned_constraints, DirichletOp};
+    use hymv::fem::dirichlet::constrained_dofs;
+
+    let mesh = jittered_poisson(5);
+    let p = 2;
+    let pm = partition_mesh(&mesh, p, PartitionMethod::Slabs);
+    let out = Universe::run(p, |comm| {
+        let part = &pm.parts[comm.rank()];
+        let kernel = PoissonKernel::with_body(ElementType::Hex8, PoissonProblem::body());
+        let maps = HymvMaps::build(part);
+        let exchange = GhostExchange::build(comm, &maps);
+        let raw_rhs = assemble_rhs(comm, &maps, &exchange, part, &kernel);
+        let spec = PoissonProblem::dirichlet();
+        let constrained = owned_constraints(&maps, 1, &constrained_dofs(part, &spec));
+
+        let (op, _) = HymvGpuOperator::setup(
+            comm,
+            part,
+            &kernel,
+            GpuModel::default(),
+            4,
+            GpuScheme::OverlapGpu,
+            2,
+        );
+        let mut diag = jacobi_diagonal(comm, &maps, &exchange, op.store(), 1);
+        let boxed: Box<dyn LinOp> = Box::new(op);
+        let mut wrapped = DirichletOp::new(boxed, constrained);
+        wrapped.mask_diagonal(&mut diag);
+        let inv_diag: Vec<f64> = diag.iter().map(|d| 1.0 / d).collect();
+        let rhs = wrapped.build_rhs(comm, &raw_rhs);
+
+        let mut x = vec![0.0; wrapped.n_owned()];
+        let mut blas = DeviceBlas::new(DeviceSim::new(GpuModel::default(), 1));
+        let res = gpu_resident_cg(
+            comm,
+            &mut wrapped,
+            &mut blas,
+            &inv_diag,
+            &rhs,
+            &mut x,
+            1e-10,
+            50_000,
+        );
+        assert!(res.converged, "{res:?}");
+        let coords = owned_node_coords(&maps, part);
+        let err = hymv::fem::analytic::inf_error(&coords, &x, 1, |p| {
+            vec![PoissonProblem::exact(p)]
+        });
+        comm.allreduce_max_f64(err)
+    });
+    assert!(out[0] < 5e-3, "solution error {}", out[0]);
+}
+
+#[test]
+fn pipelined_cg_elasticity_with_block_jacobi() {
+    let bar = BarProblem::default_unit();
+    let (lo, hi) = bar.bbox();
+    let mesh = unstructured_hex_mesh(5, 5, 5, ElementType::Hex8, lo, hi, 0.15, 41);
+    let pm = partition_mesh(&mesh, 2, PartitionMethod::Rcb);
+    let out = Universe::run(2, |comm| {
+        let part = &pm.parts[comm.rank()];
+        let kernel = Arc::new(ElasticityKernel::new(
+            ElementType::Hex8,
+            bar.young,
+            bar.poisson,
+            bar.body_force(),
+        ));
+        let mut opts = BuildOptions::new(Method::Hymv);
+        opts.want_block_jacobi = true;
+        let mut sys = FemSystem::build(comm, part, kernel, &bar.dirichlet(), opts);
+        let (u, res) =
+            sys.solve_with(comm, SolverKind::PipelinedCg, PrecondKind::BlockJacobi, 1e-10, 50_000);
+        assert!(res.converged);
+        sys.inf_error(comm, &u, |x| bar.exact(x).to_vec())
+    });
+    assert!(out[0] < 5e-3, "error {}", out[0]);
+}
