@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The repo's CI gate, runnable locally: formatting, lints (warnings are
+# errors), the full test suite, and the hymv-check analysis passes.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== hymv-check analysis passes"
+cargo run -q -p hymv-check --bin hymv-check -- --n 4 --p 4 --method rcb --seeds 8
+
+echo "CI green"

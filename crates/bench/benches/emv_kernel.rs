@@ -23,13 +23,31 @@ fn bench_emv(c: &mut Criterion) {
         let mut ve = vec![0.0; nd];
         group.throughput(Throughput::Elements((2 * nd * nd) as u64));
         group.bench_with_input(BenchmarkId::new("axpy_dispatched", nd), &nd, |b, _| {
-            b.iter(|| emv(std::hint::black_box(&ke), std::hint::black_box(&ue), &mut ve));
+            b.iter(|| {
+                emv(
+                    std::hint::black_box(&ke),
+                    std::hint::black_box(&ue),
+                    &mut ve,
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("axpy_portable", nd), &nd, |b, _| {
-            b.iter(|| emv_portable(std::hint::black_box(&ke), std::hint::black_box(&ue), &mut ve));
+            b.iter(|| {
+                emv_portable(
+                    std::hint::black_box(&ke),
+                    std::hint::black_box(&ue),
+                    &mut ve,
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("dot_strided", nd), &nd, |b, _| {
-            b.iter(|| emv_dot_strided(std::hint::black_box(&ke), std::hint::black_box(&ue), &mut ve));
+            b.iter(|| {
+                emv_dot_strided(
+                    std::hint::black_box(&ke),
+                    std::hint::black_box(&ue),
+                    &mut ve,
+                )
+            });
         });
     }
     group.finish();

@@ -18,7 +18,11 @@ fn bench_partitioners(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
     let mesh = unstructured_tet_mesh(8, ElementType::Tet4, 0.15, 7);
-    for method in [PartitionMethod::Slabs, PartitionMethod::Rcb, PartitionMethod::GreedyGraph] {
+    for method in [
+        PartitionMethod::Slabs,
+        PartitionMethod::Rcb,
+        PartitionMethod::GreedyGraph,
+    ] {
         group.bench_with_input(
             BenchmarkId::new(format!("{method:?}"), mesh.n_elems()),
             &method,
@@ -64,5 +68,10 @@ fn bench_generators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioners, bench_maps_and_coloring, bench_generators);
+criterion_group!(
+    benches,
+    bench_partitioners,
+    bench_maps_and_coloring,
+    bench_generators
+);
 criterion_main!(benches);

@@ -21,7 +21,10 @@ fn bench_methods(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
-    for (label, et, n) in [("hex8", ElementType::Hex8, 12), ("hex20", ElementType::Hex20, 5)] {
+    for (label, et, n) in [
+        ("hex8", ElementType::Hex8, 12),
+        ("hex20", ElementType::Hex20, 5),
+    ] {
         let mesh = StructuredHexMesh::unit(n, et).build();
         let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
         for method in [Method::Hymv, Method::MatFree, Method::Assembled] {

@@ -12,13 +12,20 @@ use hymv_comm::Universe;
 use hymv_core::assembled::AssembledOperator;
 use hymv_core::operator::HymvOperator;
 use hymv_core::ParallelMode;
-use hymv_la::LinOp as _;
 use hymv_fem::analytic::BarProblem;
-use hymv_mesh::{partition::partition_mesh, ElementType, PartitionMethod, StructuredHexMesh, unstructured_tet_mesh};
+use hymv_la::LinOp as _;
+use hymv_mesh::{
+    partition::partition_mesh, unstructured_tet_mesh, ElementType, PartitionMethod,
+    StructuredHexMesh,
+};
 
 fn overlap() {
     // High-latency fabric makes the overlap benefit visible at this scale.
-    let model = hymv_comm::CostModel { alpha: 50.0e-6, beta: 2.0e9, ..Default::default() };
+    let model = hymv_comm::CostModel {
+        alpha: 50.0e-6,
+        beta: 2.0e9,
+        ..Default::default()
+    };
     let mesh = unstructured_tet_mesh(10, ElementType::Tet10, 0.15, 77);
     let case = poisson_case("ablation-overlap", mesh);
     let mut rep = Reporter::new(
@@ -61,10 +68,7 @@ fn smp() {
     let (lo, hi) = bar.bbox();
     let mesh = StructuredHexMesh::new(10, 10, 10, ElementType::Hex20, lo, hi).build();
     let case = elasticity_case("ablation-smp", mesh, bar);
-    let mut rep = Reporter::new(
-        "ablation-smp",
-        &["mode", "threads", "10SPMV", "vs serial"],
-    );
+    let mut rep = Reporter::new("ablation-smp", &["mode", "threads", "10SPMV", "vs serial"]);
     let pm = partition_mesh(&case.mesh, 2, PartitionMethod::Slabs);
     let configs = [
         ("serial", ParallelMode::Serial),
@@ -145,14 +149,24 @@ fn pipelined() {
     use std::sync::Arc;
     // A high-latency fabric exposes the per-iteration reduction cost that
     // pipelined CG hides behind the SPMV.
-    let model = hymv_comm::CostModel { alpha: 100.0e-6, beta: 4.0e9, ..Default::default() };
-    let mesh = hymv_mesh::unstructured_hex_mesh(
-        10, 10, 10, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.2, 5,
-    );
+    let model = hymv_comm::CostModel {
+        alpha: 100.0e-6,
+        beta: 4.0e9,
+        ..Default::default()
+    };
+    let mesh =
+        hymv_mesh::unstructured_hex_mesh(10, 10, 10, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.2, 5);
     let case = poisson_case("ablation-pipelined", mesh);
     let mut rep = Reporter::new(
         "ablation-pipelined",
-        &["p", "CG time", "CG iters", "pipelined time", "pipelined iters", "gain"],
+        &[
+            "p",
+            "CG time",
+            "CG iters",
+            "pipelined time",
+            "pipelined iters",
+            "gain",
+        ],
     );
     for p in [4usize, 8, 16] {
         let pm = partition_mesh(&case.mesh, p, PartitionMethod::Rcb);
@@ -171,14 +185,18 @@ fn pipelined() {
             );
             comm.reset_ledger();
             let vt0 = comm.vt();
-            let (_, r_cg) =
-                sys.solve_with(comm, SolverKind::Cg, PrecondKind::Jacobi, 1e-8, 50_000);
+            let (_, r_cg) = sys.solve_with(comm, SolverKind::Cg, PrecondKind::Jacobi, 1e-8, 50_000);
             let t_cg = comm.allreduce_max_f64(comm.vt() - vt0);
 
             comm.reset_ledger();
             let vt0 = comm.vt();
-            let (_, r_p) =
-                sys.solve_with(comm, SolverKind::PipelinedCg, PrecondKind::Jacobi, 1e-8, 50_000);
+            let (_, r_p) = sys.solve_with(
+                comm,
+                SolverKind::PipelinedCg,
+                PrecondKind::Jacobi,
+                1e-8,
+                50_000,
+            );
             let t_p = comm.allreduce_max_f64(comm.vt() - vt0);
             assert!(r_cg.converged && r_p.converged);
             (t_cg, r_cg.iterations, t_p, r_p.iterations)

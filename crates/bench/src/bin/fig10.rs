@@ -28,7 +28,8 @@ fn main() {
     let nnz_estimate = {
         // Count exactly by assembling once (cheap at this size).
         use hymv_la::SerialCsr;
-        let kernel = ElasticityKernel::new(ElementType::Hex20, bar.young, bar.poisson, bar.body_force());
+        let kernel =
+            ElasticityKernel::new(ElementType::Hex20, bar.young, bar.poisson, bar.body_force());
         let nd = kernel.ndof_elem();
         let mut ke = vec![0.0; nd * nd];
         let mut scratch = hymv_fem::kernel::KernelScratch::default();
@@ -59,7 +60,8 @@ fn main() {
     };
 
     let case = elasticity_case("fig10", mesh, bar);
-    let kernel = ElasticityKernel::new(ElementType::Hex20, bar.young, bar.poisson, bar.body_force());
+    let kernel =
+        ElasticityKernel::new(ElementType::Hex20, bar.young, bar.poisson, bar.body_force());
     let nd = kernel.ndof_elem() as f64;
     let ke_flops = kernel.ke_flops() as f64;
 
@@ -85,12 +87,33 @@ fn main() {
         &["method", "AI (flop/B)", "paper AI", "GFLOP/s", "paper GF/s"],
     );
     let configs = [
-        (Method::Assembled, "assembled", asm_flops, asm_bytes, 0.161, 1.062),
+        (
+            Method::Assembled,
+            "assembled",
+            asm_flops,
+            asm_bytes,
+            0.161,
+            1.062,
+        ),
         (Method::Hymv, "HYMV", hymv_flops, hymv_bytes, 0.079, 1.614),
-        (Method::MatFree, "matrix-free", mf_flops, mf_bytes, 0.083, 5.053),
+        (
+            Method::MatFree,
+            "matrix-free",
+            mf_flops,
+            mf_bytes,
+            0.083,
+            5.053,
+        ),
     ];
     for (method, name, flops, bytes, paper_ai, paper_gf) in configs {
-        let r = run_setup_and_spmv(&case, 1, method, ParallelMode::Serial, PartitionMethod::Slabs, 10);
+        let r = run_setup_and_spmv(
+            &case,
+            1,
+            method,
+            ParallelMode::Serial,
+            PartitionMethod::Slabs,
+            10,
+        );
         let gf = 10.0 * flops / r.spmv_s / 1e9;
         rep.row(vec![
             name.to_string(),

@@ -11,7 +11,9 @@
 
 use std::sync::Arc;
 
-use hymv_bench::{elasticity_case, ratio, run_gpu_solve, run_solve, secs, Case, GpuConfig, GpuMethod, Reporter};
+use hymv_bench::{
+    elasticity_case, ratio, run_gpu_solve, run_solve, secs, Case, GpuConfig, GpuMethod, Reporter,
+};
 use hymv_core::system::{Method, PrecondKind};
 use hymv_fem::analytic::BarProblem;
 use hymv_gpu::GpuScheme;
@@ -34,15 +36,59 @@ fn part_a() {
     let case = build_case(ElementType::Hex8, 14, bar);
     let mut rep = Reporter::new(
         "fig11a",
-        &["p", "PETSc none", "HYMV none", "PETSc Jacobi", "HYMV Jacobi", "iters N", "iters J", "err"],
+        &[
+            "p",
+            "PETSc none",
+            "HYMV none",
+            "PETSc Jacobi",
+            "HYMV Jacobi",
+            "iters N",
+            "iters J",
+            "err",
+        ],
     );
     for p in [2usize, 4, 8, 16] {
-        let pn = run_solve(&case, p, Method::Assembled, PrecondKind::None, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
-        let hn = run_solve(&case, p, Method::Hymv, PrecondKind::None, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
-        let pj = run_solve(&case, p, Method::Assembled, PrecondKind::Jacobi, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
-        let hj = run_solve(&case, p, Method::Hymv, PrecondKind::Jacobi, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
+        let pn = run_solve(
+            &case,
+            p,
+            Method::Assembled,
+            PrecondKind::None,
+            RTOL,
+            PartitionMethod::GreedyGraph,
+            exact_of(bar),
+        );
+        let hn = run_solve(
+            &case,
+            p,
+            Method::Hymv,
+            PrecondKind::None,
+            RTOL,
+            PartitionMethod::GreedyGraph,
+            exact_of(bar),
+        );
+        let pj = run_solve(
+            &case,
+            p,
+            Method::Assembled,
+            PrecondKind::Jacobi,
+            RTOL,
+            PartitionMethod::GreedyGraph,
+            exact_of(bar),
+        );
+        let hj = run_solve(
+            &case,
+            p,
+            Method::Hymv,
+            PrecondKind::Jacobi,
+            RTOL,
+            PartitionMethod::GreedyGraph,
+            exact_of(bar),
+        );
         assert!(pn.converged && hn.converged && pj.converged && hj.converged);
-        assert_eq!(pn.iterations, hn.iterations, "same operator, same iterations");
+        assert_eq!(
+            pn.iterations, hn.iterations,
+            "same operator, same iterations"
+        );
         rep.row(vec![
             p.to_string(),
             secs(pn.total_s()),
@@ -62,15 +108,49 @@ fn part_b() {
     let bar = BarProblem::default_unit();
     let mut rep = Reporter::new(
         "fig11b",
-        &["p", "DoFs", "PETSc J", "HYMV J", "PETSc BJ", "HYMV BJ", "iters J", "iters BJ"],
+        &[
+            "p", "DoFs", "PETSc J", "HYMV J", "PETSc BJ", "HYMV BJ", "iters J", "iters BJ",
+        ],
     );
     for p in [1usize, 2, 4, 8] {
         let n = hymv_bench::mesh_n_for_dofs(ElementType::Hex20, 3, p, 3_000);
         let case = build_case(ElementType::Hex20, n, bar);
-        let pj = run_solve(&case, p, Method::Assembled, PrecondKind::Jacobi, RTOL, PartitionMethod::Slabs, exact_of(bar));
-        let hj = run_solve(&case, p, Method::Hymv, PrecondKind::Jacobi, RTOL, PartitionMethod::Slabs, exact_of(bar));
-        let pb = run_solve(&case, p, Method::Assembled, PrecondKind::BlockJacobi, RTOL, PartitionMethod::Slabs, exact_of(bar));
-        let hb = run_solve(&case, p, Method::Hymv, PrecondKind::BlockJacobi, RTOL, PartitionMethod::Slabs, exact_of(bar));
+        let pj = run_solve(
+            &case,
+            p,
+            Method::Assembled,
+            PrecondKind::Jacobi,
+            RTOL,
+            PartitionMethod::Slabs,
+            exact_of(bar),
+        );
+        let hj = run_solve(
+            &case,
+            p,
+            Method::Hymv,
+            PrecondKind::Jacobi,
+            RTOL,
+            PartitionMethod::Slabs,
+            exact_of(bar),
+        );
+        let pb = run_solve(
+            &case,
+            p,
+            Method::Assembled,
+            PrecondKind::BlockJacobi,
+            RTOL,
+            PartitionMethod::Slabs,
+            exact_of(bar),
+        );
+        let hb = run_solve(
+            &case,
+            p,
+            Method::Hymv,
+            PrecondKind::BlockJacobi,
+            RTOL,
+            PartitionMethod::Slabs,
+            exact_of(bar),
+        );
         assert!(pj.converged && hj.converged && pb.converged && hb.converged);
         rep.row(vec![
             p.to_string(),
@@ -91,14 +171,41 @@ fn part_c() {
     let bar = BarProblem::default_unit();
     let mut rep = Reporter::new(
         "fig11c",
-        &["p", "DoFs", "PETSc-GPU total", "HYMV-GPU total", "speedup", "iters", "err"],
+        &[
+            "p",
+            "DoFs",
+            "PETSc-GPU total",
+            "HYMV-GPU total",
+            "speedup",
+            "iters",
+            "err",
+        ],
     );
     for p in [2usize, 4, 8] {
         let n = hymv_bench::mesh_n_for_dofs(ElementType::Hex27, 3, p, 5_000);
         let case = build_case(ElementType::Hex27, n, bar);
-        let cfg = GpuConfig { scheme: GpuScheme::OverlapGpu, ..GpuConfig::default() };
-        let pg = run_gpu_solve(&case, p, GpuMethod::Petsc, cfg, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
-        let hg = run_gpu_solve(&case, p, GpuMethod::Hymv, cfg, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
+        let cfg = GpuConfig {
+            scheme: GpuScheme::OverlapGpu,
+            ..GpuConfig::default()
+        };
+        let pg = run_gpu_solve(
+            &case,
+            p,
+            GpuMethod::Petsc,
+            cfg,
+            RTOL,
+            PartitionMethod::GreedyGraph,
+            exact_of(bar),
+        );
+        let hg = run_gpu_solve(
+            &case,
+            p,
+            GpuMethod::Hymv,
+            cfg,
+            RTOL,
+            PartitionMethod::GreedyGraph,
+            exact_of(bar),
+        );
         assert!(pg.converged && hg.converged);
         rep.row(vec![
             p.to_string(),
@@ -122,18 +229,46 @@ fn part_c_resident() {
     let bar = BarProblem::default_unit();
     let mut rep = Reporter::new(
         "fig11c-resident",
-        &["p", "DoFs", "host-CG+GPU-SPMV", "GPU-resident CG", "gain", "iters"],
+        &[
+            "p",
+            "DoFs",
+            "host-CG+GPU-SPMV",
+            "GPU-resident CG",
+            "gain",
+            "iters",
+        ],
     );
     // Small rows show the launch-latency regime; the last row (25K
     // DoFs/rank) crosses into the bandwidth regime where residency wins.
     for (p, per_rank) in [(2usize, 5_000usize), (4, 5_000), (8, 5_000), (2, 25_000)] {
         let n = hymv_bench::mesh_n_for_dofs(ElementType::Hex27, 3, p, per_rank);
         let case = build_case(ElementType::Hex27, n, bar);
-        let cfg = GpuConfig { scheme: GpuScheme::OverlapGpu, ..GpuConfig::default() };
-        let host = run_gpu_solve(&case, p, GpuMethod::Hymv, cfg, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
-        let dev = run_gpu_resident_solve(&case, p, cfg, RTOL, PartitionMethod::GreedyGraph, exact_of(bar));
+        let cfg = GpuConfig {
+            scheme: GpuScheme::OverlapGpu,
+            ..GpuConfig::default()
+        };
+        let host = run_gpu_solve(
+            &case,
+            p,
+            GpuMethod::Hymv,
+            cfg,
+            RTOL,
+            PartitionMethod::GreedyGraph,
+            exact_of(bar),
+        );
+        let dev = run_gpu_resident_solve(
+            &case,
+            p,
+            cfg,
+            RTOL,
+            PartitionMethod::GreedyGraph,
+            exact_of(bar),
+        );
         assert!(host.converged && dev.converged);
-        assert_eq!(host.iterations, dev.iterations, "same preconditioned operator");
+        assert_eq!(
+            host.iterations, dev.iterations,
+            "same preconditioned operator"
+        );
         rep.row(vec![
             p.to_string(),
             case.n_dofs().to_string(),

@@ -31,7 +31,9 @@ fn main() {
             GpuScheme::Blocking,
             4,
         );
-        let x: Vec<f64> = (0..gpu.n_owned()).map(|i| (i as f64 * 0.03).sin()).collect();
+        let x: Vec<f64> = (0..gpu.n_owned())
+            .map(|i| (i as f64 * 0.03).sin())
+            .collect();
         let mut y = vec![0.0; gpu.n_owned()];
         gpu.sim_mut().clear_events();
         gpu.matvec(comm, &x, &mut y);
@@ -64,8 +66,14 @@ fn main() {
     rep.row(vec!["H2D engine busy".into(), format!("{:.4}", h * 1e3)]);
     rep.row(vec!["kernel engine busy".into(), format!("{:.4}", k * 1e3)]);
     rep.row(vec!["D2H engine busy".into(), format!("{:.4}", d * 1e3)]);
-    rep.row(vec!["sum (no overlap)".into(), format!("{:.4}", (h + k + d) * 1e3)]);
-    rep.row(vec!["makespan (8 streams)".into(), format!("{:.4}", makespan * 1e3)]);
+    rep.row(vec![
+        "sum (no overlap)".into(),
+        format!("{:.4}", (h + k + d) * 1e3),
+    ]);
+    rep.row(vec![
+        "makespan (8 streams)".into(),
+        format!("{:.4}", makespan * 1e3),
+    ]);
     rep.row(vec![
         "overlap efficiency".into(),
         format!("{:.2}", (h + k + d) / makespan),

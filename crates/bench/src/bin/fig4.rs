@@ -28,17 +28,45 @@ fn run(kind: &str, ranks: &[usize], sizing: impl Fn(usize) -> usize) {
     let mut rep = Reporter::new(
         &format!("fig4-{kind}"),
         &[
-            "p", "DoFs", "PETSc setup", "HYMV setup", "setup speedup", "PETSc 10SPMV",
-            "HYMV 10SPMV", "matfree 10SPMV", "wall(s)",
+            "p",
+            "DoFs",
+            "PETSc setup",
+            "HYMV setup",
+            "setup speedup",
+            "PETSc 10SPMV",
+            "HYMV 10SPMV",
+            "matfree 10SPMV",
+            "wall(s)",
         ],
     );
     for &p in ranks {
         let n = sizing(p);
         let mesh = StructuredHexMesh::unit(n, ElementType::Hex8).build();
         let case = poisson_case("fig4", mesh);
-        let asm = run_setup_and_spmv(&case, p, Method::Assembled, ParallelMode::Serial, PartitionMethod::Slabs, 10);
-        let hymv = run_setup_and_spmv(&case, p, Method::Hymv, ParallelMode::Serial, PartitionMethod::Slabs, 10);
-        let mf = run_setup_and_spmv(&case, p, Method::MatFree, ParallelMode::Serial, PartitionMethod::Slabs, 10);
+        let asm = run_setup_and_spmv(
+            &case,
+            p,
+            Method::Assembled,
+            ParallelMode::Serial,
+            PartitionMethod::Slabs,
+            10,
+        );
+        let hymv = run_setup_and_spmv(
+            &case,
+            p,
+            Method::Hymv,
+            ParallelMode::Serial,
+            PartitionMethod::Slabs,
+            10,
+        );
+        let mf = run_setup_and_spmv(
+            &case,
+            p,
+            Method::MatFree,
+            ParallelMode::Serial,
+            PartitionMethod::Slabs,
+            10,
+        );
         rep.row(vec![
             p.to_string(),
             case.n_dofs().to_string(),
@@ -64,6 +92,8 @@ fn main() {
         });
     }
     if mode == "strong" || mode == "all" {
-        run("strong", &STRONG_RANKS, |_| (STRONG_DOFS as f64).powf(1.0 / 3.0).round() as usize - 1);
+        run("strong", &STRONG_RANKS, |_| {
+            (STRONG_DOFS as f64).powf(1.0 / 3.0).round() as usize - 1
+        });
     }
 }

@@ -33,15 +33,44 @@ fn run(kind: &str, ranks: &[usize], sizing: impl Fn(usize) -> usize) {
     let mut rep = Reporter::new(
         &format!("fig5-{kind}"),
         &[
-            "p", "DoFs", "PETSc emat", "PETSc comm", "HYMV emat", "HYMV copy+maps",
-            "setup speedup", "PETSc 10SPMV", "HYMV 10SPMV", "matfree 10SPMV",
+            "p",
+            "DoFs",
+            "PETSc emat",
+            "PETSc comm",
+            "HYMV emat",
+            "HYMV copy+maps",
+            "setup speedup",
+            "PETSc 10SPMV",
+            "HYMV 10SPMV",
+            "matfree 10SPMV",
         ],
     );
     for &p in ranks {
         let case = build_case(sizing(p));
-        let asm = run_setup_and_spmv(&case, p, Method::Assembled, ParallelMode::Serial, PartitionMethod::Slabs, 10);
-        let hymv = run_setup_and_spmv(&case, p, Method::Hymv, ParallelMode::Serial, PartitionMethod::Slabs, 10);
-        let mf = run_setup_and_spmv(&case, p, Method::MatFree, ParallelMode::Serial, PartitionMethod::Slabs, 10);
+        let asm = run_setup_and_spmv(
+            &case,
+            p,
+            Method::Assembled,
+            ParallelMode::Serial,
+            PartitionMethod::Slabs,
+            10,
+        );
+        let hymv = run_setup_and_spmv(
+            &case,
+            p,
+            Method::Hymv,
+            ParallelMode::Serial,
+            PartitionMethod::Slabs,
+            10,
+        );
+        let mf = run_setup_and_spmv(
+            &case,
+            p,
+            Method::MatFree,
+            ParallelMode::Serial,
+            PartitionMethod::Slabs,
+            10,
+        );
         rep.row(vec![
             p.to_string(),
             case.n_dofs().to_string(),
@@ -56,7 +85,9 @@ fn run(kind: &str, ranks: &[usize], sizing: impl Fn(usize) -> usize) {
         ]);
     }
     rep.note("paper Fig 5: HYMV setup ~5x faster; EMat-compute components match across methods; matrix-free SPMV dominated by per-apply re-integration");
-    rep.note(format!("scaled-down sweep: {PER_RANK_DOFS} DoFs/rank (paper: 33.5K); virtual seconds"));
+    rep.note(format!(
+        "scaled-down sweep: {PER_RANK_DOFS} DoFs/rank (paper: 33.5K); virtual seconds"
+    ));
     rep.finish();
 }
 

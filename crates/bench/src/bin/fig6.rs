@@ -37,13 +37,34 @@ fn build_case(cores: usize, per_rank: usize) -> hymv_bench::Case {
 fn run(kind: &str, cores_sweep: &[usize], per_rank: impl Fn(usize) -> usize) {
     let mut rep = Reporter::new(
         &format!("fig6-{kind}"),
-        &["cores", "DoFs", "PETSc 10SPMV", "HYMV pure-MPI", "HYMV hybrid", "hybrid vs PETSc"],
+        &[
+            "cores",
+            "DoFs",
+            "PETSc 10SPMV",
+            "HYMV pure-MPI",
+            "HYMV hybrid",
+            "hybrid vs PETSc",
+        ],
     );
     for &cores in cores_sweep {
         let case = build_case(cores, per_rank(cores));
         // Pure MPI: one rank per core.
-        let asm = run_setup_and_spmv(&case, cores, Method::Assembled, ParallelMode::Serial, PartitionMethod::Slabs, 10);
-        let pure = run_setup_and_spmv(&case, cores, Method::Hymv, ParallelMode::Serial, PartitionMethod::Slabs, 10);
+        let asm = run_setup_and_spmv(
+            &case,
+            cores,
+            Method::Assembled,
+            ParallelMode::Serial,
+            PartitionMethod::Slabs,
+            10,
+        );
+        let pure = run_setup_and_spmv(
+            &case,
+            cores,
+            Method::Hymv,
+            ParallelMode::Serial,
+            PartitionMethod::Slabs,
+            10,
+        );
         // Hybrid: cores/THREADS ranks, each with THREADS modeled workers
         // over colored element classes.
         let hybrid = run_setup_and_spmv(

@@ -20,13 +20,35 @@ fn main() {
     let mut rep = Reporter::new(
         "fig7",
         &[
-            "p", "DoFs", "PETSc emat", "PETSc comm", "HYMV emat", "HYMV copy+maps",
-            "setup speedup", "PETSc 10SPMV", "HYMV 10SPMV", "SPMV speedup",
+            "p",
+            "DoFs",
+            "PETSc emat",
+            "PETSc comm",
+            "HYMV emat",
+            "HYMV copy+maps",
+            "setup speedup",
+            "PETSc 10SPMV",
+            "HYMV 10SPMV",
+            "SPMV speedup",
         ],
     );
     for p in RANKS {
-        let asm = run_setup_and_spmv(&case, p, Method::Assembled, ParallelMode::Serial, PartitionMethod::GreedyGraph, 10);
-        let hymv = run_setup_and_spmv(&case, p, Method::Hymv, ParallelMode::Serial, PartitionMethod::GreedyGraph, 10);
+        let asm = run_setup_and_spmv(
+            &case,
+            p,
+            Method::Assembled,
+            ParallelMode::Serial,
+            PartitionMethod::GreedyGraph,
+            10,
+        );
+        let hymv = run_setup_and_spmv(
+            &case,
+            p,
+            Method::Hymv,
+            ParallelMode::Serial,
+            PartitionMethod::GreedyGraph,
+            10,
+        );
         rep.row(vec![
             p.to_string(),
             case.n_dofs().to_string(),

@@ -9,7 +9,9 @@
 //!   (GPU, GPU/CPU(O), GPU/GPU(O)); GPU/CPU(O) degrades as the
 //!   dependent-element fraction grows.
 
-use hymv_bench::{elasticity_case, ratio, run_gpu_spmv, run_setup_and_spmv, secs, GpuConfig, GpuMethod, Reporter};
+use hymv_bench::{
+    elasticity_case, ratio, run_gpu_spmv, run_setup_and_spmv, secs, GpuConfig, GpuMethod, Reporter,
+};
 use hymv_core::system::Method;
 use hymv_core::ParallelMode;
 use hymv_fem::analytic::BarProblem;
@@ -28,7 +30,10 @@ fn streams() {
     let case = build_case(14);
     let mut base = 0.0;
     for ns in [1usize, 2, 4, 8, 16] {
-        let cfg = GpuConfig { n_streams: ns, ..GpuConfig::default() };
+        let cfg = GpuConfig {
+            n_streams: ns,
+            ..GpuConfig::default()
+        };
         let r = run_gpu_spmv(&case, 2, GpuMethod::Hymv, cfg, PartitionMethod::Slabs, 10);
         if ns == 1 {
             base = r.spmv_s;
@@ -42,7 +47,14 @@ fn streams() {
 fn single() {
     let mut rep = Reporter::new(
         "fig8-single",
-        &["DoFs", "CPU setup", "GPU setup", "CPU 10SPMV", "GPU 10SPMV", "GPU speedup"],
+        &[
+            "DoFs",
+            "CPU setup",
+            "GPU setup",
+            "CPU 10SPMV",
+            "GPU 10SPMV",
+            "GPU speedup",
+        ],
     );
     for n in [6usize, 8, 10, 13, 16] {
         let case = build_case(n);
@@ -54,7 +66,14 @@ fn single() {
             PartitionMethod::Slabs,
             10,
         );
-        let gpu = run_gpu_spmv(&case, 2, GpuMethod::Hymv, GpuConfig::default(), PartitionMethod::Slabs, 10);
+        let gpu = run_gpu_spmv(
+            &case,
+            2,
+            GpuMethod::Hymv,
+            GpuConfig::default(),
+            PartitionMethod::Slabs,
+            10,
+        );
         rep.row(vec![
             case.n_dofs().to_string(),
             secs(cpu.setup_total_s()),
@@ -72,7 +91,15 @@ fn single() {
 fn weak() {
     let mut rep = Reporter::new(
         "fig8-weak",
-        &["p", "DoFs", "CPU 10SPMV", "GPU", "GPU/CPU(O)", "GPU/GPU(O)", "GPU speedup"],
+        &[
+            "p",
+            "DoFs",
+            "CPU 10SPMV",
+            "GPU",
+            "GPU/CPU(O)",
+            "GPU/GPU(O)",
+            "GPU speedup",
+        ],
     );
     for p in [2usize, 4, 8, 16] {
         let n = hymv_bench::mesh_n_for_dofs(ElementType::Hex20, 3, p, 5_000);
@@ -86,8 +113,15 @@ fn weak() {
             10,
         );
         let mut times = Vec::new();
-        for scheme in [GpuScheme::Blocking, GpuScheme::OverlapCpu, GpuScheme::OverlapGpu] {
-            let cfg = GpuConfig { scheme, ..GpuConfig::default() };
+        for scheme in [
+            GpuScheme::Blocking,
+            GpuScheme::OverlapCpu,
+            GpuScheme::OverlapGpu,
+        ] {
+            let cfg = GpuConfig {
+                scheme,
+                ..GpuConfig::default()
+            };
             let r = run_gpu_spmv(&case, p, GpuMethod::Hymv, cfg, PartitionMethod::Slabs, 10);
             times.push(r.spmv_s);
         }

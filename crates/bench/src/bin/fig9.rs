@@ -25,15 +25,38 @@ fn run(kind: &str, ranks: &[usize], sizing: impl Fn(usize) -> usize) {
     let mut rep = Reporter::new(
         &format!("fig9-{kind}"),
         &[
-            "p", "DoFs", "PETSc-GPU setup", "HYMV-GPU setup", "setup speedup",
-            "PETSc-GPU 10SPMV", "HYMV-GPU 10SPMV", "SPMV speedup",
+            "p",
+            "DoFs",
+            "PETSc-GPU setup",
+            "HYMV-GPU setup",
+            "setup speedup",
+            "PETSc-GPU 10SPMV",
+            "HYMV-GPU 10SPMV",
+            "SPMV speedup",
         ],
     );
     for &p in ranks {
         let case = build_case(sizing(p));
-        let cfg = GpuConfig { scheme: GpuScheme::OverlapGpu, ..GpuConfig::default() };
-        let hymv = run_gpu_spmv(&case, p, GpuMethod::Hymv, cfg, PartitionMethod::GreedyGraph, 10);
-        let petsc = run_gpu_spmv(&case, p, GpuMethod::Petsc, cfg, PartitionMethod::GreedyGraph, 10);
+        let cfg = GpuConfig {
+            scheme: GpuScheme::OverlapGpu,
+            ..GpuConfig::default()
+        };
+        let hymv = run_gpu_spmv(
+            &case,
+            p,
+            GpuMethod::Hymv,
+            cfg,
+            PartitionMethod::GreedyGraph,
+            10,
+        );
+        let petsc = run_gpu_spmv(
+            &case,
+            p,
+            GpuMethod::Petsc,
+            cfg,
+            PartitionMethod::GreedyGraph,
+            10,
+        );
         rep.row(vec![
             p.to_string(),
             case.n_dofs().to_string(),

@@ -8,7 +8,9 @@
 //! yet *time*: HYMV-GPU < HYMV < assembled < matrix-free — the paper's
 //! argument that AI and FLOP-rate are not the metrics that matter.
 
-use hymv_bench::{elasticity_case, run_gpu_spmv, run_setup_and_spmv, GpuConfig, GpuMethod, Reporter};
+use hymv_bench::{
+    elasticity_case, run_gpu_spmv, run_setup_and_spmv, GpuConfig, GpuMethod, Reporter,
+};
 use hymv_core::system::Method;
 use hymv_core::ParallelMode;
 use hymv_fem::analytic::BarProblem;
@@ -25,7 +27,14 @@ fn build_case(p: usize, per_rank: usize) -> hymv_bench::Case {
 fn main() {
     let mut rep = Reporter::new(
         "table1",
-        &["granularity", "ranks", "method", "GFLOP", "time (s)", "GFLOP/s"],
+        &[
+            "granularity",
+            "ranks",
+            "method",
+            "GFLOP",
+            "time (s)",
+            "GFLOP/s",
+        ],
     );
     // Paper: {0.1M, 0.2M} DoFs/rank on {56, 224} ranks; scaled to the
     // single-core host: {3K, 6K} DoFs/rank on {2, 8} thread-ranks.
@@ -43,13 +52,41 @@ fn main() {
                     format!("{:.2}", gflop / t),
                 ]);
             };
-            let r = run_setup_and_spmv(&case, p, Method::Assembled, ParallelMode::Serial, PartitionMethod::Slabs, 10);
+            let r = run_setup_and_spmv(
+                &case,
+                p,
+                Method::Assembled,
+                ParallelMode::Serial,
+                PartitionMethod::Slabs,
+                10,
+            );
             add("matrix-assembled", r.gflop, r.spmv_s);
-            let r = run_setup_and_spmv(&case, p, Method::Hymv, ParallelMode::Serial, PartitionMethod::Slabs, 10);
+            let r = run_setup_and_spmv(
+                &case,
+                p,
+                Method::Hymv,
+                ParallelMode::Serial,
+                PartitionMethod::Slabs,
+                10,
+            );
             add("HYMV", r.gflop, r.spmv_s);
-            let r = run_gpu_spmv(&case, p, GpuMethod::Hymv, GpuConfig::default(), PartitionMethod::Slabs, 10);
+            let r = run_gpu_spmv(
+                &case,
+                p,
+                GpuMethod::Hymv,
+                GpuConfig::default(),
+                PartitionMethod::Slabs,
+                10,
+            );
             add("HYMV GPU", r.gflop, r.spmv_s);
-            let r = run_setup_and_spmv(&case, p, Method::MatFree, ParallelMode::Serial, PartitionMethod::Slabs, 10);
+            let r = run_setup_and_spmv(
+                &case,
+                p,
+                Method::MatFree,
+                ParallelMode::Serial,
+                PartitionMethod::Slabs,
+                10,
+            );
             add("matrix-free", r.gflop, r.spmv_s);
         }
     }

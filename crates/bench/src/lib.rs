@@ -10,7 +10,7 @@ pub mod runner;
 
 pub use report::{ratio, secs, ExperimentRecord, Reporter};
 pub use runner::{
-    elasticity_case, mesh_n_for_dofs, partitioned, poisson_case, run_gpu_solve, run_gpu_spmv,
-    run_gpu_resident_solve, run_setup_and_spmv, run_solve, Case, GpuConfig, GpuMethod,
+    elasticity_case, mesh_n_for_dofs, partitioned, poisson_case, run_gpu_resident_solve,
+    run_gpu_solve, run_gpu_spmv, run_setup_and_spmv, run_solve, Case, GpuConfig, GpuMethod,
     SolveReport, SpmvReport,
 };

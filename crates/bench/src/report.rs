@@ -41,7 +41,11 @@ impl Reporter {
 
     /// Append a row (stringify with `format!`).
     pub fn row(&mut self, values: Vec<String>) {
-        assert_eq!(values.len(), self.record.columns.len(), "row width mismatch");
+        assert_eq!(
+            values.len(),
+            self.record.columns.len(),
+            "row width mismatch"
+        );
         self.record.rows.push(values);
     }
 
@@ -66,15 +70,22 @@ impl Reporter {
         }
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", r.name));
-        let header: Vec<String> =
-            r.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+        let header: Vec<String> = r
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
         out.push_str(&header.join("  "));
         out.push('\n');
         out.push_str(&"-".repeat(header.join("  ").len()));
         out.push('\n');
         for row in &r.rows {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(v, w)| format!("{v:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(v, w)| format!("{v:>w$}"))
+                .collect();
             out.push_str(&line.join("  "));
             out.push('\n');
         }

@@ -62,7 +62,12 @@ pub fn elasticity_case(name: &str, mesh: GlobalMesh, bar: BarProblem) -> Case {
         name: name.to_string(),
         mesh,
         kernel: Arc::new(move || {
-            Arc::new(ElasticityKernel::new(et, bar.young, bar.poisson, bar.body_force()))
+            Arc::new(ElasticityKernel::new(
+                et,
+                bar.young,
+                bar.poisson,
+                bar.body_force(),
+            ))
         }),
         spec: bar.dirichlet(),
         ndof: 3,
@@ -301,7 +306,11 @@ pub fn run_gpu_spmv(
                     cfg.scheme,
                     cfg.host_threads,
                 );
-                (Box::new(op), t.emat_compute_s, t.local_copy_s + t.maps_s + t.comm_maps_s)
+                (
+                    Box::new(op),
+                    t.emat_compute_s,
+                    t.local_copy_s + t.maps_s + t.comm_maps_s,
+                )
             }
             GpuMethod::Petsc => {
                 let (op, t) = PetscGpuOperator::setup(comm, part, &*kernel, cfg.model);

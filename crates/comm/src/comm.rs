@@ -2,10 +2,10 @@
 
 use std::sync::Arc;
 
+use crate::audit::AuditEventKind;
 use crate::ledger::{thread_cpu_time, CommStats, Ledger};
 use crate::payload::Payload;
-use crate::world::{Message, World};
-use crate::RESERVED_TAG_BASE;
+use crate::world::{mix64, next_rand, Message, World};
 
 /// A completed-immediately send token (sends are buffered: the payload is
 /// moved into the receiver's mailbox at `isend` time, matching MPI's
@@ -75,12 +75,31 @@ pub struct Comm {
     world: Arc<World>,
     ledger: Ledger,
     coll_seq: u64,
+    /// Per-rank jitter stream under schedule perturbation (None otherwise).
+    jitter: Option<u64>,
 }
 
 impl Comm {
     pub(crate) fn new(rank: usize, world: Arc<World>) -> Self {
         let ledger = Ledger::new(world.model);
-        Comm { rank, world, ledger, coll_seq: 0 }
+        let jitter = world
+            .perturb_seed
+            .map(|s| mix64(s.wrapping_add(mix64(rank as u64 + 1))));
+        Comm {
+            rank,
+            world,
+            ledger,
+            coll_seq: 0,
+            jitter,
+        }
+    }
+
+    /// Records this rank's clean exit in the audit log (called by the
+    /// universe after the SPMD closure returns).
+    pub(crate) fn note_exit(&self) {
+        if let Some(log) = &self.world.audit {
+            log.record(self.rank, AuditEventKind::RankExited);
+        }
     }
 
     /// This rank's id in `0..size`.
@@ -121,20 +140,37 @@ impl Comm {
     /// Non-blocking (buffered) send.
     pub fn isend(&mut self, dst: usize, tag: u32, payload: Payload) -> SendHandle {
         assert!(dst < self.size(), "destination rank {dst} out of range");
-        assert!(tag < RESERVED_TAG_BASE, "tag {tag:#x} is in the reserved range");
+        crate::assert_tag_valid(tag);
         self.isend_internal(dst, tag, payload)
     }
 
     fn isend_internal(&mut self, dst: usize, tag: u32, payload: Payload) -> SendHandle {
-        let arrival_vt = self.ledger.on_send(payload.len_bytes());
-        self.world.deliver(dst, Message { src: self.rank, tag, payload, arrival_vt });
+        let mut arrival_vt = self.ledger.on_send(payload.len_bytes());
+        if let Some(state) = &mut self.jitter {
+            // Stretch the modeled transit by a random factor in [1, 2).
+            // Only the virtual-time stamp moves — payloads are untouched —
+            // so a schedule-deterministic program produces bitwise-equal
+            // results while wait/overlap orderings get shaken.
+            let unit = (next_rand(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let vt = self.ledger.vt();
+            arrival_vt = vt + (arrival_vt - vt) * (1.0 + unit);
+        }
+        self.world.deliver(
+            dst,
+            Message {
+                src: self.rank,
+                tag,
+                payload,
+                arrival_vt,
+            },
+        );
         SendHandle { dst, tag }
     }
 
     /// Post a non-blocking receive from `src` with `tag`.
     pub fn irecv(&mut self, src: usize, tag: u32) -> RecvHandle {
         assert!(src < self.size(), "source rank {src} out of range");
-        assert!(tag < RESERVED_TAG_BASE, "tag {tag:#x} is in the reserved range");
+        crate::assert_tag_valid(tag);
         RecvHandle { src, tag }
     }
 
@@ -146,19 +182,35 @@ impl Comm {
     /// Blocking receive.
     pub fn recv(&mut self, src: usize, tag: u32) -> Payload {
         assert!(src < self.size(), "source rank {src} out of range");
-        assert!(tag < RESERVED_TAG_BASE, "tag {tag:#x} is in the reserved range");
+        crate::assert_tag_valid(tag);
         self.complete_recv(src, tag)
+    }
+
+    /// Blocking wildcard receive: the first available message with `tag`
+    /// from any source; returns `(src, payload)`. **Order-sensitive**: with
+    /// several senders the matching order is a property of the schedule,
+    /// not the program — any reduction folded in `recv_any` arrival order
+    /// must be order-insensitive (or bitwise-checked under
+    /// `hymv_check::run_perturbed`).
+    pub fn recv_any(&mut self, tag: u32) -> (usize, Payload) {
+        crate::assert_tag_valid(tag);
+        let msg = self.world.receive_any(self.rank, tag);
+        self.ledger
+            .on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
+        (msg.src, msg.payload)
     }
 
     fn complete_recv(&mut self, src: usize, tag: u32) -> Payload {
         let msg = self.world.receive(self.rank, src, tag);
-        self.ledger.on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
+        self.ledger
+            .on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
         msg.payload
     }
 
     fn try_complete_recv(&mut self, src: usize, tag: u32) -> Option<Payload> {
         self.world.try_receive(self.rank, src, tag).map(|msg| {
-            self.ledger.on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
+            self.ledger
+                .on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
             msg.payload
         })
     }
@@ -372,16 +424,12 @@ impl Comm {
         );
         let seq = self.next_seq();
         let size = self.size();
-        let (max_vt, result) = self.world.rendezvous(
-            self.rank,
-            seq,
-            self.vt(),
-            payload,
-            move |contrib| {
-                let p = contrib[root].take().expect("root contributed");
-                vec![p; size]
-            },
-        );
+        let (max_vt, result) =
+            self.world
+                .rendezvous(self.rank, seq, self.vt(), payload, move |contrib| {
+                    let p = contrib[root].take().expect("root contributed");
+                    vec![p; size]
+                });
         self.ledger.on_collective(max_vt, size);
         result
     }
@@ -392,8 +440,12 @@ impl Comm {
     /// Receivers do not know their senders a priori (the situation during
     /// LNSM/GNGM construction), so a lightweight rendezvous first exchanges
     /// the sender→receiver incidence, then payloads move point-to-point.
-    pub fn exchange_sparse(&mut self, msgs: Vec<(usize, Payload)>, tag: u32) -> Vec<(usize, Payload)> {
-        assert!(tag < RESERVED_TAG_BASE, "tag {tag:#x} is in the reserved range");
+    pub fn exchange_sparse(
+        &mut self,
+        msgs: Vec<(usize, Payload)>,
+        tag: u32,
+    ) -> Vec<(usize, Payload)> {
+        crate::assert_tag_valid(tag);
         for (dst, _) in &msgs {
             assert!(*dst < self.size(), "destination rank {dst} out of range");
         }
@@ -469,7 +521,11 @@ mod tests {
     #[test]
     fn bcast_from_nonzero_root() {
         let out = Universe::run(3, |c| {
-            let p = if c.rank() == 2 { Some(Payload::from_f64(vec![3.25])) } else { None };
+            let p = if c.rank() == 2 {
+                Some(Payload::from_f64(vec![3.25]))
+            } else {
+                None
+            };
             c.bcast(2, p).into_f64()
         });
         assert!(out.iter().all(|v| v == &vec![3.25]));
@@ -560,6 +616,61 @@ mod tests {
         let _ = Universe::run(1, |c| {
             c.isend(0, crate::RESERVED_TAG_BASE + 1, Payload::from_f64(vec![]));
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved range")]
+    fn reserved_tag_rejected_irecv() {
+        let _ = Universe::run(1, |c| {
+            let _ = c.irecv(0, crate::RESERVED_TAG_BASE);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved range")]
+    fn reserved_tag_rejected_recv() {
+        let _ = Universe::run(1, |c| {
+            let _ = c.recv(0, u32::MAX);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved range")]
+    fn reserved_tag_rejected_recv_any() {
+        let _ = Universe::run(1, |c| {
+            let _ = c.recv_any(crate::RESERVED_TAG_BASE + 42);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved range")]
+    fn reserved_tag_rejected_send() {
+        let _ = Universe::run(1, |c| {
+            c.send(0, crate::RESERVED_TAG_BASE + 3, Payload::from_u64(vec![1]));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved range")]
+    fn reserved_tag_rejected_exchange_sparse() {
+        let _ = Universe::run(1, |c| {
+            let _ = c.exchange_sparse(Vec::new(), crate::RESERVED_TAG_BASE + 9);
+        });
+    }
+
+    #[test]
+    fn recv_any_collects_all_sources() {
+        let out = Universe::run(4, |c| {
+            if c.rank() == 0 {
+                let mut got: Vec<u64> = (0..3).map(|_| c.recv_any(6).1.into_u64()[0]).collect();
+                got.sort_unstable();
+                got
+            } else {
+                c.isend(0, 6, Payload::from_u64(vec![c.rank() as u64 * 100]));
+                Vec::new()
+            }
+        });
+        assert_eq!(out[0], vec![100, 200, 300]);
     }
 
     #[test]

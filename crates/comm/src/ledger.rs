@@ -52,8 +52,12 @@ impl CostModel {
 ///
 /// Uses `CLOCK_THREAD_CPUTIME_ID` so that concurrent thread-ranks
 /// time-sharing one physical core each still observe only their own work.
+#[allow(unsafe_code)] // sole FFI call in the crate; SAFETY argument below
 pub fn thread_cpu_time() -> f64 {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // SAFETY: `ts` is a valid, writable timespec; the clock id is a Linux
     // constant. clock_gettime never retains the pointer.
     let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
@@ -210,16 +214,27 @@ mod tests {
 
     #[test]
     fn cost_model_transit() {
-        let m = CostModel { alpha: 1e-6, beta: 1e9, send_overhead: 0.0, smp_serial_fraction: 0.05 };
+        let m = CostModel {
+            alpha: 1e-6,
+            beta: 1e9,
+            send_overhead: 0.0,
+            smp_serial_fraction: 0.05,
+        };
         let t = m.transit(1_000_000);
         assert!((t - (1e-6 + 1e-3)).abs() < 1e-12);
     }
 
     #[test]
     fn smp_speedup_amdahl() {
-        let m = CostModel { smp_serial_fraction: 0.0, ..Default::default() };
+        let m = CostModel {
+            smp_serial_fraction: 0.0,
+            ..Default::default()
+        };
         assert!((m.smp_speedup(8) - 8.0).abs() < 1e-12);
-        let m = CostModel { smp_serial_fraction: 1.0, ..Default::default() };
+        let m = CostModel {
+            smp_serial_fraction: 1.0,
+            ..Default::default()
+        };
         assert!((m.smp_speedup(8) - 1.0).abs() < 1e-12);
         let m = CostModel::default();
         let s = m.smp_speedup(14);
@@ -228,7 +243,12 @@ mod tests {
 
     #[test]
     fn ledger_send_recv_overlap() {
-        let model = CostModel { alpha: 1e-3, beta: 1e9, send_overhead: 0.0, smp_serial_fraction: 0.0 };
+        let model = CostModel {
+            alpha: 1e-3,
+            beta: 1e9,
+            send_overhead: 0.0,
+            smp_serial_fraction: 0.0,
+        };
         let mut sender = Ledger::new(model);
         let arrival = sender.on_send(8_000); // transit = 1e-3 + 8e-6
         assert!(arrival > 1e-3);

@@ -42,15 +42,21 @@
 //! assert_eq!(results, vec![3, 0, 1, 2]);
 //! ```
 
+// Unsafe is confined to audited, SAFETY-commented sites (`#[allow]`ed
+// per item); everything else is checked.
+#![deny(unsafe_code)]
+
+mod audit;
 mod comm;
 mod ledger;
 mod payload;
 mod world;
 
+pub use audit::{AuditEvent, AuditEventKind, AuditMode, AuditReport, AuditViolation};
 pub use comm::{Comm, IallreduceHandle, RecvHandle, SendHandle};
 pub use ledger::{thread_cpu_time, CommStats, CostModel, Ledger};
 pub use payload::Payload;
-pub use world::Universe;
+pub use world::{RunConfig, Universe};
 
 /// Tags at or above this value are reserved for internal collectives.
 pub(crate) const RESERVED_TAG_BASE: u32 = 0xF000_0000;
@@ -58,6 +64,18 @@ pub(crate) const RESERVED_TAG_BASE: u32 = 0xF000_0000;
 /// Returns true if a user-supplied tag is valid (below the reserved range).
 pub fn tag_is_valid(tag: u32) -> bool {
     tag < RESERVED_TAG_BASE
+}
+
+/// The single checked guard every user-tag entry point goes through
+/// (`isend`/`irecv`/`recv`/`recv_any`/`exchange_sparse`). A plain
+/// `assert!`, so it fires in release builds too: a reserved-range tag
+/// would silently collide with internal protocol traffic, which is never
+/// recoverable.
+pub(crate) fn assert_tag_valid(tag: u32) {
+    assert!(
+        tag_is_valid(tag),
+        "tag {tag:#x} is in the reserved range (>= {RESERVED_TAG_BASE:#x})"
+    );
 }
 
 #[cfg(test)]

@@ -6,9 +6,28 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::audit::{self, AuditEventKind, AuditLog, AuditMode, AuditReport};
 use crate::comm::Comm;
 use crate::ledger::CostModel;
 use crate::payload::Payload;
+
+/// SplitMix64 step shared by the perturbation machinery (mailbox shuffle,
+/// send-latency jitter).
+#[inline]
+pub(crate) fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One finalization mix (decorrelates seed-derived streams).
+#[inline]
+pub(crate) fn mix64(x: u64) -> u64 {
+    let mut state = x ^ 0x6A09_E667_F3BC_C909;
+    next_rand(&mut state)
+}
 
 /// One in-flight message.
 pub(crate) struct Message {
@@ -22,9 +41,16 @@ pub(crate) struct Message {
 /// A rank's mailbox: FIFO per (src, tag), implemented as one queue searched
 /// in order (message volumes per rank are small; ghost exchanges post a few
 /// dozen messages at most).
+///
+/// Under schedule perturbation (`shuffle_state` set) an arriving message is
+/// inserted at a *random* queue position instead of the back — constrained
+/// to stay behind earlier messages of the same `(src, tag)`, so matched
+/// receives still observe MPI's non-overtaking order while wildcard
+/// receives ([`World::receive_any`]) see a randomized arrival order.
 #[derive(Default)]
 pub(crate) struct Mailbox {
     queue: VecDeque<Message>,
+    shuffle_state: Option<u64>,
 }
 
 pub(crate) struct MailSlot {
@@ -60,31 +86,82 @@ pub(crate) struct CollState {
     pub cond: Condvar,
 }
 
-/// Shared state for one run: `size` mailboxes plus collective slots.
+/// Shared state for one run: `size` mailboxes plus collective slots, and
+/// the optional correctness-tooling state (audit log, perturbation seed).
 pub(crate) struct World {
     pub size: usize,
     pub model: CostModel,
     pub mail: Vec<MailSlot>,
     pub coll: CollState,
+    /// Event log when the protocol auditor is enabled.
+    pub audit: Option<AuditLog>,
+    /// Schedule-perturbation seed (None = deterministic FIFO delivery).
+    pub perturb_seed: Option<u64>,
 }
 
 impl World {
-    fn new(size: usize, model: CostModel) -> Arc<Self> {
+    fn new(size: usize, model: CostModel, audit: bool, perturb_seed: Option<u64>) -> Arc<Self> {
         let mail = (0..size)
-            .map(|_| MailSlot { mailbox: Mutex::new(Mailbox::default()), cond: Condvar::new() })
+            .map(|dst| {
+                let shuffle_state = perturb_seed.map(|s| mix64(s ^ mix64(dst as u64)));
+                MailSlot {
+                    mailbox: Mutex::new(Mailbox {
+                        queue: VecDeque::new(),
+                        shuffle_state,
+                    }),
+                    cond: Condvar::new(),
+                }
+            })
             .collect();
         Arc::new(World {
             size,
             model,
             mail,
-            coll: CollState { slots: Mutex::new(HashMap::new()), cond: Condvar::new() },
+            coll: CollState {
+                slots: Mutex::new(HashMap::new()),
+                cond: Condvar::new(),
+            },
+            audit: audit.then(AuditLog::default),
+            perturb_seed,
         })
+    }
+
+    fn record(&self, rank: usize, kind: AuditEventKind) {
+        if let Some(log) = &self.audit {
+            log.record(rank, kind);
+        }
     }
 
     /// Deposit a message into `dst`'s mailbox (buffered send).
     pub(crate) fn deliver(&self, dst: usize, msg: Message) {
+        self.record(
+            msg.src,
+            AuditEventKind::SendPosted {
+                dst,
+                tag: msg.tag,
+                bytes: msg.payload.len_bytes(),
+            },
+        );
         let slot = &self.mail[dst];
-        slot.mailbox.lock().queue.push_back(msg);
+        let mut mb = slot.mailbox.lock();
+        let pos = if mb.shuffle_state.is_some() {
+            // Random position, but never ahead of an earlier same-(src,tag)
+            // message: per-pair FIFO is part of the contract programs may
+            // rely on (MPI non-overtaking), so only inter-pair order is
+            // perturbed.
+            let lo = mb
+                .queue
+                .iter()
+                .rposition(|m| m.src == msg.src && m.tag == msg.tag)
+                .map_or(0, |i| i + 1);
+            let len = mb.queue.len();
+            let state = mb.shuffle_state.as_mut().expect("checked above");
+            lo + (next_rand(state) as usize) % (len - lo + 1)
+        } else {
+            mb.queue.len()
+        };
+        mb.queue.insert(pos, msg);
+        drop(mb);
         slot.cond.notify_all();
     }
 
@@ -92,22 +169,70 @@ impl World {
     pub(crate) fn receive(&self, me: usize, src: usize, tag: u32) -> Message {
         let slot = &self.mail[me];
         let mut mb = slot.mailbox.lock();
-        loop {
+        let msg = loop {
             if let Some(pos) = mb.queue.iter().position(|m| m.src == src && m.tag == tag) {
-                return mb.queue.remove(pos).expect("position just found");
+                break mb.queue.remove(pos).expect("position just found");
             }
             slot.cond.wait(&mut mb);
-        }
+        };
+        drop(mb);
+        self.record(
+            me,
+            AuditEventKind::RecvCompleted {
+                src,
+                tag,
+                bytes: msg.payload.len_bytes(),
+            },
+        );
+        msg
+    }
+
+    /// Blocking wildcard receive for rank `me`: the first queued message
+    /// with `tag` from *any* source. Order-sensitive by design — under
+    /// schedule perturbation the arrival order is randomized, which is how
+    /// the race detector exposes code that depends on it.
+    pub(crate) fn receive_any(&self, me: usize, tag: u32) -> Message {
+        let slot = &self.mail[me];
+        let mut mb = slot.mailbox.lock();
+        let msg = loop {
+            if let Some(pos) = mb.queue.iter().position(|m| m.tag == tag) {
+                break mb.queue.remove(pos).expect("position just found");
+            }
+            slot.cond.wait(&mut mb);
+        };
+        drop(mb);
+        self.record(
+            me,
+            AuditEventKind::RecvCompleted {
+                src: msg.src,
+                tag,
+                bytes: msg.payload.len_bytes(),
+            },
+        );
+        msg
     }
 
     /// Non-blocking probe: take a matching message if present.
     pub(crate) fn try_receive(&self, me: usize, src: usize, tag: u32) -> Option<Message> {
         let slot = &self.mail[me];
         let mut mb = slot.mailbox.lock();
-        mb.queue
+        let msg = mb
+            .queue
             .iter()
             .position(|m| m.src == src && m.tag == tag)
-            .map(|pos| mb.queue.remove(pos).expect("position just found"))
+            .map(|pos| mb.queue.remove(pos).expect("position just found"));
+        drop(mb);
+        if let Some(m) = &msg {
+            self.record(
+                me,
+                AuditEventKind::RecvCompleted {
+                    src,
+                    tag,
+                    bytes: m.payload.len_bytes(),
+                },
+            );
+        }
+        msg
     }
 
     /// Number of messages pending in rank `me`'s mailbox.
@@ -146,6 +271,7 @@ impl World {
         contribution: Option<Payload>,
         combine: impl FnOnce(&mut Vec<Option<Payload>>) -> Vec<Payload>,
     ) {
+        self.record(me, AuditEventKind::CollectivePosted { seq });
         let mut slots = self.coll.slots.lock();
         let slot = slots.entry(seq).or_insert_with(|| CollSlot::new(self.size));
         slot.arrived += 1;
@@ -165,15 +291,68 @@ impl World {
         while slots.get(&seq).is_some_and(|s| s.result.is_none()) {
             self.coll.cond.wait(&mut slots);
         }
-        let slot = slots.get_mut(&seq).expect("slot exists until last departer");
+        let slot = slots
+            .get_mut(&seq)
+            .expect("slot exists until last departer");
         let max_vt = slot.max_vt;
         let result = slot.result.as_ref().expect("result set before wake")[me].clone();
         slot.departed += 1;
         if slot.departed == self.size {
             slots.remove(&seq);
         }
+        drop(slots);
+        self.record(me, AuditEventKind::CollectiveCompleted { seq });
         (max_vt, result)
     }
+
+    /// Teardown inspection (all ranks joined): drain the event log, sweep
+    /// leftover mailbox messages and open collective slots, and run every
+    /// auditor check. `None` when auditing is disabled.
+    fn audit_report(&self) -> Option<AuditReport> {
+        let log = self.audit.as_ref()?;
+        let events = log.take_events();
+        let mut leftover_msgs = Vec::new();
+        for (dst, slot) in self.mail.iter().enumerate() {
+            for m in &slot.mailbox.lock().queue {
+                leftover_msgs.push(audit::LeftoverMessage {
+                    dst,
+                    src: m.src,
+                    tag: m.tag,
+                    bytes: m.payload.len_bytes(),
+                });
+            }
+        }
+        let leftover_colls: Vec<_> = self
+            .coll
+            .slots
+            .lock()
+            .iter()
+            .map(|(&seq, s)| audit::LeftoverCollective {
+                seq,
+                posted: s.arrived,
+                completed: s.departed,
+            })
+            .collect();
+        Some(audit::verify(
+            self.size,
+            events,
+            leftover_msgs,
+            leftover_colls,
+        ))
+    }
+}
+
+/// Full configuration of one universe run: cost model plus the
+/// correctness-tooling knobs (protocol audit, schedule perturbation).
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// α-β communication cost model.
+    pub model: CostModel,
+    /// When set, randomize mailbox delivery order and jitter modeled send
+    /// latencies from this seed (see `hymv-check`'s race detector).
+    pub perturb_seed: Option<u64>,
+    /// Whether to record and verify protocol events.
+    pub audit: AuditMode,
 }
 
 /// Entry point: spawns `size` thread-ranks running the same SPMD closure.
@@ -183,8 +362,13 @@ impl Universe {
     /// Run `f` on `size` ranks with the default cost model; returns each
     /// rank's result, ordered by rank.
     ///
+    /// In debug/test builds the protocol auditor runs at teardown and this
+    /// call panics with a per-rank event trace on any violation
+    /// (`HYMV_AUDIT=0` disables, `HYMV_AUDIT=1` forces it in release).
+    ///
     /// # Panics
-    /// Panics if `size == 0`, or propagates a panic from any rank.
+    /// Panics if `size == 0`, on a protocol violation when auditing, or
+    /// propagates a panic from any rank.
     pub fn run<T, F>(size: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -193,22 +377,46 @@ impl Universe {
         Self::run_with(CostModel::default(), size, f)
     }
 
-    /// Run `f` on `size` ranks with an explicit [`CostModel`].
+    /// Run `f` on `size` ranks with an explicit [`CostModel`]. Audits like
+    /// [`Universe::run`].
     pub fn run_with<T, F>(model: CostModel, size: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
+        let cfg = RunConfig {
+            model,
+            ..RunConfig::default()
+        };
+        let (results, report) = Self::run_configured(cfg, size, f);
+        if let Some(report) = report {
+            assert!(report.is_clean(), "communication audit failed:\n{report}");
+        }
+        results
+    }
+
+    /// Run `f` on `size` ranks under an explicit [`RunConfig`]; returns
+    /// each rank's result plus the audit report (None when auditing is
+    /// off). Unlike [`Universe::run`], protocol violations do **not**
+    /// panic — the caller inspects the report (this is the entry point the
+    /// `hymv-check` passes drive).
+    pub fn run_configured<T, F>(cfg: RunConfig, size: usize, f: F) -> (Vec<T>, Option<AuditReport>)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
         assert!(size > 0, "a universe needs at least one rank");
-        let world = World::new(size, model);
+        let world = World::new(size, cfg.model, cfg.audit.is_enabled(), cfg.perturb_seed);
         let f = &f;
-        std::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..size)
                 .map(|rank| {
                     let world = Arc::clone(&world);
                     scope.spawn(move || {
                         let mut comm = Comm::new(rank, world);
-                        f(&mut comm)
+                        let out = f(&mut comm);
+                        comm.note_exit();
+                        out
                     })
                 })
                 .collect();
@@ -216,7 +424,9 @@ impl Universe {
                 .into_iter()
                 .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect()
-        })
+        });
+        let report = world.audit_report();
+        (results, report)
     }
 }
 
@@ -242,11 +452,23 @@ mod tests {
         let _ = Universe::run(0, |_| ());
     }
 
+    fn bare_world(size: usize) -> Arc<World> {
+        World::new(size, CostModel::default(), false, None)
+    }
+
     #[test]
     fn mailbox_fifo_per_src_tag() {
-        let world = World::new(2, CostModel::default());
+        let world = bare_world(2);
         for i in 0..3 {
-            world.deliver(1, Message { src: 0, tag: 5, payload: Payload::from_u64(vec![i]), arrival_vt: 0.0 });
+            world.deliver(
+                1,
+                Message {
+                    src: 0,
+                    tag: 5,
+                    payload: Payload::from_u64(vec![i]),
+                    arrival_vt: 0.0,
+                },
+            );
         }
         for i in 0..3 {
             let m = world.receive(1, 0, 5);
@@ -256,21 +478,241 @@ mod tests {
 
     #[test]
     fn try_receive_misses_then_hits() {
-        let world = World::new(2, CostModel::default());
+        let world = bare_world(2);
         assert!(world.try_receive(0, 1, 9).is_none());
-        world.deliver(0, Message { src: 1, tag: 9, payload: Payload::from_f64(vec![]), arrival_vt: 0.0 });
+        world.deliver(
+            0,
+            Message {
+                src: 1,
+                tag: 9,
+                payload: Payload::from_f64(vec![]),
+                arrival_vt: 0.0,
+            },
+        );
         assert!(world.try_receive(0, 1, 9).is_some());
         assert_eq!(world.pending(0), 0);
     }
 
     #[test]
     fn receive_matches_tag_not_order() {
-        let world = World::new(2, CostModel::default());
-        world.deliver(0, Message { src: 1, tag: 1, payload: Payload::from_u64(vec![1]), arrival_vt: 0.0 });
-        world.deliver(0, Message { src: 1, tag: 2, payload: Payload::from_u64(vec![2]), arrival_vt: 0.0 });
+        let world = bare_world(2);
+        world.deliver(
+            0,
+            Message {
+                src: 1,
+                tag: 1,
+                payload: Payload::from_u64(vec![1]),
+                arrival_vt: 0.0,
+            },
+        );
+        world.deliver(
+            0,
+            Message {
+                src: 1,
+                tag: 2,
+                payload: Payload::from_u64(vec![2]),
+                arrival_vt: 0.0,
+            },
+        );
         let m = world.receive(0, 1, 2);
         assert_eq!(m.payload, Payload::from_u64(vec![2]));
         let m = world.receive(0, 1, 1);
         assert_eq!(m.payload, Payload::from_u64(vec![1]));
+    }
+
+    /// Drains rank 0's queue order after delivering `n` messages from two
+    /// fake sources under `cfg`.
+    fn delivery_order(perturb_seed: Option<u64>, n: u64) -> Vec<u64> {
+        let world = World::new(3, CostModel::default(), false, perturb_seed);
+        for i in 0..n {
+            let src = 1 + (i % 2) as usize;
+            world.deliver(
+                0,
+                Message {
+                    src,
+                    tag: 4,
+                    payload: Payload::from_u64(vec![i]),
+                    arrival_vt: 0.0,
+                },
+            );
+        }
+        (0..n)
+            .map(|_| world.receive_any(0, 4).payload.into_u64()[0])
+            .collect()
+    }
+
+    #[test]
+    fn perturbed_delivery_preserves_pairwise_fifo() {
+        for seed in [1u64, 2, 3, 99] {
+            let order = delivery_order(Some(seed), 16);
+            // Messages from one source carry ascending values; per-source
+            // subsequences must stay ascending (non-overtaking).
+            for parity in 0..2 {
+                let per_src: Vec<u64> = order.iter().copied().filter(|v| v % 2 == parity).collect();
+                assert!(
+                    per_src.windows(2).all(|w| w[0] < w[1]),
+                    "seed {seed}: {order:?}"
+                );
+            }
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                sorted,
+                (0..16).collect::<Vec<_>>(),
+                "nothing lost or duplicated"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbed_delivery_reproducible_and_seed_sensitive() {
+        let a = delivery_order(Some(7), 24);
+        let b = delivery_order(Some(7), 24);
+        assert_eq!(a, b, "same seed, same schedule");
+        let unperturbed = delivery_order(None, 24);
+        assert_eq!(
+            unperturbed,
+            (0..24).collect::<Vec<_>>(),
+            "FIFO without perturbation"
+        );
+        // At least one of a handful of seeds must disagree with FIFO order
+        // (24 interleaved messages: astronomically likely).
+        let shuffled = [11u64, 12, 13]
+            .iter()
+            .any(|&s| delivery_order(Some(s), 24) != unperturbed);
+        assert!(shuffled, "perturbation never changed the wildcard order");
+    }
+
+    #[test]
+    fn audit_reports_clean_run() {
+        let cfg = RunConfig {
+            audit: AuditMode::Enabled,
+            ..RunConfig::default()
+        };
+        let (out, report) = Universe::run_configured(cfg, 3, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.isend(next, 2, Payload::from_u64(vec![c.rank() as u64]));
+            let got = c.recv(prev, 2).into_u64()[0];
+            c.barrier();
+            got
+        });
+        assert_eq!(out, vec![2, 0, 1]);
+        let report = report.expect("audit was enabled");
+        assert!(report.is_clean(), "{report}");
+        // Every rank's trace ends with its exit event.
+        for rank in 0..3 {
+            let trace = report.rank_trace(rank);
+            assert!(matches!(
+                trace.last().map(|e| &e.kind),
+                Some(AuditEventKind::RankExited)
+            ));
+        }
+    }
+
+    #[test]
+    fn audit_disabled_yields_no_report() {
+        let cfg = RunConfig {
+            audit: AuditMode::Disabled,
+            ..RunConfig::default()
+        };
+        let (_, report) = Universe::run_configured(cfg, 2, |c| c.rank());
+        assert!(report.is_none());
+    }
+
+    #[test]
+    fn audit_detects_leaked_send() {
+        let cfg = RunConfig {
+            audit: AuditMode::Enabled,
+            ..RunConfig::default()
+        };
+        let (_, report) = Universe::run_configured(cfg, 2, |c| {
+            if c.rank() == 0 {
+                // Injected violation: nobody ever receives this.
+                c.isend(1, 5, Payload::from_u64(vec![0xdead]));
+            }
+            c.barrier();
+        });
+        let report = report.expect("audit was enabled");
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                crate::AuditViolation::UnmatchedSend {
+                    dst: 1,
+                    src: 0,
+                    tag: 5,
+                    ..
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn audit_detects_unawaited_collective() {
+        let cfg = RunConfig {
+            audit: AuditMode::Enabled,
+            ..RunConfig::default()
+        };
+        let (_, report) = Universe::run_configured(cfg, 3, |c| {
+            // Injected violation: a non-blocking reduction posted by every
+            // rank but never completed.
+            let _leaked = c.iallreduce_sum_vec(vec![1.0, 2.0]);
+            c.rank()
+        });
+        let report = report.expect("audit was enabled");
+        assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                crate::AuditViolation::UnbalancedCollective {
+                    posted: 3,
+                    completed: 0,
+                    size: 3,
+                    ..
+                }
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "communication audit failed")]
+    fn default_run_panics_on_violation_in_debug() {
+        // Universe::run audits by default in test builds (unless the env
+        // says otherwise, in which case skip the premise by panicking with
+        // the expected message ourselves).
+        if !crate::AuditMode::Default.is_enabled() {
+            panic!("communication audit failed: (audit disabled by env; vacuous pass)");
+        }
+        let _ = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.isend(1, 5, Payload::from_u64(vec![1]));
+            }
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn perturbed_universe_matches_unperturbed_results() {
+        // A schedule-deterministic program: results must be bitwise equal
+        // under any perturbation seed.
+        let run = |seed: Option<u64>| {
+            let cfg = RunConfig {
+                perturb_seed: seed,
+                ..RunConfig::default()
+            };
+            let (out, _) = Universe::run_configured(cfg, 4, |c| {
+                let next = (c.rank() + 1) % c.size();
+                let prev = (c.rank() + c.size() - 1) % c.size();
+                c.isend(next, 1, Payload::from_f64(vec![c.rank() as f64 + 0.25]));
+                let got = c.recv(prev, 1).into_f64()[0];
+                c.allreduce_sum_f64(got)
+            });
+            out
+        };
+        let base = run(None);
+        for seed in 0..4 {
+            assert_eq!(run(Some(seed)), base, "seed {seed}");
+        }
     }
 }

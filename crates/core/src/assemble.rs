@@ -286,11 +286,13 @@ mod tests {
             let part = &pm.parts[comm.rank()];
             let kernel = PoissonKernel::new(ElementType::Hex8);
             let (hymv, _) = crate::operator::HymvOperator::setup(comm, part, &kernel);
-            let d_hymv =
-                jacobi_diagonal(comm, hymv.maps(), hymv.exchange(), hymv.store(), 1);
+            let d_hymv = jacobi_diagonal(comm, hymv.maps(), hymv.exchange(), hymv.store(), 1);
             let (asm, _) = crate::assembled::AssembledOperator::setup(comm, part, &kernel);
             let d_asm = asm.diagonal();
-            d_hymv.iter().zip(&d_asm).all(|(a, b)| (a - b).abs() < 1e-11)
+            d_hymv
+                .iter()
+                .zip(&d_asm)
+                .all(|(a, b)| (a - b).abs() < 1e-11)
         });
         assert!(out.iter().all(|&b| b));
     }
@@ -327,10 +329,16 @@ mod tests {
         let mut store = ElementMatrixStore::new(8, maps.n_elems);
         let mut scratch = hymv_fem::kernel::KernelScratch::default();
         for e in 0..maps.n_elems {
-            kernel.compute_ke(pm.parts[0].elem_node_coords(e), store.ke_mut(e), &mut scratch);
+            kernel.compute_ke(
+                pm.parts[0].elem_node_coords(e),
+                store.ke_mut(e),
+                &mut scratch,
+            );
         }
         let constrained = vec![(0u32, 1.0), (5, 2.0)];
-        let blocks = Universe::run(1, |comm| owned_block_csr(comm, &maps, &store, 1, &constrained));
+        let blocks = Universe::run(1, |comm| {
+            owned_block_csr(comm, &maps, &store, 1, &constrained)
+        });
         let block = &blocks[0];
         for &(d, _) in &constrained {
             let r = d as usize;

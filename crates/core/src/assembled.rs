@@ -146,8 +146,9 @@ mod tests {
                 let (mut hymv, _) = HymvOperator::setup(comm, part, &kernel);
                 let (mut asm, t) = AssembledOperator::setup(comm, part, &kernel);
                 assert!(t.total() > 0.0);
-                let x: Vec<f64> =
-                    (0..hymv.n_owned()).map(|i| ((i * 11 % 19) as f64) * 0.2 - 1.5).collect();
+                let x: Vec<f64> = (0..hymv.n_owned())
+                    .map(|i| ((i * 11 % 19) as f64) * 0.2 - 1.5)
+                    .collect();
                 let mut y_h = vec![0.0; hymv.n_owned()];
                 let mut y_a = vec![0.0; asm.n_owned()];
                 hymv.matvec(comm, &x, &mut y_h);
@@ -168,7 +169,9 @@ mod tests {
             let kernel = ElasticityKernel::new(ElementType::Tet4, 50.0, 0.25, [0.0, 0.0, -9.8]);
             let (mut hymv, _) = HymvOperator::setup(comm, part, &kernel);
             let (mut asm, _) = AssembledOperator::setup(comm, part, &kernel);
-            let x: Vec<f64> = (0..hymv.n_owned()).map(|i| (i as f64 * 0.17).sin()).collect();
+            let x: Vec<f64> = (0..hymv.n_owned())
+                .map(|i| (i as f64 * 0.17).sin())
+                .collect();
             let mut y_h = vec![0.0; hymv.n_owned()];
             let mut y_a = vec![0.0; asm.n_owned()];
             hymv.matvec(comm, &x, &mut y_h);

@@ -31,7 +31,11 @@ impl<O: LinOp> DirichletOp<O> {
             assert!((d as usize) < n, "constrained dof {d} out of range {n}");
         }
         let xm = vec![0.0; n];
-        DirichletOp { inner, constrained, xm }
+        DirichletOp {
+            inner,
+            constrained,
+            xm,
+        }
     }
 
     /// The wrapped operator.
@@ -108,11 +112,7 @@ impl<O: LinOp> LinOp for DirichletOp<O> {
 /// Convert a global constrained-dof list (from
 /// `hymv_fem::dirichlet::constrained_dofs`) to this rank's owned local
 /// indices.
-pub fn owned_constraints(
-    maps: &HymvMaps,
-    ndof: usize,
-    global: &[(u64, f64)],
-) -> Vec<(u32, f64)> {
+pub fn owned_constraints(maps: &HymvMaps, ndof: usize, global: &[(u64, f64)]) -> Vec<(u32, f64)> {
     let lo = maps.node_range.0 * ndof as u64;
     let hi = maps.node_range.1 * ndof as u64;
     global
@@ -165,7 +165,10 @@ mod tests {
     fn wrapped_apply_is_identity_on_constrained() {
         let n = 6;
         let out = Universe::run(1, |comm| {
-            let op = ToyOp { a: laplacian_1d(n), n };
+            let op = ToyOp {
+                a: laplacian_1d(n),
+                n,
+            };
             let mut w = DirichletOp::new(op, vec![(0, 5.0), (5, -1.0)]);
             let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
             let mut y = vec![0.0; n];
@@ -175,7 +178,7 @@ mod tests {
         let y = &out[0];
         assert_eq!(y[0], 0.0); // identity: returns x[0] = 0
         assert_eq!(y[5], 5.0); // identity: returns x[5] = 5
-        // Interior row 1 of the masked operator: 2·x1 − x2 (x0 masked out).
+                               // Interior row 1 of the masked operator: 2·x1 − x2 (x0 masked out).
         assert!((y[1] - (2.0 * 1.0 - 2.0)).abs() < 1e-12);
     }
 
@@ -184,7 +187,10 @@ mod tests {
         // −u'' = 0 on a 1D chain with u(0)=1, u(L)=3 → linear profile.
         let n = 9;
         let out = Universe::run(1, |comm| {
-            let op = ToyOp { a: laplacian_1d(n), n };
+            let op = ToyOp {
+                a: laplacian_1d(n),
+                n,
+            };
             let mut w = DirichletOp::new(op, vec![(0, 1.0), (8, 3.0)]);
             let rhs = w.build_rhs(comm, &vec![0.0; n]);
             let mut x = vec![0.0; n];
@@ -201,7 +207,10 @@ mod tests {
 
     #[test]
     fn mask_diagonal_sets_ones() {
-        let op = ToyOp { a: laplacian_1d(3), n: 3 };
+        let op = ToyOp {
+            a: laplacian_1d(3),
+            n: 3,
+        };
         let w = DirichletOp::new(op, vec![(1, 0.0)]);
         let mut d = vec![2.0, 2.0, 2.0];
         w.mask_diagonal(&mut d);
@@ -230,7 +239,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_constraint_rejected() {
-        let op = ToyOp { a: laplacian_1d(3), n: 3 };
+        let op = ToyOp {
+            a: laplacian_1d(3),
+            n: 3,
+        };
         let _ = DirichletOp::new(op, vec![(7, 0.0)]);
     }
 }

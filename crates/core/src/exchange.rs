@@ -72,8 +72,10 @@ impl GhostExchange {
         add_block(&maps.gpost, n_pre + n_owned);
 
         // Tell each owner which of its nodes we ghost; owners build LNSM.
-        let msgs: Vec<(usize, Payload)> =
-            needs.into_iter().map(|(r, ids)| (r, Payload::from_u64(ids))).collect();
+        let msgs: Vec<(usize, Payload)> = needs
+            .into_iter()
+            .map(|(r, ids)| (r, Payload::from_u64(ids)))
+            .collect();
         let received = comm.exchange_sparse(msgs, TAG_BUILD);
         let send_plan: Vec<(usize, Vec<u32>)> = received
             .into_iter()
@@ -94,7 +96,22 @@ impl GhostExchange {
             .collect();
 
         comm.add_modeled_time(hymv_comm::thread_cpu_time() - cpu0);
-        GhostExchange { send_plan, recv_plan }
+        GhostExchange {
+            send_plan,
+            recv_plan,
+        }
+    }
+
+    /// The LNSM: `(neighbour rank, owned DA node indices scattered there)`.
+    /// Exposed read-only for the `hymv-check` invariant pass.
+    pub fn send_plan(&self) -> &[(usize, Vec<u32>)] {
+        &self.send_plan
+    }
+
+    /// The GNGM: `(owner rank, DA node-index range of our ghosts they own)`.
+    /// Exposed read-only for the `hymv-check` invariant pass.
+    pub fn recv_plan(&self) -> &[(usize, std::ops::Range<usize>)] {
+        &self.recv_plan
     }
 
     /// Neighbour count (distinct ranks we exchange with).

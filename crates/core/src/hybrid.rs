@@ -122,8 +122,10 @@ struct RacyTarget {
 
 // SAFETY: writers touch disjoint index sets (guaranteed by coloring), so
 // concurrent access through the raw pointer is race-free.
+#[allow(unsafe_code)]
 unsafe impl Sync for RacyTarget {}
 // SAFETY: the pointer's referent is owned by the caller for the whole call.
+#[allow(unsafe_code)]
 unsafe impl Send for RacyTarget {}
 
 impl RacyTarget {
@@ -133,6 +135,7 @@ impl RacyTarget {
     /// Callers must guarantee no concurrent access to the same `idx`
     /// (here: element coloring).
     #[inline]
+    #[allow(unsafe_code)] // the one raw write of the crate; contract above
     unsafe fn add(&self, idx: usize, val: f64) {
         *self.ptr.add(idx) += val;
     }
@@ -150,28 +153,31 @@ pub fn emv_loop_colored(
 ) {
     let nd = store.nd();
     let ndof = v.ndof;
-    let target = RacyTarget { ptr: v.data.as_mut_ptr() };
+    let target = RacyTarget {
+        ptr: v.data.as_mut_ptr(),
+    };
     on_rank_pool(|| {
-    for class in classes {
-        class.par_iter().for_each_init(
-            || (vec![0.0; nd], vec![0.0; nd]),
-            |(ue, ve), &e| {
-                let nodes = maps.elem_local_nodes(e as usize);
-                u.extract_elem(nodes, ue);
-                emv(store.ke(e as usize), ue, ve);
-                for (m, &l) in nodes.iter().enumerate() {
-                    let base = l as usize * ndof;
-                    for c in 0..ndof {
-                        // SAFETY: `l` sets are disjoint across the elements
-                        // of one color class; classes are sequential.
-                        unsafe {
-                            target.add(base + c, ve[m * ndof + c]);
+        for class in classes {
+            class.par_iter().for_each_init(
+                || (vec![0.0; nd], vec![0.0; nd]),
+                |(ue, ve), &e| {
+                    let nodes = maps.elem_local_nodes(e as usize);
+                    u.extract_elem(nodes, ue);
+                    emv(store.ke(e as usize), ue, ve);
+                    for (m, &l) in nodes.iter().enumerate() {
+                        let base = l as usize * ndof;
+                        for c in 0..ndof {
+                            // SAFETY: `l` sets are disjoint across the elements
+                            // of one color class; classes are sequential.
+                            #[allow(unsafe_code)]
+                            unsafe {
+                                target.add(base + c, ve[m * ndof + c]);
+                            }
                         }
                     }
-                }
-            },
-        );
-    }
+                },
+            );
+        }
     });
 }
 
@@ -187,28 +193,28 @@ pub fn emv_loop_chunk_private(
     let nd = store.nd();
     let len = v.data.len();
     let partials: Vec<Vec<f64>> = on_rank_pool(|| {
-    let chunk = subset.len().div_ceil(rayon::current_num_threads()).max(1);
-    subset
-        .par_chunks(chunk)
-        .map(|elems| {
-            let mut buf = vec![0.0; len];
-            let mut ue = vec![0.0; nd];
-            let mut ve = vec![0.0; nd];
-            let ndof = u.ndof;
-            for &e in elems {
-                let nodes = maps.elem_local_nodes(e as usize);
-                u.extract_elem(nodes, &mut ue);
-                emv(store.ke(e as usize), &ue, &mut ve);
-                for (m, &l) in nodes.iter().enumerate() {
-                    let base = l as usize * ndof;
-                    for c in 0..ndof {
-                        buf[base + c] += ve[m * ndof + c];
+        let chunk = subset.len().div_ceil(rayon::current_num_threads()).max(1);
+        subset
+            .par_chunks(chunk)
+            .map(|elems| {
+                let mut buf = vec![0.0; len];
+                let mut ue = vec![0.0; nd];
+                let mut ve = vec![0.0; nd];
+                let ndof = u.ndof;
+                for &e in elems {
+                    let nodes = maps.elem_local_nodes(e as usize);
+                    u.extract_elem(nodes, &mut ue);
+                    emv(store.ke(e as usize), &ue, &mut ve);
+                    for (m, &l) in nodes.iter().enumerate() {
+                        let base = l as usize * ndof;
+                        for c in 0..ndof {
+                            buf[base + c] += ve[m * ndof + c];
+                        }
                     }
                 }
-            }
-            buf
-        })
-        .collect()
+                buf
+            })
+            .collect()
     });
     for buf in partials {
         for (dst, src) in v.data.iter_mut().zip(&buf) {

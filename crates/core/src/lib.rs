@@ -30,6 +30,10 @@
 //! * [`system`] — a one-call driver (`FemSystem`) used by the examples,
 //!   tests, and every benchmark binary.
 
+// Unsafe is confined to audited, SAFETY-commented sites (`#[allow]`ed
+// per item); everything else is checked.
+#![deny(unsafe_code)]
+
 pub mod assemble;
 pub mod assembled;
 pub mod da;

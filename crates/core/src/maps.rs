@@ -73,8 +73,9 @@ impl HymvMaps {
         let mut dependent = Vec::new();
         for e in 0..n_elems {
             let nodes = &e2l[e * npe..(e + 1) * npe];
-            let all_owned =
-                nodes.iter().all(|&l| (l as usize) >= n_pre && (l as usize) < n_pre + n_owned);
+            let all_owned = nodes
+                .iter()
+                .all(|&l| (l as usize) >= n_pre && (l as usize) < n_pre + n_owned);
             if all_owned {
                 independent.push(e as u32);
             } else {
@@ -169,6 +170,30 @@ impl HymvMaps {
         if self.gpost.iter().any(|&g| g < self.node_range.1) {
             return Err("gpost contains non-post node".into());
         }
+        if self.gpost.iter().any(|&g| g >= self.n_global_nodes) {
+            return Err("gpost contains node beyond the global mesh".into());
+        }
+        // local↔global bijectivity over the whole DA: because gpre < begin ≤
+        // owned < end ≤ gpost and each block is strictly sorted, the global
+        // id sequence over local indices must be strictly increasing — and
+        // the inverse map must round-trip every index.
+        let mut prev: Option<u64> = None;
+        for l in 0..self.n_total() {
+            let g = self.local_to_global(l);
+            if let Some(p) = prev {
+                if g <= p {
+                    return Err(format!(
+                        "DA layout not strictly increasing: local {l} has global {g} after {p}"
+                    ));
+                }
+            }
+            prev = Some(g);
+            if self.global_to_local(g) != Some(l) {
+                return Err(format!(
+                    "global_to_local({g}) does not round-trip to local {l}"
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -231,7 +256,10 @@ mod tests {
             } else {
                 assert!(!maps.gpre.is_empty(), "rank {r} must see the layer below");
             }
-            assert!(maps.gpost.is_empty(), "slab sharing goes to lower ranks only");
+            assert!(
+                maps.gpost.is_empty(),
+                "slab sharing goes to lower ranks only"
+            );
             // Dependent elements exist on every rank except the first when
             // p > 1 (rank 0's elements only reference owned nodes because it
             // owns its top shared layer).
@@ -239,7 +267,10 @@ mod tests {
                 assert!(!maps.dependent.is_empty(), "rank {r}");
             }
             // Independent + dependent = all.
-            assert_eq!(maps.independent.len() + maps.dependent.len(), part.n_elems());
+            assert_eq!(
+                maps.independent.len() + maps.dependent.len(),
+                part.n_elems()
+            );
         }
     }
 

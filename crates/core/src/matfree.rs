@@ -63,10 +63,19 @@ impl MatFreeOperator {
     }
 
     fn run_subset(&mut self, comm: &mut Comm, dependent: bool) {
-        let subset: &[u32] = if dependent { &self.maps.dependent } else { &self.maps.independent };
+        let subset: &[u32] = if dependent {
+            &self.maps.dependent
+        } else {
+            &self.maps.independent
+        };
         let npe = self.maps.npe;
-        let (maps, kernel, coords, u, v) =
-            (&self.maps, &*self.kernel, &self.elem_coords, &self.u, &mut self.v);
+        let (maps, kernel, coords, u, v) = (
+            &self.maps,
+            &*self.kernel,
+            &self.elem_coords,
+            &self.u,
+            &mut self.v,
+        );
         let (ke, ue, ve, scratch) = (&mut self.ke, &mut self.ue, &mut self.ve, &mut self.scratch);
         comm.work(|| {
             for &e in subset {
@@ -136,7 +145,12 @@ mod tests {
             ),
             (
                 StructuredHexMesh::unit(2, ElementType::Hex20).build(),
-                Arc::new(ElasticityKernel::new(ElementType::Hex20, 100.0, 0.3, [0.0, 0.0, -1.0])),
+                Arc::new(ElasticityKernel::new(
+                    ElementType::Hex20,
+                    100.0,
+                    0.3,
+                    [0.0, 0.0, -1.0],
+                )),
             ),
             (
                 unstructured_tet_mesh(2, ElementType::Tet10, 0.12, 7),
@@ -151,8 +165,9 @@ mod tests {
                 let (mut hymv, _) = HymvOperator::setup(comm, part, &*kernel);
                 let mut mf = MatFreeOperator::setup(comm, part, Arc::clone(&kernel));
                 assert_eq!(hymv.n_owned(), mf.n_owned());
-                let x: Vec<f64> =
-                    (0..hymv.n_owned()).map(|i| ((i * 7 % 23) as f64) * 0.1 - 1.0).collect();
+                let x: Vec<f64> = (0..hymv.n_owned())
+                    .map(|i| ((i * 7 % 23) as f64) * 0.1 - 1.0)
+                    .collect();
                 let mut y_h = vec![0.0; hymv.n_owned()];
                 let mut y_m = vec![0.0; mf.n_owned()];
                 hymv.matvec(comm, &x, &mut y_h);
@@ -171,10 +186,21 @@ mod tests {
             let kernel: Arc<dyn ElementKernel> = Arc::new(PoissonKernel::new(ElementType::Hex8));
             let (hymv, _) = HymvOperator::setup(comm, &pm.parts[0], &*kernel);
             let mf = MatFreeOperator::setup(comm, &pm.parts[0], kernel);
-            (hymv.flops_per_apply(), mf.flops_per_apply(), hymv.storage_bytes(), mf.storage_bytes())
+            (
+                hymv.flops_per_apply(),
+                mf.flops_per_apply(),
+                hymv.storage_bytes(),
+                mf.storage_bytes(),
+            )
         });
         let (h_flops, m_flops, h_bytes, m_bytes) = out[0];
-        assert!(m_flops > 5 * h_flops, "matrix-free must do far more work: {h_flops} vs {m_flops}");
-        assert!(m_bytes < h_bytes, "matrix-free must store far less: {h_bytes} vs {m_bytes}");
+        assert!(
+            m_flops > 5 * h_flops,
+            "matrix-free must do far more work: {h_flops} vs {m_flops}"
+        );
+        assert!(
+            m_bytes < h_bytes,
+            "matrix-free must store far less: {h_bytes} vs {m_bytes}"
+        );
     }
 }

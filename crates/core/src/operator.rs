@@ -138,7 +138,11 @@ impl HymvOperator {
         kernel: &dyn ElementKernel,
         local_elems: &[usize],
     ) -> f64 {
-        assert_eq!(kernel.ndof_elem(), self.store.nd(), "kernel/operator dimension mismatch");
+        assert_eq!(
+            kernel.ndof_elem(),
+            self.store.nd(),
+            "kernel/operator dimension mismatch"
+        );
         let vt0 = comm.vt();
         let mut scratch = KernelScratch::default();
         for &e in local_elems {
@@ -184,7 +188,11 @@ impl HymvOperator {
 
     /// One elemental EMV loop over a subset, honoring the parallel mode.
     fn run_subset(&mut self, comm: &mut Comm, dependent: bool) {
-        let subset: &[u32] = if dependent { &self.maps.dependent } else { &self.maps.independent };
+        let subset: &[u32] = if dependent {
+            &self.maps.dependent
+        } else {
+            &self.maps.independent
+        };
         match self.mode {
             ParallelMode::Serial => {
                 let (maps, store, u, v) = (&self.maps, &self.store, &self.u, &mut self.v);
@@ -193,15 +201,24 @@ impl HymvOperator {
             }
             ParallelMode::Colored { threads } => {
                 let classes = {
-                    let (indep, dep) = self.colors.as_ref().expect("set_parallel_mode built colors");
-                    if dependent { dep } else { indep }
+                    let (indep, dep) = self
+                        .colors
+                        .as_ref()
+                        .expect("set_parallel_mode built colors");
+                    if dependent {
+                        dep
+                    } else {
+                        indep
+                    }
                 };
                 let (maps, store, u, v) = (&self.maps, &self.store, &self.u, &mut self.v);
                 comm.work_smp(threads, || emv_loop_colored(maps, store, u, v, classes));
             }
             ParallelMode::ChunkPrivate { threads } => {
                 let (maps, store, u, v) = (&self.maps, &self.store, &self.u, &mut self.v);
-                comm.work_smp(threads, || emv_loop_chunk_private(maps, store, u, v, subset));
+                comm.work_smp(threads, || {
+                    emv_loop_chunk_private(maps, store, u, v, subset)
+                });
             }
         }
     }
@@ -286,8 +303,7 @@ mod tests {
         let mut scratch = KernelScratch::default();
         for e in 0..mesh.n_elems() {
             let nodes = mesh.elem_nodes(e);
-            let coords: Vec<[f64; 3]> =
-                nodes.iter().map(|&g| mesh.coords[g as usize]).collect();
+            let coords: Vec<[f64; 3]> = nodes.iter().map(|&g| mesh.coords[g as usize]).collect();
             kernel.compute_ke(&coords, &mut ke, &mut scratch);
             for (bj, &gj) in nodes.iter().enumerate() {
                 for cj in 0..ndof {
@@ -372,7 +388,11 @@ mod tests {
                 }
             }
         }
-        hymv_mesh::GlobalMesh { elem_type: original.elem_type, coords, connectivity }
+        hymv_mesh::GlobalMesh {
+            elem_type: original.elem_type,
+            coords,
+            connectivity,
+        }
     }
 
     #[test]

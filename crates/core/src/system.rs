@@ -133,7 +133,11 @@ impl FemSystem {
         opts: BuildOptions,
     ) -> FemSystem {
         let ndof = kernel.ndof_per_node();
-        assert_eq!(spec.ndof(), ndof, "Dirichlet spec dof count must match the kernel");
+        assert_eq!(
+            spec.ndof(),
+            ndof,
+            "Dirichlet spec dof count must match the kernel"
+        );
 
         // Shared infrastructure (not part of the method-specific setup
         // cost): maps for rhs assembly, coordinates, constraints.
@@ -161,7 +165,13 @@ impl FemSystem {
                 op.set_parallel_mode(opts.mode);
                 let diag = jacobi_diagonal(comm, op.maps(), op.exchange(), op.store(), ndof);
                 let block = if opts.want_block_jacobi {
-                    Some(owned_block_csr(comm, op.maps(), op.store(), ndof, &constrained))
+                    Some(owned_block_csr(
+                        comm,
+                        op.maps(),
+                        op.store(),
+                        ndof,
+                        &constrained,
+                    ))
                 } else {
                     None
                 };
@@ -195,8 +205,10 @@ impl FemSystem {
                 let block = opts
                     .want_block_jacobi
                     .then(|| mask_csr(&op.matrix().diag, &constrained));
-                let setup =
-                    SetupBreakdown { emat_s: t.emat_compute_s, overhead_s: t.assembly_s };
+                let setup = SetupBreakdown {
+                    emat_s: t.emat_compute_s,
+                    overhead_s: t.assembly_s,
+                };
                 (Box::new(op), setup, diag, block)
             }
         };
@@ -254,9 +266,15 @@ impl FemSystem {
         let mut x = vec![0.0; self.n_owned()];
         let rhs = std::mem::take(&mut self.rhs);
         let res = match precond {
-            PrecondKind::None => {
-                krylov(comm, &mut self.op, &mut Identity, &rhs, &mut x, rtol, max_iter)
-            }
+            PrecondKind::None => krylov(
+                comm,
+                &mut self.op,
+                &mut Identity,
+                &rhs,
+                &mut x,
+                rtol,
+                max_iter,
+            ),
             PrecondKind::Jacobi => {
                 let mut pc = Jacobi::new(&self.diag);
                 krylov(comm, &mut self.op, &mut pc, &rhs, &mut x, rtol, max_iter)
@@ -334,7 +352,10 @@ mod tests {
     use hymv_mesh::{ElementType, StructuredHexMesh};
 
     fn poisson_kernel() -> Arc<dyn ElementKernel> {
-        Arc::new(PoissonKernel::with_body(ElementType::Hex8, PoissonProblem::body()))
+        Arc::new(PoissonKernel::with_body(
+            ElementType::Hex8,
+            PoissonProblem::body(),
+        ))
     }
 
     #[test]
@@ -383,8 +404,16 @@ mod tests {
         // A jittered mesh: on a perfectly uniform grid the sin-product rhs
         // is an exact eigenvector of the discrete Laplacian and CG
         // converges in one iteration regardless of preconditioning.
-        let mesh =
-            hymv_mesh::unstructured_hex_mesh(6, 6, 6, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.2, 3);
+        let mesh = hymv_mesh::unstructured_hex_mesh(
+            6,
+            6,
+            6,
+            ElementType::Hex8,
+            [0.0; 3],
+            [1.0; 3],
+            0.2,
+            3,
+        );
         let pm = partition_mesh(&mesh, 2, PartitionMethod::Slabs);
         let out = Universe::run(2, |comm| {
             let part = &pm.parts[comm.rank()];

@@ -69,7 +69,15 @@ pub struct BarProblem {
 impl BarProblem {
     /// The paper-like default configuration on a unit-ish bar.
     pub fn default_unit() -> Self {
-        BarProblem { lx: 1.0, ly: 1.0, lz: 1.0, young: 1000.0, poisson: 0.3, rho: 1.0, g: 9.81 }
+        BarProblem {
+            lx: 1.0,
+            ly: 1.0,
+            lz: 1.0,
+            young: 1000.0,
+            poisson: 0.3,
+            rho: 1.0,
+            g: 9.81,
+        }
     }
 
     /// Mesh bounding box `(lo, hi)` for this bar.
@@ -92,7 +100,8 @@ impl BarProblem {
         [
             -nu * c * x[0] * x[2],
             -nu * c * x[1] * x[2],
-            c / 2.0 * (x[2] * x[2] - self.lz * self.lz) + nu * c / 2.0 * (x[0] * x[0] + x[1] * x[1]),
+            c / 2.0 * (x[2] * x[2] - self.lz * self.lz)
+                + nu * c / 2.0 * (x[0] * x[0] + x[1] * x[1]),
         ]
     }
 
@@ -193,13 +202,22 @@ mod tests {
                     + PoissonProblem::exact(xm))
                     / (h * h);
             }
-            assert!((lap + b(x)).abs() < 1e-5, "residual {} at {x:?}", lap + b(x));
+            assert!(
+                (lap + b(x)).abs() < 1e-5,
+                "residual {} at {x:?}",
+                lap + b(x)
+            );
         }
     }
 
     #[test]
     fn poisson_solution_vanishes_on_boundary() {
-        for x in [[0.0, 0.3, 0.7], [1.0, 0.5, 0.5], [0.2, 0.0, 0.9], [0.4, 0.6, 1.0]] {
+        for x in [
+            [0.0, 0.3, 0.7],
+            [1.0, 0.5, 0.5],
+            [0.2, 0.0, 0.9],
+            [0.4, 0.6, 1.0],
+        ] {
             assert!(PoissonProblem::exact(x).abs() < 1e-12);
         }
         assert!(PoissonProblem::dirichlet().at([0.0, 0.5, 0.5]).is_some());

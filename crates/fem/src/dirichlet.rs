@@ -25,7 +25,10 @@ pub struct DirichletSpec {
 impl DirichletSpec {
     /// Build from a predicate. The closure must return vectors of length
     /// `ndof` (checked at extraction time).
-    pub fn new(ndof: usize, predicate: Arc<dyn Fn([f64; 3]) -> Option<Vec<f64>> + Send + Sync>) -> Self {
+    pub fn new(
+        ndof: usize,
+        predicate: Arc<dyn Fn([f64; 3]) -> Option<Vec<f64>> + Send + Sync>,
+    ) -> Self {
         assert!(ndof > 0);
         DirichletSpec { predicate, ndof }
     }
@@ -34,7 +37,13 @@ impl DirichletSpec {
     pub fn zero(ndof: usize, on_boundary: Arc<dyn Fn([f64; 3]) -> bool + Send + Sync>) -> Self {
         Self::new(
             ndof,
-            Arc::new(move |x| if on_boundary(x) { Some(vec![0.0; ndof]) } else { None }),
+            Arc::new(move |x| {
+                if on_boundary(x) {
+                    Some(vec![0.0; ndof])
+                } else {
+                    None
+                }
+            }),
         )
     }
 
@@ -142,8 +151,11 @@ mod tests {
         // 3×3 top-face nodes × 3 dofs.
         assert_eq!(dofs.len(), 27);
         // The z-component of every constrained node is 3·1.
-        let zvals: Vec<f64> =
-            dofs.iter().filter(|&&(d, _)| d % 3 == 2).map(|&(_, v)| v).collect();
+        let zvals: Vec<f64> = dofs
+            .iter()
+            .filter(|&&(d, _)| d % 3 == 2)
+            .map(|&(_, v)| v)
+            .collect();
         assert!(zvals.iter().all(|&v| (v - 3.0).abs() < 1e-12));
     }
 
@@ -160,7 +172,10 @@ mod tests {
             .iter()
             .filter(|&&(d, _)| d < mp.node_range.0 || d >= mp.node_range.1)
             .count();
-        assert!(ghosts > 0, "middle slab must constrain ghost boundary nodes");
+        assert!(
+            ghosts > 0,
+            "middle slab must constrain ghost boundary nodes"
+        );
     }
 
     #[test]

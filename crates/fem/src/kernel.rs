@@ -192,11 +192,20 @@ impl ElasticityKernel {
     /// density vector (e.g. `[0, 0, -ρg]` for gravity).
     pub fn new(et: ElementType, young: f64, poisson: f64, body: [f64; 3]) -> Self {
         assert!(young > 0.0, "Young's modulus must be positive");
-        assert!((-1.0..0.5).contains(&poisson), "Poisson ratio {poisson} outside (-1, 0.5)");
+        assert!(
+            (-1.0..0.5).contains(&poisson),
+            "Poisson ratio {poisson} outside (-1, 0.5)"
+        );
         let lambda = young * poisson / ((1.0 + poisson) * (1.0 - 2.0 * poisson));
         let mu = young / (2.0 * (1.0 + poisson));
         let qp = precompute(et, &default_rule(et));
-        ElasticityKernel { et, qp, lambda, mu, body }
+        ElasticityKernel {
+            et,
+            qp,
+            lambda,
+            mu,
+            body,
+        }
     }
 
     /// Lamé parameters `(λ, μ)`.
@@ -280,14 +289,25 @@ mod tests {
     fn unit_hex_coords(et: ElementType, h: f64) -> Vec<[f64; 3]> {
         et.ref_coords()
             .iter()
-            .map(|r| [(r[0] + 1.0) / 2.0 * h, (r[1] + 1.0) / 2.0 * h, (r[2] + 1.0) / 2.0 * h])
+            .map(|r| {
+                [
+                    (r[0] + 1.0) / 2.0 * h,
+                    (r[1] + 1.0) / 2.0 * h,
+                    (r[2] + 1.0) / 2.0 * h,
+                ]
+            })
             .collect()
     }
 
     #[test]
     fn poisson_ke_rows_sum_to_zero() {
         // Constant fields are in the Laplacian's null space.
-        for et in [ElementType::Hex8, ElementType::Hex20, ElementType::Hex27, ElementType::Tet10] {
+        for et in [
+            ElementType::Hex8,
+            ElementType::Hex20,
+            ElementType::Hex27,
+            ElementType::Tet10,
+        ] {
             let k = PoissonKernel::new(et);
             let npe = et.nodes_per_elem();
             let coords = if et.is_hex() {
@@ -352,7 +372,11 @@ mod tests {
             let k = ElasticityKernel::new(et, 100.0, 0.3, [0.0; 3]);
             let npe = et.nodes_per_elem();
             let nd = 3 * npe;
-            let coords = if et.is_hex() { unit_hex_coords(et, 1.0) } else { et.ref_coords() };
+            let coords = if et.is_hex() {
+                unit_hex_coords(et, 1.0)
+            } else {
+                et.ref_coords()
+            };
             let mut ke = vec![0.0; nd * nd];
             k.compute_ke(&coords, &mut ke, &mut KernelScratch::default());
 
@@ -416,7 +440,10 @@ mod tests {
     fn flop_counts_positive_and_scale() {
         let p8 = PoissonKernel::new(ElementType::Hex8).ke_flops();
         let p27 = PoissonKernel::new(ElementType::Hex27).ke_flops();
-        assert!(p27 > 10 * p8, "quadratic elements cost much more: {p8} vs {p27}");
+        assert!(
+            p27 > 10 * p8,
+            "quadratic elements cost much more: {p8} vs {p27}"
+        );
         let e8 = ElasticityKernel::new(ElementType::Hex8, 1.0, 0.3, [0.0; 3]).ke_flops();
         assert!(e8 > p8, "elasticity costs more than Poisson");
     }

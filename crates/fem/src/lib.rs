@@ -18,6 +18,8 @@
 //! slices, matching the layout HYMV's vectorized EMV kernel requires
 //! (paper §IV-E, equation (4)).
 
+#![forbid(unsafe_code)]
+
 pub mod analytic;
 pub mod dirichlet;
 pub mod kernel;

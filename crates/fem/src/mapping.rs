@@ -94,7 +94,13 @@ mod tests {
         let coords: Vec<[f64; 3]> = et
             .ref_coords()
             .iter()
-            .map(|r| [(r[0] + 1.0) / 2.0 * h, (r[1] + 1.0) / 2.0 * h, (r[2] + 1.0) / 2.0 * h])
+            .map(|r| {
+                [
+                    (r[0] + 1.0) / 2.0 * h,
+                    (r[1] + 1.0) / 2.0 * h,
+                    (r[2] + 1.0) / 2.0 * h,
+                ]
+            })
             .collect();
         let mut dn = vec![0.0; 24];
         shape_gradients(et, [0.1, -0.2, 0.4], &mut dn);
@@ -147,7 +153,11 @@ mod tests {
                     ]
                 })
                 .collect();
-            let xi = if et.is_hex() { [0.2, -0.3, 0.1] } else { [0.2, 0.3, 0.2] };
+            let xi = if et.is_hex() {
+                [0.2, -0.3, 0.1]
+            } else {
+                [0.2, 0.3, 0.2]
+            };
             let mut dn_ref = vec![0.0; 3 * npe];
             let mut dn_phys = vec![0.0; 3 * npe];
             shape_gradients(et, xi, &mut dn_ref);
@@ -160,7 +170,11 @@ mod tests {
                         f * dn_phys[3 * i + d]
                     })
                     .sum();
-                assert!((grad - a[d]).abs() < 1e-10, "{et:?} dim {d}: {grad} vs {}", a[d]);
+                assert!(
+                    (grad - a[d]).abs() < 1e-10,
+                    "{et:?} dim {d}: {grad} vs {}",
+                    a[d]
+                );
             }
         }
     }
@@ -168,8 +182,11 @@ mod tests {
     #[test]
     fn physical_point_interpolates() {
         let et = ElementType::Hex8;
-        let coords: Vec<[f64; 3]> =
-            et.ref_coords().iter().map(|r| [2.0 * r[0], 3.0 * r[1], r[2]]).collect();
+        let coords: Vec<[f64; 3]> = et
+            .ref_coords()
+            .iter()
+            .map(|r| [2.0 * r[0], 3.0 * r[1], r[2]])
+            .collect();
         let mut n = vec![0.0; 8];
         shape_values(et, [0.5, -0.5, 0.0], &mut n);
         let x = physical_point(&coords, &n);
@@ -183,8 +200,11 @@ mod tests {
     fn inverted_element_detected() {
         let et = ElementType::Hex8;
         // Mirror the element in x → negative Jacobian.
-        let coords: Vec<[f64; 3]> =
-            et.ref_coords().iter().map(|r| [-r[0], r[1], r[2]]).collect();
+        let coords: Vec<[f64; 3]> = et
+            .ref_coords()
+            .iter()
+            .map(|r| [-r[0], r[1], r[2]])
+            .collect();
         let mut dn = vec![0.0; 24];
         shape_gradients(et, [0.0, 0.0, 0.0], &mut dn);
         let _ = jacobian(&coords, &dn);

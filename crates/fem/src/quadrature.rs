@@ -51,7 +51,10 @@ pub fn hex_rule(n: usize) -> Vec<QPoint> {
     for &(z, wz) in &g {
         for &(y, wy) in &g {
             for &(x, wx) in &g {
-                pts.push(QPoint { xi: [x, y, z], w: wx * wy * wz });
+                pts.push(QPoint {
+                    xi: [x, y, z],
+                    w: wx * wy * wz,
+                });
             }
         }
     }
@@ -62,14 +65,20 @@ pub fn hex_rule(n: usize) -> Vec<QPoint> {
 /// `degree` (supported: 1, 2, 3, 4). Weights sum to 1/6.
 pub fn tet_rule(degree: usize) -> Vec<QPoint> {
     match degree {
-        0 | 1 => vec![QPoint { xi: [0.25, 0.25, 0.25], w: 1.0 / 6.0 }],
+        0 | 1 => vec![QPoint {
+            xi: [0.25, 0.25, 0.25],
+            w: 1.0 / 6.0,
+        }],
         2 => {
             let a = (5.0 + 3.0 * 5.0f64.sqrt()) / 20.0;
             let b = (5.0 - 5.0f64.sqrt()) / 20.0;
             permute_bary_31(a, b, 1.0 / 24.0)
         }
         3 => {
-            let mut pts = vec![QPoint { xi: [0.25, 0.25, 0.25], w: -2.0 / 15.0 }];
+            let mut pts = vec![QPoint {
+                xi: [0.25, 0.25, 0.25],
+                w: -2.0 / 15.0,
+            }];
             pts.extend(permute_bary_31(0.5, 1.0 / 6.0, 3.0 / 40.0));
             pts
         }
@@ -93,7 +102,13 @@ pub fn tet_rule(degree: usize) -> Vec<QPoint> {
 fn permute_bary_31(a: f64, b: f64, w: f64) -> Vec<QPoint> {
     // Barycentric (l0,l1,l2,l3) ↦ cartesian (l1,l2,l3) on the unit simplex.
     let barys = [[a, b, b, b], [b, a, b, b], [b, b, a, b], [b, b, b, a]];
-    barys.iter().map(|l| QPoint { xi: [l[1], l[2], l[3]], w }).collect()
+    barys
+        .iter()
+        .map(|l| QPoint {
+            xi: [l[1], l[2], l[3]],
+            w,
+        })
+        .collect()
 }
 
 /// The 6 points with barycentric pattern (a, a, b, b).
@@ -106,7 +121,13 @@ fn permute_bary_22(a: f64, b: f64, w: f64) -> Vec<QPoint> {
         [b, a, b, a],
         [b, b, a, a],
     ];
-    barys.iter().map(|l| QPoint { xi: [l[1], l[2], l[3]], w }).collect()
+    barys
+        .iter()
+        .map(|l| QPoint {
+            xi: [l[1], l[2], l[3]],
+            w,
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -82,7 +82,11 @@ fn hex27_values(xi: [f64; 3], n: &mut [f64]) {
 fn hex27_gradients(xi: [f64; 3], dn: &mut [f64]) {
     for (i, r) in ElementType::Hex27.ref_coords().iter().enumerate() {
         let l = [lag1(r[0], xi[0]), lag1(r[1], xi[1]), lag1(r[2], xi[2])];
-        let d = [lag1_d(r[0], xi[0]), lag1_d(r[1], xi[1]), lag1_d(r[2], xi[2])];
+        let d = [
+            lag1_d(r[0], xi[0]),
+            lag1_d(r[1], xi[1]),
+            lag1_d(r[2], xi[2]),
+        ];
         dn[3 * i] = d[0] * l[1] * l[2];
         dn[3 * i + 1] = l[0] * d[1] * l[2];
         dn[3 * i + 2] = l[0] * l[1] * d[2];
@@ -106,7 +110,11 @@ fn hex20_values(xi: [f64; 3], n: &mut [f64]) {
             // factor is (1−x²), the other two are (1+aᵢx)/... with 1/4.
             let mut v = 0.25;
             for d in 0..3 {
-                v *= if r[d] == 0.0 { 1.0 - xi[d] * xi[d] } else { 1.0 + r[d] * xi[d] };
+                v *= if r[d] == 0.0 {
+                    1.0 - xi[d] * xi[d]
+                } else {
+                    1.0 + r[d] * xi[d]
+                };
             }
             n[i] = v;
         }
@@ -124,7 +132,13 @@ fn hex20_gradients(xi: [f64; 3], dn: &mut [f64]) {
             dn[3 * i + 2] = 0.125 * (f[0] * f[1] * r[2] * (s - 2.0) + f[0] * f[1] * f[2] * r[2]);
         } else {
             // Factorized form: v = 1/4 ∏ gd, with gd = 1−x² on the zero axis.
-            let g = |d: usize| if r[d] == 0.0 { 1.0 - xi[d] * xi[d] } else { 1.0 + r[d] * xi[d] };
+            let g = |d: usize| {
+                if r[d] == 0.0 {
+                    1.0 - xi[d] * xi[d]
+                } else {
+                    1.0 + r[d] * xi[d]
+                }
+            };
             let gd = |d: usize| if r[d] == 0.0 { -2.0 * xi[d] } else { r[d] };
             for d in 0..3 {
                 let mut v = 0.25 * gd(d);
@@ -149,7 +163,12 @@ fn tet4_values(xi: [f64; 3], n: &mut [f64]) {
 }
 
 fn tet4_gradients(dn: &mut [f64]) {
-    const G: [[f64; 3]; 4] = [[-1.0, -1.0, -1.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+    const G: [[f64; 3]; 4] = [
+        [-1.0, -1.0, -1.0],
+        [1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+    ];
     for (i, g) in G.iter().enumerate() {
         dn[3 * i..3 * i + 3].copy_from_slice(g);
     }
@@ -168,7 +187,12 @@ fn tet10_values(xi: [f64; 3], n: &mut [f64]) {
 fn tet10_gradients(xi: [f64; 3], dn: &mut [f64]) {
     let l = [1.0 - xi[0] - xi[1] - xi[2], xi[0], xi[1], xi[2]];
     // dl[v][d]
-    const DL: [[f64; 3]; 4] = [[-1.0, -1.0, -1.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+    const DL: [[f64; 3]; 4] = [
+        [-1.0, -1.0, -1.0],
+        [1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+    ];
     for v in 0..4 {
         for d in 0..3 {
             dn[3 * v + d] = (4.0 * l[v] - 1.0) * DL[v][d];
@@ -195,9 +219,19 @@ mod tests {
 
     fn sample_points(et: ElementType) -> Vec<[f64; 3]> {
         if et.is_hex() {
-            vec![[0.0, 0.0, 0.0], [0.3, -0.7, 0.5], [-1.0, 1.0, -1.0], [0.9, 0.9, 0.9]]
+            vec![
+                [0.0, 0.0, 0.0],
+                [0.3, -0.7, 0.5],
+                [-1.0, 1.0, -1.0],
+                [0.9, 0.9, 0.9],
+            ]
         } else {
-            vec![[0.25, 0.25, 0.25], [0.1, 0.2, 0.3], [0.0, 0.0, 0.0], [0.6, 0.1, 0.2]]
+            vec![
+                [0.25, 0.25, 0.25],
+                [0.1, 0.2, 0.3],
+                [0.0, 0.0, 0.0],
+                [0.6, 0.1, 0.2],
+            ]
         }
     }
 
@@ -238,7 +272,11 @@ mod tests {
                 shape_values(et, xi, &mut n);
                 for i in 0..npe {
                     let want = if i == j { 1.0 } else { 0.0 };
-                    assert!((n[i] - want).abs() < 1e-12, "{et:?} N_{i} at node {j}: {}", n[i]);
+                    assert!(
+                        (n[i] - want).abs() < 1e-12,
+                        "{et:?} N_{i} at node {j}: {}",
+                        n[i]
+                    );
                 }
             }
         }
@@ -270,7 +308,11 @@ mod tests {
             for xi in sample_points(et) {
                 shape_values(et, xi, &mut n);
                 let got: f64 = (0..npe).map(|i| n[i] * f(nodes[i])).sum();
-                assert!((got - f(xi)).abs() < 1e-12, "{et:?} at {xi:?}: {got} vs {}", f(xi));
+                assert!(
+                    (got - f(xi)).abs() < 1e-12,
+                    "{et:?} at {xi:?}: {got} vs {}",
+                    f(xi)
+                );
             }
         }
         // Hex20 (serendipity) reproduces quadratics too.

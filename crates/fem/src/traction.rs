@@ -45,7 +45,11 @@ impl TractionSpec {
     pub fn at(&self, x: [f64; 3]) -> Option<Vec<f64>> {
         let t = (self.predicate)(x);
         if let Some(ref v) = t {
-            assert_eq!(v.len(), self.ndof, "traction returned wrong component count");
+            assert_eq!(
+                v.len(),
+                self.ndof,
+                "traction returned wrong component count"
+            );
         }
         t
     }
@@ -104,7 +108,12 @@ fn hex_faces(et: ElementType) -> Vec<RefFace> {
             let free: Vec<usize> = (0..3).filter(|&d| d != axis).collect();
             dirs[0][free[0]] = 1.0;
             dirs[1][free[1]] = 1.0;
-            RefFace { nodes, embed, dirs, quad: quad.clone() }
+            RefFace {
+                nodes,
+                embed,
+                dirs,
+                quad: quad.clone(),
+            }
         })
         .collect()
 }
@@ -151,7 +160,12 @@ fn tet_faces(et: ElementType) -> Vec<RefFace> {
                 .filter(|(_, r)| pred(r))
                 .map(|(i, _)| i)
                 .collect();
-            RefFace { nodes, embed, dirs, quad: tri.clone() }
+            RefFace {
+                nodes,
+                embed,
+                dirs,
+                quad: tri.clone(),
+            }
         })
         .collect()
 }
@@ -245,7 +259,11 @@ mod tests {
 
     #[test]
     fn hex_faces_have_right_node_counts() {
-        for (et, per_face) in [(ElementType::Hex8, 4), (ElementType::Hex20, 8), (ElementType::Hex27, 9)] {
+        for (et, per_face) in [
+            (ElementType::Hex8, 4),
+            (ElementType::Hex20, 8),
+            (ElementType::Hex27, 9),
+        ] {
             let faces = ref_faces(et);
             assert_eq!(faces.len(), 6);
             for f in &faces {
@@ -304,10 +322,19 @@ mod tests {
     fn stretched_face_scales_area() {
         // Stretch the cube ×3 in x: top face area = 3.
         let et = ElementType::Hex8;
-        let coords: Vec<[f64; 3]> = unit_hex(et).iter().map(|p| [3.0 * p[0], p[1], p[2]]).collect();
+        let coords: Vec<[f64; 3]> = unit_hex(et)
+            .iter()
+            .map(|p| [3.0 * p[0], p[1], p[2]])
+            .collect();
         let spec = TractionSpec::new(
             1,
-            Arc::new(|x: [f64; 3]| if x[2] > 1.0 - 1e-9 { Some(vec![2.0]) } else { None }),
+            Arc::new(|x: [f64; 3]| {
+                if x[2] > 1.0 - 1e-9 {
+                    Some(vec![2.0])
+                } else {
+                    None
+                }
+            }),
         );
         let mut fe = vec![0.0; 8];
         accumulate_traction(et, &coords, &spec, &mut fe);
@@ -322,7 +349,13 @@ mod tests {
         let coords = et.ref_coords();
         let spec = TractionSpec::new(
             1,
-            Arc::new(|x: [f64; 3]| if x[2].abs() < 1e-9 { Some(vec![1.0]) } else { None }),
+            Arc::new(|x: [f64; 3]| {
+                if x[2].abs() < 1e-9 {
+                    Some(vec![1.0])
+                } else {
+                    None
+                }
+            }),
         );
         let mut fe = vec![0.0; 10];
         accumulate_traction(et, &coords, &spec, &mut fe);
@@ -337,7 +370,13 @@ mod tests {
         let coords = unit_hex(et);
         let spec = TractionSpec::new(
             1,
-            Arc::new(|x: [f64; 3]| if x[2] > 1.0 - 1e-9 { Some(vec![x[0]]) } else { None }),
+            Arc::new(|x: [f64; 3]| {
+                if x[2] > 1.0 - 1e-9 {
+                    Some(vec![x[0]])
+                } else {
+                    None
+                }
+            }),
         );
         let mut fe = vec![0.0; 27];
         accumulate_traction(et, &coords, &spec, &mut fe);
@@ -349,11 +388,19 @@ mod tests {
     fn interior_element_gets_nothing() {
         let et = ElementType::Hex8;
         // Element away from z = 1.
-        let coords: Vec<[f64; 3]> =
-            unit_hex(et).iter().map(|p| [p[0], p[1], 0.5 * p[2]]).collect();
+        let coords: Vec<[f64; 3]> = unit_hex(et)
+            .iter()
+            .map(|p| [p[0], p[1], 0.5 * p[2]])
+            .collect();
         let spec = TractionSpec::new(
             1,
-            Arc::new(|x: [f64; 3]| if x[2] > 1.0 - 1e-9 { Some(vec![1.0]) } else { None }),
+            Arc::new(|x: [f64; 3]| {
+                if x[2] > 1.0 - 1e-9 {
+                    Some(vec![1.0])
+                } else {
+                    None
+                }
+            }),
         );
         let mut fe = vec![0.0; 8];
         accumulate_traction(et, &coords, &spec, &mut fe);

@@ -44,7 +44,14 @@ impl PetscGpuOperator {
         let upload_s = sim.window_elapsed();
         comm.add_modeled_time(upload_s);
         t.assembly_s += upload_s;
-        (PetscGpuOperator { inner, sim, upload_s }, t)
+        (
+            PetscGpuOperator {
+                inner,
+                sim,
+                upload_s,
+            },
+            t,
+        )
     }
 
     /// One-time device setup seconds.
@@ -78,11 +85,21 @@ impl LinOp for PetscGpuOperator {
         self.sim.begin_window();
         let m = *self.sim.model();
         self.sim.h2d(0, n * 8, "x H2D");
-        self.sim.kernel(0, 2 * nnz_d as u64, m.csr_spmv_bytes(nnz_d, n), "csrmv diag");
+        self.sim.kernel(
+            0,
+            2 * nnz_d as u64,
+            m.csr_spmv_bytes(nnz_d, n),
+            "csrmv diag",
+        );
         if n_ghost > 0 {
             // Ghost values arrive on the host and must be staged up.
             self.sim.h2d(1, n_ghost * 8, "ghosts H2D");
-            self.sim.kernel(0, 2 * nnz_o as u64, m.csr_spmv_bytes(nnz_o, n), "csrmv offd");
+            self.sim.kernel(
+                0,
+                2 * nnz_o as u64,
+                m.csr_spmv_bytes(nnz_o, n),
+                "csrmv offd",
+            );
         }
         self.sim.d2h(0, n * 8, "y D2H");
         let dt = self.sim.window_elapsed();
@@ -120,9 +137,10 @@ mod tests {
             let part = &pm.parts[comm.rank()];
             let kernel = PoissonKernel::new(ElementType::Hex8);
             let (mut hymv, _) = HymvOperator::setup(comm, part, &kernel);
-            let (mut pg, _) =
-                PetscGpuOperator::setup(comm, part, &kernel, GpuModel::default());
-            let x: Vec<f64> = (0..hymv.n_owned()).map(|i| (i as f64 * 0.7).cos()).collect();
+            let (mut pg, _) = PetscGpuOperator::setup(comm, part, &kernel, GpuModel::default());
+            let x: Vec<f64> = (0..hymv.n_owned())
+                .map(|i| (i as f64 * 0.7).cos())
+                .collect();
             let mut y_h = vec![0.0; hymv.n_owned()];
             let mut y_p = vec![0.0; pg.n_owned()];
             hymv.matvec(comm, &x, &mut y_h);

@@ -25,6 +25,8 @@
 //!   and GPU/GPU(O) overlap schemes of §V-D;
 //! * [`cusparse`] — the PETSc-GPU (cuSPARSE CSR) baseline of Figs 9/11c.
 
+#![forbid(unsafe_code)]
+
 pub mod cusparse;
 pub mod model;
 pub mod operator;

@@ -180,7 +180,11 @@ impl HymvGpuOperator {
             // Bit-exact numerics on the host (emulation, not charged).
             for &e in elems {
                 let e = e as usize;
-                emv(self.store.ke(e), &self.bue[e * nd..(e + 1) * nd], &mut self.bve[e * nd..(e + 1) * nd]);
+                emv(
+                    self.store.ke(e),
+                    &self.bue[e * nd..(e + 1) * nd],
+                    &mut self.bve[e * nd..(e + 1) * nd],
+                );
             }
         }
     }
@@ -297,22 +301,20 @@ mod tests {
     fn gpu_matches_cpu_all_schemes() {
         let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
         let pm = partition_mesh(&mesh, 2, PartitionMethod::Slabs);
-        for scheme in [GpuScheme::Blocking, GpuScheme::OverlapCpu, GpuScheme::OverlapGpu] {
+        for scheme in [
+            GpuScheme::Blocking,
+            GpuScheme::OverlapCpu,
+            GpuScheme::OverlapGpu,
+        ] {
             let ok = Universe::run(2, |comm| {
                 let part = &pm.parts[comm.rank()];
                 let kernel = PoissonKernel::new(ElementType::Hex8);
                 let (mut cpu, _) = HymvOperator::setup(comm, part, &kernel);
-                let (mut gpu, _) = HymvGpuOperator::setup(
-                    comm,
-                    part,
-                    &kernel,
-                    GpuModel::default(),
-                    4,
-                    scheme,
-                    4,
-                );
-                let x: Vec<f64> =
-                    (0..cpu.n_owned()).map(|i| ((i * 3 % 13) as f64) * 0.3 - 1.0).collect();
+                let (mut gpu, _) =
+                    HymvGpuOperator::setup(comm, part, &kernel, GpuModel::default(), 4, scheme, 4);
+                let x: Vec<f64> = (0..cpu.n_owned())
+                    .map(|i| ((i * 3 % 13) as f64) * 0.3 - 1.0)
+                    .collect();
                 let mut y_c = vec![0.0; cpu.n_owned()];
                 let mut y_g = vec![0.0; gpu.n_owned()];
                 cpu.matvec(comm, &x, &mut y_c);
@@ -331,10 +333,13 @@ mod tests {
         // the default model shows the same effect (fig8 -- streams).
         let mesh = StructuredHexMesh::unit(4, ElementType::Hex20).build();
         let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
-        let model = GpuModel { launch_latency: 0.0, transfer_latency: 0.0, ..GpuModel::default() };
+        let model = GpuModel {
+            launch_latency: 0.0,
+            transfer_latency: 0.0,
+            ..GpuModel::default()
+        };
         let out = Universe::run(1, |comm| {
-            let kernel =
-                ElasticityKernel::new(ElementType::Hex20, 100.0, 0.3, [0.0, 0.0, -1.0]);
+            let kernel = ElasticityKernel::new(ElementType::Hex20, 100.0, 0.3, [0.0, 0.0, -1.0]);
             let mut makespans = Vec::new();
             for ns in [1usize, 8] {
                 let (mut gpu, _) = HymvGpuOperator::setup(
@@ -361,7 +366,12 @@ mod tests {
             makespans
         });
         let m = &out[0];
-        assert!(m[1] < m[0] * 0.85, "8 streams {} must beat 1 stream {}", m[1], m[0]);
+        assert!(
+            m[1] < m[0] * 0.85,
+            "8 streams {} must beat 1 stream {}",
+            m[1],
+            m[0]
+        );
     }
 
     #[test]
@@ -381,7 +391,12 @@ mod tests {
                 GpuScheme::Blocking,
                 1,
             );
-            (t_cpu.local_copy_s, t_gpu.local_copy_s, gpu.upload_seconds(), bytes)
+            (
+                t_cpu.local_copy_s,
+                t_gpu.local_copy_s,
+                gpu.upload_seconds(),
+                bytes,
+            )
         });
         let (_cpu_copy, gpu_copy, upload, bytes) = out[0];
         // The GPU setup's copy component carries the modeled upload on top
@@ -390,7 +405,10 @@ mod tests {
         // asserted).
         let expected = GpuModel::default().h2d_time(bytes);
         assert!((upload - expected).abs() < 1e-12);
-        assert!(gpu_copy >= upload, "copy component {gpu_copy} includes the upload {upload}");
+        assert!(
+            gpu_copy >= upload,
+            "copy component {gpu_copy} includes the upload {upload}"
+        );
     }
 
     #[test]

@@ -64,7 +64,8 @@ impl DeviceBlas {
     pub fn dot(&mut self, comm: &mut Comm, x: &[f64], y: &[f64]) -> f64 {
         let local: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
         self.sim.begin_window();
-        self.sim.kernel(0, 2 * x.len() as u64, 2 * x.len() * 8, "dot");
+        self.sim
+            .kernel(0, 2 * x.len() as u64, 2 * x.len() * 8, "dot");
         self.sim.d2h(0, 8, "dot scalar");
         let dt = self.sim.window_elapsed();
         comm.add_modeled_time(dt);
@@ -104,7 +105,11 @@ pub fn gpu_resident_cg(
     let bnorm = blas.dot(comm, b, b).max(0.0).sqrt();
     if bnorm == 0.0 {
         x.fill(0.0);
-        return CgResult { iterations: 0, converged: true, rel_residual: 0.0 };
+        return CgResult {
+            iterations: 0,
+            converged: true,
+            rel_residual: 0.0,
+        };
     }
 
     let mut z = vec![0.0; n];
@@ -131,7 +136,11 @@ pub fn gpu_resident_cg(
         rnorm = blas.dot(comm, &r, &r).max(0.0).sqrt();
         iterations += 1;
     }
-    CgResult { iterations, converged: rnorm / bnorm <= rtol, rel_residual: rnorm / bnorm }
+    CgResult {
+        iterations,
+        converged: rnorm / bnorm <= rtol,
+        rel_residual: rnorm / bnorm,
+    }
 }
 
 #[cfg(test)]

@@ -87,15 +87,30 @@ impl DeviceSim {
     /// Schedule an operation of `duration` on `stream`; returns its end
     /// time. The start is `max(stream cursor, engine cursor)` — stream
     /// order plus engine serialization.
-    pub fn schedule(&mut self, stream: usize, kind: EventKind, duration: f64, label: impl Into<String>) -> f64 {
+    pub fn schedule(
+        &mut self,
+        stream: usize,
+        kind: EventKind,
+        duration: f64,
+        label: impl Into<String>,
+    ) -> f64 {
         assert!(stream < self.streams.len(), "stream {stream} out of range");
         assert!(duration >= 0.0, "negative duration");
         let e = Self::engine_idx(kind);
-        let start = self.streams[stream].max(self.engines[e]).max(self.epoch).max(self.floor);
+        let start = self.streams[stream]
+            .max(self.engines[e])
+            .max(self.epoch)
+            .max(self.floor);
         let end = start + duration;
         self.streams[stream] = end;
         self.engines[e] = end;
-        self.events.push(TraceEvent { stream, kind, start, end, label: label.into() });
+        self.events.push(TraceEvent {
+            stream,
+            kind,
+            start,
+            end,
+            label: label.into(),
+        });
         end
     }
 
@@ -106,7 +121,13 @@ impl DeviceSim {
     }
 
     /// Kernel of `flops`/`bytes` on `stream`.
-    pub fn kernel(&mut self, stream: usize, flops: u64, bytes: usize, label: impl Into<String>) -> f64 {
+    pub fn kernel(
+        &mut self,
+        stream: usize,
+        flops: u64,
+        bytes: usize,
+        label: impl Into<String>,
+    ) -> f64 {
         let d = self.model.kernel_time(flops, bytes);
         self.schedule(stream, EventKind::Kernel, d, label)
     }

@@ -43,7 +43,10 @@ pub fn render_ascii(events: &[TraceEvent], width: usize) -> String {
         return String::from("(no events)\n");
     }
     let t0 = events.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
-    let t1 = events.iter().map(|e| e.end).fold(f64::NEG_INFINITY, f64::max);
+    let t1 = events
+        .iter()
+        .map(|e| e.end)
+        .fold(f64::NEG_INFINITY, f64::max);
     let span = (t1 - t0).max(1e-30);
     let n_streams = events.iter().map(|e| e.stream).max().expect("non-empty") + 1;
 
@@ -66,7 +69,10 @@ pub fn render_ascii(events: &[TraceEvent], width: usize) -> String {
                 *c = ch;
             }
         }
-        out.push_str(&format!("stream {s:2} |{}|\n", row.iter().collect::<String>()));
+        out.push_str(&format!(
+            "stream {s:2} |{}|\n",
+            row.iter().collect::<String>()
+        ));
     }
     out
 }
@@ -77,10 +83,34 @@ mod tests {
 
     fn sample_events() -> Vec<TraceEvent> {
         vec![
-            TraceEvent { stream: 0, kind: EventKind::H2D, start: 0.0, end: 1.0, label: "h0".into() },
-            TraceEvent { stream: 0, kind: EventKind::Kernel, start: 1.0, end: 2.0, label: "k0".into() },
-            TraceEvent { stream: 1, kind: EventKind::H2D, start: 1.0, end: 2.0, label: "h1".into() },
-            TraceEvent { stream: 1, kind: EventKind::D2H, start: 2.0, end: 3.0, label: "d1".into() },
+            TraceEvent {
+                stream: 0,
+                kind: EventKind::H2D,
+                start: 0.0,
+                end: 1.0,
+                label: "h0".into(),
+            },
+            TraceEvent {
+                stream: 0,
+                kind: EventKind::Kernel,
+                start: 1.0,
+                end: 2.0,
+                label: "k0".into(),
+            },
+            TraceEvent {
+                stream: 1,
+                kind: EventKind::H2D,
+                start: 1.0,
+                end: 2.0,
+                label: "h1".into(),
+            },
+            TraceEvent {
+                stream: 1,
+                kind: EventKind::D2H,
+                start: 2.0,
+                end: 3.0,
+                label: "d1".into(),
+            },
         ]
     }
 

@@ -19,7 +19,10 @@ impl SerialCsr {
     /// assembly semantics).
     pub fn from_triples(n_rows: usize, n_cols: usize, mut triples: Vec<(u32, u32, f64)>) -> Self {
         for &(r, c, _) in &triples {
-            assert!((r as usize) < n_rows && (c as usize) < n_cols, "triple ({r},{c}) out of range");
+            assert!(
+                (r as usize) < n_rows && (c as usize) < n_cols,
+                "triple ({r},{c}) out of range"
+            );
         }
         triples.sort_unstable_by_key(|&(r, c, _)| (r, c));
 
@@ -45,12 +48,24 @@ impl SerialCsr {
         for row in (cur_row + 1) as usize..=n_rows {
             ptr[row] = cols.len();
         }
-        SerialCsr { n_rows, n_cols, ptr, cols, vals }
+        SerialCsr {
+            n_rows,
+            n_cols,
+            ptr,
+            cols,
+            vals,
+        }
     }
 
     /// An empty matrix.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        SerialCsr { n_rows, n_cols, ptr: vec![0; n_rows + 1], cols: Vec::new(), vals: Vec::new() }
+        SerialCsr {
+            n_rows,
+            n_cols,
+            ptr: vec![0; n_rows + 1],
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Rows.
@@ -133,7 +148,11 @@ mod tests {
 
     #[test]
     fn triples_merge_duplicates() {
-        let a = SerialCsr::from_triples(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 4.0), (0, 1, 0.5)]);
+        let a = SerialCsr::from_triples(
+            2,
+            2,
+            vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 4.0), (0, 1, 0.5)],
+        );
         assert_eq!(a.nnz(), 3);
         assert_eq!(a.get(0, 0), 3.0);
         assert_eq!(a.get(0, 1), 0.5);

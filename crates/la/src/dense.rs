@@ -21,7 +21,11 @@ impl ElementMatrixStore {
     /// Zero-initialized storage.
     pub fn new(nd: usize, n_elems: usize) -> Self {
         assert!(nd > 0, "element matrix dimension must be positive");
-        ElementMatrixStore { nd, n_elems, data: vec![0.0; nd * nd * n_elems] }
+        ElementMatrixStore {
+            nd,
+            n_elems,
+            data: vec![0.0; nd * nd * n_elems],
+        }
     }
 
     /// Element matrix dimension.
@@ -110,6 +114,7 @@ pub fn emv_portable(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
 }
 
 #[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // SIMD dispatch wrapper; SAFETY comment at the call
 fn emv_avx2(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     // SAFETY: dispatch guarantees avx2+fma are available.
     unsafe { emv_avx2_impl(ke, ue, ve) }
@@ -117,6 +122,7 @@ fn emv_avx2(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
+#[allow(unsafe_code)] // intrinsics; bounds guarded by the debug_asserts below
 unsafe fn emv_avx2_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     use std::arch::x86_64::*;
     let nd = ue.len();
@@ -140,6 +146,7 @@ unsafe fn emv_avx2_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
 }
 
 #[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // SIMD dispatch wrapper; SAFETY comment at the call
 fn emv_avx512(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     // SAFETY: dispatch guarantees avx512f is available.
     unsafe { emv_avx512_impl(ke, ue, ve) }
@@ -147,6 +154,7 @@ fn emv_avx512(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
+#[allow(unsafe_code)] // intrinsics; bounds guarded by the debug_asserts below
 unsafe fn emv_avx512_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     use std::arch::x86_64::*;
     let nd = ue.len();
@@ -198,7 +206,12 @@ pub fn solve_dense(mut a: Vec<f64>, mut b: Vec<f64>) -> Vec<f64> {
     for k in 0..n {
         // Pivot.
         let piv = (k..n)
-            .max_by(|&i, &j| a[k * n + i].abs().partial_cmp(&a[k * n + j].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[k * n + i]
+                    .abs()
+                    .partial_cmp(&a[k * n + j].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         if piv != k {
             for j in 0..n {

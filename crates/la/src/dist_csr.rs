@@ -58,7 +58,11 @@ impl DistCsr {
     /// Assemble from local triples in **global** (row, col, value) ids.
     /// Rows owned by other ranks are shipped to them — every rank must
     /// call this collectively.
-    pub fn from_triples(comm: &mut Comm, n_owned_rows: usize, triples: Vec<(u64, u64, f64)>) -> Self {
+    pub fn from_triples(
+        comm: &mut Comm,
+        n_owned_rows: usize,
+        triples: Vec<(u64, u64, f64)>,
+    ) -> Self {
         let cpu0 = hymv_comm::thread_cpu_time();
         // Establish global row ranges.
         let counts = comm.allgather_u64(vec![n_owned_rows as u64]);
@@ -75,7 +79,10 @@ impl DistCsr {
         let triples_local = triples.len() as u64;
         let mut triples_sent = 0u64;
         for (r, c, v) in triples {
-            assert!(r < n_global && c < n_global, "triple ({r},{c}) out of global range");
+            assert!(
+                r < n_global && c < n_global,
+                "triple ({r},{c}) out of global range"
+            );
             if r >= row_range.0 && r < row_range.1 {
                 mine.push((r, c, v));
             } else {
@@ -115,8 +122,10 @@ impl DistCsr {
         garray.sort_unstable();
         garray.dedup();
         let gidx = |c: u64| garray.binary_search(&c).expect("ghost col present") as u32;
-        let offd_t: Vec<(u32, u32, f64)> =
-            offd_raw.into_iter().map(|(r, c, v)| (r, gidx(c), v)).collect();
+        let offd_t: Vec<(u32, u32, f64)> = offd_raw
+            .into_iter()
+            .map(|(r, c, v)| (r, gidx(c), v))
+            .collect();
         let diag = SerialCsr::from_triples(n_local, n_local, diag_t);
         let offd = SerialCsr::from_triples(n_local, garray.len(), offd_t);
 
@@ -175,7 +184,11 @@ impl DistCsr {
             send_plan,
             recv_plan,
             ghost,
-            assembly_stats: AssemblyStats { triples_local, triples_sent, triples_recv },
+            assembly_stats: AssemblyStats {
+                triples_local,
+                triples_sent,
+                triples_recv,
+            },
         }
     }
 
@@ -306,7 +319,9 @@ mod tests {
             let want: Vec<f64> = (0..per)
                 .map(|lr| {
                     let r = lo + lr;
-                    (0..n as usize).map(|c| dense[c * n as usize + r] * x_global[c]).sum()
+                    (0..n as usize)
+                        .map(|c| dense[c * n as usize + r] * x_global[c])
+                        .sum()
                 })
                 .collect();
             (y_local, want, a.assembly_stats)

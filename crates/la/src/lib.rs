@@ -19,6 +19,10 @@
 //! * [`precond`] — Jacobi and block-Jacobi (ILU(0) per-rank block)
 //!   preconditioners, the ones evaluated in the paper's Fig 11.
 
+// Unsafe is confined to audited, SAFETY-commented sites (`#[allow]`ed
+// per item); everything else is checked.
+#![deny(unsafe_code)]
+
 pub mod csr;
 pub mod dense;
 pub mod dist_csr;

@@ -84,7 +84,10 @@ impl BlockJacobi {
                     diag_idx[r] = idx;
                 }
             }
-            assert!(diag_idx[r] != usize::MAX, "row {r} has no diagonal entry for ILU(0)");
+            assert!(
+                diag_idx[r] != usize::MAX,
+                "row {r} has no diagonal entry for ILU(0)"
+            );
         }
 
         // IKJ-ordered ILU(0): for each row i, eliminate with rows k < i
@@ -241,9 +244,17 @@ mod tests {
         let res = |z: &[f64]| {
             let mut az = vec![0.0; n];
             a.spmv(z, &mut az, false);
-            az.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max)
+            az.iter()
+                .zip(&b)
+                .map(|(p, q)| (p - q).abs())
+                .fold(0.0, f64::max)
         };
-        assert!(res(&out[0]) < 0.2 * res(&b), "ILU(0) {} vs identity {}", res(&out[0]), res(&b));
+        assert!(
+            res(&out[0]) < 0.2 * res(&b),
+            "ILU(0) {} vs identity {}",
+            res(&out[0]),
+            res(&b)
+        );
     }
 
     #[test]

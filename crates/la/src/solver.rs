@@ -100,7 +100,11 @@ pub fn cg(
     let bnorm = norm2(comm, b);
     if bnorm == 0.0 {
         x.fill(0.0);
-        return CgResult { iterations: 0, converged: true, rel_residual: 0.0 };
+        return CgResult {
+            iterations: 0,
+            converged: true,
+            rel_residual: 0.0,
+        };
     }
 
     precond.apply(comm, &r, &mut z);
@@ -136,7 +140,11 @@ pub fn cg(
         iterations += 1;
     }
 
-    CgResult { iterations, converged: rnorm / bnorm <= rtol, rel_residual: rnorm / bnorm }
+    CgResult {
+        iterations,
+        converged: rnorm / bnorm <= rtol,
+        rel_residual: rnorm / bnorm,
+    }
 }
 
 /// Pipelined preconditioned conjugate gradients (Ghysels & Vanroose,
@@ -165,7 +173,11 @@ pub fn pipelined_cg(
     let bnorm = norm2(comm, b);
     if bnorm == 0.0 {
         x.fill(0.0);
-        return CgResult { iterations: 0, converged: true, rel_residual: 0.0 };
+        return CgResult {
+            iterations: 0,
+            converged: true,
+            rel_residual: 0.0,
+        };
     }
 
     // r = b − A x; u = M⁻¹ r; w = A u.
@@ -206,10 +218,18 @@ pub fn pipelined_cg(
         let (gamma, delta, rr) = (red[0], red[1], red[2]);
         let rnorm = rr.max(0.0).sqrt();
         if rnorm / bnorm <= rtol {
-            return CgResult { iterations, converged: true, rel_residual: rnorm / bnorm };
+            return CgResult {
+                iterations,
+                converged: true,
+                rel_residual: rnorm / bnorm,
+            };
         }
         if iterations >= max_iter {
-            return CgResult { iterations, converged: false, rel_residual: rnorm / bnorm };
+            return CgResult {
+                iterations,
+                converged: false,
+                rel_residual: rnorm / bnorm,
+            };
         }
 
         let (alpha, beta);
@@ -300,8 +320,11 @@ mod tests {
             let mut x = vec![0.0; n];
             let res = cg(comm, &mut op, &mut Identity, &b, &mut x, 1e-12, 500);
             assert!(res.converged, "{res:?}");
-            let err: f64 =
-                x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            let err: f64 = x
+                .iter()
+                .zip(&x_true)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
             assert!(err < 1e-9, "error {err}");
             res.iterations
         });
@@ -344,7 +367,10 @@ mod tests {
     #[test]
     fn zero_rhs_short_circuits() {
         let out = Universe::run(1, |comm| {
-            let mut op = DenseOp { n: 4, a: random_spd(4, 2) };
+            let mut op = DenseOp {
+                n: 4,
+                a: random_spd(4, 2),
+            };
             let mut x = vec![1.0; 4];
             let res = cg(comm, &mut op, &mut Identity, &[0.0; 4], &mut x, 1e-8, 10);
             (res, x)
@@ -392,8 +418,11 @@ mod tests {
                 res_cg.iterations,
                 res_p.iterations
             );
-            let err: f64 =
-                x_p.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            let err: f64 = x_p
+                .iter()
+                .zip(&x_true)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
             err
         });
         assert!(out[0] < 1e-8, "error {}", out[0]);
@@ -416,7 +445,10 @@ mod tests {
             let mut x = vec![0.0; n];
             let res = pipelined_cg(comm, &mut op, &mut pc, &b, &mut x, 1e-11, 1000);
             assert!(res.converged, "{res:?}");
-            x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
+            x.iter()
+                .zip(&x_true)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max)
         });
         assert!(out.iter().all(|&e| e < 1e-8), "{out:?}");
     }
@@ -424,7 +456,10 @@ mod tests {
     #[test]
     fn pipelined_cg_zero_rhs() {
         let out = Universe::run(1, |comm| {
-            let mut op = DenseOp { n: 4, a: random_spd(4, 2) };
+            let mut op = DenseOp {
+                n: 4,
+                a: random_spd(4, 2),
+            };
             let mut x = vec![1.0; 4];
             pipelined_cg(comm, &mut op, &mut Identity, &[0.0; 4], &mut x, 1e-8, 10)
         });
@@ -435,7 +470,10 @@ mod tests {
     #[test]
     fn max_iter_respected() {
         let out = Universe::run(1, |comm| {
-            let mut op = DenseOp { n: 50, a: random_spd(50, 3) };
+            let mut op = DenseOp {
+                n: 50,
+                a: random_spd(50, 3),
+            };
             let b = vec![1.0; 50];
             let mut x = vec![0.0; 50];
             cg(comm, &mut op, &mut Identity, &b, &mut x, 1e-300, 3)

@@ -37,7 +37,10 @@ impl ElementType {
 
     /// True for hexahedral types.
     pub fn is_hex(self) -> bool {
-        matches!(self, ElementType::Hex8 | ElementType::Hex20 | ElementType::Hex27)
+        matches!(
+            self,
+            ElementType::Hex8 | ElementType::Hex20 | ElementType::Hex27
+        )
     }
 
     /// True for quadratic (second-order) elements.
@@ -84,7 +87,11 @@ impl ElementType {
 }
 
 fn midpoint(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
-    [(a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0, (a[2] + b[2]) / 2.0]
+    [
+        (a[0] + b[0]) / 2.0,
+        (a[1] + b[1]) / 2.0,
+        (a[2] + b[2]) / 2.0,
+    ]
 }
 
 /// Hex corner reference coordinates, canonical order.

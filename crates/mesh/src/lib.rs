@@ -20,13 +20,15 @@
 //!
 //! Everything is deterministic (seeded RNG) so experiments are repeatable.
 
+#![forbid(unsafe_code)]
+
 pub mod element;
 mod mesh;
 pub mod partition;
 pub mod quality;
-pub mod vtk;
 mod structured;
 mod unstructured;
+pub mod vtk;
 
 pub use element::ElementType;
 pub use mesh::{GlobalMesh, MeshPartition, PartitionedMesh};

@@ -210,7 +210,11 @@ mod tests {
             n(2, 1, 1),
             n(1, 1, 1),
         ];
-        GlobalMesh { elem_type: ElementType::Hex8, coords, connectivity }
+        GlobalMesh {
+            elem_type: ElementType::Hex8,
+            coords,
+            connectivity,
+        }
     }
 
     #[test]

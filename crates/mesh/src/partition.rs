@@ -48,7 +48,11 @@ fn face_threshold(et: ElementType) -> usize {
 /// Panics if `p == 0` or `p > n_elems` (every rank must own work).
 pub fn partition_elems(mesh: &GlobalMesh, p: usize, method: PartitionMethod) -> Vec<usize> {
     assert!(p > 0, "need at least one partition");
-    assert!(p <= mesh.n_elems(), "more partitions ({p}) than elements ({})", mesh.n_elems());
+    assert!(
+        p <= mesh.n_elems(),
+        "more partitions ({p}) than elements ({})",
+        mesh.n_elems()
+    );
     match method {
         PartitionMethod::Slabs => partition_slabs(mesh, p),
         PartitionMethod::Rcb => partition_rcb(mesh, p),
@@ -88,7 +92,13 @@ fn partition_rcb(mesh: &GlobalMesh, p: usize) -> Vec<usize> {
 }
 
 /// Recursively split `elems` into parts `[first_part, first_part + nparts)`.
-fn rcb_recurse(centroids: &[[f64; 3]], elems: &[usize], first_part: usize, nparts: usize, out: &mut Vec<usize>) {
+fn rcb_recurse(
+    centroids: &[[f64; 3]],
+    elems: &[usize],
+    first_part: usize,
+    nparts: usize,
+    out: &mut Vec<usize>,
+) {
     if nparts == 1 {
         for &e in elems {
             out[e] = first_part;
@@ -105,7 +115,11 @@ fn rcb_recurse(centroids: &[[f64; 3]], elems: &[usize], first_part: usize, npart
         }
     }
     let axis = (0..3)
-        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).expect("finite extents"))
+        .max_by(|&a, &b| {
+            (hi[a] - lo[a])
+                .partial_cmp(&(hi[b] - lo[b]))
+                .expect("finite extents")
+        })
         .expect("three axes");
 
     let left_parts = nparts / 2;
@@ -118,7 +132,13 @@ fn rcb_recurse(centroids: &[[f64; 3]], elems: &[usize], first_part: usize, npart
             .then(a.cmp(&b))
     });
     rcb_recurse(centroids, &sorted[..split], first_part, left_parts, out);
-    rcb_recurse(centroids, &sorted[split..], first_part + left_parts, nparts - left_parts, out);
+    rcb_recurse(
+        centroids,
+        &sorted[split..],
+        first_part + left_parts,
+        nparts - left_parts,
+        out,
+    );
 }
 
 /// Element face-adjacency in CSR form.
@@ -266,13 +286,18 @@ impl PartitionStats {
             }
         }
         let shared_nodes = shared.iter().filter(|&&s| s).count();
-        PartitionStats { elems_per_part, edge_cut, shared_nodes }
+        PartitionStats {
+            elems_per_part,
+            edge_cut,
+            shared_nodes,
+        }
     }
 
     /// Max/min element imbalance ratio.
     pub fn imbalance(&self) -> f64 {
         let max = *self.elems_per_part.iter().max().expect("p >= 1") as f64;
-        let avg = self.elems_per_part.iter().sum::<usize>() as f64 / self.elems_per_part.len() as f64;
+        let avg =
+            self.elems_per_part.iter().sum::<usize>() as f64 / self.elems_per_part.len() as f64;
         max / avg
     }
 }
@@ -356,7 +381,11 @@ mod tests {
     use crate::unstructured::unstructured_tet_mesh;
 
     fn methods() -> [PartitionMethod; 3] {
-        [PartitionMethod::Slabs, PartitionMethod::Rcb, PartitionMethod::GreedyGraph]
+        [
+            PartitionMethod::Slabs,
+            PartitionMethod::Rcb,
+            PartitionMethod::GreedyGraph,
+        ]
     }
 
     #[test]
@@ -372,7 +401,10 @@ mod tests {
                     "{method:?} p={p} imbalance {}",
                     stats.imbalance()
                 );
-                assert!(stats.elems_per_part.iter().all(|&c| c > 0), "{method:?} p={p} empty part");
+                assert!(
+                    stats.elems_per_part.iter().all(|&c| c > 0),
+                    "{method:?} p={p} empty part"
+                );
             }
         }
     }
@@ -478,7 +510,10 @@ mod tests {
         let (ptr, adj) = element_adjacency(&mesh);
         for e in 0..mesh.n_elems() {
             for &nb in &adj[ptr[e]..ptr[e + 1]] {
-                assert!(adj[ptr[nb]..ptr[nb + 1]].contains(&e), "asymmetric {e}-{nb}");
+                assert!(
+                    adj[ptr[nb]..ptr[nb + 1]].contains(&e),
+                    "asymmetric {e}-{nb}"
+                );
             }
         }
         // Interior element of a 3x3x3 grid has exactly 6 face neighbours.

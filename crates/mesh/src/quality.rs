@@ -22,7 +22,11 @@ pub struct QualityReport {
 }
 
 fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
-    [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]]
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
 }
 
 fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
@@ -165,8 +169,26 @@ mod tests {
 
     #[test]
     fn jitter_degrades_quality_monotonically() {
-        let q0 = assess(&unstructured_hex_mesh(4, 4, 4, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.05, 3));
-        let q1 = assess(&unstructured_hex_mesh(4, 4, 4, ElementType::Hex8, [0.0; 3], [1.0; 3], 0.25, 3));
+        let q0 = assess(&unstructured_hex_mesh(
+            4,
+            4,
+            4,
+            ElementType::Hex8,
+            [0.0; 3],
+            [1.0; 3],
+            0.05,
+            3,
+        ));
+        let q1 = assess(&unstructured_hex_mesh(
+            4,
+            4,
+            4,
+            ElementType::Hex8,
+            [0.0; 3],
+            [1.0; 3],
+            0.25,
+            3,
+        ));
         assert!(q1.min_scaled_jacobian < q0.min_scaled_jacobian);
         assert!(q1.max_aspect_ratio > q0.max_aspect_ratio);
         // Both stay valid (positive Jacobians) — the generators' contract.

@@ -37,11 +37,34 @@ impl StructuredHexMesh {
     ///
     /// # Panics
     /// Panics if `elem_type` is not a hex type or any count is zero.
-    pub fn new(nx: usize, ny: usize, nz: usize, elem_type: ElementType, lo: [f64; 3], hi: [f64; 3]) -> Self {
-        assert!(elem_type.is_hex(), "StructuredHexMesh requires a hex element type, got {elem_type:?}");
-        assert!(nx > 0 && ny > 0 && nz > 0, "element counts must be positive");
-        assert!((0..3).all(|d| hi[d] > lo[d]), "box must have positive extent");
-        StructuredHexMesh { nx, ny, nz, elem_type, lo, hi }
+    pub fn new(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        elem_type: ElementType,
+        lo: [f64; 3],
+        hi: [f64; 3],
+    ) -> Self {
+        assert!(
+            elem_type.is_hex(),
+            "StructuredHexMesh requires a hex element type, got {elem_type:?}"
+        );
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "element counts must be positive"
+        );
+        assert!(
+            (0..3).all(|d| hi[d] > lo[d]),
+            "box must have positive extent"
+        );
+        StructuredHexMesh {
+            nx,
+            ny,
+            nz,
+            elem_type,
+            lo,
+            hi,
+        }
     }
 
     /// Number of elements.
@@ -52,7 +75,11 @@ impl StructuredHexMesh {
     /// Realize the mesh.
     pub fn build(&self) -> GlobalMesh {
         // Fine-grid refinement factor: 1 for linear, 2 for quadratic.
-        let r = if self.elem_type == ElementType::Hex8 { 1usize } else { 2 };
+        let r = if self.elem_type == ElementType::Hex8 {
+            1usize
+        } else {
+            2
+        };
         let (gx, gy, gz) = (r * self.nx + 1, r * self.ny + 1, r * self.nz + 1);
 
         // keep(i,j,k): does this fine-grid point exist as a mesh node?
@@ -105,7 +132,8 @@ impl StructuredHexMesh {
                             ((p[1] + 1.0) / 2.0 * r as f64).round() as usize,
                             ((p[2] + 1.0) / 2.0 * r as f64).round() as usize,
                         ];
-                        let id = compact[fine_id(base[0] + off[0], base[1] + off[1], base[2] + off[2])];
+                        let id =
+                            compact[fine_id(base[0] + off[0], base[1] + off[1], base[2] + off[2])];
                         debug_assert!(id >= 0, "element references a dropped fine-grid point");
                         connectivity.push(id as u64);
                     }
@@ -113,7 +141,11 @@ impl StructuredHexMesh {
             }
         }
 
-        GlobalMesh { elem_type: self.elem_type, coords, connectivity }
+        GlobalMesh {
+            elem_type: self.elem_type,
+            coords,
+            connectivity,
+        }
     }
 }
 
@@ -151,7 +183,8 @@ mod tests {
 
     #[test]
     fn shared_face_nodes_are_shared() {
-        let m = StructuredHexMesh::new(2, 1, 1, ElementType::Hex8, [0.0; 3], [2.0, 1.0, 1.0]).build();
+        let m =
+            StructuredHexMesh::new(2, 1, 1, ElementType::Hex8, [0.0; 3], [2.0, 1.0, 1.0]).build();
         let a = m.elem_nodes(0);
         let b = m.elem_nodes(1);
         let shared: Vec<u64> = a.iter().filter(|n| b.contains(n)).copied().collect();
@@ -165,7 +198,11 @@ mod tests {
         let m = StructuredHexMesh::new(2, 2, 2, ElementType::Hex27, lo, hi).build();
         for d in 0..3 {
             let min = m.coords.iter().map(|c| c[d]).fold(f64::INFINITY, f64::min);
-            let max = m.coords.iter().map(|c| c[d]).fold(f64::NEG_INFINITY, f64::max);
+            let max = m
+                .coords
+                .iter()
+                .map(|c| c[d])
+                .fold(f64::NEG_INFINITY, f64::max);
             assert!((min - lo[d]).abs() < 1e-12);
             assert!((max - hi[d]).abs() < 1e-12);
         }

@@ -53,13 +53,21 @@ fn tet_volume6(p: &[[f64; 3]; 4]) -> f64 {
 /// perturbation as a fraction of the grid spacing (≤ 0.25 keeps all tets
 /// positively oriented in practice; the generator asserts it), and `seed`
 /// makes the mesh reproducible.
-pub fn unstructured_tet_mesh(n: usize, elem_type: ElementType, jitter: f64, seed: u64) -> GlobalMesh {
+pub fn unstructured_tet_mesh(
+    n: usize,
+    elem_type: ElementType,
+    jitter: f64,
+    seed: u64,
+) -> GlobalMesh {
     assert!(
         matches!(elem_type, ElementType::Tet4 | ElementType::Tet10),
         "unstructured_tet_mesh requires a tet element type, got {elem_type:?}"
     );
     assert!(n > 0, "grid resolution must be positive");
-    assert!((0.0..0.3).contains(&jitter), "jitter {jitter} out of safe range [0, 0.3)");
+    assert!(
+        (0.0..0.3).contains(&jitter),
+        "jitter {jitter} out of safe range [0, 0.3)"
+    );
 
     let g = n + 1;
     let h = 1.0 / n as f64;
@@ -75,7 +83,11 @@ pub fn unstructured_tet_mesh(n: usize, elem_type: ElementType, jitter: f64, seed
                 let idx = [i, j, k];
                 for d in 0..3 {
                     if idx[d] > 0 && idx[d] < n {
-                        p[d] += if jitter > 0.0 { rng.gen_range(-jitter..jitter) * h } else { 0.0 };
+                        p[d] += if jitter > 0.0 {
+                            rng.gen_range(-jitter..jitter) * h
+                        } else {
+                            0.0
+                        };
                     }
                 }
                 coords.push(p);
@@ -117,7 +129,11 @@ pub fn unstructured_tet_mesh(n: usize, elem_type: ElementType, jitter: f64, seed
     match elem_type {
         ElementType::Tet4 => {
             let connectivity = vertex_conn.iter().flatten().copied().collect();
-            let mesh = GlobalMesh { elem_type, coords, connectivity };
+            let mesh = GlobalMesh {
+                elem_type,
+                coords,
+                connectivity,
+            };
             debug_assert!(mesh.validate().is_ok());
             mesh
         }
@@ -142,9 +158,17 @@ pub fn unstructured_tet_mesh(n: usize, elem_type: ElementType, jitter: f64, seed
             for ((a, b), _) in mids {
                 let pa = coords[a as usize];
                 let pb = coords[b as usize];
-                coords.push([(pa[0] + pb[0]) / 2.0, (pa[1] + pb[1]) / 2.0, (pa[2] + pb[2]) / 2.0]);
+                coords.push([
+                    (pa[0] + pb[0]) / 2.0,
+                    (pa[1] + pb[1]) / 2.0,
+                    (pa[2] + pb[2]) / 2.0,
+                ]);
             }
-            let mesh = GlobalMesh { elem_type, coords, connectivity };
+            let mesh = GlobalMesh {
+                elem_type,
+                coords,
+                connectivity,
+            };
             debug_assert!(mesh.validate().is_ok());
             mesh
         }
@@ -166,9 +190,16 @@ pub fn unstructured_hex_mesh(
     jitter: f64,
     seed: u64,
 ) -> GlobalMesh {
-    assert!((0.0..0.3).contains(&jitter), "jitter {jitter} out of safe range [0, 0.3)");
+    assert!(
+        (0.0..0.3).contains(&jitter),
+        "jitter {jitter} out of safe range [0, 0.3)"
+    );
     let mut mesh = crate::StructuredHexMesh::new(nx, ny, nz, elem_type, lo, hi).build();
-    let r = if elem_type == ElementType::Hex8 { 1usize } else { 2 };
+    let r = if elem_type == ElementType::Hex8 {
+        1usize
+    } else {
+        2
+    };
     let (gx, gy, gz) = (r * nx + 1, r * ny + 1, r * nz + 1);
     let hf = [
         (hi[0] - lo[0]) / (gx - 1) as f64,
@@ -193,15 +224,18 @@ pub fn unstructured_hex_mesh(
                 let nmax = [nx, ny, nz];
                 for dd in 0..3 {
                     if idx[dd] > 0 && idx[dd] < nmax[dd] {
-                        d[dd] = if jitter > 0.0 { rng.gen_range(-jitter..jitter) * he[dd] } else { 0.0 };
+                        d[dd] = if jitter > 0.0 {
+                            rng.gen_range(-jitter..jitter) * he[dd]
+                        } else {
+                            0.0
+                        };
                     }
                 }
                 disp.push(d);
             }
         }
     }
-    let corner_disp =
-        |ci: usize, cj: usize, ck: usize| disp[ci + (nx + 1) * (cj + (ny + 1) * ck)];
+    let corner_disp = |ci: usize, cj: usize, ck: usize| disp[ci + (nx + 1) * (cj + (ny + 1) * ck)];
 
     // Recover each node's fine-grid index from its (pre-jitter) coordinate,
     // then displace it by the average displacement of its parent corners.
@@ -284,7 +318,10 @@ mod tests {
                 assert!(v6 > 0.0, "negative tet volume with jitter {jitter}");
                 vol += v6 / 6.0;
             }
-            assert!((vol - 1.0).abs() < 1e-10, "volume {vol} != 1 (jitter {jitter})");
+            assert!(
+                (vol - 1.0).abs() < 1e-10,
+                "volume {vol} != 1 (jitter {jitter})"
+            );
         }
     }
 

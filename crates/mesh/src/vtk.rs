@@ -50,7 +50,10 @@ pub fn to_vtk_string(mesh: &GlobalMesh, fields: &[PointField<'_>]) -> String {
             "field '{}' length mismatch",
             f.name
         );
-        assert!(f.components == 1 || f.components == 3, "VTK fields are scalars or vectors");
+        assert!(
+            f.components == 1 || f.components == 3,
+            "VTK fields are scalars or vectors"
+        );
     }
 
     let nc = corner_count(mesh.elem_type);
@@ -85,7 +88,10 @@ pub fn to_vtk_string(mesh: &GlobalMesh, fields: &[PointField<'_>]) -> String {
         for f in fields {
             match f.components {
                 1 => {
-                    out.push_str(&format!("SCALARS {} double 1\nLOOKUP_TABLE default\n", f.name));
+                    out.push_str(&format!(
+                        "SCALARS {} double 1\nLOOKUP_TABLE default\n",
+                        f.name
+                    ));
                     for v in f.values {
                         out.push_str(&format!("{v}\n"));
                     }
@@ -125,7 +131,11 @@ mod tests {
         assert!(s.starts_with("# vtk DataFile Version 3.0"));
         assert!(s.contains(&format!("POINTS {} double", mesh.n_nodes())));
         assert!(s.contains(&format!("CELLS {} {}", 8, 8 * 9)));
-        assert_eq!(s.lines().filter(|l| *l == "12").count(), 8, "eight VTK_HEXAHEDRON rows");
+        assert_eq!(
+            s.lines().filter(|l| *l == "12").count(),
+            8,
+            "eight VTK_HEXAHEDRON rows"
+        );
         assert!(!s.contains("POINT_DATA"));
     }
 
@@ -142,12 +152,20 @@ mod tests {
     fn tet_export_with_scalar_field() {
         let mesh = unstructured_tet_mesh(2, ElementType::Tet4, 0.1, 3);
         let u: Vec<f64> = (0..mesh.n_nodes()).map(|i| i as f64).collect();
-        let s = to_vtk_string(&mesh, &[PointField { name: "u", values: &u, components: 1 }]);
+        let s = to_vtk_string(
+            &mesh,
+            &[PointField {
+                name: "u",
+                values: &u,
+                components: 1,
+            }],
+        );
         assert!(s.contains(&format!("POINT_DATA {}", mesh.n_nodes())));
         assert!(s.contains("SCALARS u double 1"));
         // Count cell-type rows inside the CELL_TYPES section only (the
         // scalar field also contains a literal "10" line).
-        let section = &s[s.find("CELL_TYPES").expect("section")..s.find("POINT_DATA").expect("section")];
+        let section =
+            &s[s.find("CELL_TYPES").expect("section")..s.find("POINT_DATA").expect("section")];
         assert_eq!(
             section.lines().filter(|l| *l == "10").count(),
             mesh.n_elems(),
@@ -161,7 +179,11 @@ mod tests {
         let disp: Vec<f64> = (0..mesh.n_nodes() * 3).map(|i| i as f64 * 0.1).collect();
         let s = to_vtk_string(
             &mesh,
-            &[PointField { name: "displacement", values: &disp, components: 3 }],
+            &[PointField {
+                name: "displacement",
+                values: &disp,
+                components: 3,
+            }],
         );
         assert!(s.contains("VECTORS displacement double"));
         // First vector row.
@@ -185,6 +207,13 @@ mod tests {
     fn field_length_checked() {
         let mesh = StructuredHexMesh::unit(1, ElementType::Hex8).build();
         let bad = vec![0.0; 3];
-        let _ = to_vtk_string(&mesh, &[PointField { name: "u", values: &bad, components: 1 }]);
+        let _ = to_vtk_string(
+            &mesh,
+            &[PointField {
+                name: "u",
+                values: &bad,
+                components: 1,
+            }],
+        );
     }
 }

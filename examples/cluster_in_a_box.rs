@@ -22,7 +22,11 @@ fn main() {
     let stats = Universe::run(p, |comm| {
         let me = comm.rank();
         let left = me.checked_sub(1);
-        let right = if me + 1 < comm.size() { Some(me + 1) } else { None };
+        let right = if me + 1 < comm.size() {
+            Some(me + 1)
+        } else {
+            None
+        };
 
         // Post halo sends (non-blocking, buffered).
         for nb in [left, right].into_iter().flatten() {

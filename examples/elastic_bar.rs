@@ -28,7 +28,10 @@ fn main() {
         bar.poisson,
         bar.rho * bar.g
     );
-    println!("{:>6} {:>6} {:>4} {:>12} {:>14} {:>6}", "elem", "mesh", "p", "DoFs", "‖u−u*‖∞", "iters");
+    println!(
+        "{:>6} {:>6} {:>4} {:>12} {:>14} {:>6}",
+        "elem", "mesh", "p", "DoFs", "‖u−u*‖∞", "iters"
+    );
 
     for (et, label) in [(ElementType::Hex8, "Hex8"), (ElementType::Hex20, "Hex20")] {
         for (n, p) in [(4usize, 2usize), (8, 4), (16, 8)] {
@@ -46,8 +49,13 @@ fn main() {
                     bar.poisson,
                     bar.body_force(),
                 ));
-                let mut sys =
-                    FemSystem::build(comm, part, kernel, &bar.dirichlet(), BuildOptions::new(Method::Hymv));
+                let mut sys = FemSystem::build(
+                    comm,
+                    part,
+                    kernel,
+                    &bar.dirichlet(),
+                    BuildOptions::new(Method::Hymv),
+                );
                 let (u, res) = sys.solve(comm, PrecondKind::Jacobi, 1e-12, 50_000);
                 assert!(res.converged, "{res:?}");
                 let err = sys.inf_error(comm, &u, |x| bar.exact(x).to_vec());

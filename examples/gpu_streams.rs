@@ -27,7 +27,8 @@ fn main() {
     let mut chrome = String::new();
     let results = Universe::run(1, |comm| {
         let part = &pm.parts[0];
-        let kernel = ElasticityKernel::new(ElementType::Hex20, bar.young, bar.poisson, bar.body_force());
+        let kernel =
+            ElasticityKernel::new(ElementType::Hex20, bar.young, bar.poisson, bar.body_force());
         let mut rows = Vec::new();
         let mut snapshots = (String::new(), String::new());
         for ns in [1usize, 2, 4, 8] {
@@ -40,7 +41,9 @@ fn main() {
                 GpuScheme::Blocking,
                 4,
             );
-            let x: Vec<f64> = (0..gpu.n_owned()).map(|i| (i as f64 * 0.01).sin()).collect();
+            let x: Vec<f64> = (0..gpu.n_owned())
+                .map(|i| (i as f64 * 0.01).sin())
+                .collect();
             let mut y = vec![0.0; gpu.n_owned()];
             gpu.sim_mut().clear_events();
             gpu.matvec(comm, &x, &mut y);

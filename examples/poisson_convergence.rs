@@ -18,7 +18,10 @@ use hymv::prelude::*;
 
 fn main() {
     println!("Poisson verification (paper §V-B): u = sin(2πx)sin(2πy)sin(2πz)/(12π²)\n");
-    println!("{:>10} {:>12} {:>14} {:>8}", "mesh", "DoFs", "‖u−u*‖∞", "rate");
+    println!(
+        "{:>10} {:>12} {:>14} {:>8}",
+        "mesh", "DoFs", "‖u−u*‖∞", "rate"
+    );
 
     let mut prev_err: Option<f64> = None;
     for n in [10usize, 20, 40] {

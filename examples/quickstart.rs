@@ -76,7 +76,11 @@ fn main() {
         let (u, _) = sys.solve(comm, PrecondKind::Jacobi, 1e-8, 5000);
         u
     });
-    let field = hymv::mesh::vtk::PointField { name: "u", values: &out[0], components: 1 };
+    let field = hymv::mesh::vtk::PointField {
+        name: "u",
+        values: &out[0],
+        components: 1,
+    };
     if hymv::mesh::vtk::write_vtk(&mesh, &[field], "target/quickstart_solution.vtk").is_ok() {
         println!("solution written to target/quickstart_solution.vtk (open in ParaView)");
     }

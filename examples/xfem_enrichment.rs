@@ -13,7 +13,6 @@
 //! cargo run --release --example xfem_enrichment
 //! ```
 
-
 use hymv::core::assembled::AssembledOperator;
 use hymv::core::operator::HymvOperator;
 use hymv::prelude::*;
@@ -41,7 +40,8 @@ fn main() {
 
     let out = Universe::run(p, |comm| {
         let part = &pm.parts[comm.rank()];
-        let kernel = ElasticityKernel::new(ElementType::Hex8, bar.young, bar.poisson, bar.body_force());
+        let kernel =
+            ElasticityKernel::new(ElementType::Hex8, bar.young, bar.poisson, bar.body_force());
         // Softened operator for cracked elements: 100x lower stiffness.
         let soft = ElasticityKernel::new(
             ElementType::Hex8,

@@ -15,6 +15,7 @@
 //! | [`la`]   | `hymv-la`   | SIMD EMV kernels, CSR, distributed CSR, CG, preconditioners |
 //! | [`core`] | `hymv-core` | the HYMV operator (Algorithms 1–2), matrix-free and assembled baselines, `FemSystem` driver |
 //! | [`gpu`]  | `hymv-gpu`  | simulated GPU backend (Algorithm 3, overlap schemes, cuSPARSE baseline) |
+//! | [`check`] | `hymv-check` | protocol auditor, schedule-perturbation race detector, map/DA invariant pass |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@
 //! assert!(errs[0] < 3e-3);
 //! ```
 
+pub use hymv_check as check;
 pub use hymv_comm as comm;
 pub use hymv_core as core;
 pub use hymv_fem as fem;
@@ -58,7 +60,10 @@ pub use hymv_mesh as mesh;
 
 /// The commonly-used names in one import.
 pub mod prelude {
-    pub use hymv_comm::{CommStats, CostModel, Payload, Universe};
+    pub use hymv_check::{check_exchange, check_maps, check_partition, run_audited, run_perturbed};
+    pub use hymv_comm::{
+        AuditMode, AuditReport, CommStats, CostModel, Payload, RunConfig, Universe,
+    };
     pub use hymv_core::system::{BuildOptions, FemSystem, Method, PrecondKind, SolverKind};
     pub use hymv_core::{
         AssembledOperator, DistArray, GhostExchange, HymvMaps, HymvOperator, MatFreeOperator,

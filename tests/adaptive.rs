@@ -52,7 +52,10 @@ fn local_update_equals_full_rebuild() {
     let ok = Universe::run(p, |comm| {
         let part = &pm.parts[comm.rank()];
         let base: Arc<dyn ElementKernel> = Arc::new(PoissonKernel::new(ElementType::Tet4));
-        let soft = Scaled { inner: Arc::clone(&base), factor: 0.01 };
+        let soft = Scaled {
+            inner: Arc::clone(&base),
+            factor: 0.01,
+        };
 
         // Operator A: setup with base, then update a subset in place.
         let (mut a, _) = HymvOperator::setup(comm, part, &*base);
@@ -72,7 +75,9 @@ fn local_update_equals_full_rebuild() {
             }
         }
 
-        let x: Vec<f64> = (0..a.n_owned()).map(|i| ((i * 5 % 13) as f64) - 6.0).collect();
+        let x: Vec<f64> = (0..a.n_owned())
+            .map(|i| ((i * 5 % 13) as f64) - 6.0)
+            .collect();
         let mut ya = vec![0.0; a.n_owned()];
         let mut yb = vec![0.0; b.n_owned()];
         a.matvec(comm, &x, &mut ya);

@@ -101,8 +101,13 @@ fn elastic_bar_hex20_exact_to_solver_precision() {
             bar.poisson,
             bar.body_force(),
         ));
-        let mut sys =
-            FemSystem::build(comm, part, kernel, &bar.dirichlet(), BuildOptions::new(Method::Hymv));
+        let mut sys = FemSystem::build(
+            comm,
+            part,
+            kernel,
+            &bar.dirichlet(),
+            BuildOptions::new(Method::Hymv),
+        );
         let (u, res) = sys.solve(comm, PrecondKind::Jacobi, 1e-13, 50_000);
         assert!(res.converged);
         sys.inf_error(comm, &u, |x| bar.exact(x).to_vec())
@@ -146,7 +151,7 @@ fn elastic_bar_hex8_converges() {
 
 #[test]
 fn gpu_solve_matches_cpu_solve() {
-    use hymv_bench::{run_gpu_solve, run_solve, poisson_case, GpuConfig, GpuMethod};
+    use hymv_bench::{poisson_case, run_gpu_solve, run_solve, GpuConfig, GpuMethod};
     let mesh = StructuredHexMesh::unit(6, ElementType::Hex8).build();
     let case = poisson_case("gpu-vs-cpu", mesh);
     let exact: Arc<dyn Fn([f64; 3]) -> Vec<f64> + Send + Sync> =

@@ -29,8 +29,9 @@ fn check_equivalence(
                 );
                 let n = sys.n_owned();
                 let lo = part.node_range.0 as usize * ndof;
-                let x: Vec<f64> =
-                    (0..n).map(|i| (((lo + i) * 31 % 101) as f64) * 0.02 - 1.0).collect();
+                let x: Vec<f64> = (0..n)
+                    .map(|i| (((lo + i) * 31 % 101) as f64) * 0.02 - 1.0)
+                    .collect();
                 let mut y = vec![0.0; n];
                 sys.op.apply(comm, &x, &mut y);
                 y
@@ -52,7 +53,11 @@ fn check_equivalence(
 #[test]
 fn poisson_hex8_all_partitioners() {
     let mesh = StructuredHexMesh::unit(5, ElementType::Hex8).build();
-    for method in [PartitionMethod::Slabs, PartitionMethod::Rcb, PartitionMethod::GreedyGraph] {
+    for method in [
+        PartitionMethod::Slabs,
+        PartitionMethod::Rcb,
+        PartitionMethod::GreedyGraph,
+    ] {
         check_equivalence(
             &mesh,
             &|| Arc::new(PoissonKernel::new(ElementType::Hex8)),
@@ -66,7 +71,12 @@ fn poisson_hex8_all_partitioners() {
 fn poisson_hex20_and_hex27() {
     for et in [ElementType::Hex20, ElementType::Hex27] {
         let mesh = StructuredHexMesh::unit(3, et).build();
-        check_equivalence(&mesh, &move || Arc::new(PoissonKernel::new(et)), 2, PartitionMethod::Rcb);
+        check_equivalence(
+            &mesh,
+            &move || Arc::new(PoissonKernel::new(et)),
+            2,
+            PartitionMethod::Rcb,
+        );
     }
 }
 
@@ -109,21 +119,20 @@ fn gpu_backends_match_cpu() {
         let part = &pm.parts[comm.rank()];
         let kernel = ElasticityKernel::new(ElementType::Hex8, 100.0, 0.25, [0.0, 0.0, -1.0]);
         let (mut cpu, _) = hymv::core::HymvOperator::setup(comm, part, &kernel);
-        let x: Vec<f64> = (0..cpu.n_owned()).map(|i| (i as f64 * 0.13).sin()).collect();
+        let x: Vec<f64> = (0..cpu.n_owned())
+            .map(|i| (i as f64 * 0.13).sin())
+            .collect();
         let mut y_ref = vec![0.0; cpu.n_owned()];
         cpu.matvec(comm, &x, &mut y_ref);
 
         let mut all_match = true;
-        for scheme in [GpuScheme::Blocking, GpuScheme::OverlapCpu, GpuScheme::OverlapGpu] {
-            let (mut gpu, _) = HymvGpuOperator::setup(
-                comm,
-                part,
-                &kernel,
-                GpuModel::default(),
-                4,
-                scheme,
-                2,
-            );
+        for scheme in [
+            GpuScheme::Blocking,
+            GpuScheme::OverlapCpu,
+            GpuScheme::OverlapGpu,
+        ] {
+            let (mut gpu, _) =
+                HymvGpuOperator::setup(comm, part, &kernel, GpuModel::default(), 4, scheme, 2);
             let mut y = vec![0.0; gpu.n_owned()];
             gpu.matvec(comm, &x, &mut y);
             all_match &= y.iter().zip(&y_ref).all(|(a, b)| (a - b).abs() < 1e-11);

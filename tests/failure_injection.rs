@@ -79,7 +79,13 @@ fn mismatched_dirichlet_spec_rejected() {
     let _ = Universe::run(1, |comm| {
         let kernel = Arc::new(PoissonKernel::new(ElementType::Hex8)); // ndof = 1
         let spec = DirichletSpec::none(3); // ndof = 3 — wrong
-        let _ = FemSystem::build(comm, &pm.parts[0], kernel, &spec, BuildOptions::new(Method::Hymv));
+        let _ = FemSystem::build(
+            comm,
+            &pm.parts[0],
+            kernel,
+            &spec,
+            BuildOptions::new(Method::Hymv),
+        );
     });
 }
 

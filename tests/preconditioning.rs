@@ -21,8 +21,7 @@ fn iterations(mesh: &GlobalMesh, p: usize, method: Method, precond: PrecondKind)
         let kernel = Arc::new(PoissonKernel::with_body(et, PoissonProblem::body()));
         let mut opts = BuildOptions::new(method);
         opts.want_block_jacobi = precond == PrecondKind::BlockJacobi;
-        let mut sys =
-            FemSystem::build(comm, part, kernel, &PoissonProblem::dirichlet(), opts);
+        let mut sys = FemSystem::build(comm, part, kernel, &PoissonProblem::dirichlet(), opts);
         let (u, res) = sys.solve(comm, precond, 1e-10, 50_000);
         assert!(res.converged, "{method:?}/{precond:?}: {res:?}");
         let err = sys.inf_error(comm, &u, |x| vec![PoissonProblem::exact(x)]);
@@ -72,7 +71,10 @@ fn block_jacobi_single_rank_is_ilu0_of_full_matrix() {
     let mesh = jittered_poisson_mesh(6);
     let (jac, _) = iterations(&mesh, 1, Method::Hymv, PrecondKind::Jacobi);
     let (blk, _) = iterations(&mesh, 1, Method::Hymv, PrecondKind::BlockJacobi);
-    assert!(blk * 2 < jac, "ILU(0) {blk} should be far below Jacobi {jac}");
+    assert!(
+        blk * 2 < jac,
+        "ILU(0) {blk} should be far below Jacobi {jac}"
+    );
 }
 
 #[test]
@@ -82,7 +84,10 @@ fn more_ranks_weaken_block_jacobi() {
     let mesh = jittered_poisson_mesh(7);
     let (p1, _) = iterations(&mesh, 1, Method::Hymv, PrecondKind::BlockJacobi);
     let (p4, _) = iterations(&mesh, 4, Method::Hymv, PrecondKind::BlockJacobi);
-    assert!(p4 >= p1, "p=4 iterations {p4} must be >= p=1 iterations {p1}");
+    assert!(
+        p4 >= p1,
+        "p=4 iterations {p4} must be >= p=1 iterations {p1}"
+    );
 }
 
 #[test]

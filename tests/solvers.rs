@@ -27,10 +27,14 @@ fn pipelined_cg_equals_cg_through_fem_system() {
             &PoissonProblem::dirichlet(),
             BuildOptions::new(Method::Hymv),
         );
-        let (x_cg, r_cg) =
-            sys.solve_with(comm, SolverKind::Cg, PrecondKind::Jacobi, 1e-11, 50_000);
-        let (x_p, r_p) =
-            sys.solve_with(comm, SolverKind::PipelinedCg, PrecondKind::Jacobi, 1e-11, 50_000);
+        let (x_cg, r_cg) = sys.solve_with(comm, SolverKind::Cg, PrecondKind::Jacobi, 1e-11, 50_000);
+        let (x_p, r_p) = sys.solve_with(
+            comm,
+            SolverKind::PipelinedCg,
+            PrecondKind::Jacobi,
+            1e-11,
+            50_000,
+        );
         assert!(r_cg.converged && r_p.converged, "{r_cg:?} {r_p:?}");
         let d = x_cg
             .iter()
@@ -62,8 +66,13 @@ fn pipelined_cg_all_methods_same_iterations() {
                 &PoissonProblem::dirichlet(),
                 BuildOptions::new(method),
             );
-            let (_, res) =
-                sys.solve_with(comm, SolverKind::PipelinedCg, PrecondKind::Jacobi, 1e-9, 50_000);
+            let (_, res) = sys.solve_with(
+                comm,
+                SolverKind::PipelinedCg,
+                PrecondKind::Jacobi,
+                1e-9,
+                50_000,
+            );
             assert!(res.converged);
             res.iterations
         });
@@ -75,9 +84,7 @@ fn pipelined_cg_all_methods_same_iterations() {
 
 #[test]
 fn gpu_resident_cg_through_full_stack() {
-    use hymv::core::assemble::{
-        assemble_rhs, jacobi_diagonal, owned_node_coords,
-    };
+    use hymv::core::assemble::{assemble_rhs, jacobi_diagonal, owned_node_coords};
     use hymv::core::dirichlet_op::{owned_constraints, DirichletOp};
     use hymv::fem::dirichlet::constrained_dofs;
 
@@ -123,9 +130,8 @@ fn gpu_resident_cg_through_full_stack() {
         );
         assert!(res.converged, "{res:?}");
         let coords = owned_node_coords(&maps, part);
-        let err = hymv::fem::analytic::inf_error(&coords, &x, 1, |p| {
-            vec![PoissonProblem::exact(p)]
-        });
+        let err =
+            hymv::fem::analytic::inf_error(&coords, &x, 1, |p| vec![PoissonProblem::exact(p)]);
         comm.allreduce_max_f64(err)
     });
     assert!(out[0] < 5e-3, "solution error {}", out[0]);
@@ -148,8 +154,13 @@ fn pipelined_cg_elasticity_with_block_jacobi() {
         let mut opts = BuildOptions::new(Method::Hymv);
         opts.want_block_jacobi = true;
         let mut sys = FemSystem::build(comm, part, kernel, &bar.dirichlet(), opts);
-        let (u, res) =
-            sys.solve_with(comm, SolverKind::PipelinedCg, PrecondKind::BlockJacobi, 1e-10, 50_000);
+        let (u, res) = sys.solve_with(
+            comm,
+            SolverKind::PipelinedCg,
+            PrecondKind::BlockJacobi,
+            1e-10,
+            50_000,
+        );
         assert!(res.converged);
         sys.inf_error(comm, &u, |x| bar.exact(x).to_vec())
     });

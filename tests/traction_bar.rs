@@ -18,7 +18,12 @@ fn solve_traction_bar(et: ElementType, n: usize, p: usize, method: Method) -> (f
     let pm = partition_mesh(&mesh, p, PartitionMethod::Slabs);
     let out = Universe::run(p, |comm| {
         let part = &pm.parts[comm.rank()];
-        let kernel = Arc::new(ElasticityKernel::new(et, bar.young, bar.poisson, bar.body_force()));
+        let kernel = Arc::new(ElasticityKernel::new(
+            et,
+            bar.young,
+            bar.poisson,
+            bar.body_force(),
+        ));
         let mut opts = BuildOptions::new(method);
         opts.traction = Some(bar.traction());
         let mut sys = FemSystem::build(comm, part, kernel, &bar.pin_points(), opts);
@@ -45,7 +50,10 @@ fn pin_points_constrain_exactly_three_nodes() {
 fn hex20_traction_bar_is_exact() {
     let (err, converged) = solve_traction_bar(ElementType::Hex20, 4, 2, Method::Hymv);
     assert!(converged);
-    assert!(err < 1e-7, "quadratic elements must capture the field exactly: err {err}");
+    assert!(
+        err < 1e-7,
+        "quadratic elements must capture the field exactly: err {err}"
+    );
 }
 
 #[test]
@@ -60,7 +68,10 @@ fn hex8_traction_bar_converges() {
     let (e1, c1) = solve_traction_bar(ElementType::Hex8, 4, 2, Method::Hymv);
     let (e2, c2) = solve_traction_bar(ElementType::Hex8, 8, 2, Method::Hymv);
     assert!(c1 && c2);
-    assert!(e2 < e1 / 1.5, "refinement must reduce the error: {e1} → {e2}");
+    assert!(
+        e2 < e1 / 1.5,
+        "refinement must reduce the error: {e1} → {e2}"
+    );
 }
 
 #[test]
@@ -74,17 +85,25 @@ fn traction_variant_matches_dirichlet_variant() {
     let pm = partition_mesh(&mesh, 2, PartitionMethod::Slabs);
     let out = Universe::run(2, |comm| {
         let part = &pm.parts[comm.rank()];
-        let kernel: Arc<dyn ElementKernel> =
-            Arc::new(ElasticityKernel::new(et, bar.young, bar.poisson, bar.body_force()));
+        let kernel: Arc<dyn ElementKernel> = Arc::new(ElasticityKernel::new(
+            et,
+            bar.young,
+            bar.poisson,
+            bar.body_force(),
+        ));
 
         let mut opts = BuildOptions::new(Method::Hymv);
         opts.traction = Some(bar.traction());
-        let mut sys_t =
-            FemSystem::build(comm, part, Arc::clone(&kernel), &bar.pin_points(), opts);
+        let mut sys_t = FemSystem::build(comm, part, Arc::clone(&kernel), &bar.pin_points(), opts);
         let (ut, rt) = sys_t.solve(comm, PrecondKind::Jacobi, 1e-13, 100_000);
 
-        let mut sys_d =
-            FemSystem::build(comm, part, kernel, &bar.dirichlet(), BuildOptions::new(Method::Hymv));
+        let mut sys_d = FemSystem::build(
+            comm,
+            part,
+            kernel,
+            &bar.dirichlet(),
+            BuildOptions::new(Method::Hymv),
+        );
         let (ud, rd) = sys_d.solve(comm, PrecondKind::Jacobi, 1e-13, 100_000);
 
         assert!(rt.converged && rd.converged);

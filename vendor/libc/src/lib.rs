@@ -1,0 +1,43 @@
+//! Offline stand-in for the `libc` crate: exactly the bindings
+//! `hymv_comm::thread_cpu_time` uses (`clock_gettime` with
+//! `CLOCK_THREAD_CPUTIME_ID`), declared with the same names and shapes as
+//! the real crate so the two are interchangeable.
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type time_t = i64;
+pub type clockid_t = c_int;
+
+/// Linux `CLOCK_THREAD_CPUTIME_ID`.
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+extern "C" {
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_clock_readable() {
+        let mut ts = timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: `ts` is a valid writable timespec; the clock id is a
+        // Linux constant; the pointer is not retained.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        assert_eq!(rc, 0);
+        assert!(ts.tv_sec >= 0 && ts.tv_nsec >= 0);
+    }
+}

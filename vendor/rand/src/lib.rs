@@ -1,0 +1,184 @@
+//! Offline stand-in for `rand` 0.8: `StdRng::seed_from_u64` plus
+//! `Rng::gen_range` / `Rng::gen` over the primitive types the workspace
+//! draws. The generator is SplitMix64 — statistically fine for test-data
+//! and mesh-jitter purposes; it is **not** the real crate's ChaCha12, so
+//! seeded streams differ from upstream `rand` (nothing in-tree depends on
+//! the exact stream, only on determinism per seed).
+
+use std::ops::Range;
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step: mixes `state + golden gamma` into an output word.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Named generators (`StdRng` only).
+
+    /// The workspace's standard seeded generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One warm-up mix so nearby seeds diverge immediately.
+            let mut state = seed ^ 0x6A09_E667_F3BC_C909;
+            super::splitmix64(&mut state);
+            StdRng { state }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            super::splitmix64(&mut self.state)
+        }
+    }
+}
+
+/// Types drawable uniformly from a `Range`.
+pub trait SampleUniform: Sized {
+    /// Draws from `[range.start, range.end)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        f64::sample_range(rng, range.start as f64..range.end as f64) as f32
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range called with empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo bias is ≤ span/2^64 — immaterial for test data.
+                let off = (rng.next_u64() as u128) % span;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types drawable from the "standard" distribution (`Rng::gen`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// High-level drawing interface, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Uniform draw from `[start, end)`.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Standard-distribution draw.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool called with p outside [0, 1]"
+        );
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same = (0..10).all(|_| a.gen_range(0u64..1000) == c.gen_range(0u64..1000));
+        assert!(!same, "distinct seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-0.25f64..0.25);
+            assert!((-0.25..0.25).contains(&x));
+            let n = rng.gen_range(3usize..7);
+            assert!((3..7).contains(&n));
+        }
+        let b: bool = rng.gen();
+        let _ = b;
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for `rayon`: the parallel-iterator API subset used by
+//! the elemental loops, executed **sequentially** on the calling thread.
+//!
+//! This matches the production configuration on the reproduction host: the
+//! per-rank pools are built with `num_threads(1).use_current_thread()`, so
+//! real rayon degenerates to exactly this behaviour (see
+//! `hymv_core::hybrid`); multi-thread speedup is modeled by the
+//! virtual-time ledger, not measured. Code written against this shim stays
+//! valid, data-race-free rayon code.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator
+/// providing the rayon combinators the workspace calls.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// `ParallelIterator::for_each`.
+    pub fn for_each(self, mut f: impl FnMut(I::Item)) {
+        for x in self.inner {
+            f(x);
+        }
+    }
+
+    /// `ParallelIterator::for_each_init`: one init value per worker — a
+    /// single worker here, so `init` runs once.
+    pub fn for_each_init<T>(self, mut init: impl FnMut() -> T, mut f: impl FnMut(&mut T, I::Item)) {
+        let mut state = init();
+        for x in self.inner {
+            f(&mut state, x);
+        }
+    }
+
+    /// `ParallelIterator::map`.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// `ParallelIterator::collect`.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// `ParallelIterator::sum`.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+}
+
+/// `rayon::iter::IntoParallelRefIterator` stand-in (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowing "parallel" iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// `rayon::slice::ParallelSlice` stand-in (`.par_chunks()`).
+pub trait ParallelSlice<T> {
+    /// Chunked "parallel" iterator.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter {
+            inner: self.chunks(chunk_size),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The rayon prelude: the traits that add `par_*` methods.
+    pub use crate::{IntoParallelRefIterator, ParallelSlice};
+}
+
+/// Number of worker threads in the current pool (always 1 here).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// A sequential "thread pool".
+#[derive(Debug)]
+pub struct ThreadPool;
+
+impl ThreadPool {
+    /// Runs `f` in the pool — on the calling thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder;
+
+impl ThreadPoolBuilder {
+    /// New builder.
+    pub fn new() -> Self {
+        ThreadPoolBuilder
+    }
+
+    /// Requested worker count (ignored: always one).
+    pub fn num_threads(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Use the calling thread as a worker (the only mode provided).
+    pub fn use_current_thread(self) -> Self {
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_combinators() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let mut acc = 0;
+        v.par_iter().for_each(|&x| acc += x);
+        assert_eq!(acc, 10);
+
+        let mut inits = 0;
+        v.par_iter().for_each_init(
+            || {
+                inits += 1;
+                0
+            },
+            |state, &x| *state += x,
+        );
+        assert_eq!(inits, 1);
+    }
+
+    #[test]
+    fn par_chunks_cover() {
+        let v: Vec<usize> = (0..10).collect();
+        let sums: Vec<usize> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+
+    #[test]
+    fn pool_installs_on_caller() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .use_current_thread()
+            .build()
+            .expect("pool");
+        assert_eq!(pool.install(|| super::current_num_threads()), 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! Offline stand-in for `serde`: a JSON-only `Serialize` trait.
+//!
+//! The workspace serializes a handful of plain records (trace events,
+//! experiment tables) to JSON via `serde_json::to_string_pretty`. This
+//! shim collapses serde's data model to "write yourself into a JSON
+//! serializer", which the vendored `serde_derive` and `serde_json`
+//! implement against. Deserialization is provided only for
+//! `serde_json::Value` (in that crate).
+
+pub use serde_derive::Serialize;
+
+/// A type that can write itself as JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `s`.
+    fn serialize(&self, s: &mut JsonSerializer);
+}
+
+/// The JSON writer handed to [`Serialize`] implementations.
+#[derive(Debug)]
+pub struct JsonSerializer {
+    out: String,
+    pretty: bool,
+    indent: usize,
+    /// Per-container flag: whether an element/key was already emitted (for
+    /// comma placement). One entry per open container.
+    first_stack: Vec<bool>,
+}
+
+impl JsonSerializer {
+    /// A compact writer.
+    pub fn new() -> Self {
+        JsonSerializer {
+            out: String::new(),
+            pretty: false,
+            indent: 0,
+            first_stack: Vec::new(),
+        }
+    }
+
+    /// A pretty writer (2-space indentation, like `serde_json`).
+    pub fn pretty() -> Self {
+        JsonSerializer {
+            pretty: true,
+            ..Self::new()
+        }
+    }
+
+    /// The accumulated JSON text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn before_element(&mut self) {
+        if let Some(first) = self.first_stack.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+            self.newline_indent();
+        }
+    }
+
+    fn open(&mut self, c: char) {
+        self.out.push(c);
+        self.indent += 1;
+        self.first_stack.push(true);
+    }
+
+    fn close(&mut self, c: char) {
+        self.indent -= 1;
+        let was_empty = self.first_stack.pop().unwrap_or(true);
+        if !was_empty {
+            self.newline_indent();
+        }
+        self.out.push(c);
+    }
+
+    /// Starts a JSON object (as a container element or a key's value).
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.open('{');
+    }
+
+    /// Emits an object key; the value's `serialize` call must follow.
+    pub fn object_key(&mut self, key: &str) {
+        self.before_element();
+        self.emit_quoted(key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Ends a JSON object.
+    pub fn end_object(&mut self) {
+        self.close('}');
+    }
+
+    /// Starts a JSON array (as a container element or a key's value).
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.open('[');
+    }
+
+    /// Ends a JSON array.
+    pub fn end_array(&mut self) {
+        self.close(']');
+    }
+
+    /// Emits a string scalar.
+    pub fn emit_str(&mut self, s: &str) {
+        self.string_scalar(s);
+    }
+
+    /// Emits a raw (already-JSON) scalar token.
+    pub fn emit_raw(&mut self, token: &str) {
+        self.scalar(token);
+    }
+
+    fn emit_quoted(&mut self, s: &str) {
+        self.out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+impl Default for JsonSerializer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// A quirk of the key/value split above: `object_key` must *not* leave the
+// following value emission to also run `before_element` (the comma was
+// already placed with the key). Values therefore check whether the writer
+// just emitted a key: the last output char is ':' or the pretty "': '".
+impl JsonSerializer {
+    fn value_pending(&self) -> bool {
+        let t = self.out.trim_end_matches(' ');
+        t.ends_with(':')
+    }
+
+    fn before_value(&mut self) {
+        if !self.value_pending() {
+            self.before_element();
+        }
+    }
+
+    /// Emits a scalar, comma-managed as an element unless it completes a
+    /// pending `key:`.
+    fn scalar(&mut self, token: &str) {
+        self.before_value();
+        self.out.push_str(token);
+    }
+
+    /// Emits a string scalar, comma-managed like [`Self::scalar`].
+    fn string_scalar(&mut self, s: &str) {
+        self.before_value();
+        self.emit_quoted(s);
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut JsonSerializer) {
+                s.scalar(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut JsonSerializer) {
+        s.scalar(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut JsonSerializer) {
+        if self.is_finite() {
+            s.scalar(&format!("{self}"));
+        } else {
+            // serde_json refuses non-finite floats; emit null like its
+            // lossy writers do.
+            s.scalar("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut JsonSerializer) {
+        (*self as f64).serialize(s);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut JsonSerializer) {
+        s.string_scalar(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut JsonSerializer) {
+        s.string_scalar(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut JsonSerializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut JsonSerializer) {
+        s.begin_array();
+        for x in self {
+            x.serialize(s);
+        }
+        s.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut JsonSerializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut JsonSerializer) {
+        match self {
+            Some(x) => x.serialize(s),
+            None => s.scalar("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_seqs() {
+        let mut s = JsonSerializer::new();
+        vec![1u32, 2, 3].serialize(&mut s);
+        assert_eq!(s.into_string(), "[1,2,3]");
+
+        let mut s = JsonSerializer::new();
+        "a\"b".serialize(&mut s);
+        assert_eq!(s.into_string(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn empty_array_pretty_is_compact() {
+        let mut s = JsonSerializer::pretty();
+        Vec::<u32>::new().serialize(&mut s);
+        assert_eq!(s.into_string(), "[]");
+    }
+
+    #[test]
+    fn manual_object() {
+        let mut s = JsonSerializer::new();
+        s.begin_object();
+        s.object_key("x");
+        1.5f64.serialize(&mut s);
+        s.object_key("y");
+        "z".serialize(&mut s);
+        s.end_object();
+        assert_eq!(s.into_string(), "{\"x\":1.5,\"y\":\"z\"}");
+    }
+}

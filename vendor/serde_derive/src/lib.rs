@@ -1,0 +1,166 @@
+//! Offline stand-in for `serde_derive`: a dependency-free
+//! `#[derive(Serialize)]` targeting the vendored JSON-only `serde` shim.
+//!
+//! Supported shapes — exactly what the workspace derives:
+//! * structs with named fields (including a single lifetime parameter),
+//!   serialized as a JSON object keyed by field name;
+//! * enums whose variants are all unit-like, serialized as the variant
+//!   name string (serde's default unit-variant representation).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => panic!("derive(Serialize): expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Capture raw generics (`<...>`) verbatim; the derived types use at
+    // most a plain lifetime parameter, so reusing the list for both the
+    // impl generics and the type suffix is sound.
+    let mut generics = String::new();
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        loop {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            generics.push_str(&tokens[i].to_string());
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+
+    let body = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                panic!("derive(Serialize): unit/tuple structs are not supported")
+            }
+            _ => i += 1, // where-clauses etc. (not present in-tree)
+        }
+    };
+
+    let serialize_body = if kind == "struct" {
+        let fields = named_fields(body);
+        let mut code = String::from("__s.begin_object();\n");
+        for f in &fields {
+            code.push_str(&format!(
+                "__s.object_key({f:?});\nserde::Serialize::serialize(&self.{f}, __s);\n"
+            ));
+        }
+        code.push_str("__s.end_object();");
+        code
+    } else {
+        let variants = unit_variants(body);
+        let arms: String = variants
+            .iter()
+            .map(|v| format!("{name}::{v} => __s.emit_str({v:?}),\n"))
+            .collect();
+        format!("match *self {{\n{arms}}}")
+    };
+
+    format!(
+        "impl{generics} serde::Serialize for {name}{generics} {{\n\
+         fn serialize(&self, __s: &mut serde::JsonSerializer) {{\n{serialize_body}\n}}\n}}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl parses")
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + bracket group
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` etc: a parenthesized group follows.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        // First ident of the field is its name.
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("derive(Serialize): expected field name, found {other}"),
+        }
+        // Skip to the comma separating fields, tracking `<...>` depth so
+        // commas inside generic types don't split fields.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn unit_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            other => panic!("derive(Serialize): expected variant name, found {other}"),
+        }
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => {
+                panic!("derive(Serialize): only unit enum variants are supported, found {other}")
+            }
+        }
+    }
+    variants
+}
