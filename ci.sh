@@ -16,4 +16,11 @@ cargo test --workspace -q
 echo "== hymv-check analysis passes"
 cargo run -q -p hymv-check --bin hymv-check -- --n 4 --p 4 --method rcb --seeds 8
 
+echo "== hymv-check batched-path determinism (B=8)"
+cargo run -q -p hymv-check --bin hymv-check -- --n 4 --p 4 --method rcb --seeds 8 --batch 8
+
+echo "== emv_batch bench smoke"
+HYMV_BENCH_SMOKE=1 cargo bench -q -p hymv-bench --bench emv_batch
+cargo run -q --release -p hymv-bench --bin bench_emv_batch -- --smoke
+
 echo "CI green"

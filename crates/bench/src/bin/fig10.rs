@@ -67,16 +67,26 @@ fn main() {
 
     // CARM-style byte accounting (all executed loads/stores, 8 B each
     // unless noted):
-    // * HYMV EMV: per element, load Ke (nd²) + the columnwise axpy's
-    //   load-ve/store-ve pair per column (2·nd²) + extract/accumulate
-    //   (≈4·nd) → ≈ 8·(3nd² + 4nd) bytes for 2nd² flops.
+    // * HYMV batched EMV (the default path): per lane, the i-outer
+    //   register-accumulated kernel loads keb once (nd²) and ue per (i,j)
+    //   pair (nd²) with ve stored once per row (nd) — no per-column
+    //   load-ve/store-ve RMW; panel gather (2·nd) + scatter (3·nd) plus
+    //   the u32 gather-table reads on both (2·nd × 4 B)
+    //   → ≈ 8·(2nd² + 6nd) + 8·nd bytes for 2nd² flops.
+    // * HYMV per-element EMV (HYMV_EMV_BATCH=1): load Ke (nd²) + the
+    //   columnwise axpy's load-ve/store-ve pair per column (2·nd²) +
+    //   extract/accumulate (≈4·nd) → ≈ 8·(3nd² + 4nd) bytes.
     // * assembled CSR: per nonzero, value (8 B) + column index (4 B) +
     //   x gather (8 B); per row, y store → ≈ 20·nnz bytes for 2·nnz flops.
     // * matrix-free: the quadrature loops execute ≈1.5 memory ops per
     //   flop (shape-gradient loads, Jacobian accumulation) on top of the
     //   EMV traffic → ≈ 12·ke_flops + EMV bytes.
     let hymv_flops = ne * 2.0 * nd * nd;
-    let hymv_bytes = ne * 8.0 * (3.0 * nd * nd + 4.0 * nd);
+    let hymv_bytes = if hymv_core::batch_width_from_env() > 1 {
+        ne * (8.0 * (2.0 * nd * nd + 6.0 * nd) + 8.0 * nd)
+    } else {
+        ne * 8.0 * (3.0 * nd * nd + 4.0 * nd)
+    };
     let asm_flops = 2.0 * nnz_estimate;
     let asm_bytes = 20.0 * nnz_estimate;
     let mf_flops = ne * (ke_flops + 2.0 * nd * nd);

@@ -3,7 +3,7 @@
 //! ```text
 //! hymv-check [--n N] [--p P] [--elem hex8|hex20|hex27|tet4|tet10]
 //!            [--method slabs|rcb|greedy] [--seeds K|s1,s2,...]
-//!            [--mode serial|colored|chunk]
+//!            [--mode serial|colored|chunk] [--batch B]
 //! ```
 //!
 //! Builds an `N³`-element structured mesh, partitions it over `P` ranks,
@@ -26,13 +26,15 @@ struct Options {
     method: PartitionMethod,
     seeds: Vec<u64>,
     mode: ParallelMode,
+    /// EMV batch width to pin (`None` keeps the `HYMV_EMV_BATCH` default).
+    batch: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hymv-check [--n N] [--p P] [--elem hex8|hex20|hex27|tet4|tet10]\n\
          \x20                 [--method slabs|rcb|greedy] [--seeds K|s1,s2,...]\n\
-         \x20                 [--mode serial|colored|chunk]"
+         \x20                 [--mode serial|colored|chunk] [--batch B]"
     );
     ExitCode::from(2)
 }
@@ -45,6 +47,7 @@ fn parse_args() -> Result<Options, String> {
         method: PartitionMethod::Slabs,
         seeds: seeds_from_env(8),
         mode: ParallelMode::Colored { threads: 4 },
+        batch: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -71,6 +74,7 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--seeds" => opts.seeds = parse_seeds(Some(&val()?), 8),
+            "--batch" => opts.batch = Some(val()?.parse().map_err(|e| format!("--batch: {e}"))?),
             "--mode" => {
                 opts.mode = match val()?.as_str() {
                     "serial" => ParallelMode::Serial,
@@ -88,6 +92,15 @@ fn parse_args() -> Result<Options, String> {
     if opts.seeds.is_empty() {
         return Err("--seeds needs at least one seed".into());
     }
+    if opts
+        .batch
+        .is_some_and(|b| !(1..=hymv_la::MAX_BATCH_WIDTH).contains(&b))
+    {
+        return Err(format!(
+            "--batch must be in 1..={}",
+            hymv_la::MAX_BATCH_WIDTH
+        ));
+    }
     Ok(opts)
 }
 
@@ -101,8 +114,9 @@ fn main() -> ExitCode {
     };
 
     let n_seeds = opts.seeds.len();
+    let batch_desc = opts.batch.map_or_else(|| "env".into(), |b| b.to_string());
     println!(
-        "hymv-check: {}^3 {:?} mesh, {} ranks ({:?}), {} perturbation seed(s), {:?}",
+        "hymv-check: {}^3 {:?} mesh, {} ranks ({:?}), {} perturbation seed(s), {:?}, batch={batch_desc}",
         opts.n, opts.elem, opts.p, opts.method, n_seeds, opts.mode
     );
     let mesh = match opts.elem {
@@ -136,8 +150,9 @@ fn main() -> ExitCode {
     let pm_ref = &pm;
     let seeds = opts.seeds;
     let mode = opts.mode;
+    let batch = opts.batch;
     let outcome = std::panic::catch_unwind(move || {
-        hymv_check::certify_spmv_determinism(pm_ref, mode, &seeds)
+        hymv_check::certify_spmv_determinism_with(pm_ref, mode, batch, &seeds)
     });
     match outcome {
         Ok(_) => println!("ok ({n_seeds} seeds, bitwise identical)"),

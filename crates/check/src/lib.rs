@@ -55,11 +55,27 @@ pub fn certify_spmv_determinism(
     mode: ParallelMode,
     seeds: &[u64],
 ) -> Vec<Vec<f64>> {
+    certify_spmv_determinism_with(pm, mode, None, seeds)
+}
+
+/// [`certify_spmv_determinism`] with an explicit EMV batch width:
+/// `Some(b)` pins the blocked engine to `b` lanes (`1` = the per-element
+/// path) independent of `HYMV_EMV_BATCH`; `None` keeps the environment
+/// default.
+pub fn certify_spmv_determinism_with(
+    pm: &PartitionedMesh,
+    mode: ParallelMode,
+    batch: Option<usize>,
+    seeds: &[u64],
+) -> Vec<Vec<f64>> {
     let p = pm.n_parts();
     let kernel = Arc::new(PoissonKernel::new(pm.parts[0].elem_type));
     run_perturbed(p, seeds, move |comm| {
         let part = &pm.parts[comm.rank()];
         let (mut op, _) = HymvOperator::setup(comm, part, kernel.as_ref());
+        if let Some(b) = batch {
+            op.set_batch_width(b);
+        }
         op.set_parallel_mode(mode);
         let n = op.maps().n_owned() * op.ndof();
         // A deterministic, rank-independent input: x(g) spans magnitudes so
@@ -101,5 +117,25 @@ mod tests {
         let pm = partition_mesh(&mesh, 3, PartitionMethod::GreedyGraph);
         let seeds: Vec<u64> = (1..=8).collect();
         certify_spmv_determinism(&pm, ParallelMode::Serial, &seeds);
+    }
+
+    /// The batched engine (tentpole) under the same bar: ≥ 8 seeds,
+    /// bitwise-identical results, ragged tails included (the 27-element
+    /// rank subsets don't divide by 8), and identical to the per-element
+    /// (`B = 1`) baseline within FMA reassociation tolerance.
+    #[test]
+    fn batched_spmv_bitwise_deterministic_across_8_seeds() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 4, PartitionMethod::GreedyGraph);
+        let seeds: Vec<u64> = (1..=8).collect();
+        for mode in [ParallelMode::Serial, ParallelMode::Colored { threads: 4 }] {
+            let batched = certify_spmv_determinism_with(&pm, mode, Some(8), &seeds);
+            let legacy = certify_spmv_determinism_with(&pm, mode, Some(1), &seeds);
+            for (yb, yl) in batched.iter().zip(&legacy) {
+                for (a, b) in yb.iter().zip(yl) {
+                    assert!((a - b).abs() < 1e-12, "batched vs per-element");
+                }
+            }
+        }
     }
 }

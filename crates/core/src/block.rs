@@ -1,0 +1,725 @@
+//! The batched element-block engine: `BlockPlan` and the blocked EMV
+//! loops that are HYMV's default CPU SPMV path.
+//!
+//! The per-element loop of [`crate::hybrid`] walks one element at a time —
+//! a gather, one `nd × nd` EMV, a scatter — so SIMD lanes are capped by
+//! `nd` and every element pays dispatch and map-lookup overhead. The block
+//! engine cuts each element subset (independent / dependent) into blocks
+//! of `bw` elements and evaluates `Ve = Ke_b · Ue` with the batched
+//! kernels of [`hymv_la::dense`], vectorizing **across the batch**:
+//!
+//! * element matrices are re-laid out batch-interleaved
+//!   (`keb[(j·nd+i)·bw + b]`), so each matrix entry position is a
+//!   unit-stride strip of `bw` lanes;
+//! * per-block gather/scatter index tables are flattened from `E2L` at
+//!   plan build time — the inner loop does zero map lookups;
+//! * blocks are ordered by a locality sort (min local-node index) so
+//!   consecutive blocks reuse cached stretches of `u`;
+//! * a ragged tail (`subset.len() % bw ≠ 0`) is padded with zeroed
+//!   matrices and gather index 0; the scatter is lane-bounded so padded
+//!   lanes never write (keeping results bitwise independent of padding).
+//!
+//! Blocks are also the parallel grain: coloring moves to block
+//! granularity and chunk-private chunks whole blocks.
+
+use rayon::prelude::*;
+
+use hymv_la::dense::{interleave_ke, EmvBatchKernel, MAX_BATCH_WIDTH};
+use hymv_la::ElementMatrixStore;
+
+use crate::da::DistArray;
+use crate::hybrid::{on_rank_pool, RacyTarget};
+use crate::maps::HymvMaps;
+
+/// Environment variable selecting the batch width (`B=1` recovers the
+/// per-element path; invalid values fall back to the default).
+pub const BATCH_ENV: &str = "HYMV_EMV_BATCH";
+
+/// Default batch width: one AVX-512 vector (two AVX2 vectors) of lanes —
+/// wide enough to amortize per-block overhead, small enough that the
+/// `nd × bw` panels of even Hex27 elasticity (nd = 81) stay L1-resident.
+pub const DEFAULT_BATCH_WIDTH: usize = 8;
+
+/// The batch width selected by `HYMV_EMV_BATCH` (clamped to
+/// `1..=MAX_BATCH_WIDTH`), or the default when unset/invalid.
+pub fn batch_width_from_env() -> usize {
+    match std::env::var(BATCH_ENV) {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(b) if b >= 1 => b.min(MAX_BATCH_WIDTH),
+            _ => DEFAULT_BATCH_WIDTH,
+        },
+        Err(_) => DEFAULT_BATCH_WIDTH,
+    }
+}
+
+/// One element subset (independent or dependent) cut into blocks of `bw`
+/// locality-sorted elements, with flattened gather/scatter tables and the
+/// batch-interleaved matrix slabs.
+#[derive(Debug, Clone)]
+pub struct BlockSet {
+    nd: usize,
+    bw: usize,
+    /// Live lanes per block (`< bw` only in the final, ragged block).
+    lens: Vec<u32>,
+    /// Element ids, `n_blocks × bw`; padded lanes hold `u32::MAX`.
+    elems: Vec<u32>,
+    /// Dof-level gather indices into the DA data, `n_blocks × nd × bw`
+    /// (`gidx[(k·nd + r)·bw + b]` = DA index of row `r`, lane `b` of block
+    /// `k`); padded lanes hold 0.
+    gidx: Vec<u32>,
+    /// Batch-interleaved element matrices, `n_blocks × nd² × bw`; padded
+    /// lanes are zero. Empty until [`BlockPlan::attach_store`] (the
+    /// matrix-free operator uses the tables with its own scratch slab).
+    keb: Vec<f64>,
+    /// Block ids `0..n_blocks` (the chunk-private loop's par-chunks base).
+    ids: Vec<u32>,
+}
+
+impl BlockSet {
+    fn build(maps: &HymvMaps, ndof: usize, bw: usize, subset: &[u32]) -> Self {
+        let nd = maps.npe * ndof;
+        // Locality sort: elements ordered by their minimum local node so
+        // consecutive blocks touch nearby stretches of u/v. Stable
+        // tie-break on element id keeps the order deterministic.
+        let mut order: Vec<u32> = subset.to_vec();
+        order.sort_by_key(|&e| {
+            let lo = maps
+                .elem_local_nodes(e as usize)
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(0);
+            (lo, e)
+        });
+
+        let n_blocks = order.len().div_ceil(bw);
+        let mut lens = vec![0u32; n_blocks];
+        let mut elems = vec![u32::MAX; n_blocks * bw];
+        let mut gidx = vec![0u32; n_blocks * nd * bw];
+        for (pos, &e) in order.iter().enumerate() {
+            let (k, b) = (pos / bw, pos % bw);
+            lens[k] += 1;
+            elems[k * bw + b] = e;
+            let nodes = maps.elem_local_nodes(e as usize);
+            for (m, &l) in nodes.iter().enumerate() {
+                for c in 0..ndof {
+                    gidx[(k * nd + m * ndof + c) * bw + b] = l * ndof as u32 + c as u32;
+                }
+            }
+        }
+        BlockSet {
+            nd,
+            bw,
+            lens,
+            elems,
+            gidx,
+            keb: Vec::new(),
+            ids: (0..n_blocks as u32).collect(),
+        }
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Live lanes of block `k`.
+    pub fn len(&self, k: usize) -> usize {
+        self.lens[k] as usize
+    }
+
+    /// True if the set has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.lens.is_empty()
+    }
+
+    /// Element ids of block `k` (`bw` entries; padded lanes = `u32::MAX`).
+    pub fn elems(&self, k: usize) -> &[u32] {
+        &self.elems[k * self.bw..(k + 1) * self.bw]
+    }
+
+    /// Doubles per panel (`nd × bw`).
+    pub fn panel_len(&self) -> usize {
+        self.nd * self.bw
+    }
+
+    /// Block `k`'s interleaved matrix slab (requires an attached store).
+    pub fn keb(&self, k: usize) -> &[f64] {
+        let sz = self.nd * self.nd * self.bw;
+        &self.keb[k * sz..(k + 1) * sz]
+    }
+
+    /// Gather block `k`'s input panel: `ue[i] = data[gidx[i]]`. Padded
+    /// lanes read slot 0 (a harmless in-bounds load; their matrix lanes
+    /// are zero).
+    #[inline]
+    pub fn gather(&self, k: usize, data: &[f64], ue: &mut [f64]) {
+        let pl = self.panel_len();
+        let gi = &self.gidx[k * pl..(k + 1) * pl];
+        debug_assert_eq!(ue.len(), pl);
+        for (u, &r) in ue.iter_mut().zip(gi) {
+            *u = data[r as usize];
+        }
+    }
+
+    /// Scatter block `k`'s output panel through `add(dof_index, value)`.
+    /// Lane-bounded: padded lanes are skipped, so padding never perturbs
+    /// the result (not even the sign of a zero).
+    #[inline]
+    pub fn scatter_with(&self, k: usize, ve: &[f64], mut add: impl FnMut(usize, f64)) {
+        let (bw, pl) = (self.bw, self.panel_len());
+        let gi = &self.gidx[k * pl..(k + 1) * pl];
+        debug_assert_eq!(ve.len(), pl);
+        let len = self.lens[k] as usize;
+        if len == bw {
+            for (&r, &v) in gi.iter().zip(ve) {
+                add(r as usize, v);
+            }
+        } else {
+            for row in 0..self.nd {
+                for b in 0..len {
+                    add(gi[row * bw + b] as usize, ve[row * bw + b]);
+                }
+            }
+        }
+    }
+
+    /// Greedy block coloring: no two blocks of a color share a dof.
+    /// `None` when more than 64 colors would be needed (callers fall back
+    /// to chunk-private accumulation).
+    fn try_color(&self, n_data: usize) -> Option<Vec<Vec<u32>>> {
+        let (bw, nd) = (self.bw, self.nd);
+        let mut mask = vec![0u64; n_data];
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for k in 0..self.n_blocks() {
+            let gi = &self.gidx[k * nd * bw..(k + 1) * nd * bw];
+            let len = self.lens[k] as usize;
+            let mut forbidden = 0u64;
+            for row in 0..nd {
+                for b in 0..len {
+                    forbidden |= mask[gi[row * bw + b] as usize];
+                }
+            }
+            let color = (!forbidden).trailing_zeros() as usize;
+            if color >= 64 {
+                return None;
+            }
+            if color == classes.len() {
+                classes.push(Vec::new());
+            }
+            classes[color].push(k as u32);
+            for row in 0..nd {
+                for b in 0..len {
+                    mask[gi[row * bw + b] as usize] |= 1 << color;
+                }
+            }
+        }
+        Some(classes)
+    }
+}
+
+/// The setup-time plan for the batched SPMV path: both element subsets
+/// blocked, plus the element → (set, block, lane) slot map the adaptive
+/// update path uses to refresh individual matrices in place.
+#[derive(Debug, Clone)]
+pub struct BlockPlan {
+    nd: usize,
+    bw: usize,
+    /// DA data length (`n_total × ndof`), for coloring masks.
+    n_data: usize,
+    indep: BlockSet,
+    dep: BlockSet,
+    /// Element id → (dependent?, block, lane).
+    slot: Vec<(bool, u32, u16)>,
+}
+
+impl BlockPlan {
+    /// Build the gather/scatter tables (matrix slabs stay empty until
+    /// [`Self::attach_store`]).
+    pub fn build(maps: &HymvMaps, ndof: usize, bw: usize) -> Self {
+        assert!(
+            (1..=MAX_BATCH_WIDTH).contains(&bw),
+            "batch width {bw} outside 1..={MAX_BATCH_WIDTH}"
+        );
+        let indep = BlockSet::build(maps, ndof, bw, &maps.independent);
+        let dep = BlockSet::build(maps, ndof, bw, &maps.dependent);
+        let mut slot = vec![(false, u32::MAX, 0u16); maps.n_elems];
+        for (dependent, set) in [(false, &indep), (true, &dep)] {
+            for k in 0..set.n_blocks() {
+                for (b, &e) in set.elems(k).iter().enumerate() {
+                    if e != u32::MAX {
+                        slot[e as usize] = (dependent, k as u32, b as u16);
+                    }
+                }
+            }
+        }
+        BlockPlan {
+            nd: maps.npe * ndof,
+            bw,
+            n_data: maps.n_total() * ndof,
+            indep,
+            dep,
+            slot,
+        }
+    }
+
+    /// Interleave every stored element matrix into its block slab
+    /// (allocates the slabs; padded lanes stay zero).
+    pub fn attach_store(&mut self, store: &ElementMatrixStore) {
+        assert_eq!(store.nd(), self.nd, "store/plan dimension mismatch");
+        let sz = self.nd * self.nd * self.bw;
+        for set in [&mut self.indep, &mut self.dep] {
+            set.keb = vec![0.0; set.n_blocks() * sz];
+        }
+        let elems: Vec<u32> = (0..self.slot.len() as u32).collect();
+        self.refresh(store, &elems);
+    }
+
+    /// Re-interleave the matrices of `elems` (the adaptive-update path:
+    /// after `ke_mut`/`update_elements` touched a few elements).
+    pub fn refresh(&mut self, store: &ElementMatrixStore, elems: &[u32]) {
+        let (nd, bw) = (self.nd, self.bw);
+        let sz = nd * nd * bw;
+        for &e in elems {
+            let (dependent, k, b) = self.slot[e as usize];
+            let set = if dependent {
+                &mut self.dep
+            } else {
+                &mut self.indep
+            };
+            let slab = &mut set.keb[k as usize * sz..(k as usize + 1) * sz];
+            interleave_ke(store.ke(e as usize), slab, nd, bw, b as usize);
+        }
+    }
+
+    /// Batch width `bw`.
+    pub fn batch_width(&self) -> usize {
+        self.bw
+    }
+
+    /// Element-matrix dimension `nd`.
+    pub fn nd(&self) -> usize {
+        self.nd
+    }
+
+    /// The blocked subset.
+    pub fn set(&self, dependent: bool) -> &BlockSet {
+        if dependent {
+            &self.dep
+        } else {
+            &self.indep
+        }
+    }
+
+    /// Total blocks across both sets.
+    pub fn n_blocks_total(&self) -> usize {
+        self.indep.n_blocks() + self.dep.n_blocks()
+    }
+
+    /// Total lanes (elements + tail padding) — the executed-FLOP count is
+    /// `n_lanes_total · 2nd²`.
+    pub fn n_lanes_total(&self) -> usize {
+        self.n_blocks_total() * self.bw
+    }
+
+    /// Bytes of the plan's own storage: interleaved matrix slabs (f64)
+    /// plus gather tables (u32).
+    pub fn bytes(&self) -> usize {
+        self.device_bytes()
+    }
+
+    /// Bytes uploaded to a device reusing the panel layout (matrix slabs +
+    /// gather tables).
+    pub fn device_bytes(&self) -> usize {
+        let mut total = 0;
+        for set in [&self.indep, &self.dep] {
+            total += set.keb.len() * 8 + set.gidx.len() * 4;
+        }
+        total
+    }
+
+    /// Block-granularity coloring of one subset; `None` if >64 colors.
+    pub fn color_blocks(&self, dependent: bool) -> Option<Vec<Vec<u32>>> {
+        self.set(dependent).try_color(self.n_data)
+    }
+
+    /// Serial blocked EMV loop over one subset. `ue`/`ve` are `nd × bw`
+    /// panel scratch.
+    pub fn run_serial(
+        &self,
+        dependent: bool,
+        u: &DistArray,
+        v: &mut DistArray,
+        kernel: EmvBatchKernel,
+        ue: &mut [f64],
+        ve: &mut [f64],
+    ) {
+        let set = self.set(dependent);
+        for k in 0..set.n_blocks() {
+            set.gather(k, &u.data, ue);
+            kernel(set.keb(k), ue, ve, self.nd, self.bw);
+            set.scatter_with(k, ve, |i, val| v.data[i] += val);
+        }
+    }
+
+    /// Colored parallel blocked loop: classes sequential, blocks within a
+    /// class parallel with direct shared writes (sound because same-color
+    /// blocks share no dof, and scatters are lane-bounded).
+    pub fn run_colored(
+        &self,
+        dependent: bool,
+        classes: &[Vec<u32>],
+        u: &DistArray,
+        v: &mut DistArray,
+        kernel: EmvBatchKernel,
+    ) {
+        let set = self.set(dependent);
+        let (nd, bw) = (self.nd, self.bw);
+        let target = RacyTarget::new(v.data.as_mut_ptr());
+        on_rank_pool(|| {
+            for class in classes {
+                class.par_iter().for_each_init(
+                    || (vec![0.0; nd * bw], vec![0.0; nd * bw]),
+                    |(ue, ve), &k| {
+                        let k = k as usize;
+                        set.gather(k, &u.data, ue);
+                        kernel(set.keb(k), ue, ve, nd, bw);
+                        set.scatter_with(k, ve, |i, val| {
+                            // SAFETY: dof sets are disjoint across the
+                            // blocks of one color class; classes run
+                            // sequentially.
+                            #[allow(unsafe_code)]
+                            unsafe {
+                                target.add(i, val);
+                            }
+                        });
+                    },
+                );
+            }
+        });
+    }
+
+    /// Chunk-private parallel blocked loop: workers own contiguous runs of
+    /// blocks and private accumulation buffers, reduced by summation.
+    pub fn run_chunk_private(
+        &self,
+        dependent: bool,
+        u: &DistArray,
+        v: &mut DistArray,
+        kernel: EmvBatchKernel,
+    ) {
+        let set = self.set(dependent);
+        let (nd, bw) = (self.nd, self.bw);
+        let len = v.data.len();
+        let partials: Vec<Vec<f64>> = on_rank_pool(|| {
+            let chunk = set.ids.len().div_ceil(rayon::current_num_threads()).max(1);
+            set.ids
+                .par_chunks(chunk)
+                .map(|blocks| {
+                    let mut buf = vec![0.0; len];
+                    let mut ue = vec![0.0; nd * bw];
+                    let mut ve = vec![0.0; nd * bw];
+                    for &k in blocks {
+                        let k = k as usize;
+                        set.gather(k, &u.data, &mut ue);
+                        kernel(set.keb(k), &ue, &mut ve, nd, bw);
+                        set.scatter_with(k, &ve, |i, val| buf[i] += val);
+                    }
+                    buf
+                })
+                .collect()
+        });
+        for buf in partials {
+            for (dst, src) in v.data.iter_mut().zip(&buf) {
+                *dst += src;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::emv_loop_serial;
+    use hymv_la::dense::select_batch_kernel;
+    use hymv_mesh::partition::{partition_mesh, PartitionMethod};
+    use hymv_mesh::{unstructured_tet_mesh, ElementType, StructuredHexMesh};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_case(
+        mesh: &hymv_mesh::GlobalMesh,
+        ndof: usize,
+        seed: u64,
+    ) -> (HymvMaps, ElementMatrixStore, DistArray) {
+        let pm = partition_mesh(mesh, 1, PartitionMethod::Slabs);
+        let maps = HymvMaps::build(&pm.parts[0]);
+        let nd = maps.npe * ndof;
+        let mut store = ElementMatrixStore::new(nd, maps.n_elems);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for e in 0..maps.n_elems {
+            for v in store.ke_mut(e) {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+        }
+        let mut u = DistArray::new(&maps, ndof);
+        for v in u.data.iter_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        (maps, store, u)
+    }
+
+    fn serial_reference(maps: &HymvMaps, store: &ElementMatrixStore, u: &DistArray) -> DistArray {
+        let all: Vec<u32> = (0..maps.n_elems as u32).collect();
+        let nd = store.nd();
+        let mut v = DistArray::new(maps, u.ndof);
+        let mut ue = vec![0.0; nd];
+        let mut ve = vec![0.0; nd];
+        emv_loop_serial(maps, store, u, &mut v, &all, &mut ue, &mut ve);
+        v
+    }
+
+    fn blocked_result(
+        maps: &HymvMaps,
+        store: &ElementMatrixStore,
+        u: &DistArray,
+        bw: usize,
+    ) -> DistArray {
+        let mut plan = BlockPlan::build(maps, u.ndof, bw);
+        plan.attach_store(store);
+        let kernel = select_batch_kernel(bw);
+        let mut v = DistArray::new(maps, u.ndof);
+        let pl = plan.nd() * bw;
+        let (mut ue, mut ve) = (vec![0.0; pl], vec![0.0; pl]);
+        plan.run_serial(false, u, &mut v, kernel, &mut ue, &mut ve);
+        plan.run_serial(true, u, &mut v, kernel, &mut ue, &mut ve);
+        v
+    }
+
+    /// Batched-vs-serial agreement for every element type the paper uses,
+    /// including ragged tails (element counts not divisible by bw) and
+    /// bw=1 equivalence.
+    #[test]
+    fn blocked_matches_serial_all_element_types() {
+        let meshes: Vec<hymv_mesh::GlobalMesh> = vec![
+            StructuredHexMesh::unit(3, ElementType::Hex8).build(), // 27 elems: ragged for bw=8
+            StructuredHexMesh::unit(2, ElementType::Hex20).build(),
+            StructuredHexMesh::unit(2, ElementType::Hex27).build(),
+            unstructured_tet_mesh(2, ElementType::Tet4, 0.1, 3),
+            unstructured_tet_mesh(2, ElementType::Tet10, 0.1, 4),
+        ];
+        for (i, mesh) in meshes.iter().enumerate() {
+            let (maps, store, u) = random_case(mesh, 1, 100 + i as u64);
+            let v_ref = serial_reference(&maps, &store, &u);
+            for bw in [1usize, 3, 8, 16] {
+                let v = blocked_result(&maps, &store, &u, bw);
+                for (a, b) in v_ref.data.iter().zip(&v.data) {
+                    assert!(
+                        (a - b).abs() < 1e-12,
+                        "{:?} bw={bw}: {a} vs {b}",
+                        mesh.elem_type
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_serial_multi_dof() {
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let (maps, store, u) = random_case(&mesh, 3, 42);
+        let v_ref = serial_reference(&maps, &store, &u);
+        for bw in [4usize, 8] {
+            let v = blocked_result(&maps, &store, &u, bw);
+            for (a, b) in v_ref.data.iter().zip(&v.data) {
+                assert!((a - b).abs() < 1e-12, "ndof=3 bw={bw}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_covers_each_element_once_and_sorts_by_locality() {
+        let mesh = unstructured_tet_mesh(3, ElementType::Tet4, 0.05, 9);
+        let pm = partition_mesh(&mesh, 2, PartitionMethod::GreedyGraph);
+        let maps = HymvMaps::build(&pm.parts[0]);
+        let bw = 8;
+        let plan = BlockPlan::build(&maps, 1, bw);
+        let mut seen = vec![false; maps.n_elems];
+        for dependent in [false, true] {
+            let set = plan.set(dependent);
+            let subset = if dependent {
+                &maps.dependent
+            } else {
+                &maps.independent
+            };
+            let mut count = 0;
+            let mut prev_min = 0u32;
+            for k in 0..set.n_blocks() {
+                let len = set.len(k);
+                assert!(len >= 1 && len <= bw);
+                if k + 1 < set.n_blocks() {
+                    assert_eq!(len, bw, "only the tail block may be short");
+                }
+                for (b, &e) in set.elems(k).iter().enumerate() {
+                    if b < len {
+                        assert!(!seen[e as usize], "element {e} appears twice");
+                        seen[e as usize] = true;
+                        count += 1;
+                        let lo = *maps
+                            .elem_local_nodes(e as usize)
+                            .iter()
+                            .min()
+                            .expect("nonempty");
+                        assert!(lo >= prev_min, "locality order violated");
+                        prev_min = lo;
+                    } else {
+                        assert_eq!(e, u32::MAX);
+                    }
+                }
+            }
+            assert_eq!(count, subset.len());
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gather_table_matches_e2l() {
+        let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let maps = HymvMaps::build(&pm.parts[0]);
+        let ndof = 3;
+        let plan = BlockPlan::build(&maps, ndof, 4);
+        let set = plan.set(false);
+        let mut ue = vec![0.0; set.panel_len()];
+        // data[i] = i makes the gather table directly visible.
+        let mut u = DistArray::new(&maps, ndof);
+        for (i, v) in u.data.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        for k in 0..set.n_blocks() {
+            set.gather(k, &u.data, &mut ue);
+            for (b, &e) in set.elems(k).iter().enumerate() {
+                if e == u32::MAX {
+                    continue;
+                }
+                let nodes = maps.elem_local_nodes(e as usize);
+                for (m, &l) in nodes.iter().enumerate() {
+                    for c in 0..ndof {
+                        assert_eq!(
+                            ue[(m * ndof + c) * 4 + b],
+                            (l as usize * ndof + c) as f64,
+                            "e={e} m={m} c={c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_block_loops_match_serial() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let (maps, store, u) = random_case(&mesh, 1, 7);
+        let bw = 8;
+        let mut plan = BlockPlan::build(&maps, 1, bw);
+        plan.attach_store(&store);
+        let kernel = select_batch_kernel(bw);
+        let v_ref = blocked_result(&maps, &store, &u, bw);
+
+        let classes = plan.color_blocks(false).expect("colorable");
+        // All elements are independent on a single rank.
+        assert!(plan.set(true).is_empty());
+        let mut v_col = DistArray::new(&maps, 1);
+        plan.run_colored(false, &classes, &u, &mut v_col, kernel);
+        for (a, b) in v_ref.data.iter().zip(&v_col.data) {
+            assert!((a - b).abs() < 1e-12, "colored");
+        }
+
+        let mut v_cp = DistArray::new(&maps, 1);
+        plan.run_chunk_private(false, &u, &mut v_cp, kernel);
+        for (a, b) in v_ref.data.iter().zip(&v_cp.data) {
+            assert!((a - b).abs() < 1e-12, "chunk-private");
+        }
+    }
+
+    #[test]
+    fn block_coloring_is_proper() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let maps = HymvMaps::build(&pm.parts[0]);
+        let plan = BlockPlan::build(&maps, 1, 4);
+        let set = plan.set(false);
+        let classes = plan.color_blocks(false).expect("colorable");
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        assert_eq!(total, set.n_blocks());
+        // Disjointness is required *between* blocks of a class (a block's
+        // own elements may share nodes — they run on one worker).
+        for class in &classes {
+            let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+            for &k in class {
+                let k = k as usize;
+                let mut block_nodes: std::collections::HashSet<u32> =
+                    std::collections::HashSet::new();
+                for (b, &e) in set.elems(k).iter().enumerate() {
+                    if b < set.len(k) {
+                        block_nodes.extend(maps.elem_local_nodes(e as usize));
+                    }
+                }
+                for &l in &block_nodes {
+                    assert!(seen.insert(l), "color class shares dof {l} across blocks");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_updates_single_lane() {
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let (maps, mut store, u) = random_case(&mesh, 1, 21);
+        let bw = 8;
+        let mut plan = BlockPlan::build(&maps, 1, bw);
+        plan.attach_store(&store);
+        // Mutate one element's matrix and refresh only it.
+        for v in store.ke_mut(5) {
+            *v *= 3.0;
+        }
+        plan.refresh(&store, &[5]);
+        let kernel = select_batch_kernel(bw);
+        let mut v = DistArray::new(&maps, 1);
+        let pl = plan.nd() * bw;
+        let (mut ue, mut ve) = (vec![0.0; pl], vec![0.0; pl]);
+        plan.run_serial(false, &u, &mut v, kernel, &mut ue, &mut ve);
+        plan.run_serial(true, &u, &mut v, kernel, &mut ue, &mut ve);
+        let v_ref = serial_reference(&maps, &store, &u);
+        for (a, b) in v_ref.data.iter().zip(&v.data) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_width_env_parsing() {
+        // Direct parse-path checks without touching the process env (other
+        // tests run concurrently).
+        assert_eq!(DEFAULT_BATCH_WIDTH, 8);
+        assert!(batch_width_from_env() >= 1);
+        assert!(batch_width_from_env() <= MAX_BATCH_WIDTH);
+    }
+
+    #[test]
+    fn empty_subset_has_no_blocks() {
+        let mesh = StructuredHexMesh::unit(2, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let maps = HymvMaps::build(&pm.parts[0]);
+        let mut plan = BlockPlan::build(&maps, 1, 8);
+        // Single rank: no dependent elements.
+        assert!(plan.set(true).is_empty());
+        let store = ElementMatrixStore::new(8, maps.n_elems);
+        plan.attach_store(&store);
+        let mut v = DistArray::new(&maps, 1);
+        let u = DistArray::new(&maps, 1);
+        let pl = plan.nd() * 8;
+        let (mut ue, mut ve) = (vec![0.0; pl], vec![0.0; pl]);
+        plan.run_serial(true, &u, &mut v, select_batch_kernel(8), &mut ue, &mut ve);
+        assert!(v.data.iter().all(|&x| x == 0.0));
+    }
+}

@@ -19,7 +19,7 @@
 
 use rayon::prelude::*;
 
-use hymv_la::dense::emv;
+use hymv_la::dense::select_kernel;
 use hymv_la::ElementMatrixStore;
 
 use crate::da::DistArray;
@@ -39,7 +39,7 @@ std::thread_local! {
 }
 
 /// Run a rayon section on the rank-local pool.
-fn on_rank_pool<R: Send>(f: impl FnOnce() -> R + Send) -> R {
+pub(crate) fn on_rank_pool<R: Send>(f: impl FnOnce() -> R + Send) -> R {
     RANK_POOL.with(|p| p.install(f))
 }
 
@@ -71,11 +71,11 @@ impl ParallelMode {
 }
 
 /// Greedy element coloring over a subset of elements: no two elements of a
-/// color share a local node. Returns color classes (each a list of element
-/// ids from `subset`).
-pub fn color_elements(maps: &HymvMaps, subset: &[u32]) -> Vec<Vec<u32>> {
-    // For each node, a bitmask of colors already used by incident elements
-    // (64 colors is far beyond any mesh's node valence here).
+/// color share a local node. Returns `None` when more than the 64 colors a
+/// `u64` mask can track would be needed (a node of valence > 64) — callers
+/// fall back to chunk-private accumulation instead of aborting the SPMV.
+pub fn try_color_elements(maps: &HymvMaps, subset: &[u32]) -> Option<Vec<Vec<u32>>> {
+    // For each node, a bitmask of colors already used by incident elements.
     let mut node_mask = vec![0u64; maps.n_total()];
     let mut classes: Vec<Vec<u32>> = Vec::new();
     for &e in subset {
@@ -85,7 +85,9 @@ pub fn color_elements(maps: &HymvMaps, subset: &[u32]) -> Vec<Vec<u32>> {
             forbidden |= node_mask[l as usize];
         }
         let color = (!forbidden).trailing_zeros() as usize;
-        assert!(color < 64, "element valence exceeded 64 colors");
+        if color >= 64 {
+            return None;
+        }
         if color == classes.len() {
             classes.push(Vec::new());
         }
@@ -94,7 +96,16 @@ pub fn color_elements(maps: &HymvMaps, subset: &[u32]) -> Vec<Vec<u32>> {
             node_mask[l as usize] |= 1 << color;
         }
     }
-    classes
+    Some(classes)
+}
+
+/// Like [`try_color_elements`], for meshes known to be low-valence.
+///
+/// # Panics
+/// If the subset needs more than 64 colors; production paths use
+/// [`try_color_elements`] and fall back instead.
+pub fn color_elements(maps: &HymvMaps, subset: &[u32]) -> Vec<Vec<u32>> {
+    try_color_elements(maps, subset).expect("element valence exceeded 64 colors")
 }
 
 /// Serial EMV loop over a subset: `v(E2L[e]) += Ke · u(E2L[e])`.
@@ -107,6 +118,8 @@ pub fn emv_loop_serial(
     ue: &mut [f64],
     ve: &mut [f64],
 ) {
+    // Resolve the SIMD dispatch once per loop, not per element.
+    let emv = select_kernel();
     for &e in subset {
         let nodes = maps.elem_local_nodes(e as usize);
         u.extract_elem(nodes, ue);
@@ -116,7 +129,7 @@ pub fn emv_loop_serial(
 }
 
 /// A `*mut f64` wrapper that lets color-disjoint writers share a slice.
-struct RacyTarget {
+pub(crate) struct RacyTarget {
     ptr: *mut f64,
 }
 
@@ -129,14 +142,19 @@ unsafe impl Sync for RacyTarget {}
 unsafe impl Send for RacyTarget {}
 
 impl RacyTarget {
+    /// Wrap a shared accumulation target.
+    pub(crate) fn new(ptr: *mut f64) -> Self {
+        RacyTarget { ptr }
+    }
+
     /// Accumulate into slot `idx`.
     ///
     /// # Safety
     /// Callers must guarantee no concurrent access to the same `idx`
-    /// (here: element coloring).
+    /// (here: element/block coloring).
     #[inline]
-    #[allow(unsafe_code)] // the one raw write of the crate; contract above
-    unsafe fn add(&self, idx: usize, val: f64) {
+    #[allow(unsafe_code)] // the raw write behind both colored loops; contract above
+    pub(crate) unsafe fn add(&self, idx: usize, val: f64) {
         *self.ptr.add(idx) += val;
     }
 }
@@ -153,9 +171,8 @@ pub fn emv_loop_colored(
 ) {
     let nd = store.nd();
     let ndof = v.ndof;
-    let target = RacyTarget {
-        ptr: v.data.as_mut_ptr(),
-    };
+    let emv = select_kernel();
+    let target = RacyTarget::new(v.data.as_mut_ptr());
     on_rank_pool(|| {
         for class in classes {
             class.par_iter().for_each_init(
@@ -192,6 +209,7 @@ pub fn emv_loop_chunk_private(
 ) {
     let nd = store.nd();
     let len = v.data.len();
+    let emv = select_kernel();
     let partials: Vec<Vec<f64>> = on_rank_pool(|| {
         let chunk = subset.len().div_ceil(rayon::current_num_threads()).max(1);
         subset
@@ -269,6 +287,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A valence-65 "umbrella": 65 tets all sharing node 0. Greedy
+    /// coloring needs 65 colors — more than the 64-bit mask tracks — so
+    /// `try_color_elements` must decline instead of panicking.
+    #[test]
+    fn coloring_gives_up_past_64_colors() {
+        let n_elems = 65u64;
+        let mut e2g = Vec::new();
+        for e in 0..n_elems {
+            e2g.extend_from_slice(&[0, 3 * e + 1, 3 * e + 2, 3 * e + 3]);
+        }
+        let part = hymv_mesh::MeshPartition {
+            rank: 0,
+            elem_type: ElementType::Tet4,
+            e2g,
+            node_range: (0, 3 * n_elems + 1),
+            elem_coords: vec![[0.0; 3]; n_elems as usize * 4],
+            elem_global_ids: (0..n_elems).collect(),
+            n_global_nodes: 3 * n_elems + 1,
+        };
+        let maps = HymvMaps::build(&part);
+        let all: Vec<u32> = (0..n_elems as u32).collect();
+        assert!(try_color_elements(&maps, &all).is_none());
+        assert!(try_color_elements(&maps, &all[..64]).is_some());
     }
 
     #[test]

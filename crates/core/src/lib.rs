@@ -19,6 +19,10 @@
 //!   adaptive per-element update path;
 //! * [`hybrid`] — shared-memory ("OpenMP") parallelization of the local
 //!   elemental loop: element coloring or chunk-private accumulation;
+//! * [`block`] — the batched element-block engine (`BlockPlan`): subsets
+//!   cut into locality-sorted blocks of `B` elements with flattened
+//!   gather/scatter tables, evaluated by the batch-vectorized EMV kernels
+//!   (the default CPU SPMV path; `HYMV_EMV_BATCH` overrides `B`);
 //! * [`matfree`] — the matrix-free baseline (Algorithm 4: recompute `Ke`
 //!   inside every SPMV);
 //! * [`assembled`] — the matrix-assembled baseline (PETSc-style
@@ -36,6 +40,7 @@
 
 pub mod assemble;
 pub mod assembled;
+pub mod block;
 pub mod da;
 pub mod dirichlet_op;
 pub mod exchange;
@@ -46,6 +51,7 @@ pub mod operator;
 pub mod system;
 
 pub use assembled::AssembledOperator;
+pub use block::{batch_width_from_env, BlockPlan, BlockSet, BATCH_ENV, DEFAULT_BATCH_WIDTH};
 pub use da::DistArray;
 pub use dirichlet_op::DirichletOp;
 pub use exchange::GhostExchange;

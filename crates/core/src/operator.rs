@@ -2,14 +2,17 @@
 
 use hymv_comm::Comm;
 use hymv_fem::kernel::{ElementKernel, KernelScratch};
-use hymv_la::dense::emv_flops;
+use hymv_la::dense::{
+    emv_batch_flops, emv_flops, select_batch_kernel, EmvBatchKernel, MAX_BATCH_WIDTH,
+};
 use hymv_la::{ElementMatrixStore, LinOp};
 use hymv_mesh::MeshPartition;
 
+use crate::block::{batch_width_from_env, BlockPlan};
 use crate::da::DistArray;
 use crate::exchange::GhostExchange;
 use crate::hybrid::{
-    color_elements, emv_loop_chunk_private, emv_loop_colored, emv_loop_serial, ParallelMode,
+    emv_loop_chunk_private, emv_loop_colored, emv_loop_serial, try_color_elements, ParallelMode,
 };
 use crate::maps::HymvMaps;
 
@@ -48,9 +51,18 @@ pub struct HymvOperator {
     v: DistArray,
     mode: ParallelMode,
     /// Color classes for the independent / dependent sets (built lazily
-    /// when a colored mode is selected).
+    /// when a colored mode is selected). Block ids when a plan is active,
+    /// element ids on the per-element (`B=1`) path.
     colors: Option<(Vec<Vec<u32>>, Vec<Vec<u32>>)>,
-    /// Serial scratch.
+    /// The batched element-block plan — the default SPMV path. `None`
+    /// exactly when the batch width is 1 (the per-element legacy path).
+    plan: Option<BlockPlan>,
+    /// Batched kernel resolved once per batch width (not per element).
+    batch_kernel: EmvBatchKernel,
+    /// Elements whose stored matrix changed since the plan's slabs were
+    /// last refreshed (`ke_mut` / `update_elements`).
+    dirty: Vec<u32>,
+    /// Serial scratch (`nd × bw` panels).
     ue: Vec<f64>,
     ve: Vec<f64>,
 }
@@ -99,6 +111,20 @@ impl HymvOperator {
         t.emat_compute_s = te;
         t.local_copy_s = tc;
 
+        // Block plan: the batched engine is the default path
+        // (`HYMV_EMV_BATCH=1` recovers the per-element loop). Charged to
+        // the map-construction bar: it is map/layout work, purely local.
+        let bw = batch_width_from_env();
+        let vt0 = comm.vt();
+        let plan = comm.work(|| {
+            (bw > 1).then(|| {
+                let mut p = BlockPlan::build(&maps, ndof, bw);
+                p.attach_store(&store);
+                p
+            })
+        });
+        t.maps_s += comm.vt() - vt0;
+
         let u = DistArray::new(&maps, ndof);
         let v = DistArray::new(&maps, ndof);
         let op = HymvOperator {
@@ -110,20 +136,76 @@ impl HymvOperator {
             v,
             mode: ParallelMode::Serial,
             colors: None,
-            ue: vec![0.0; nd],
-            ve: vec![0.0; nd],
+            plan,
+            batch_kernel: select_batch_kernel(bw),
+            dirty: Vec::new(),
+            ue: vec![0.0; nd * bw],
+            ve: vec![0.0; nd * bw],
         };
         (op, t)
     }
 
+    /// Current batch width (`1` = per-element legacy path).
+    pub fn batch_width(&self) -> usize {
+        self.plan.as_ref().map_or(1, |p| p.batch_width())
+    }
+
+    /// The block plan (None on the per-element path).
+    pub fn block_plan(&self) -> Option<&BlockPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Rebuild the plan for a different batch width (`1` disables
+    /// batching entirely, recovering the original per-element loops).
+    /// Ablation/test hook; production code sets `HYMV_EMV_BATCH` instead.
+    pub fn set_batch_width(&mut self, bw: usize) {
+        let bw = bw.clamp(1, MAX_BATCH_WIDTH);
+        if bw == self.batch_width() {
+            return;
+        }
+        self.plan = (bw > 1).then(|| {
+            let mut p = BlockPlan::build(&self.maps, self.ndof, bw);
+            p.attach_store(&self.store);
+            p
+        });
+        self.batch_kernel = select_batch_kernel(bw);
+        self.dirty.clear();
+        let nd = self.store.nd();
+        self.ue = vec![0.0; nd * bw];
+        self.ve = vec![0.0; nd * bw];
+        // Colors were built at the old granularity; rebuild (or fall
+        // back) for the new one.
+        self.colors = None;
+        self.set_parallel_mode(self.mode);
+    }
+
     /// Select the shared-memory parallelization of the elemental loop.
+    ///
+    /// Coloring runs at block granularity when the batched plan is active,
+    /// element granularity otherwise. If the mesh would need more than 64
+    /// colors (a node valence past the color mask), the operator logs a
+    /// line and falls back to chunk-private accumulation instead of
+    /// aborting the SPMV.
     pub fn set_parallel_mode(&mut self, mode: ParallelMode) {
         self.mode = mode;
-        if matches!(mode, ParallelMode::Colored { .. }) && self.colors.is_none() {
-            self.colors = Some((
-                color_elements(&self.maps, &self.maps.independent),
-                color_elements(&self.maps, &self.maps.dependent),
-            ));
+        if let ParallelMode::Colored { threads } = mode {
+            if self.colors.is_none() {
+                let built = match &self.plan {
+                    Some(plan) => plan.color_blocks(false).zip(plan.color_blocks(true)),
+                    None => try_color_elements(&self.maps, &self.maps.independent)
+                        .zip(try_color_elements(&self.maps, &self.maps.dependent)),
+                };
+                match built {
+                    Some(classes) => self.colors = Some(classes),
+                    None => {
+                        eprintln!(
+                            "hymv: coloring needs more than 64 colors; \
+                             falling back to chunk-private accumulation"
+                        );
+                        self.mode = ParallelMode::ChunkPrivate { threads };
+                    }
+                }
+            }
         }
     }
 
@@ -150,6 +232,7 @@ impl HymvOperator {
             let coords = part.elem_node_coords(e);
             let store = &mut self.store;
             comm.work(|| kernel.compute_ke(coords, store.ke_mut(e), &mut scratch));
+            self.dirty.push(e as u32);
         }
         comm.vt() - vt0
     }
@@ -157,7 +240,20 @@ impl HymvOperator {
     /// Direct mutable access to one stored element matrix (the API users
     /// call when *they* computed the enriched matrix, e.g. XFEM).
     pub fn ke_mut(&mut self, local_elem: usize) -> &mut [f64] {
+        self.dirty.push(local_elem as u32);
         self.store.ke_mut(local_elem)
+    }
+
+    /// Re-interleave dirty element matrices into the plan's block slabs
+    /// (no-op on the per-element path or when nothing changed).
+    fn flush_updates(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        if let Some(plan) = &mut self.plan {
+            plan.refresh(&self.store, &self.dirty);
+        }
+        self.dirty.clear();
     }
 
     /// The maps (tests, diagnostics).
@@ -187,7 +283,33 @@ impl HymvOperator {
     }
 
     /// One elemental EMV loop over a subset, honoring the parallel mode.
+    /// Runs through the batched block plan when one is active (the default),
+    /// the per-element legacy loops otherwise (`B=1`).
     fn run_subset(&mut self, comm: &mut Comm, dependent: bool) {
+        if let Some(plan) = &self.plan {
+            let kernel = self.batch_kernel;
+            let (u, v) = (&self.u, &mut self.v);
+            match self.mode {
+                ParallelMode::Serial => {
+                    let (ue, ve) = (&mut self.ue, &mut self.ve);
+                    comm.work(|| plan.run_serial(dependent, u, v, kernel, ue, ve));
+                }
+                ParallelMode::Colored { threads } => {
+                    let (indep, dep) = self
+                        .colors
+                        .as_ref()
+                        .expect("set_parallel_mode built colors");
+                    let classes = if dependent { dep } else { indep };
+                    comm.work_smp(threads, || {
+                        plan.run_colored(dependent, classes, u, v, kernel)
+                    });
+                }
+                ParallelMode::ChunkPrivate { threads } => {
+                    comm.work_smp(threads, || plan.run_chunk_private(dependent, u, v, kernel));
+                }
+            }
+            return;
+        }
         let subset: &[u32] = if dependent {
             &self.maps.dependent
         } else {
@@ -225,6 +347,7 @@ impl HymvOperator {
 
     /// Algorithm 2: the HYMV SPMV.
     pub fn matvec(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+        self.flush_updates();
         // v ← 0; u ← x with fresh ghosts.
         self.v.fill_zero();
         self.u.set_owned(x);
@@ -249,6 +372,7 @@ impl HymvOperator {
     /// A deliberately non-overlapped SPMV (blocking exchange up front, then
     /// all elements) — the ablation counterpart of Algorithm 2.
     pub fn matvec_blocking(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+        self.flush_updates();
         self.v.fill_zero();
         self.u.set_owned(x);
         self.exchange.scatter_begin(comm, &self.u);
@@ -271,11 +395,20 @@ impl LinOp for HymvOperator {
     }
 
     fn flops_per_apply(&self) -> u64 {
-        self.maps.n_elems as u64 * emv_flops(self.store.nd())
+        match &self.plan {
+            // Batched path: padded tail lanes execute (zero-matrix) FLOPs
+            // too — count what actually runs.
+            Some(plan) => {
+                plan.n_blocks_total() as u64 * emv_batch_flops(self.store.nd(), plan.batch_width())
+            }
+            None => self.maps.n_elems as u64 * emv_flops(self.store.nd()),
+        }
     }
 
     fn storage_bytes(&self) -> usize {
-        self.store.bytes()
+        // The interleaved slabs are what the batched SPMV streams; the
+        // store remains authoritative for adaptive updates, so both count.
+        self.store.bytes() + self.plan.as_ref().map_or(0, |p| p.bytes())
     }
 }
 
@@ -485,11 +618,135 @@ mod tests {
         let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
         let out = Universe::run(1, |comm| {
             let kernel = PoissonKernel::new(ElementType::Hex8);
-            let (op, _) = HymvOperator::setup(comm, &pm.parts[0], &kernel);
-            (op.flops_per_apply(), op.storage_bytes())
+            let (mut op, _) = HymvOperator::setup(comm, &pm.parts[0], &kernel);
+            op.set_batch_width(1);
+            let legacy = (op.flops_per_apply(), op.storage_bytes());
+            op.set_batch_width(8);
+            let batched = (op.flops_per_apply(), op.storage_bytes());
+            (legacy, batched)
         });
-        // 8 elements × 2 × 8² flops.
-        assert_eq!(out[0].0, 8 * 128);
-        assert_eq!(out[0].1, 8 * 64 * 8);
+        let (legacy, batched) = out[0];
+        // Per-element: 8 elements × 2 × 8² flops; store only.
+        assert_eq!(legacy.0, 8 * 128);
+        assert_eq!(legacy.1, 8 * 64 * 8);
+        // Batched (bw=8, 8 elements → exactly one block): same flops, and
+        // storage adds the interleaved slab (f64) + gather table (u32).
+        assert_eq!(batched.0, 8 * 128);
+        assert_eq!(batched.1, 8 * 64 * 8 + (64 * 8) * 8 + (8 * 8) * 4);
+    }
+
+    #[test]
+    fn batched_widths_match_per_element_path() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 2, PartitionMethod::GreedyGraph);
+        let ok = Universe::run(2, |comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = PoissonKernel::new(ElementType::Hex8);
+            let (mut op, _) = HymvOperator::setup(comm, part, &kernel);
+            let x: Vec<f64> = (0..op.n_owned()).map(|i| (i as f64 * 0.7).cos()).collect();
+            op.set_batch_width(1);
+            let mut y_ref = vec![0.0; op.n_owned()];
+            op.matvec(comm, &x, &mut y_ref);
+            for bw in [8usize, 16] {
+                op.set_batch_width(bw);
+                assert_eq!(op.batch_width(), bw);
+                let mut y = vec![0.0; op.n_owned()];
+                op.matvec(comm, &x, &mut y);
+                for (a, b) in y_ref.iter().zip(&y) {
+                    assert!((a - b).abs() < 1e-12, "bw={bw}: {a} vs {b}");
+                }
+            }
+            true
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn adaptive_update_reaches_batched_slabs() {
+        // ke_mut on the batched path must change the next matvec (the
+        // dirty-flush covers the plan's interleaved copies).
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let out = Universe::run(1, |comm| {
+            let part = &pm.parts[0];
+            let kernel = PoissonKernel::new(ElementType::Hex8);
+            let (mut op, _) = HymvOperator::setup(comm, part, &kernel);
+            op.set_batch_width(8);
+            let x: Vec<f64> = (0..op.n_owned()).map(|i| i as f64).collect();
+            let mut y0 = vec![0.0; op.n_owned()];
+            op.matvec(comm, &x, &mut y0);
+            for v in op.ke_mut(0) {
+                *v *= 2.0;
+            }
+            let mut y1 = vec![0.0; op.n_owned()];
+            op.matvec(comm, &x, &mut y1);
+            // Cross-check against the per-element path on the same store.
+            op.set_batch_width(1);
+            let mut y1_ref = vec![0.0; op.n_owned()];
+            op.matvec(comm, &x, &mut y1_ref);
+            (y0, y1, y1_ref)
+        });
+        let (y0, y1, y1_ref) = &out[0];
+        assert!(y0.iter().zip(y1).any(|(a, b)| (a - b).abs() > 1e-12));
+        for (a, b) in y1.iter().zip(y1_ref) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coloring_fallback_keeps_matvec_correct() {
+        // An umbrella of tets all sharing one node needs >64 colors at
+        // element (bw=1) granularity; the operator must log, fall back to
+        // chunk-private, and still produce the serial answer.
+        let n_elems = 65usize;
+        let n_nodes = 1 + 3 * n_elems;
+        let mut e2g = Vec::with_capacity(4 * n_elems);
+        let mut coords = vec![[0.0f64; 3]; n_nodes];
+        for e in 0..n_elems {
+            let base = (1 + 3 * e) as u64;
+            e2g.extend_from_slice(&[0, base, base + 1, base + 2]);
+            // A valid (non-degenerate) unit tet per element, offset so the
+            // Poisson kernel gets a finite Jacobian everywhere.
+            let o = e as f64;
+            coords[base as usize] = [1.0 + o, 0.0, 0.0];
+            coords[base as usize + 1] = [o, 1.0, 0.0];
+            coords[base as usize + 2] = [o, 0.0, 1.0];
+        }
+        let part = hymv_mesh::MeshPartition {
+            rank: 0,
+            elem_type: ElementType::Tet4,
+            e2g,
+            node_range: (0, n_nodes as u64),
+            elem_coords: {
+                let mut ec = Vec::with_capacity(n_elems * 4);
+                for e in 0..n_elems {
+                    ec.push(coords[0]);
+                    for m in 0..3 {
+                        ec.push(coords[1 + 3 * e + m]);
+                    }
+                }
+                ec
+            },
+            elem_global_ids: (0..n_elems as u64).collect(),
+            n_global_nodes: n_nodes as u64,
+        };
+        let out = Universe::run(1, |comm| {
+            let kernel = PoissonKernel::new(ElementType::Tet4);
+            let (mut op, _) = HymvOperator::setup(comm, &part, &kernel);
+            op.set_batch_width(1);
+            let x: Vec<f64> = (0..op.n_owned()).map(|i| (i as f64 * 0.13).sin()).collect();
+            let mut y_serial = vec![0.0; op.n_owned()];
+            op.matvec(comm, &x, &mut y_serial);
+            op.set_parallel_mode(ParallelMode::Colored { threads: 4 });
+            // >64 colors: must have fallen back rather than panicked.
+            assert!(matches!(op.mode, ParallelMode::ChunkPrivate { .. }));
+            let mut y = vec![0.0; op.n_owned()];
+            op.matvec(comm, &x, &mut y);
+            (y_serial, y)
+        });
+        let (y_serial, y) = &out[0];
+        for (a, b) in y_serial.iter().zip(y) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 }

@@ -11,12 +11,13 @@
 //! measured host pack/accumulate time.
 
 use hymv_comm::Comm;
+use hymv_core::block::{batch_width_from_env, BlockPlan};
 use hymv_core::da::DistArray;
 use hymv_core::exchange::GhostExchange;
 use hymv_core::maps::HymvMaps;
 use hymv_core::operator::{HymvOperator, SetupTimings};
 use hymv_fem::kernel::ElementKernel;
-use hymv_la::dense::{emv, emv_flops};
+use hymv_la::dense::{emv_batch_flops, select_batch_kernel, EmvBatchKernel};
 use hymv_la::{ElementMatrixStore, LinOp};
 use hymv_mesh::MeshPartition;
 
@@ -50,7 +51,14 @@ pub struct HymvGpuOperator {
     scheme: GpuScheme,
     /// Modeled host ("OpenMP") threads for pack/accumulate.
     host_threads: usize,
-    /// Batched element vectors (pinned memory in the paper).
+    /// Block plan shared with the CPU engine: its batch-interleaved slabs
+    /// are the device-resident matrices, its panels the staging layout
+    /// (always present on the GPU path; `bw = 1` degenerates to
+    /// per-element panels).
+    plan: BlockPlan,
+    batch_kernel: EmvBatchKernel,
+    /// Batched input/output panels, `n_blocks_total × nd × bw` (pinned
+    /// memory in the paper); dependent blocks follow independent ones.
     bue: Vec<f64>,
     bve: Vec<f64>,
     /// One-time device upload cost paid at setup (part of "GPU setup").
@@ -73,16 +81,26 @@ impl HymvGpuOperator {
         let (cpu_op, mut timings) = HymvOperator::setup(comm, part, kernel);
         let (maps, exchange, store, ndof) = cpu_op.into_parts();
 
+        // The device works on the interleaved block slabs; bw=1 keeps the
+        // panel layout but makes it elementwise.
+        let bw = batch_width_from_env();
+        let plan = comm.work(|| {
+            let mut p = BlockPlan::build(&maps, ndof, bw);
+            p.attach_store(&store);
+            p
+        });
+
         let mut sim = DeviceSim::new(model, n_streams);
         sim.begin_window();
-        sim.h2d(0, store.bytes(), "upload element matrices");
+        // Upload what the device kernels consume: the interleaved matrix
+        // slabs plus the gather tables.
+        sim.h2d(0, plan.device_bytes(), "upload element matrices");
         let upload_s = sim.window_elapsed();
         comm.add_modeled_time(upload_s);
         // Report the upload inside the setup breakdown's copy component.
         timings.local_copy_s += upload_s;
 
-        let nd = store.nd();
-        let n_batch = maps.n_elems * nd;
+        let n_batch = plan.n_blocks_total() * plan.set(false).panel_len();
         let u = DistArray::new(&maps, ndof);
         let v = DistArray::new(&maps, ndof);
         let op = HymvGpuOperator {
@@ -95,11 +113,29 @@ impl HymvGpuOperator {
             sim,
             scheme,
             host_threads,
+            plan,
+            batch_kernel: select_batch_kernel(bw),
             bue: vec![0.0; n_batch],
             bve: vec![0.0; n_batch],
             upload_s,
         };
         (op, timings)
+    }
+
+    /// The block plan (device layout).
+    pub fn plan(&self) -> &BlockPlan {
+        &self.plan
+    }
+
+    /// Panel offset of block `k` of a subset inside `bue`/`bve`
+    /// (dependent blocks are stored after all independent ones).
+    fn panel_offset(&self, dependent: bool, k: usize) -> usize {
+        let base = if dependent {
+            self.plan.set(false).n_blocks()
+        } else {
+            0
+        };
+        (base + k) * self.plan.set(false).panel_len()
     }
 
     /// The device timeline (Fig 3 traces).
@@ -132,77 +168,84 @@ impl HymvGpuOperator {
         self.scheme = scheme;
     }
 
-    /// Pack `bue` for a subset of elements (host side, charged as SMP
-    /// work). Entries are stored at each element's slot.
-    fn pack(&mut self, comm: &mut Comm, subset: &[u32]) {
-        let nd = self.store.nd();
-        let (maps, u, bue) = (&self.maps, &self.u, &mut self.bue);
+    /// Pack `bue` panels for one block subset (host side, charged as SMP
+    /// work) through the plan's flattened gather tables.
+    fn pack(&mut self, comm: &mut Comm, dependent: bool) {
+        let set = self.plan.set(dependent);
+        let pl = set.panel_len();
+        let base = self.panel_offset(dependent, 0);
+        let (u, bue) = (&self.u, &mut self.bue);
         comm.work_smp(self.host_threads, || {
-            for &e in subset {
-                let e = e as usize;
-                u.extract_elem(maps.elem_local_nodes(e), &mut bue[e * nd..(e + 1) * nd]);
+            for k in 0..set.n_blocks() {
+                let off = base + k * pl;
+                set.gather(k, &u.data, &mut bue[off..off + pl]);
             }
         });
     }
 
-    /// Accumulate `bve` for a subset of elements into `v` (host side).
-    fn accumulate(&mut self, comm: &mut Comm, subset: &[u32]) {
-        let nd = self.store.nd();
-        let (maps, v, bve) = (&self.maps, &mut self.v, &self.bve);
+    /// Accumulate `bve` panels of one block subset into `v` (host side).
+    fn accumulate(&mut self, comm: &mut Comm, dependent: bool) {
+        let set = self.plan.set(dependent);
+        let pl = set.panel_len();
+        let base = self.panel_offset(dependent, 0);
+        let (v, bve) = (&mut self.v, &self.bve);
         comm.work_smp(self.host_threads, || {
-            for &e in subset {
-                let e = e as usize;
-                v.accumulate_elem(maps.elem_local_nodes(e), &bve[e * nd..(e + 1) * nd]);
+            for k in 0..set.n_blocks() {
+                let off = base + k * pl;
+                set.scatter_with(k, &bve[off..off + pl], |i, val| v.data[i] += val);
             }
         });
     }
 
-    /// Submit a subset of elements to the device as `Ns` pipelined chunks
-    /// and execute the numerics on the host. Returns nothing; device time
-    /// accrues on the simulator timeline.
-    fn submit_batch(&mut self, subset: &[u32], label: &str) {
-        if subset.is_empty() {
+    /// Submit one block subset to the device as `Ns` pipelined chunks of
+    /// whole blocks and execute the numerics on the host. Returns nothing;
+    /// device time accrues on the simulator timeline.
+    fn submit_batch(&mut self, dependent: bool, label: &str) {
+        let set = self.plan.set(dependent);
+        if set.is_empty() {
             return;
         }
-        let nd = self.store.nd();
+        let (nd, bw) = (self.plan.nd(), self.plan.batch_width());
+        let pl = set.panel_len();
+        let base = self.panel_offset(dependent, 0);
+        let blocks: Vec<usize> = (0..set.n_blocks()).collect();
         let ns = self.sim.n_streams();
-        let chunk = subset.len().div_ceil(ns);
-        for (s, elems) in subset.chunks(chunk).enumerate() {
-            let vec_bytes = elems.len() * nd * 8;
+        let chunk = blocks.len().div_ceil(ns);
+        for (s, ks) in blocks.chunks(chunk).enumerate() {
+            let vec_bytes = ks.len() * pl * 8;
+            // The modeled kernel executes every lane, padding included.
+            let lanes = ks.len() * bw;
             self.sim.h2d(s, vec_bytes, format!("{label} bue s{s}"));
             self.sim.kernel(
                 s,
-                self.sim.model().batched_emv_flops(elems.len(), nd),
-                self.sim.model().batched_emv_bytes(elems.len(), nd),
+                self.sim.model().batched_emv_flops(lanes, nd),
+                self.sim.model().batched_emv_bytes(lanes, nd),
                 format!("{label} batched EMV s{s}"),
             );
             self.sim.d2h(s, vec_bytes, format!("{label} bve s{s}"));
             // Bit-exact numerics on the host (emulation, not charged).
-            for &e in elems {
-                let e = e as usize;
-                emv(
-                    self.store.ke(e),
-                    &self.bue[e * nd..(e + 1) * nd],
-                    &mut self.bve[e * nd..(e + 1) * nd],
+            for &k in ks {
+                let off = base + k * pl;
+                (self.batch_kernel)(
+                    set.keb(k),
+                    &self.bue[off..off + pl],
+                    &mut self.bve[off..off + pl],
+                    nd,
+                    bw,
                 );
             }
         }
     }
 
-    /// Host-side EMV for a subset (scheme 2's dependent elements), charged
-    /// as host SMP work, accumulating directly into `v`.
-    fn host_emv(&mut self, comm: &mut Comm, subset: &[u32]) {
-        let nd = self.store.nd();
-        let (maps, store, u, v) = (&self.maps, &self.store, &self.u, &mut self.v);
+    /// Host-side EMV for one block subset (scheme 2's dependent elements),
+    /// charged as host SMP work, accumulating directly into `v`.
+    fn host_emv(&mut self, comm: &mut Comm, dependent: bool) {
+        let (plan, kernel) = (&self.plan, self.batch_kernel);
+        let pl = plan.set(dependent).panel_len();
+        let (u, v) = (&self.u, &mut self.v);
         comm.work_smp(self.host_threads, || {
-            let mut ue = vec![0.0; nd];
-            let mut ve = vec![0.0; nd];
-            for &e in subset {
-                let nodes = maps.elem_local_nodes(e as usize);
-                u.extract_elem(nodes, &mut ue);
-                emv(store.ke(e as usize), &ue, &mut ve);
-                v.accumulate_elem(nodes, &ve);
-            }
+            let (mut ue, mut ve) = (vec![0.0; pl], vec![0.0; pl]);
+            plan.run_serial(dependent, u, v, kernel, &mut ue, &mut ve);
         });
     }
 
@@ -216,25 +259,25 @@ impl HymvGpuOperator {
                 // Blocking exchange, then everything on the device.
                 self.exchange.scatter_begin(comm, &self.u);
                 self.exchange.scatter_end(comm, &mut self.u);
-                let all: Vec<u32> = (0..self.maps.n_elems as u32).collect();
-                self.pack(comm, &all);
+                self.pack(comm, false);
+                self.pack(comm, true);
                 self.sim.begin_window();
-                self.submit_batch(&all, "all");
+                self.submit_batch(false, "all");
+                self.submit_batch(true, "all");
                 let dt = self.sim.window_elapsed();
                 comm.add_modeled_time(dt);
-                self.accumulate(comm, &all);
+                self.accumulate(comm, false);
+                self.accumulate(comm, true);
             }
             GpuScheme::OverlapCpu | GpuScheme::OverlapGpu => {
                 self.exchange.scatter_begin(comm, &self.u);
-                let indep = self.maps.independent.clone();
-                let dep = self.maps.dependent.clone();
 
-                // Pack + submit independent elements; device runs while the
+                // Pack + submit independent blocks; device runs while the
                 // exchange is in flight.
-                self.pack(comm, &indep);
+                self.pack(comm, false);
                 let anchor_vt = comm.vt();
                 self.sim.begin_window();
-                self.submit_batch(&indep, "indep");
+                self.submit_batch(false, "indep");
 
                 // Complete the exchange (host may wait; device keeps going).
                 self.exchange.scatter_end(comm, &mut self.u);
@@ -242,25 +285,25 @@ impl HymvGpuOperator {
                 if self.scheme == GpuScheme::OverlapCpu {
                     // Host computes dependent elements while the device
                     // finishes the independent batch.
-                    self.host_emv(comm, &dep);
+                    self.host_emv(comm, true);
                     // Sync with the device.
                     let device_done = anchor_vt + self.sim.window_elapsed();
                     if device_done > comm.vt() {
                         comm.add_modeled_time(device_done - comm.vt());
                     }
-                    self.accumulate(comm, &indep);
+                    self.accumulate(comm, false);
                 } else {
-                    // Dependent elements follow on the device; they cannot
+                    // Dependent blocks follow on the device; they cannot
                     // start before the host submitted them (post-exchange).
-                    self.pack(comm, &dep);
+                    self.pack(comm, true);
                     self.sim.set_submission_floor(comm.vt() - anchor_vt);
-                    self.submit_batch(&dep, "dep");
+                    self.submit_batch(true, "dep");
                     let device_done = anchor_vt + self.sim.window_elapsed();
                     if device_done > comm.vt() {
                         comm.add_modeled_time(device_done - comm.vt());
                     }
-                    self.accumulate(comm, &indep);
-                    self.accumulate(comm, &dep);
+                    self.accumulate(comm, false);
+                    self.accumulate(comm, true);
                 }
             }
         }
@@ -281,11 +324,12 @@ impl LinOp for HymvGpuOperator {
     }
 
     fn flops_per_apply(&self) -> u64 {
-        self.maps.n_elems as u64 * emv_flops(self.store.nd())
+        // Every lane executes, padding included.
+        self.plan.n_blocks_total() as u64 * emv_batch_flops(self.plan.nd(), self.plan.batch_width())
     }
 
     fn storage_bytes(&self) -> usize {
-        self.store.bytes() + (self.bue.len() + self.bve.len()) * 8
+        self.store.bytes() + self.plan.bytes() + (self.bue.len() + self.bve.len()) * 8
     }
 }
 
@@ -380,8 +424,7 @@ mod tests {
         let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
         let out = Universe::run(1, |comm| {
             let kernel = PoissonKernel::new(ElementType::Hex8);
-            let (cpu, t_cpu) = HymvOperator::setup(comm, &pm.parts[0], &kernel);
-            let bytes = cpu.store().bytes();
+            let (_cpu, t_cpu) = HymvOperator::setup(comm, &pm.parts[0], &kernel);
             let (gpu, t_gpu) = HymvGpuOperator::setup(
                 comm,
                 &pm.parts[0],
@@ -391,11 +434,13 @@ mod tests {
                 GpuScheme::Blocking,
                 1,
             );
+            // What goes up is the device layout: interleaved slabs +
+            // gather tables.
             (
                 t_cpu.local_copy_s,
                 t_gpu.local_copy_s,
                 gpu.upload_seconds(),
-                bytes,
+                gpu.plan().device_bytes(),
             )
         });
         let (_cpu_copy, gpu_copy, upload, bytes) = out[0];

@@ -63,11 +63,22 @@ impl ElementMatrixStore {
     }
 }
 
+/// The per-element EMV kernel signature (`ke`, `ue`, `ve`).
+pub type EmvKernel = fn(&[f64], &[f64], &mut [f64]);
+
+/// The batched EMV kernel signature (`keb`, `ue`, `ve`, `nd`, `bw`):
+/// batch-interleaved matrices against `nd × bw` panels.
+pub type EmvBatchKernel = fn(&[f64], &[f64], &mut [f64], usize, usize);
+
 /// `ve = Ke · ue` for a column-major `nd × nd` matrix; `nd` inferred from
 /// `ue.len()`. Runtime-dispatched to the best available SIMD variant.
+///
+/// Convenience wrapper for tests and one-off calls: the lookup costs an
+/// atomic load per call. Hot loops should resolve [`select_kernel`] once
+/// at loop entry and call through the function pointer.
 #[inline]
 pub fn emv(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
-    static KERNEL: OnceLock<fn(&[f64], &[f64], &mut [f64])> = OnceLock::new();
+    static KERNEL: OnceLock<EmvKernel> = OnceLock::new();
     let k = KERNEL.get_or_init(select_kernel);
     k(ke, ue, ve);
 }
@@ -86,7 +97,9 @@ pub fn emv_kernel_name() -> &'static str {
     "portable"
 }
 
-fn select_kernel() -> fn(&[f64], &[f64], &mut [f64]) {
+/// Pick the best per-element EMV variant for this CPU. Resolve once per
+/// SPMV (or cache in the operator) — not per element.
+pub fn select_kernel() -> EmvKernel {
     #[cfg(target_arch = "x86_64")]
     {
         if is_x86_feature_detected!("avx512f") {
@@ -174,6 +187,193 @@ unsafe fn emv_avx512_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
         for i in 8 * chunks..nd {
             *ve.get_unchecked_mut(i) += *col.add(i) * u;
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched EMV: `Ve = Ke_b · Ue` for a block of `bw` elements at once.
+//
+// Layouts (all contiguous, batch-minor):
+//   keb[(j*nd + i)*bw + b]  — entry (i,j) of element b's matrix,
+//   ue [j*bw + b]           — input panel, nd × bw,
+//   ve [i*bw + b]           — output panel, nd × bw.
+//
+// Vectorization runs **across the batch dimension**: every load/store in
+// the inner loop is unit-stride over `bw` lanes, so SIMD sees full vectors
+// regardless of nd — unlike the per-element axpy, whose vector length is
+// capped by nd and pays a remainder loop per column.
+// ---------------------------------------------------------------------------
+
+/// Maximum supported batch width (bounds kernel register/stack usage).
+pub const MAX_BATCH_WIDTH: usize = 64;
+
+/// `Ve = Ke_b · Ue` over the batch-interleaved layout above.
+///
+/// Convenience wrapper for tests: dispatches on every call. Hot loops
+/// should resolve [`select_batch_kernel`] once per SPMV.
+#[inline]
+pub fn emv_batch(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
+    select_batch_kernel(bw)(keb, ue, ve, nd, bw);
+}
+
+/// Pick the best batched-EMV variant for this CPU and batch width. The
+/// SIMD variants require `bw` to be a multiple of the vector width (and
+/// small enough to keep per-row accumulators in registers); other widths
+/// fall back to the portable kernel, which autovectorizes well.
+pub fn select_batch_kernel(bw: usize) -> EmvBatchKernel {
+    assert!(
+        bw >= 1 && bw <= MAX_BATCH_WIDTH,
+        "batch width {bw} outside 1..={MAX_BATCH_WIDTH}"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if bw % 8 == 0 && bw <= 64 && is_x86_feature_detected!("avx512f") {
+            return emv_batch_avx512;
+        }
+        if bw % 4 == 0
+            && bw <= 32
+            && is_x86_feature_detected!("avx2")
+            && is_x86_feature_detected!("fma")
+        {
+            return emv_batch_avx2;
+        }
+    }
+    emv_batch_portable
+}
+
+/// Name of the dispatched batched-kernel variant (for experiment logs).
+pub fn emv_batch_kernel_name(bw: usize) -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if bw % 8 == 0 && bw <= 64 && is_x86_feature_detected!("avx512f") {
+            return "batch-avx512f";
+        }
+        if bw % 4 == 0
+            && bw <= 32
+            && is_x86_feature_detected!("avx2")
+            && is_x86_feature_detected!("fma")
+        {
+            return "batch-avx2+fma";
+        }
+    }
+    let _ = bw;
+    "batch-portable"
+}
+
+/// Portable batched kernel: column-axpy order (`j` outer) so `keb` is
+/// streamed linearly exactly once; the `ve` panel (nd·bw doubles) stays
+/// cache-resident across columns. The lane loop autovectorizes.
+pub fn emv_batch_portable(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
+    debug_assert_eq!(keb.len(), nd * nd * bw);
+    debug_assert_eq!(ue.len(), nd * bw);
+    debug_assert_eq!(ve.len(), nd * bw);
+    ve.fill(0.0);
+    for j in 0..nd {
+        let uej = &ue[j * bw..(j + 1) * bw];
+        let col = &keb[j * nd * bw..(j + 1) * nd * bw];
+        for i in 0..nd {
+            let k = &col[i * bw..(i + 1) * bw];
+            let v = &mut ve[i * bw..(i + 1) * bw];
+            for b in 0..bw {
+                v[b] += k[b] * uej[b];
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // SIMD dispatch wrapper; SAFETY comment at the call
+fn emv_batch_avx2(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
+    // SAFETY: dispatch guarantees avx2+fma are available and bw % 4 == 0,
+    // bw <= 32.
+    unsafe { emv_batch_avx2_impl(keb, ue, ve, nd, bw) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(unsafe_code)] // intrinsics; bounds guarded by the debug_asserts below
+unsafe fn emv_batch_avx2_impl(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(keb.len(), nd * nd * bw);
+    debug_assert_eq!(ue.len(), nd * bw);
+    debug_assert_eq!(ve.len(), nd * bw);
+    debug_assert!(bw % 4 == 0 && bw <= 32);
+    let chunks = bw / 4;
+    let kp = keb.as_ptr();
+    let up = ue.as_ptr();
+    let vp = ve.as_mut_ptr();
+    // Row-outer with register accumulators: each output row `i` is reduced
+    // over all columns `j` without touching memory, so `ve` is stored once
+    // per row instead of read-modified-written per column. `keb` is still
+    // single-touch: row i of column j is one contiguous bw-lane strip.
+    for i in 0..nd {
+        let mut acc = [_mm256_setzero_pd(); 8];
+        for j in 0..nd {
+            let krow = kp.add((j * nd + i) * bw);
+            let urow = up.add(j * bw);
+            for c in 0..chunks {
+                let k = _mm256_loadu_pd(krow.add(4 * c));
+                let u = _mm256_loadu_pd(urow.add(4 * c));
+                acc[c] = _mm256_fmadd_pd(k, u, acc[c]);
+            }
+        }
+        for c in 0..chunks {
+            _mm256_storeu_pd(vp.add(i * bw + 4 * c), acc[c]);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // SIMD dispatch wrapper; SAFETY comment at the call
+fn emv_batch_avx512(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
+    // SAFETY: dispatch guarantees avx512f is available and bw % 8 == 0,
+    // bw <= 64.
+    unsafe { emv_batch_avx512_impl(keb, ue, ve, nd, bw) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(unsafe_code)] // intrinsics; bounds guarded by the debug_asserts below
+unsafe fn emv_batch_avx512_impl(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(keb.len(), nd * nd * bw);
+    debug_assert_eq!(ue.len(), nd * bw);
+    debug_assert_eq!(ve.len(), nd * bw);
+    debug_assert!(bw % 8 == 0 && bw <= 64);
+    let chunks = bw / 8;
+    let kp = keb.as_ptr();
+    let up = ue.as_ptr();
+    let vp = ve.as_mut_ptr();
+    for i in 0..nd {
+        let mut acc = [_mm512_setzero_pd(); 8];
+        for j in 0..nd {
+            let krow = kp.add((j * nd + i) * bw);
+            let urow = up.add(j * bw);
+            for c in 0..chunks {
+                let k = _mm512_loadu_pd(krow.add(8 * c));
+                let u = _mm512_loadu_pd(urow.add(8 * c));
+                acc[c] = _mm512_fmadd_pd(k, u, acc[c]);
+            }
+        }
+        for c in 0..chunks {
+            _mm512_storeu_pd(vp.add(i * bw + 8 * c), acc[c]);
+        }
+    }
+}
+
+/// FLOPs of one batched EMV: `2·nd²·bw` (every lane does a full EMV).
+pub fn emv_batch_flops(nd: usize, bw: usize) -> u64 {
+    emv_flops(nd) * bw as u64
+}
+
+/// Interleave one element's column-major `nd × nd` matrix into lane `b` of
+/// a batch-interleaved slab (`keb[idx*bw + b] = ke[idx]`).
+pub fn interleave_ke(ke: &[f64], keb: &mut [f64], nd: usize, bw: usize, b: usize) {
+    debug_assert_eq!(ke.len(), nd * nd);
+    debug_assert_eq!(keb.len(), nd * nd * bw);
+    debug_assert!(b < bw);
+    for (idx, &v) in ke.iter().enumerate() {
+        keb[idx * bw + b] = v;
     }
 }
 
@@ -291,6 +491,99 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Reference for one lane of a batch: per-element EMV on de-interleaved
+    /// data.
+    fn batch_reference(keb: &[f64], ue: &[f64], nd: usize, bw: usize, b: usize) -> Vec<f64> {
+        let ke: Vec<f64> = (0..nd * nd).map(|idx| keb[idx * bw + b]).collect();
+        let u: Vec<f64> = (0..nd).map(|j| ue[j * bw + b]).collect();
+        let mut v = vec![0.0; nd];
+        emv_dot_strided(&ke, &u, &mut v);
+        v
+    }
+
+    #[test]
+    fn batch_variants_agree_with_per_element() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for nd in [1usize, 3, 4, 8, 20, 24, 27, 60, 81] {
+            for bw in [1usize, 2, 3, 4, 5, 8, 16, 32, 64] {
+                let keb: Vec<f64> = (0..nd * nd * bw)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect();
+                let ue: Vec<f64> = (0..nd * bw).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+                let mut variants: Vec<(&str, EmvBatchKernel)> =
+                    vec![("portable", emv_batch_portable as EmvBatchKernel)];
+                #[cfg(target_arch = "x86_64")]
+                {
+                    if bw % 4 == 0
+                        && bw <= 32
+                        && is_x86_feature_detected!("avx2")
+                        && is_x86_feature_detected!("fma")
+                    {
+                        variants.push(("avx2", emv_batch_avx2));
+                    }
+                    if bw % 8 == 0 && bw <= 64 && is_x86_feature_detected!("avx512f") {
+                        variants.push(("avx512", emv_batch_avx512));
+                    }
+                }
+                variants.push(("dispatched", emv_batch as EmvBatchKernel));
+
+                for (name, kern) in variants {
+                    let mut ve = vec![9.0; nd * bw]; // must be overwritten
+                    kern(&keb, &ue, &mut ve, nd, bw);
+                    for b in 0..bw {
+                        let v_ref = batch_reference(&keb, &ue, nd, bw, b);
+                        for i in 0..nd {
+                            assert!(
+                                (ve[i * bw + b] - v_ref[i]).abs() < 1e-12,
+                                "{name} nd={nd} bw={bw} lane={b} row={i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_round_trips() {
+        let nd = 4;
+        let bw = 3;
+        let mut rng = StdRng::seed_from_u64(11);
+        let kes: Vec<Vec<f64>> = (0..bw)
+            .map(|_| (0..nd * nd).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let mut keb = vec![0.0; nd * nd * bw];
+        for (b, ke) in kes.iter().enumerate() {
+            interleave_ke(ke, &mut keb, nd, bw, b);
+        }
+        for (b, ke) in kes.iter().enumerate() {
+            for (idx, &v) in ke.iter().enumerate() {
+                assert_eq!(keb[idx * bw + b], v);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_flops_formula() {
+        assert_eq!(emv_batch_flops(10, 8), 1600);
+        assert_eq!(emv_batch_flops(10, 1), emv_flops(10));
+    }
+
+    #[test]
+    fn batch_kernel_name_reports_something() {
+        for bw in [1usize, 4, 8, 17] {
+            let name = emv_batch_kernel_name(bw);
+            assert!(["batch-avx512f", "batch-avx2+fma", "batch-portable"].contains(&name));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch width")]
+    fn batch_width_bounds_checked() {
+        select_batch_kernel(MAX_BATCH_WIDTH + 1);
     }
 
     #[test]

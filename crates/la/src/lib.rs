@@ -30,7 +30,10 @@ pub mod precond;
 pub mod solver;
 
 pub use csr::SerialCsr;
-pub use dense::{emv, ElementMatrixStore};
+pub use dense::{
+    emv, emv_batch, select_batch_kernel, select_kernel, ElementMatrixStore, EmvBatchKernel,
+    EmvKernel, MAX_BATCH_WIDTH,
+};
 pub use dist_csr::DistCsr;
 pub use precond::{BlockJacobi, Identity, Jacobi, Precond};
 pub use solver::{cg, pipelined_cg, CgResult, LinOp};
