@@ -19,6 +19,10 @@ cargo run -q -p hymv-check --bin hymv-check -- --n 4 --p 4 --method rcb --seeds 
 echo "== hymv-check batched-path determinism (B=8)"
 cargo run -q -p hymv-check --bin hymv-check -- --n 4 --p 4 --method rcb --seeds 8 --batch 8
 
+echo "== hymv-verify static passes (model check, alias proof, lint)"
+cargo run -q -p hymv-verify --bin hymv-verify -- --n 4 --p 1,2,4,8
+cargo run -q -p hymv-verify --bin hymv-verify -- --n 4 --p 1,2,4,8 --method greedy --skip-lint
+
 echo "== emv_batch bench smoke"
 HYMV_BENCH_SMOKE=1 cargo bench -q -p hymv-bench --bench emv_batch
 cargo run -q --release -p hymv-bench --bin bench_emv_batch -- --smoke

@@ -43,7 +43,8 @@ fn bench_exchange(c: &mut Criterion) {
                     ex.gather_end(comm, da);
                 };
                 if comm.rank() == 0 {
-                    let b = &mut *b.lock().expect("only rank 0 locks");
+                    let mut guard = b.lock().expect("only rank 0 locks");
+                    let b = &mut **guard;
                     b.iter_custom(|iters| {
                         for r in 1..comm.size() {
                             comm.isend(r, 0x98, hymv_comm::Payload::from_u64(vec![iters]));
@@ -85,7 +86,8 @@ fn bench_setup(c: &mut Criterion) {
     group.bench_function("hymv_setup_hex8_poisson", |b| {
         let b = std::sync::Mutex::new(b);
         Universe::run(1, |comm| {
-            let b = &mut *b.lock().expect("single rank");
+            let mut guard = b.lock().expect("single rank");
+            let b = &mut **guard;
             let kernel = PoissonKernel::new(ElementType::Hex8);
             b.iter(|| {
                 let (op, _) = HymvOperator::setup(comm, &pm.parts[0], &kernel);
@@ -98,7 +100,8 @@ fn bench_setup(c: &mut Criterion) {
     group.bench_function("hymv_setup_hex20_elasticity", |b| {
         let b = std::sync::Mutex::new(b);
         Universe::run(1, |comm| {
-            let b = &mut *b.lock().expect("single rank");
+            let mut guard = b.lock().expect("single rank");
+            let b = &mut **guard;
             let kernel = ElasticityKernel::new(ElementType::Hex20, 100.0, 0.3, [0.0, 0.0, -1.0]);
             b.iter(|| {
                 let (op, _) = HymvOperator::setup(comm, &pm20.parts[0], &kernel);

@@ -38,7 +38,8 @@ fn bench_methods(c: &mut Criterion) {
                     // single-rank mutex.)
                     let b = std::sync::Mutex::new(b);
                     Universe::run(1, |comm| {
-                        let b = &mut *b.lock().expect("single rank");
+                        let mut guard = b.lock().expect("single rank");
+                        let b = &mut **guard;
                         let kernel = Arc::new(PoissonKernel::with_body(et, PoissonProblem::body()));
                         let mut sys = FemSystem::build(
                             comm,

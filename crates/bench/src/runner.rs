@@ -79,13 +79,12 @@ pub fn elasticity_case(name: &str, mesh: GlobalMesh, bar: BarProblem) -> Case {
 pub fn mesh_n_for_dofs(et: ElementType, ndof: usize, p: usize, per_rank: usize) -> usize {
     let target_nodes = (p * per_rank) as f64 / ndof as f64;
     let n = match et {
-        ElementType::Hex8 => target_nodes.powf(1.0 / 3.0) - 1.0,
-        // Hex20 ≈ 4n³ nodes, Hex27 ≈ 8n³ nodes.
+        // Hex8 has ≈ (n+1)³ nodes; the Kuhn-tet Tet4 grid the same.
+        ElementType::Hex8 | ElementType::Tet4 => target_nodes.powf(1.0 / 3.0) - 1.0,
+        // Hex20 ≈ 4n³ nodes.
         ElementType::Hex20 => (target_nodes / 4.0).powf(1.0 / 3.0),
-        ElementType::Hex27 => (target_nodes / 8.0).powf(1.0 / 3.0),
-        // Kuhn tets: Tet4 grid has (n+1)³ nodes, Tet10 ≈ 8n³.
-        ElementType::Tet4 => target_nodes.powf(1.0 / 3.0) - 1.0,
-        ElementType::Tet10 => (target_nodes / 8.0).powf(1.0 / 3.0),
+        // Hex27 and Tet10 ≈ 8n³ nodes.
+        ElementType::Hex27 | ElementType::Tet10 => (target_nodes / 8.0).powf(1.0 / 3.0),
     };
     (n.round() as usize).max(2)
 }

@@ -74,7 +74,13 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--seeds" => opts.seeds = parse_seeds(Some(&val()?), 8),
-            "--batch" => opts.batch = Some(val()?.parse().map_err(|e| format!("--batch: {e}"))?),
+            "--batch" => {
+                // Shared strict validation (same path as HYMV_EMV_BATCH):
+                // 0, >MAX, and non-numeric values are hard errors.
+                opts.batch = Some(
+                    hymv_core::parse_batch_width(&val()?).map_err(|e| format!("--batch: {e}"))?,
+                )
+            }
             "--mode" => {
                 opts.mode = match val()?.as_str() {
                     "serial" => ParallelMode::Serial,
@@ -91,15 +97,6 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.seeds.is_empty() {
         return Err("--seeds needs at least one seed".into());
-    }
-    if opts
-        .batch
-        .is_some_and(|b| !(1..=hymv_la::MAX_BATCH_WIDTH).contains(&b))
-    {
-        return Err(format!(
-            "--batch must be in 1..={}",
-            hymv_la::MAX_BATCH_WIDTH
-        ));
     }
     Ok(opts)
 }

@@ -28,11 +28,13 @@ pub mod biteq;
 pub mod maps;
 pub mod perturb;
 pub mod protocol;
+pub mod report;
 
 pub use biteq::BitEq;
 pub use maps::{check_exchange, check_maps, check_partition, MapsReport};
 pub use perturb::{parse_seeds, run_perturbed, seeds_from_env, SEEDS_ENV};
 pub use protocol::{run_audited, AuditMode, AuditReport, AuditViolation};
+pub use report::PassReport;
 
 use std::sync::Arc;
 

@@ -315,7 +315,7 @@ impl AuditMode {
             AuditMode::Enabled => true,
             AuditMode::Disabled => false,
             AuditMode::Default => match std::env::var("HYMV_AUDIT").ok().as_deref() {
-                Some("0") | Some("off") | Some("false") => false,
+                Some("0" | "off" | "false") => false,
                 Some(_) => true,
                 None => cfg!(debug_assertions),
             },

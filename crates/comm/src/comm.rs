@@ -720,7 +720,7 @@ mod tests {
                 assert!(h.test(c).is_none());
                 c.barrier();
                 c.barrier();
-                h.test(c).map(|p| p.into_u64()[0]).unwrap_or(0)
+                h.test(c).map_or(0, |p| p.into_u64()[0])
             }
         });
         assert_eq!(out[1], 42);

@@ -59,7 +59,12 @@ pub use payload::Payload;
 pub use world::{RunConfig, Universe};
 
 /// Tags at or above this value are reserved for internal collectives.
-pub(crate) const RESERVED_TAG_BASE: u32 = 0xF000_0000;
+///
+/// This is the **single authoritative definition** of the reserved range:
+/// `assert_tag_valid` (the runtime guard), the protocol auditor, and the
+/// `hymv-verify` static passes all read this constant — do not copy the
+/// value anywhere else.
+pub const RESERVED_TAG_BASE: u32 = 0xF000_0000;
 
 /// Returns true if a user-supplied tag is valid (below the reserved range).
 pub fn tag_is_valid(tag: u32) -> bool {

@@ -681,9 +681,10 @@ mod tests {
         // Universe::run audits by default in test builds (unless the env
         // says otherwise, in which case skip the premise by panicking with
         // the expected message ourselves).
-        if !crate::AuditMode::Default.is_enabled() {
-            panic!("communication audit failed: (audit disabled by env; vacuous pass)");
-        }
+        assert!(
+            crate::AuditMode::Default.is_enabled(),
+            "communication audit failed: (audit disabled by env; vacuous pass)"
+        );
         let _ = Universe::run(2, |c| {
             if c.rank() == 0 {
                 c.isend(1, 5, Payload::from_u64(vec![1]));

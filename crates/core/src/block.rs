@@ -32,7 +32,7 @@ use crate::hybrid::{on_rank_pool, RacyTarget};
 use crate::maps::HymvMaps;
 
 /// Environment variable selecting the batch width (`B=1` recovers the
-/// per-element path; invalid values fall back to the default).
+/// per-element path; invalid values are a hard error, never a clamp).
 pub const BATCH_ENV: &str = "HYMV_EMV_BATCH";
 
 /// Default batch width: one AVX-512 vector (two AVX2 vectors) of lanes —
@@ -40,13 +40,38 @@ pub const BATCH_ENV: &str = "HYMV_EMV_BATCH";
 /// `nd × bw` panels of even Hex27 elasticity (nd = 81) stay L1-resident.
 pub const DEFAULT_BATCH_WIDTH: usize = 8;
 
-/// The batch width selected by `HYMV_EMV_BATCH` (clamped to
-/// `1..=MAX_BATCH_WIDTH`), or the default when unset/invalid.
+/// Parse a batch-width string. The one validation path shared by the
+/// `HYMV_EMV_BATCH` reader and the `--batch` CLI flags: `0`, values above
+/// [`MAX_BATCH_WIDTH`], and non-numeric input are errors with a message
+/// saying exactly what was wrong — silently clamping would make a typo'd
+/// width run a different kernel than the one the user asked to measure.
+pub fn parse_batch_width(s: &str) -> Result<usize, String> {
+    let t = s.trim();
+    match t.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "batch width 0 is invalid (use 1 for the per-element path, up to {MAX_BATCH_WIDTH})"
+        )),
+        Ok(b) if b > MAX_BATCH_WIDTH => Err(format!(
+            "batch width {b} exceeds the maximum of {MAX_BATCH_WIDTH}"
+        )),
+        Ok(b) => Ok(b),
+        Err(_) => Err(format!(
+            "batch width {t:?} is not a number (expected 1..={MAX_BATCH_WIDTH})"
+        )),
+    }
+}
+
+/// The batch width selected by `HYMV_EMV_BATCH`, or the default when the
+/// variable is unset.
+///
+/// # Panics
+/// On an invalid value (`0`, `> MAX_BATCH_WIDTH`, non-numeric): a bad
+/// width must stop setup, not silently run a different configuration.
 pub fn batch_width_from_env() -> usize {
     match std::env::var(BATCH_ENV) {
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(b) if b >= 1 => b.min(MAX_BATCH_WIDTH),
-            _ => DEFAULT_BATCH_WIDTH,
+        Ok(s) => match parse_batch_width(&s) {
+            Ok(b) => b,
+            Err(e) => panic!("{BATCH_ENV}: {e}"),
         },
         Err(_) => DEFAULT_BATCH_WIDTH,
     }
@@ -141,6 +166,21 @@ impl BlockSet {
     /// Doubles per panel (`nd × bw`).
     pub fn panel_len(&self) -> usize {
         self.nd * self.bw
+    }
+
+    /// Block `k`'s flattened gather/scatter table (`nd × bw` DA dof
+    /// indices, lane-major; padded lanes hold 0). Read-only, exposed for
+    /// the `hymv-verify` alias prover — the write set of block `k` is the
+    /// live-lane subset of these indices.
+    pub fn gather_indices(&self, k: usize) -> &[u32] {
+        let pl = self.panel_len();
+        &self.gidx[k * pl..(k + 1) * pl]
+    }
+
+    /// The block-id list the chunk-private loop chunks over. Read-only,
+    /// exposed for the `hymv-verify` fallback-coverage proof.
+    pub fn block_ids(&self) -> &[u32] {
+        &self.ids
     }
 
     /// Block `k`'s interleaved matrix slab (requires an attached store).
@@ -703,6 +743,23 @@ mod tests {
         assert_eq!(DEFAULT_BATCH_WIDTH, 8);
         assert!(batch_width_from_env() >= 1);
         assert!(batch_width_from_env() <= MAX_BATCH_WIDTH);
+    }
+
+    /// Invalid widths are hard errors with a message naming the problem —
+    /// never a silent clamp or fallback.
+    #[test]
+    fn batch_width_strict_parse() {
+        assert_eq!(parse_batch_width("1"), Ok(1));
+        assert_eq!(parse_batch_width(" 8 "), Ok(8));
+        assert_eq!(parse_batch_width("64"), Ok(MAX_BATCH_WIDTH));
+        let zero = parse_batch_width("0").unwrap_err();
+        assert!(zero.contains("batch width 0 is invalid"), "{zero}");
+        let big = parse_batch_width("65").unwrap_err();
+        assert!(big.contains("exceeds the maximum of 64"), "{big}");
+        let nan = parse_batch_width("fast").unwrap_err();
+        assert!(nan.contains("not a number"), "{nan}");
+        let neg = parse_batch_width("-3").unwrap_err();
+        assert!(neg.contains("not a number"), "{neg}");
     }
 
     #[test]

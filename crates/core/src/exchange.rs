@@ -16,9 +16,12 @@ use hymv_comm::{Comm, Payload};
 use crate::da::DistArray;
 use crate::maps::HymvMaps;
 
-const TAG_BUILD: u32 = 0x0C03;
-const TAG_SCATTER: u32 = 0x0C01;
-const TAG_GATHER: u32 = 0x0C02;
+/// Tag of the one-shot LNSM construction exchange (setup only).
+pub const TAG_BUILD: u32 = 0x0C03;
+/// Tag of the per-SPMV owned-value scatter (LNSM direction).
+pub const TAG_SCATTER: u32 = 0x0C01;
+/// Tag of the per-SPMV ghost-accumulation gather (GNGM direction).
+pub const TAG_GATHER: u32 = 0x0C02;
 
 /// The per-rank communication plan (LNSM + GNGM).
 #[derive(Debug, Clone)]

@@ -153,7 +153,7 @@ impl RacyTarget {
     /// Callers must guarantee no concurrent access to the same `idx`
     /// (here: element/block coloring).
     #[inline]
-    #[allow(unsafe_code)] // the raw write behind both colored loops; contract above
+    #[allow(unsafe_code)] // SAFETY: the raw write behind both colored loops; contract above
     pub(crate) unsafe fn add(&self, idx: usize, val: f64) {
         *self.ptr.add(idx) += val;
     }

@@ -51,7 +51,9 @@ pub mod operator;
 pub mod system;
 
 pub use assembled::AssembledOperator;
-pub use block::{batch_width_from_env, BlockPlan, BlockSet, BATCH_ENV, DEFAULT_BATCH_WIDTH};
+pub use block::{
+    batch_width_from_env, parse_batch_width, BlockPlan, BlockSet, BATCH_ENV, DEFAULT_BATCH_WIDTH,
+};
 pub use da::DistArray;
 pub use dirichlet_op::DirichletOp;
 pub use exchange::GhostExchange;

@@ -155,8 +155,10 @@ mod tests {
     }
 
     fn integrate(pts: &[QPoint], i: u32, j: u32, k: u32) -> f64 {
+        let e = |d: u32| i32::try_from(d).expect("monomial exponent fits i32");
+        let (pi, pj, pk) = (e(i), e(j), e(k));
         pts.iter()
-            .map(|q| q.w * q.xi[0].powi(i as i32) * q.xi[1].powi(j as i32) * q.xi[2].powi(k as i32))
+            .map(|q| q.w * q.xi[0].powi(pi) * q.xi[1].powi(pj) * q.xi[2].powi(pk))
             .sum()
     }
 

@@ -135,7 +135,7 @@ fn emv_avx2(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
-#[allow(unsafe_code)] // intrinsics; bounds guarded by the debug_asserts below
+#[allow(unsafe_code)] // SAFETY: caller proves the target features; bounds via the debug_asserts below
 unsafe fn emv_avx2_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     use std::arch::x86_64::*;
     let nd = ue.len();
@@ -167,7 +167,7 @@ fn emv_avx512(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
-#[allow(unsafe_code)] // intrinsics; bounds guarded by the debug_asserts below
+#[allow(unsafe_code)] // SAFETY: caller proves the target features; bounds via the debug_asserts below
 unsafe fn emv_avx512_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     use std::arch::x86_64::*;
     let nd = ue.len();
@@ -291,7 +291,7 @@ fn emv_batch_avx2(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize)
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
-#[allow(unsafe_code)] // intrinsics; bounds guarded by the debug_asserts below
+#[allow(unsafe_code)] // SAFETY: caller proves the target features; bounds via the debug_asserts below
 unsafe fn emv_batch_avx2_impl(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
     use std::arch::x86_64::*;
     debug_assert_eq!(keb.len(), nd * nd * bw);
@@ -333,7 +333,7 @@ fn emv_batch_avx512(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usiz
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
-#[allow(unsafe_code)] // intrinsics; bounds guarded by the debug_asserts below
+#[allow(unsafe_code)] // SAFETY: caller proves the target features; bounds via the debug_asserts below
 unsafe fn emv_batch_avx512_impl(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
     use std::arch::x86_64::*;
     debug_assert_eq!(keb.len(), nd * nd * bw);

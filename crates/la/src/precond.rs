@@ -97,7 +97,7 @@ impl BlockJacobi {
         for i in 0..n {
             let (start, end) = (lu.ptr[i], lu.ptr[i + 1]);
             for idx in start..end {
-                pos[lu.cols[idx] as usize] = idx as isize;
+                pos[lu.cols[idx] as usize] = isize::try_from(idx).expect("nnz index fits in isize");
             }
             for idx in start..end {
                 let k = lu.cols[idx] as usize;

@@ -338,10 +338,11 @@ mod tests {
         let out = Universe::run(1, |comm| {
             let mut a = vec![0.0; n * n];
             for i in 0..n {
-                let s = 10.0f64.powi((i % 5) as i32);
+                let scale = |v: usize| 10.0f64.powi(i32::try_from(v % 5).expect("v % 5 < 5"));
+                let s = scale(i);
                 a[i * n + i] = s;
                 if i + 1 < n {
-                    a[(i + 1) * n + i] = 0.1 * s.min(10.0f64.powi(((i + 1) % 5) as i32));
+                    a[(i + 1) * n + i] = 0.1 * s.min(scale(i + 1));
                     a[i * n + (i + 1)] = a[(i + 1) * n + i];
                 }
             }
@@ -413,7 +414,7 @@ mod tests {
             assert!(res_cg.converged && res_p.converged, "{res_cg:?} {res_p:?}");
             // Same Krylov space: iteration counts within a couple.
             assert!(
-                (res_cg.iterations as i64 - res_p.iterations as i64).abs() <= 3,
+                res_cg.iterations.abs_diff(res_p.iterations) <= 3,
                 "cg {} vs pipelined {}",
                 res_cg.iterations,
                 res_p.iterations

@@ -213,18 +213,15 @@ fn partition_greedy(mesh: &GlobalMesh, p: usize) -> Vec<usize> {
         let mut in_queue = vec![false; ne];
         in_queue[seed] = true;
         while grown < target {
-            let e = match queue.pop_front() {
-                Some(e) => e,
-                None => {
-                    // Disconnected remainder: restart from a fresh seed.
-                    match (0..ne).find(|&e| part[e] == UNASSIGNED && !in_queue[e]) {
-                        Some(s) => {
-                            in_queue[s] = true;
-                            queue.push_back(s);
-                            continue;
-                        }
-                        None => break,
+            let Some(e) = queue.pop_front() else {
+                // Disconnected remainder: restart from a fresh seed.
+                match (0..ne).find(|&e| part[e] == UNASSIGNED && !in_queue[e]) {
+                    Some(s) => {
+                        in_queue[s] = true;
+                        queue.push_back(s);
+                        continue;
                     }
+                    None => break,
                 }
             };
             if part[e] != UNASSIGNED {
@@ -278,9 +275,10 @@ impl PartitionStats {
         for e in 0..mesh.n_elems() {
             for &n in mesh.elem_nodes(e) {
                 let n = n as usize;
+                let pe = i64::try_from(part[e]).expect("part id fits in i64");
                 if first_part[n] < 0 {
-                    first_part[n] = part[e] as i64;
-                } else if first_part[n] != part[e] as i64 {
+                    first_part[n] = pe;
+                } else if first_part[n] != pe {
                     shared[n] = true;
                 }
             }

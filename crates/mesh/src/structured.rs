@@ -104,7 +104,8 @@ impl StructuredHexMesh {
             for j in 0..gy {
                 for i in 0..gx {
                     if keep(i, j, k) {
-                        compact[fine_id(i, j, k)] = coords.len() as i64;
+                        compact[fine_id(i, j, k)] =
+                            i64::try_from(coords.len()).expect("node count fits in i64");
                         coords.push([
                             self.lo[0] + i as f64 * h[0],
                             self.lo[1] + j as f64 * h[1],

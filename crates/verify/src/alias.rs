@@ -1,0 +1,268 @@
+//! The block-coloring / write-set alias prover.
+//!
+//! The colored parallel EMV loop (`BlockPlan::run_colored`) writes the
+//! output DA through raw shared pointers, with no synchronization inside a
+//! color class — its soundness rests entirely on the claim that *no two
+//! blocks of one color write the same DA dof*. The greedy colorer
+//! (`BlockSet::try_color`) is believed to establish this, and the
+//! perturbation detector (`hymv-check`) samples for violations at runtime;
+//! this module instead **proves the claim for a concrete plan** by direct
+//! dataflow over the scatter tables:
+//!
+//! * for every color class, the live-lane write sets of its blocks are
+//!   pairwise disjoint ([`check_block_coloring`]) — a violation names the
+//!   color, both blocks, the two elements, and the shared dof/node;
+//! * when the colorer bails (> 64 colors) and the engine falls back to
+//!   chunk-private accumulation, the fallback's block-id list covers every
+//!   block exactly once ([`check_chunk_cover`]) — a dropped block is a
+//!   silently wrong SPMV, a doubled one a double accumulation;
+//! * every scatter-table index is in-bounds for the DA
+//!   ([`check_gidx_bounds`]).
+//!
+//! The proof is per-plan: it certifies the `BlockPlan` actually built for
+//! this mesh/partition/batch-width, not the colorer for all inputs.
+
+use hymv_check::PassReport;
+use hymv_core::{BlockPlan, BlockSet, HymvMaps};
+
+/// Locate which live lane (element) of block `k` writes dof `d`, for
+/// diagnostics. Returns `(lane, element id)`.
+fn lane_writing(set: &BlockSet, nd: usize, bw: usize, k: usize, d: u32) -> Option<(usize, u32)> {
+    let gi = set.gather_indices(k);
+    for b in 0..set.len(k) {
+        if (0..nd).any(|row| gi[row * bw + b] == d) {
+            return Some((b, set.elems(k)[b]));
+        }
+    }
+    None
+}
+
+/// Describe a DA dof index as node/component/global-node for a violation
+/// message.
+fn describe_dof(maps: &HymvMaps, ndof: usize, d: u32) -> String {
+    let node = d as usize / ndof;
+    let comp = d as usize % ndof;
+    format!(
+        "dof {d} (local node {node}, component {comp}, global node {})",
+        maps.local_to_global(node)
+    )
+}
+
+/// Prove that `classes` is a proper block coloring of `set`: the classes
+/// partition `0..n_blocks`, and within each class the live-lane write sets
+/// are pairwise disjoint. Returns one violation string per problem found,
+/// each naming the offending element pair and the shared node.
+pub fn check_block_coloring(
+    maps: &HymvMaps,
+    set: &BlockSet,
+    ndof: usize,
+    classes: &[Vec<u32>],
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let nd = maps.npe * ndof;
+    let bw = set.panel_len().checked_div(nd).unwrap_or(0);
+
+    // The classes must tile the block list exactly once.
+    let mut times_colored = vec![0usize; set.n_blocks()];
+    for (color, class) in classes.iter().enumerate() {
+        for &k in class {
+            if (k as usize) < times_colored.len() {
+                times_colored[k as usize] += 1;
+            } else {
+                out.push(format!(
+                    "color {color} lists block {k}, but the set has only {} block(s)",
+                    set.n_blocks()
+                ));
+            }
+        }
+    }
+    for (k, &n) in times_colored.iter().enumerate() {
+        if n != 1 {
+            out.push(format!(
+                "block {k} appears in {n} color class(es); a proper coloring assigns exactly one"
+            ));
+        }
+    }
+
+    // Disjointness: within a class, map each written dof to the block that
+    // wrote it; a second writer is an alias — exactly the data race the
+    // colored loop's raw shared writes would turn into a lost update.
+    let mut writer: Vec<u32> = Vec::new();
+    for (color, class) in classes.iter().enumerate() {
+        writer.clear();
+        writer.resize(maps.n_total() * ndof, u32::MAX);
+        for &k in class {
+            let k = k as usize;
+            if k >= set.n_blocks() {
+                continue; // already reported above
+            }
+            let gi = set.gather_indices(k);
+            for row in 0..nd {
+                for b in 0..set.len(k) {
+                    let d = gi[row * bw + b];
+                    if d as usize >= writer.len() {
+                        continue; // bounds pass reports this
+                    }
+                    let prev = writer[d as usize];
+                    if prev == u32::MAX {
+                        writer[d as usize] = k as u32;
+                    } else if prev as usize != k {
+                        let (_, e_prev) =
+                            lane_writing(set, nd, bw, prev as usize, d).unwrap_or((0, u32::MAX));
+                        let e_here = set.elems(k)[b];
+                        out.push(format!(
+                            "alias in color {color}: blocks {prev} and {k} both write {} — \
+                             element {e_prev} (block {prev}) vs element {e_here} (block {k})",
+                            describe_dof(maps, ndof, d)
+                        ));
+                        // One report per (dof, block pair) is enough; keep
+                        // scanning other dofs.
+                        writer[d as usize] = k as u32;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Prove the chunk-private fallback covers every block exactly once: its
+/// block-id list must be a permutation of `0..n_blocks`. (The fallback
+/// needs no disjointness — workers accumulate into private buffers — but
+/// a missing or doubled block is a wrong answer regardless of schedule.)
+pub fn check_chunk_cover(set: &BlockSet) -> Vec<String> {
+    let mut out = Vec::new();
+    let n = set.n_blocks();
+    let ids = set.block_ids();
+    let mut seen = vec![0usize; n];
+    for &k in ids {
+        if (k as usize) < n {
+            seen[k as usize] += 1;
+        } else {
+            out.push(format!(
+                "chunk-private block list names block {k}, but the set has only {n} block(s)"
+            ));
+        }
+    }
+    for (k, &c) in seen.iter().enumerate() {
+        if c == 0 {
+            out.push(format!(
+                "chunk-private block list omits block {k}: its elements would never be computed"
+            ));
+        } else if c > 1 {
+            out.push(format!(
+                "chunk-private block list repeats block {k} ({c} times): its contributions \
+                 would be accumulated {c} times"
+            ));
+        }
+    }
+    out
+}
+
+/// Check every scatter-table index of `set` is in-bounds for the DA
+/// (`n_total × ndof` slots).
+pub fn check_gidx_bounds(maps: &HymvMaps, set: &BlockSet, ndof: usize, which: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let limit = (maps.n_total() * ndof) as u32;
+    for k in 0..set.n_blocks() {
+        if let Some(&bad) = set.gather_indices(k).iter().find(|&&d| d >= limit) {
+            out.push(format!(
+                "{which} block {k}: gather/scatter index {bad} out of bounds (DA has {limit} dofs)"
+            ));
+        }
+    }
+    out
+}
+
+/// Run the full alias proof for one rank's [`BlockPlan`]: bounds on both
+/// subsets, then — per subset — either a coloring disjointness proof (the
+/// colored loop will run) or a fallback coverage proof (> 64 colors, the
+/// chunk-private loop will run).
+pub fn prove_plan(maps: &HymvMaps, plan: &BlockPlan, ndof: usize) -> PassReport {
+    let mut report = PassReport::new("block-coloring alias proof");
+    for dependent in [false, true] {
+        let which = if dependent {
+            "dependent"
+        } else {
+            "independent"
+        };
+        let set = plan.set(dependent);
+        report.absorb(which, check_gidx_bounds(maps, set, ndof, which));
+        match plan.color_blocks(dependent) {
+            Some(classes) => {
+                report.absorb(which, check_block_coloring(maps, set, ndof, &classes));
+            }
+            None => {
+                report.absorb(
+                    &format!("{which} (chunk-private fallback)"),
+                    check_chunk_cover(set),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hymv_mesh::partition::{partition_mesh, PartitionMethod};
+    use hymv_mesh::{ElementType, StructuredHexMesh};
+
+    fn small_plan() -> (HymvMaps, BlockPlan) {
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+        let maps = HymvMaps::build(&pm.parts[0]);
+        let plan = BlockPlan::build(&maps, 1, 4);
+        (maps, plan)
+    }
+
+    #[test]
+    fn real_plan_proves_clean() {
+        let (maps, plan) = small_plan();
+        let report = prove_plan(&maps, &plan, 1);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn merged_classes_report_alias_with_element_pair() {
+        let (maps, plan) = small_plan();
+        let set = plan.set(false);
+        let mut classes = plan.color_blocks(false).expect("colorable");
+        assert!(classes.len() >= 2, "need >= 2 colors to corrupt");
+        // Merge class 1 into class 0. The greedy colorer only assigns color
+        // 1 to a block that conflicts with some color-0 block, so the merged
+        // class must contain at least one aliased pair.
+        let class1 = classes.remove(1);
+        classes[0].extend(class1);
+        let v = check_block_coloring(&maps, set, 1, &classes);
+        assert!(!v.is_empty());
+        assert!(
+            v.iter().any(|s| s.contains("alias in color 0")
+                && s.contains("element")
+                && s.contains("global node")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_block_reported() {
+        let (maps, plan) = small_plan();
+        let set = plan.set(false);
+        let mut classes = plan.color_blocks(false).expect("colorable");
+        let dropped = classes[0].pop().expect("nonempty class");
+        let v = check_block_coloring(&maps, set, 1, &classes);
+        assert!(
+            v.iter()
+                .any(|s| s.contains(&format!("block {dropped} appears in 0 color class(es)"))),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn chunk_cover_accepts_real_sets_only() {
+        let (_, plan) = small_plan();
+        let set = plan.set(false);
+        assert!(check_chunk_cover(set).is_empty());
+    }
+}

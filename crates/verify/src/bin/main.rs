@@ -1,0 +1,208 @@
+//! `hymv-verify` — static analysis over HYMV exchange plans, block
+//! colorings, and workspace source.
+//!
+//! ```text
+//! hymv-verify [--n N] [--p P1,P2,...] [--elem hex8|hex20|hex27|tet4|tet10]
+//!             [--method slabs|rcb|greedy] [--batch B] [--ndof D]
+//!             [--root PATH] [--skip-lint]
+//! ```
+//!
+//! Builds an `N³`-element mesh, and for each rank count `P` constructs the
+//! real `GhostExchange` plans (the only step that runs the comm substrate;
+//! the analysis itself executes nothing) and the real `BlockPlan`s, then
+//! runs the three static passes:
+//!
+//! 1. **exchange-plan model check** — deadlock-freedom, send/recv
+//!    matching, reserved-tag discipline, overlap ordering, and ghost-split
+//!    soundness of the symbolic Algorithm-2 schedule, with a minimal
+//!    counterexample trace on failure;
+//! 2. **block-coloring alias proof** — same-color write-set disjointness
+//!    (or chunk-private fallback coverage) for every rank's plan;
+//! 3. **workspace lint** — raw tag literals, blocking receives in the
+//!    overlap window, `#[allow(unsafe_code)]` without `// SAFETY:`, and
+//!    nondeterminism in kernel crates (skip with `--skip-lint`; `--root`
+//!    points at the workspace to lint).
+//!
+//! Exits 0 if every pass is clean, 1 on violations, 2 on bad usage.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hymv_comm::Universe;
+use hymv_core::{GhostExchange, HymvMaps};
+use hymv_mesh::partition::partition_mesh;
+use hymv_mesh::{unstructured_tet_mesh, ElementType, PartitionMethod, StructuredHexMesh};
+use hymv_verify::{lint_workspace, prove_plan, verify_exchange, PlanSummary};
+
+struct Options {
+    n: usize,
+    ps: Vec<usize>,
+    elem: ElementType,
+    method: PartitionMethod,
+    batch: usize,
+    ndof: usize,
+    root: PathBuf,
+    skip_lint: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hymv-verify [--n N] [--p P1,P2,...] [--elem hex8|hex20|hex27|tet4|tet10]\n\
+         \x20                  [--method slabs|rcb|greedy] [--batch B] [--ndof D]\n\
+         \x20                  [--root PATH] [--skip-lint]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        n: 4,
+        ps: vec![1, 2, 4, 8],
+        elem: ElementType::Hex8,
+        method: PartitionMethod::Slabs,
+        batch: hymv_core::DEFAULT_BATCH_WIDTH,
+        ndof: 1,
+        root: PathBuf::from("."),
+        skip_lint: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--n" => opts.n = val()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--p" => {
+                opts.ps = val()?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("--p: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--elem" => {
+                opts.elem = match val()?.as_str() {
+                    "hex8" => ElementType::Hex8,
+                    "hex20" => ElementType::Hex20,
+                    "hex27" => ElementType::Hex27,
+                    "tet4" => ElementType::Tet4,
+                    "tet10" => ElementType::Tet10,
+                    other => return Err(format!("unknown element type {other}")),
+                }
+            }
+            "--method" => {
+                opts.method = match val()?.as_str() {
+                    "slabs" => PartitionMethod::Slabs,
+                    "rcb" => PartitionMethod::Rcb,
+                    "greedy" => PartitionMethod::GreedyGraph,
+                    other => return Err(format!("unknown partition method {other}")),
+                }
+            }
+            "--batch" => {
+                // Shared strict validation (same path as HYMV_EMV_BATCH).
+                opts.batch =
+                    hymv_core::parse_batch_width(&val()?).map_err(|e| format!("--batch: {e}"))?
+            }
+            "--ndof" => opts.ndof = val()?.parse().map_err(|e| format!("--ndof: {e}"))?,
+            "--root" => opts.root = PathBuf::from(val()?),
+            "--skip-lint" => opts.skip_lint = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.n == 0 || opts.ndof == 0 {
+        return Err("--n and --ndof must be positive".into());
+    }
+    if opts.ps.is_empty() || opts.ps.contains(&0) {
+        return Err("--p needs a comma list of positive rank counts".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hymv-verify: {e}");
+            return usage();
+        }
+    };
+
+    println!(
+        "hymv-verify: {}^3 {:?} mesh ({:?}), np in {:?}, batch={}, ndof={}",
+        opts.n, opts.elem, opts.method, opts.ps, opts.batch, opts.ndof
+    );
+    let mesh = match opts.elem {
+        ElementType::Tet4 | ElementType::Tet10 => unstructured_tet_mesh(opts.n, opts.elem, 0.0, 1),
+        _ => StructuredHexMesh::unit(opts.n, opts.elem).build(),
+    };
+    let mut failed = false;
+
+    for &p in &opts.ps {
+        let pm = partition_mesh(&mesh, p, opts.method);
+        // The one non-static step: let each rank build its real
+        // GhostExchange (a collective), then freeze the plan shapes for
+        // the symbolic analysis.
+        let per_rank: Vec<(HymvMaps, PlanSummary)> = Universe::run(p, |comm| {
+            let maps = HymvMaps::build(&pm.parts[comm.rank()]);
+            let ex = GhostExchange::build(comm, &maps);
+            let summary = PlanSummary::from_exchange(&ex);
+            (maps, summary)
+        });
+        let (maps, plans): (Vec<_>, Vec<_>) = per_rank.into_iter().unzip();
+
+        print!("[1/3] np={p}: exchange-plan model check ...... ");
+        let result = verify_exchange(&plans, &maps);
+        if result.report.is_clean() {
+            println!(
+                "ok (deadlock-free, {} state(s) explored)",
+                result.states_explored
+            );
+        } else {
+            failed = true;
+            println!("FAILED\n{}", result.report);
+        }
+
+        print!("[2/3] np={p}: block-coloring alias proof ..... ");
+        let mut dirty = Vec::new();
+        for (rank, m) in maps.iter().enumerate() {
+            let plan = hymv_core::BlockPlan::build(m, opts.ndof, opts.batch);
+            let report = prove_plan(m, &plan, opts.ndof);
+            if !report.is_clean() {
+                dirty.push((rank, report));
+            }
+        }
+        if dirty.is_empty() {
+            println!("ok ({} rank plan(s) alias-free)", maps.len());
+        } else {
+            failed = true;
+            println!("FAILED");
+            for (rank, report) in dirty {
+                println!("rank {rank}: {report}");
+            }
+        }
+    }
+
+    print!("[3/3] workspace lint ......................... ");
+    if opts.skip_lint {
+        println!("skipped (--skip-lint)");
+    } else {
+        match lint_workspace(&opts.root) {
+            Ok(diags) if diags.is_empty() => println!("ok"),
+            Ok(diags) => {
+                failed = true;
+                println!("FAILED ({} finding(s))", diags.len());
+                for d in diags {
+                    println!("  {d}");
+                }
+            }
+            Err(e) => {
+                failed = true;
+                println!("FAILED\n  {e}");
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("hymv-verify: violations found");
+        ExitCode::FAILURE
+    } else {
+        println!("hymv-verify: all passes clean");
+        ExitCode::SUCCESS
+    }
+}

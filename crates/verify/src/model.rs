@@ -1,0 +1,738 @@
+//! The exchange-plan model checker.
+//!
+//! Algorithm 2's ghost exchange is a fixed, data-dependent message-passing
+//! schedule: the LNSM decides which scatter messages each rank sends, the
+//! GNGM decides which it waits for, and the gather runs the same edges in
+//! reverse. `hymv-check` can only *sample* this schedule at runtime (one
+//! interleaving per perturbation seed); this module instead builds the
+//! **symbolic per-rank program** directly from the `GhostExchange` plan
+//! data — no execution — and exhaustively explores the interleaving space
+//! to *prove*, for the given mesh/partition:
+//!
+//! * **deadlock-freedom** — every interleaving reaches termination;
+//! * **send/recv matching** — each channel `(src, dst, tag)` carries
+//!   exactly as many sends as receives;
+//! * **reserved-tag discipline** — no plan op uses a tag at or above
+//!   [`hymv_comm::RESERVED_TAG_BASE`];
+//! * **overlap ordering** — the dependent-element compute is program-
+//!   ordered after every scatter wait, and gather sends after it;
+//! * **ghost-split soundness** — independent elements (which overlap the
+//!   in-flight scatter) reference no ghost DA slot, so no interleaving can
+//!   make them read unarrived data.
+//!
+//! ## State-space search and partial-order reduction
+//!
+//! A state is the per-rank program counter vector plus per-channel message
+//! counts (messages on one channel are control-flow indistinguishable, so
+//! counts suffice). Buffered sends and compute steps are *safe actions*:
+//! always enabled, invisible to other ranks' enabledness except by adding
+//! messages (which can only enable, never disable), and commuting with
+//! every action of every other rank. The classic ample-set argument
+//! (Godefroot-style persistent sets, as used by MPI model checkers like
+//! ISP) lets the search execute the lowest-ranked safe action as the
+//! *only* successor of such a state; branching happens exactly when every
+//! unfinished rank sits at a receive (or synchronous send). The reduction
+//! preserves deadlock reachability, so "0 deadlocks in the reduced graph"
+//! is a proof, not a sample. Search is breadth-first, so a reported
+//! counterexample trace is minimal (fewest steps to the deadlock).
+//!
+//! Sends are modeled **buffered** by default, matching `hymv_comm::Comm`
+//! (`isend` moves the payload into the destination mailbox immediately).
+//! [`SendMode::Synchronous`] models rendezvous sends (MPI `MPI_Ssend`, or
+//! eager-limit overflow) where a send blocks until its receiver reaches
+//! the matching receive — the mode under which classic cyclic send/send
+//! plans deadlock, used by the negative fixtures and by anyone porting the
+//! exchange to an unbuffered transport.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use hymv_check::PassReport;
+use hymv_core::exchange::{TAG_GATHER, TAG_SCATTER};
+use hymv_core::{GhostExchange, HymvMaps};
+
+/// One symbolic operation of a rank program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Post one message to `dst` with `tag` (non-blocking when buffered).
+    Send { dst: usize, tag: u32 },
+    /// Wait for one message from `src` with `tag`.
+    Recv { src: usize, tag: u32 },
+    /// The independent-element EMV (overlaps in-flight scatter messages;
+    /// must therefore read owned data only).
+    ComputeIndep,
+    /// The dependent-element EMV (reads ghost data the scatter receives
+    /// write; must be program-ordered after them).
+    ComputeDep,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Send { dst, tag } => write!(f, "send -> rank {dst} tag {tag:#x}"),
+            Op::Recv { src, tag } => write!(f, "recv <- rank {src} tag {tag:#x}"),
+            Op::ComputeIndep => write!(f, "compute independent elements"),
+            Op::ComputeDep => write!(f, "compute dependent elements"),
+        }
+    }
+}
+
+/// Send semantics the model explores under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendMode {
+    /// `hymv_comm` semantics: the payload is buffered into the receiver's
+    /// mailbox at send time, so sends never block.
+    Buffered,
+    /// Rendezvous semantics: a send blocks until the destination rank's
+    /// next operation is the matching receive; the pair then steps
+    /// together. Models unbuffered transports.
+    Synchronous,
+}
+
+/// The symbolic multi-rank schedule under one send semantics.
+#[derive(Debug, Clone)]
+pub struct System {
+    /// One op sequence per rank.
+    pub programs: Vec<Vec<Op>>,
+    /// Send semantics to explore under.
+    pub mode: SendMode,
+}
+
+/// The communication shape of one rank's [`GhostExchange`], reduced to
+/// what the model checker needs: per plan entry, the peer rank and the
+/// node count (one message per entry).
+#[derive(Debug, Clone, Default)]
+pub struct PlanSummary {
+    /// LNSM entries: `(neighbour rank, nodes scattered there)`.
+    pub send_plan: Vec<(usize, usize)>,
+    /// GNGM entries: `(owner rank, ghost nodes gathered from it)`.
+    pub recv_plan: Vec<(usize, usize)>,
+}
+
+impl PlanSummary {
+    /// Extract the plan shape from a built exchange (read-only; no
+    /// communication happens here).
+    pub fn from_exchange(ex: &GhostExchange) -> Self {
+        PlanSummary {
+            send_plan: ex
+                .send_plan()
+                .iter()
+                .map(|(r, locals)| (*r, locals.len()))
+                .collect(),
+            recv_plan: ex
+                .recv_plan()
+                .iter()
+                .map(|(r, range)| (*r, range.len()))
+                .collect(),
+        }
+    }
+}
+
+impl System {
+    /// Build the symbolic Algorithm-2 schedule from per-rank plan shapes,
+    /// mirroring `HymvOperator::matvec` op for op: scatter sends, the
+    /// independent EMV overlapping them, scatter waits, the dependent EMV,
+    /// then the gather runs the transpose edges.
+    pub fn algorithm2(plans: &[PlanSummary], mode: SendMode) -> System {
+        let programs = plans
+            .iter()
+            .map(|plan| {
+                let mut ops = Vec::new();
+                for &(dst, _) in &plan.send_plan {
+                    ops.push(Op::Send {
+                        dst,
+                        tag: TAG_SCATTER,
+                    });
+                }
+                ops.push(Op::ComputeIndep);
+                for &(src, _) in &plan.recv_plan {
+                    ops.push(Op::Recv {
+                        src,
+                        tag: TAG_SCATTER,
+                    });
+                }
+                ops.push(Op::ComputeDep);
+                for &(src, _) in &plan.recv_plan {
+                    ops.push(Op::Send {
+                        dst: src,
+                        tag: TAG_GATHER,
+                    });
+                }
+                for &(dst, _) in &plan.send_plan {
+                    ops.push(Op::Recv {
+                        src: dst,
+                        tag: TAG_GATHER,
+                    });
+                }
+                ops
+            })
+            .collect();
+        System { programs, mode }
+    }
+}
+
+/// Result of one model-checking run: the report plus the machine-readable
+/// counterexample (when a deadlock was found) and the explored state
+/// count.
+#[derive(Debug)]
+pub struct ModelResult {
+    /// Violations in report form (the CLI prints this).
+    pub report: PassReport,
+    /// The minimal interleaving reaching the deadlock, as `(rank, op)`
+    /// steps from the initial state; `Some(vec![])` means the initial
+    /// state itself is deadlocked. `None` when no deadlock exists.
+    pub counterexample: Option<Vec<(usize, Op)>>,
+    /// States visited by the reduced search (diagnostics / perf bar).
+    pub states_explored: usize,
+}
+
+/// Exploration cap: the reduced graphs of real exchange plans are tiny
+/// (branching only happens when every rank is blocked on a receive), so
+/// hitting this means the input is far outside the intended domain — the
+/// checker reports it as inconclusive rather than spinning.
+const STATE_CAP: usize = 1_000_000;
+
+/// Model-check one symbolic system: reserved-tag discipline, channel
+/// send/recv matching, and exhaustive deadlock search with a minimal
+/// counterexample trace.
+pub fn check_system(sys: &System) -> ModelResult {
+    let mut report = PassReport::new("exchange-plan model check");
+
+    // Pass A: reserved-tag discipline, straight off the op lists.
+    for (rank, prog) in sys.programs.iter().enumerate() {
+        for op in prog {
+            let tag = match op {
+                Op::Send { tag, .. } | Op::Recv { tag, .. } => *tag,
+                _ => continue,
+            };
+            if !hymv_comm::tag_is_valid(tag) {
+                report.push(format!(
+                    "reserved-tag: rank {rank} plan op `{op}` uses tag {tag:#x} in the \
+                     reserved range (>= {:#x})",
+                    hymv_comm::RESERVED_TAG_BASE
+                ));
+            }
+        }
+    }
+
+    // Pass B: channel matching. Sends and receives on each (src, dst, tag)
+    // channel must pair off exactly — a surplus send is a message no wait
+    // will ever absorb, a surplus receive is a guaranteed hang.
+    let mut sends: HashMap<(usize, usize, u32), usize> = HashMap::new();
+    let mut recvs: HashMap<(usize, usize, u32), usize> = HashMap::new();
+    for (rank, prog) in sys.programs.iter().enumerate() {
+        for op in prog {
+            match *op {
+                Op::Send { dst, tag } => *sends.entry((rank, dst, tag)).or_default() += 1,
+                Op::Recv { src, tag } => *recvs.entry((src, rank, tag)).or_default() += 1,
+                _ => {}
+            }
+        }
+    }
+    let mut channels: Vec<(usize, usize, u32)> =
+        sends.keys().chain(recvs.keys()).copied().collect();
+    channels.sort_unstable();
+    channels.dedup();
+    for ch in &channels {
+        let (s, r) = (
+            sends.get(ch).copied().unwrap_or(0),
+            recvs.get(ch).copied().unwrap_or(0),
+        );
+        if s != r {
+            let (src, dst, tag) = *ch;
+            report.push(format!(
+                "unmatched channel: rank {src} -> rank {dst} tag {tag:#x} has {s} send(s) \
+                 but {r} receive(s)"
+            ));
+        }
+    }
+
+    // Pass C: exhaustive deadlock search over the reduced interleaving
+    // graph (see module docs for the soundness argument).
+    let (counterexample, states_explored) = search_deadlock(sys, &channels, &mut report);
+
+    ModelResult {
+        report,
+        counterexample,
+        states_explored,
+    }
+}
+
+/// A search state: program counters then channel counts, in the fixed
+/// channel order — directly usable as a hash key.
+type StateKey = Vec<u32>;
+
+fn search_deadlock(
+    sys: &System,
+    channels: &[(usize, usize, u32)],
+    report: &mut PassReport,
+) -> (Option<Vec<(usize, Op)>>, usize) {
+    let p = sys.programs.len();
+    let chan_index: HashMap<(usize, usize, u32), usize> =
+        channels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+
+    let initial: StateKey = vec![0u32; p + channels.len()];
+    // parent: state -> (predecessor state, step taken to get here).
+    let mut parent: HashMap<StateKey, Option<(StateKey, Vec<(usize, Op)>)>> = HashMap::new();
+    parent.insert(initial.clone(), None);
+    let mut queue: VecDeque<StateKey> = VecDeque::from([initial]);
+
+    while let Some(state) = queue.pop_front() {
+        if parent.len() > STATE_CAP {
+            report.push(format!(
+                "inconclusive: state space exceeded {STATE_CAP} states; \
+                 deadlock-freedom not established"
+            ));
+            return (None, parent.len());
+        }
+        let succs = successors(sys, &chan_index, &state);
+        if succs.is_empty() {
+            if let Some(rank) = (0..p).find(|&r| (state[r] as usize) < sys.programs[r].len()) {
+                // Deadlock: unfinished ranks, nothing enabled. Describe
+                // every blocked rank, then render the minimal trace.
+                let mut lines = vec!["deadlock:".to_string()];
+                for r in rank..p {
+                    let pc = state[r] as usize;
+                    if pc < sys.programs[r].len() {
+                        let op = sys.programs[r][pc];
+                        let why = match (op, sys.mode) {
+                            (Op::Send { .. }, SendMode::Synchronous) => {
+                                " (synchronous send: receiver never reaches the matching recv)"
+                            }
+                            _ => " (no matching message can ever arrive)",
+                        };
+                        lines.push(format!("    rank {r} blocked at op {pc}: `{op}`{why}"));
+                    }
+                }
+                let trace = rebuild_trace(&parent, &state);
+                lines.push(format!(
+                    "  minimal counterexample ({} step(s) from the initial state):",
+                    trace.len()
+                ));
+                for (i, (r, op)) in trace.iter().enumerate() {
+                    lines.push(format!("    [{i:>3}] rank {r}: {op}"));
+                }
+                report.push(lines.join("\n"));
+                return (Some(trace), parent.len());
+            }
+            continue; // all ranks finished: a clean terminal state
+        }
+        for (steps, next) in succs {
+            if !parent.contains_key(&next) {
+                parent.insert(next.clone(), Some((state.clone(), steps)));
+                queue.push_back(next);
+            }
+        }
+    }
+    (None, parent.len())
+}
+
+/// Enabled successor states of `state`, with the ample-set reduction: if
+/// any rank's next op is a safe action (buffered send / compute), only the
+/// lowest such rank steps.
+fn successors(
+    sys: &System,
+    chan_index: &HashMap<(usize, usize, u32), usize>,
+    state: &StateKey,
+) -> Vec<(Vec<(usize, Op)>, StateKey)> {
+    let p = sys.programs.len();
+    let current = |r: usize| -> Option<Op> {
+        let pc = state[r] as usize;
+        sys.programs[r].get(pc).copied()
+    };
+
+    // Ample set: a buffered send or compute step commutes with everything
+    // and can never be disabled — take the first one as the sole successor.
+    for r in 0..p {
+        let Some(op) = current(r) else { continue };
+        let safe = matches!(op, Op::ComputeIndep | Op::ComputeDep)
+            || (matches!(op, Op::Send { .. }) && sys.mode == SendMode::Buffered);
+        if safe {
+            let mut next = state.clone();
+            next[r] += 1;
+            if let Op::Send { dst, tag } = op {
+                next[p + chan_index[&(r, dst, tag)]] += 1;
+            }
+            return vec![(vec![(r, op)], next)];
+        }
+    }
+
+    // No safe action anywhere: expand every enabled receive (and, under
+    // synchronous mode, every enabled rendezvous pair).
+    let mut out = Vec::new();
+    for r in 0..p {
+        let Some(op) = current(r) else { continue };
+        match op {
+            Op::Recv { src, tag } => {
+                let Some(&ci) = chan_index.get(&(src, r, tag)) else {
+                    continue; // unmatched channel: never enabled
+                };
+                if state[p + ci] > 0 {
+                    let mut next = state.clone();
+                    next[r] += 1;
+                    next[p + ci] -= 1;
+                    out.push((vec![(r, op)], next));
+                }
+            }
+            // Rendezvous send: enabled iff the receiver's current op is
+            // the matching receive; both ranks advance in one step.
+            Op::Send { dst, tag }
+                if sys.mode == SendMode::Synchronous
+                    && dst < p
+                    && current(dst) == Some(Op::Recv { src: r, tag }) =>
+            {
+                let mut next = state.clone();
+                next[r] += 1;
+                next[dst] += 1;
+                out.push((vec![(r, op), (dst, Op::Recv { src: r, tag })], next));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn rebuild_trace(
+    parent: &HashMap<StateKey, Option<(StateKey, Vec<(usize, Op)>)>>,
+    state: &StateKey,
+) -> Vec<(usize, Op)> {
+    let mut trace = Vec::new();
+    let mut cur = state.clone();
+    while let Some(Some((prev, steps))) = parent.get(&cur) {
+        for s in steps.iter().rev() {
+            trace.push(*s);
+        }
+        cur = prev.clone();
+    }
+    trace.reverse();
+    trace
+}
+
+/// Check the cross-rank consistency of the raw plan shapes: every LNSM
+/// entry `r -> s` must have a matching GNGM entry at `s`, with identical
+/// message counts and node counts per direction (the gather reuses the
+/// same edges transposed, so one check covers both tags).
+pub fn check_plan_consistency(plans: &[PlanSummary]) -> Vec<String> {
+    let mut out = Vec::new();
+    let p = plans.len();
+    // (sender, receiver) -> (messages, nodes) aggregated over entries.
+    let mut scat_send: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    let mut scat_recv: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    for (r, plan) in plans.iter().enumerate() {
+        for &(dst, nodes) in &plan.send_plan {
+            if dst >= p {
+                out.push(format!(
+                    "rank {r}: LNSM entry names rank {dst}, but only {p} ranks exist"
+                ));
+                continue;
+            }
+            let e = scat_send.entry((r, dst)).or_default();
+            e.0 += 1;
+            e.1 += nodes;
+        }
+        for &(src, nodes) in &plan.recv_plan {
+            if src >= p {
+                out.push(format!(
+                    "rank {r}: GNGM entry names rank {src}, but only {p} ranks exist"
+                ));
+                continue;
+            }
+            let e = scat_recv.entry((src, r)).or_default();
+            e.0 += 1;
+            e.1 += nodes;
+        }
+    }
+    let mut edges: Vec<(usize, usize)> =
+        scat_send.keys().chain(scat_recv.keys()).copied().collect();
+    edges.sort_unstable();
+    edges.dedup();
+    for edge in edges {
+        let s = scat_send.get(&edge).copied().unwrap_or((0, 0));
+        let r = scat_recv.get(&edge).copied().unwrap_or((0, 0));
+        if s != r {
+            out.push(format!(
+                "plan mismatch on edge rank {} -> rank {}: LNSM side has {} message(s) \
+                 covering {} node(s), GNGM side expects {} message(s) covering {} node(s)",
+                edge.0, edge.1, s.0, s.1, r.0, r.1
+            ));
+        }
+    }
+    out
+}
+
+/// Check the program-order overlap discipline of one rank's Algorithm-2 op
+/// list: every scatter receive precedes the dependent compute, and every
+/// gather send follows it. This is what makes "dependent compute is
+/// ordered after the corresponding waits" a structural property rather
+/// than a lucky schedule.
+pub fn check_overlap_order(rank: usize, prog: &[Op]) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(dep_at) = prog.iter().position(|op| *op == Op::ComputeDep) else {
+        out.push(format!(
+            "rank {rank}: program has no dependent-element compute op"
+        ));
+        return out;
+    };
+    for (i, op) in prog.iter().enumerate() {
+        match *op {
+            Op::Recv {
+                tag: TAG_SCATTER, ..
+            } if i > dep_at => out.push(format!(
+                "rank {rank}: scatter wait `{op}` at op {i} is ordered after the dependent \
+                 compute (op {dep_at}) — dependent elements would read unarrived ghosts"
+            )),
+            Op::Send {
+                tag: TAG_GATHER, ..
+            } if i < dep_at => out.push(format!(
+                "rank {rank}: gather send `{op}` at op {i} is ordered before the dependent \
+                 compute (op {dep_at}) — it would ship ghost contributions not yet computed"
+            )),
+            Op::Recv {
+                tag: TAG_GATHER, ..
+            } if i < dep_at => out.push(format!(
+                "rank {rank}: gather wait `{op}` at op {i} is ordered before the dependent \
+                 compute (op {dep_at})"
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Check the independent/dependent ghost split of one rank's maps: the
+/// independent EMV overlaps the in-flight scatter, so an independent
+/// element referencing a ghost slot would read data no wait has ordered.
+/// Dependent elements must conversely touch at least one ghost (or they
+/// are needlessly serialized behind the waits — a performance bug the
+/// paper's split exists to avoid).
+pub fn check_ghost_split(rank: usize, maps: &HymvMaps) -> Vec<String> {
+    let mut out = Vec::new();
+    let owned = maps.gpre.len()..maps.gpre.len() + maps.n_owned();
+    for &e in &maps.independent {
+        for &l in maps.elem_local_nodes(e as usize) {
+            if !owned.contains(&(l as usize)) {
+                out.push(format!(
+                    "rank {rank}: independent element {e} references ghost DA slot {l} \
+                     (global node {}) — it would race the in-flight scatter",
+                    maps.local_to_global(l as usize)
+                ));
+            }
+        }
+    }
+    for &e in &maps.dependent {
+        let touches_ghost = maps
+            .elem_local_nodes(e as usize)
+            .iter()
+            .any(|&l| !owned.contains(&(l as usize)));
+        if !touches_ghost {
+            out.push(format!(
+                "rank {rank}: dependent element {e} references no ghost slot — it should \
+                 be in the independent (overlapping) set"
+            ));
+        }
+    }
+    out
+}
+
+/// Run every static exchange check for one partitioned problem: plan
+/// consistency, ghost splits, per-rank overlap order, and the exhaustive
+/// deadlock/matching search over the Algorithm-2 schedule.
+pub fn verify_exchange(plans: &[PlanSummary], maps: &[HymvMaps]) -> ModelResult {
+    let sys = System::algorithm2(plans, SendMode::Buffered);
+    let mut result = check_system(&sys);
+    for v in check_plan_consistency(plans) {
+        result.report.push(v);
+    }
+    for (rank, prog) in sys.programs.iter().enumerate() {
+        for v in check_overlap_order(rank, prog) {
+            result.report.push(v);
+        }
+    }
+    for (rank, m) in maps.iter().enumerate() {
+        for v in check_ghost_split(rank, m) {
+            result.report.push(v);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rank_ring(tag: u32) -> System {
+        System {
+            programs: vec![
+                vec![Op::Send { dst: 1, tag }, Op::Recv { src: 1, tag }],
+                vec![Op::Send { dst: 0, tag }, Op::Recv { src: 0, tag }],
+            ],
+            mode: SendMode::Buffered,
+        }
+    }
+
+    #[test]
+    fn buffered_ring_is_clean() {
+        let r = check_system(&two_rank_ring(5));
+        assert!(r.report.is_clean(), "{}", r.report);
+        assert!(r.counterexample.is_none());
+        assert!(r.states_explored > 0);
+    }
+
+    #[test]
+    fn synchronous_ring_deadlocks_with_empty_trace() {
+        let mut sys = two_rank_ring(5);
+        sys.mode = SendMode::Synchronous;
+        let r = check_system(&sys);
+        // Both ranks blocked at their first (synchronous) send: the initial
+        // state is the deadlock, so the minimal counterexample is 0 steps.
+        assert_eq!(r.counterexample, Some(vec![]));
+        let text = format!("{}", r.report);
+        assert!(text.contains("rank 0 blocked at op 0"), "{text}");
+        assert!(text.contains("rank 1 blocked at op 0"), "{text}");
+    }
+
+    #[test]
+    fn head_to_head_recv_deadlock_found() {
+        // Recv-before-send cycle: deadlocked immediately even with
+        // buffered sends.
+        let sys = System {
+            programs: vec![
+                vec![Op::Recv { src: 1, tag: 3 }, Op::Send { dst: 1, tag: 3 }],
+                vec![Op::Recv { src: 0, tag: 3 }, Op::Send { dst: 0, tag: 3 }],
+            ],
+            mode: SendMode::Buffered,
+        };
+        let r = check_system(&sys);
+        assert_eq!(r.counterexample, Some(vec![]));
+    }
+
+    #[test]
+    fn unmatched_send_reported_without_deadlock() {
+        // Rank 0 sends twice, rank 1 receives once: terminates, but one
+        // message is never absorbed.
+        let sys = System {
+            programs: vec![
+                vec![Op::Send { dst: 1, tag: 2 }, Op::Send { dst: 1, tag: 2 }],
+                vec![Op::Recv { src: 0, tag: 2 }],
+            ],
+            mode: SendMode::Buffered,
+        };
+        let r = check_system(&sys);
+        assert!(r.counterexample.is_none());
+        let text = format!("{}", r.report);
+        assert!(
+            text.contains("rank 0 -> rank 1 tag 0x2 has 2 send(s) but 1 receive(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn missing_sender_blocks_forever() {
+        // Rank 1 waits on a message rank 0 never posts: the search walks
+        // rank 0 to completion, then finds rank 1 wedged.
+        let sys = System {
+            programs: vec![vec![Op::ComputeIndep], vec![Op::Recv { src: 0, tag: 9 }]],
+            mode: SendMode::Buffered,
+        };
+        let r = check_system(&sys);
+        let trace = r.counterexample.expect("deadlock");
+        assert_eq!(trace, vec![(0, Op::ComputeIndep)]);
+        let text = format!("{}", r.report);
+        assert!(text.contains("rank 1 blocked at op 0"), "{text}");
+        assert!(text.contains("unmatched channel"), "{text}");
+    }
+
+    #[test]
+    fn reserved_tag_in_plan_reported() {
+        let sys = two_rank_ring(hymv_comm::RESERVED_TAG_BASE + 1);
+        let r = check_system(&sys);
+        let text = format!("{}", r.report);
+        assert!(text.contains("reserved-tag"), "{text}");
+    }
+
+    #[test]
+    fn overlap_order_catches_reordered_wait() {
+        // A scatter recv after ComputeDep and a gather send before it.
+        let prog = vec![
+            Op::ComputeIndep,
+            Op::Send {
+                dst: 1,
+                tag: TAG_GATHER,
+            },
+            Op::ComputeDep,
+            Op::Recv {
+                src: 1,
+                tag: TAG_SCATTER,
+            },
+        ];
+        let v = check_overlap_order(0, &prog);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|s| s.contains("unarrived ghosts")), "{v:?}");
+        assert!(v.iter().any(|s| s.contains("not yet computed")), "{v:?}");
+    }
+
+    #[test]
+    fn algorithm2_program_shape() {
+        let plans = vec![
+            PlanSummary {
+                send_plan: vec![(1, 4)],
+                recv_plan: vec![(1, 3)],
+            },
+            PlanSummary {
+                send_plan: vec![(0, 3)],
+                recv_plan: vec![(0, 4)],
+            },
+        ];
+        assert!(check_plan_consistency(&plans).is_empty());
+        let sys = System::algorithm2(&plans, SendMode::Buffered);
+        assert_eq!(
+            sys.programs[0],
+            vec![
+                Op::Send {
+                    dst: 1,
+                    tag: TAG_SCATTER
+                },
+                Op::ComputeIndep,
+                Op::Recv {
+                    src: 1,
+                    tag: TAG_SCATTER
+                },
+                Op::ComputeDep,
+                Op::Send {
+                    dst: 1,
+                    tag: TAG_GATHER
+                },
+                Op::Recv {
+                    src: 1,
+                    tag: TAG_GATHER
+                },
+            ]
+        );
+        let r = check_system(&sys);
+        assert!(r.report.is_clean(), "{}", r.report);
+        for (rank, prog) in sys.programs.iter().enumerate() {
+            assert!(check_overlap_order(rank, prog).is_empty());
+        }
+    }
+
+    #[test]
+    fn plan_mismatch_reported() {
+        let plans = vec![
+            PlanSummary {
+                send_plan: vec![(1, 4)],
+                recv_plan: vec![],
+            },
+            PlanSummary {
+                send_plan: vec![],
+                recv_plan: vec![(0, 5)],
+            },
+        ];
+        let v = check_plan_consistency(&plans);
+        assert_eq!(v.len(), 1);
+        assert!(
+            v[0].contains("4 node(s)") && v[0].contains("5 node(s)"),
+            "{}",
+            v[0]
+        );
+    }
+}

@@ -45,9 +45,7 @@ fn main() {
             sys.inf_error(comm, &u, |x| vec![PoissonProblem::exact(x)])
         });
         let err = out[0];
-        let rate = prev_err
-            .map(|p| format!("{:.2}", (p / err).log2()))
-            .unwrap_or_else(|| "-".to_string());
+        let rate = prev_err.map_or_else(|| "-".to_string(), |p| format!("{:.2}", (p / err).log2()));
         println!(
             "{:>7}³ {:>12} {:>14.3e} {:>8}",
             n,
