@@ -23,6 +23,10 @@ echo "== hymv-verify static passes (model check, alias proof, lint)"
 cargo run -q -p hymv-verify --bin hymv-verify -- --n 4 --p 1,2,4,8
 cargo run -q -p hymv-verify --bin hymv-verify -- --n 4 --p 1,2,4,8 --method greedy --skip-lint
 
+echo "== hymv-chaos smoke sweep (recoverable faults heal bitwise; crash aborts typed)"
+cargo run -q --release -p hymv-check --bin hymv-chaos -- \
+    --n 3 --p 2 --seeds 2 --scenarios drop,corrupt,crash
+
 echo "== emv_batch bench smoke"
 HYMV_BENCH_SMOKE=1 cargo bench -q -p hymv-bench --bench emv_batch
 cargo run -q --release -p hymv-bench --bin bench_emv_batch -- --smoke

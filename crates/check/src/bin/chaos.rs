@@ -1,0 +1,147 @@
+//! `hymv-chaos` — seeded fault-scenario sweep for the recovery protocol.
+//!
+//! ```text
+//! hymv-chaos [--n N] [--p P] [--seeds K|s1,s2,...]
+//!            [--scenarios drop,corrupt,...] [--methods hymv,matfree,...]
+//!            [--json PATH]
+//! ```
+//!
+//! Solves an `N`³-element Poisson problem over `P` ranks once fault-free
+//! and once per (scenario, seed, SPMV method) under the scenario's
+//! injected [`FaultPlan`](hymv_comm::FaultPlan), then checks the
+//! `hymv-chaos` contract: recoverable faults heal to **bitwise-identical**
+//! solutions and residual histories; unrecoverable faults terminate every
+//! rank with a typed report — never a hang, never a silently wrong
+//! answer. Exits 0 if every case holds the contract, 1 otherwise, 2 on
+//! bad usage. `--json` writes the full [`ChaosSummary`] for CI artifacts.
+
+use std::process::ExitCode;
+
+use hymv_check::chaos::{chaos_sweep, parse_method, Scenario};
+use hymv_check::parse_seeds;
+use hymv_core::Method;
+
+struct Options {
+    n: usize,
+    p: usize,
+    seeds: Vec<u64>,
+    scenarios: Vec<Scenario>,
+    methods: Vec<Method>,
+    json: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hymv-chaos [--n N] [--p P] [--seeds K|s1,s2,...]\n\
+         \x20                 [--scenarios drop,duplicate,corrupt,reorder,delay,crash]\n\
+         \x20                 [--methods hymv,matfree,assembled] [--json PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        n: 3,
+        p: 3,
+        seeds: parse_seeds(None, 8),
+        scenarios: Scenario::ALL.to_vec(),
+        methods: vec![Method::Hymv, Method::MatFree, Method::Assembled],
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--n" => opts.n = val()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--p" => opts.p = val()?.parse().map_err(|e| format!("--p: {e}"))?,
+            "--seeds" => opts.seeds = parse_seeds(Some(&val()?), 8),
+            "--scenarios" => {
+                opts.scenarios = val()?
+                    .split(',')
+                    .map(|s| Scenario::parse(s.trim()).ok_or(format!("unknown scenario {s}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--methods" => {
+                opts.methods = val()?
+                    .split(',')
+                    .map(|s| parse_method(s.trim()).ok_or(format!("unknown method {s}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--json" => opts.json = Some(val()?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.n == 0 {
+        return Err("--n must be positive".into());
+    }
+    if opts.p < 2 {
+        return Err("--p must be at least 2 (rank 0 alone has no ghost traffic)".into());
+    }
+    if opts.seeds.is_empty() || opts.scenarios.is_empty() || opts.methods.is_empty() {
+        return Err("--seeds/--scenarios/--methods need at least one entry".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hymv-chaos: {e}");
+            return usage();
+        }
+    };
+
+    println!(
+        "hymv-chaos: {}^3 Hex8 Poisson, {} ranks, {} seed(s) x {} scenario(s) x {} method(s)",
+        opts.n,
+        opts.p,
+        opts.seeds.len(),
+        opts.scenarios.len(),
+        opts.methods.len()
+    );
+
+    let summary = chaos_sweep(opts.n, opts.p, &opts.seeds, &opts.scenarios, &opts.methods);
+
+    for case in &summary.cases {
+        let detail = match case.outcome {
+            "healed" => format!(
+                "retries={} timeouts={} dups={} corrupt={}",
+                case.retries, case.timeouts, case.dups_suppressed, case.corrupt_detected
+            ),
+            "typed-abort" => format!("{} typed report(s)", case.faults.len()),
+            _ => case.violations.join("; "),
+        };
+        println!(
+            "  {:9} {:9} seed={:<4} {:11} {detail}",
+            case.scenario, case.method, case.seed, case.outcome
+        );
+    }
+    println!(
+        "hymv-chaos: {} healed, {} typed aborts, {} failures \
+         (retries={} timeouts={} dups={} corrupt={})",
+        summary.healed,
+        summary.typed_aborts,
+        summary.failures,
+        summary.total_retries,
+        summary.total_timeouts,
+        summary.total_dups_suppressed,
+        summary.total_corrupt_detected
+    );
+
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, summary.to_json()) {
+            eprintln!("hymv-chaos: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("hymv-chaos: summary written to {path}");
+    }
+
+    if summary.is_clean() {
+        println!("hymv-chaos: contract held on every case");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("hymv-chaos: contract violations found");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,433 @@
+//! `hymv-chaos` — the seeded fault-scenario sweep.
+//!
+//! For every (scenario, seed, SPMV method) triple the sweep solves the
+//! same Poisson system twice: once on a perfect transport and once under
+//! the scenario's [`FaultPlan`], then holds the run to the `hymv-chaos`
+//! contract:
+//!
+//! * **recoverable scenarios** (drop / duplicate / corrupt / reorder /
+//!   delay) must converge with a **bitwise-identical** solution and
+//!   residual history — the recovery protocol may cost virtual time but
+//!   never bits;
+//! * **unrecoverable scenarios** (rank crash) must terminate **every**
+//!   rank with a typed [`FaultReport`] — never a hang, never a silently
+//!   wrong answer.
+//!
+//! The sweep returns a [`ChaosSummary`] that serializes to JSON with the
+//! reliable-channel counters (retries, timeouts, duplicates suppressed,
+//! corruptions detected) aggregated per case and over the whole sweep.
+
+use std::sync::Arc;
+
+use hymv_comm::{
+    AuditMode, CommStats, CostModel, FaultPlan, FaultReport, RetryPolicy, RunConfig, Universe,
+};
+use hymv_core::system::{BuildOptions, FemSystem, Method, PrecondKind};
+use hymv_fem::analytic::PoissonProblem;
+use hymv_fem::PoissonKernel;
+use hymv_mesh::partition::partition_mesh;
+use hymv_mesh::{ElementType, PartitionMethod, PartitionedMesh, StructuredHexMesh};
+
+/// One injected-fault scenario of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// 10% of envelopes are dropped (timeout + retransmit path).
+    Drop,
+    /// 10% of envelopes are delivered twice (dedup path).
+    Duplicate,
+    /// 10% of envelopes take a single-bit flip (checksum path).
+    Corrupt,
+    /// Half of all envelopes are delivered out of order (sequencing path).
+    Reorder,
+    /// 10% of envelopes arrive with 8× modeled latency (straggler path).
+    Delay,
+    /// The last rank's data plane dies after its third envelope —
+    /// unrecoverable by construction.
+    Crash,
+}
+
+impl Scenario {
+    /// Every scenario, in sweep order.
+    pub const ALL: [Scenario; 6] = [
+        Scenario::Drop,
+        Scenario::Duplicate,
+        Scenario::Corrupt,
+        Scenario::Reorder,
+        Scenario::Delay,
+        Scenario::Crash,
+    ];
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Drop => "drop",
+            Scenario::Duplicate => "duplicate",
+            Scenario::Corrupt => "corrupt",
+            Scenario::Reorder => "reorder",
+            Scenario::Delay => "delay",
+            Scenario::Crash => "crash",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|sc| sc.name() == s)
+    }
+
+    /// Whether the recovery protocol is expected to heal this scenario.
+    pub fn recoverable(self) -> bool {
+        !matches!(self, Scenario::Crash)
+    }
+
+    /// The seeded fault plan this scenario injects on a `size`-rank run.
+    pub fn plan(self, seed: u64, size: usize) -> FaultPlan {
+        match self {
+            Scenario::Drop => FaultPlan::new(seed).with_drop(0.10),
+            Scenario::Duplicate => FaultPlan::new(seed).with_duplicate(0.10),
+            Scenario::Corrupt => FaultPlan::new(seed).with_corrupt(0.10),
+            Scenario::Reorder => FaultPlan::new(seed).with_reorder(0.5),
+            Scenario::Delay => FaultPlan::new(seed).with_delay(0.10, 8.0),
+            Scenario::Crash => FaultPlan::new(seed).with_crash(size - 1, 3),
+        }
+    }
+}
+
+/// Report name of an SPMV method.
+pub fn method_name(m: Method) -> &'static str {
+    match m {
+        Method::Hymv => "hymv",
+        Method::MatFree => "matfree",
+        Method::Assembled => "assembled",
+    }
+}
+
+/// Parse a CLI method name.
+pub fn parse_method(s: &str) -> Option<Method> {
+    match s {
+        "hymv" => Some(Method::Hymv),
+        "matfree" => Some(Method::MatFree),
+        "assembled" => Some(Method::Assembled),
+        _ => None,
+    }
+}
+
+/// Verdict of one (scenario, seed, method) case.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ChaosCase {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// SPMV method name.
+    pub method: &'static str,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// `"healed"`, `"typed-abort"`, or `"FAILED"`.
+    pub outcome: &'static str,
+    /// CG iterations of the fault-free baseline.
+    pub iterations: usize,
+    /// Retransmission requests, summed over ranks.
+    pub retries: u64,
+    /// Loss timeouts observed, summed over ranks.
+    pub timeouts: u64,
+    /// Duplicate envelopes suppressed, summed over ranks.
+    pub dups_suppressed: u64,
+    /// Checksum-detected corruptions, summed over ranks.
+    pub corrupt_detected: u64,
+    /// Rendered typed fault reports (crash cases).
+    pub faults: Vec<String>,
+    /// Contract violations (empty = the case held the contract).
+    pub violations: Vec<String>,
+}
+
+/// The whole sweep, JSON-serializable for CI artifacts.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ChaosSummary {
+    /// Mesh resolution (N³ Hex8 elements).
+    pub n: usize,
+    /// Rank count.
+    pub ranks: usize,
+    /// Fault seeds swept.
+    pub seeds: Vec<u64>,
+    /// Cases whose faults were healed bit-exactly.
+    pub healed: usize,
+    /// Unrecoverable cases that terminated with typed reports on every
+    /// rank (the required outcome — these are *successes*).
+    pub typed_aborts: usize,
+    /// Cases that broke the contract.
+    pub failures: usize,
+    /// Total retransmissions across the sweep.
+    pub total_retries: u64,
+    /// Total loss timeouts across the sweep.
+    pub total_timeouts: u64,
+    /// Total duplicates suppressed across the sweep.
+    pub total_dups_suppressed: u64,
+    /// Total checksum catches across the sweep.
+    pub total_corrupt_detected: u64,
+    /// Every case, in sweep order.
+    pub cases: Vec<ChaosCase>,
+}
+
+impl ChaosSummary {
+    /// True iff every case held the `hymv-chaos` contract.
+    pub fn is_clean(&self) -> bool {
+        self.failures == 0
+    }
+
+    /// Pretty JSON encoding (the CI artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("chaos summary serialization cannot fail")
+    }
+}
+
+/// Per-rank output of one solve: owned solution, residual history, stats.
+type RankRun = (Vec<f64>, Vec<f64>, CommStats);
+
+fn run_cfg(fault: Option<FaultPlan>) -> RunConfig {
+    RunConfig {
+        model: CostModel::default(),
+        perturb_seed: None,
+        // Fault runs legitimately strand tombstones and duplicates; the
+        // audit teardown sweep would flag them. Disabled on the baseline
+        // too, so both runs execute the identical configuration.
+        audit: AuditMode::Disabled,
+        fault,
+        retry: RetryPolicy::default(),
+    }
+}
+
+fn solve_poisson(pm: &PartitionedMesh, method: Method, comm: &mut hymv_comm::Comm) -> RankRun {
+    let part = &pm.parts[comm.rank()];
+    // Deliberately NOT `PoissonProblem::body()`: the manufactured solution
+    // is a Laplacian eigenfunction, and on a uniform grid its nodal vector
+    // is an eigenvector of the Jacobi-preconditioned stencil — CG then
+    // converges in ONE iteration and the solve carries almost no ghost
+    // traffic for the injector to hit. A non-eigen polynomial forcing
+    // yields a real multi-iteration solve; the chaos contract compares
+    // faulted vs fault-free bits, so no analytic solution is needed.
+    let kernel = Arc::new(PoissonKernel::with_body(
+        ElementType::Hex8,
+        Arc::new(|x: [f64; 3]| 1.0 + x[0] - 2.0 * x[1] * x[1] + x[0] * x[1] * x[2]),
+    ));
+    let mut sys = FemSystem::build(
+        comm,
+        part,
+        kernel,
+        &PoissonProblem::dirichlet(),
+        BuildOptions::new(method),
+    );
+    let (x, res) = sys.solve(comm, PrecondKind::Jacobi, 1e-9, 2_000);
+    (x, res.history, comm.stats())
+}
+
+/// Run the sweep: every `scenario` × `seed` × `method` case on an
+/// `n`³-element Hex8 Poisson problem over `p` ranks (greedy-graph
+/// partition). Needs `p ≥ 2` — a single rank has no ghost traffic to
+/// inject faults into.
+pub fn chaos_sweep(
+    n: usize,
+    p: usize,
+    seeds: &[u64],
+    scenarios: &[Scenario],
+    methods: &[Method],
+) -> ChaosSummary {
+    assert!(p >= 2, "the chaos sweep needs at least 2 ranks");
+    assert!(!seeds.is_empty() && !scenarios.is_empty() && !methods.is_empty());
+    let mesh = StructuredHexMesh::unit(n, ElementType::Hex8).build();
+    let pm = partition_mesh(&mesh, p, PartitionMethod::GreedyGraph);
+
+    let mut cases = Vec::new();
+    for &method in methods {
+        // The fault-free baseline: identical configuration, no injector.
+        let (baseline, _) =
+            Universe::run_configured(run_cfg(None), p, |comm| solve_poisson(&pm, method, comm));
+        let base_iters = baseline[0].1.len().saturating_sub(1);
+        for &scenario in scenarios {
+            for &seed in seeds {
+                let cfg = run_cfg(Some(scenario.plan(seed, p)));
+                let (results, _) =
+                    Universe::run_chaos(cfg, p, |comm| solve_poisson(&pm, method, comm));
+                cases.push(judge(
+                    scenario, method, seed, base_iters, &baseline, results,
+                ));
+            }
+        }
+    }
+
+    let healed = cases.iter().filter(|c| c.outcome == "healed").count();
+    let typed_aborts = cases.iter().filter(|c| c.outcome == "typed-abort").count();
+    let failures = cases.len() - healed - typed_aborts;
+    ChaosSummary {
+        n,
+        ranks: p,
+        seeds: seeds.to_vec(),
+        healed,
+        typed_aborts,
+        failures,
+        total_retries: cases.iter().map(|c| c.retries).sum(),
+        total_timeouts: cases.iter().map(|c| c.timeouts).sum(),
+        total_dups_suppressed: cases.iter().map(|c| c.dups_suppressed).sum(),
+        total_corrupt_detected: cases.iter().map(|c| c.corrupt_detected).sum(),
+        cases,
+    }
+}
+
+fn judge(
+    scenario: Scenario,
+    method: Method,
+    seed: u64,
+    base_iters: usize,
+    baseline: &[RankRun],
+    results: Vec<Result<RankRun, FaultReport>>,
+) -> ChaosCase {
+    let mut case = ChaosCase {
+        scenario: scenario.name(),
+        method: method_name(method),
+        seed,
+        outcome: "FAILED",
+        iterations: base_iters,
+        retries: 0,
+        timeouts: 0,
+        dups_suppressed: 0,
+        corrupt_detected: 0,
+        faults: Vec::new(),
+        violations: Vec::new(),
+    };
+    for (rank, res) in results.into_iter().enumerate() {
+        match res {
+            Ok((x, history, stats)) => {
+                case.retries += stats.retries;
+                case.timeouts += stats.timeouts;
+                case.dups_suppressed += stats.dups_suppressed;
+                case.corrupt_detected += stats.corrupt_detected;
+                if !scenario.recoverable() {
+                    case.violations.push(format!(
+                        "rank {rank}: completed under an unrecoverable fault"
+                    ));
+                    continue;
+                }
+                let (bx, bh, _) = &baseline[rank];
+                // Bitwise: the recovery protocol may cost virtual time,
+                // never bits. f64 == is exact here (histories are finite).
+                if &x != bx {
+                    case.violations
+                        .push(format!("rank {rank}: solution bits differ from fault-free"));
+                }
+                if &history != bh {
+                    case.violations.push(format!(
+                        "rank {rank}: residual history differs from fault-free \
+                         ({} vs {} entries)",
+                        history.len(),
+                        bh.len()
+                    ));
+                }
+            }
+            Err(report) => {
+                if scenario.recoverable() {
+                    case.violations
+                        .push(format!("rank {rank}: unexpected abort: {report}"));
+                } else {
+                    case.faults.push(report.to_string());
+                }
+            }
+        }
+    }
+    if case.violations.is_empty() {
+        case.outcome = if scenario.recoverable() {
+            "healed"
+        } else {
+            "typed-abort"
+        };
+    }
+    case
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drop and corruption across two operators: every case healed, the
+    /// checksum fired, and the summary JSON carries the counters.
+    #[test]
+    fn recoverable_scenarios_heal_bit_exactly() {
+        let summary = chaos_sweep(
+            3,
+            2,
+            &[11, 12],
+            &[Scenario::Drop, Scenario::Corrupt],
+            &[Method::Hymv, Method::Assembled],
+        );
+        assert!(
+            summary.is_clean(),
+            "{}",
+            summary
+                .cases
+                .iter()
+                .flat_map(|c| c.violations.iter().cloned())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(summary.healed, summary.cases.len());
+        assert!(
+            summary.total_timeouts > 0,
+            "a 10% drop plan must fire at least once across the sweep"
+        );
+        assert!(
+            summary.total_corrupt_detected > 0,
+            "a 10% corruption plan must trip the checksum at least once"
+        );
+        let json = summary.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(v.get("total_retries").and_then(|x| x.as_f64()).is_some());
+        assert_eq!(
+            v.get("failures").and_then(|x| x.as_f64()),
+            Some(0.0),
+            "{json}"
+        );
+    }
+
+    /// The negative case: a crashed rank yields a typed report on every
+    /// rank for every method — this test completing is the no-hang proof.
+    #[test]
+    fn crash_terminates_typed_on_all_methods() {
+        let summary = chaos_sweep(
+            3,
+            2,
+            &[5],
+            &[Scenario::Crash],
+            &[Method::Hymv, Method::MatFree, Method::Assembled],
+        );
+        assert!(summary.is_clean(), "{:?}", summary.cases);
+        assert_eq!(summary.typed_aborts, 3);
+        for case in &summary.cases {
+            assert!(
+                !case.faults.is_empty(),
+                "{}: no typed report captured",
+                case.method
+            );
+        }
+    }
+
+    /// Reorder + delay + duplicate sweep over the matrix-free operator.
+    #[test]
+    fn reordering_scenarios_heal_matfree() {
+        let summary = chaos_sweep(
+            3,
+            2,
+            &[7],
+            &[Scenario::Reorder, Scenario::Delay, Scenario::Duplicate],
+            &[Method::MatFree],
+        );
+        assert!(summary.is_clean(), "{:?}", summary.cases);
+        assert_eq!(summary.healed, 3);
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for sc in Scenario::ALL {
+            assert_eq!(Scenario::parse(sc.name()), Some(sc));
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+        for m in [Method::Hymv, Method::MatFree, Method::Assembled] {
+            assert_eq!(parse_method(method_name(m)), Some(m));
+        }
+    }
+}

@@ -21,16 +21,23 @@
 //!   bijectivity, the `[pre-ghost | owned | post-ghost]` DA ordering,
 //!   partition range tiling, and the LNSM/GNGM transpose duality
 //!   (structurally and with numerical scatter/gather probes).
+//! * [`chaos`] — the **seeded fault-scenario sweep** (`hymv-chaos`
+//!   binary). [`chaos_sweep`] solves the same Poisson system fault-free
+//!   and under injected drop/duplicate/corrupt/reorder/delay/crash plans
+//!   across the SPMV operators, asserting bitwise-identical recovery or
+//!   a typed abort — never a hang, never a silently wrong answer.
 
 #![forbid(unsafe_code)]
 
 pub mod biteq;
+pub mod chaos;
 pub mod maps;
 pub mod perturb;
 pub mod protocol;
 pub mod report;
 
 pub use biteq::BitEq;
+pub use chaos::{chaos_sweep, ChaosCase, ChaosSummary, Scenario};
 pub use maps::{check_exchange, check_maps, check_partition, MapsReport};
 pub use perturb::{parse_seeds, run_perturbed, seeds_from_env, SEEDS_ENV};
 pub use protocol::{run_audited, AuditMode, AuditReport, AuditViolation};

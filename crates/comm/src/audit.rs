@@ -34,6 +34,8 @@ use crate::RESERVED_TAG_BASE;
 pub enum AuditEventKind {
     /// This rank buffered a send into `dst`'s mailbox.
     SendPosted { dst: usize, tag: u32, bytes: usize },
+    /// This rank confirmed a send's completion (`SendHandle::wait`).
+    SendCompleted { dst: usize, tag: u32 },
     /// This rank completed a matched receive.
     RecvCompleted { src: usize, tag: u32, bytes: usize },
     /// This rank deposited its contribution to collective `seq`.
@@ -49,6 +51,9 @@ impl fmt::Display for AuditEventKind {
         match self {
             AuditEventKind::SendPosted { dst, tag, bytes } => {
                 write!(f, "send  -> rank {dst} tag {tag:#x} ({bytes} B)")
+            }
+            AuditEventKind::SendCompleted { dst, tag } => {
+                write!(f, "send✓ -> rank {dst} tag {tag:#x}")
             }
             AuditEventKind::RecvCompleted { src, tag, bytes } => {
                 write!(f, "recv  <- rank {src} tag {tag:#x} ({bytes} B)")

@@ -3,8 +3,10 @@
 use std::sync::Arc;
 
 use crate::audit::AuditEventKind;
+use crate::fault::{DeliverAs, FaultAbort, FaultReport, RetryPolicy};
 use crate::ledger::{thread_cpu_time, CommStats, Ledger};
 use crate::payload::Payload;
+use crate::reliable::ReliableState;
 use crate::world::{mix64, next_rand, Message, World};
 
 /// A completed-immediately send token (sends are buffered: the payload is
@@ -27,9 +29,13 @@ impl SendHandle {
         self.tag
     }
 
-    /// Waits for completion — a no-op for buffered sends, provided so call
-    /// sites read like their MPI counterparts.
-    pub fn wait(self, _comm: &mut Comm) {}
+    /// Waits for completion. Sends are buffered so there is nothing to
+    /// block on, but completion is *recorded*: the ledger counts the send
+    /// as confirmed and the protocol auditor sees its full lifetime
+    /// (`SendPosted` … `SendCompleted`) instead of a fire-and-forget.
+    pub fn wait(self, comm: &mut Comm) {
+        comm.confirm_send(self);
+    }
 }
 
 /// A posted non-blocking receive. Completing it (`wait`) blocks until a
@@ -68,15 +74,18 @@ impl IallreduceHandle {
     }
 }
 
-/// One rank's communicator: point-to-point, collectives, and the
-/// virtual-time ledger.
+/// One rank's communicator: point-to-point, collectives, the virtual-time
+/// ledger, and the reliable envelope layer's per-rank state.
 pub struct Comm {
-    rank: usize,
-    world: Arc<World>,
-    ledger: Ledger,
+    pub(crate) rank: usize,
+    pub(crate) world: Arc<World>,
+    pub(crate) ledger: Ledger,
     coll_seq: u64,
     /// Per-rank jitter stream under schedule perturbation (None otherwise).
     jitter: Option<u64>,
+    /// Sequence numbers, retransmit window, and dedup state of the
+    /// reliable envelope transport (see `crate::reliable`).
+    pub(crate) reliable: ReliableState,
 }
 
 impl Comm {
@@ -85,12 +94,14 @@ impl Comm {
         let jitter = world
             .perturb_seed
             .map(|s| mix64(s.wrapping_add(mix64(rank as u64 + 1))));
+        let reliable = ReliableState::new(world.retry);
         Comm {
             rank,
             world,
             ledger,
             coll_seq: 0,
             jitter,
+            reliable,
         }
     }
 
@@ -137,15 +148,87 @@ impl Comm {
 
     // ---------------------------------------------------------------- p2p
 
-    /// Non-blocking (buffered) send.
+    /// Non-blocking (buffered) send on the **reliable** fabric: never
+    /// fault-injected, mirroring MPI's guaranteed delivery. Fault studies
+    /// go through [`Comm::isend_unreliable`] (via the envelope API).
     pub fn isend(&mut self, dst: usize, tag: u32, payload: Payload) -> SendHandle {
         assert!(dst < self.size(), "destination rank {dst} out of range");
         crate::assert_tag_valid(tag);
         self.isend_internal(dst, tag, payload)
     }
 
-    fn isend_internal(&mut self, dst: usize, tag: u32, payload: Payload) -> SendHandle {
-        let mut arrival_vt = self.ledger.on_send(payload.len_bytes());
+    /// Non-blocking send through the fault injector (when one is active):
+    /// the message may be dropped (delivered as a tombstone), duplicated,
+    /// reordered, delayed, or bit-flipped according to the world's
+    /// [`FaultPlan`](crate::FaultPlan). Payloads sent here **must** be
+    /// protected by the envelope layer — a tombstone reaching a raw
+    /// receive is a panic, because raw receives cannot recover.
+    pub fn isend_unreliable(&mut self, dst: usize, tag: u32, payload: Payload) -> SendHandle {
+        assert!(dst < self.size(), "destination rank {dst} out of range");
+        crate::assert_tag_valid(tag);
+        let Some(decision) = self.world.fault.as_ref().map(|f| f.decide(self.rank, dst)) else {
+            return self.isend_internal(dst, tag, payload);
+        };
+        let base_arrival = self.stamp_arrival(payload.len_bytes());
+        let vt = self.ledger.vt();
+        // A straggler link stretches the modeled transit only; the payload
+        // and its eventual position in the residual history are untouched.
+        let arrival_vt = vt + (base_arrival - vt) * decision.delay_mult;
+        let (payload, dropped) = match decision.deliver {
+            DeliverAs::Data => (payload, false),
+            DeliverAs::Tombstone => (Payload::Bytes(Vec::new()), true),
+            DeliverAs::Corrupt { bit } => {
+                let mut p = payload;
+                p.corrupt_bit(bit);
+                (p, false)
+            }
+        };
+        let duplicate = decision.duplicate.then(|| Message {
+            src: self.rank,
+            tag,
+            payload: payload.clone(),
+            // The copy trails the original by one latency unit.
+            arrival_vt: arrival_vt + self.ledger.model().alpha,
+            dropped,
+        });
+        let msg = Message {
+            src: self.rank,
+            tag,
+            payload,
+            arrival_vt,
+            dropped,
+        };
+        match decision.reorder_pos {
+            Some(pos) => self.world.deliver_shuffled(dst, msg, pos),
+            None => self.world.deliver(dst, msg),
+        }
+        if let Some(dup) = duplicate {
+            self.world.deliver(dst, dup);
+        }
+        SendHandle { dst, tag }
+    }
+
+    /// Unchecked-tag send on the reliable fabric (internal: also carries
+    /// the control-band traffic of the reliable layer).
+    pub(crate) fn isend_internal(&mut self, dst: usize, tag: u32, payload: Payload) -> SendHandle {
+        let arrival_vt = self.stamp_arrival(payload.len_bytes());
+        self.world.deliver(
+            dst,
+            Message {
+                src: self.rank,
+                tag,
+                payload,
+                arrival_vt,
+                dropped: false,
+            },
+        );
+        SendHandle { dst, tag }
+    }
+
+    /// Charge a send to the ledger and compute its modeled arrival stamp
+    /// (with the perturbation jitter applied when enabled).
+    fn stamp_arrival(&mut self, bytes: usize) -> f64 {
+        let mut arrival_vt = self.ledger.on_send(bytes);
         if let Some(state) = &mut self.jitter {
             // Stretch the modeled transit by a random factor in [1, 2).
             // Only the virtual-time stamp moves — payloads are untouched —
@@ -155,16 +238,22 @@ impl Comm {
             let vt = self.ledger.vt();
             arrival_vt = vt + (arrival_vt - vt) * (1.0 + unit);
         }
-        self.world.deliver(
-            dst,
-            Message {
-                src: self.rank,
-                tag,
-                payload,
-                arrival_vt,
-            },
-        );
-        SendHandle { dst, tag }
+        arrival_vt
+    }
+
+    /// Record a send's completion in the ledger and audit log (the body of
+    /// [`SendHandle::wait`]).
+    pub(crate) fn confirm_send(&mut self, h: SendHandle) {
+        self.ledger.on_send_confirmed();
+        if let Some(log) = &self.world.audit {
+            log.record(
+                self.rank,
+                AuditEventKind::SendCompleted {
+                    dst: h.dst,
+                    tag: h.tag,
+                },
+            );
+        }
     }
 
     /// Post a non-blocking receive from `src` with `tag`.
@@ -194,14 +283,20 @@ impl Comm {
     /// `hymv_check::run_perturbed`).
     pub fn recv_any(&mut self, tag: u32) -> (usize, Payload) {
         crate::assert_tag_valid(tag);
-        let msg = self.world.receive_any(self.rank, tag);
+        let msg = if self.world.fault.is_some() {
+            self.serviced_receive_any(tag)
+        } else {
+            self.world.receive_any(self.rank, tag)
+        };
+        self.expect_live(&msg);
         self.ledger
             .on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
         (msg.src, msg.payload)
     }
 
     fn complete_recv(&mut self, src: usize, tag: u32) -> Payload {
-        let msg = self.world.receive(self.rank, src, tag);
+        let msg = self.blocking_receive(src, tag);
+        self.expect_live(&msg);
         self.ledger
             .on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
         msg.payload
@@ -209,10 +304,75 @@ impl Comm {
 
     fn try_complete_recv(&mut self, src: usize, tag: u32) -> Option<Payload> {
         self.world.try_receive(self.rank, src, tag).map(|msg| {
+            self.expect_live(&msg);
             self.ledger
                 .on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
             msg.payload
         })
+    }
+
+    /// Blocking matched receive that may return a tombstone. With no
+    /// injector this is the plain condvar wait; under fault injection it
+    /// polls, so the rank keeps servicing reliable-layer retransmission
+    /// requests (and notices a poisoned world) while "blocked" — a rank
+    /// stuck in a plain wait could otherwise deadlock a neighbour whose
+    /// recovery needs this rank to resend.
+    pub(crate) fn blocking_receive(&mut self, src: usize, tag: u32) -> Message {
+        if self.world.fault.is_none() {
+            return self.world.receive(self.rank, src, tag);
+        }
+        loop {
+            if let Some(msg) = self.world.try_receive(self.rank, src, tag) {
+                return msg;
+            }
+            self.world.check_poison(self.rank);
+            self.service_resend_requests();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Wildcard counterpart of [`Comm::blocking_receive`].
+    fn serviced_receive_any(&mut self, tag: u32) -> Message {
+        loop {
+            if let Some(msg) = self.world.try_receive_any(self.rank, tag) {
+                return msg;
+            }
+            self.world.check_poison(self.rank);
+            self.service_resend_requests();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Raw receives have no recovery protocol, so a tombstone reaching one
+    /// is a programming error (traffic sent through the injector without
+    /// the envelope API).
+    fn expect_live(&self, msg: &Message) {
+        assert!(
+            !msg.dropped,
+            "rank {}: dropped message (src {}, tag {:#x}) reached a raw receive; \
+             fault-injected traffic must go through the envelope API \
+             (send_enveloped/recv_enveloped)",
+            self.rank, msg.src, msg.tag
+        );
+    }
+
+    /// True once the reliable layer has seen enough timeouts to give up on
+    /// overlap (see `RetryPolicy::degrade_after`); operators consult this
+    /// to fall back from the overlapped to the blocking exchange schedule.
+    pub fn degraded(&self) -> bool {
+        self.reliable.degraded
+    }
+
+    /// The retry/backoff policy this rank runs under.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.reliable.policy
+    }
+
+    /// Record the typed report, poison the world so every other rank
+    /// unwinds from its blocking waits, and abort this rank.
+    pub(crate) fn fault_abort(&self, report: FaultReport) -> ! {
+        self.world.poison(report.clone());
+        std::panic::panic_any(FaultAbort(report));
     }
 
     // ------------------------------------------------------------ compute
@@ -254,13 +414,44 @@ impl Comm {
         s
     }
 
+    /// Post + await a rendezvous. The await is serviced: under fault
+    /// injection a rank parked in a collective still answers its
+    /// neighbours' retransmission requests and notices a poisoned world —
+    /// without this, a sender sitting in an allreduce while its neighbour
+    /// retries a lost ghost message would deadlock the pair.
+    fn rendezvous_serviced(
+        &mut self,
+        seq: u64,
+        contribution: Option<Payload>,
+        combine: impl FnOnce(&mut Vec<Option<Payload>>) -> Vec<Payload>,
+    ) -> (f64, Payload) {
+        self.world
+            .rendezvous_post(self.rank, seq, self.vt(), contribution, combine);
+        self.coll_await(seq)
+    }
+
+    /// Blocking half of a collective, fault-aware (see
+    /// [`Comm::rendezvous_serviced`]).
+    fn coll_await(&mut self, seq: u64) -> (f64, Payload) {
+        if self.world.fault.is_none() {
+            return self.world.rendezvous_await(self.rank, seq);
+        }
+        loop {
+            if let Some(out) = self.world.try_rendezvous_result(self.rank, seq) {
+                return out;
+            }
+            self.world.check_poison(self.rank);
+            self.service_resend_requests();
+            std::thread::yield_now();
+        }
+    }
+
     /// Synchronize all ranks (virtual clocks advance to the global max).
     pub fn barrier(&mut self) {
         let seq = self.next_seq();
         let size = self.size();
-        let (max_vt, _) = self.world.rendezvous(self.rank, seq, self.vt(), None, |_| {
-            vec![Payload::Bytes(Vec::new()); size]
-        });
+        let (max_vt, _) =
+            self.rendezvous_serviced(seq, None, |_| vec![Payload::Bytes(Vec::new()); size]);
         self.ledger.on_collective(max_vt, size);
     }
 
@@ -282,12 +473,8 @@ impl Comm {
     fn allreduce_f64(&mut self, x: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
         let seq = self.next_seq();
         let size = self.size();
-        let (max_vt, result) = self.world.rendezvous(
-            self.rank,
-            seq,
-            self.vt(),
-            Some(Payload::from_f64(vec![x])),
-            move |contrib| {
+        let (max_vt, result) =
+            self.rendezvous_serviced(seq, Some(Payload::from_f64(vec![x])), move |contrib| {
                 let acc = contrib
                     .iter()
                     .map(|c| match c {
@@ -297,8 +484,7 @@ impl Comm {
                     .reduce(&op)
                     .expect("size >= 1");
                 vec![Payload::from_f64(vec![acc]); size]
-            },
-        );
+            });
         self.ledger.on_collective(max_vt, size);
         result.into_f64()[0]
     }
@@ -316,12 +502,8 @@ impl Comm {
     fn allreduce_u64(&mut self, x: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
         let seq = self.next_seq();
         let size = self.size();
-        let (max_vt, result) = self.world.rendezvous(
-            self.rank,
-            seq,
-            self.vt(),
-            Some(Payload::from_u64(vec![x])),
-            move |contrib| {
+        let (max_vt, result) =
+            self.rendezvous_serviced(seq, Some(Payload::from_u64(vec![x])), move |contrib| {
                 let acc = contrib
                     .iter()
                     .map(|c| match c {
@@ -331,8 +513,7 @@ impl Comm {
                     .reduce(&op)
                     .expect("size >= 1");
                 vec![Payload::from_u64(vec![acc]); size]
-            },
-        );
+            });
         self.ledger.on_collective(max_vt, size);
         result.into_u64()[0]
     }
@@ -372,7 +553,7 @@ impl Comm {
     /// Complete a posted non-blocking allreduce.
     pub(crate) fn iallreduce_wait(&mut self, h: IallreduceHandle) -> Vec<f64> {
         let size = self.size();
-        let (max_vt, result) = self.world.rendezvous_await(self.rank, h.seq);
+        let (max_vt, result) = self.coll_await(h.seq);
         self.ledger.on_collective(max_vt, size);
         result.into_f64()
     }
@@ -382,12 +563,8 @@ impl Comm {
     pub fn allgather_u64(&mut self, mine: Vec<u64>) -> Vec<Vec<u64>> {
         let seq = self.next_seq();
         let size = self.size();
-        let (max_vt, result) = self.world.rendezvous(
-            self.rank,
-            seq,
-            self.vt(),
-            Some(Payload::from_u64(mine)),
-            move |contrib| {
+        let (max_vt, result) =
+            self.rendezvous_serviced(seq, Some(Payload::from_u64(mine)), move |contrib| {
                 // Flatten with length prefixes so one payload carries all.
                 let mut flat = Vec::new();
                 for c in contrib.iter() {
@@ -400,8 +577,7 @@ impl Comm {
                     }
                 }
                 vec![Payload::from_u64(flat); size]
-            },
-        );
+            });
         self.ledger.on_collective(max_vt, size);
         let flat = result.into_u64();
         let mut out = Vec::with_capacity(size);
@@ -424,12 +600,10 @@ impl Comm {
         );
         let seq = self.next_seq();
         let size = self.size();
-        let (max_vt, result) =
-            self.world
-                .rendezvous(self.rank, seq, self.vt(), payload, move |contrib| {
-                    let p = contrib[root].take().expect("root contributed");
-                    vec![p; size]
-                });
+        let (max_vt, result) = self.rendezvous_serviced(seq, payload, move |contrib| {
+            let p = contrib[root].take().expect("root contributed");
+            vec![p; size]
+        });
         self.ledger.on_collective(max_vt, size);
         result
     }

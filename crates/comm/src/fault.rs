@@ -1,0 +1,480 @@
+//! Deterministic, seeded fault injection for the message substrate.
+//!
+//! A [`FaultPlan`] describes *which* transport faults to inject (drop,
+//! duplication, out-of-order delivery beyond the perturbation jitter,
+//! bounded delay/stragglers, bit-flip payload corruption, one-shot rank
+//! crash) and with what seeded probabilities. The plan is **off by
+//! default** and only applies to traffic sent through the fault-scoped
+//! entry point (`Comm::isend_unreliable`, which the reliable envelope
+//! layer uses for all ghost-exchange traffic) — collectives and setup
+//! exchanges model a reliable fabric, exactly like MPI's own collectives.
+//!
+//! ## Determinism
+//!
+//! Every fault decision is drawn from a SplitMix64 stream keyed by
+//! `(plan.seed, src, dst)` and consumed in the sender's program order, so
+//! the decision sequence on each link is a pure function of the plan —
+//! independent of thread scheduling. Dropped messages are not vanished:
+//! they are delivered as **tombstones** (`Message::dropped`), modelling
+//! the instant the receiver's timeout would fire. This is what makes
+//! virtual-time timeouts deterministic: the loss *event* is observed at a
+//! modeled arrival time instead of depending on a wall-clock race.
+//!
+//! Unrecoverable faults terminate the whole universe through a typed
+//! [`FaultReport`]: the detecting rank poisons the shared world and every
+//! blocking wait re-checks the poison flag, so no rank can hang. Use
+//! [`Universe::run_chaos`](crate::Universe::run_chaos) to harvest the
+//! per-rank `Result<T, FaultReport>`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::world::{mix64, next_rand};
+
+/// One-shot rank crash: after `rank` has posted `after_sends` fault-scoped
+/// sends, every later fault-scoped send from it is permanently tombstoned
+/// (the rank keeps computing and servicing control traffic — it is the
+/// *data plane* that dies, as with a failed NIC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The rank whose outbound data plane fails.
+    pub rank: usize,
+    /// Number of fault-scoped sends it completes before failing.
+    pub after_sends: u64,
+}
+
+/// A seeded description of transport faults to inject. All probabilities
+/// are per-message and default to zero (no faults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-link decision streams.
+    pub seed: u64,
+    /// Probability a message is dropped (delivered as a tombstone).
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability one payload bit is flipped in flight.
+    pub corrupt: f64,
+    /// Probability a message is inserted at a random mailbox position,
+    /// ignoring even the per-(src, tag) FIFO the perturbation jitter
+    /// preserves.
+    pub reorder: f64,
+    /// Probability a message's modeled transit is stretched by
+    /// [`FaultPlan::delay_factor`] (straggler link).
+    pub delay: f64,
+    /// Transit multiplier for delayed messages (≥ 1).
+    pub delay_factor: f64,
+    /// Optional one-shot rank crash.
+    pub crash: Option<CrashSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with every fault disabled (seed only).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder: 0.0,
+            delay: 0.0,
+            delay_factor: 8.0,
+            crash: None,
+        }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the bit-flip corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Sets the mailbox-reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder = p;
+        self
+    }
+
+    /// Sets the straggler probability and its transit multiplier.
+    pub fn with_delay(mut self, p: f64, factor: f64) -> Self {
+        self.delay = p;
+        self.delay_factor = factor;
+        self
+    }
+
+    /// Sets the one-shot rank crash.
+    pub fn with_crash(mut self, rank: usize, after_sends: u64) -> Self {
+        self.crash = Some(CrashSpec { rank, after_sends });
+        self
+    }
+
+    /// True when at least one fault can fire.
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0
+            || self.duplicate > 0.0
+            || self.corrupt > 0.0
+            || self.reorder > 0.0
+            || self.delay > 0.0
+            || self.crash.is_some()
+    }
+
+    /// Builds a plan from `HYMV_FAULT_*` environment variables, or `None`
+    /// when none of them is set:
+    ///
+    /// `HYMV_FAULT_SEED` (default 1), `HYMV_FAULT_DROP`, `HYMV_FAULT_DUP`,
+    /// `HYMV_FAULT_CORRUPT`, `HYMV_FAULT_REORDER`, `HYMV_FAULT_DELAY`
+    /// (probabilities in `[0, 1]`), `HYMV_FAULT_DELAY_FACTOR` (≥ 1,
+    /// default 8), `HYMV_FAULT_CRASH_RANK` + `HYMV_FAULT_CRASH_AFTER`.
+    ///
+    /// # Panics
+    /// Malformed values are hard errors, matching `HYMV_EMV_BATCH`: a typo
+    /// silently disabling a chaos run would invalidate its verdict.
+    pub fn from_env() -> Option<FaultPlan> {
+        let get = |name: &str| std::env::var(name).ok();
+        let vars = [
+            "HYMV_FAULT_SEED",
+            "HYMV_FAULT_DROP",
+            "HYMV_FAULT_DUP",
+            "HYMV_FAULT_CORRUPT",
+            "HYMV_FAULT_REORDER",
+            "HYMV_FAULT_DELAY",
+            "HYMV_FAULT_DELAY_FACTOR",
+            "HYMV_FAULT_CRASH_RANK",
+            "HYMV_FAULT_CRASH_AFTER",
+        ];
+        if vars.iter().all(|v| get(v).is_none()) {
+            return None;
+        }
+        let prob = |name: &str| -> f64 {
+            get(name).map_or(0.0, |s| {
+                let p: f64 = s.parse().unwrap_or_else(|e| panic!("{name}={s:?}: {e}"));
+                assert!((0.0..=1.0).contains(&p), "{name}={s:?}: not in [0, 1]");
+                p
+            })
+        };
+        let seed = get("HYMV_FAULT_SEED").map_or(1, |s| {
+            s.parse()
+                .unwrap_or_else(|e| panic!("HYMV_FAULT_SEED={s:?}: {e}"))
+        });
+        let delay_factor = get("HYMV_FAULT_DELAY_FACTOR").map_or(8.0, |s| {
+            let f: f64 = s
+                .parse()
+                .unwrap_or_else(|e| panic!("HYMV_FAULT_DELAY_FACTOR={s:?}: {e}"));
+            assert!(f >= 1.0, "HYMV_FAULT_DELAY_FACTOR={s:?}: must be >= 1");
+            f
+        });
+        let crash = get("HYMV_FAULT_CRASH_RANK").map(|s| {
+            let rank = s
+                .parse()
+                .unwrap_or_else(|e| panic!("HYMV_FAULT_CRASH_RANK={s:?}: {e}"));
+            let after_sends = get("HYMV_FAULT_CRASH_AFTER").map_or(0, |s| {
+                s.parse()
+                    .unwrap_or_else(|e| panic!("HYMV_FAULT_CRASH_AFTER={s:?}: {e}"))
+            });
+            CrashSpec { rank, after_sends }
+        });
+        Some(FaultPlan {
+            seed,
+            drop: prob("HYMV_FAULT_DROP"),
+            duplicate: prob("HYMV_FAULT_DUP"),
+            corrupt: prob("HYMV_FAULT_CORRUPT"),
+            reorder: prob("HYMV_FAULT_REORDER"),
+            delay: prob("HYMV_FAULT_DELAY"),
+            delay_factor,
+            crash,
+        })
+    }
+}
+
+/// Retry/backoff policy of the reliable envelope layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retransmission attempts per message before the typed abort.
+    pub max_retries: u32,
+    /// Base of the exponential virtual-time backoff (seconds); attempt
+    /// `k` charges `backoff_s * 2^(k-1)`.
+    pub backoff_s: f64,
+    /// Total timeouts observed before the exchange degrades from
+    /// overlapped to blocking (see `Comm::degraded`).
+    pub degrade_after: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            backoff_s: 2.0e-5,
+            degrade_after: 16,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Builds the policy from `HYMV_RETRY_MAX`, `HYMV_RETRY_BACKOFF`
+    /// (seconds), and `HYMV_RETRY_DEGRADE`, defaulting each unset knob.
+    ///
+    /// # Panics
+    /// Malformed values are hard errors (same rationale as
+    /// [`FaultPlan::from_env`]).
+    pub fn from_env() -> Self {
+        let d = RetryPolicy::default();
+        let get = |name: &str| std::env::var(name).ok();
+        RetryPolicy {
+            max_retries: get("HYMV_RETRY_MAX").map_or(d.max_retries, |s| {
+                s.parse()
+                    .unwrap_or_else(|e| panic!("HYMV_RETRY_MAX={s:?}: {e}"))
+            }),
+            backoff_s: get("HYMV_RETRY_BACKOFF").map_or(d.backoff_s, |s| {
+                let b: f64 = s
+                    .parse()
+                    .unwrap_or_else(|e| panic!("HYMV_RETRY_BACKOFF={s:?}: {e}"));
+                assert!(b >= 0.0, "HYMV_RETRY_BACKOFF={s:?}: must be >= 0");
+                b
+            }),
+            degrade_after: get("HYMV_RETRY_DEGRADE").map_or(d.degrade_after, |s| {
+                s.parse()
+                    .unwrap_or_else(|e| panic!("HYMV_RETRY_DEGRADE={s:?}: {e}"))
+            }),
+        }
+    }
+}
+
+/// Why a chaos run terminated a rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A message from `peer` stayed lost after `attempts` retransmission
+    /// requests (rank crash, or drop rate beyond the retry budget).
+    RetryBudgetExhausted {
+        peer: usize,
+        tag: u32,
+        attempts: u32,
+    },
+    /// Another rank aborted first; this rank was unwound from a blocking
+    /// wait by the poison flag.
+    PeerAborted { origin: usize },
+}
+
+/// The typed diagnostic every unrecoverable fault terminates with —
+/// never a hang, never a silently wrong answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// The rank reporting.
+    pub rank: usize,
+    /// What it observed.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FaultKind::RetryBudgetExhausted {
+                peer,
+                tag,
+                attempts,
+            } => write!(
+                f,
+                "rank {}: retry budget exhausted waiting on rank {peer} tag {tag:#x} \
+                 ({attempts} attempts)",
+                self.rank
+            ),
+            FaultKind::PeerAborted { origin } => {
+                write!(
+                    f,
+                    "rank {}: aborted after rank {origin} reported a fault",
+                    self.rank
+                )
+            }
+        }
+    }
+}
+
+/// Panic payload of a fault abort; `Universe::run_chaos` downcasts it back
+/// into the typed [`FaultReport`].
+#[derive(Debug)]
+pub(crate) struct FaultAbort(pub(crate) FaultReport);
+
+/// How the injector delivers one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeliverAs {
+    /// Untouched.
+    Data,
+    /// As a tombstone (the deterministic image of a drop).
+    Tombstone,
+    /// With one payload bit flipped.
+    Corrupt { bit: u64 },
+}
+
+/// The injector's verdict for one send.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FaultDecision {
+    pub deliver: DeliverAs,
+    /// Deliver a second identical copy right after the first.
+    pub duplicate: bool,
+    /// Transit-time multiplier (1.0 = no delay).
+    pub delay_mult: f64,
+    /// When set, insert at `value % (queue_len + 1)` instead of FIFO.
+    pub reorder_pos: Option<u64>,
+}
+
+impl FaultDecision {
+    fn tombstone() -> Self {
+        FaultDecision {
+            deliver: DeliverAs::Tombstone,
+            duplicate: false,
+            delay_mult: 1.0,
+            reorder_pos: None,
+        }
+    }
+}
+
+/// Per-world injector state: one decision stream per (src, dst) link plus
+/// the crash send counter.
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    links: Mutex<std::collections::HashMap<(usize, usize), u64>>,
+    /// Fault-scoped sends posted by the crash rank (program order on that
+    /// rank's thread, hence deterministic).
+    crash_sends: AtomicU64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            links: Mutex::new(std::collections::HashMap::new()),
+            crash_sends: AtomicU64::new(0),
+        }
+    }
+
+    /// Decides the fate of the next message on link `src -> dst`. Draws a
+    /// fixed number of variates per call so the per-link stream stays
+    /// aligned regardless of which faults are enabled.
+    pub(crate) fn decide(&self, src: usize, dst: usize) -> FaultDecision {
+        if let Some(c) = self.plan.crash {
+            if src == c.rank {
+                let n = self.crash_sends.fetch_add(1, Ordering::Relaxed);
+                if n >= c.after_sends {
+                    return FaultDecision::tombstone();
+                }
+            }
+        }
+        let mut links = self.links.lock();
+        let state = links.entry((src, dst)).or_insert_with(|| {
+            mix64(self.plan.seed ^ mix64(((src as u64) << 20) | dst as u64 | 1 << 63))
+        });
+        let mut unit = || (next_rand(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let (drop_u, dup_u, corrupt_u, reorder_u, delay_u) =
+            (unit(), unit(), unit(), unit(), unit());
+        let (bit, pos) = (next_rand(state), next_rand(state));
+        let p = &self.plan;
+        let deliver = if drop_u < p.drop {
+            DeliverAs::Tombstone
+        } else if corrupt_u < p.corrupt {
+            DeliverAs::Corrupt { bit }
+        } else {
+            DeliverAs::Data
+        };
+        FaultDecision {
+            deliver,
+            duplicate: dup_u < p.duplicate && deliver != DeliverAs::Tombstone,
+            delay_mult: if delay_u < p.delay {
+                p.delay_factor
+            } else {
+                1.0
+            },
+            reorder_pos: (reorder_u < p.reorder).then_some(pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_by_default() {
+        let plan = FaultPlan::new(7);
+        assert!(!plan.is_active());
+        assert!(plan.with_drop(0.1).is_active());
+        assert!(plan.with_crash(0, 3).is_active());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_link() {
+        let mk = || FaultState::new(FaultPlan::new(42).with_drop(0.3).with_duplicate(0.3));
+        let (a, b) = (mk(), mk());
+        for _ in 0..64 {
+            let (da, db) = (a.decide(0, 1), b.decide(0, 1));
+            assert_eq!(da.deliver, db.deliver);
+            assert_eq!(da.duplicate, db.duplicate);
+        }
+    }
+
+    #[test]
+    fn links_have_independent_streams() {
+        let fs = FaultState::new(FaultPlan::new(1).with_drop(0.5));
+        let seq = |src: usize, dst: usize| -> Vec<bool> {
+            (0..64)
+                .map(|_| fs.decide(src, dst).deliver == DeliverAs::Tombstone)
+                .collect()
+        };
+        assert_ne!(seq(0, 1), seq(1, 0), "links share a stream");
+    }
+
+    #[test]
+    fn drop_rate_roughly_respected() {
+        let fs = FaultState::new(FaultPlan::new(3).with_drop(0.25));
+        let n = 4000;
+        let dropped = (0..n)
+            .filter(|_| fs.decide(0, 1).deliver == DeliverAs::Tombstone)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn crash_tombstones_everything_after_trigger() {
+        let fs = FaultState::new(FaultPlan::new(1).with_crash(2, 3));
+        for _ in 0..3 {
+            assert_eq!(fs.decide(2, 0).deliver, DeliverAs::Data);
+        }
+        for _ in 0..8 {
+            assert_eq!(fs.decide(2, 1).deliver, DeliverAs::Tombstone);
+        }
+        // Other ranks are unaffected.
+        assert_eq!(fs.decide(0, 2).deliver, DeliverAs::Data);
+    }
+
+    #[test]
+    fn fault_report_displays() {
+        let r = FaultReport {
+            rank: 1,
+            kind: FaultKind::RetryBudgetExhausted {
+                peer: 0,
+                tag: 0x0C01,
+                attempts: 9,
+            },
+        };
+        let s = format!("{r}");
+        assert!(s.contains("retry budget exhausted"), "{s}");
+        let r = FaultReport {
+            rank: 2,
+            kind: FaultKind::PeerAborted { origin: 1 },
+        };
+        assert!(format!("{r}").contains("rank 1"), "{r}");
+    }
+}

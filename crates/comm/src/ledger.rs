@@ -77,6 +77,11 @@ pub struct Ledger {
     bytes_recv: u64,
     msgs_sent: u64,
     msgs_recv: u64,
+    sends_confirmed: u64,
+    retries: u64,
+    timeouts: u64,
+    dups_suppressed: u64,
+    corrupt_detected: u64,
 }
 
 impl Ledger {
@@ -90,6 +95,11 @@ impl Ledger {
             bytes_recv: 0,
             msgs_sent: 0,
             msgs_recv: 0,
+            sends_confirmed: 0,
+            retries: 0,
+            timeouts: 0,
+            dups_suppressed: 0,
+            corrupt_detected: 0,
         }
     }
 
@@ -142,6 +152,36 @@ impl Ledger {
         }
     }
 
+    /// Record the confirmed completion of a buffered send
+    /// (`SendHandle::wait`).
+    pub(crate) fn on_send_confirmed(&mut self) {
+        self.sends_confirmed += 1;
+    }
+
+    /// Record one retransmission request plus its virtual-time backoff
+    /// (charged as communication wait — the rank is stalled on recovery).
+    pub(crate) fn on_retry(&mut self, backoff_s: f64) {
+        debug_assert!(backoff_s >= 0.0, "negative backoff {backoff_s}");
+        self.retries += 1;
+        self.vt += backoff_s;
+        self.comm_wait_s += backoff_s;
+    }
+
+    /// Record an observed message-loss timeout (a tombstone arrival).
+    pub(crate) fn on_timeout(&mut self) {
+        self.timeouts += 1;
+    }
+
+    /// Record a suppressed duplicate envelope.
+    pub(crate) fn on_dup_suppressed(&mut self) {
+        self.dups_suppressed += 1;
+    }
+
+    /// Record a detected in-flight payload corruption.
+    pub(crate) fn on_corrupt_detected(&mut self) {
+        self.corrupt_detected += 1;
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> CommStats {
         CommStats {
@@ -152,6 +192,11 @@ impl Ledger {
             bytes_recv: self.bytes_recv,
             msgs_sent: self.msgs_sent,
             msgs_recv: self.msgs_recv,
+            sends_confirmed: self.sends_confirmed,
+            retries: self.retries,
+            timeouts: self.timeouts,
+            dups_suppressed: self.dups_suppressed,
+            corrupt_detected: self.corrupt_detected,
         }
     }
 
@@ -178,6 +223,16 @@ pub struct CommStats {
     pub msgs_sent: u64,
     /// Messages received by this rank.
     pub msgs_recv: u64,
+    /// Sends whose completion was confirmed via `SendHandle::wait`.
+    pub sends_confirmed: u64,
+    /// Retransmission requests issued by the reliable envelope layer.
+    pub retries: u64,
+    /// Message-loss timeouts observed (tombstone arrivals).
+    pub timeouts: u64,
+    /// Duplicate envelopes suppressed by sequence numbers.
+    pub dups_suppressed: u64,
+    /// In-flight payload corruptions caught by the envelope checksum.
+    pub corrupt_detected: u64,
 }
 
 impl CommStats {
@@ -191,6 +246,11 @@ impl CommStats {
         self.bytes_recv += other.bytes_recv;
         self.msgs_sent += other.msgs_sent;
         self.msgs_recv += other.msgs_recv;
+        self.sends_confirmed += other.sends_confirmed;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.dups_suppressed += other.dups_suppressed;
+        self.corrupt_detected += other.corrupt_detected;
     }
 }
 

@@ -48,14 +48,18 @@
 
 mod audit;
 mod comm;
+mod fault;
 mod ledger;
 mod payload;
+mod reliable;
 mod world;
 
 pub use audit::{AuditEvent, AuditEventKind, AuditMode, AuditReport, AuditViolation};
 pub use comm::{Comm, IallreduceHandle, RecvHandle, SendHandle};
+pub use fault::{CrashSpec, FaultKind, FaultPlan, FaultReport, RetryPolicy};
 pub use ledger::{thread_cpu_time, CommStats, CostModel, Ledger};
 pub use payload::Payload;
+pub use reliable::{envelope_pack, envelope_unpack, EnvelopeError, ENVELOPE_MAGIC, TAG_RESEND};
 pub use world::{RunConfig, Universe};
 
 /// Tags at or above this value are reserved for internal collectives.
@@ -66,9 +70,18 @@ pub use world::{RunConfig, Universe};
 /// value anywhere else.
 pub const RESERVED_TAG_BASE: u32 = 0xF000_0000;
 
-/// Returns true if a user-supplied tag is valid (below the reserved range).
+/// Tags in `[CTRL_TAG_BASE, RESERVED_TAG_BASE)` carry the reliable
+/// envelope layer's control traffic (retransmission requests). Like the
+/// collective band above it, the range is closed to user code — control
+/// messages ride the reliable fabric and are exempt from fault injection,
+/// so a user message in this band would dodge the injector and confuse
+/// the recovery protocol.
+pub const CTRL_TAG_BASE: u32 = 0xE000_0000;
+
+/// Returns true if a user-supplied tag is valid (below every reserved
+/// range).
 pub fn tag_is_valid(tag: u32) -> bool {
-    tag < RESERVED_TAG_BASE
+    tag < CTRL_TAG_BASE
 }
 
 /// The single checked guard every user-tag entry point goes through
@@ -79,7 +92,7 @@ pub fn tag_is_valid(tag: u32) -> bool {
 pub(crate) fn assert_tag_valid(tag: u32) {
     assert!(
         tag_is_valid(tag),
-        "tag {tag:#x} is in the reserved range (>= {RESERVED_TAG_BASE:#x})"
+        "tag {tag:#x} is in the reserved range (>= {CTRL_TAG_BASE:#x})"
     );
 }
 
@@ -91,6 +104,9 @@ mod tests {
     fn tag_validity() {
         assert!(tag_is_valid(0));
         assert!(tag_is_valid(12345));
+        assert!(tag_is_valid(CTRL_TAG_BASE - 1));
+        assert!(!tag_is_valid(CTRL_TAG_BASE));
+        assert!(!tag_is_valid(TAG_RESEND));
         assert!(!tag_is_valid(RESERVED_TAG_BASE));
         assert!(!tag_is_valid(u32::MAX));
     }

@@ -98,6 +98,37 @@ impl Payload {
         }
     }
 
+    /// Flip one bit of the payload, chosen by `bit` modulo the payload's
+    /// bit count (the fault injector's in-flight corruption model). A
+    /// no-op on empty payloads — there is nothing to damage.
+    pub(crate) fn corrupt_bit(&mut self, bit: u64) {
+        fn flip_u64(v: &mut [u64], bit: u64) {
+            let i = (bit / 64) as usize % v.len();
+            v[i] ^= 1u64 << (bit % 64);
+        }
+        match self {
+            Payload::F64(v) if !v.is_empty() => {
+                let i = (bit / 64) as usize % v.len();
+                v[i] = f64::from_bits(v[i].to_bits() ^ (1u64 << (bit % 64)));
+            }
+            Payload::U64(v) if !v.is_empty() => flip_u64(v, bit),
+            Payload::Triples(v) if !v.is_empty() => {
+                let i = (bit / 192) as usize % v.len();
+                let (r, c, x) = &mut v[i];
+                match (bit / 64) % 3 {
+                    0 => *r ^= 1u64 << (bit % 64),
+                    1 => *c ^= 1u64 << (bit % 64),
+                    _ => *x = f64::from_bits(x.to_bits() ^ (1u64 << (bit % 64))),
+                }
+            }
+            Payload::Bytes(v) if !v.is_empty() => {
+                let i = (bit / 8) as usize % v.len();
+                v[i] ^= 1u8 << (bit % 8);
+            }
+            _ => {}
+        }
+    }
+
     fn variant_name(&self) -> &'static str {
         match self {
             Payload::F64(_) => "F64",
@@ -142,5 +173,24 @@ mod tests {
     #[should_panic(expected = "expected F64 payload")]
     fn variant_mismatch_panics() {
         Payload::from_u64(vec![1]).into_f64();
+    }
+
+    #[test]
+    fn corrupt_bit_flips_exactly_one_bit() {
+        let mut p = Payload::from_f64(vec![1.0, 2.0, 3.0]);
+        let orig = p.clone();
+        p.corrupt_bit(77);
+        assert_ne!(p, orig);
+        let (a, b) = (p.into_f64(), orig.into_f64());
+        let flipped: u32 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x.to_bits() ^ y.to_bits()).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+        // Empty payloads are left alone.
+        let mut e = Payload::from_f64(vec![]);
+        e.corrupt_bit(5);
+        assert_eq!(e, Payload::from_f64(vec![]));
     }
 }

@@ -2,12 +2,14 @@
 //! [`Universe`] entry point that spawns one thread per rank.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::audit::{self, AuditEventKind, AuditLog, AuditMode, AuditReport};
 use crate::comm::Comm;
+use crate::fault::{FaultAbort, FaultKind, FaultPlan, FaultReport, FaultState, RetryPolicy};
 use crate::ledger::CostModel;
 use crate::payload::Payload;
 
@@ -36,6 +38,11 @@ pub(crate) struct Message {
     pub payload: Payload,
     /// Modeled (virtual-time) arrival timestamp, stamped at send.
     pub arrival_vt: f64,
+    /// Tombstone: the fault injector dropped this message, and what the
+    /// receiver observes at `arrival_vt` is its timeout firing instead of
+    /// data. Only the reliable envelope layer may consume tombstones; raw
+    /// receives panic on them (they have no recovery protocol).
+    pub dropped: bool,
 }
 
 /// A rank's mailbox: FIFO per (src, tag), implemented as one queue searched
@@ -97,10 +104,25 @@ pub(crate) struct World {
     pub audit: Option<AuditLog>,
     /// Schedule-perturbation seed (None = deterministic FIFO delivery).
     pub perturb_seed: Option<u64>,
+    /// Fault injector (None = perfect transport, the default).
+    pub fault: Option<FaultState>,
+    /// Retry/backoff policy the reliable envelope layer runs under.
+    pub retry: RetryPolicy,
+    /// First fault report of the run; set once, then every blocking wait
+    /// unwinds with a typed abort instead of hanging on a dead peer.
+    poison: Mutex<Option<FaultReport>>,
+    poisoned: AtomicBool,
 }
 
 impl World {
-    fn new(size: usize, model: CostModel, audit: bool, perturb_seed: Option<u64>) -> Arc<Self> {
+    fn new(
+        size: usize,
+        model: CostModel,
+        audit: bool,
+        perturb_seed: Option<u64>,
+        fault: Option<FaultPlan>,
+        retry: RetryPolicy,
+    ) -> Arc<Self> {
         let mail = (0..size)
             .map(|dst| {
                 let shuffle_state = perturb_seed.map(|s| mix64(s ^ mix64(dst as u64)));
@@ -123,7 +145,47 @@ impl World {
             },
             audit: audit.then(AuditLog::default),
             perturb_seed,
+            fault: fault.filter(FaultPlan::is_active).map(FaultState::new),
+            retry,
+            poison: Mutex::new(None),
+            poisoned: AtomicBool::new(false),
         })
+    }
+
+    /// Record the first fault report and wake every blocked rank so each
+    /// unwinds with a typed [`FaultAbort`] instead of waiting forever.
+    pub(crate) fn poison(&self, report: FaultReport) {
+        {
+            let mut slot = self.poison.lock();
+            if slot.is_none() {
+                *slot = Some(report);
+            }
+        }
+        self.poisoned.store(true, Ordering::Release);
+        for slot in &self.mail {
+            slot.cond.notify_all();
+        }
+        self.coll.cond.notify_all();
+    }
+
+    pub(crate) fn poison_report(&self) -> Option<FaultReport> {
+        if self.poisoned.load(Ordering::Acquire) {
+            self.poison.lock().clone()
+        } else {
+            None
+        }
+    }
+
+    /// Unwind rank `me` if another rank has already aborted the run.
+    pub(crate) fn check_poison(&self, me: usize) {
+        if let Some(origin) = self.poison_report() {
+            std::panic::panic_any(FaultAbort(FaultReport {
+                rank: me,
+                kind: FaultKind::PeerAborted {
+                    origin: origin.rank,
+                },
+            }));
+        }
     }
 
     fn record(&self, rank: usize, kind: AuditEventKind) {
@@ -165,6 +227,26 @@ impl World {
         slot.cond.notify_all();
     }
 
+    /// Fault-injected delivery at an arbitrary queue position derived from
+    /// `rand` — unlike the perturbation shuffle this deliberately ignores
+    /// the per-(src, tag) FIFO; the envelope sequence numbers restore order.
+    pub(crate) fn deliver_shuffled(&self, dst: usize, msg: Message, rand: u64) {
+        self.record(
+            msg.src,
+            AuditEventKind::SendPosted {
+                dst,
+                tag: msg.tag,
+                bytes: msg.payload.len_bytes(),
+            },
+        );
+        let slot = &self.mail[dst];
+        let mut mb = slot.mailbox.lock();
+        let pos = (rand as usize) % (mb.queue.len() + 1);
+        mb.queue.insert(pos, msg);
+        drop(mb);
+        slot.cond.notify_all();
+    }
+
     /// Blocking matched receive for rank `me` from `src` with `tag`.
     pub(crate) fn receive(&self, me: usize, src: usize, tag: u32) -> Message {
         let slot = &self.mail[me];
@@ -173,6 +255,7 @@ impl World {
             if let Some(pos) = mb.queue.iter().position(|m| m.src == src && m.tag == tag) {
                 break mb.queue.remove(pos).expect("position just found");
             }
+            self.check_poison(me);
             slot.cond.wait(&mut mb);
         };
         drop(mb);
@@ -198,6 +281,7 @@ impl World {
             if let Some(pos) = mb.queue.iter().position(|m| m.tag == tag) {
                 break mb.queue.remove(pos).expect("position just found");
             }
+            self.check_poison(me);
             slot.cond.wait(&mut mb);
         };
         drop(mb);
@@ -235,34 +319,45 @@ impl World {
         msg
     }
 
+    /// Non-blocking wildcard probe: take the first queued message with
+    /// `tag` from any source, if present (used to service reliable-layer
+    /// control traffic from inside other blocking waits).
+    pub(crate) fn try_receive_any(&self, me: usize, tag: u32) -> Option<Message> {
+        let slot = &self.mail[me];
+        let mut mb = slot.mailbox.lock();
+        let msg = mb
+            .queue
+            .iter()
+            .position(|m| m.tag == tag)
+            .map(|pos| mb.queue.remove(pos).expect("position just found"));
+        drop(mb);
+        if let Some(m) = &msg {
+            self.record(
+                me,
+                AuditEventKind::RecvCompleted {
+                    src: m.src,
+                    tag,
+                    bytes: m.payload.len_bytes(),
+                },
+            );
+        }
+        msg
+    }
+
     /// Number of messages pending in rank `me`'s mailbox.
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn pending(&self, me: usize) -> usize {
         self.mail[me].mailbox.lock().queue.len()
     }
 
-    /// Generic collective rendezvous.
+    /// Non-blocking posting half of a collective rendezvous.
     ///
     /// Every rank calls this with the same `seq` (a per-rank monotonically
     /// increasing collective counter — SPMD code issues collectives in the
     /// same order on all ranks). Each rank deposits its virtual time and an
-    /// optional contribution; the last arriver runs `combine` over all
-    /// contributions to produce a per-rank result vector. Returns
-    /// `(max_vt, this rank's result)`.
-    pub(crate) fn rendezvous(
-        &self,
-        me: usize,
-        seq: u64,
-        vt: f64,
-        contribution: Option<Payload>,
-        combine: impl FnOnce(&mut Vec<Option<Payload>>) -> Vec<Payload>,
-    ) -> (f64, Payload) {
-        self.rendezvous_post(me, seq, vt, contribution, combine);
-        self.rendezvous_await(me, seq)
-    }
-
-    /// Non-blocking half of [`Self::rendezvous`]: deposit this rank's
-    /// contribution. The last depositor computes the result; no waiting.
+    /// optional contribution; the last depositor runs `combine` over all
+    /// contributions to produce a per-rank result vector. No waiting; pair
+    /// with [`Self::rendezvous_await`] or [`Self::try_rendezvous_result`].
     pub(crate) fn rendezvous_post(
         &self,
         me: usize,
@@ -289,19 +384,46 @@ impl World {
     pub(crate) fn rendezvous_await(&self, me: usize, seq: u64) -> (f64, Payload) {
         let mut slots = self.coll.slots.lock();
         while slots.get(&seq).is_some_and(|s| s.result.is_none()) {
+            self.check_poison(me);
             self.coll.cond.wait(&mut slots);
         }
+        let out = Self::take_rendezvous_result(&mut slots, self.size, me, seq);
+        drop(slots);
+        self.record(me, AuditEventKind::CollectiveCompleted { seq });
+        out
+    }
+
+    /// Non-blocking half: the result of a posted rendezvous if every rank
+    /// has arrived, `None` otherwise (lets a rank service reliable-layer
+    /// control traffic while "inside" a collective).
+    pub(crate) fn try_rendezvous_result(&self, me: usize, seq: u64) -> Option<(f64, Payload)> {
+        let mut slots = self.coll.slots.lock();
+        if slots.get(&seq).is_some_and(|s| s.result.is_none()) {
+            return None;
+        }
+        let out = Self::take_rendezvous_result(&mut slots, self.size, me, seq);
+        drop(slots);
+        self.record(me, AuditEventKind::CollectiveCompleted { seq });
+        Some(out)
+    }
+
+    /// Departure bookkeeping shared by the blocking and polling awaits;
+    /// call only once the result is known to be set.
+    fn take_rendezvous_result(
+        slots: &mut HashMap<u64, CollSlot>,
+        size: usize,
+        me: usize,
+        seq: u64,
+    ) -> (f64, Payload) {
         let slot = slots
             .get_mut(&seq)
             .expect("slot exists until last departer");
         let max_vt = slot.max_vt;
         let result = slot.result.as_ref().expect("result set before wake")[me].clone();
         slot.departed += 1;
-        if slot.departed == self.size {
+        if slot.departed == size {
             slots.remove(&seq);
         }
-        drop(slots);
-        self.record(me, AuditEventKind::CollectiveCompleted { seq });
         (max_vt, result)
     }
 
@@ -343,8 +465,9 @@ impl World {
 }
 
 /// Full configuration of one universe run: cost model plus the
-/// correctness-tooling knobs (protocol audit, schedule perturbation).
-#[derive(Debug, Clone, Default)]
+/// correctness-tooling knobs (protocol audit, schedule perturbation,
+/// fault injection).
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// α-β communication cost model.
     pub model: CostModel,
@@ -353,6 +476,25 @@ pub struct RunConfig {
     pub perturb_seed: Option<u64>,
     /// Whether to record and verify protocol events.
     pub audit: AuditMode,
+    /// Seeded transport-fault injection (None = perfect transport). The
+    /// default picks up `HYMV_FAULT_*` from the environment, so faults stay
+    /// off unless explicitly requested.
+    pub fault: Option<FaultPlan>,
+    /// Retry/backoff policy of the reliable envelope layer (default reads
+    /// `HYMV_RETRY_*`).
+    pub retry: RetryPolicy,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            model: CostModel::default(),
+            perturb_seed: None,
+            audit: AuditMode::default(),
+            fault: FaultPlan::from_env(),
+            retry: RetryPolicy::from_env(),
+        }
+    }
 }
 
 /// Entry point: spawns `size` thread-ranks running the same SPMD closure.
@@ -406,7 +548,14 @@ impl Universe {
         F: Fn(&mut Comm) -> T + Sync,
     {
         assert!(size > 0, "a universe needs at least one rank");
-        let world = World::new(size, cfg.model, cfg.audit.is_enabled(), cfg.perturb_seed);
+        let world = World::new(
+            size,
+            cfg.model,
+            cfg.audit.is_enabled(),
+            cfg.perturb_seed,
+            cfg.fault,
+            cfg.retry,
+        );
         let f = &f;
         let results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..size)
@@ -428,6 +577,76 @@ impl Universe {
         let report = world.audit_report();
         (results, report)
     }
+
+    /// Run `f` on `size` ranks under fault injection and harvest typed
+    /// outcomes: each rank yields `Ok(T)` or the [`FaultReport`] it aborted
+    /// with. Any non-fault panic still propagates. This is the chaos-test
+    /// entry point — unlike [`Universe::run`], an unrecoverable fault is an
+    /// *expected* result, not a test failure, and is guaranteed by the
+    /// poison protocol to terminate every rank (no hangs).
+    pub fn run_chaos<T, F>(
+        cfg: RunConfig,
+        size: usize,
+        f: F,
+    ) -> (Vec<Result<T, FaultReport>>, Option<AuditReport>)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        assert!(size > 0, "a universe needs at least one rank");
+        install_fault_abort_hook();
+        let world = World::new(
+            size,
+            cfg.model,
+            cfg.audit.is_enabled(),
+            cfg.perturb_seed,
+            cfg.fault,
+            cfg.retry,
+        );
+        let f = &f;
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let world = Arc::clone(&world);
+                    scope.spawn(move || {
+                        let mut comm = Comm::new(rank, world);
+                        let out = f(&mut comm);
+                        comm.note_exit();
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(out) => Ok(out),
+                    Err(payload) => match payload.downcast::<FaultAbort>() {
+                        Ok(abort) => Err(abort.0),
+                        Err(other) => std::panic::resume_unwind(other),
+                    },
+                })
+                .collect()
+        });
+        let report = world.audit_report();
+        (results, report)
+    }
+}
+
+/// Silence the default panic printout for the *typed* fault aborts that
+/// [`Universe::run_chaos`] turns into `Err(FaultReport)` — a crash
+/// scenario would otherwise spray one backtrace per rank over a run
+/// whose contract held. Installed once, process-wide; every other panic
+/// payload still reaches the previously installed hook untouched.
+fn install_fault_abort_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<FaultAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 #[cfg(test)]
@@ -453,7 +672,14 @@ mod tests {
     }
 
     fn bare_world(size: usize) -> Arc<World> {
-        World::new(size, CostModel::default(), false, None)
+        World::new(
+            size,
+            CostModel::default(),
+            false,
+            None,
+            None,
+            RetryPolicy::default(),
+        )
     }
 
     #[test]
@@ -467,6 +693,7 @@ mod tests {
                     tag: 5,
                     payload: Payload::from_u64(vec![i]),
                     arrival_vt: 0.0,
+                    dropped: false,
                 },
             );
         }
@@ -487,6 +714,7 @@ mod tests {
                 tag: 9,
                 payload: Payload::from_f64(vec![]),
                 arrival_vt: 0.0,
+                dropped: false,
             },
         );
         assert!(world.try_receive(0, 1, 9).is_some());
@@ -503,6 +731,7 @@ mod tests {
                 tag: 1,
                 payload: Payload::from_u64(vec![1]),
                 arrival_vt: 0.0,
+                dropped: false,
             },
         );
         world.deliver(
@@ -512,6 +741,7 @@ mod tests {
                 tag: 2,
                 payload: Payload::from_u64(vec![2]),
                 arrival_vt: 0.0,
+                dropped: false,
             },
         );
         let m = world.receive(0, 1, 2);
@@ -523,7 +753,14 @@ mod tests {
     /// Drains rank 0's queue order after delivering `n` messages from two
     /// fake sources under `cfg`.
     fn delivery_order(perturb_seed: Option<u64>, n: u64) -> Vec<u64> {
-        let world = World::new(3, CostModel::default(), false, perturb_seed);
+        let world = World::new(
+            3,
+            CostModel::default(),
+            false,
+            perturb_seed,
+            None,
+            RetryPolicy::default(),
+        );
         for i in 0..n {
             let src = 1 + (i % 2) as usize;
             world.deliver(
@@ -533,6 +770,7 @@ mod tests {
                     tag: 4,
                     payload: Payload::from_u64(vec![i]),
                     arrival_vt: 0.0,
+                    dropped: false,
                 },
             );
         }

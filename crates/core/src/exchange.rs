@@ -32,6 +32,11 @@ pub struct GhostExchange {
     /// Ghost ids are sorted within the pre and post blocks, so each owner's
     /// ghosts form a contiguous DA range.
     recv_plan: Vec<(usize, std::ops::Range<usize>)>,
+    /// Bypass the sequence-numbered/checksummed envelope and ship bare
+    /// payloads (the pre-`hymv-chaos` wire format). Bench/ablation hook
+    /// only — raw transport cannot survive an active fault plan, and raw
+    /// receives panic on injected tombstones.
+    raw_transport: bool,
 }
 
 impl GhostExchange {
@@ -102,7 +107,21 @@ impl GhostExchange {
         GhostExchange {
             send_plan,
             recv_plan,
+            raw_transport: false,
         }
+    }
+
+    /// Switch between the enveloped (default) and raw wire formats for the
+    /// per-SPMV scatter/gather. Raw transport exists so the benchmarks can
+    /// price the envelope overhead; it must never be combined with an
+    /// active fault plan.
+    pub fn set_raw_transport(&mut self, raw: bool) {
+        self.raw_transport = raw;
+    }
+
+    /// Whether the bench-only raw wire format is active.
+    pub fn raw_transport(&self) -> bool {
+        self.raw_transport
     }
 
     /// The LNSM: `(neighbour rank, owned DA node indices scattered there)`.
@@ -133,6 +152,8 @@ impl GhostExchange {
     }
 
     /// `local_node_scatter_begin`: send owned values neighbours ghost.
+    /// Per-SPMV traffic rides the sequence-numbered, checksummed envelope
+    /// so an active fault plan can be healed by the recovery protocol.
     pub fn scatter_begin(&self, comm: &mut Comm, da: &DistArray) {
         let ndof = da.ndof;
         let t0 = hymv_comm::thread_cpu_time();
@@ -142,7 +163,11 @@ impl GhostExchange {
                 let base = l as usize * ndof;
                 vals.extend_from_slice(&da.data[base..base + ndof]);
             }
-            comm.isend(*rank, TAG_SCATTER, Payload::from_f64(vals));
+            if self.raw_transport {
+                comm.isend(*rank, TAG_SCATTER, Payload::from_f64(vals));
+            } else {
+                comm.send_enveloped(*rank, TAG_SCATTER, &vals);
+            }
         }
         comm.add_modeled_time(hymv_comm::thread_cpu_time() - t0);
     }
@@ -151,7 +176,11 @@ impl GhostExchange {
     pub fn scatter_end(&self, comm: &mut Comm, da: &mut DistArray) {
         let ndof = da.ndof;
         for (rank, range) in &self.recv_plan {
-            let vals = comm.recv(*rank, TAG_SCATTER).into_f64();
+            let vals = if self.raw_transport {
+                comm.recv(*rank, TAG_SCATTER).into_f64()
+            } else {
+                comm.recv_enveloped(*rank, TAG_SCATTER)
+            };
             debug_assert_eq!(vals.len(), range.len() * ndof);
             da.data[range.start * ndof..range.end * ndof].copy_from_slice(&vals);
         }
@@ -162,8 +191,12 @@ impl GhostExchange {
     pub fn gather_begin(&self, comm: &mut Comm, da: &DistArray) {
         let ndof = da.ndof;
         for (rank, range) in &self.recv_plan {
-            let vals = da.data[range.start * ndof..range.end * ndof].to_vec();
-            comm.isend(*rank, TAG_GATHER, Payload::from_f64(vals));
+            let vals = &da.data[range.start * ndof..range.end * ndof];
+            if self.raw_transport {
+                comm.isend(*rank, TAG_GATHER, Payload::from_f64(vals.to_vec()));
+            } else {
+                comm.send_enveloped(*rank, TAG_GATHER, vals);
+            }
         }
     }
 
@@ -173,7 +206,11 @@ impl GhostExchange {
         let ndof = da.ndof;
         let mut unpack = 0.0;
         for (rank, locals) in &self.send_plan {
-            let vals = comm.recv(*rank, TAG_GATHER).into_f64();
+            let vals = if self.raw_transport {
+                comm.recv(*rank, TAG_GATHER).into_f64()
+            } else {
+                comm.recv_enveloped(*rank, TAG_GATHER)
+            };
             debug_assert_eq!(vals.len(), locals.len() * ndof);
             let t0 = hymv_comm::thread_cpu_time();
             for (m, &l) in locals.iter().enumerate() {
@@ -290,6 +327,50 @@ mod tests {
             all_match
         });
         assert!(ok.iter().all(|&b| b));
+    }
+
+    /// Raw transport is the same bits as the enveloped default (the bench
+    /// comparison relies on this), and enveloped scatter/gather under a
+    /// seeded drop/corrupt plan heals bit-exactly.
+    #[test]
+    fn enveloped_exchange_heals_faults_bit_exactly() {
+        use hymv_comm::{AuditMode, CostModel, FaultPlan, RetryPolicy, RunConfig};
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 3, PartitionMethod::GreedyGraph);
+        let program = |comm: &mut hymv_comm::Comm, raw: bool| {
+            let part = &pm.parts[comm.rank()];
+            let maps = HymvMaps::build(part);
+            let mut ex = GhostExchange::build(comm, &maps);
+            ex.set_raw_transport(raw);
+            let mut da = DistArray::new(&maps, 1);
+            for i in 0..maps.n_owned() {
+                let g = maps.node_range.0 + i as u64;
+                da.data[maps.gpre.len() + i] = (g as f64) * 0.3 + 1.0;
+            }
+            for round in 0..4 {
+                ex.scatter_begin(comm, &da);
+                ex.scatter_end(comm, &mut da);
+                ex.gather_begin(comm, &da);
+                ex.gather_end(comm, &mut da);
+                let _ = comm.allreduce_sum_f64(round as f64);
+            }
+            da.data.clone()
+        };
+        let clean = Universe::run(3, |comm| program(comm, false));
+        let raw = Universe::run(3, |comm| program(comm, true));
+        assert_eq!(clean, raw, "raw and enveloped transport must agree");
+        let cfg = RunConfig {
+            model: CostModel::default(),
+            perturb_seed: None,
+            audit: AuditMode::Disabled,
+            fault: Some(FaultPlan::new(42).with_drop(0.15).with_corrupt(0.1)),
+            retry: RetryPolicy::default(),
+        };
+        let (faulted, _) = hymv_comm::Universe::run_chaos(cfg, 3, |comm| program(comm, false));
+        for (rank, res) in faulted.into_iter().enumerate() {
+            let data = res.expect("drop/corrupt within the retry budget");
+            assert_eq!(data, clean[rank], "rank {rank}: recovery damaged bits");
+        }
     }
 
     #[test]

@@ -145,14 +145,39 @@ impl MatFreeOperator {
         });
     }
 
+    /// Bench/ablation hook: bypass the envelope wire format on the
+    /// per-SPMV scatter/gather (see [`GhostExchange::set_raw_transport`]).
+    pub fn set_raw_exchange(&mut self, raw: bool) {
+        self.exchange.set_raw_transport(raw);
+    }
+
     /// Algorithm 4: matrix-free SPMV (with the same overlap structure as
-    /// Algorithm 2).
+    /// Algorithm 2). Like [`HymvOperator::matvec`] it degrades to the
+    /// blocking schedule once the reliable channel reports persistent
+    /// timeouts.
     pub fn matvec(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+        if comm.degraded() {
+            return self.matvec_blocking(comm, x, y);
+        }
         self.v.fill_zero();
         self.u.set_owned(x);
         self.exchange.scatter_begin(comm, &self.u);
         self.run_subset(comm, false);
         self.exchange.scatter_end(comm, &mut self.u);
+        self.run_subset(comm, true);
+        self.exchange.gather_begin(comm, &self.v);
+        self.exchange.gather_end(comm, &mut self.v);
+        y.copy_from_slice(self.v.owned());
+    }
+
+    /// Non-overlapped matrix-free SPMV: blocking exchange up front, then
+    /// all elements (ablation counterpart / degraded-mode schedule).
+    pub fn matvec_blocking(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+        self.v.fill_zero();
+        self.u.set_owned(x);
+        self.exchange.scatter_begin(comm, &self.u);
+        self.exchange.scatter_end(comm, &mut self.u);
+        self.run_subset(comm, false);
         self.run_subset(comm, true);
         self.exchange.gather_begin(comm, &self.v);
         self.exchange.gather_end(comm, &mut self.v);

@@ -266,6 +266,12 @@ impl HymvOperator {
         &self.exchange
     }
 
+    /// Bench/ablation hook: bypass the envelope wire format on the
+    /// per-SPMV scatter/gather (see [`GhostExchange::set_raw_transport`]).
+    pub fn set_raw_exchange(&mut self, raw: bool) {
+        self.exchange.set_raw_transport(raw);
+    }
+
     /// The element-matrix store.
     pub fn store(&self) -> &ElementMatrixStore {
         &self.store
@@ -346,7 +352,16 @@ impl HymvOperator {
     }
 
     /// Algorithm 2: the HYMV SPMV.
+    ///
+    /// When the reliable channel has degraded (persistent timeouts under
+    /// an active fault plan), the overlapped schedule gives way to the
+    /// blocking exchange: with a flaky link, compute/communication overlap
+    /// only widens the window in which retransmissions interleave with
+    /// useful work, so the conservative schedule is the robust one.
     pub fn matvec(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+        if comm.degraded() {
+            return self.matvec_blocking(comm, x, y);
+        }
         self.flush_updates();
         // v ← 0; u ← x with fresh ghosts.
         self.v.fill_zero();

@@ -109,6 +109,7 @@ pub fn gpu_resident_cg(
             iterations: 0,
             converged: true,
             rel_residual: 0.0,
+            history: vec![0.0],
         };
     }
 
@@ -119,6 +120,7 @@ pub fn gpu_resident_cg(
     let mut ap = vec![0.0; n];
     let mut rz = blas.dot(comm, &r, &z);
     let mut rnorm = blas.dot(comm, &r, &r).max(0.0).sqrt();
+    let mut history = vec![rnorm / bnorm];
 
     let mut iterations = 0;
     while rnorm / bnorm > rtol && iterations < max_iter {
@@ -134,12 +136,14 @@ pub fn gpu_resident_cg(
         rz = rz_new;
         blas.xpby(comm, &z, beta, &mut p);
         rnorm = blas.dot(comm, &r, &r).max(0.0).sqrt();
+        history.push(rnorm / bnorm);
         iterations += 1;
     }
     CgResult {
         iterations,
         converged: rnorm / bnorm <= rtol,
         rel_residual: rnorm / bnorm,
+        history,
     }
 }
 

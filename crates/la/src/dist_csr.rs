@@ -239,24 +239,33 @@ impl DistCsr {
             }
         };
 
-        // Post sends of the owned values our neighbours need.
+        // Post sends of the owned values our neighbours need. Per-SPMV
+        // ghost traffic rides the sequence-numbered, checksummed envelope
+        // so an active fault plan is healed by the recovery protocol.
         let t0 = hymv_comm::thread_cpu_time();
         for (rank, locals) in &self.send_plan {
             let vals: Vec<f64> = locals.iter().map(|&l| x[l as usize]).collect();
-            comm.isend(*rank, TAG_GHOSTS, Payload::from_f64(vals));
+            comm.send_enveloped(*rank, TAG_GHOSTS, &vals);
         }
 
-        // Diagonal block while the scatter is in flight.
-        self.diag.spmv(x, y, false);
+        // Complete the scatter. On the healthy path this happens after the
+        // diagonal-block multiply (VecScatter overlap); once the reliable
+        // channel degrades, receive first — overlap just widens the window
+        // in which retransmissions interleave with useful work.
+        let degraded = comm.degraded();
+        if !degraded {
+            self.diag.spmv(x, y, false);
+        }
         charge_since(comm, t0);
-
-        // Complete the scatter, then the off-diagonal block.
         for (rank, range) in &self.recv_plan {
-            let vals = comm.recv(*rank, TAG_GHOSTS).into_f64();
+            let vals = comm.recv_enveloped(*rank, TAG_GHOSTS);
             debug_assert_eq!(vals.len(), range.len());
             self.ghost[range.clone()].copy_from_slice(&vals);
         }
         let t0 = hymv_comm::thread_cpu_time();
+        if degraded {
+            self.diag.spmv(x, y, false);
+        }
         self.offd.spmv(&self.ghost, y, true);
         charge_since(comm, t0);
     }

@@ -16,6 +16,9 @@
 //!   communication/computation-overlapped SPMV,
 //! * [`solver`] — the [`solver::LinOp`] operator abstraction (PETSc's
 //!   `MatShell`), conjugate gradients, and convergence reporting,
+//! * [`resilient`] — fault-tolerant CG with bounded rollback /
+//!   residual-replacement recovery and typed failure diagnostics
+//!   (`hymv-chaos`),
 //! * [`precond`] — Jacobi and block-Jacobi (ILU(0) per-rank block)
 //!   preconditioners, the ones evaluated in the paper's Fig 11.
 
@@ -27,6 +30,7 @@ pub mod csr;
 pub mod dense;
 pub mod dist_csr;
 pub mod precond;
+pub mod resilient;
 pub mod solver;
 
 pub use csr::SerialCsr;
@@ -36,4 +40,5 @@ pub use dense::{
 };
 pub use dist_csr::DistCsr;
 pub use precond::{BlockJacobi, Identity, Jacobi, Precond};
+pub use resilient::{resilient_cg, RecoveryPolicy, ResilientCgResult, SolverFault};
 pub use solver::{cg, pipelined_cg, CgResult, LinOp};

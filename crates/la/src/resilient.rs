@@ -1,0 +1,521 @@
+//! Fault-tolerant conjugate gradients (`hymv-chaos` solver resilience).
+//!
+//! The transport layer heals dropped/corrupted/reordered ghost traffic
+//! bit-exactly, but a fault can still reach the solver through other
+//! doors: a stored element matrix damaged in memory, a user kernel
+//! emitting NaN after an adaptive update, or an operator that lost
+//! positive-definiteness. [`resilient_cg`] wraps the CG recurrence with
+//! three bounded recovery actions:
+//!
+//! * **rollback** — non-finite values in the Krylov recurrence (detected
+//!   collectively through the `pᵀAp` / `rᵀz` reductions, so every rank
+//!   takes the same branch) restore the last accepted iterate and
+//!   re-derive the residual from scratch;
+//! * **residual-replacement restart** — CG breakdown (`pᵀAp ≤ 0`) keeps
+//!   the current iterate but rebuilds `r = b − A x`, discarding the
+//!   poisoned search direction;
+//! * **periodic residual replacement** — optionally re-derives the true
+//!   residual every `replace_every` iterations, bounding drift of the
+//!   recurrence residual from the true one.
+//!
+//! Every action draws from a budget in [`RecoveryPolicy`]; exhausting a
+//! budget returns a typed [`SolverFault`] — the solver never hangs and
+//! never reports convergence from damaged arithmetic.
+
+use hymv_comm::Comm;
+
+use crate::precond::Precond;
+use crate::solver::{dot, norm2, CgResult, LinOp};
+
+/// Budgets for the recovery actions [`resilient_cg`] may take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Rollback-to-last-good-iterate budget (non-finite recurrence).
+    pub max_rollbacks: usize,
+    /// Residual-replacement restart budget (breakdown: `pᵀAp ≤ 0`).
+    pub max_restarts: usize,
+    /// Re-derive `r = b − A x` every this many iterations (`0` = never).
+    pub replace_every: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_rollbacks: 3,
+            max_restarts: 3,
+            replace_every: 0,
+        }
+    }
+}
+
+/// Typed diagnostic of an unrecoverable solve (budget exhausted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverFault {
+    /// Non-finite values kept re-appearing after every rollback.
+    NonFiniteRecurrence { iteration: usize, rollbacks: usize },
+    /// `pᵀAp ≤ 0` persisted through every restart — the operator is not
+    /// positive definite (or its damage is not transient).
+    IndefiniteOperator { iteration: usize, restarts: usize },
+    /// The right-hand side contained NaN/Inf on entry.
+    NonFiniteRhs,
+}
+
+impl std::fmt::Display for SolverFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverFault::NonFiniteRecurrence {
+                iteration,
+                rollbacks,
+            } => write!(
+                f,
+                "non-finite CG recurrence at iteration {iteration} after {rollbacks} rollbacks"
+            ),
+            SolverFault::IndefiniteOperator {
+                iteration,
+                restarts,
+            } => write!(
+                f,
+                "pᵀAp ≤ 0 at iteration {iteration} after {restarts} restarts — operator not SPD"
+            ),
+            SolverFault::NonFiniteRhs => write!(f, "right-hand side contains NaN/Inf"),
+        }
+    }
+}
+
+/// Outcome of a resilient solve, with the recovery actions it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientCgResult {
+    /// The plain CG outcome (iterations, convergence, residual history).
+    pub result: CgResult,
+    /// Rollbacks to the last accepted iterate.
+    pub rollbacks: usize,
+    /// Residual-replacement restarts after breakdown.
+    pub restarts: usize,
+    /// Periodic residual replacements performed.
+    pub replacements: usize,
+}
+
+/// Preconditioned CG with bounded rollback / restart / residual
+/// replacement. With the default policy and a healthy operator this is
+/// bit-for-bit the same arithmetic as [`crate::solver::cg`] — same
+/// iterates, same residual history.
+#[allow(clippy::too_many_arguments)]
+pub fn resilient_cg(
+    comm: &mut Comm,
+    op: &mut dyn LinOp,
+    precond: &mut dyn Precond,
+    b: &[f64],
+    x: &mut [f64],
+    rtol: f64,
+    max_iter: usize,
+    policy: &RecoveryPolicy,
+) -> Result<ResilientCgResult, SolverFault> {
+    let n = op.n_owned();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(x.len(), n, "solution length mismatch");
+
+    // Collective finiteness check: every rank must take the same exit.
+    let bad_rhs = comm.work(|| b.iter().any(|v| !v.is_finite()) as u64);
+    if comm.allreduce_sum_u64(bad_rhs) > 0 {
+        return Err(SolverFault::NonFiniteRhs);
+    }
+    let bnorm = norm2(comm, b);
+    if bnorm == 0.0 {
+        x.fill(0.0);
+        return Ok(ResilientCgResult {
+            result: CgResult {
+                iterations: 0,
+                converged: true,
+                rel_residual: 0.0,
+                history: vec![0.0],
+            },
+            rollbacks: 0,
+            restarts: 0,
+            replacements: 0,
+        });
+    }
+
+    let mut r = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut ap = vec![0.0; n];
+    // Last accepted iterate — the rollback target.
+    let mut snapshot = x.to_vec();
+
+    let mut history: Vec<f64> = Vec::new();
+    let mut iterations = 0usize;
+    let (mut rollbacks, mut restarts, mut replacements) = (0usize, 0usize, 0usize);
+
+    let (mut rz, mut rnorm);
+    'derive: loop {
+        // (Re-)derive the recurrence from the current iterate:
+        // r = b − A x; z = M⁻¹ r; p = z. Runs once on entry and again
+        // after every recovery action or periodic replacement.
+        op.apply(comm, x, &mut r);
+        comm.work(|| {
+            for i in 0..n {
+                r[i] = b[i] - r[i];
+            }
+        });
+        precond.apply(comm, &r, &mut z);
+        p.copy_from_slice(&z);
+        rz = dot(comm, &r, &z);
+        rnorm = norm2(comm, &r);
+        if !(rz.is_finite() && rnorm.is_finite()) {
+            // The derivation itself is poisoned (operator damage at the
+            // current iterate). Both reductions are collective, so the
+            // rollback decision is uniform across ranks.
+            rollbacks += 1;
+            if rollbacks > policy.max_rollbacks {
+                return Err(SolverFault::NonFiniteRecurrence {
+                    iteration: iterations,
+                    rollbacks: rollbacks - 1,
+                });
+            }
+            x.copy_from_slice(&snapshot);
+            continue 'derive;
+        }
+        if history.is_empty() {
+            history.push(rnorm / bnorm);
+        }
+
+        while rnorm / bnorm > rtol && iterations < max_iter {
+            op.apply(comm, &p, &mut ap);
+            let pap = dot(comm, &p, &ap);
+            if !pap.is_finite() {
+                rollbacks += 1;
+                if rollbacks > policy.max_rollbacks {
+                    return Err(SolverFault::NonFiniteRecurrence {
+                        iteration: iterations,
+                        rollbacks: rollbacks - 1,
+                    });
+                }
+                x.copy_from_slice(&snapshot);
+                continue 'derive;
+            }
+            if pap <= 0.0 {
+                restarts += 1;
+                if restarts > policy.max_restarts {
+                    return Err(SolverFault::IndefiniteOperator {
+                        iteration: iterations,
+                        restarts: restarts - 1,
+                    });
+                }
+                // Keep the (finite) iterate; discard the broken direction.
+                continue 'derive;
+            }
+            let alpha = rz / pap;
+            comm.work(|| {
+                for i in 0..n {
+                    x[i] += alpha * p[i];
+                    r[i] -= alpha * ap[i];
+                }
+            });
+            precond.apply(comm, &r, &mut z);
+            let rz_new = dot(comm, &r, &z);
+            let rnorm_new = norm2(comm, &r);
+            if !(rz_new.is_finite() && rnorm_new.is_finite()) {
+                rollbacks += 1;
+                if rollbacks > policy.max_rollbacks {
+                    return Err(SolverFault::NonFiniteRecurrence {
+                        iteration: iterations,
+                        rollbacks: rollbacks - 1,
+                    });
+                }
+                x.copy_from_slice(&snapshot);
+                continue 'derive;
+            }
+            rnorm = rnorm_new;
+            history.push(rnorm / bnorm);
+            iterations += 1;
+            // The iterate survived every collective check: accept it.
+            snapshot.copy_from_slice(x);
+            if policy.replace_every > 0 && iterations % policy.replace_every == 0 {
+                replacements += 1;
+                continue 'derive;
+            }
+            let beta = rz_new / rz;
+            rz = rz_new;
+            comm.work(|| {
+                for i in 0..n {
+                    p[i] = z[i] + beta * p[i];
+                }
+            });
+        }
+        break;
+    }
+
+    Ok(ResilientCgResult {
+        result: CgResult {
+            iterations,
+            converged: rnorm / bnorm <= rtol,
+            rel_residual: rnorm / bnorm,
+            history,
+        },
+        rollbacks,
+        restarts,
+        replacements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::Identity;
+    use crate::solver::cg;
+    use hymv_comm::Universe;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Serial SPD reference operator (column-major dense).
+    struct DenseOp {
+        n: usize,
+        a: Vec<f64>,
+    }
+
+    impl LinOp for DenseOp {
+        fn n_owned(&self) -> usize {
+            self.n
+        }
+        fn apply(&mut self, _comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+            y.fill(0.0);
+            for j in 0..self.n {
+                for i in 0..self.n {
+                    y[i] += self.a[j * self.n + i] * x[j];
+                }
+            }
+        }
+    }
+
+    /// Wrapper that poisons the output of selected applies with NaN —
+    /// the solver-level model of a corrupted SPMV.
+    struct FlakyOp {
+        inner: DenseOp,
+        applies: usize,
+        /// Poison applies in `[from, to)` (half-open).
+        poison: std::ops::Range<usize>,
+    }
+
+    impl LinOp for FlakyOp {
+        fn n_owned(&self) -> usize {
+            self.inner.n_owned()
+        }
+        fn apply(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+            self.inner.apply(comm, x, y);
+            if self.poison.contains(&self.applies) {
+                y[0] = f64::NAN;
+            }
+            self.applies += 1;
+        }
+    }
+
+    fn random_spd(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += m[i * n + k] * m[j * n + k];
+                }
+                a[j * n + i] = s;
+            }
+            a[i * n + i] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn matches_plain_cg_bit_for_bit_when_healthy() {
+        let n = 30;
+        let a = random_spd(n, 4);
+        let out = Universe::run(1, |comm| {
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+            let mut op = DenseOp { n, a: a.clone() };
+            let mut x_ref = vec![0.0; n];
+            let plain = cg(comm, &mut op, &mut Identity, &b, &mut x_ref, 1e-10, 200);
+
+            let mut op = DenseOp { n, a: a.clone() };
+            let mut x = vec![0.0; n];
+            let res = resilient_cg(
+                comm,
+                &mut op,
+                &mut Identity,
+                &b,
+                &mut x,
+                1e-10,
+                200,
+                &RecoveryPolicy::default(),
+            )
+            .expect("healthy operator");
+            assert_eq!(res.rollbacks + res.restarts + res.replacements, 0);
+            (plain, res.result, x_ref, x)
+        });
+        let (plain, resilient, x_ref, x) = &out[0];
+        assert_eq!(plain, resilient, "same arithmetic, same history bits");
+        assert_eq!(x_ref, x, "same iterates");
+    }
+
+    #[test]
+    fn transient_nan_is_rolled_back_and_solve_converges() {
+        let n = 25;
+        let a = random_spd(n, 9);
+        let out = Universe::run(1, |comm| {
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+            let mut op = FlakyOp {
+                inner: DenseOp { n, a: a.clone() },
+                applies: 0,
+                poison: 4..5,
+            };
+            let mut x = vec![0.0; n];
+            let res = resilient_cg(
+                comm,
+                &mut op,
+                &mut Identity,
+                &b,
+                &mut x,
+                1e-10,
+                500,
+                &RecoveryPolicy::default(),
+            )
+            .expect("one NaN apply is recoverable");
+            assert!(res.result.converged, "{:?}", res.result);
+            assert!(res.rollbacks >= 1, "the NaN must have forced a rollback");
+            // Verify against an untainted solve.
+            let mut op = DenseOp { n, a: a.clone() };
+            let mut x_ref = vec![0.0; n];
+            cg(comm, &mut op, &mut Identity, &b, &mut x_ref, 1e-10, 500);
+            x.iter()
+                .zip(&x_ref)
+                .map(|(u, v)| (u - v).abs())
+                .fold(0.0f64, f64::max)
+        });
+        assert!(out[0] < 1e-8, "recovered solution off by {}", out[0]);
+    }
+
+    #[test]
+    fn persistent_nan_returns_typed_fault() {
+        let n = 10;
+        let a = random_spd(n, 2);
+        let out = Universe::run(1, |comm| {
+            let mut op = FlakyOp {
+                inner: DenseOp { n, a: a.clone() },
+                applies: 0,
+                poison: 0..usize::MAX,
+            };
+            let mut x = vec![0.0; n];
+            resilient_cg(
+                comm,
+                &mut op,
+                &mut Identity,
+                &[1.0; 10],
+                &mut x,
+                1e-10,
+                100,
+                &RecoveryPolicy::default(),
+            )
+        });
+        match out[0].as_ref().expect_err("every apply is poisoned") {
+            SolverFault::NonFiniteRecurrence { rollbacks, .. } => {
+                assert_eq!(*rollbacks, RecoveryPolicy::default().max_rollbacks);
+            }
+            other => panic!("wrong fault: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indefinite_operator_returns_typed_fault() {
+        let n = 6;
+        // A = −I: pᵀAp < 0 on the very first direction, every restart.
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = -1.0;
+        }
+        let out = Universe::run(1, |comm| {
+            let mut op = DenseOp { n, a: a.clone() };
+            let mut x = vec![0.0; n];
+            resilient_cg(
+                comm,
+                &mut op,
+                &mut Identity,
+                &[1.0; 6],
+                &mut x,
+                1e-10,
+                100,
+                &RecoveryPolicy::default(),
+            )
+        });
+        match out[0].as_ref().expect_err("−I is not SPD") {
+            SolverFault::IndefiniteOperator { restarts, .. } => {
+                assert_eq!(*restarts, RecoveryPolicy::default().max_restarts);
+            }
+            other => panic!("wrong fault: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonfinite_rhs_is_rejected_up_front() {
+        let out = Universe::run(2, |comm| {
+            let n = 4;
+            let mut op = DenseOp {
+                n,
+                a: random_spd(n, 3),
+            };
+            // Only rank 1's rhs is damaged; the collective check must
+            // still turn every rank away.
+            let mut b = vec![1.0; n];
+            if comm.rank() == 1 {
+                b[2] = f64::INFINITY;
+            }
+            let mut x = vec![0.0; n];
+            resilient_cg(
+                comm,
+                &mut op,
+                &mut Identity,
+                &b,
+                &mut x,
+                1e-8,
+                10,
+                &RecoveryPolicy::default(),
+            )
+        });
+        for res in &out {
+            assert_eq!(
+                res.as_ref().expect_err("rhs has Inf"),
+                &SolverFault::NonFiniteRhs
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_residual_replacement_converges() {
+        let n = 40;
+        let a = random_spd(n, 13);
+        let out = Universe::run(1, |comm| {
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos()).collect();
+            let mut op = DenseOp { n, a: a.clone() };
+            let mut x = vec![0.0; n];
+            let policy = RecoveryPolicy {
+                replace_every: 5,
+                ..RecoveryPolicy::default()
+            };
+            let res = resilient_cg(
+                comm,
+                &mut op,
+                &mut Identity,
+                &b,
+                &mut x,
+                1e-10,
+                500,
+                &policy,
+            )
+            .expect("healthy operator");
+            assert!(res.result.converged, "{:?}", res.result);
+            assert!(res.replacements > 0, "replacement cadence must fire");
+            assert_eq!(res.rollbacks + res.restarts, 0);
+            res.result.rel_residual
+        });
+        assert!(out[0] <= 1e-10);
+    }
+}

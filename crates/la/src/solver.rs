@@ -66,6 +66,10 @@ pub struct CgResult {
     pub converged: bool,
     /// Final relative residual `‖r‖/‖b‖`.
     pub rel_residual: f64,
+    /// Relative residual `‖r‖/‖b‖` at entry and after every iteration.
+    /// Bitwise-deterministic for a fixed configuration — `hymv-chaos`
+    /// compares it exactly between fault-free and fault-healed solves.
+    pub history: Vec<f64>,
 }
 
 /// Preconditioned conjugate gradients: solves `A x = b` to relative
@@ -104,6 +108,7 @@ pub fn cg(
             iterations: 0,
             converged: true,
             rel_residual: 0.0,
+            history: vec![0.0],
         };
     }
 
@@ -111,6 +116,7 @@ pub fn cg(
     p.copy_from_slice(&z);
     let mut rz = dot(comm, &r, &z);
     let mut rnorm = norm2(comm, &r);
+    let mut history = vec![rnorm / bnorm];
 
     let mut iterations = 0;
     while rnorm / bnorm > rtol && iterations < max_iter {
@@ -137,6 +143,7 @@ pub fn cg(
             }
         });
         rnorm = norm2(comm, &r);
+        history.push(rnorm / bnorm);
         iterations += 1;
     }
 
@@ -144,6 +151,7 @@ pub fn cg(
         iterations,
         converged: rnorm / bnorm <= rtol,
         rel_residual: rnorm / bnorm,
+        history,
     }
 }
 
@@ -177,6 +185,7 @@ pub fn pipelined_cg(
             iterations: 0,
             converged: true,
             rel_residual: 0.0,
+            history: vec![0.0],
         };
     }
 
@@ -197,6 +206,7 @@ pub fn pipelined_cg(
     let mut m = vec![0.0; n];
     let mut nn = vec![0.0; n];
     let (mut gamma_prev, mut alpha_prev) = (0.0f64, 0.0f64);
+    let mut history = Vec::new();
 
     let mut iterations = 0usize;
     loop {
@@ -217,11 +227,13 @@ pub fn pipelined_cg(
         let red = handle.wait(comm);
         let (gamma, delta, rr) = (red[0], red[1], red[2]);
         let rnorm = rr.max(0.0).sqrt();
+        history.push(rnorm / bnorm);
         if rnorm / bnorm <= rtol {
             return CgResult {
                 iterations,
                 converged: true,
                 rel_residual: rnorm / bnorm,
+                history,
             };
         }
         if iterations >= max_iter {
@@ -229,6 +241,7 @@ pub fn pipelined_cg(
                 iterations,
                 converged: false,
                 rel_residual: rnorm / bnorm,
+                history,
             };
         }
 

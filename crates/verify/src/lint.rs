@@ -20,6 +20,14 @@
 //!   banned inside the numerical crates (`crates/la`, `crates/core`):
 //!   HYMV's results must be bitwise reproducible, and its timing flows
 //!   through the virtual-time ledger (`thread_cpu_time`), not wall clocks.
+//! * **`envelope-bypass`** — per-SPMV ghost traffic (`TAG_SCATTER`,
+//!   `TAG_GATHER`, `TAG_GHOSTS`) must ride the sequence-numbered,
+//!   checksummed envelope channel (`send_enveloped`/`recv_enveloped`);
+//!   a raw `isend`/`recv` on those tags silently opts out of loss,
+//!   duplication, and corruption recovery (DESIGN.md §10). Only the two
+//!   owning modules (`crates/core/src/exchange.rs`,
+//!   `crates/la/src/dist_csr.rs`), which gate the raw path behind the
+//!   bench-only `raw_transport` flag, may touch these tags directly.
 
 use std::fmt;
 use std::fs;
@@ -422,6 +430,50 @@ fn is_kernel_file(file: &str) -> bool {
     f.starts_with("crates/la/src/") || f.starts_with("crates/core/src/")
 }
 
+/// Ghost-exchange tags whose traffic must use the envelope channel.
+const ENVELOPE_TAGS: &[&str] = &["TAG_SCATTER", "TAG_GATHER", "TAG_GHOSTS"];
+
+/// The two modules that own the envelope framing for their tags and may
+/// legitimately touch the raw transport (behind `raw_transport`).
+const ENVELOPE_OWNERS: &[&str] = &["crates/core/src/exchange.rs", "crates/la/src/dist_csr.rs"];
+
+/// True if the trimmed argument *is* the named constant (optionally
+/// path-qualified), not merely a longer identifier containing it.
+fn is_tag_const(arg: &str, name: &str) -> bool {
+    let t = arg.trim();
+    t == name || t.ends_with(&format!("::{name}"))
+}
+
+fn lint_envelope_bypass(file: &str, stripped: &str, out: &mut Vec<LintDiag>) {
+    if ENVELOPE_OWNERS.contains(&file.replace('\\', "/").as_str()) {
+        return;
+    }
+    for &(name, tag_pos) in TAG_METHODS {
+        for at in call_sites(stripped, name) {
+            let open = at + stripped[at..].find('(').expect("call site has paren");
+            let Some((args, _)) = split_args(stripped, open) else {
+                continue;
+            };
+            let Some(arg) = args.get(tag_pos) else {
+                continue;
+            };
+            if let Some(tag) = ENVELOPE_TAGS.iter().find(|t| is_tag_const(arg, t)) {
+                out.push(LintDiag {
+                    file: file.to_string(),
+                    line: line_of(stripped, at),
+                    rule: "envelope-bypass",
+                    message: format!(
+                        "raw `{name}` on `{tag}`: ghost-exchange traffic must use the \
+                         sequence-numbered/checksummed envelope channel \
+                         (`send_enveloped`/`recv_enveloped`) so injected loss, duplication, \
+                         and corruption are recovered (DESIGN.md §10)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Lint one source file's text. `file` is the workspace-relative label
 /// used in diagnostics (and for the kernel-crate scoping).
 ///
@@ -438,6 +490,7 @@ pub fn lint_source(file: &str, text: &str) -> Vec<LintDiag> {
     };
     lint_raw_tags(file, code, &mut out);
     lint_recv_in_overlap(file, code, &mut out);
+    lint_envelope_bypass(file, code, &mut out);
     if is_kernel_file(file) {
         lint_kernel_nondeterminism(file, code, &mut out);
     }
@@ -540,7 +593,7 @@ mod tests {
 
     #[test]
     fn named_tags_and_lookalike_methods_pass() {
-        let src = "comm.isend(next, TAG_SCATTER, payload);\n\
+        let src = "comm.isend(next, TAG_TRIPLES, payload);\n\
                    comm.isend_internal(next, 7, x);\n\
                    let recv_plan = plans.recv_plan(0);\n\
                    comm.recv(src, tag);\n";
@@ -602,6 +655,29 @@ mod tests {
         assert!(v.iter().all(|d| d.rule == "nondeterminism-in-kernel"));
         // The same text outside a kernel crate is fine (e.g. bench code).
         assert!(lint_source("crates/bench/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn envelope_bypass_flagged_outside_owners() {
+        let src = "comm.isend(next, TAG_SCATTER, payload);\n\
+                   let v = comm.recv(peer, TAG_GHOSTS);\n\
+                   comm.isend(next, exchange::TAG_GATHER, payload);\n";
+        let v = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|d| d.rule == "envelope-bypass"));
+        assert_eq!(v[0].line, 1);
+        assert!(v[1].message.contains("TAG_GHOSTS"), "{}", v[1].message);
+    }
+
+    #[test]
+    fn envelope_owners_and_enveloped_calls_pass() {
+        let src = "comm.isend(next, TAG_SCATTER, payload);\n";
+        assert!(lint_source("crates/core/src/exchange.rs", src).is_empty());
+        assert!(lint_source("crates/la/src/dist_csr.rs", src).is_empty());
+        let ok = "comm.send_enveloped(next, TAG_SCATTER, &vals);\n\
+                  let v = comm.recv_enveloped(peer, TAG_GATHER);\n\
+                  comm.isend(next, TAG_SCATTERED, payload);\n";
+        assert!(lint_source("crates/x/src/lib.rs", ok).is_empty());
     }
 
     #[test]

@@ -153,3 +153,72 @@ fn too_many_ranks_rejected() {
     let mesh = StructuredHexMesh::unit(1, ElementType::Hex8).build();
     let _ = partition_mesh(&mesh, 50, PartitionMethod::Rcb);
 }
+
+/// With the fault injector disabled (the default), the envelope wire
+/// format is pure framing: the full HYMV SPMV stays bitwise deterministic
+/// across 8 schedule-perturbation seeds (the `hymv-chaos` baseline
+/// requirement — `certify_spmv_determinism` panics on any divergence).
+#[test]
+fn envelope_transport_is_deterministic_across_eight_seeds() {
+    let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+    let pm = partition_mesh(&mesh, 3, PartitionMethod::GreedyGraph);
+    let seeds: Vec<u64> = (1..=8).collect();
+    let _ = hymv::check::certify_spmv_determinism(&pm, ParallelMode::Serial, &seeds);
+}
+
+/// Bench guard: the sequence-numbered/checksummed envelope on the
+/// fault-free SPMV path must cost < 5% in max-over-ranks virtual time
+/// against the raw pre-`hymv-chaos` wire format (`set_raw_exchange`).
+/// Virtual time folds the modeled α–β cost of the 32-byte header and the
+/// measured CPU cost of pack/checksum/unpack — both tiny next to the
+/// elemental kernels.
+#[test]
+fn envelope_overhead_under_five_percent() {
+    // 12³ elements: compute volume grows cubically against the quadratic
+    // ghost surface, as in any production-size SPMV; on the tiny meshes
+    // the unit tests favor, framing cost is inflated by the degenerate
+    // surface-to-volume ratio.
+    let mesh = StructuredHexMesh::unit(12, ElementType::Hex8).build();
+    let p = 2;
+    let pm = partition_mesh(&mesh, p, PartitionMethod::Slabs);
+    let rounds = 20;
+    let ratios = Universe::run(p, |comm| {
+        let kernel = PoissonKernel::new(ElementType::Hex8);
+        let (mut op, _) = hymv::core::HymvOperator::setup(comm, &pm.parts[comm.rank()], &kernel);
+        let n = op.n_owned();
+        let x: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) * 0.25 - 1.0).collect();
+        let mut y = vec![0.0; n];
+        let mut time = |op: &mut hymv::core::HymvOperator, comm: &mut hymv::comm::Comm| {
+            // Warm caches and drain straggling traffic before the window.
+            op.matvec(comm, &x, &mut y);
+            comm.barrier();
+            let t0 = comm.vt();
+            for _ in 0..rounds {
+                op.matvec(comm, &x, &mut y);
+            }
+            comm.barrier();
+            comm.vt() - t0
+        };
+        // Interleaved repetitions, min per transport: virtual time folds
+        // measured per-thread CPU, and concurrent tests in this binary
+        // add scheduling noise — the minimum is the noise-robust
+        // estimator of the true cost.
+        let (mut env_min, mut raw_min) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..3 {
+            op.set_raw_exchange(false);
+            let env_s = time(&mut op, comm);
+            op.set_raw_exchange(true);
+            let raw_s = time(&mut op, comm);
+            // Max-over-ranks: the solver's critical path.
+            env_min = env_min.min(comm.allreduce_max_f64(env_s));
+            raw_min = raw_min.min(comm.allreduce_max_f64(raw_s));
+        }
+        env_min / raw_min
+    });
+    let ratio = ratios[0];
+    assert!(
+        ratio < 1.05,
+        "envelope transport costs {:.1}% over raw (budget 5%)",
+        (ratio - 1.0) * 100.0
+    );
+}
