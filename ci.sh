@@ -31,4 +31,19 @@ echo "== emv_batch bench smoke"
 HYMV_BENCH_SMOKE=1 cargo bench -q -p hymv-bench --bench emv_batch
 cargo run -q --release -p hymv-bench --bin bench_emv_batch -- --smoke
 
+echo "== hymv-prof traced-solve smoke (12^3 Poisson, 4 ranks, 8 seeds)"
+cargo run -q --release -p hymv-prof -- --n 12 --p 4 --seeds 8 --out target/experiments/prof
+for f in trace.json metrics.prom summary.json; do
+    test -s "target/experiments/prof/$f" || { echo "missing artifact $f"; exit 1; }
+done
+# The analysis fields must be present with finite numeric values (the
+# binary itself exits nonzero on non-finite analysis or a determinism
+# violation; these greps guard the artifact schema).
+grep -qE '"overlap_efficiency": [0-9.]+' target/experiments/prof/summary.json
+grep -qE '"max_phase_imbalance": [0-9.]+' target/experiments/prof/summary.json
+grep -q '^hymv_vt_seconds' target/experiments/prof/metrics.prom
+
+echo "== trace_overhead bench smoke (disabled-path <3% guard)"
+HYMV_BENCH_SMOKE=1 cargo bench -q -p hymv-bench --bench trace_overhead
+
 echo "CI green"

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use hymv_comm::{CommStats, Universe};
+use hymv_comm::{CommStats, RunConfig, Universe};
 use hymv_core::assemble::{assemble_rhs, jacobi_diagonal, owned_node_coords};
 use hymv_core::dirichlet_op::{owned_constraints, DirichletOp};
 use hymv_core::exchange::GhostExchange;
@@ -110,6 +110,11 @@ pub struct SpmvReport {
     /// Raw wall-clock of the whole run (host-dependent; printed for
     /// transparency, not comparable to the paper).
     pub wall_s: f64,
+    /// Traced overlap efficiency (`HYMV_TRACE` runs only).
+    pub overlap_efficiency: Option<f64>,
+    /// Traced largest per-phase `max/mean` imbalance (`HYMV_TRACE` runs
+    /// only).
+    pub max_phase_imbalance: Option<f64>,
 }
 
 impl SpmvReport {
@@ -140,7 +145,13 @@ pub fn run_setup_and_spmv(
 ) -> SpmvReport {
     let pm = partition_mesh(&case.mesh, p, partitioner);
     let wall0 = Instant::now();
-    let out = Universe::run(p, |comm| {
+    let traced = hymv_trace::env_enabled();
+    let session = traced.then(hymv_trace::TraceSession::begin);
+    let cfg = RunConfig {
+        trace: traced,
+        ..RunConfig::default()
+    };
+    let (out, _audit) = Universe::run_configured(cfg, p, |comm| {
         let part = &pm.parts[comm.rank()];
         comm.reset_ledger();
         let mut opts = BuildOptions::new(method);
@@ -156,6 +167,7 @@ pub fn run_setup_and_spmv(
         let flops = comm.allreduce_sum_f64((sys.flops_per_apply * n_spmv as u64) as f64);
         (emat, over, spmv, stats, flops)
     });
+    let analysis = session.map(|s| s.finish().analyze());
     let wall_s = wall0.elapsed().as_secs_f64();
     let mut comm_total = CommStats::default();
     for (_, _, _, s, _) in &out {
@@ -171,6 +183,8 @@ pub fn run_setup_and_spmv(
         comm: comm_total,
         gflop: flops / 1e9,
         wall_s,
+        overlap_efficiency: analysis.as_ref().map(|a| a.overlap_efficiency),
+        max_phase_imbalance: analysis.as_ref().map(|a| a.max_phase_imbalance),
     }
 }
 
@@ -290,7 +304,13 @@ pub fn run_gpu_spmv(
 ) -> SpmvReport {
     let pm = partition_mesh(&case.mesh, p, partitioner);
     let wall0 = Instant::now();
-    let out = Universe::run(p, |comm| {
+    let traced = hymv_trace::env_enabled();
+    let session = traced.then(hymv_trace::TraceSession::begin);
+    let run_cfg = RunConfig {
+        trace: traced,
+        ..RunConfig::default()
+    };
+    let (out, _audit) = Universe::run_configured(run_cfg, p, |comm| {
         let part = &pm.parts[comm.rank()];
         let kernel = (case.kernel)();
         comm.reset_ledger();
@@ -333,6 +353,7 @@ pub fn run_gpu_spmv(
         let flops = comm.allreduce_sum_f64((op.flops_per_apply() * n_spmv as u64) as f64);
         (emat, over, spmv, stats, flops)
     });
+    let analysis = session.map(|s| s.finish().analyze());
     let wall_s = wall0.elapsed().as_secs_f64();
     let mut comm_total = CommStats::default();
     for (_, _, _, s, _) in &out {
@@ -348,6 +369,8 @@ pub fn run_gpu_spmv(
         comm: comm_total,
         gflop: flops / 1e9,
         wall_s,
+        overlap_efficiency: analysis.as_ref().map(|a| a.overlap_efficiency),
+        max_phase_imbalance: analysis.as_ref().map(|a| a.max_phase_imbalance),
     }
 }
 

@@ -191,6 +191,7 @@ fn run_cfg(fault: Option<FaultPlan>) -> RunConfig {
         audit: AuditMode::Disabled,
         fault,
         retry: RetryPolicy::default(),
+        trace: false,
     }
 }
 

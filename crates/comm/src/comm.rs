@@ -169,7 +169,7 @@ impl Comm {
         let Some(decision) = self.world.fault.as_ref().map(|f| f.decide(self.rank, dst)) else {
             return self.isend_internal(dst, tag, payload);
         };
-        let base_arrival = self.stamp_arrival(payload.len_bytes());
+        let base_arrival = self.stamp_arrival(tag, payload.len_bytes());
         let vt = self.ledger.vt();
         // A straggler link stretches the modeled transit only; the payload
         // and its eventual position in the residual history are untouched.
@@ -211,7 +211,7 @@ impl Comm {
     /// Unchecked-tag send on the reliable fabric (internal: also carries
     /// the control-band traffic of the reliable layer).
     pub(crate) fn isend_internal(&mut self, dst: usize, tag: u32, payload: Payload) -> SendHandle {
-        let arrival_vt = self.stamp_arrival(payload.len_bytes());
+        let arrival_vt = self.stamp_arrival(tag, payload.len_bytes());
         self.world.deliver(
             dst,
             Message {
@@ -227,8 +227,9 @@ impl Comm {
 
     /// Charge a send to the ledger and compute its modeled arrival stamp
     /// (with the perturbation jitter applied when enabled).
-    fn stamp_arrival(&mut self, bytes: usize) -> f64 {
-        let mut arrival_vt = self.ledger.on_send(bytes);
+    fn stamp_arrival(&mut self, tag: u32, bytes: usize) -> f64 {
+        hymv_trace::histogram_record("hymv_msg_bytes", &[], bytes as u64);
+        let mut arrival_vt = self.ledger.on_send(tag, bytes);
         if let Some(state) = &mut self.jitter {
             // Stretch the modeled transit by a random factor in [1, 2).
             // Only the virtual-time stamp moves — payloads are untouched —
@@ -290,7 +291,7 @@ impl Comm {
         };
         self.expect_live(&msg);
         self.ledger
-            .on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
+            .on_recv_complete(msg.arrival_vt, tag, msg.payload.len_bytes());
         (msg.src, msg.payload)
     }
 
@@ -298,7 +299,7 @@ impl Comm {
         let msg = self.blocking_receive(src, tag);
         self.expect_live(&msg);
         self.ledger
-            .on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
+            .on_recv_complete(msg.arrival_vt, tag, msg.payload.len_bytes());
         msg.payload
     }
 
@@ -306,7 +307,7 @@ impl Comm {
         self.world.try_receive(self.rank, src, tag).map(|msg| {
             self.expect_live(&msg);
             self.ledger
-                .on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
+                .on_recv_complete(msg.arrival_vt, tag, msg.payload.len_bytes());
             msg.payload
         })
     }
@@ -404,6 +405,66 @@ impl Comm {
     /// simulated GPU phase whose timeline is produced by `hymv-gpu`).
     pub fn add_modeled_time(&mut self, seconds: f64) {
         self.ledger.add_compute(seconds);
+    }
+
+    /// Like [`Comm::work`], but the closure also gets the communicator, so
+    /// compute that is interleaved with sends (packing a buffer, then
+    /// posting it) still charges its CPU time without the caller reading
+    /// the thread clock directly. Time spent *inside* nested comm calls is
+    /// measured CPU time too — which is what the sender actually burns on
+    /// this substrate, where "the network" is memcpy into a mailbox.
+    pub fn work_with<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let t0 = thread_cpu_time();
+        let out = f(self);
+        self.ledger.add_compute(thread_cpu_time() - t0);
+        out
+    }
+
+    /// [`Comm::work_with`] that also returns the charged duration in
+    /// seconds — for callers that keep their own phase breakdowns (e.g.
+    /// operator setup timings).
+    pub fn timed_work<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, f64) {
+        let t0 = thread_cpu_time();
+        let out = f(self);
+        let dt = (thread_cpu_time() - t0).max(0.0);
+        self.ledger.add_compute(dt);
+        (out, dt)
+    }
+
+    // ------------------------------------------------------------- tracing
+
+    /// Run `f` inside a trace span of `phase`, stamped with this rank's
+    /// virtual time on entry and exit. A no-op wrapper (two relaxed atomic
+    /// loads) when tracing is disabled. Spans nest.
+    pub fn traced<R>(&mut self, phase: hymv_trace::Phase, f: impl FnOnce(&mut Self) -> R) -> R {
+        let guard = hymv_trace::SpanGuard::open(phase, self.vt());
+        let out = f(self);
+        guard.close(self.vt());
+        out
+    }
+
+    /// Publish this rank's ledger counters into the open trace session's
+    /// metrics registry (called by the universe once the SPMD closure
+    /// returns on a traced run). Per-tag traffic becomes labeled counters;
+    /// clocks become gauges.
+    pub(crate) fn publish_trace_metrics(&self) {
+        let s = self.ledger.stats();
+        hymv_trace::gauge_set("hymv_vt_seconds", &[], s.vt);
+        hymv_trace::gauge_set("hymv_compute_seconds", &[], s.compute_s);
+        hymv_trace::gauge_set("hymv_comm_wait_seconds", &[], s.comm_wait_s);
+        hymv_trace::counter_add("hymv_sends_confirmed_total", &[], s.sends_confirmed);
+        hymv_trace::counter_add("hymv_retries_total", &[], s.retries);
+        hymv_trace::counter_add("hymv_timeouts_total", &[], s.timeouts);
+        hymv_trace::counter_add("hymv_dups_suppressed_total", &[], s.dups_suppressed);
+        hymv_trace::counter_add("hymv_corrupt_detected_total", &[], s.corrupt_detected);
+        for (&tag, t) in self.ledger.tag_stats() {
+            let label = hymv_trace::tag_label(tag);
+            let labels: &[(&str, &str)] = &[("tag", label.as_str())];
+            hymv_trace::counter_add("hymv_bytes_sent_total", labels, t.bytes_sent);
+            hymv_trace::counter_add("hymv_msgs_sent_total", labels, t.msgs_sent);
+            hymv_trace::counter_add("hymv_bytes_recv_total", labels, t.bytes_recv);
+            hymv_trace::counter_add("hymv_msgs_recv_total", labels, t.msgs_recv);
+        }
     }
 
     // -------------------------------------------------------- collectives

@@ -65,6 +65,21 @@ pub fn thread_cpu_time() -> f64 {
     ts.tv_sec as f64 + ts.tv_nsec as f64 * 1e-9
 }
 
+/// Per-tag traffic breakdown kept alongside the scalar counters. The
+/// aggregate [`CommStats`] stays a flat `Copy` snapshot; tag-resolved
+/// numbers live in this side table (see [`Ledger::tag_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TagStats {
+    /// Bytes sent under this tag.
+    pub bytes_sent: u64,
+    /// Messages sent under this tag.
+    pub msgs_sent: u64,
+    /// Bytes received under this tag.
+    pub bytes_recv: u64,
+    /// Messages received under this tag.
+    pub msgs_recv: u64,
+}
+
 /// Virtual-time ledger of a single rank.
 #[derive(Debug, Clone)]
 pub struct Ledger {
@@ -82,6 +97,7 @@ pub struct Ledger {
     timeouts: u64,
     dups_suppressed: u64,
     corrupt_detected: u64,
+    tags: std::collections::BTreeMap<u32, TagStats>,
 }
 
 impl Ledger {
@@ -100,6 +116,7 @@ impl Ledger {
             timeouts: 0,
             dups_suppressed: 0,
             corrupt_detected: 0,
+            tags: std::collections::BTreeMap::new(),
         }
     }
 
@@ -121,24 +138,30 @@ impl Ledger {
         self.compute_s += s;
     }
 
-    /// Record a send of `bytes`: pays sender overhead, returns the modeled
-    /// arrival timestamp to stamp on the message.
-    pub(crate) fn on_send(&mut self, bytes: usize) -> f64 {
+    /// Record a send of `bytes` under `tag`: pays sender overhead, returns
+    /// the modeled arrival timestamp to stamp on the message.
+    pub(crate) fn on_send(&mut self, tag: u32, bytes: usize) -> f64 {
         self.vt += self.model.send_overhead;
         self.bytes_sent += bytes as u64;
         self.msgs_sent += 1;
+        let t = self.tags.entry(tag).or_default();
+        t.bytes_sent += bytes as u64;
+        t.msgs_sent += 1;
         self.vt + self.model.transit(bytes)
     }
 
-    /// Record the completion of a receive whose message arrives (in virtual
-    /// time) at `arrival_vt`.
-    pub(crate) fn on_recv_complete(&mut self, arrival_vt: f64, bytes: usize) {
+    /// Record the completion of a receive under `tag` whose message arrives
+    /// (in virtual time) at `arrival_vt`.
+    pub(crate) fn on_recv_complete(&mut self, arrival_vt: f64, tag: u32, bytes: usize) {
         if arrival_vt > self.vt {
             self.comm_wait_s += arrival_vt - self.vt;
             self.vt = arrival_vt;
         }
         self.bytes_recv += bytes as u64;
         self.msgs_recv += 1;
+        let t = self.tags.entry(tag).or_default();
+        t.bytes_recv += bytes as u64;
+        t.msgs_recv += 1;
     }
 
     /// Synchronize with a collective whose participants' maximum virtual
@@ -198,6 +221,11 @@ impl Ledger {
             dups_suppressed: self.dups_suppressed,
             corrupt_detected: self.corrupt_detected,
         }
+    }
+
+    /// Per-tag traffic breakdown, keyed by message tag.
+    pub fn tag_stats(&self) -> &std::collections::BTreeMap<u32, TagStats> {
+        &self.tags
     }
 
     /// Reset all counters and the clock to zero (used between timed phases).
@@ -310,19 +338,19 @@ mod tests {
             smp_serial_fraction: 0.0,
         };
         let mut sender = Ledger::new(model);
-        let arrival = sender.on_send(8_000); // transit = 1e-3 + 8e-6
+        let arrival = sender.on_send(7, 8_000); // transit = 1e-3 + 8e-6
         assert!(arrival > 1e-3);
 
         // Receiver that waits immediately pays the latency...
         let mut idle = Ledger::new(model);
-        idle.on_recv_complete(arrival, 8_000);
+        idle.on_recv_complete(arrival, 7, 8_000);
         assert!(idle.stats().comm_wait_s > 0.0);
         assert!((idle.vt() - arrival).abs() < 1e-15);
 
         // ...while a receiver that computed past the arrival pays nothing.
         let mut busy = Ledger::new(model);
         busy.add_compute(1.0);
-        busy.on_recv_complete(arrival, 8_000);
+        busy.on_recv_complete(arrival, 7, 8_000);
         assert_eq!(busy.stats().comm_wait_s, 0.0);
         assert!((busy.vt() - 1.0).abs() < 1e-15);
     }
@@ -343,7 +371,7 @@ mod tests {
         let model = CostModel::default();
         let mut a = Ledger::new(model);
         a.add_compute(1.0);
-        let _ = a.on_send(100);
+        let _ = a.on_send(3, 100);
         let mut b = Ledger::new(model);
         b.add_compute(2.0);
         let mut agg = a.stats();
@@ -356,8 +384,33 @@ mod tests {
     fn reset_clears_counters() {
         let mut l = Ledger::new(CostModel::default());
         l.add_compute(1.0);
-        let _ = l.on_send(64);
+        let _ = l.on_send(64, 64);
         l.reset();
         assert_eq!(l.stats(), CommStats::default());
+        assert!(l.tag_stats().is_empty());
+    }
+
+    #[test]
+    fn per_tag_breakdown_tracks_both_directions() {
+        let model = CostModel::default();
+        let mut l = Ledger::new(model);
+        let a1 = l.on_send(0x0C01, 100);
+        let _ = l.on_send(0x0C01, 50);
+        let a2 = l.on_send(0x0C02, 8);
+        l.on_recv_complete(a1, 0x0C01, 100);
+        l.on_recv_complete(a2, 0x0C02, 8);
+        let tags = l.tag_stats();
+        let scatter = tags[&0x0C01];
+        assert_eq!(scatter.bytes_sent, 150);
+        assert_eq!(scatter.msgs_sent, 2);
+        assert_eq!(scatter.bytes_recv, 100);
+        assert_eq!(scatter.msgs_recv, 1);
+        let gather = tags[&0x0C02];
+        assert_eq!(gather.msgs_sent, 1);
+        assert_eq!(gather.msgs_recv, 1);
+        // The flat aggregate still matches the tag totals.
+        let s = l.stats();
+        assert_eq!(s.bytes_sent, 158);
+        assert_eq!(s.msgs_recv, 2);
     }
 }

@@ -57,7 +57,7 @@ mod world;
 pub use audit::{AuditEvent, AuditEventKind, AuditMode, AuditReport, AuditViolation};
 pub use comm::{Comm, IallreduceHandle, RecvHandle, SendHandle};
 pub use fault::{CrashSpec, FaultKind, FaultPlan, FaultReport, RetryPolicy};
-pub use ledger::{thread_cpu_time, CommStats, CostModel, Ledger};
+pub use ledger::{thread_cpu_time, CommStats, CostModel, Ledger, TagStats};
 pub use payload::Payload;
 pub use reliable::{envelope_pack, envelope_unpack, EnvelopeError, ENVELOPE_MAGIC, TAG_RESEND};
 pub use world::{RunConfig, Universe};

@@ -219,7 +219,7 @@ impl Comm {
                 continue;
             }
             self.ledger
-                .on_recv_complete(msg.arrival_vt, msg.payload.len_bytes());
+                .on_recv_complete(msg.arrival_vt, tag, msg.payload.len_bytes());
             match envelope_unpack(&msg.payload) {
                 Ok((seq, data)) if seq == expected => {
                     self.advance_recv_seq(peer, tag);
@@ -266,7 +266,9 @@ impl Comm {
         // 2^(attempts-1) × base, capped to keep the arithmetic sane; all
         // in virtual time, so bitwise deterministic across schedules.
         let backoff = self.reliable.policy.backoff_s * (1u64 << (*attempts - 1).min(16)) as f64;
+        let span = hymv_trace::SpanGuard::open(hymv_trace::Phase::Retry, self.vt());
         self.ledger.on_retry(backoff);
+        span.close(self.vt());
         // Control plane: reliable fabric, tag in the closed control band.
         let _ = self.isend_internal(peer, TAG_RESEND, Payload::from_u64(vec![tag as u64, seq]));
     }

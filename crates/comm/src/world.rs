@@ -108,6 +108,8 @@ pub(crate) struct World {
     pub fault: Option<FaultState>,
     /// Retry/backoff policy the reliable envelope layer runs under.
     pub retry: RetryPolicy,
+    /// Whether rank threads record into the open trace session.
+    pub trace: bool,
     /// First fault report of the run; set once, then every blocking wait
     /// unwinds with a typed abort instead of hanging on a dead peer.
     poison: Mutex<Option<FaultReport>>,
@@ -122,6 +124,7 @@ impl World {
         perturb_seed: Option<u64>,
         fault: Option<FaultPlan>,
         retry: RetryPolicy,
+        trace: bool,
     ) -> Arc<Self> {
         let mail = (0..size)
             .map(|dst| {
@@ -147,6 +150,7 @@ impl World {
             perturb_seed,
             fault: fault.filter(FaultPlan::is_active).map(FaultState::new),
             retry,
+            trace,
             poison: Mutex::new(None),
             poisoned: AtomicBool::new(false),
         })
@@ -483,6 +487,11 @@ pub struct RunConfig {
     /// Retry/backoff policy of the reliable envelope layer (default reads
     /// `HYMV_RETRY_*`).
     pub retry: RetryPolicy,
+    /// Record spans/metrics into the open `hymv_trace::TraceSession`.
+    /// Off by default so concurrently running untraced universes (e.g.
+    /// parallel tests) never pollute someone else's session; recording
+    /// additionally requires a session to actually be open.
+    pub trace: bool,
 }
 
 impl Default for RunConfig {
@@ -493,6 +502,7 @@ impl Default for RunConfig {
             audit: AuditMode::default(),
             fault: FaultPlan::from_env(),
             retry: RetryPolicy::from_env(),
+            trace: false,
         }
     }
 }
@@ -555,6 +565,7 @@ impl Universe {
             cfg.perturb_seed,
             cfg.fault,
             cfg.retry,
+            cfg.trace,
         );
         let f = &f;
         let results = std::thread::scope(|scope| {
@@ -562,8 +573,16 @@ impl Universe {
                 .map(|rank| {
                     let world = Arc::clone(&world);
                     scope.spawn(move || {
+                        let traced = world.trace && hymv_trace::enabled();
+                        if traced {
+                            hymv_trace::rank_begin(rank);
+                        }
                         let mut comm = Comm::new(rank, world);
                         let out = f(&mut comm);
+                        if traced {
+                            comm.publish_trace_metrics();
+                            hymv_trace::rank_flush();
+                        }
                         comm.note_exit();
                         out
                     })
@@ -602,6 +621,7 @@ impl Universe {
             cfg.perturb_seed,
             cfg.fault,
             cfg.retry,
+            cfg.trace,
         );
         let f = &f;
         let results = std::thread::scope(|scope| {
@@ -609,8 +629,16 @@ impl Universe {
                 .map(|rank| {
                     let world = Arc::clone(&world);
                     scope.spawn(move || {
+                        let traced = world.trace && hymv_trace::enabled();
+                        if traced {
+                            hymv_trace::rank_begin(rank);
+                        }
                         let mut comm = Comm::new(rank, world);
                         let out = f(&mut comm);
+                        if traced {
+                            comm.publish_trace_metrics();
+                            hymv_trace::rank_flush();
+                        }
                         comm.note_exit();
                         out
                     })
@@ -679,6 +707,7 @@ mod tests {
             None,
             None,
             RetryPolicy::default(),
+            false,
         )
     }
 
@@ -760,6 +789,7 @@ mod tests {
             perturb_seed,
             None,
             RetryPolicy::default(),
+            false,
         );
         for i in 0..n {
             let src = 1 + (i % 2) as usize;

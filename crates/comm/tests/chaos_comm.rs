@@ -17,6 +17,7 @@ fn chaos_cfg(fault: FaultPlan) -> RunConfig {
         audit: AuditMode::Disabled,
         fault: Some(fault),
         retry: RetryPolicy::default(),
+        trace: false,
     }
 }
 

@@ -12,6 +12,7 @@
 //! Algorithm 2 can overlap them with the independent-element EMVs.
 
 use hymv_comm::{Comm, Payload};
+use hymv_trace::Phase;
 
 use crate::da::DistArray;
 use crate::maps::HymvMaps;
@@ -42,7 +43,15 @@ pub struct GhostExchange {
 impl GhostExchange {
     /// Build the LNSM/GNGM maps. Collective over all ranks.
     pub fn build(comm: &mut Comm, maps: &HymvMaps) -> Self {
-        let cpu0 = hymv_comm::thread_cpu_time();
+        hymv_trace::name_tag(TAG_BUILD, "build");
+        hymv_trace::name_tag(TAG_SCATTER, "scatter");
+        hymv_trace::name_tag(TAG_GATHER, "gather");
+        comm.traced(Phase::ExchangeBuild, |comm| {
+            comm.work_with(|comm| Self::build_inner(comm, maps))
+        })
+    }
+
+    fn build_inner(comm: &mut Comm, maps: &HymvMaps) -> Self {
         // Every rank learns all owned ranges.
         let ranges = comm.allgather_u64(vec![maps.node_range.0, maps.node_range.1]);
         let begins: Vec<u64> = ranges.iter().map(|r| r[0]).collect();
@@ -103,7 +112,6 @@ impl GhostExchange {
             })
             .collect();
 
-        comm.add_modeled_time(hymv_comm::thread_cpu_time() - cpu0);
         GhostExchange {
             send_plan,
             recv_plan,
@@ -156,72 +164,80 @@ impl GhostExchange {
     /// so an active fault plan can be healed by the recovery protocol.
     pub fn scatter_begin(&self, comm: &mut Comm, da: &DistArray) {
         let ndof = da.ndof;
-        let t0 = hymv_comm::thread_cpu_time();
-        for (rank, locals) in &self.send_plan {
-            let mut vals = Vec::with_capacity(locals.len() * ndof);
-            for &l in locals {
-                let base = l as usize * ndof;
-                vals.extend_from_slice(&da.data[base..base + ndof]);
-            }
-            if self.raw_transport {
-                comm.isend(*rank, TAG_SCATTER, Payload::from_f64(vals));
-            } else {
-                comm.send_enveloped(*rank, TAG_SCATTER, &vals);
-            }
-        }
-        comm.add_modeled_time(hymv_comm::thread_cpu_time() - t0);
+        comm.traced(Phase::ScatterPost, |comm| {
+            // Packing is interleaved with the sends, so the whole block is
+            // charged as measured compute (`work_with`).
+            comm.work_with(|comm| {
+                for (rank, locals) in &self.send_plan {
+                    let mut vals = Vec::with_capacity(locals.len() * ndof);
+                    for &l in locals {
+                        let base = l as usize * ndof;
+                        vals.extend_from_slice(&da.data[base..base + ndof]);
+                    }
+                    if self.raw_transport {
+                        comm.isend(*rank, TAG_SCATTER, Payload::from_f64(vals));
+                    } else {
+                        comm.send_enveloped(*rank, TAG_SCATTER, &vals);
+                    }
+                }
+            });
+        });
     }
 
     /// `local_node_scatter_end`: receive ghost values into the DA.
     pub fn scatter_end(&self, comm: &mut Comm, da: &mut DistArray) {
         let ndof = da.ndof;
-        for (rank, range) in &self.recv_plan {
-            let vals = if self.raw_transport {
-                comm.recv(*rank, TAG_SCATTER).into_f64()
-            } else {
-                comm.recv_enveloped(*rank, TAG_SCATTER)
-            };
-            debug_assert_eq!(vals.len(), range.len() * ndof);
-            da.data[range.start * ndof..range.end * ndof].copy_from_slice(&vals);
-        }
+        comm.traced(Phase::ScatterWait, |comm| {
+            for (rank, range) in &self.recv_plan {
+                let vals = if self.raw_transport {
+                    comm.recv(*rank, TAG_SCATTER).into_f64()
+                } else {
+                    comm.recv_enveloped(*rank, TAG_SCATTER)
+                };
+                debug_assert_eq!(vals.len(), range.len() * ndof);
+                da.data[range.start * ndof..range.end * ndof].copy_from_slice(&vals);
+            }
+        });
     }
 
     /// `ghost_node_gather_begin`: ship accumulated ghost contributions back
     /// to their owners.
     pub fn gather_begin(&self, comm: &mut Comm, da: &DistArray) {
         let ndof = da.ndof;
-        for (rank, range) in &self.recv_plan {
-            let vals = &da.data[range.start * ndof..range.end * ndof];
-            if self.raw_transport {
-                comm.isend(*rank, TAG_GATHER, Payload::from_f64(vals.to_vec()));
-            } else {
-                comm.send_enveloped(*rank, TAG_GATHER, vals);
+        comm.traced(Phase::GatherPost, |comm| {
+            for (rank, range) in &self.recv_plan {
+                let vals = &da.data[range.start * ndof..range.end * ndof];
+                if self.raw_transport {
+                    comm.isend(*rank, TAG_GATHER, Payload::from_f64(vals.to_vec()));
+                } else {
+                    comm.send_enveloped(*rank, TAG_GATHER, vals);
+                }
             }
-        }
+        });
     }
 
     /// `ghost_node_gather_end`: accumulate neighbours' contributions into
     /// our owned values.
     pub fn gather_end(&self, comm: &mut Comm, da: &mut DistArray) {
         let ndof = da.ndof;
-        let mut unpack = 0.0;
-        for (rank, locals) in &self.send_plan {
-            let vals = if self.raw_transport {
-                comm.recv(*rank, TAG_GATHER).into_f64()
-            } else {
-                comm.recv_enveloped(*rank, TAG_GATHER)
-            };
-            debug_assert_eq!(vals.len(), locals.len() * ndof);
-            let t0 = hymv_comm::thread_cpu_time();
-            for (m, &l) in locals.iter().enumerate() {
-                let base = l as usize * ndof;
-                for c in 0..ndof {
-                    da.data[base + c] += vals[m * ndof + c];
-                }
+        comm.traced(Phase::GatherAccum, |comm| {
+            for (rank, locals) in &self.send_plan {
+                let vals = if self.raw_transport {
+                    comm.recv(*rank, TAG_GATHER).into_f64()
+                } else {
+                    comm.recv_enveloped(*rank, TAG_GATHER)
+                };
+                debug_assert_eq!(vals.len(), locals.len() * ndof);
+                comm.work_with(|_| {
+                    for (m, &l) in locals.iter().enumerate() {
+                        let base = l as usize * ndof;
+                        for c in 0..ndof {
+                            da.data[base + c] += vals[m * ndof + c];
+                        }
+                    }
+                });
             }
-            unpack += hymv_comm::thread_cpu_time() - t0;
-        }
-        comm.add_modeled_time(unpack);
+        });
     }
 }
 
@@ -365,6 +381,7 @@ mod tests {
             audit: AuditMode::Disabled,
             fault: Some(FaultPlan::new(42).with_drop(0.15).with_corrupt(0.1)),
             retry: RetryPolicy::default(),
+            trace: false,
         };
         let (faulted, _) = hymv_comm::Universe::run_chaos(cfg, 3, |comm| program(comm, false));
         for (rank, res) in faulted.into_iter().enumerate() {

@@ -11,6 +11,7 @@ use hymv_la::dense::{
 };
 use hymv_la::LinOp;
 use hymv_mesh::MeshPartition;
+use hymv_trace::Phase;
 
 use crate::block::{batch_width_from_env, BlockPlan};
 use crate::da::DistArray;
@@ -46,16 +47,22 @@ impl MatFreeOperator {
     /// cost in the matrix-free method (the paper's figures show no setup
     /// bar for it). Collective.
     pub fn setup(comm: &mut Comm, part: &MeshPartition, kernel: Arc<dyn ElementKernel>) -> Self {
+        let setup_span = hymv_trace::SpanGuard::open(Phase::Setup, comm.vt());
         let ndof = kernel.ndof_per_node();
         let nd = kernel.ndof_elem();
-        let maps = comm.work(|| HymvMaps::build(part));
+        let maps = comm.traced(Phase::MapsBuild, |comm| {
+            comm.work_with(|_| HymvMaps::build(part))
+        });
         let exchange = GhostExchange::build(comm, &maps);
         let u = DistArray::new(&maps, ndof);
         let v = DistArray::new(&maps, ndof);
         let bw = batch_width_from_env();
         // Gather/scatter tables only — matrices are recomputed per apply,
         // so no store is attached and no slabs are allocated in the plan.
-        let plan = comm.work(|| (bw > 1).then(|| BlockPlan::build(&maps, ndof, bw)));
+        let plan = comm.traced(Phase::PlanBuild, |comm| {
+            comm.work_with(|_| (bw > 1).then(|| BlockPlan::build(&maps, ndof, bw)))
+        });
+        setup_span.close(comm.vt());
         MatFreeOperator {
             maps,
             exchange,
@@ -162,11 +169,12 @@ impl MatFreeOperator {
         self.v.fill_zero();
         self.u.set_owned(x);
         self.exchange.scatter_begin(comm, &self.u);
-        self.run_subset(comm, false);
+        comm.traced(Phase::IndepEmv, |comm| self.run_subset(comm, false));
         self.exchange.scatter_end(comm, &mut self.u);
-        self.run_subset(comm, true);
+        comm.traced(Phase::DepEmv, |comm| self.run_subset(comm, true));
         self.exchange.gather_begin(comm, &self.v);
         self.exchange.gather_end(comm, &mut self.v);
+        hymv_trace::counter_add("hymv_emv_flops_total", &[], self.flops_per_apply());
         y.copy_from_slice(self.v.owned());
     }
 
@@ -177,10 +185,11 @@ impl MatFreeOperator {
         self.u.set_owned(x);
         self.exchange.scatter_begin(comm, &self.u);
         self.exchange.scatter_end(comm, &mut self.u);
-        self.run_subset(comm, false);
-        self.run_subset(comm, true);
+        comm.traced(Phase::IndepEmv, |comm| self.run_subset(comm, false));
+        comm.traced(Phase::DepEmv, |comm| self.run_subset(comm, true));
         self.exchange.gather_begin(comm, &self.v);
         self.exchange.gather_end(comm, &mut self.v);
+        hymv_trace::counter_add("hymv_emv_flops_total", &[], self.flops_per_apply());
         y.copy_from_slice(self.v.owned());
     }
 }

@@ -7,6 +7,7 @@ use hymv_la::dense::{
 };
 use hymv_la::{ElementMatrixStore, LinOp};
 use hymv_mesh::MeshPartition;
+use hymv_trace::Phase;
 
 use crate::block::{batch_width_from_env, BlockPlan};
 use crate::da::DistArray;
@@ -76,13 +77,15 @@ impl HymvOperator {
         part: &MeshPartition,
         kernel: &dyn ElementKernel,
     ) -> (Self, SetupTimings) {
+        let setup_span = hymv_trace::SpanGuard::open(Phase::Setup, comm.vt());
         let ndof = kernel.ndof_per_node();
         let nd = kernel.ndof_elem();
         let mut t = SetupTimings::default();
 
-        let vt0 = comm.vt();
-        let maps = comm.work(|| HymvMaps::build(part));
-        t.maps_s = comm.vt() - vt0;
+        let (maps, dt) = comm.traced(Phase::MapsBuild, |comm| {
+            comm.timed_work(|_| HymvMaps::build(part))
+        });
+        t.maps_s = dt;
 
         let vt0 = comm.vt();
         let exchange = GhostExchange::build(comm, &maps);
@@ -90,40 +93,36 @@ impl HymvOperator {
 
         // Element matrices: computed into a user-side buffer (the cost any
         // approach pays), then copied into the store (HYMV's "local copy").
-        // One timed section with sub-splits keeps measurement overhead off
-        // the books.
+        // The two sub-costs interleave per element, so each leg is charged
+        // through its own timed section.
         let mut store = ElementMatrixStore::new(nd, maps.n_elems);
         let mut ke_buf = vec![0.0; nd * nd];
         let mut scratch = KernelScratch::default();
-        let (te, tc) = comm.work(|| {
-            let mut te = 0.0;
-            let mut tc = 0.0;
+        comm.traced(Phase::EmatCompute, |comm| {
             for e in 0..maps.n_elems {
-                let t0 = hymv_comm::thread_cpu_time();
-                kernel.compute_ke(part.elem_node_coords(e), &mut ke_buf, &mut scratch);
-                let t1 = hymv_comm::thread_cpu_time();
-                store.ke_mut(e).copy_from_slice(&ke_buf);
-                tc += hymv_comm::thread_cpu_time() - t1;
-                te += t1 - t0;
+                let (_, te) = comm.timed_work(|_| {
+                    kernel.compute_ke(part.elem_node_coords(e), &mut ke_buf, &mut scratch);
+                });
+                let (_, tc) = comm.timed_work(|_| store.ke_mut(e).copy_from_slice(&ke_buf));
+                t.emat_compute_s += te;
+                t.local_copy_s += tc;
             }
-            (te, tc)
         });
-        t.emat_compute_s = te;
-        t.local_copy_s = tc;
 
         // Block plan: the batched engine is the default path
         // (`HYMV_EMV_BATCH=1` recovers the per-element loop). Charged to
         // the map-construction bar: it is map/layout work, purely local.
         let bw = batch_width_from_env();
-        let vt0 = comm.vt();
-        let plan = comm.work(|| {
-            (bw > 1).then(|| {
-                let mut p = BlockPlan::build(&maps, ndof, bw);
-                p.attach_store(&store);
-                p
+        let (plan, dt) = comm.traced(Phase::PlanBuild, |comm| {
+            comm.timed_work(|_| {
+                (bw > 1).then(|| {
+                    let mut p = BlockPlan::build(&maps, ndof, bw);
+                    p.attach_store(&store);
+                    p
+                })
             })
         });
-        t.maps_s += comm.vt() - vt0;
+        t.maps_s += dt;
 
         let u = DistArray::new(&maps, ndof);
         let v = DistArray::new(&maps, ndof);
@@ -142,6 +141,7 @@ impl HymvOperator {
             ue: vec![0.0; nd * bw],
             ve: vec![0.0; nd * bw],
         };
+        setup_span.close(comm.vt());
         (op, t)
     }
 
@@ -246,12 +246,16 @@ impl HymvOperator {
 
     /// Re-interleave dirty element matrices into the plan's block slabs
     /// (no-op on the per-element path or when nothing changed).
-    fn flush_updates(&mut self) {
+    fn flush_updates(&mut self, comm: &mut Comm) {
         if self.dirty.is_empty() {
             return;
         }
         if let Some(plan) = &mut self.plan {
-            plan.refresh(&self.store, &self.dirty);
+            let (store, dirty) = (&self.store, &self.dirty);
+            comm.traced(Phase::BlockRefresh, |comm| {
+                comm.work_with(|_| plan.refresh(store, dirty));
+            });
+            hymv_trace::counter_add("hymv_block_refresh_total", &[], dirty.len() as u64);
         }
         self.dirty.clear();
     }
@@ -362,7 +366,7 @@ impl HymvOperator {
         if comm.degraded() {
             return self.matvec_blocking(comm, x, y);
         }
-        self.flush_updates();
+        self.flush_updates(comm);
         // v ← 0; u ← x with fresh ghosts.
         self.v.fill_zero();
         self.u.set_owned(x);
@@ -371,31 +375,33 @@ impl HymvOperator {
         self.exchange.scatter_begin(comm, &self.u);
 
         // Independent elements overlap the scatter.
-        self.run_subset(comm, false);
+        comm.traced(Phase::IndepEmv, |comm| self.run_subset(comm, false));
 
         // local_node_scatter_end(u); then dependent elements.
         self.exchange.scatter_end(comm, &mut self.u);
-        self.run_subset(comm, true);
+        comm.traced(Phase::DepEmv, |comm| self.run_subset(comm, true));
 
         // ghost_node_gather: accumulate ghost contributions to owners.
         self.exchange.gather_begin(comm, &self.v);
         self.exchange.gather_end(comm, &mut self.v);
 
+        hymv_trace::counter_add("hymv_emv_flops_total", &[], self.flops_per_apply());
         y.copy_from_slice(self.v.owned());
     }
 
     /// A deliberately non-overlapped SPMV (blocking exchange up front, then
     /// all elements) — the ablation counterpart of Algorithm 2.
     pub fn matvec_blocking(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
-        self.flush_updates();
+        self.flush_updates(comm);
         self.v.fill_zero();
         self.u.set_owned(x);
         self.exchange.scatter_begin(comm, &self.u);
         self.exchange.scatter_end(comm, &mut self.u);
-        self.run_subset(comm, false);
-        self.run_subset(comm, true);
+        comm.traced(Phase::IndepEmv, |comm| self.run_subset(comm, false));
+        comm.traced(Phase::DepEmv, |comm| self.run_subset(comm, true));
         self.exchange.gather_begin(comm, &self.v);
         self.exchange.gather_end(comm, &mut self.v);
+        hymv_trace::counter_add("hymv_emv_flops_total", &[], self.flops_per_apply());
         y.copy_from_slice(self.v.owned());
     }
 }

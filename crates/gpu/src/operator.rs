@@ -22,7 +22,8 @@ use hymv_la::{ElementMatrixStore, LinOp};
 use hymv_mesh::MeshPartition;
 
 use crate::model::GpuModel;
-use crate::sim::DeviceSim;
+use crate::sim::{DeviceSim, EventKind};
+use hymv_trace::Phase;
 
 /// The three distributed execution schemes compared in Fig 8b.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,12 +92,20 @@ impl HymvGpuOperator {
         });
 
         let mut sim = DeviceSim::new(model, n_streams);
+        let anchor_vt = comm.vt();
         sim.begin_window();
         // Upload what the device kernels consume: the interleaved matrix
         // slabs plus the gather tables.
         sim.h2d(0, plan.device_bytes(), "upload element matrices");
         let upload_s = sim.window_elapsed();
         comm.add_modeled_time(upload_s);
+        hymv_trace::gpu_span(
+            0,
+            Phase::GpuUpload,
+            "upload element matrices",
+            anchor_vt,
+            anchor_vt + upload_s,
+        );
         // Report the upload inside the setup breakdown's copy component.
         timings.local_copy_s += upload_s;
 
@@ -237,6 +246,29 @@ impl HymvGpuOperator {
         }
     }
 
+    /// Mirror the device events scheduled since index `mark` onto the
+    /// merged trace: the current window began at device time `dev0`,
+    /// which corresponds to virtual time `anchor_vt` on this rank.
+    fn emit_device_spans(&self, mark: usize, dev0: f64, anchor_vt: f64) {
+        if !hymv_trace::enabled() {
+            return;
+        }
+        for e in &self.sim.events()[mark..] {
+            let phase = match e.kind {
+                EventKind::H2D => Phase::GpuH2D,
+                EventKind::Kernel => Phase::GpuKernel,
+                EventKind::D2H => Phase::GpuD2H,
+            };
+            hymv_trace::gpu_span(
+                e.stream,
+                phase,
+                &e.label,
+                anchor_vt + (e.start - dev0),
+                anchor_vt + (e.end - dev0),
+            );
+        }
+    }
+
     /// Host-side EMV for one block subset (scheme 2's dependent elements),
     /// charged as host SMP work, accumulating directly into `v`.
     fn host_emv(&mut self, comm: &mut Comm, dependent: bool) {
@@ -261,11 +293,15 @@ impl HymvGpuOperator {
                 self.exchange.scatter_end(comm, &mut self.u);
                 self.pack(comm, false);
                 self.pack(comm, true);
+                let anchor_vt = comm.vt();
+                let mark = self.sim.events().len();
                 self.sim.begin_window();
+                let dev0 = self.sim.now();
                 self.submit_batch(false, "all");
                 self.submit_batch(true, "all");
                 let dt = self.sim.window_elapsed();
                 comm.add_modeled_time(dt);
+                self.emit_device_spans(mark, dev0, anchor_vt);
                 self.accumulate(comm, false);
                 self.accumulate(comm, true);
             }
@@ -276,7 +312,9 @@ impl HymvGpuOperator {
                 // exchange is in flight.
                 self.pack(comm, false);
                 let anchor_vt = comm.vt();
+                let mark = self.sim.events().len();
                 self.sim.begin_window();
+                let dev0 = self.sim.now();
                 self.submit_batch(false, "indep");
 
                 // Complete the exchange (host may wait; device keeps going).
@@ -291,6 +329,7 @@ impl HymvGpuOperator {
                     if device_done > comm.vt() {
                         comm.add_modeled_time(device_done - comm.vt());
                     }
+                    self.emit_device_spans(mark, dev0, anchor_vt);
                     self.accumulate(comm, false);
                 } else {
                     // Dependent blocks follow on the device; they cannot
@@ -302,6 +341,7 @@ impl HymvGpuOperator {
                     if device_done > comm.vt() {
                         comm.add_modeled_time(device_done - comm.vt());
                     }
+                    self.emit_device_spans(mark, dev0, anchor_vt);
                     self.accumulate(comm, false);
                     self.accumulate(comm, true);
                 }

@@ -1,80 +1,68 @@
 //! Timeline export: Chrome-trace JSON (load into `chrome://tracing` or
 //! Perfetto) and an ASCII Gantt renderer — the reproduction of the paper's
 //! Fig 3 profiling snapshot.
+//!
+//! Both views delegate to `hymv-trace`'s shared Chrome-event schema and
+//! row painter; this module only maps the simulator's [`TraceEvent`]
+//! stream onto them. The standalone device view keeps its historical
+//! contract: `pid = 0`, `tid = stream`.
 
 use crate::sim::{EventKind, TraceEvent};
+use hymv_trace::ChromeTraceEvent;
+
+fn kind_cat(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::H2D => "h2d",
+        EventKind::Kernel => "kernel",
+        EventKind::D2H => "d2h",
+    }
+}
+
+/// Map one simulator event onto the shared Chrome-event schema
+/// (device-local view: `pid = 0`, `tid = stream`).
+pub fn event_to_chrome(e: &TraceEvent) -> ChromeTraceEvent {
+    ChromeTraceEvent {
+        name: e.label.clone(),
+        cat: kind_cat(e.kind).to_string(),
+        ph: "X",
+        ts: e.start * 1e6,
+        dur: (e.end - e.start) * 1e6,
+        pid: 0,
+        tid: e.stream,
+    }
+}
 
 /// Serialize events in the Chrome Trace Event format (microseconds).
 pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
-    #[derive(serde::Serialize)]
-    struct ChromeEvent<'a> {
-        name: &'a str,
-        cat: &'static str,
-        ph: &'static str,
-        ts: f64,
-        dur: f64,
-        pid: u32,
-        tid: usize,
-    }
-    let rows: Vec<ChromeEvent> = events
-        .iter()
-        .map(|e| ChromeEvent {
-            name: &e.label,
-            cat: match e.kind {
-                EventKind::H2D => "h2d",
-                EventKind::Kernel => "kernel",
-                EventKind::D2H => "d2h",
-            },
-            ph: "X",
-            ts: e.start * 1e6,
-            dur: (e.end - e.start) * 1e6,
-            pid: 0,
-            tid: e.stream,
-        })
-        .collect();
-    serde_json::to_string_pretty(&rows).expect("trace serialization cannot fail")
+    let rows: Vec<ChromeTraceEvent> = events.iter().map(event_to_chrome).collect();
+    hymv_trace::to_chrome_json(&rows)
 }
 
-/// Render an ASCII Gantt chart: one row per (stream, engine-kind), `width`
-/// character columns over the event span. H2D = `h`, kernel = `█`,
-/// D2H = `d`.
+/// Render an ASCII Gantt chart: one row per stream, `width` character
+/// columns over the event span. H2D = `h`, kernel = `█`, D2H = `d`.
 pub fn render_ascii(events: &[TraceEvent], width: usize) -> String {
     if events.is_empty() {
         return String::from("(no events)\n");
     }
-    let t0 = events.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
-    let t1 = events
-        .iter()
-        .map(|e| e.end)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let span = (t1 - t0).max(1e-30);
     let n_streams = events.iter().map(|e| e.stream).max().expect("non-empty") + 1;
-
-    let mut out = String::new();
-    out.push_str(&format!(
-        "time span: {:.3} ms   (h = H2D, █ = kernel, d = D2H)\n",
-        span * 1e3
-    ));
-    for s in 0..n_streams {
-        let mut row = vec![' '; width];
-        for e in events.iter().filter(|e| e.stream == s) {
-            let c0 = (((e.start - t0) / span) * width as f64) as usize;
-            let c1 = ((((e.end - t0) / span) * width as f64).ceil() as usize).min(width);
-            let ch = match e.kind {
-                EventKind::H2D => 'h',
-                EventKind::Kernel => '█',
-                EventKind::D2H => 'd',
-            };
-            for c in row.iter_mut().take(c1).skip(c0.min(width)) {
-                *c = ch;
-            }
-        }
-        out.push_str(&format!(
-            "stream {s:2} |{}|\n",
-            row.iter().collect::<String>()
-        ));
-    }
-    out
+    let rows: Vec<(String, Vec<(f64, f64, char)>)> = (0..n_streams)
+        .map(|s| {
+            let segs: Vec<(f64, f64, char)> = events
+                .iter()
+                .filter(|e| e.stream == s)
+                .map(|e| {
+                    let glyph = match e.kind {
+                        EventKind::H2D => 'h',
+                        EventKind::Kernel => '█',
+                        EventKind::D2H => 'd',
+                    };
+                    (e.start, e.end, glyph)
+                })
+                .collect();
+            (format!("stream {s:2}"), segs)
+        })
+        .collect();
+    hymv_trace::render_rows("(h = H2D, █ = kernel, d = D2H)", &rows, width)
 }
 
 #[cfg(test)]

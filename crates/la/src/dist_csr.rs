@@ -13,6 +13,7 @@
 //!   off-diagonal block — PETSc's VecScatter overlap.
 
 use hymv_comm::{Comm, Payload};
+use hymv_trace::Phase;
 
 use crate::csr::SerialCsr;
 
@@ -63,7 +64,22 @@ impl DistCsr {
         n_owned_rows: usize,
         triples: Vec<(u64, u64, f64)>,
     ) -> Self {
-        let cpu0 = hymv_comm::thread_cpu_time();
+        hymv_trace::name_tag(TAG_TRIPLES, "triples");
+        hymv_trace::name_tag(TAG_NEEDS, "needs");
+        hymv_trace::name_tag(TAG_GHOSTS, "ghosts");
+        // Host-side assembly work (triple routing bookkeeping, sort, CSR
+        // compression, scatter-plan construction) is charged to the clock
+        // by the `work_with` wrapper; communication charges itself.
+        comm.traced(Phase::Setup, |comm| {
+            comm.work_with(|comm| Self::from_triples_inner(comm, n_owned_rows, triples))
+        })
+    }
+
+    fn from_triples_inner(
+        comm: &mut Comm,
+        n_owned_rows: usize,
+        triples: Vec<(u64, u64, f64)>,
+    ) -> Self {
         // Establish global row ranges.
         let counts = comm.allgather_u64(vec![n_owned_rows as u64]);
         let mut row_starts = vec![0u64; comm.size() + 1];
@@ -171,10 +187,6 @@ impl DistCsr {
             .collect();
 
         let ghost = vec![0.0; garray.len()];
-        // Charge the host-side assembly work (triple routing bookkeeping,
-        // sort, CSR compression, scatter-plan construction) to the clock;
-        // communication charged itself along the way.
-        comm.add_modeled_time(hymv_comm::thread_cpu_time() - cpu0);
         DistCsr {
             row_range,
             row_starts,
@@ -233,20 +245,19 @@ impl DistCsr {
     fn spmv_impl(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64], charge: bool) {
         debug_assert_eq!(x.len(), self.n_local());
         debug_assert_eq!(y.len(), self.n_local());
-        let charge_since = |comm: &mut Comm, t0: f64| {
-            if charge {
-                comm.add_modeled_time(hymv_comm::thread_cpu_time() - t0);
-            }
-        };
 
         // Post sends of the owned values our neighbours need. Per-SPMV
         // ghost traffic rides the sequence-numbered, checksummed envelope
         // so an active fault plan is healed by the recovery protocol.
-        let t0 = hymv_comm::thread_cpu_time();
-        for (rank, locals) in &self.send_plan {
-            let vals: Vec<f64> = locals.iter().map(|&l| x[l as usize]).collect();
-            comm.send_enveloped(*rank, TAG_GHOSTS, &vals);
-        }
+        let send_plan = &self.send_plan;
+        comm.traced(Phase::ScatterPost, |comm| {
+            charged(comm, charge, |comm| {
+                for (rank, locals) in send_plan {
+                    let vals: Vec<f64> = locals.iter().map(|&l| x[l as usize]).collect();
+                    comm.send_enveloped(*rank, TAG_GHOSTS, &vals);
+                }
+            });
+        });
 
         // Complete the scatter. On the healthy path this happens after the
         // diagonal-block multiply (VecScatter overlap); once the reliable
@@ -254,20 +265,28 @@ impl DistCsr {
         // in which retransmissions interleave with useful work.
         let degraded = comm.degraded();
         if !degraded {
-            self.diag.spmv(x, y, false);
+            let diag = &self.diag;
+            comm.traced(Phase::IndepEmv, |comm| {
+                charged(comm, charge, |_| diag.spmv(x, y, false));
+            });
         }
-        charge_since(comm, t0);
-        for (rank, range) in &self.recv_plan {
-            let vals = comm.recv_enveloped(*rank, TAG_GHOSTS);
-            debug_assert_eq!(vals.len(), range.len());
-            self.ghost[range.clone()].copy_from_slice(&vals);
-        }
-        let t0 = hymv_comm::thread_cpu_time();
-        if degraded {
-            self.diag.spmv(x, y, false);
-        }
-        self.offd.spmv(&self.ghost, y, true);
-        charge_since(comm, t0);
+        let (recv_plan, ghost) = (&self.recv_plan, &mut self.ghost);
+        comm.traced(Phase::ScatterWait, |comm| {
+            for (rank, range) in recv_plan {
+                let vals = comm.recv_enveloped(*rank, TAG_GHOSTS);
+                debug_assert_eq!(vals.len(), range.len());
+                ghost[range.clone()].copy_from_slice(&vals);
+            }
+        });
+        let (diag, offd, ghost) = (&self.diag, &self.offd, &self.ghost);
+        comm.traced(Phase::DepEmv, |comm| {
+            charged(comm, charge, |_| {
+                if degraded {
+                    diag.spmv(x, y, false);
+                }
+                offd.spmv(ghost, y, true);
+            });
+        });
     }
 
     /// FLOPs of one SPMV on this rank.
@@ -278,6 +297,16 @@ impl DistCsr {
     /// Owned diagonal entries of the global matrix (Jacobi setup).
     pub fn diagonal(&self) -> Vec<f64> {
         self.diag.diag()
+    }
+}
+
+/// Run `f`, charging its thread-CPU time to the clock only when `charge`
+/// is set (the simulated-GPU backend models the multiply on the device).
+fn charged<R>(comm: &mut Comm, charge: bool, f: impl FnOnce(&mut Comm) -> R) -> R {
+    if charge {
+        comm.work_with(f)
+    } else {
+        f(comm)
     }
 }
 

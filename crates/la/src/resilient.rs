@@ -180,6 +180,9 @@ pub fn resilient_cg(
         }
 
         while rnorm / bnorm > rtol && iterations < max_iter {
+            // Recovery exits (`continue 'derive`, `return Err`) drop the
+            // guard, which closes the span at the last stamped instant.
+            let iter_span = hymv_trace::SpanGuard::open(hymv_trace::Phase::SolverIter, comm.vt());
             op.apply(comm, &p, &mut ap);
             let pap = dot(comm, &p, &ap);
             if !pap.is_finite() {
@@ -241,9 +244,11 @@ pub fn resilient_cg(
                     p[i] = z[i] + beta * p[i];
                 }
             });
+            iter_span.close(comm.vt());
         }
         break;
     }
+    hymv_trace::counter_add("hymv_solver_iterations_total", &[], iterations as u64);
 
     Ok(ResilientCgResult {
         result: CgResult {

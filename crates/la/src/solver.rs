@@ -120,6 +120,7 @@ pub fn cg(
 
     let mut iterations = 0;
     while rnorm / bnorm > rtol && iterations < max_iter {
+        let iter_span = hymv_trace::SpanGuard::open(hymv_trace::Phase::SolverIter, comm.vt());
         op.apply(comm, &p, &mut ap);
         let pap = dot(comm, &p, &ap);
         assert!(
@@ -145,7 +146,9 @@ pub fn cg(
         rnorm = norm2(comm, &r);
         history.push(rnorm / bnorm);
         iterations += 1;
+        iter_span.close(comm.vt());
     }
+    hymv_trace::counter_add("hymv_solver_iterations_total", &[], iterations as u64);
 
     CgResult {
         iterations,
@@ -210,6 +213,7 @@ pub fn pipelined_cg(
 
     let mut iterations = 0usize;
     loop {
+        let iter_span = hymv_trace::SpanGuard::open(hymv_trace::Phase::SolverIter, comm.vt());
         // Post the fused reduction: γ = (r,u), δ = (w,u), ‖r‖².
         let local = comm.work(|| {
             [
@@ -228,18 +232,12 @@ pub fn pipelined_cg(
         let (gamma, delta, rr) = (red[0], red[1], red[2]);
         let rnorm = rr.max(0.0).sqrt();
         history.push(rnorm / bnorm);
-        if rnorm / bnorm <= rtol {
+        if rnorm / bnorm <= rtol || iterations >= max_iter {
+            iter_span.close(comm.vt());
+            hymv_trace::counter_add("hymv_solver_iterations_total", &[], iterations as u64);
             return CgResult {
                 iterations,
-                converged: true,
-                rel_residual: rnorm / bnorm,
-                history,
-            };
-        }
-        if iterations >= max_iter {
-            return CgResult {
-                iterations,
-                converged: false,
+                converged: rnorm / bnorm <= rtol,
                 rel_residual: rnorm / bnorm,
                 history,
             };
@@ -272,6 +270,7 @@ pub fn pipelined_cg(
         gamma_prev = gamma;
         alpha_prev = alpha;
         iterations += 1;
+        iter_span.close(comm.vt());
     }
 }
 

@@ -1,0 +1,273 @@
+//! Derived trace analyses: overlap efficiency, per-phase load imbalance,
+//! and critical-path attribution. Formulas in DESIGN.md §11.
+
+use std::collections::BTreeMap;
+
+use crate::{Phase, SpanEvent};
+
+/// Per-phase cross-rank aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase name (see [`Phase::name`]).
+    pub phase: String,
+    /// Total seconds across all ranks.
+    pub total_s: f64,
+    /// Maximum per-rank seconds.
+    pub max_s: f64,
+    /// Mean per-rank seconds.
+    pub mean_s: f64,
+    /// Load-imbalance factor `max / mean` (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+/// The derived report of [`analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// Number of ranks observed.
+    pub n_ranks: usize,
+    /// Aggregate overlap efficiency:
+    /// `Σ (indep_emv + hidden) / (Σ indep_emv + Σ scatter_wait)` over
+    /// all ranks, where `hidden` is the part of each rank's
+    /// `scatter_wait` intervals covered by concurrent device activity
+    /// (the GPU schemes hide the exchange behind in-flight streams
+    /// rather than host compute). 1.0 when communication is fully
+    /// hidden behind independent work.
+    pub overlap_efficiency: f64,
+    /// Per-rank overlap efficiency.
+    pub per_rank_overlap: Vec<f64>,
+    /// Per-phase aggregates, in [`Phase::ALL`] order (observed phases
+    /// only).
+    pub phases: Vec<PhaseStat>,
+    /// Largest per-phase imbalance factor.
+    pub max_phase_imbalance: f64,
+    /// Rank whose timeline ends last (the critical rank).
+    pub critical_rank: usize,
+    /// The critical rank's per-phase time, largest first — where the
+    /// end-to-end virtual time went.
+    pub critical_path: Vec<(String, f64)>,
+}
+
+/// Merge intervals into a disjoint, sorted union.
+fn interval_union(mut ivals: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    ivals.retain(|&(a, b)| b > a);
+    ivals.sort_by(|a, b| a.partial_cmp(b).expect("span times are finite"));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(ivals.len());
+    for (a, b) in ivals {
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Total measure of `ivals` covered by the disjoint union `cover`.
+fn covered_measure(ivals: &[(f64, f64)], cover: &[(f64, f64)]) -> f64 {
+    let mut total = 0.0;
+    for &(a, b) in ivals {
+        for &(c, d) in cover {
+            let lo = a.max(c);
+            let hi = b.min(d);
+            if hi > lo {
+                total += hi - lo;
+            }
+        }
+    }
+    total
+}
+
+/// Compute the derived analyses over a span list. All outputs are finite
+/// for any input: divisions fall back to `1.0` (balanced / fully
+/// overlapped) when the denominator vanishes.
+pub fn analyze(spans: &[SpanEvent]) -> TraceAnalysis {
+    let n_ranks = spans.iter().map(|e| e.rank + 1).max().unwrap_or(0);
+
+    // Per (phase, rank) total seconds.
+    let mut totals: BTreeMap<Phase, Vec<f64>> = BTreeMap::new();
+    for e in spans {
+        let per_rank = totals.entry(e.phase).or_insert_with(|| vec![0.0; n_ranks]);
+        per_rank[e.rank] += (e.t1 - e.t0).max(0.0);
+    }
+
+    // Device-hidden communication: the part of each rank's scatter_wait
+    // intervals covered by concurrent GPU stream activity on that rank.
+    let mut hidden = vec![0.0f64; n_ranks];
+    for r in 0..n_ranks {
+        let waits: Vec<(f64, f64)> = spans
+            .iter()
+            .filter(|e| e.rank == r && e.tid == 0 && e.phase == Phase::ScatterWait)
+            .map(|e| (e.t0, e.t1))
+            .collect();
+        let device: Vec<(f64, f64)> = spans
+            .iter()
+            .filter(|e| e.rank == r && e.tid > 0)
+            .map(|e| (e.t0, e.t1))
+            .collect();
+        hidden[r] = covered_measure(&waits, &interval_union(device));
+    }
+
+    let mut per_rank_overlap = vec![1.0; n_ranks];
+    let zero = vec![0.0; n_ranks];
+    let indep = totals.get(&Phase::IndepEmv).unwrap_or(&zero);
+    let wait = totals.get(&Phase::ScatterWait).unwrap_or(&zero);
+    for r in 0..n_ranks {
+        let denom = indep[r] + wait[r];
+        if denom > 0.0 {
+            per_rank_overlap[r] = ((indep[r] + hidden[r].min(wait[r])) / denom).min(1.0);
+        }
+    }
+    let indep_sum: f64 = indep.iter().sum();
+    let wait_sum: f64 = wait.iter().sum();
+    let hidden_sum: f64 = hidden.iter().zip(wait).map(|(h, w)| h.min(*w)).sum();
+    let overlap_efficiency = if indep_sum + wait_sum > 0.0 {
+        ((indep_sum + hidden_sum) / (indep_sum + wait_sum)).min(1.0)
+    } else {
+        1.0
+    };
+
+    let mut phases = Vec::new();
+    let mut max_phase_imbalance: f64 = 1.0;
+    for p in Phase::ALL {
+        let Some(per_rank) = totals.get(p) else {
+            continue;
+        };
+        let total: f64 = per_rank.iter().sum();
+        let max = per_rank.iter().copied().fold(0.0f64, f64::max);
+        let mean = if n_ranks > 0 {
+            total / n_ranks as f64
+        } else {
+            0.0
+        };
+        let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+        max_phase_imbalance = max_phase_imbalance.max(imbalance);
+        phases.push(PhaseStat {
+            phase: p.name().to_string(),
+            total_s: total,
+            max_s: max,
+            mean_s: mean,
+            imbalance,
+        });
+    }
+
+    // Critical rank: the one whose last span ends latest.
+    let mut rank_end = vec![0.0f64; n_ranks];
+    for e in spans {
+        rank_end[e.rank] = rank_end[e.rank].max(e.t1);
+    }
+    let critical_rank = rank_end
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("span times are finite"))
+        .map_or(0, |(r, _)| r);
+    let mut critical_path: Vec<(String, f64)> = totals
+        .iter()
+        .filter(|(_, per_rank)| per_rank[critical_rank] > 0.0)
+        .map(|(p, per_rank)| (p.name().to_string(), per_rank[critical_rank]))
+        .collect();
+    critical_path.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("span times are finite"));
+
+    TraceAnalysis {
+        n_ranks,
+        overlap_efficiency,
+        per_rank_overlap,
+        phases,
+        max_phase_imbalance,
+        critical_rank,
+        critical_path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(rank: usize, phase: Phase, t0: f64, t1: f64) -> SpanEvent {
+        SpanEvent {
+            rank,
+            tid: 0,
+            phase,
+            label: String::new(),
+            t0,
+            t1,
+            depth: 0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_finite() {
+        let a = analyze(&[]);
+        assert_eq!(a.n_ranks, 0);
+        assert_eq!(a.overlap_efficiency, 1.0);
+        assert_eq!(a.max_phase_imbalance, 1.0);
+        assert!(a.phases.is_empty());
+    }
+
+    #[test]
+    fn overlap_efficiency_formula() {
+        // Rank 0: 3 s indep EMV, 1 s waiting -> 0.75.
+        // Rank 1: fully hidden -> 1.0.
+        let spans = vec![
+            span(0, Phase::IndepEmv, 0.0, 3.0),
+            span(0, Phase::ScatterWait, 3.0, 4.0),
+            span(1, Phase::IndepEmv, 0.0, 2.0),
+            span(1, Phase::ScatterWait, 2.0, 2.0),
+        ];
+        let a = analyze(&spans);
+        assert_eq!(a.n_ranks, 2);
+        assert!((a.per_rank_overlap[0] - 0.75).abs() < 1e-12);
+        assert!((a.per_rank_overlap[1] - 1.0).abs() < 1e-12);
+        assert!((a.overlap_efficiency - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_activity_hides_scatter_wait() {
+        // Rank 0 waits 2 s for ghosts; a GPU stream is busy during the
+        // first half of the wait -> half the communication is hidden.
+        let mut gpu = span(0, Phase::GpuKernel, 0.5, 2.0);
+        gpu.tid = 1;
+        let spans = vec![span(0, Phase::ScatterWait, 1.0, 3.0), gpu];
+        let a = analyze(&spans);
+        assert!((a.per_rank_overlap[0] - 0.5).abs() < 1e-12, "{a:?}");
+        assert!((a.overlap_efficiency - 0.5).abs() < 1e-12, "{a:?}");
+
+        // Two overlapping streams must not double-count the cover.
+        let mut s1 = span(0, Phase::GpuKernel, 1.0, 3.0);
+        s1.tid = 1;
+        let mut s2 = span(0, Phase::GpuD2H, 1.0, 3.0);
+        s2.tid = 2;
+        let spans = vec![span(0, Phase::ScatterWait, 1.0, 3.0), s1, s2];
+        let a = analyze(&spans);
+        assert!((a.overlap_efficiency - 1.0).abs() < 1e-12, "{a:?}");
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        // dep_emv: rank 0 does 3 s, rank 1 does 1 s -> max/mean = 1.5.
+        let spans = vec![
+            span(0, Phase::DepEmv, 0.0, 3.0),
+            span(1, Phase::DepEmv, 0.0, 1.0),
+        ];
+        let a = analyze(&spans);
+        let dep = a
+            .phases
+            .iter()
+            .find(|p| p.phase == "dep_emv")
+            .expect("phase");
+        assert!((dep.imbalance - 1.5).abs() < 1e-12);
+        assert!((a.max_phase_imbalance - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_names_the_slowest_rank() {
+        let spans = vec![
+            span(0, Phase::IndepEmv, 0.0, 1.0),
+            span(1, Phase::IndepEmv, 0.0, 2.0),
+            span(1, Phase::ScatterWait, 2.0, 5.0),
+        ];
+        let a = analyze(&spans);
+        assert_eq!(a.critical_rank, 1);
+        assert_eq!(a.critical_path[0].0, "scatter_wait");
+        assert!((a.critical_path[0].1 - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! The one Chrome Trace Event serializer of the workspace (loadable in
+//! `chrome://tracing` or Perfetto). CPU rank spans and GPU stream events
+//! share this schema; `hymv-gpu`'s standalone device view delegates here
+//! instead of keeping its own serde struct.
+
+use crate::SpanEvent;
+
+/// One complete (`ph = "X"`) Chrome trace event; `ts`/`dur` are in
+/// microseconds per the format spec.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ChromeTraceEvent {
+    /// Event name shown on the slice.
+    pub name: String,
+    /// Category (drives viewer coloring/filtering).
+    pub cat: String,
+    /// Event type; always `"X"` (complete event) here.
+    pub ph: &'static str,
+    /// Start timestamp, microseconds of virtual time.
+    pub ts: f64,
+    /// Duration, microseconds.
+    pub dur: f64,
+    /// Process id; the merged view maps ranks onto pids.
+    pub pid: u32,
+    /// Thread id within the pid; 0 = CPU track, `1 + s` = GPU stream `s`.
+    pub tid: usize,
+}
+
+/// Serialize events as pretty-printed Chrome-trace JSON (a bare event
+/// array, which both `chrome://tracing` and Perfetto accept).
+pub fn to_chrome_json(events: &[ChromeTraceEvent]) -> String {
+    serde_json::to_string_pretty(events).expect("trace serialization cannot fail")
+}
+
+/// Map one span onto the shared schema: `pid = rank`, `tid` preserved.
+pub fn span_to_chrome(e: &SpanEvent) -> ChromeTraceEvent {
+    ChromeTraceEvent {
+        name: if e.label.is_empty() {
+            e.phase.name().to_string()
+        } else {
+            e.label.clone()
+        },
+        cat: e.phase.category().to_string(),
+        ph: "X",
+        ts: e.t0 * 1e6,
+        dur: (e.t1 - e.t0) * 1e6,
+        pid: u32::try_from(e.rank).unwrap_or(u32::MAX),
+        tid: e.tid,
+    }
+}
+
+/// Map a span list onto the shared schema.
+pub fn spans_to_chrome(spans: &[SpanEvent]) -> Vec<ChromeTraceEvent> {
+    spans.iter().map(span_to_chrome).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phase;
+
+    #[test]
+    fn span_mapping_and_json() {
+        let spans = vec![
+            SpanEvent {
+                rank: 1,
+                tid: 0,
+                phase: Phase::ScatterPost,
+                label: String::new(),
+                t0: 0.5e-6,
+                t1: 1.5e-6,
+                depth: 0,
+                seq: 0,
+            },
+            SpanEvent {
+                rank: 1,
+                tid: 2,
+                phase: Phase::GpuKernel,
+                label: "indep[0]".to_string(),
+                t0: 1.0e-6,
+                t1: 3.0e-6,
+                depth: 0,
+                seq: 1,
+            },
+        ];
+        let events = spans_to_chrome(&spans);
+        assert_eq!(events[0].name, "scatter_post");
+        assert_eq!(events[0].cat, "comm");
+        assert!((events[0].ts - 0.5).abs() < 1e-9);
+        assert!((events[0].dur - 1.0).abs() < 1e-9);
+        assert_eq!(events[1].name, "indep[0]");
+        assert_eq!(events[1].cat, "gpu");
+        assert_eq!(events[1].pid, 1);
+        assert_eq!(events[1].tid, 2);
+
+        let json = to_chrome_json(&events);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let arr = parsed.as_array().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[1]["pid"], 1);
+    }
+
+    #[test]
+    fn empty_is_empty_array() {
+        assert_eq!(to_chrome_json(&[]).trim(), "[]");
+    }
+}

@@ -1,0 +1,158 @@
+//! ASCII Gantt rendering: the shared row painter plus the multi-rank
+//! span renderer (the paper's Fig 3 view). `hymv-gpu`'s stream-level
+//! `render_ascii` delegates to [`render_rows`].
+
+use std::fmt::Write as _;
+
+use crate::{Phase, SpanEvent};
+
+/// Paint labeled rows of `(start, end, glyph)` segments into `width`
+/// columns over the joint time span. `legend` is appended to the header
+/// line. Returns `"(no events)\n"` when no row has a segment.
+pub fn render_rows(legend: &str, rows: &[(String, Vec<(f64, f64, char)>)], width: usize) -> String {
+    let segs = || rows.iter().flat_map(|(_, segs)| segs.iter());
+    if segs().next().is_none() {
+        return String::from("(no events)\n");
+    }
+    let t0 = segs().map(|s| s.0).fold(f64::INFINITY, f64::min);
+    let t1 = segs().map(|s| s.1).fold(f64::NEG_INFINITY, f64::max);
+    let span = (t1 - t0).max(1e-30);
+
+    let mut out = String::new();
+    writeln!(out, "time span: {:.3} ms   {legend}", span * 1e3).expect("write to String");
+    for (label, segs) in rows {
+        let mut row = vec![' '; width];
+        for &(s0, s1, glyph) in segs {
+            let c0 = (((s0 - t0) / span) * width as f64) as usize;
+            let c1 = ((((s1 - t0) / span) * width as f64).ceil() as usize).min(width);
+            for c in row.iter_mut().take(c1).skip(c0.min(width)) {
+                *c = glyph;
+            }
+        }
+        writeln!(out, "{label} |{}|", row.iter().collect::<String>()).expect("write to String");
+    }
+    out
+}
+
+/// Render a merged multi-rank trace: one row per `(rank, track)`, CPU
+/// rows labeled `r<rank> cpu`, GPU stream rows `r<rank> s<stream>`.
+/// Deeper (nested) spans paint over their parents, so the finest phase
+/// detail wins; the legend lists the glyphs actually present.
+pub fn render_spans(spans: &[SpanEvent], width: usize) -> String {
+    if spans.is_empty() {
+        return String::from("(no events)\n");
+    }
+    let mut tracks: Vec<(usize, usize)> = spans.iter().map(|e| (e.rank, e.tid)).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+
+    // Paint shallow spans first so nested detail overwrites them.
+    let mut order: Vec<&SpanEvent> = spans.iter().collect();
+    order.sort_by_key(|e| (e.depth, e.seq));
+
+    let labels: Vec<String> = tracks
+        .iter()
+        .map(|&(rank, tid)| {
+            if tid == 0 {
+                format!("r{rank} cpu")
+            } else {
+                format!("r{rank} s{}", tid - 1)
+            }
+        })
+        .collect();
+    let label_w = labels.iter().map(String::len).max().unwrap_or(0);
+
+    let rows: Vec<(String, Vec<(f64, f64, char)>)> = tracks
+        .iter()
+        .zip(labels)
+        .map(|(&(rank, tid), label)| {
+            let segs: Vec<(f64, f64, char)> = order
+                .iter()
+                .filter(|e| e.rank == rank && e.tid == tid)
+                .map(|e| (e.t0, e.t1, e.phase.glyph()))
+                .collect();
+            (format!("{label:label_w$}"), segs)
+        })
+        .collect();
+
+    let mut phases: Vec<Phase> = Phase::ALL
+        .iter()
+        .copied()
+        .filter(|p| spans.iter().any(|e| e.phase == *p))
+        .collect();
+    phases.dedup_by_key(|p| p.glyph());
+    let legend: Vec<String> = phases
+        .iter()
+        .map(|p| format!("{}={}", p.glyph(), p.name()))
+        .collect();
+    render_rows(&format!("({})", legend.join(" ")), &rows, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        rank: usize,
+        tid: usize,
+        phase: Phase,
+        t0: f64,
+        t1: f64,
+        depth: usize,
+        seq: u64,
+    ) -> SpanEvent {
+        SpanEvent {
+            rank,
+            tid,
+            phase,
+            label: String::new(),
+            t0,
+            t1,
+            depth,
+            seq,
+        }
+    }
+
+    #[test]
+    fn rows_paint_and_share_timebase() {
+        let rows = vec![
+            ("a".to_string(), vec![(0.0, 1.0, 'x')]),
+            ("b".to_string(), vec![(1.0, 2.0, 'y')]),
+        ];
+        let g = render_rows("(x y)", &rows, 20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("time span:"));
+        assert!(lines[1].contains('x') && !lines[1].contains('y'));
+        // Row b's segment occupies the later half only.
+        let bar = lines[2].split('|').nth(1).expect("bar");
+        assert!(bar.find('y').expect("y painted") >= 10);
+    }
+
+    #[test]
+    fn multi_rank_tracks_and_nesting() {
+        let spans = vec![
+            span(0, 0, Phase::SolverIter, 0.0, 4.0, 0, 0),
+            span(0, 0, Phase::IndepEmv, 1.0, 2.0, 1, 1),
+            span(1, 0, Phase::ScatterWait, 0.0, 4.0, 0, 0),
+            span(0, 1, Phase::GpuKernel, 2.0, 3.0, 0, 2),
+        ];
+        let g = render_spans(&spans, 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 4, "{g}");
+        assert!(lines[1].starts_with("r0 cpu"), "{g}");
+        assert!(lines[2].starts_with("r0 s0"), "{g}");
+        assert!(lines[3].starts_with("r1 cpu"), "{g}");
+        // Nested indep_emv paints over the solver-iter row.
+        assert!(lines[1].contains('█'), "{g}");
+        assert!(lines[1].contains('i'), "{g}");
+        assert!(lines[3].contains('w'), "{g}");
+        assert!(lines[0].contains("█=indep_emv"), "{g}");
+    }
+
+    #[test]
+    fn empty_is_handled() {
+        assert_eq!(render_spans(&[], 10), "(no events)\n");
+        assert_eq!(render_rows("()", &[], 10), "(no events)\n");
+    }
+}

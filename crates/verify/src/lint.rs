@@ -20,6 +20,12 @@
 //!   banned inside the numerical crates (`crates/la`, `crates/core`):
 //!   HYMV's results must be bitwise reproducible, and its timing flows
 //!   through the virtual-time ledger (`thread_cpu_time`), not wall clocks.
+//! * **`ledger-access-in-kernel`** — the virtual-time ledger is owned by
+//!   `hymv-comm`: operator and kernel code must never read the thread
+//!   clock (`thread_cpu_time`) or touch the [`hymv_comm::Ledger`]
+//!   directly. Doing so double-charges or skips virtual time, skewing
+//!   every traced span and the `vt_seconds` gauges. Timing flows only
+//!   through `Comm::work`/`work_with`/`timed_work`/`traced`.
 //! * **`envelope-bypass`** — per-SPMV ghost traffic (`TAG_SCATTER`,
 //!   `TAG_GATHER`, `TAG_GHOSTS`) must ride the sequence-numbered,
 //!   checksummed envelope channel (`send_enveloped`/`recv_enveloped`);
@@ -430,6 +436,48 @@ fn is_kernel_file(file: &str) -> bool {
     f.starts_with("crates/la/src/") || f.starts_with("crates/core/src/")
 }
 
+/// Identifiers only the comm crate may touch: reading the thread clock or
+/// the ledger directly from operator code corrupts the virtual-time
+/// accounting every trace span is stamped with.
+const LEDGER_BANNED: &[(&str, &str)] = &[
+    ("thread_cpu_time", "direct thread-clock read"),
+    ("Ledger", "direct ledger access"),
+];
+
+fn lint_ledger_access(file: &str, stripped: &str, out: &mut Vec<LintDiag>) {
+    let b = stripped.as_bytes();
+    let mut hits: Vec<(usize, &str, &str)> = Vec::new();
+    for &(pat, what) in LEDGER_BANNED {
+        let mut from = 0usize;
+        while let Some(rel) = stripped[from..].find(pat) {
+            let at = from + rel;
+            from = at + pat.len();
+            let pre_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+            let post = at + pat.len();
+            let post_ok = post >= b.len() || !(b[post].is_ascii_alphanumeric() || b[post] == b'_');
+            if pre_ok && post_ok {
+                hits.push((at, pat, what));
+            }
+        }
+    }
+    // The `Comm::ledger()` accessor is the same back door by another name.
+    for at in call_sites(stripped, "ledger") {
+        hits.push((at, "ledger()", "direct ledger access"));
+    }
+    for (at, pat, what) in hits {
+        out.push(LintDiag {
+            file: file.to_string(),
+            line: line_of(stripped, at),
+            rule: "ledger-access-in-kernel",
+            message: format!(
+                "`{pat}` ({what}) inside a kernel crate: the virtual-time ledger is owned \
+                 by hymv-comm; charge time through `Comm::work`/`work_with`/`timed_work`/\
+                 `traced` so spans and vt gauges stay consistent"
+            ),
+        });
+    }
+}
+
 /// Ghost-exchange tags whose traffic must use the envelope channel.
 const ENVELOPE_TAGS: &[&str] = &["TAG_SCATTER", "TAG_GATHER", "TAG_GHOSTS"];
 
@@ -493,6 +541,7 @@ pub fn lint_source(file: &str, text: &str) -> Vec<LintDiag> {
     lint_envelope_bypass(file, code, &mut out);
     if is_kernel_file(file) {
         lint_kernel_nondeterminism(file, code, &mut out);
+        lint_ledger_access(file, code, &mut out);
     }
     lint_unsafe_safety(file, text, &stripped_full, &mut out);
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -654,6 +703,23 @@ mod tests {
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().all(|d| d.rule == "nondeterminism-in-kernel"));
         // The same text outside a kernel crate is fine (e.g. bench code).
+        assert!(lint_source("crates/bench/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ledger_access_scoped_to_kernel_crates() {
+        let src = "let t0 = hymv_comm::thread_cpu_time();\n\
+                   let l: &Ledger = comm.ledger();\n";
+        let v = lint_source("crates/la/src/foo.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}"); // thread_cpu_time + Ledger + ledger()
+        assert!(v.iter().all(|d| d.rule == "ledger-access-in-kernel"));
+        assert_eq!(v[0].line, 1);
+        // Sanctioned timing APIs and lookalike identifiers pass.
+        let ok = "let (out, dt) = comm.timed_work(|c| pack(c));\n\
+                  let stats = comm.stats();\nlet my_ledger = 1;\n";
+        assert!(lint_source("crates/core/src/foo.rs", ok).is_empty());
+        // Outside the kernel crates (e.g. the comm crate itself, bench
+        // harnesses) the ledger is fair game.
         assert!(lint_source("crates/bench/src/foo.rs", src).is_empty());
     }
 

@@ -226,6 +226,23 @@ fn wall_clock_in_kernel_crate_flagged() {
     assert!(v[0].message.contains("Instant::now"), "{}", v[0].message);
 }
 
+#[test]
+fn ledger_access_in_operator_code_flagged() {
+    let src = "pub fn matvec_timed(comm: &mut Comm) {\n\
+               \x20   let t0 = hymv_comm::thread_cpu_time();\n\
+               \x20   let wait = comm.ledger().comm_wait_s;\n\
+               }\n";
+    let v = lint_source("crates/core/src/operator.rs", src);
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|d| d.rule == "ledger-access-in-kernel"));
+    assert_eq!(v[0].line, 2);
+    assert!(v[0].message.contains("thread_cpu_time"), "{}", v[0].message);
+    assert!(v[1].message.contains("ledger()"), "{}", v[1].message);
+    // The same text outside the kernel crates is legitimate (the bench
+    // harness reads the ledger to build its reports).
+    assert!(lint_source("crates/bench/src/runner.rs", src).is_empty());
+}
+
 // ---------------------------------------------------------------------------
 // Positive controls: the real system proves clean
 // ---------------------------------------------------------------------------
