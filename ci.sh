@@ -23,6 +23,13 @@ echo "== hymv-verify static passes (model check, alias proof, lint)"
 cargo run -q -p hymv-verify --bin hymv-verify -- --n 4 --p 1,2,4,8
 cargo run -q -p hymv-verify --bin hymv-verify -- --n 4 --p 1,2,4,8 --method greedy --skip-lint
 
+echo "== hymv-verify effects (interprocedural phase effects, kernel bounds proofs, slab contract)"
+cargo run -q -p hymv-verify --bin hymv-verify -- effects
+
+echo "== sanitize feature: la/core test suites with checked SIMD lane access"
+cargo test -q -p hymv-la --features sanitize
+cargo test -q -p hymv-core --features hymv-la/sanitize
+
 echo "== hymv-chaos smoke sweep (recoverable faults heal bitwise; crash aborts typed)"
 cargo run -q --release -p hymv-check --bin hymv-chaos -- \
     --n 3 --p 2 --seeds 2 --scenarios drop,corrupt,crash

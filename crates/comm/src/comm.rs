@@ -380,6 +380,13 @@ impl Comm {
 
     /// Run a compute section, charging its thread-CPU duration to the
     /// virtual clock. Returns the closure's value.
+    ///
+    /// The `work`/`traced` wrappers are the *sanctioned* timing APIs: their
+    /// ledger/clock reads are the cost model itself, not stray
+    /// nondeterminism, so effect inference pins them pure. Closure bodies
+    /// are not hidden by the pin — their call sites are textually in the
+    /// caller and are attributed there.
+    // verify: pure
     pub fn work<R>(&mut self, f: impl FnOnce() -> R) -> R {
         let t0 = thread_cpu_time();
         let out = f();
@@ -392,6 +399,7 @@ impl Comm {
     /// the cost model's Amdahl speedup for `threads` threads. On a
     /// many-core host this models what `#pragma omp parallel for` over the
     /// elemental loop achieves; the host here has one core (see crate docs).
+    // verify: pure
     pub fn work_smp<R>(&mut self, threads: usize, f: impl FnOnce() -> R) -> R {
         let t0 = thread_cpu_time();
         let out = f();
@@ -413,6 +421,7 @@ impl Comm {
     /// the thread clock directly. Time spent *inside* nested comm calls is
     /// measured CPU time too — which is what the sender actually burns on
     /// this substrate, where "the network" is memcpy into a mailbox.
+    // verify: pure
     pub fn work_with<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
         let t0 = thread_cpu_time();
         let out = f(self);
@@ -423,6 +432,7 @@ impl Comm {
     /// [`Comm::work_with`] that also returns the charged duration in
     /// seconds — for callers that keep their own phase breakdowns (e.g.
     /// operator setup timings).
+    // verify: pure
     pub fn timed_work<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, f64) {
         let t0 = thread_cpu_time();
         let out = f(self);
@@ -435,7 +445,11 @@ impl Comm {
 
     /// Run `f` inside a trace span of `phase`, stamped with this rank's
     /// virtual time on entry and exit. A no-op wrapper (two relaxed atomic
-    /// loads) when tracing is disabled. Spans nest.
+    /// loads) when tracing is disabled. Spans nest. Pinned pure like the
+    /// `work` family: span bookkeeping (including the tracer's node
+    /// allocation on close) is observability plumbing, not algorithm
+    /// effects.
+    // verify: pure
     pub fn traced<R>(&mut self, phase: hymv_trace::Phase, f: impl FnOnce(&mut Self) -> R) -> R {
         let guard = hymv_trace::SpanGuard::open(phase, self.vt());
         let out = f(self);

@@ -405,6 +405,11 @@ impl BlockPlan {
     /// Colored parallel blocked loop: classes sequential, blocks within a
     /// class parallel with direct shared writes (sound because same-color
     /// blocks share no dof, and scatters are lane-bounded).
+    ///
+    /// Allocation waiver: rayon's `for_each_init` allocates one pair of
+    /// `nd × bw` panels per worker — bounded per-thread scratch that
+    /// cannot be hoisted across the pool boundary, not per-element churn.
+    // verify: allow(allocates)
     pub fn run_colored(
         &self,
         dependent: bool,
@@ -441,6 +446,11 @@ impl BlockPlan {
 
     /// Chunk-private parallel blocked loop: workers own contiguous runs of
     /// blocks and private accumulation buffers, reduced by summation.
+    ///
+    /// Allocation waiver: the private accumulation buffers are the point
+    /// of this scheme — one `len`-sized buffer per worker chunk, allocated
+    /// inside the pool, reduced on join. Bounded per-call, not hoistable.
+    // verify: allow(allocates)
     pub fn run_chunk_private(
         &self,
         dependent: bool,

@@ -109,6 +109,7 @@ pub fn color_elements(maps: &HymvMaps, subset: &[u32]) -> Vec<Vec<u32>> {
 }
 
 /// Serial EMV loop over a subset: `v(E2L[e]) += Ke · u(E2L[e])`.
+// verify: kernel-entry
 pub fn emv_loop_serial(
     maps: &HymvMaps,
     store: &ElementMatrixStore,
@@ -162,6 +163,11 @@ impl RacyTarget {
 /// Colored parallel EMV loop: classes run sequentially; elements within a
 /// class run in parallel, writing directly to the shared DA (sound because
 /// same-color elements share no node).
+///
+/// Allocation waiver: rayon's `for_each_init` allocates one `ue`/`ve`
+/// pair per worker — bounded per-thread scratch inside the pool boundary,
+/// not per-element churn.
+// verify: allow(allocates), kernel-entry
 pub fn emv_loop_colored(
     maps: &HymvMaps,
     store: &ElementMatrixStore,
@@ -200,6 +206,11 @@ pub fn emv_loop_colored(
 
 /// Chunk-private parallel EMV loop: workers accumulate into private
 /// buffers, reduced by summation at the end.
+///
+/// Allocation waiver: the worker-private accumulation buffers are the
+/// point of this scheme — one per chunk, reduced on join. Bounded
+/// per-call, not hoistable across the pool boundary.
+// verify: allow(allocates), kernel-entry
 pub fn emv_loop_chunk_private(
     maps: &HymvMaps,
     store: &ElementMatrixStore,

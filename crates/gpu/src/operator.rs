@@ -40,6 +40,25 @@ pub enum GpuScheme {
     OverlapGpu,
 }
 
+/// Invoke the selected batched EMV kernel on one block's slabs.
+///
+/// The only values ever stored in `batch_kernel` are the `emv_batch_*`
+/// kernels from `hymv-la` — pure computation whose lane accesses the
+/// `hymv-verify` bounds interpreter certifies — so effect inference may
+/// pin this dispatch point pure instead of widening the fn-pointer call
+/// to ⊤ (which would spuriously flag the overlap window above it).
+// verify: pure
+fn dispatch_batch_kernel(
+    kernel: EmvBatchKernel,
+    keb: &[f64],
+    ue: &[f64],
+    ve: &mut [f64],
+    nd: usize,
+    bw: usize,
+) {
+    kernel(keb, ue, ve, nd, bw);
+}
+
 /// HYMV's GPU SPMV operator.
 pub struct HymvGpuOperator {
     maps: HymvMaps,
@@ -209,6 +228,11 @@ impl HymvGpuOperator {
     /// Submit one block subset to the device as `Ns` pipelined chunks of
     /// whole blocks and execute the numerics on the host. Returns nothing;
     /// device time accrues on the simulator timeline.
+    ///
+    /// Allocation waiver: the `format!`ed stream labels feed the device
+    /// simulator's event timeline — O(Ns) small strings per matvec,
+    /// observability only, never on the numeric path.
+    // verify: allow(allocates)
     fn submit_batch(&mut self, dependent: bool, label: &str) {
         let set = self.plan.set(dependent);
         if set.is_empty() {
@@ -217,10 +241,11 @@ impl HymvGpuOperator {
         let (nd, bw) = (self.plan.nd(), self.plan.batch_width());
         let pl = set.panel_len();
         let base = self.panel_offset(dependent, 0);
-        let blocks: Vec<usize> = (0..set.n_blocks()).collect();
+        let nb = set.n_blocks();
         let ns = self.sim.n_streams();
-        let chunk = blocks.len().div_ceil(ns);
-        for (s, ks) in blocks.chunks(chunk).enumerate() {
+        let chunk = nb.div_ceil(ns);
+        for (s, start) in (0..nb).step_by(chunk).enumerate() {
+            let ks = start..(start + chunk).min(nb);
             let vec_bytes = ks.len() * pl * 8;
             // The modeled kernel executes every lane, padding included.
             let lanes = ks.len() * bw;
@@ -233,9 +258,10 @@ impl HymvGpuOperator {
             );
             self.sim.d2h(s, vec_bytes, format!("{label} bve s{s}"));
             // Bit-exact numerics on the host (emulation, not charged).
-            for &k in ks {
+            for k in ks {
                 let off = base + k * pl;
-                (self.batch_kernel)(
+                dispatch_batch_kernel(
+                    self.batch_kernel,
                     set.keb(k),
                     &self.bue[off..off + pl],
                     &mut self.bve[off..off + pl],

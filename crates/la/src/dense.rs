@@ -6,8 +6,118 @@
 //! vectorizes as a chain of axpy operations. The kernel is dispatched at
 //! runtime: AVX-512F if the CPU has it, then AVX2+FMA, then a portable
 //! chunked loop the autovectorizer handles well.
+//!
+//! All unchecked memory access in the SIMD kernels goes through the
+//! [`lanes`] helpers, and every kernel carries a `prove-bounds` verify
+//! marker: `hymv-verify effects` symbolically proves, from the
+//! `debug_assert!` preconditions, that every lane access is in bounds
+//! (tails included) for all `nd`/`bw`. Building with
+//! `--features sanitize` swaps the helpers for checked shims that assert
+//! the same bounds at runtime.
 
 use std::sync::OnceLock;
+
+/// Unchecked slice access at fixed SIMD lane widths — the only unsafe
+/// memory primitives the EMV kernels may use (the bounds interpreter in
+/// `hymv-verify` rejects anything else inside a `prove-bounds` kernel).
+///
+/// Each helper takes `(slice, at)` and touches `at..at + lanes`; the
+/// caller owes the proof `at + lanes <= slice.len()`. Only *unaligned*
+/// load/store forms exist, so the helpers have no alignment
+/// preconditions. Under `--features sanitize` every call also asserts
+/// its bounds at runtime (the CI sanitize job runs the la/core test
+/// suites in this mode).
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod lanes {
+    use std::arch::x86_64::{
+        __m256d, __m512d, _mm256_loadu_pd, _mm256_storeu_pd, _mm512_loadu_pd, _mm512_storeu_pd,
+    };
+
+    #[cfg(feature = "sanitize")]
+    #[inline(always)]
+    fn check(len: usize, at: usize, lanes: usize, what: &str) {
+        assert!(
+            at + lanes <= len,
+            "sanitize: {what} of {lanes} lane(s) at {at} overruns slice of len {len}"
+        );
+    }
+
+    /// 4-lane unaligned load from `s[at..at + 4]`.
+    ///
+    /// SAFETY contract: `at + 4 <= s.len()`; the CPU supports AVX.
+    #[inline]
+    #[target_feature(enable = "avx")]
+    #[allow(unsafe_code)] // SAFETY: contract above; proved per call site by hymv-verify
+    pub unsafe fn load4(s: &[f64], at: usize) -> __m256d {
+        #[cfg(feature = "sanitize")]
+        check(s.len(), at, 4, "load4");
+        debug_assert!(at + 4 <= s.len());
+        _mm256_loadu_pd(s.as_ptr().add(at))
+    }
+
+    /// 4-lane unaligned store to `s[at..at + 4]`.
+    ///
+    /// SAFETY contract: `at + 4 <= s.len()`; the CPU supports AVX.
+    #[inline]
+    #[target_feature(enable = "avx")]
+    #[allow(unsafe_code)] // SAFETY: contract above; proved per call site by hymv-verify
+    pub unsafe fn store4(s: &mut [f64], at: usize, v: __m256d) {
+        #[cfg(feature = "sanitize")]
+        check(s.len(), at, 4, "store4");
+        debug_assert!(at + 4 <= s.len());
+        _mm256_storeu_pd(s.as_mut_ptr().add(at), v);
+    }
+
+    /// 8-lane unaligned load from `s[at..at + 8]`.
+    ///
+    /// SAFETY contract: `at + 8 <= s.len()`; the CPU supports AVX-512F.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    #[allow(unsafe_code)] // SAFETY: contract above; proved per call site by hymv-verify
+    pub unsafe fn load8(s: &[f64], at: usize) -> __m512d {
+        #[cfg(feature = "sanitize")]
+        check(s.len(), at, 8, "load8");
+        debug_assert!(at + 8 <= s.len());
+        _mm512_loadu_pd(s.as_ptr().add(at))
+    }
+
+    /// 8-lane unaligned store to `s[at..at + 8]`.
+    ///
+    /// SAFETY contract: `at + 8 <= s.len()`; the CPU supports AVX-512F.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    #[allow(unsafe_code)] // SAFETY: contract above; proved per call site by hymv-verify
+    pub unsafe fn store8(s: &mut [f64], at: usize, v: __m512d) {
+        #[cfg(feature = "sanitize")]
+        check(s.len(), at, 8, "store8");
+        debug_assert!(at + 8 <= s.len());
+        _mm512_storeu_pd(s.as_mut_ptr().add(at), v);
+    }
+
+    /// Unchecked scalar read `s[at]` (kernel remainder loops).
+    ///
+    /// SAFETY contract: `at < s.len()`.
+    #[inline(always)]
+    #[allow(unsafe_code)] // SAFETY: contract above; proved per call site by hymv-verify
+    pub unsafe fn read1(s: &[f64], at: usize) -> f64 {
+        #[cfg(feature = "sanitize")]
+        check(s.len(), at, 1, "read1");
+        debug_assert!(at < s.len());
+        *s.get_unchecked(at)
+    }
+
+    /// Unchecked scalar accumulate `s[at] += x` (kernel remainder loops).
+    ///
+    /// SAFETY contract: `at < s.len()`.
+    #[inline(always)]
+    #[allow(unsafe_code)] // SAFETY: contract above; proved per call site by hymv-verify
+    pub unsafe fn add1(s: &mut [f64], at: usize, x: f64) {
+        #[cfg(feature = "sanitize")]
+        check(s.len(), at, 1, "add1");
+        debug_assert!(at < s.len());
+        *s.get_unchecked_mut(at) += x;
+    }
+}
 
 /// Contiguous storage of `n_elems` column-major `nd × nd` element matrices.
 #[derive(Debug, Clone)]
@@ -113,6 +223,7 @@ pub fn select_kernel() -> EmvKernel {
 }
 
 /// Portable column-axpy variant; the inner loop autovectorizes.
+// verify: kernel-entry
 pub fn emv_portable(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     let nd = ue.len();
     debug_assert_eq!(ke.len(), nd * nd);
@@ -127,6 +238,7 @@ pub fn emv_portable(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
 }
 
 #[cfg(target_arch = "x86_64")]
+// verify: kernel-entry
 #[allow(unsafe_code)] // SIMD dispatch wrapper; SAFETY comment at the call
 fn emv_avx2(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     // SAFETY: dispatch guarantees avx2+fma are available.
@@ -134,8 +246,10 @@ fn emv_avx2(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
 }
 
 #[cfg(target_arch = "x86_64")]
+// verify: prove-bounds
 #[target_feature(enable = "avx2,fma")]
-#[allow(unsafe_code)] // SAFETY: caller proves the target features; bounds via the debug_asserts below
+#[allow(unsafe_code)] // SAFETY: caller proves the target features; every lane access is proved
+                      // in bounds from the debug_asserts below by the hymv-verify interpreter.
 unsafe fn emv_avx2_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     use std::arch::x86_64::*;
     let nd = ue.len();
@@ -143,22 +257,22 @@ unsafe fn emv_avx2_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     debug_assert_eq!(ve.len(), nd);
     ve.fill(0.0);
     let chunks = nd / 4;
-    for (j, &u) in ue.iter().enumerate() {
-        let col = ke.as_ptr().add(j * nd);
+    for j in 0..nd {
+        let u = lanes::read1(ue, j);
         let ub = _mm256_set1_pd(u);
-        let vp = ve.as_mut_ptr();
         for c in 0..chunks {
-            let k = _mm256_loadu_pd(col.add(4 * c));
-            let v = _mm256_loadu_pd(vp.add(4 * c));
-            _mm256_storeu_pd(vp.add(4 * c), _mm256_fmadd_pd(k, ub, v));
+            let k = lanes::load4(ke, j * nd + 4 * c);
+            let v = lanes::load4(ve, 4 * c);
+            lanes::store4(ve, 4 * c, _mm256_fmadd_pd(k, ub, v));
         }
         for i in 4 * chunks..nd {
-            *ve.get_unchecked_mut(i) += *col.add(i) * u;
+            lanes::add1(ve, i, lanes::read1(ke, j * nd + i) * u);
         }
     }
 }
 
 #[cfg(target_arch = "x86_64")]
+// verify: kernel-entry
 #[allow(unsafe_code)] // SIMD dispatch wrapper; SAFETY comment at the call
 fn emv_avx512(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     // SAFETY: dispatch guarantees avx512f is available.
@@ -166,8 +280,10 @@ fn emv_avx512(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
 }
 
 #[cfg(target_arch = "x86_64")]
+// verify: prove-bounds
 #[target_feature(enable = "avx512f")]
-#[allow(unsafe_code)] // SAFETY: caller proves the target features; bounds via the debug_asserts below
+#[allow(unsafe_code)] // SAFETY: caller proves the target features; every lane access is proved
+                      // in bounds from the debug_asserts below by the hymv-verify interpreter.
 unsafe fn emv_avx512_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     use std::arch::x86_64::*;
     let nd = ue.len();
@@ -175,17 +291,16 @@ unsafe fn emv_avx512_impl(ke: &[f64], ue: &[f64], ve: &mut [f64]) {
     debug_assert_eq!(ve.len(), nd);
     ve.fill(0.0);
     let chunks = nd / 8;
-    for (j, &u) in ue.iter().enumerate() {
-        let col = ke.as_ptr().add(j * nd);
+    for j in 0..nd {
+        let u = lanes::read1(ue, j);
         let ub = _mm512_set1_pd(u);
-        let vp = ve.as_mut_ptr();
         for c in 0..chunks {
-            let k = _mm512_loadu_pd(col.add(8 * c));
-            let v = _mm512_loadu_pd(vp.add(8 * c));
-            _mm512_storeu_pd(vp.add(8 * c), _mm512_fmadd_pd(k, ub, v));
+            let k = lanes::load8(ke, j * nd + 8 * c);
+            let v = lanes::load8(ve, 8 * c);
+            lanes::store8(ve, 8 * c, _mm512_fmadd_pd(k, ub, v));
         }
         for i in 8 * chunks..nd {
-            *ve.get_unchecked_mut(i) += *col.add(i) * u;
+            lanes::add1(ve, i, lanes::read1(ke, j * nd + i) * u);
         }
     }
 }
@@ -263,6 +378,7 @@ pub fn emv_batch_kernel_name(bw: usize) -> &'static str {
 /// Portable batched kernel: column-axpy order (`j` outer) so `keb` is
 /// streamed linearly exactly once; the `ve` panel (nd·bw doubles) stays
 /// cache-resident across columns. The lane loop autovectorizes.
+// verify: kernel-entry
 pub fn emv_batch_portable(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
     debug_assert_eq!(keb.len(), nd * nd * bw);
     debug_assert_eq!(ue.len(), nd * bw);
@@ -282,6 +398,7 @@ pub fn emv_batch_portable(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw
 }
 
 #[cfg(target_arch = "x86_64")]
+// verify: kernel-entry
 #[allow(unsafe_code)] // SIMD dispatch wrapper; SAFETY comment at the call
 fn emv_batch_avx2(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
     // SAFETY: dispatch guarantees avx2+fma are available and bw % 4 == 0,
@@ -290,8 +407,10 @@ fn emv_batch_avx2(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize)
 }
 
 #[cfg(target_arch = "x86_64")]
+// verify: prove-bounds
 #[target_feature(enable = "avx2,fma")]
-#[allow(unsafe_code)] // SAFETY: caller proves the target features; bounds via the debug_asserts below
+#[allow(unsafe_code)] // SAFETY: caller proves the target features; every lane access is proved
+                      // in bounds from the debug_asserts below by the hymv-verify interpreter.
 unsafe fn emv_batch_avx2_impl(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
     use std::arch::x86_64::*;
     debug_assert_eq!(keb.len(), nd * nd * bw);
@@ -299,9 +418,6 @@ unsafe fn emv_batch_avx2_impl(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize
     debug_assert_eq!(ve.len(), nd * bw);
     debug_assert!(bw % 4 == 0 && bw <= 32);
     let chunks = bw / 4;
-    let kp = keb.as_ptr();
-    let up = ue.as_ptr();
-    let vp = ve.as_mut_ptr();
     // Row-outer with register accumulators: each output row `i` is reduced
     // over all columns `j` without touching memory, so `ve` is stored once
     // per row instead of read-modified-written per column. `keb` is still
@@ -309,21 +425,20 @@ unsafe fn emv_batch_avx2_impl(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize
     for i in 0..nd {
         let mut acc = [_mm256_setzero_pd(); 8];
         for j in 0..nd {
-            let krow = kp.add((j * nd + i) * bw);
-            let urow = up.add(j * bw);
             for c in 0..chunks {
-                let k = _mm256_loadu_pd(krow.add(4 * c));
-                let u = _mm256_loadu_pd(urow.add(4 * c));
+                let k = lanes::load4(keb, (j * nd + i) * bw + 4 * c);
+                let u = lanes::load4(ue, j * bw + 4 * c);
                 acc[c] = _mm256_fmadd_pd(k, u, acc[c]);
             }
         }
         for c in 0..chunks {
-            _mm256_storeu_pd(vp.add(i * bw + 4 * c), acc[c]);
+            lanes::store4(ve, i * bw + 4 * c, acc[c]);
         }
     }
 }
 
 #[cfg(target_arch = "x86_64")]
+// verify: kernel-entry
 #[allow(unsafe_code)] // SIMD dispatch wrapper; SAFETY comment at the call
 fn emv_batch_avx512(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
     // SAFETY: dispatch guarantees avx512f is available and bw % 8 == 0,
@@ -332,8 +447,10 @@ fn emv_batch_avx512(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usiz
 }
 
 #[cfg(target_arch = "x86_64")]
+// verify: prove-bounds
 #[target_feature(enable = "avx512f")]
-#[allow(unsafe_code)] // SAFETY: caller proves the target features; bounds via the debug_asserts below
+#[allow(unsafe_code)] // SAFETY: caller proves the target features; every lane access is proved
+                      // in bounds from the debug_asserts below by the hymv-verify interpreter.
 unsafe fn emv_batch_avx512_impl(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize) {
     use std::arch::x86_64::*;
     debug_assert_eq!(keb.len(), nd * nd * bw);
@@ -341,22 +458,17 @@ unsafe fn emv_batch_avx512_impl(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usi
     debug_assert_eq!(ve.len(), nd * bw);
     debug_assert!(bw % 8 == 0 && bw <= 64);
     let chunks = bw / 8;
-    let kp = keb.as_ptr();
-    let up = ue.as_ptr();
-    let vp = ve.as_mut_ptr();
     for i in 0..nd {
         let mut acc = [_mm512_setzero_pd(); 8];
         for j in 0..nd {
-            let krow = kp.add((j * nd + i) * bw);
-            let urow = up.add(j * bw);
             for c in 0..chunks {
-                let k = _mm512_loadu_pd(krow.add(8 * c));
-                let u = _mm512_loadu_pd(urow.add(8 * c));
+                let k = lanes::load8(keb, (j * nd + i) * bw + 8 * c);
+                let u = lanes::load8(ue, j * bw + 8 * c);
                 acc[c] = _mm512_fmadd_pd(k, u, acc[c]);
             }
         }
         for c in 0..chunks {
-            _mm512_storeu_pd(vp.add(i * bw + 8 * c), acc[c]);
+            lanes::store8(ve, i * bw + 8 * c, acc[c]);
         }
     }
 }

@@ -23,6 +23,22 @@
 //!    nondeterminism in kernel crates (skip with `--skip-lint`; `--root`
 //!    points at the workspace to lint).
 //!
+//! The `effects` subcommand runs the interprocedural pipeline instead:
+//!
+//! ```text
+//! hymv-verify effects [--root PATH]
+//! ```
+//!
+//! 1. the line-local lint as a fast pre-pass, then
+//! 2. the workspace call graph + fixed-point effect inference + phase
+//!    rules (blocking receives/allocations/ghost reads reachable inside
+//!    the scatter overlap window, ledger/wall-clock/RNG reachable from
+//!    kernel entries, tag-literal flow through tag-generic parameters),
+//! 3. the bounds interpreter over the `// verify: prove-bounds` SIMD
+//!    kernels of `crates/la/src/dense.rs`, and
+//! 4. the slab-contract cross-check: real `BlockPlan` slabs (bw 4 and 8)
+//!    must satisfy exactly the preconditions the kernel proofs assume.
+//!
 //! Exits 0 if every pass is clean, 1 on violations, 2 on bad usage.
 
 use std::path::PathBuf;
@@ -32,7 +48,10 @@ use hymv_comm::Universe;
 use hymv_core::{GhostExchange, HymvMaps};
 use hymv_mesh::partition::partition_mesh;
 use hymv_mesh::{unstructured_tet_mesh, ElementType, PartitionMethod, StructuredHexMesh};
-use hymv_verify::{lint_workspace, prove_plan, verify_exchange, PlanSummary};
+use hymv_verify::{
+    analyze_workspace_effects, certify_file, check_slab_contract, lint_workspace, prove_plan,
+    verify_exchange, PlanSummary,
+};
 
 struct Options {
     n: usize,
@@ -49,9 +68,132 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hymv-verify [--n N] [--p P1,P2,...] [--elem hex8|hex20|hex27|tet4|tet10]\n\
          \x20                  [--method slabs|rcb|greedy] [--batch B] [--ndof D]\n\
-         \x20                  [--root PATH] [--skip-lint]"
+         \x20                  [--root PATH] [--skip-lint]\n\
+         \x20      hymv-verify effects [--root PATH]"
     );
     ExitCode::from(2)
+}
+
+/// The `effects` subcommand: lint pre-pass, interprocedural effect
+/// inference + phase rules, kernel bounds proofs, slab contract.
+fn run_effects(root: &std::path::Path) -> ExitCode {
+    let mut failed = false;
+
+    print!("[1/4] lint pre-pass .......................... ");
+    match lint_workspace(root) {
+        Ok(diags) if diags.is_empty() => println!("ok"),
+        Ok(diags) => {
+            failed = true;
+            println!("FAILED ({} finding(s))", diags.len());
+            for d in diags {
+                println!("  {d}");
+            }
+        }
+        Err(e) => {
+            failed = true;
+            println!("FAILED\n  {e}");
+        }
+    }
+
+    print!("[2/4] interprocedural phase effects .......... ");
+    match analyze_workspace_effects(root) {
+        Ok((report, graph)) => {
+            if report.diags.is_empty() {
+                println!(
+                    "ok ({} fn(s), {} call(s), {} file(s); {} unknown, {} indirect)",
+                    report.stats.fns,
+                    report.stats.calls,
+                    report.stats.files,
+                    report.stats.unknown,
+                    report.stats.dynamic
+                );
+            } else {
+                failed = true;
+                println!("FAILED ({} finding(s))", report.diags.len());
+                for d in &report.diags {
+                    println!("  {d}");
+                }
+            }
+            for note in &graph.notes {
+                println!("  note: {note}");
+            }
+        }
+        Err(e) => {
+            failed = true;
+            println!("FAILED\n  {e}");
+        }
+    }
+
+    print!("[3/4] kernel bounds proofs ................... ");
+    let dense = root.join("crates/la/src/dense.rs");
+    match certify_file(&dense) {
+        Ok((certs, diags)) if diags.is_empty() && !certs.is_empty() => {
+            println!("ok ({} kernel(s) certified)", certs.len());
+            for c in &certs {
+                println!(
+                    "  {} — {} access(es) over {} loop(s) proved in bounds",
+                    c.kernel, c.accesses, c.loops
+                );
+            }
+        }
+        Ok((_, diags)) if !diags.is_empty() => {
+            failed = true;
+            println!("FAILED ({} finding(s))", diags.len());
+            for d in diags {
+                println!("  {d}");
+            }
+        }
+        Ok(_) => {
+            failed = true;
+            println!("FAILED (no `// verify: prove-bounds` kernels found)");
+        }
+        Err(e) => {
+            failed = true;
+            println!("FAILED\n  {e}");
+        }
+    }
+
+    print!("[4/4] slab contract cross-check .............. ");
+    let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+    let pm = partition_mesh(&mesh, 1, PartitionMethod::Slabs);
+    let maps = HymvMaps::build(&pm.parts[0]);
+    let mut slabs = 0usize;
+    let mut slab_errs = Vec::new();
+    for bw in [4usize, 8] {
+        let mut plan = hymv_core::BlockPlan::build(&maps, 1, bw);
+        let store = hymv_la::ElementMatrixStore::new(plan.nd(), maps.n_elems);
+        plan.attach_store(&store);
+        let nd = plan.nd();
+        for dependent in [false, true] {
+            let set = plan.set(dependent);
+            let panel = set.panel_len();
+            for k in 0..set.n_blocks() {
+                slabs += 1;
+                if let Err(e) =
+                    check_slab_contract(nd, plan.batch_width(), set.keb(k).len(), panel, panel)
+                {
+                    slab_errs.push(format!("bw={bw} dependent={dependent} block={k}: {e}"));
+                }
+            }
+        }
+    }
+    if slab_errs.is_empty() {
+        println!("ok ({slabs} slab(s) match the proved preconditions)");
+    } else {
+        failed = true;
+        println!("FAILED ({} slab(s))", slab_errs.len());
+        for e in slab_errs {
+            println!("  {e}");
+        }
+    }
+
+    if failed {
+        eprintln!("hymv-verify effects: violations found");
+        ExitCode::FAILURE
+    } else {
+        println!("hymv-verify effects: all passes clean");
+        ExitCode::SUCCESS
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -115,6 +257,27 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("effects") {
+        let mut root = PathBuf::from(".");
+        let mut args = std::env::args().skip(2);
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--root" => match args.next() {
+                    Some(v) => root = PathBuf::from(v),
+                    None => {
+                        eprintln!("hymv-verify: --root needs a value");
+                        return usage();
+                    }
+                },
+                other => {
+                    eprintln!("hymv-verify: unknown flag {other}");
+                    return usage();
+                }
+            }
+        }
+        return run_effects(&root);
+    }
+
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {

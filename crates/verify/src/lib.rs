@@ -20,20 +20,45 @@
 //!   scan rejecting raw tag literals at `Comm` call sites, blocking
 //!   receives inside the scatter overlap window, `#[allow(unsafe_code)]`
 //!   without a `// SAFETY:` comment, and wall-clock/ambient-RNG use
-//!   inside the numerical kernels.
+//!   inside the numerical kernels. Line-local and fast — it runs as the
+//!   pre-pass of the interprocedural analysis below.
+//! * [`effects`] (with [`callgraph`] and [`lexer`] underneath) — the
+//!   **interprocedural phase-effect analysis**: a hand-rolled item parser
+//!   builds the workspace call graph, a fixed-point pass infers a lattice
+//!   of communication/runtime effects (`BlockingRecv`, `Waits`,
+//!   `SendsTag`, `GhostRead`/`GhostWrite`, `LedgerAccess`, `WallClock`,
+//!   `AmbientRng`, `Allocates`, `Unsafe`) per function, and the phase
+//!   rules are checked against the inferred summaries — so a blocking
+//!   receive hidden N calls deep inside a scatter overlap window is still
+//!   found.
+//! * [`absint`] — the **unsafe-kernel bounds interpreter**: a symbolic
+//!   abstract interpreter over the `// verify: prove-bounds` SIMD kernels
+//!   in `crates/la/src/dense.rs`, proving from the `debug_assert!`
+//!   preconditions that every lane access is in-bounds (tails included),
+//!   cross-checked against the `BlockPlan` slab metadata `alias.rs`
+//!   certifies.
 //!
-//! The `hymv-verify` binary drives all three over fig4-style meshes at a
-//! list of rank counts; see `DESIGN.md` §9 for the soundness argument and
-//! its limits.
+//! The `hymv-verify` binary drives the plan passes over fig4-style meshes
+//! at a list of rank counts, and `hymv-verify effects` runs the
+//! interprocedural analysis + kernel proofs; see `DESIGN.md` §9/§12 for
+//! the soundness arguments and their limits.
 
 #![forbid(unsafe_code)]
 
+pub mod absint;
 pub mod alias;
+pub mod callgraph;
+pub mod effects;
+pub mod lexer;
 pub mod lint;
 pub mod model;
 
+pub use absint::{certify_file, certify_source, check_slab_contract, AbsDiag, KernelCert};
 pub use alias::{check_block_coloring, check_chunk_cover, check_gidx_bounds, prove_plan};
-pub use lint::{lint_source, lint_workspace, strip_comments_and_strings, LintDiag};
+pub use callgraph::{CallGraph, CallSite, FnNode, Marker, Resolution};
+pub use effects::{analyze_effects, analyze_workspace_effects, effect, EffectSet, EffectsReport};
+pub use lexer::strip_comments_and_strings;
+pub use lint::{lint_source, lint_workspace, LintDiag};
 pub use model::{
     check_ghost_split, check_overlap_order, check_plan_consistency, check_system, verify_exchange,
     ModelResult, Op, PlanSummary, SendMode, System,

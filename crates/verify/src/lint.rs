@@ -39,6 +39,9 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::lexer::line_of;
+pub use crate::lexer::strip_comments_and_strings;
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintDiag {
@@ -62,132 +65,10 @@ impl fmt::Display for LintDiag {
     }
 }
 
-/// Replace comments and string/char-literal contents with spaces,
-/// preserving length and newlines so byte offsets still map to the
-/// original line numbers. Handles line comments (incl. doc comments),
-/// nested block comments, plain/raw/byte strings, and distinguishes char
-/// literals from lifetimes.
-pub fn strip_comments_and_strings(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(b.len());
-    let blank = |out: &mut Vec<u8>, s: &[u8]| {
-        for &c in s {
-            out.push(if c == b'\n' { b'\n' } else { b' ' });
-        }
-    };
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        // Line comment (// and ///).
-        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
-            let end = src[i..].find('\n').map_or(b.len(), |e| i + e);
-            blank(&mut out, &b[i..end]);
-            i = end;
-            continue;
-        }
-        // Block comment, possibly nested.
-        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-            let start = i;
-            let mut depth = 1usize;
-            i += 2;
-            while i < b.len() && depth > 0 {
-                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                    depth += 1;
-                    i += 2;
-                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            blank(&mut out, &b[start..i]);
-            continue;
-        }
-        // Raw (and raw-byte) string: r"..." / r#"..."# / br##"..."##,
-        // only when the `r` starts an identifier of its own.
-        let ident_before = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
-        if !ident_before && (c == b'r' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'r')) {
-            let start = i;
-            let mut j = if c == b'b' { i + 2 } else { i + 1 };
-            let mut hashes = 0usize;
-            while j < b.len() && b[j] == b'#' {
-                hashes += 1;
-                j += 1;
-            }
-            if j < b.len() && b[j] == b'"' {
-                j += 1;
-                let closer: Vec<u8> = std::iter::once(b'"')
-                    .chain(std::iter::repeat_n(b'#', hashes))
-                    .collect();
-                while j < b.len() {
-                    if b[j] == b'"' && b[j..].starts_with(&closer) {
-                        j += closer.len();
-                        break;
-                    }
-                    j += 1;
-                }
-                blank(&mut out, &b[start..j]);
-                i = j;
-                continue;
-            }
-        }
-        // Plain (and byte) string.
-        if c == b'"' || (c == b'b' && !ident_before && i + 1 < b.len() && b[i + 1] == b'"') {
-            let start = i;
-            let mut j = if c == b'b' { i + 2 } else { i + 1 };
-            while j < b.len() {
-                if b[j] == b'\\' {
-                    j += 2;
-                } else if b[j] == b'"' {
-                    j += 1;
-                    break;
-                } else {
-                    j += 1;
-                }
-            }
-            blank(&mut out, &b[start..j.min(b.len())]);
-            i = j.min(b.len());
-            continue;
-        }
-        // Char literal vs lifetime: 'x' and '\n' are literals; 'static is
-        // a lifetime (no closing quote right after one code point).
-        if c == b'\'' {
-            let is_char = if i + 1 < b.len() && b[i + 1] == b'\\' {
-                true
-            } else {
-                i + 2 < b.len() && b[i + 2] == b'\''
-            };
-            if is_char {
-                let start = i;
-                let mut j = i + 1;
-                if j < b.len() && b[j] == b'\\' {
-                    j += 2; // skip the escape lead
-                }
-                while j < b.len() && b[j] != b'\'' {
-                    j += 1;
-                }
-                j = (j + 1).min(b.len());
-                blank(&mut out, &b[start..j]);
-                i = j;
-                continue;
-            }
-            // Lifetime: keep the tick, move on.
-        }
-        out.push(c);
-        i += 1;
-    }
-    String::from_utf8(out).expect("blanking preserves UTF-8: multibyte chars are copied verbatim")
-}
-
-fn line_of(text: &str, offset: usize) -> usize {
-    text[..offset].bytes().filter(|&c| c == b'\n').count() + 1
-}
-
 /// Find every `name(` call site in `stripped` where `name` stands alone as
 /// an identifier (not a suffix of a longer name), yielding the byte offset
 /// of the name.
-fn call_sites<'a>(stripped: &'a str, name: &'a str) -> impl Iterator<Item = usize> + 'a {
+pub(crate) fn call_sites<'a>(stripped: &'a str, name: &'a str) -> impl Iterator<Item = usize> + 'a {
     let b = stripped.as_bytes();
     let mut from = 0usize;
     std::iter::from_fn(move || {
@@ -211,7 +92,7 @@ fn call_sites<'a>(stripped: &'a str, name: &'a str) -> impl Iterator<Item = usiz
 /// Split the argument list of the call whose `(` is at `open`, honoring
 /// nested parens/brackets/braces. Returns `(args, close_offset)`; `None`
 /// if the call is unterminated.
-fn split_args(stripped: &str, open: usize) -> Option<(Vec<&str>, usize)> {
+pub(crate) fn split_args(stripped: &str, open: usize) -> Option<(Vec<&str>, usize)> {
     let b = stripped.as_bytes();
     debug_assert_eq!(b[open], b'(');
     let mut depth = 0isize;
@@ -241,7 +122,7 @@ fn split_args(stripped: &str, open: usize) -> Option<(Vec<&str>, usize)> {
 
 /// True if `arg` is a bare integer literal (decimal or hex, underscores,
 /// optional `u32`/`usize`-style suffix) — the thing the tag rule bans.
-fn is_int_literal(arg: &str) -> bool {
+pub(crate) fn is_int_literal(arg: &str) -> bool {
     let t = arg.trim();
     if t.is_empty() {
         return false;
@@ -291,7 +172,7 @@ fn literal_value(arg: &str) -> Option<u64> {
 }
 
 /// Comm-API methods taking a tag, with the tag's 0-based argument index.
-const TAG_METHODS: &[(&str, usize)] = &[
+pub(crate) const TAG_METHODS: &[(&str, usize)] = &[
     ("isend", 1),
     ("irecv", 1),
     ("recv", 1),
