@@ -19,6 +19,9 @@ cargo run -q -p hymv-check --bin hymv-check -- --n 4 --p 4 --method rcb --seeds 
 echo "== hymv-check batched-path determinism (B=8)"
 cargo run -q -p hymv-check --bin hymv-check -- --n 4 --p 4 --method rcb --seeds 8 --batch 8
 
+echo "== hymv-check multivector SpMM determinism (B=8, nvec=8)"
+cargo run -q -p hymv-check --bin hymv-check -- --n 4 --p 3 --method greedy --seeds 8 --batch 8 --nvec 8
+
 echo "== hymv-verify static passes (model check, alias proof, lint)"
 cargo run -q -p hymv-verify --bin hymv-verify -- --n 4 --p 1,2,4,8
 cargo run -q -p hymv-verify --bin hymv-verify -- --n 4 --p 1,2,4,8 --method greedy --skip-lint
@@ -37,6 +40,9 @@ cargo run -q --release -p hymv-check --bin hymv-chaos -- \
 echo "== emv_batch bench smoke"
 HYMV_BENCH_SMOKE=1 cargo bench -q -p hymv-bench --bench emv_batch
 cargo run -q --release -p hymv-bench --bin bench_emv_batch -- --smoke
+
+echo "== emv_multivec (SpMM + solve-service) bench smoke"
+cargo run -q --release -p hymv-bench --bin bench_emv_multivec -- --smoke
 
 echo "== hymv-prof traced-solve smoke (12^3 Poisson, 4 ranks, 8 seeds)"
 cargo run -q --release -p hymv-prof -- --n 12 --p 4 --seeds 8 --out target/experiments/prof

@@ -3,7 +3,7 @@
 //! ```text
 //! hymv-check [--n N] [--p P] [--elem hex8|hex20|hex27|tet4|tet10]
 //!            [--method slabs|rcb|greedy] [--seeds K|s1,s2,...]
-//!            [--mode serial|colored|chunk] [--batch B]
+//!            [--mode serial|colored|chunk] [--batch B] [--nvec V]
 //! ```
 //!
 //! Builds an `N³`-element structured mesh, partitions it over `P` ranks,
@@ -28,13 +28,16 @@ struct Options {
     mode: ParallelMode,
     /// EMV batch width to pin (`None` keeps the `HYMV_EMV_BATCH` default).
     batch: Option<usize>,
+    /// Multivector width: `> 1` certifies the SpMM engine (coalesced
+    /// multivector exchange) instead of the single-vector SPMV.
+    nvec: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hymv-check [--n N] [--p P] [--elem hex8|hex20|hex27|tet4|tet10]\n\
          \x20                 [--method slabs|rcb|greedy] [--seeds K|s1,s2,...]\n\
-         \x20                 [--mode serial|colored|chunk] [--batch B]"
+         \x20                 [--mode serial|colored|chunk] [--batch B] [--nvec V]"
     );
     ExitCode::from(2)
 }
@@ -48,6 +51,7 @@ fn parse_args() -> Result<Options, String> {
         seeds: seeds_from_env(8),
         mode: ParallelMode::Colored { threads: 4 },
         batch: None,
+        nvec: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -81,6 +85,12 @@ fn parse_args() -> Result<Options, String> {
                     hymv_core::parse_batch_width(&val()?).map_err(|e| format!("--batch: {e}"))?,
                 )
             }
+            "--nvec" => {
+                // Shared strict validation (same path as HYMV_EMV_NVEC):
+                // 0, >MAX, and non-numeric values are hard errors.
+                opts.nvec =
+                    Some(hymv_core::parse_nvec_width(&val()?).map_err(|e| format!("--nvec: {e}"))?)
+            }
             "--mode" => {
                 opts.mode = match val()?.as_str() {
                     "serial" => ParallelMode::Serial,
@@ -112,8 +122,9 @@ fn main() -> ExitCode {
 
     let n_seeds = opts.seeds.len();
     let batch_desc = opts.batch.map_or_else(|| "env".into(), |b| b.to_string());
+    let nvec_desc = opts.nvec.map_or_else(|| "1".into(), |v| v.to_string());
     println!(
-        "hymv-check: {}^3 {:?} mesh, {} ranks ({:?}), {} perturbation seed(s), {:?}, batch={batch_desc}",
+        "hymv-check: {}^3 {:?} mesh, {} ranks ({:?}), {} perturbation seed(s), {:?}, batch={batch_desc}, nvec={nvec_desc}",
         opts.n, opts.elem, opts.p, opts.method, n_seeds, opts.mode
     );
     let mesh = match opts.elem {
@@ -141,15 +152,20 @@ fn main() -> ExitCode {
         println!("FAILED\n{report}");
     }
 
-    print!("[3/3] SPMV schedule-determinism ........ ");
+    match opts.nvec {
+        Some(v) if v > 1 => print!("[3/3] SpMM schedule-determinism ........ "),
+        _ => print!("[3/3] SPMV schedule-determinism ........ "),
+    }
     // run_perturbed panics with a diagnostic on the first divergent seed;
     // catch it so the CLI reports a failure instead of a backtrace.
     let pm_ref = &pm;
     let seeds = opts.seeds;
     let mode = opts.mode;
     let batch = opts.batch;
-    let outcome = std::panic::catch_unwind(move || {
-        hymv_check::certify_spmv_determinism_with(pm_ref, mode, batch, &seeds)
+    let nvec = opts.nvec;
+    let outcome = std::panic::catch_unwind(move || match nvec {
+        Some(v) if v > 1 => hymv_check::certify_spmm_determinism(pm_ref, mode, batch, v, &seeds),
+        _ => hymv_check::certify_spmv_determinism_with(pm_ref, mode, batch, &seeds),
     });
     match outcome {
         Ok(_) => println!("ok ({n_seeds} seeds, bitwise identical)"),

@@ -47,6 +47,7 @@ use std::sync::Arc;
 
 use hymv_core::{HymvOperator, ParallelMode};
 use hymv_fem::PoissonKernel;
+use hymv_la::Multivector;
 use hymv_mesh::PartitionedMesh;
 
 /// Certify that the full HYMV SPMV — map build, LNSM/GNGM construction,
@@ -102,6 +103,57 @@ pub fn certify_spmv_determinism_with(
     })
 }
 
+/// [`certify_spmv_determinism_with`] for the multivector engine: one
+/// width-`nvec` SpMM (`Y = K X`) per rank — coalesced multivector ghost
+/// exchange, `emv_batch_mv` panels, strided gather/scatter — certified
+/// bitwise deterministic across every schedule perturbation seed.
+///
+/// Column `0` carries the same deterministic input as the single-vector
+/// certificate; later columns shift the generator so accumulation-order
+/// bugs in any column surface. Returns the column-concatenated owned
+/// outputs (one flat vector per rank).
+///
+/// # Panics
+/// If any seed produces a bitwise different result on any rank.
+pub fn certify_spmm_determinism(
+    pm: &PartitionedMesh,
+    mode: ParallelMode,
+    batch: Option<usize>,
+    nvec: usize,
+    seeds: &[u64],
+) -> Vec<Vec<f64>> {
+    let p = pm.n_parts();
+    let kernel = Arc::new(PoissonKernel::new(pm.parts[0].elem_type));
+    run_perturbed(p, seeds, move |comm| {
+        let part = &pm.parts[comm.rank()];
+        let (mut op, _) = HymvOperator::setup(comm, part, kernel.as_ref());
+        if let Some(b) = batch {
+            op.set_batch_width(b);
+        }
+        op.set_parallel_mode(mode);
+        let n = op.maps().n_owned() * op.ndof();
+        let begin = op.maps().node_range.0;
+        let cols: Vec<Vec<f64>> = (0..nvec)
+            .map(|c| {
+                (0..n)
+                    .map(|i| {
+                        let g = begin + i as u64 + c as u64 * 7;
+                        ((g % 13) as f64 + 0.125) * 10f64.powi((g % 5) as i32 - 2)
+                    })
+                    .collect()
+            })
+            .collect();
+        let x = Multivector::from_columns(&cols);
+        let mut y = Multivector::new(n, nvec);
+        op.matvec_mv(comm, &x, &mut y);
+        let mut out = Vec::with_capacity(n * nvec);
+        for c in 0..nvec {
+            out.extend_from_slice(y.col(c));
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +196,26 @@ mod tests {
                 for (a, b) in yb.iter().zip(yl) {
                     assert!((a - b).abs() < 1e-12, "batched vs per-element");
                 }
+            }
+        }
+    }
+
+    /// The multivector engine (SpMM) under the same bar: ≥ 8 seeds,
+    /// bitwise-identical results across schedules, and column 0 bitwise
+    /// equal to the single-vector certificate (bw = nvec = 8 selects the
+    /// same SIMD fmadd-chain class on whatever features this host has).
+    #[test]
+    fn multivector_spmm_bitwise_deterministic_across_8_seeds() {
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 4, PartitionMethod::GreedyGraph);
+        let seeds: Vec<u64> = (1..=8).collect();
+        let mv = certify_spmm_determinism(&pm, ParallelMode::Serial, Some(8), 8, &seeds);
+        let single = certify_spmv_determinism_with(&pm, ParallelMode::Serial, Some(8), &seeds);
+        for (ym, ys) in mv.iter().zip(&single) {
+            let n = ys.len();
+            assert_eq!(ym.len(), n * 8);
+            for (a, b) in ym[..n].iter().zip(ys) {
+                assert_eq!(a.to_bits(), b.to_bits(), "SpMM column 0 vs SPMV");
             }
         }
     }

@@ -24,10 +24,10 @@
 
 use rayon::prelude::*;
 
-use hymv_la::dense::{interleave_ke, EmvBatchKernel, MAX_BATCH_WIDTH};
-use hymv_la::ElementMatrixStore;
+use hymv_la::dense::{interleave_ke, EmvBatchKernel, EmvBatchMvKernel, MAX_BATCH_WIDTH};
+use hymv_la::{ElementMatrixStore, MAX_NVEC_WIDTH};
 
-use crate::da::DistArray;
+use crate::da::{DistArray, DistMultivector};
 use crate::hybrid::{on_rank_pool, RacyTarget};
 use crate::maps::HymvMaps;
 
@@ -58,6 +58,52 @@ pub fn parse_batch_width(s: &str) -> Result<usize, String> {
         Err(_) => Err(format!(
             "batch width {t:?} is not a number (expected 1..={MAX_BATCH_WIDTH})"
         )),
+    }
+}
+
+/// Environment variable selecting the multivector width the solve
+/// service batches to (`nvec=1` recovers sequential single-RHS solves;
+/// invalid values are a hard error, never a clamp).
+pub const NVEC_ENV: &str = "HYMV_EMV_NVEC";
+
+/// Default multivector width: one AVX-512 vector of columns — every `Ke`
+/// slab load is amortized over 8 right-hand sides while the `nd × bw ×
+/// nvec` panels of the evaluated element types stay cache-resident.
+pub const DEFAULT_NVEC_WIDTH: usize = 8;
+
+/// Parse a multivector-width string — the one validation path shared by
+/// the `HYMV_EMV_NVEC` reader and the `--nvec` CLI flags. Same contract
+/// as [`parse_batch_width`]: `0`, values above [`MAX_NVEC_WIDTH`], and
+/// non-numeric input are errors naming the problem, never a clamp.
+pub fn parse_nvec_width(s: &str) -> Result<usize, String> {
+    let t = s.trim();
+    match t.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "multivector width 0 is invalid (use 1 for single-RHS solves, up to {MAX_NVEC_WIDTH})"
+        )),
+        Ok(n) if n > MAX_NVEC_WIDTH => Err(format!(
+            "multivector width {n} exceeds the maximum of {MAX_NVEC_WIDTH}"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "multivector width {t:?} is not a number (expected 1..={MAX_NVEC_WIDTH})"
+        )),
+    }
+}
+
+/// The multivector width selected by `HYMV_EMV_NVEC`, or the default when
+/// the variable is unset.
+///
+/// # Panics
+/// On an invalid value (`0`, `> MAX_NVEC_WIDTH`, non-numeric): a bad
+/// width must stop setup, not silently run a different configuration.
+pub fn nvec_width_from_env() -> usize {
+    match std::env::var(NVEC_ENV) {
+        Ok(s) => match parse_nvec_width(&s) {
+            Ok(n) => n,
+            Err(e) => panic!("{NVEC_ENV}: {e}"),
+        },
+        Err(_) => DEFAULT_NVEC_WIDTH,
     }
 }
 
@@ -219,6 +265,58 @@ impl BlockSet {
             for row in 0..self.nd {
                 for b in 0..len {
                     add(gi[row * bw + b] as usize, ve[row * bw + b]);
+                }
+            }
+        }
+    }
+
+    /// Gather block `k`'s multivector input panel from a
+    /// [`DistMultivector`]: `nvec` contiguous column values per table
+    /// entry (`ue[t·nvec + c] = data[gidx[t]·nvec + c]`). Padded lanes
+    /// read slot 0, exactly like [`Self::gather`].
+    #[inline]
+    pub fn gather_mv(&self, k: usize, data: &[f64], nvec: usize, ue: &mut [f64]) {
+        let pl = self.panel_len();
+        let gi = &self.gidx[k * pl..(k + 1) * pl];
+        debug_assert_eq!(ue.len(), pl * nvec);
+        for (u, &r) in ue.chunks_exact_mut(nvec).zip(gi) {
+            let src = r as usize * nvec;
+            u.copy_from_slice(&data[src..src + nvec]);
+        }
+    }
+
+    /// Scatter block `k`'s multivector output panel through
+    /// `add(flat_index, value)` with `flat_index = dof·nvec + column`.
+    /// Lane-bounded like [`Self::scatter_with`], and visiting live lanes
+    /// in the same `(row, lane)` order so per-column accumulation order —
+    /// and therefore the bits — match the single-vector path.
+    #[inline]
+    pub fn scatter_mv_with(
+        &self,
+        k: usize,
+        nvec: usize,
+        ve: &[f64],
+        mut add: impl FnMut(usize, f64),
+    ) {
+        let (bw, pl) = (self.bw, self.panel_len());
+        let gi = &self.gidx[k * pl..(k + 1) * pl];
+        debug_assert_eq!(ve.len(), pl * nvec);
+        let len = self.lens[k] as usize;
+        if len == bw {
+            for (&r, v) in gi.iter().zip(ve.chunks_exact(nvec)) {
+                let base = r as usize * nvec;
+                for (c, &val) in v.iter().enumerate() {
+                    add(base + c, val);
+                }
+            }
+        } else {
+            for row in 0..self.nd {
+                for b in 0..len {
+                    let t = row * bw + b;
+                    let base = gi[t] as usize * nvec;
+                    for c in 0..nvec {
+                        add(base + c, ve[t * nvec + c]);
+                    }
                 }
             }
         }
@@ -399,6 +497,31 @@ impl BlockPlan {
             set.gather(k, &u.data, ue);
             kernel(set.keb(k), ue, ve, self.nd, self.bw);
             set.scatter_with(k, ve, |i, val| v.data[i] += val);
+        }
+    }
+
+    /// Serial blocked SpMM loop over one subset: each block's `Ke` slab
+    /// is loaded once and reused for all `nvec` columns of the panel —
+    /// the bandwidth amortization the multivector engine exists for.
+    /// `ue`/`ve` are `nd × bw × nvec` panel scratch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_serial_mv(
+        &self,
+        dependent: bool,
+        u: &DistMultivector,
+        v: &mut DistMultivector,
+        kernel: EmvBatchMvKernel,
+        nvec: usize,
+        ue: &mut [f64],
+        ve: &mut [f64],
+    ) {
+        debug_assert_eq!(u.nvec, nvec);
+        debug_assert_eq!(v.nvec, nvec);
+        let set = self.set(dependent);
+        for k in 0..set.n_blocks() {
+            set.gather_mv(k, &u.data, nvec, ue);
+            kernel(set.keb(k), ue, ve, self.nd, self.bw, nvec);
+            set.scatter_mv_with(k, nvec, ve, |i, val| v.data[i] += val);
         }
     }
 
@@ -770,6 +893,93 @@ mod tests {
         assert!(nan.contains("not a number"), "{nan}");
         let neg = parse_batch_width("-3").unwrap_err();
         assert!(neg.contains("not a number"), "{neg}");
+    }
+
+    /// `HYMV_EMV_NVEC` gets the same hard-error treatment as the batch
+    /// knob: invalid widths name the problem, valid ones parse exactly.
+    #[test]
+    fn nvec_width_strict_parse() {
+        assert_eq!(DEFAULT_NVEC_WIDTH, 8);
+        assert!(nvec_width_from_env() >= 1);
+        assert!(nvec_width_from_env() <= MAX_NVEC_WIDTH);
+        assert_eq!(parse_nvec_width("1"), Ok(1));
+        assert_eq!(parse_nvec_width(" 16 "), Ok(16));
+        assert_eq!(parse_nvec_width("32"), Ok(MAX_NVEC_WIDTH));
+        let zero = parse_nvec_width("0").unwrap_err();
+        assert!(zero.contains("multivector width 0 is invalid"), "{zero}");
+        let big = parse_nvec_width("33").unwrap_err();
+        assert!(big.contains("exceeds the maximum of 32"), "{big}");
+        let nan = parse_nvec_width("wide").unwrap_err();
+        assert!(nan.contains("not a number"), "{nan}");
+        let neg = parse_nvec_width("-2").unwrap_err();
+        assert!(neg.contains("not a number"), "{neg}");
+    }
+
+    /// The blocked SpMM loop equals the single-vector blocked loop run
+    /// column by column — including a ragged tail (27 elements, bw = 8)
+    /// and ndof > 1. The (bw = 8, nvec = 8) case pins bitwise equality:
+    /// batch and mv kernels dispatch to the same fmadd-chain class.
+    #[test]
+    fn blocked_mv_matches_per_column() {
+        use hymv_la::dense::{select_batch_kernel, select_batch_mv_kernel};
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        for (ndof, nvec, bitwise, seed) in [
+            (1usize, 3usize, false, 5u64),
+            (3, 8, true, 6),
+            (1, 8, true, 7),
+        ] {
+            let (maps, store, _) = random_case(&mesh, ndof, seed);
+            let bw = 8;
+            let mut plan = BlockPlan::build(&maps, ndof, bw);
+            plan.attach_store(&store);
+            let n = maps.n_total() * ndof;
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let cols: Vec<Vec<f64>> = (0..nvec)
+                .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
+
+            // Per-column reference through the single-vector blocked loop.
+            let kernel = select_batch_kernel(bw);
+            let pl = plan.nd() * bw;
+            let (mut ue, mut ve) = (vec![0.0; pl], vec![0.0; pl]);
+            let mut refs: Vec<DistArray> = Vec::new();
+            for col in &cols {
+                let mut u = DistArray::new(&maps, ndof);
+                u.data.copy_from_slice(col);
+                let mut v = DistArray::new(&maps, ndof);
+                plan.run_serial(false, &u, &mut v, kernel, &mut ue, &mut ve);
+                plan.run_serial(true, &u, &mut v, kernel, &mut ue, &mut ve);
+                refs.push(v);
+            }
+
+            // One SpMM over the interleaved multivector DA.
+            let mv_kernel = select_batch_mv_kernel(nvec);
+            let mut u_mv = DistMultivector::new(&maps, ndof, nvec);
+            for (c, col) in cols.iter().enumerate() {
+                for (i, &x) in col.iter().enumerate() {
+                    u_mv.data[i * nvec + c] = x;
+                }
+            }
+            let mut v_mv = DistMultivector::new(&maps, ndof, nvec);
+            let (mut uem, mut vem) = (vec![0.0; pl * nvec], vec![0.0; pl * nvec]);
+            plan.run_serial_mv(false, &u_mv, &mut v_mv, mv_kernel, nvec, &mut uem, &mut vem);
+            plan.run_serial_mv(true, &u_mv, &mut v_mv, mv_kernel, nvec, &mut uem, &mut vem);
+
+            for c in 0..nvec {
+                for i in 0..n {
+                    let (a, b) = (refs[c].data[i], v_mv.data[i * nvec + c]);
+                    if bitwise {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "ndof={ndof} nvec={nvec} col {c} dof {i}: {a} vs {b}"
+                        );
+                    } else {
+                        assert!((a - b).abs() < 1e-12, "col {c} dof {i}: {a} vs {b}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

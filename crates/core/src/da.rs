@@ -4,6 +4,15 @@
 //! each carrying `ndof` interleaved components. Elemental extraction and
 //! accumulation (`ue ← u(E2L[e])`, `v(E2L[e]) += ve`) are the two hot
 //! indexing operations of Algorithm 2.
+//!
+//! [`DistMultivector`] is the `nvec`-column generalization behind the
+//! SpMM path: the same `[pre | owned | post]` dof order, but every dof
+//! slot widens to `nvec` contiguous column values
+//! (`data[dof·nvec + c]`). That interleaving makes the multivector
+//! gather/scatter a contiguous `nvec`-copy per table entry and lets the
+//! ghost exchange ship all columns of a fragment in one envelope.
+
+use hymv_la::Multivector;
 
 use crate::maps::HymvMaps;
 
@@ -135,6 +144,80 @@ impl DistArray {
     }
 }
 
+/// A partitioned multivector in DA layout: DA dof order, `nvec`
+/// contiguous column values per dof (`data[dof·nvec + c]`). The solver
+/// boundary is column-major ([`Multivector`]); the transposes happen once
+/// per SpMM at the owned block and are O(`n·nvec`) against the O(`nd²·bw`)
+/// elemental work they bracket.
+#[derive(Debug, Clone)]
+pub struct DistMultivector {
+    /// Flat values, `n_total_nodes × ndof × nvec`.
+    pub data: Vec<f64>,
+    /// Components per node.
+    pub ndof: usize,
+    /// Vector columns per dof.
+    pub nvec: usize,
+    /// Pre-ghost node count.
+    n_pre: usize,
+    /// Owned node count.
+    n_owned: usize,
+}
+
+impl DistMultivector {
+    /// Zero-initialized multivector DA matching `maps`.
+    pub fn new(maps: &HymvMaps, ndof: usize, nvec: usize) -> Self {
+        assert!(nvec > 0, "multivector DA must have at least one column");
+        DistMultivector {
+            data: vec![0.0; maps.n_total() * ndof * nvec],
+            ndof,
+            nvec,
+            n_pre: maps.gpre.len(),
+            n_owned: maps.n_owned(),
+        }
+    }
+
+    /// Owned dofs per column.
+    pub fn n_owned_dofs(&self) -> usize {
+        self.n_owned * self.ndof
+    }
+
+    /// Pre-ghost node count.
+    pub fn n_pre(&self) -> usize {
+        self.n_pre
+    }
+
+    /// Zero everything (start of an SpMM accumulation).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Transpose a column-major owned multivector into the owned block.
+    pub fn set_owned(&mut self, x: &Multivector) {
+        assert_eq!(x.nrows(), self.n_owned_dofs(), "owned row mismatch");
+        assert_eq!(x.nvec(), self.nvec, "column-count mismatch");
+        let base = self.n_pre * self.ndof;
+        for c in 0..self.nvec {
+            let col = x.col(c);
+            for (i, &v) in col.iter().enumerate() {
+                self.data[(base + i) * self.nvec + c] = v;
+            }
+        }
+    }
+
+    /// Transpose the owned block out into a column-major multivector.
+    pub fn copy_owned_to(&self, y: &mut Multivector) {
+        assert_eq!(y.nrows(), self.n_owned_dofs(), "owned row mismatch");
+        assert_eq!(y.nvec(), self.nvec, "column-count mismatch");
+        let base = self.n_pre * self.ndof;
+        for c in 0..self.nvec {
+            let col = y.col_mut(c);
+            for (i, v) in col.iter_mut().enumerate() {
+                *v = self.data[(base + i) * self.nvec + c];
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +271,29 @@ mod tests {
         assert_eq!(da.data, vec![0.0, 2.0, 3.0, 0.0]);
         da.fill_zero();
         assert!(da.data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn multivector_da_owned_round_trip() {
+        let maps = two_ghost_maps();
+        // 2 owned nodes × 2 dofs × 3 columns.
+        let mut mda = DistMultivector::new(&maps, 2, 3);
+        assert_eq!(mda.data.len(), 4 * 2 * 3);
+        let x = Multivector::from_columns(&[
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![5.0, 6.0, 7.0, 8.0],
+            vec![9.0, 10.0, 11.0, 12.0],
+        ]);
+        mda.set_owned(&x);
+        // Owned dof 0 (node 1 in DA order) holds its 3 column values
+        // contiguously.
+        let base = mda.n_pre() * 2 * 3;
+        assert_eq!(&mda.data[base..base + 3], &[1.0, 5.0, 9.0]);
+        let mut y = Multivector::new(4, 3);
+        mda.copy_owned_to(&mut y);
+        assert_eq!(y, x);
+        // Ghost regions untouched by set_owned.
+        assert!(mda.data[..base].iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! automatically.
 
 use hymv_comm::Comm;
-use hymv_la::LinOp;
+use hymv_la::{LinOp, MultiLinOp, Multivector};
 
 use crate::maps::HymvMaps;
 
@@ -20,6 +20,9 @@ pub struct DirichletOp<O> {
     constrained: Vec<(u32, f64)>,
     /// Scratch for the masked input vector.
     xm: Vec<f64>,
+    /// Masked-input scratch for the multivector path (rebuilt when the
+    /// requested `nvec` changes).
+    xm_mv: Option<Multivector>,
 }
 
 impl<O: LinOp> DirichletOp<O> {
@@ -35,6 +38,7 @@ impl<O: LinOp> DirichletOp<O> {
             inner,
             constrained,
             xm,
+            xm_mv: None,
         }
     }
 
@@ -109,6 +113,35 @@ impl<O: LinOp> LinOp for DirichletOp<O> {
     }
 }
 
+impl<O: MultiLinOp> MultiLinOp for DirichletOp<O> {
+    fn apply_mv(&mut self, comm: &mut Comm, x: &Multivector, y: &mut Multivector) {
+        // Mask constrained inputs in every column…
+        if self
+            .xm_mv
+            .as_ref()
+            .is_none_or(|m| m.nvec() != x.nvec() || m.nrows() != x.nrows())
+        {
+            self.xm_mv = Some(Multivector::new(x.nrows(), x.nvec()));
+        }
+        let xm = self.xm_mv.as_mut().expect("built above");
+        xm.copy_from(x);
+        for c in 0..x.nvec() {
+            let col = xm.col_mut(c);
+            for &(d, _) in &self.constrained {
+                col[d as usize] = 0.0;
+            }
+        }
+        self.inner.apply_mv(comm, xm, y);
+        // …and overwrite constrained outputs with the identity action.
+        for c in 0..x.nvec() {
+            let (xc, yc) = (x.col(c), y.col_mut(c));
+            for &(d, _) in &self.constrained {
+                yc[d as usize] = xc[d as usize];
+            }
+        }
+    }
+}
+
 /// Convert a global constrained-dof list (from
 /// `hymv_fem::dirichlet::constrained_dofs`) to this rank's owned local
 /// indices.
@@ -148,6 +181,8 @@ mod tests {
             }
         }
     }
+
+    impl MultiLinOp for ToyOp {}
 
     fn laplacian_1d(n: usize) -> Vec<f64> {
         let mut a = vec![0.0; n * n];
@@ -203,6 +238,35 @@ mod tests {
             let want = 1.0 + 2.0 * i as f64 / 8.0;
             assert!((v - want).abs() < 1e-8, "node {i}: {v} vs {want}");
         }
+    }
+
+    /// The multivector wrapper masks and restores every column exactly
+    /// like `nvec` single-column applies.
+    #[test]
+    fn wrapped_apply_mv_matches_per_column() {
+        let n = 6;
+        let out = Universe::run(1, |comm| {
+            let op = ToyOp {
+                a: laplacian_1d(n),
+                n,
+            };
+            let mut w = DirichletOp::new(op, vec![(0, 5.0), (4, -1.0)]);
+            let cols: Vec<Vec<f64>> = (0..3)
+                .map(|c| (0..n).map(|i| (i + c) as f64 * 0.5 - 1.0).collect())
+                .collect();
+            let x = Multivector::from_columns(&cols);
+            let mut y_ref = Multivector::new(n, 3);
+            let mut yc = vec![0.0; n];
+            for c in 0..3 {
+                w.apply(comm, x.col(c), &mut yc);
+                y_ref.col_mut(c).copy_from_slice(&yc);
+            }
+            let mut y = Multivector::new(n, 3);
+            w.apply_mv(comm, &x, &mut y);
+            (y, y_ref)
+        });
+        let (y, y_ref) = &out[0];
+        assert_eq!(y, y_ref);
     }
 
     #[test]

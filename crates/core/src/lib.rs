@@ -52,9 +52,10 @@ pub mod system;
 
 pub use assembled::AssembledOperator;
 pub use block::{
-    batch_width_from_env, parse_batch_width, BlockPlan, BlockSet, BATCH_ENV, DEFAULT_BATCH_WIDTH,
+    batch_width_from_env, nvec_width_from_env, parse_batch_width, parse_nvec_width, BlockPlan,
+    BlockSet, BATCH_ENV, DEFAULT_BATCH_WIDTH, DEFAULT_NVEC_WIDTH, NVEC_ENV,
 };
-pub use da::DistArray;
+pub use da::{DistArray, DistMultivector};
 pub use dirichlet_op::DirichletOp;
 pub use exchange::GhostExchange;
 pub use hybrid::ParallelMode;

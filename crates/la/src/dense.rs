@@ -30,7 +30,8 @@ use std::sync::OnceLock;
 #[cfg(target_arch = "x86_64")]
 pub(crate) mod lanes {
     use std::arch::x86_64::{
-        __m256d, __m512d, _mm256_loadu_pd, _mm256_storeu_pd, _mm512_loadu_pd, _mm512_storeu_pd,
+        __m256d, __m512d, _mm256_loadu_pd, _mm256_set1_pd, _mm256_storeu_pd, _mm512_loadu_pd,
+        _mm512_set1_pd, _mm512_storeu_pd,
     };
 
     #[cfg(feature = "sanitize")]
@@ -92,6 +93,34 @@ pub(crate) mod lanes {
         check(s.len(), at, 8, "store8");
         debug_assert!(at + 8 <= s.len());
         _mm512_storeu_pd(s.as_mut_ptr().add(at), v);
+    }
+
+    /// Broadcast-load: scalar `s[at]` splatted into all 4 lanes (the
+    /// multivector kernels read one `Ke` entry and reuse it across the
+    /// column dimension).
+    ///
+    /// SAFETY contract: `at < s.len()`; the CPU supports AVX.
+    #[inline]
+    #[target_feature(enable = "avx")]
+    #[allow(unsafe_code)] // SAFETY: contract above; proved per call site by hymv-verify
+    pub unsafe fn bcast4(s: &[f64], at: usize) -> __m256d {
+        #[cfg(feature = "sanitize")]
+        check(s.len(), at, 1, "bcast4");
+        debug_assert!(at < s.len());
+        _mm256_set1_pd(*s.get_unchecked(at))
+    }
+
+    /// Broadcast-load: scalar `s[at]` splatted into all 8 lanes.
+    ///
+    /// SAFETY contract: `at < s.len()`; the CPU supports AVX-512F.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    #[allow(unsafe_code)] // SAFETY: contract above; proved per call site by hymv-verify
+    pub unsafe fn bcast8(s: &[f64], at: usize) -> __m512d {
+        #[cfg(feature = "sanitize")]
+        check(s.len(), at, 1, "bcast8");
+        debug_assert!(at < s.len());
+        _mm512_set1_pd(*s.get_unchecked(at))
     }
 
     /// Unchecked scalar read `s[at]` (kernel remainder loops).
@@ -489,6 +518,215 @@ pub fn interleave_ke(ke: &[f64], keb: &mut [f64], nd: usize, bw: usize, b: usize
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multivector batched EMV (SpMM): `Ve = Ke_b · Ue` for `nvec` right-hand
+// sides at once.
+//
+// Layouts (all contiguous, column-minor panels):
+//   keb[(j*nd + i)*bw + b]      — the same batch-interleaved slab as
+//                                 `emv_batch` (no re-interleave for SpMM),
+//   ue [(j*bw + b)*nvec + c]    — input panel, nd × bw × nvec,
+//   ve [(i*bw + b)*nvec + c]    — output panel, nd × bw × nvec.
+//
+// Vectorization runs **across the vector columns `c`**: the `nvec` values
+// of one (dof, lane) pair are contiguous, so the inner loop is unit-stride
+// full vectors. Each `Ke` entry is loaded exactly once per SpMM — a single
+// broadcast feeds all `nvec` columns — which is the whole point: the
+// batched EMV pipeline is bandwidth-bound on `Ke` slab traffic, and the
+// multivector product amortizes that traffic over `nvec` solves.
+// ---------------------------------------------------------------------------
+
+/// Maximum supported multivector width (bounds kernel register usage:
+/// `nvec/4 ≤ 8` AVX2 accumulators per (row, lane) pair).
+pub const MAX_NVEC_WIDTH: usize = 32;
+
+/// The multivector batched EMV kernel signature
+/// (`keb`, `ue`, `ve`, `nd`, `bw`, `nvec`).
+pub type EmvBatchMvKernel = fn(&[f64], &[f64], &mut [f64], usize, usize, usize);
+
+/// `Ve = Ke_b · Ue` over the multivector panel layout above.
+///
+/// Convenience wrapper for tests: dispatches on every call. Hot loops
+/// should resolve [`select_batch_mv_kernel`] once per SpMM.
+#[inline]
+pub fn emv_batch_mv(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize, nvec: usize) {
+    select_batch_mv_kernel(nvec)(keb, ue, ve, nd, bw, nvec);
+}
+
+/// Pick the best multivector batched-EMV variant for this CPU and
+/// multivector width. The SIMD variants vectorize across the `nvec`
+/// column dimension, so they require `nvec` to be a multiple of the
+/// vector width; other widths fall back to the portable kernel.
+pub fn select_batch_mv_kernel(nvec: usize) -> EmvBatchMvKernel {
+    assert!(
+        nvec >= 1 && nvec <= MAX_NVEC_WIDTH,
+        "multivector width {nvec} outside 1..={MAX_NVEC_WIDTH}"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if nvec % 8 == 0 && is_x86_feature_detected!("avx512f") {
+            return emv_batch_mv_avx512;
+        }
+        if nvec % 4 == 0 && is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return emv_batch_mv_avx2;
+        }
+    }
+    emv_batch_mv_portable
+}
+
+/// Name of the dispatched multivector-kernel variant (for experiment logs).
+pub fn emv_batch_mv_kernel_name(nvec: usize) -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if nvec % 8 == 0 && nvec <= MAX_NVEC_WIDTH && is_x86_feature_detected!("avx512f") {
+            return "mv-avx512f";
+        }
+        if nvec % 4 == 0
+            && nvec <= MAX_NVEC_WIDTH
+            && is_x86_feature_detected!("avx2")
+            && is_x86_feature_detected!("fma")
+        {
+            return "mv-avx2+fma";
+        }
+    }
+    let _ = nvec;
+    "mv-portable"
+}
+
+/// Portable multivector kernel: column-axpy order (`j` outer) so `keb` is
+/// streamed linearly exactly once per SpMM. Per vector column this is the
+/// same multiply-add chain as [`emv_batch_portable`], so a width-`nvec`
+/// product reproduces `nvec` sequential batched EMVs bitwise.
+// verify: kernel-entry
+pub fn emv_batch_mv_portable(
+    keb: &[f64],
+    ue: &[f64],
+    ve: &mut [f64],
+    nd: usize,
+    bw: usize,
+    nvec: usize,
+) {
+    debug_assert_eq!(keb.len(), nd * nd * bw);
+    debug_assert_eq!(ue.len(), nd * bw * nvec);
+    debug_assert_eq!(ve.len(), nd * bw * nvec);
+    ve.fill(0.0);
+    for j in 0..nd {
+        let col = &keb[j * nd * bw..(j + 1) * nd * bw];
+        for i in 0..nd {
+            let k = &col[i * bw..(i + 1) * bw];
+            for b in 0..bw {
+                let kb = k[b];
+                let u = &ue[(j * bw + b) * nvec..(j * bw + b + 1) * nvec];
+                let v = &mut ve[(i * bw + b) * nvec..(i * bw + b + 1) * nvec];
+                for (vc, &uc) in v.iter_mut().zip(u) {
+                    *vc += kb * uc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+// verify: kernel-entry
+#[allow(unsafe_code)] // SIMD dispatch wrapper; SAFETY comment at the call
+fn emv_batch_mv_avx2(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize, nvec: usize) {
+    // SAFETY: dispatch guarantees avx2+fma are available and nvec % 4 == 0,
+    // nvec <= 32.
+    unsafe { emv_batch_mv_avx2_impl(keb, ue, ve, nd, bw, nvec) }
+}
+
+#[cfg(target_arch = "x86_64")]
+// verify: prove-bounds
+#[target_feature(enable = "avx2,fma")]
+#[allow(unsafe_code)] // SAFETY: caller proves the target features; every lane access is proved
+                      // in bounds from the debug_asserts below by the hymv-verify interpreter.
+unsafe fn emv_batch_mv_avx2_impl(
+    keb: &[f64],
+    ue: &[f64],
+    ve: &mut [f64],
+    nd: usize,
+    bw: usize,
+    nvec: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(keb.len(), nd * nd * bw);
+    debug_assert_eq!(ue.len(), nd * bw * nvec);
+    debug_assert_eq!(ve.len(), nd * bw * nvec);
+    debug_assert!(nvec % 4 == 0 && nvec <= 32);
+    let chunks = nvec / 4;
+    // Row-outer with register accumulators per (row, lane): the nvec-wide
+    // column tile of output (i, b) is reduced over all dof columns j
+    // without touching memory. Each keb entry is read once (a scalar
+    // broadcast) and amortized across all nvec vector columns — per
+    // column, the reduction is the same fmadd chain as the single-vector
+    // SIMD batch kernels, so results match them bitwise.
+    for i in 0..nd {
+        for b in 0..bw {
+            let mut acc = [_mm256_setzero_pd(); 8];
+            for j in 0..nd {
+                let k = lanes::bcast4(keb, (j * nd + i) * bw + b);
+                for c in 0..chunks {
+                    let u = lanes::load4(ue, (j * bw + b) * nvec + 4 * c);
+                    acc[c] = _mm256_fmadd_pd(k, u, acc[c]);
+                }
+            }
+            for c in 0..chunks {
+                lanes::store4(ve, (i * bw + b) * nvec + 4 * c, acc[c]);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+// verify: kernel-entry
+#[allow(unsafe_code)] // SIMD dispatch wrapper; SAFETY comment at the call
+fn emv_batch_mv_avx512(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize, nvec: usize) {
+    // SAFETY: dispatch guarantees avx512f is available and nvec % 8 == 0,
+    // nvec <= 64.
+    unsafe { emv_batch_mv_avx512_impl(keb, ue, ve, nd, bw, nvec) }
+}
+
+#[cfg(target_arch = "x86_64")]
+// verify: prove-bounds
+#[target_feature(enable = "avx512f")]
+#[allow(unsafe_code)] // SAFETY: caller proves the target features; every lane access is proved
+                      // in bounds from the debug_asserts below by the hymv-verify interpreter.
+unsafe fn emv_batch_mv_avx512_impl(
+    keb: &[f64],
+    ue: &[f64],
+    ve: &mut [f64],
+    nd: usize,
+    bw: usize,
+    nvec: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(keb.len(), nd * nd * bw);
+    debug_assert_eq!(ue.len(), nd * bw * nvec);
+    debug_assert_eq!(ve.len(), nd * bw * nvec);
+    debug_assert!(nvec % 8 == 0 && nvec <= 64);
+    let chunks = nvec / 8;
+    for i in 0..nd {
+        for b in 0..bw {
+            let mut acc = [_mm512_setzero_pd(); 8];
+            for j in 0..nd {
+                let k = lanes::bcast8(keb, (j * nd + i) * bw + b);
+                for c in 0..chunks {
+                    let u = lanes::load8(ue, (j * bw + b) * nvec + 8 * c);
+                    acc[c] = _mm512_fmadd_pd(k, u, acc[c]);
+                }
+            }
+            for c in 0..chunks {
+                lanes::store8(ve, (i * bw + b) * nvec + 8 * c, acc[c]);
+            }
+        }
+    }
+}
+
+/// FLOPs of one multivector batched EMV: `2·nd²·bw·nvec`.
+pub fn emv_batch_mv_flops(nd: usize, bw: usize, nvec: usize) -> u64 {
+    emv_batch_flops(nd, bw) * nvec as u64
+}
+
 /// The ablation variant: dot-product order over a column-major matrix —
 /// stride-`nd` access, deliberately cache-hostile. Used by the kernel
 /// ablation bench to show why equation (4) prescribes the axpy order.
@@ -657,6 +895,142 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Extract one vector column of a multivector panel into the plain
+    /// `nd × bw` panel layout.
+    fn mv_column(panel: &[f64], nd: usize, bw: usize, nvec: usize, c: usize) -> Vec<f64> {
+        (0..nd * bw).map(|s| panel[s * nvec + c]).collect()
+    }
+
+    #[test]
+    fn mv_variants_agree_with_per_column_reference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for nd in [1usize, 3, 8, 20, 60] {
+            for bw in [1usize, 3, 5, 8] {
+                for nvec in [1usize, 2, 3, 4, 5, 8, 16, 32] {
+                    let keb: Vec<f64> = (0..nd * nd * bw)
+                        .map(|_| rng.gen_range(-1.0..1.0))
+                        .collect();
+                    let ue: Vec<f64> = (0..nd * bw * nvec)
+                        .map(|_| rng.gen_range(-1.0..1.0))
+                        .collect();
+
+                    let mut variants: Vec<(&str, EmvBatchMvKernel)> = vec![
+                        ("mv-portable", emv_batch_mv_portable as EmvBatchMvKernel),
+                        ("mv-dispatched", emv_batch_mv as EmvBatchMvKernel),
+                    ];
+                    #[cfg(target_arch = "x86_64")]
+                    {
+                        if nvec % 4 == 0
+                            && is_x86_feature_detected!("avx2")
+                            && is_x86_feature_detected!("fma")
+                        {
+                            variants.push(("mv-avx2", emv_batch_mv_avx2));
+                        }
+                        if nvec % 8 == 0 && is_x86_feature_detected!("avx512f") {
+                            variants.push(("mv-avx512", emv_batch_mv_avx512));
+                        }
+                    }
+
+                    for (name, kern) in variants {
+                        let mut ve = vec![9.0; nd * bw * nvec]; // must be overwritten
+                        kern(&keb, &ue, &mut ve, nd, bw, nvec);
+                        for c in 0..nvec {
+                            let uc = mv_column(&ue, nd, bw, nvec, c);
+                            for b in 0..bw {
+                                let v_ref = batch_reference(&keb, &uc, nd, bw, b);
+                                for i in 0..nd {
+                                    let got = ve[(i * bw + b) * nvec + c];
+                                    assert!(
+                                        (got - v_ref[i]).abs() < 1e-12,
+                                        "{name} nd={nd} bw={bw} nvec={nvec} col={c} lane={b} row={i}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per vector column, the multivector kernels run the exact reduction
+    /// order of the corresponding single-vector batch kernel (fmadd chain
+    /// over j for the SIMD variants, mul+add chain for the portables), so
+    /// an SpMM must reproduce `nvec` sequential batched EMVs **bitwise**
+    /// when both sides dispatch to the same arithmetic class.
+    #[test]
+    fn mv_bitwise_matches_sequential_columns() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for (nd, bw, nvec) in [(3usize, 3usize, 3usize), (8, 8, 5), (20, 5, 7), (60, 3, 2)] {
+            let keb: Vec<f64> = (0..nd * nd * bw)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let ue: Vec<f64> = (0..nd * bw * nvec)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let mut ve = vec![0.0; nd * bw * nvec];
+            emv_batch_mv_portable(&keb, &ue, &mut ve, nd, bw, nvec);
+            for c in 0..nvec {
+                let uc = mv_column(&ue, nd, bw, nvec, c);
+                let mut vc = vec![0.0; nd * bw];
+                emv_batch_portable(&keb, &uc, &mut vc, nd, bw);
+                for s in 0..nd * bw {
+                    assert_eq!(
+                        ve[s * nvec + c].to_bits(),
+                        vc[s].to_bits(),
+                        "portable nd={nd} bw={bw} nvec={nvec} col={c} slot={s}"
+                    );
+                }
+            }
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            for (nd, bw, nvec) in [(8usize, 4usize, 4usize), (20, 8, 8), (60, 4, 16)] {
+                let keb: Vec<f64> = (0..nd * nd * bw)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect();
+                let ue: Vec<f64> = (0..nd * bw * nvec)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect();
+                let mut ve = vec![0.0; nd * bw * nvec];
+                emv_batch_mv_avx2(&keb, &ue, &mut ve, nd, bw, nvec);
+                for c in 0..nvec {
+                    let uc = mv_column(&ue, nd, bw, nvec, c);
+                    let mut vc = vec![0.0; nd * bw];
+                    emv_batch_avx2(&keb, &uc, &mut vc, nd, bw);
+                    for s in 0..nd * bw {
+                        assert_eq!(
+                            ve[s * nvec + c].to_bits(),
+                            vc[s].to_bits(),
+                            "avx2 nd={nd} bw={bw} nvec={nvec} col={c} slot={s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mv_flops_formula() {
+        assert_eq!(emv_batch_mv_flops(10, 8, 4), 6400);
+        assert_eq!(emv_batch_mv_flops(10, 8, 1), emv_batch_flops(10, 8));
+    }
+
+    #[test]
+    fn mv_kernel_name_reports_something() {
+        for nvec in [1usize, 4, 8, 17] {
+            let name = emv_batch_mv_kernel_name(nvec);
+            assert!(["mv-avx512f", "mv-avx2+fma", "mv-portable"].contains(&name));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multivector width")]
+    fn mv_width_bounds_checked() {
+        select_batch_mv_kernel(MAX_NVEC_WIDTH + 1);
     }
 
     #[test]

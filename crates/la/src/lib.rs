@@ -19,6 +19,10 @@
 //! * [`resilient`] — fault-tolerant CG with bounded rollback /
 //!   residual-replacement recovery and typed failure diagnostics
 //!   (`hymv-chaos`),
+//! * [`mv`] — column-major multivectors and the [`mv::MultiLinOp`]
+//!   multi-RHS operator abstraction behind the SpMM fast path,
+//! * [`block_cg`] — block conjugate gradients (one Krylov recurrence for
+//!   `nvec` right-hand sides) with rank-revealing breakdown handling,
 //! * [`precond`] — Jacobi and block-Jacobi (ILU(0) per-rank block)
 //!   preconditioners, the ones evaluated in the paper's Fig 11.
 
@@ -26,19 +30,24 @@
 // per item); everything else is checked.
 #![deny(unsafe_code)]
 
+pub mod block_cg;
 pub mod csr;
 pub mod dense;
 pub mod dist_csr;
+pub mod mv;
 pub mod precond;
 pub mod resilient;
 pub mod solver;
 
+pub use block_cg::{block_cg, BlockCgResult};
 pub use csr::SerialCsr;
 pub use dense::{
-    emv, emv_batch, select_batch_kernel, select_kernel, ElementMatrixStore, EmvBatchKernel,
-    EmvKernel, MAX_BATCH_WIDTH,
+    emv, emv_batch, emv_batch_mv, select_batch_kernel, select_batch_mv_kernel, select_kernel,
+    ElementMatrixStore, EmvBatchKernel, EmvBatchMvKernel, EmvKernel, MAX_BATCH_WIDTH,
+    MAX_NVEC_WIDTH,
 };
 pub use dist_csr::DistCsr;
+pub use mv::{column_norms, gram, MultiLinOp, Multivector};
 pub use precond::{BlockJacobi, Identity, Jacobi, Precond};
 pub use resilient::{resilient_cg, RecoveryPolicy, ResilientCgResult, SolverFault};
 pub use solver::{cg, pipelined_cg, CgResult, LinOp};

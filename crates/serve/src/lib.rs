@@ -1,0 +1,476 @@
+//! # hymv-serve — the batched multi-RHS solve service
+//!
+//! The "millions of users" front door over the multivector engine: many
+//! independent solve requests share one operator (same mesh, different
+//! forcings/boundary data), so instead of solving them one CG at a time
+//! the service queues them and dispatches width-`nvec` **block-CG
+//! multivector solves** — every `Ke` slab load amortized over the whole
+//! batch, every ghost fragment shipped once per batch instead of once
+//! per request.
+//!
+//! Batch formation is **deadline-based** in virtual time: a batch
+//! dispatches as soon as it is full ([`BatchPolicy::max_width`] pending
+//! requests, default from `HYMV_EMV_NVEC`) or as soon as the oldest
+//! pending request has waited [`BatchPolicy::deadline_s`] virtual
+//! seconds — throughput batching with a hard bound on added latency.
+//! [`SolveService::flush`] drains the queue at end of stream.
+//!
+//! The service is deterministic SPMD: every rank constructs it around
+//! the same shared operator, submits the same requests in the same
+//! order, and steps it at the same points — submissions and dispatches
+//! are collective, and the batch composition is a pure function of the
+//! (replicated) queue state. Per-request results stream back through
+//! [`SolveOutcome`]s; per-batch metrics land in hymv-trace as
+//! [`Phase::ServeBatch`] spans plus `hymv_serve_*` counters and in
+//! [`BatchMetrics`] for the bench harness.
+
+use std::collections::VecDeque;
+
+use hymv_comm::Comm;
+use hymv_core::DEFAULT_NVEC_WIDTH;
+use hymv_la::{block_cg, MultiLinOp, Multivector, Precond, RecoveryPolicy, SolverFault};
+use hymv_trace::Phase;
+
+/// When a pending batch dispatches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Maximum requests per multivector solve (the `nvec` of the batch).
+    pub max_width: usize,
+    /// Maximum virtual seconds the oldest pending request may wait before
+    /// a partial batch is forced out.
+    pub deadline_s: f64,
+}
+
+impl BatchPolicy {
+    /// `max_width` from `HYMV_EMV_NVEC` (hard error on invalid values),
+    /// with an explicit latency deadline.
+    ///
+    /// # Panics
+    /// Propagates the env reader's panic on an invalid width.
+    pub fn from_env(deadline_s: f64) -> Self {
+        BatchPolicy {
+            max_width: hymv_core::nvec_width_from_env(),
+            deadline_s,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_width: DEFAULT_NVEC_WIDTH,
+            deadline_s: 1e-3,
+        }
+    }
+}
+
+/// One queued request.
+#[derive(Debug, Clone)]
+struct Pending {
+    id: u64,
+    rhs: Vec<f64>,
+    submitted_vt: f64,
+}
+
+/// Per-request result streamed back from a batch solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome {
+    /// The id returned by [`SolveService::submit`].
+    pub id: u64,
+    /// Owned-dof solution.
+    pub x: Vec<f64>,
+    /// Block iterations of the batch this request rode in.
+    pub iterations: usize,
+    /// Whether this request's column met the tolerance.
+    pub converged: bool,
+    /// This request's final relative residual.
+    pub rel_residual: f64,
+    /// Batch ordinal (index into [`SolveService::batch_metrics`]).
+    pub batch: usize,
+    /// Width (`nvec`) of that batch.
+    pub width: usize,
+    /// Virtual seconds spent queued before dispatch.
+    pub wait_s: f64,
+}
+
+/// Per-batch record for the bench harness and diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMetrics {
+    /// Batch ordinal in dispatch order.
+    pub ordinal: usize,
+    /// Requests in the batch (`nvec` of the multivector solve).
+    pub width: usize,
+    /// Block-CG iterations.
+    pub iterations: usize,
+    /// Virtual time at dispatch.
+    pub dispatched_vt: f64,
+    /// Virtual seconds the block solve took.
+    pub solve_s: f64,
+    /// Longest queue wait among the batch's requests.
+    pub max_wait_s: f64,
+}
+
+/// The batched solve service. Holds the shared operator/preconditioner
+/// for its lifetime; see the crate docs for the SPMD contract.
+pub struct SolveService<'a> {
+    op: &'a mut dyn MultiLinOp,
+    precond: &'a mut dyn Precond,
+    rtol: f64,
+    max_iter: usize,
+    policy: BatchPolicy,
+    recovery: RecoveryPolicy,
+    queue: VecDeque<Pending>,
+    next_id: u64,
+    batches: Vec<BatchMetrics>,
+}
+
+impl<'a> SolveService<'a> {
+    /// Wrap a shared operator and preconditioner.
+    pub fn new(
+        op: &'a mut dyn MultiLinOp,
+        precond: &'a mut dyn Precond,
+        rtol: f64,
+        max_iter: usize,
+        policy: BatchPolicy,
+    ) -> Self {
+        assert!(policy.max_width >= 1, "batch width must be at least 1");
+        assert!(
+            policy.max_width <= hymv_la::MAX_NVEC_WIDTH,
+            "batch width {} exceeds MAX_NVEC_WIDTH {}",
+            policy.max_width,
+            hymv_la::MAX_NVEC_WIDTH
+        );
+        SolveService {
+            op,
+            precond,
+            rtol,
+            max_iter,
+            policy,
+            recovery: RecoveryPolicy::default(),
+            queue: VecDeque::new(),
+            next_id: 0,
+            batches: Vec::new(),
+        }
+    }
+
+    /// Override the fault-recovery budgets the block solves run under.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Queue a solve request (owned-dof right-hand side), stamped with
+    /// the current virtual time. Collective: every rank submits its own
+    /// partition of the same logical request, in the same order.
+    pub fn submit(&mut self, comm: &mut Comm, rhs: Vec<f64>) -> u64 {
+        assert_eq!(rhs.len(), self.op.n_owned(), "rhs length mismatch");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(Pending {
+            id,
+            rhs,
+            submitted_vt: comm.vt(),
+        });
+        hymv_trace::counter_add("hymv_serve_requests_total", &[], 1);
+        id
+    }
+
+    /// Requests waiting for dispatch.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Metrics of every batch dispatched so far.
+    pub fn batch_metrics(&self) -> &[BatchMetrics] {
+        &self.batches
+    }
+
+    /// Dispatch every batch the policy allows *now*: full batches always
+    /// go; a final partial batch goes only if its oldest request is past
+    /// the deadline. Returns the completed requests (possibly empty).
+    pub fn step(&mut self, comm: &mut Comm) -> Result<Vec<SolveOutcome>, SolverFault> {
+        let mut out = Vec::new();
+        loop {
+            let n = self.queue.len();
+            if n == 0 {
+                break;
+            }
+            let oldest_wait = comm.vt() - self.queue.front().expect("n > 0").submitted_vt;
+            if n < self.policy.max_width && oldest_wait < self.policy.deadline_s {
+                break;
+            }
+            let take = n.min(self.policy.max_width);
+            out.extend(self.dispatch(comm, take)?);
+        }
+        Ok(out)
+    }
+
+    /// End of stream: dispatch everything still queued, deadline or not.
+    pub fn flush(&mut self, comm: &mut Comm) -> Result<Vec<SolveOutcome>, SolverFault> {
+        let mut out = Vec::new();
+        while !self.queue.is_empty() {
+            let take = self.queue.len().min(self.policy.max_width);
+            out.extend(self.dispatch(comm, take)?);
+        }
+        Ok(out)
+    }
+
+    /// Solve the first `take` queued requests as one width-`take`
+    /// block-CG multivector solve.
+    fn dispatch(&mut self, comm: &mut Comm, take: usize) -> Result<Vec<SolveOutcome>, SolverFault> {
+        let reqs: Vec<Pending> = self.queue.drain(..take).collect();
+        let width = reqs.len();
+        let ordinal = self.batches.len();
+        let dispatched_vt = comm.vt();
+
+        let cols: Vec<Vec<f64>> = reqs.iter().map(|r| r.rhs.clone()).collect();
+        let b = Multivector::from_columns(&cols);
+        let mut x = Multivector::new(self.op.n_owned(), width);
+        let (op, precond) = (&mut *self.op, &mut *self.precond);
+        let (rtol, max_iter, recovery) = (self.rtol, self.max_iter, self.recovery);
+        let res = comm.traced(Phase::ServeBatch, |comm| {
+            block_cg(comm, op, precond, &b, &mut x, rtol, max_iter, &recovery)
+        })?;
+        let solve_s = comm.vt() - dispatched_vt;
+
+        let max_wait_s = reqs
+            .iter()
+            .map(|r| dispatched_vt - r.submitted_vt)
+            .fold(0.0, f64::max);
+        self.batches.push(BatchMetrics {
+            ordinal,
+            width,
+            iterations: res.iterations,
+            dispatched_vt,
+            solve_s,
+            max_wait_s,
+        });
+        hymv_trace::counter_add("hymv_serve_batches_total", &[], 1);
+        hymv_trace::counter_add("hymv_serve_batch_iters_total", &[], res.iterations as u64);
+
+        Ok(reqs
+            .into_iter()
+            .enumerate()
+            .map(|(c, r)| SolveOutcome {
+                id: r.id,
+                x: x.col(c).to_vec(),
+                iterations: res.iterations,
+                converged: res.rel_residuals[c] <= self.rtol,
+                rel_residual: res.rel_residuals[c],
+                batch: ordinal,
+                width,
+                wait_s: dispatched_vt - r.submitted_vt,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hymv_comm::Universe;
+    use hymv_la::solver::cg;
+    use hymv_la::{Identity, LinOp};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Serial dense SPD operator (replicated on every rank).
+    struct DenseOp {
+        a: Vec<f64>,
+        n: usize,
+    }
+
+    impl LinOp for DenseOp {
+        fn n_owned(&self) -> usize {
+            self.n
+        }
+        fn apply(&mut self, comm: &mut Comm, x: &[f64], y: &mut [f64]) {
+            comm.work(|| {
+                y.fill(0.0);
+                for j in 0..self.n {
+                    let xj = x[j];
+                    for i in 0..self.n {
+                        y[i] += self.a[j * self.n + i] * xj;
+                    }
+                }
+            });
+        }
+    }
+
+    impl MultiLinOp for DenseOp {}
+
+    fn random_spd(n: usize, seed: u64) -> DenseOp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += m[i * n + k] * m[j * n + k];
+                }
+                a[j * n + i] = acc;
+            }
+            a[i * n + i] += n as f64;
+        }
+        DenseOp { a, n }
+    }
+
+    #[test]
+    fn batches_form_fifo_and_results_match_per_rhs_cg() {
+        let n = 24;
+        let n_req = 7;
+        let out = Universe::run(1, |comm| {
+            let mut op = random_spd(n, 3);
+            let mut rng = StdRng::seed_from_u64(17);
+            let rhss: Vec<Vec<f64>> = (0..n_req)
+                .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
+            let policy = BatchPolicy {
+                max_width: 4,
+                deadline_s: 1e-3,
+            };
+            let mut id = Identity;
+            let mut svc = SolveService::new(&mut op, &mut id, 1e-10, 200, policy);
+            let ids: Vec<u64> = rhss.iter().map(|r| svc.submit(comm, r.clone())).collect();
+            let mut results = svc.flush(comm).expect("healthy solve");
+            results.sort_by_key(|o| o.id);
+            let metrics = svc.batch_metrics().to_vec();
+            (ids, rhss, results, metrics)
+        });
+        let (ids, rhss, results, metrics) = &out[0];
+        // 7 requests at width 4 → batches of 4 and 3, FIFO.
+        assert_eq!(metrics.len(), 2);
+        assert_eq!((metrics[0].width, metrics[1].width), (4, 3));
+        assert_eq!(results.len(), n_req);
+        for (k, o) in results.iter().enumerate() {
+            assert_eq!(o.id, ids[k]);
+            assert!(o.converged, "request {k} unconverged: {o:?}");
+            assert_eq!(o.batch, if k < 4 { 0 } else { 1 });
+            // Per-RHS reference solve.
+            let refs = Universe::run(1, |comm| {
+                let mut op = random_spd(n, 3);
+                let mut x = vec![0.0; n];
+                let res = cg(comm, &mut op, &mut Identity, &rhss[k], &mut x, 1e-10, 200);
+                assert!(res.converged);
+                x
+            });
+            for (a, b) in o.x.iter().zip(&refs[0]) {
+                assert!((a - b).abs() < 1e-7, "request {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_forces_partial_dispatch() {
+        let n = 12;
+        let out = Universe::run(1, |comm| {
+            let mut op = random_spd(n, 9);
+            let policy = BatchPolicy {
+                max_width: 8,
+                deadline_s: 0.5,
+            };
+            let mut id = Identity;
+            let mut svc = SolveService::new(&mut op, &mut id, 1e-8, 100, policy);
+            svc.submit(comm, vec![1.0; n]);
+            svc.submit(comm, vec![2.0; n]);
+            // Two pending, deadline not reached: step holds the batch.
+            let early = svc.step(comm).expect("healthy");
+            let held = early.is_empty() && svc.pending() == 2;
+            // Past the deadline the partial batch must go out.
+            comm.add_modeled_time(1.0);
+            let late = svc.step(comm).expect("healthy");
+            (held, late.len(), svc.pending(), late)
+        });
+        let (held, dispatched, pending, late) = &out[0];
+        assert!(held, "batch dispatched before the deadline");
+        assert_eq!(*dispatched, 2);
+        assert_eq!(*pending, 0);
+        assert_eq!(late[0].width, 2);
+        assert!(late[0].wait_s >= 0.5, "wait {:.3}s", late[0].wait_s);
+    }
+
+    /// Chaos smoke over the real service path: a Poisson operator with
+    /// Dirichlet walls, batched block-CG solves, and a seeded
+    /// drop/corrupt fault plan on the transport. Every rank must either
+    /// converge every request or abort with a typed fault report — no
+    /// silent corruption, no hangs.
+    #[test]
+    fn chaos_smoke_over_fem_service_path() {
+        use std::sync::Arc;
+
+        use hymv_comm::{AuditMode, CostModel, FaultPlan, RetryPolicy, RunConfig};
+        use hymv_core::assemble::assemble_rhs;
+        use hymv_core::dirichlet_op::owned_constraints;
+        use hymv_core::{DirichletOp, GhostExchange, HymvMaps, HymvOperator};
+        use hymv_fem::dirichlet::{constrained_dofs, DirichletSpec};
+        use hymv_fem::PoissonKernel;
+        use hymv_mesh::partition::{partition_mesh, PartitionMethod};
+        use hymv_mesh::{ElementType, StructuredHexMesh};
+
+        let mesh = StructuredHexMesh::unit(4, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, 2, PartitionMethod::GreedyGraph);
+        let spec = DirichletSpec::zero(1, Arc::new(|x: [f64; 3]| x[0] < 1e-9 || x[0] > 1.0 - 1e-9));
+        let program = |comm: &mut Comm| {
+            let part = &pm.parts[comm.rank()];
+            let kernel = PoissonKernel::new(ElementType::Hex8);
+            let maps = HymvMaps::build(part);
+            let exchange = GhostExchange::build(comm, &maps);
+            let raw_rhs = assemble_rhs(comm, &maps, &exchange, part, &kernel);
+            let (raw_op, _) = HymvOperator::setup(comm, part, &kernel);
+            let constrained = owned_constraints(&maps, 1, &constrained_dofs(part, &spec));
+            let mut op = DirichletOp::new(raw_op, constrained);
+            let rhs = op.build_rhs(comm, &raw_rhs);
+            let mut id = Identity;
+            let policy = BatchPolicy {
+                max_width: 4,
+                deadline_s: 1e-3,
+            };
+            let mut svc = SolveService::new(&mut op, &mut id, 1e-8, 400, policy);
+            for k in 0..6 {
+                let scaled: Vec<f64> = rhs.iter().map(|v| v * (k + 1) as f64).collect();
+                svc.submit(comm, scaled);
+            }
+            let results = svc.flush(comm).expect("recoverable faults only");
+            assert!(results.iter().all(|o| o.converged), "unconverged request");
+            assert_eq!(svc.batch_metrics().len(), 2);
+            results.len()
+        };
+        let cfg = RunConfig {
+            model: CostModel::default(),
+            perturb_seed: None,
+            audit: AuditMode::Disabled,
+            fault: Some(FaultPlan::new(7).with_drop(0.05).with_corrupt(0.05)),
+            retry: RetryPolicy::default(),
+            trace: false,
+        };
+        let (results, _) = Universe::run_chaos(cfg, 2, program);
+        for (rank, res) in results.into_iter().enumerate() {
+            let n = res.expect("faults within the retry budget");
+            assert_eq!(n, 6, "rank {rank}: lost requests");
+        }
+    }
+
+    #[test]
+    fn full_batch_dispatches_without_waiting() {
+        let n = 12;
+        let out = Universe::run(1, |comm| {
+            let mut op = random_spd(n, 11);
+            let policy = BatchPolicy {
+                max_width: 2,
+                deadline_s: 1e9, // deadline never fires — fullness must
+            };
+            let mut id = Identity;
+            let mut svc = SolveService::new(&mut op, &mut id, 1e-8, 100, policy);
+            for k in 0..5 {
+                svc.submit(comm, vec![k as f64 + 1.0; n]);
+            }
+            let full = svc.step(comm).expect("healthy");
+            (full.len(), svc.pending())
+        });
+        let (dispatched, pending) = out[0];
+        // Two full width-2 batches go out; the single leftover waits.
+        assert_eq!(dispatched, 4);
+        assert_eq!(pending, 1);
+    }
+}

@@ -87,6 +87,8 @@ pub enum Phase {
     BlockRefresh,
     /// One Krylov solver iteration.
     SolverIter,
+    /// One batched multi-RHS solve dispatched by the solve service.
+    ServeBatch,
     /// Reliable-envelope retransmission backoff (fault recovery).
     Retry,
     /// Simulated device host-to-device copy.
@@ -115,6 +117,7 @@ impl Phase {
         Phase::GatherAccum,
         Phase::BlockRefresh,
         Phase::SolverIter,
+        Phase::ServeBatch,
         Phase::Retry,
         Phase::GpuH2D,
         Phase::GpuKernel,
@@ -139,6 +142,7 @@ impl Phase {
             Phase::GatherAccum => "gather_accum",
             Phase::BlockRefresh => "block_refresh",
             Phase::SolverIter => "solver_iter",
+            Phase::ServeBatch => "serve_batch",
             Phase::Retry => "retry",
             Phase::GpuH2D => "h2d",
             Phase::GpuKernel => "kernel",
@@ -162,7 +166,7 @@ impl Phase {
             | Phase::GatherAccum
             | Phase::Retry => "comm",
             Phase::IndepEmv | Phase::DepEmv | Phase::BlockRefresh => "emv",
-            Phase::SolverIter => "solver",
+            Phase::SolverIter | Phase::ServeBatch => "solver",
             Phase::GpuH2D | Phase::GpuKernel | Phase::GpuD2H => "gpu",
         }
     }
@@ -187,6 +191,7 @@ impl Phase {
             Phase::GatherAccum => 'a',
             Phase::BlockRefresh => 'r',
             Phase::SolverIter => 'i',
+            Phase::ServeBatch => 'B',
             Phase::Retry => '!',
             Phase::GpuH2D => 'h',
             Phase::GpuD2H => 'd',

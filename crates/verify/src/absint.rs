@@ -307,6 +307,9 @@ const LANE_HELPERS: &[(&str, i64)] = &[
     ("store8", 8),
     ("read1", 1),
     ("add1", 1),
+    // Broadcast helpers (multivector kernels): read one scalar, splat it.
+    ("bcast4", 1),
+    ("bcast8", 1),
 ];
 
 /// Raw-memory constructs that are never allowed inside a `prove-bounds`
@@ -429,6 +432,31 @@ pub fn check_slab_contract(
             return Err(format!(
                 "slab {name} length {got} violates the proved kernel precondition \
                  {formula} = {expect} (nd={nd}, bw={bw})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The multivector analog of [`check_slab_contract`]: a width-`nvec`
+/// SpMM slab keeps the batch-interleaved `keb` but widens the `ue`/`ve`
+/// panels to `nd·bw·nvec` (`nvec` contiguous column values per lane).
+pub fn check_mv_slab_contract(
+    nd: usize,
+    bw: usize,
+    nvec: usize,
+    keb_len: usize,
+    ue_len: usize,
+    ve_len: usize,
+) -> Result<(), String> {
+    if nvec == 0 {
+        return Err("degenerate multivector slab: nvec=0".to_string());
+    }
+    check_slab_contract(nd, bw, keb_len, ue_len / nvec, ve_len / nvec)?;
+    for (name, got) in [("ue", ue_len), ("ve", ve_len)] {
+        if got % nvec != 0 {
+            return Err(format!(
+                "multivector slab {name} length {got} is not a multiple of nvec={nvec}"
             ));
         }
     }
@@ -988,6 +1016,73 @@ unsafe fn emv_batch_avx2_impl(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize
         assert!(diags.is_empty(), "{diags:?}");
         assert_eq!(certs.len(), 1);
         assert_eq!(certs[0].accesses, 3);
+    }
+
+    const GOOD_BATCH_MV: &str = r#"
+// verify: prove-bounds
+unsafe fn emv_batch_mv_avx2_impl(keb: &[f64], ue: &[f64], ve: &mut [f64], nd: usize, bw: usize, nvec: usize) {
+    debug_assert_eq!(keb.len(), nd * nd * bw);
+    debug_assert_eq!(ue.len(), nd * bw * nvec);
+    debug_assert_eq!(ve.len(), nd * bw * nvec);
+    debug_assert!(nvec % 4 == 0 && nvec <= 32);
+    let chunks = nvec / 4;
+    for k in 0..bw {
+        for i in 0..nd {
+            let mut acc = [_mm256_setzero_pd(); 8];
+            for j in 0..nd {
+                let ke = lanes::bcast4(keb, (j * nd + i) * bw + k);
+                for c in 0..chunks {
+                    let u = lanes::load4(ue, (j * bw + k) * nvec + 4 * c);
+                    acc[c] = _mm256_fmadd_pd(ke, u, acc[c]);
+                }
+            }
+            for c in 0..chunks {
+                lanes::store4(ve, (i * bw + k) * nvec + 4 * c, acc[c]);
+            }
+        }
+    }
+}
+"#;
+
+    /// The multivector kernel shape: a `bcast4` of one `keb` scalar
+    /// amortized over `nvec/4` column chunks, panels strided by `nvec`.
+    #[test]
+    fn multivector_kernel_certifies() {
+        let (certs, diags) = certify_source("crates/la/src/dense.rs", GOOD_BATCH_MV);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(certs.len(), 1);
+        // bcast4 + load4 + store4.
+        assert_eq!(certs[0].accesses, 3);
+    }
+
+    #[test]
+    fn multivector_off_by_one_is_rejected() {
+        let broken = GOOD_BATCH_MV.replace(
+            "(i * bw + k) * nvec + 4 * c",
+            "(i * bw + k) * nvec + 4 * c + 1",
+        );
+        let (certs, diags) = certify_source("crates/la/src/dense.rs", &broken);
+        assert!(certs.is_empty());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("cannot prove `lanes::store4` in bounds")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn mv_slab_contract_checks_widened_panels() {
+        // nd=8, bw=4, nvec=8: keb unchanged, panels ×nvec.
+        assert!(check_mv_slab_contract(8, 4, 8, 8 * 8 * 4, 8 * 4 * 8, 8 * 4 * 8).is_ok());
+        let err = check_mv_slab_contract(8, 4, 8, 8 * 8 * 4, 8 * 4 * 8 - 8, 8 * 4 * 8).unwrap_err();
+        assert!(
+            err.contains("violates the proved kernel precondition"),
+            "{err}"
+        );
+        let err = check_mv_slab_contract(8, 4, 3, 8 * 8 * 4, 8 * 4 * 3 + 1, 8 * 4 * 3).unwrap_err();
+        assert!(err.contains("not a multiple of nvec"), "{err}");
+        assert!(check_mv_slab_contract(8, 4, 0, 8 * 8 * 4, 0, 0).is_err());
     }
 
     #[test]

@@ -49,8 +49,8 @@ use hymv_core::{GhostExchange, HymvMaps};
 use hymv_mesh::partition::partition_mesh;
 use hymv_mesh::{unstructured_tet_mesh, ElementType, PartitionMethod, StructuredHexMesh};
 use hymv_verify::{
-    analyze_workspace_effects, certify_file, check_slab_contract, lint_workspace, prove_plan,
-    verify_exchange, PlanSummary,
+    analyze_workspace_effects, certify_file, check_mv_slab_contract, check_slab_contract,
+    lint_workspace, prove_plan, verify_exchange, PlanSummary,
 };
 
 struct Options {
@@ -173,6 +173,23 @@ fn run_effects(root: &std::path::Path) -> ExitCode {
                     check_slab_contract(nd, plan.batch_width(), set.keb(k).len(), panel, panel)
                 {
                     slab_errs.push(format!("bw={bw} dependent={dependent} block={k}: {e}"));
+                }
+                // Multivector widening of the same slab: keb unchanged,
+                // panels strided to nd·bw·nvec.
+                for nvec in [4usize, 8] {
+                    slabs += 1;
+                    if let Err(e) = check_mv_slab_contract(
+                        nd,
+                        plan.batch_width(),
+                        nvec,
+                        set.keb(k).len(),
+                        panel * nvec,
+                        panel * nvec,
+                    ) {
+                        slab_errs.push(format!(
+                            "bw={bw} nvec={nvec} dependent={dependent} block={k}: {e}"
+                        ));
+                    }
                 }
             }
         }

@@ -57,6 +57,7 @@ pub use hymv_fem as fem;
 pub use hymv_gpu as gpu;
 pub use hymv_la as la;
 pub use hymv_mesh as mesh;
+pub use hymv_serve as serve;
 
 /// The commonly-used names in one import.
 pub mod prelude {
@@ -76,10 +77,14 @@ pub mod prelude {
         gpu_resident_cg, DeviceBlas, DeviceSim, GpuModel, GpuScheme, HymvGpuOperator,
         PetscGpuOperator,
     };
-    pub use hymv_la::{cg, pipelined_cg, BlockJacobi, DistCsr, Identity, Jacobi, LinOp, SerialCsr};
+    pub use hymv_la::{
+        block_cg, cg, pipelined_cg, BlockJacobi, DistCsr, Identity, Jacobi, LinOp, MultiLinOp,
+        Multivector, SerialCsr,
+    };
     pub use hymv_mesh::partition::{partition_mesh, PartitionStats};
     pub use hymv_mesh::{
         unstructured_hex_mesh, unstructured_tet_mesh, ElementType, GlobalMesh, MeshPartition,
         PartitionMethod, StructuredHexMesh,
     };
+    pub use hymv_serve::{BatchMetrics, BatchPolicy, SolveOutcome, SolveService};
 }
