@@ -26,8 +26,24 @@ echo "== hymv-verify static passes (model check, alias proof, lint)"
 cargo run -q -p hymv-verify --bin hymv-verify -- --n 4 --p 1,2,4,8
 cargo run -q -p hymv-verify --bin hymv-verify -- --n 4 --p 1,2,4,8 --method greedy --skip-lint
 
-echo "== hymv-verify effects (interprocedural phase effects, kernel bounds proofs, slab contract)"
+echo "== hymv-verify parameterized exchange proof at scale (p=64,512,1024; <30s budget)"
+# Build outside the timed window: the budget asserts proof time, not
+# compile time.
+cargo build -q --release -p hymv-verify
+param_start=$SECONDS
+cargo run -q --release -p hymv-verify --bin hymv-verify -- \
+    --n 16 --p 64,512,1024 --method rcb --skip-lint
+param_dur=$((SECONDS - param_start))
+test "$param_dur" -lt 30 || {
+    echo "parameterized proof sweep took ${param_dur}s (budget 30s)"
+    exit 1
+}
+
+echo "== hymv-verify effects (interprocedural phase effects, kernel bounds proofs, slab contract, collective order)"
 cargo run -q -p hymv-verify --bin hymv-verify -- effects
+
+echo "== hymv-verify collective-order pass (standalone)"
+cargo run -q -p hymv-verify --bin hymv-verify -- collectives
 
 echo "== sanitize feature: la/core test suites with checked SIMD lane access"
 cargo test -q -p hymv-la --features sanitize

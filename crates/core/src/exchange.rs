@@ -42,6 +42,7 @@ pub struct GhostExchange {
 
 impl GhostExchange {
     /// Build the LNSM/GNGM maps. Collective over all ranks.
+    // verify: collective-entry
     pub fn build(comm: &mut Comm, maps: &HymvMaps) -> Self {
         hymv_trace::name_tag(TAG_BUILD, "build");
         hymv_trace::name_tag(TAG_SCATTER, "scatter");

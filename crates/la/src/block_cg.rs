@@ -200,6 +200,7 @@ impl LinOp for AsLinOp<'_> {
 /// tolerance `rtol` with one operator panel-apply per iteration. `x`
 /// holds the initial guesses on entry and the solutions on exit.
 #[allow(clippy::too_many_arguments)]
+// verify: collective-entry
 pub fn block_cg(
     comm: &mut Comm,
     op: &mut dyn MultiLinOp,

@@ -76,6 +76,7 @@ pub struct CgResult {
 /// tolerance `rtol` (PETSc's default convergence test, the one the paper
 /// uses with ε = 10⁻³ in §V-F). `x` holds the initial guess on entry and
 /// the solution on exit.
+// verify: collective-entry
 pub fn cg(
     comm: &mut Comm,
     op: &mut dyn LinOp,

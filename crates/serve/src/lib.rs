@@ -188,6 +188,7 @@ impl<'a> SolveService<'a> {
     /// Dispatch every batch the policy allows *now*: full batches always
     /// go; a final partial batch goes only if its oldest request is past
     /// the deadline. Returns the completed requests (possibly empty).
+    // verify: collective-entry
     pub fn step(&mut self, comm: &mut Comm) -> Result<Vec<SolveOutcome>, SolverFault> {
         let mut out = Vec::new();
         loop {

@@ -40,6 +40,10 @@ pub enum Marker {
     KernelEntry,
     /// `prove-bounds` — the bounds interpreter must certify this fn.
     ProveBounds,
+    /// `collective-entry` — a phase entry point whose inferred collective
+    /// sequence the collective-order pass reports (and whose reachable
+    /// code the rank-divergence rule certifies).
+    CollectiveEntry,
     /// `effect(name)` — add the named effect to this fn's direct effects
     /// (names as in [`crate::effects::effect::parse`], e.g. `ghost-read`).
     Effect(String),
@@ -63,6 +67,8 @@ impl Marker {
                 Marker::KernelEntry
             } else if part == "prove-bounds" {
                 Marker::ProveBounds
+            } else if part == "collective-entry" {
+                Marker::CollectiveEntry
             } else if let Some(inner) = part
                 .strip_prefix("effect(")
                 .and_then(|r| r.strip_suffix(')'))
@@ -226,8 +232,10 @@ impl CallGraph {
         }
     }
 
-    /// Load the analyzed crates of the workspace at `root`:
-    /// `crates/{comm,core,la,gpu,fem,trace}/src/**.rs`.
+    /// Load the analyzed crates of the workspace at `root`: every runtime
+    /// crate, including the `serve`/`check`/`mesh`/`prof`/`bench` layers
+    /// the PR-6 analysis stopped short of (only the analyzer itself stays
+    /// out of its own scope).
     pub fn load_workspace(root: &Path) -> Result<Self, String> {
         if !root.join("Cargo.toml").is_file() {
             return Err(format!(
@@ -236,7 +244,9 @@ impl CallGraph {
             ));
         }
         let mut graph = CallGraph::new();
-        for krate in ["comm", "core", "la", "gpu", "fem", "trace"] {
+        for krate in [
+            "comm", "core", "la", "gpu", "fem", "trace", "serve", "check", "mesh", "prof", "bench",
+        ] {
             let src = root.join("crates").join(krate).join("src");
             let mut files = Vec::new();
             walk_rs(&src, &mut files);
@@ -439,7 +449,19 @@ impl CallGraph {
                         _ => None,
                     });
                     if let Some(owner) = owner {
-                        if let Some((site, resume)) = parse_call(toks, i, stripped, name) {
+                        if let Some((mut site, resume)) = parse_call(toks, i, stripped, name) {
+                            // `Self::helper(...)` would otherwise resolve
+                            // against the unknown qual `Self::helper` and
+                            // be dropped as external; substitute the
+                            // enclosing impl type so the edge is real.
+                            if site.hint.as_deref() == Some("Self") {
+                                if let Some(ty) = stack.iter().rev().find_map(|c| match c {
+                                    Ctx::Impl(t) => Some(t.clone()),
+                                    _ => None,
+                                }) {
+                                    site.hint = Some(ty);
+                                }
+                            }
                             self.fns[owner].calls.push(site);
                             i = resume;
                             continue;
@@ -846,6 +868,23 @@ mod tests {
         assert!(!f.calls[1].method);
         assert_eq!(f.calls[2].args, ["a", "b + 1"]);
         assert!(f.calls[4].dynamic);
+    }
+
+    #[test]
+    fn self_path_calls_resolve_to_the_impl_type() {
+        let g = graph_of(
+            "struct Foo;\n\
+             impl Foo {\n\
+             \x20   fn outer(&self) { Self::inner(); }\n\
+             \x20   fn inner() {}\n\
+             }\n",
+        );
+        let outer = &g.fns[0];
+        assert_eq!(outer.calls[0].hint.as_deref(), Some("Foo"));
+        match g.resolve(&outer.calls[0]) {
+            Resolution::Candidates(ids) => assert_eq!(g.fns[ids[0]].qual, "Foo::inner"),
+            other => panic!("Self:: call did not resolve narrowly: {other:?}"),
+        }
     }
 
     #[test]

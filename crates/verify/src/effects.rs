@@ -53,8 +53,13 @@ pub mod effect {
     pub const AMBIENT_RNG: u16 = 1 << 7;
     pub const ALLOCATES: u16 = 1 << 8;
     pub const UNSAFE: u16 = 1 << 9;
+    /// Participates in a collective operation (barrier, allreduce,
+    /// allgather, sparse exchange, ...). The ordering event is the *post*,
+    /// so non-blocking collective posts carry this without `WAITS`; the
+    /// collective-order pass keys its rank-divergence rule off this bit.
+    pub const COLLECTIVE: u16 = 1 << 10;
     /// Every atomic effect (⊤ without the tag component).
-    pub const ALL: u16 = (1 << 10) - 1;
+    pub const ALL: u16 = (1 << 11) - 1;
 
     /// All bits, in display order.
     pub const BITS: &[u16] = &[
@@ -68,6 +73,7 @@ pub mod effect {
         AMBIENT_RNG,
         ALLOCATES,
         UNSAFE,
+        COLLECTIVE,
     ];
 
     /// Canonical name of one bit (also the marker spelling).
@@ -83,6 +89,7 @@ pub mod effect {
             AMBIENT_RNG => "ambient-rng",
             ALLOCATES => "allocates",
             UNSAFE => "unsafe",
+            COLLECTIVE => "collective",
             _ => "?",
         }
     }
@@ -458,9 +465,14 @@ fn intrinsic_bits(call: &CallSite) -> u16 {
     let hint = call.hint.as_deref();
     match call.name.as_str() {
         "recv" | "recv_any" | "recv_enveloped" => BLOCKING_RECV | WAITS,
-        "wait" | "barrier" | "allreduce_sum_f64" | "allreduce_max_f64" | "allreduce_min_f64"
+        "barrier" | "allreduce_sum_f64" | "allreduce_max_f64" | "allreduce_min_f64"
         | "allreduce_sum_u64" | "allreduce_max_u64" | "allgather_u64" | "bcast"
-        | "exchange_sparse" => WAITS,
+        | "exchange_sparse" => WAITS | COLLECTIVE,
+        // The *post* is the collective ordering event, so the non-blocking
+        // iallreduce seeds COLLECTIVE without WAITS; its handle's generic
+        // `wait` stays a plain WAITS below.
+        "iallreduce_sum_vec" => COLLECTIVE,
+        "wait" => WAITS,
         "isend" | "isend_unreliable" | "send" | "send_enveloped" => SENDS,
         "thread_cpu_time" | "ledger" | "reset_ledger" => LEDGER,
         "thread_rng" | "from_entropy" => AMBIENT_RNG,
@@ -830,8 +842,8 @@ mod tests {
         assert!(t.contains(effect::SENDS), "{t}");
         assert!(t.contains(effect::WAITS), "{t}");
         assert!(t.tags.contains("TAG_Y"), "{t}");
-        // The leaf sees only its own effect.
-        assert_eq!(r.summaries[bot].bits, effect::WAITS);
+        // The leaf sees only its own effect (barrier = blocking collective).
+        assert_eq!(r.summaries[bot].bits, effect::WAITS | effect::COLLECTIVE);
     }
 
     #[test]

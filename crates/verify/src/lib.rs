@@ -11,7 +11,15 @@
 //!   an ample-set partial-order reduction) to prove deadlock-freedom,
 //!   send/recv matching, reserved-tag discipline, overlap ordering, and
 //!   ghost-split soundness — emitting a minimal counterexample trace on
-//!   failure.
+//!   failure. An `inconclusive` (state-cap) outcome is a first-class
+//!   [`model::Verdict`] and a hard failure, never a silent sample.
+//! * [`param`] — the **parameterized exchange-plan prover**: proves the
+//!   same obligations for rank counts the explicit search cannot touch
+//!   (p = 1024 in milliseconds) via neighborhood decomposition,
+//!   symmetry-class canonicalization, and wait-for-graph acyclicity,
+//!   over plans *derived statically* from the partition; at small p the
+//!   explicit engine cross-checks it verdict-for-verdict (DESIGN.md
+//!   §14).
 //! * [`alias`] — the **block-coloring alias prover**: dataflow over
 //!   `BlockPlan` scatter tables proving no two same-color blocks write a
 //!   shared DA dof, and that the > 64-color chunk-private fallback covers
@@ -31,6 +39,12 @@
 //!   rules are checked against the inferred summaries — so a blocking
 //!   receive hidden N calls deep inside a scatter overlap window is still
 //!   found.
+//! * [`collectives`] — the **collective-order pass** over the same call
+//!   graph: proves all ranks post identical collective sequences (no
+//!   collective-reaching call under a rank-dependent guard, no early
+//!   return past pending collectives), with minimal witness call chains
+//!   on violation and an inferred protocol report for every
+//!   `// verify: collective-entry` phase (DESIGN.md §14.3).
 //! * [`absint`] — the **unsafe-kernel bounds interpreter**: a symbolic
 //!   abstract interpreter over the `// verify: prove-bounds` SIMD kernels
 //!   in `crates/la/src/dense.rs`, proving from the `debug_assert!`
@@ -39,29 +53,41 @@
 //!   certifies.
 //!
 //! The `hymv-verify` binary drives the plan passes over fig4-style meshes
-//! at a list of rank counts, and `hymv-verify effects` runs the
-//! interprocedural analysis + kernel proofs; see `DESIGN.md` §9/§12 for
-//! the soundness arguments and their limits.
+//! at a list of rank counts (explicit + parameterized below
+//! `--explicit-max`, parameterized-only above), `hymv-verify effects`
+//! runs the interprocedural analysis + kernel proofs + collective-order
+//! pass, and `hymv-verify collectives` runs the latter alone; see
+//! `DESIGN.md` §9/§12/§14 for the soundness arguments and their limits.
 
 #![forbid(unsafe_code)]
 
 pub mod absint;
 pub mod alias;
 pub mod callgraph;
+pub mod collectives;
 pub mod effects;
 pub mod lexer;
 pub mod lint;
 pub mod model;
+pub mod param;
 
 pub use absint::{
     certify_file, certify_source, check_mv_slab_contract, check_slab_contract, AbsDiag, KernelCert,
 };
 pub use alias::{check_block_coloring, check_chunk_cover, check_gidx_bounds, prove_plan};
 pub use callgraph::{CallGraph, CallSite, FnNode, Marker, Resolution};
+pub use collectives::{
+    analyze_collectives, CollectiveDiag, CollectiveEntrySeq, CollectivesReport, COLLECTIVE_SEEDS,
+};
 pub use effects::{analyze_effects, analyze_workspace_effects, effect, EffectSet, EffectsReport};
 pub use lexer::strip_comments_and_strings;
 pub use lint::{lint_source, lint_workspace, LintDiag};
 pub use model::{
-    check_ghost_split, check_overlap_order, check_plan_consistency, check_system, verify_exchange,
-    ModelResult, Op, PlanSummary, SendMode, System,
+    check_ghost_split, check_overlap_order, check_plan_consistency, check_system,
+    check_system_with_cap, verify_exchange, ModelResult, Op, PlanSummary, SendMode, System,
+    Verdict, STATE_CAP,
+};
+pub use param::{
+    check_system_parameterized, derive_plan_summaries, verify_exchange_parameterized,
+    NeighborhoodClass, ParamResult,
 };

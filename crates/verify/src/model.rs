@@ -101,7 +101,7 @@ pub struct System {
 /// The communication shape of one rank's [`GhostExchange`], reduced to
 /// what the model checker needs: per plan entry, the peer rank and the
 /// node count (one message per entry).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PlanSummary {
     /// LNSM entries: `(neighbour rank, nodes scattered there)`.
     pub send_plan: Vec<(usize, usize)>,
@@ -171,6 +171,31 @@ impl System {
     }
 }
 
+/// First-class outcome of the deadlock search. `Inconclusive` is a
+/// distinct, machine-checkable state rather than a report line, so callers
+/// (the CLI, CI) can make hitting the state cap a hard failure — a proof
+/// obligation must never silently degrade into a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The reduced state space was exhausted with no deadlock: a proof
+    /// for this plan and semantics.
+    Proved,
+    /// A deadlock exists; `counterexample` holds the minimal trace.
+    Refuted,
+    /// The state cap was hit before exhaustion: nothing was proved.
+    Inconclusive,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Proved => write!(f, "proved"),
+            Verdict::Refuted => write!(f, "refuted"),
+            Verdict::Inconclusive => write!(f, "inconclusive"),
+        }
+    }
+}
+
 /// Result of one model-checking run: the report plus the machine-readable
 /// counterexample (when a deadlock was found) and the explored state
 /// count.
@@ -184,18 +209,27 @@ pub struct ModelResult {
     pub counterexample: Option<Vec<(usize, Op)>>,
     /// States visited by the reduced search (diagnostics / perf bar).
     pub states_explored: usize,
+    /// Deadlock-search outcome; anything but [`Verdict::Proved`] must be
+    /// treated as a failure by proof-gating callers.
+    pub verdict: Verdict,
 }
 
-/// Exploration cap: the reduced graphs of real exchange plans are tiny
-/// (branching only happens when every rank is blocked on a receive), so
-/// hitting this means the input is far outside the intended domain — the
-/// checker reports it as inconclusive rather than spinning.
-const STATE_CAP: usize = 1_000_000;
+/// Default exploration cap: the reduced graphs of real exchange plans are
+/// tiny (branching only happens when every rank is blocked on a receive),
+/// so hitting this means the input is far outside the intended domain —
+/// the checker reports it as inconclusive rather than spinning.
+pub const STATE_CAP: usize = 1_000_000;
 
 /// Model-check one symbolic system: reserved-tag discipline, channel
 /// send/recv matching, and exhaustive deadlock search with a minimal
-/// counterexample trace.
+/// counterexample trace. Uses the default [`STATE_CAP`].
 pub fn check_system(sys: &System) -> ModelResult {
+    check_system_with_cap(sys, STATE_CAP)
+}
+
+/// [`check_system`] with an explicit state cap. Tests use a tiny cap to
+/// pin the [`Verdict::Inconclusive`] path without a million-state input.
+pub fn check_system_with_cap(sys: &System, cap: usize) -> ModelResult {
     let mut report = PassReport::new("exchange-plan model check");
 
     // Pass A: reserved-tag discipline, straight off the op lists.
@@ -249,12 +283,14 @@ pub fn check_system(sys: &System) -> ModelResult {
 
     // Pass C: exhaustive deadlock search over the reduced interleaving
     // graph (see module docs for the soundness argument).
-    let (counterexample, states_explored) = search_deadlock(sys, &channels, &mut report);
+    let (counterexample, states_explored, verdict) =
+        search_deadlock(sys, &channels, cap, &mut report);
 
     ModelResult {
         report,
         counterexample,
         states_explored,
+        verdict,
     }
 }
 
@@ -265,8 +301,9 @@ type StateKey = Vec<u32>;
 fn search_deadlock(
     sys: &System,
     channels: &[(usize, usize, u32)],
+    cap: usize,
     report: &mut PassReport,
-) -> (Option<Vec<(usize, Op)>>, usize) {
+) -> (Option<Vec<(usize, Op)>>, usize, Verdict) {
     let p = sys.programs.len();
     let chan_index: HashMap<(usize, usize, u32), usize> =
         channels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
@@ -278,12 +315,12 @@ fn search_deadlock(
     let mut queue: VecDeque<StateKey> = VecDeque::from([initial]);
 
     while let Some(state) = queue.pop_front() {
-        if parent.len() > STATE_CAP {
+        if parent.len() > cap {
             report.push(format!(
-                "inconclusive: state space exceeded {STATE_CAP} states; \
-                 deadlock-freedom not established"
+                "inconclusive: state space exceeded {cap} states; deadlock-freedom \
+                 not established — this is a hard failure, not a degraded sample"
             ));
-            return (None, parent.len());
+            return (None, parent.len(), Verdict::Inconclusive);
         }
         let succs = successors(sys, &chan_index, &state);
         if succs.is_empty() {
@@ -313,7 +350,7 @@ fn search_deadlock(
                     lines.push(format!("    [{i:>3}] rank {r}: {op}"));
                 }
                 report.push(lines.join("\n"));
-                return (Some(trace), parent.len());
+                return (Some(trace), parent.len(), Verdict::Refuted);
             }
             continue; // all ranks finished: a clean terminal state
         }
@@ -324,7 +361,7 @@ fn search_deadlock(
             }
         }
     }
-    (None, parent.len())
+    (None, parent.len(), Verdict::Proved)
 }
 
 /// Enabled successor states of `state`, with the ample-set reduction: if
@@ -576,6 +613,21 @@ mod tests {
         assert!(r.report.is_clean(), "{}", r.report);
         assert!(r.counterexample.is_none());
         assert!(r.states_explored > 0);
+        assert_eq!(r.verdict, Verdict::Proved);
+    }
+
+    #[test]
+    fn tiny_cap_pins_inconclusive_as_hard_outcome() {
+        // A perfectly healthy plan under a 1-state cap: the search must
+        // stop with Verdict::Inconclusive and a non-clean report — never
+        // Proved — so CI can gate on the verdict, not on a report string.
+        let r = check_system_with_cap(&two_rank_ring(5), 1);
+        assert_eq!(r.verdict, Verdict::Inconclusive);
+        assert!(r.counterexample.is_none());
+        assert!(!r.report.is_clean());
+        let text = format!("{}", r.report);
+        assert!(text.contains("inconclusive"), "{text}");
+        assert!(text.contains("hard failure"), "{text}");
     }
 
     #[test]
@@ -604,6 +656,7 @@ mod tests {
         };
         let r = check_system(&sys);
         assert_eq!(r.counterexample, Some(vec![]));
+        assert_eq!(r.verdict, Verdict::Refuted);
     }
 
     #[test]
