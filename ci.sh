@@ -53,6 +53,17 @@ echo "== hymv-chaos smoke sweep (recoverable faults heal bitwise; crash aborts t
 cargo run -q --release -p hymv-check --bin hymv-chaos -- \
     --n 3 --p 2 --seeds 2 --scenarios drop,corrupt,crash
 
+echo "== hymv-lflr crash-recovery gate (armed crashes heal bitwise at p=8 and p=32; <60s budget)"
+lflr_start=$SECONDS
+cargo run -q --release -p hymv-check --bin hymv-lflr -- --n 3 --p 8 --seeds 2
+cargo run -q --release -p hymv-check --bin hymv-lflr -- \
+    --n 4 --p 32 --seeds 1 --windows allreduce,block-refresh --drivers cg,service
+lflr_dur=$((SECONDS - lflr_start))
+test "$lflr_dur" -lt 60 || {
+    echo "crash-recovery gate took ${lflr_dur}s (budget 60s)"
+    exit 1
+}
+
 echo "== emv_batch bench smoke"
 HYMV_BENCH_SMOKE=1 cargo bench -q -p hymv-bench --bench emv_batch
 cargo run -q --release -p hymv-bench --bin bench_emv_batch -- --smoke

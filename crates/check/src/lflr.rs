@@ -1,0 +1,559 @@
+//! `hymv-lflr` — the crash-recovery matrix sweep.
+//!
+//! The chaos sweep ([`crate::chaos`]) holds the *unarmed* contract: a
+//! rank crash terminates every rank with a typed report. This module
+//! holds the *armed* contract introduced by the LFLR protocol: with
+//! buddy checkpointing enabled ([`CheckpointPolicy`]), a single-rank
+//! crash mid-solve is detected, the world is repaired, and the solve
+//! completes with a solution **bitwise identical** to the fault-free
+//! run — the recovery may cost virtual time and iterations replayed
+//! from the rollback point, never bits.
+//!
+//! The matrix crosses *when* the crash lands with *who* is solving:
+//!
+//! * **crash window** — the injector kills a rank's data plane after a
+//!   calibrated number of envelope sends, placing the death in the
+//!   first ghost-scatter window, between the mid-iteration collectives,
+//!   or in the later multivector/block refresh traffic;
+//! * **driver** — plain [`resilient_cg`], the multivector
+//!   [`block_cg`], or the batched [`SolveService`] (which must report
+//!   per-request recovery metadata instead of failing the batch).
+//!
+//! Every armed case is judged against a fault-free baseline of the same
+//! driver: all ranks complete, at least one recovery actually ran (the
+//! case is vacuous otherwise), and the solution bits match.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use hymv_comm::{AuditMode, CostModel, FaultPlan, FaultReport, RetryPolicy, RunConfig, Universe};
+use hymv_core::system::{BuildOptions, FemSystem, Method};
+use hymv_core::DirichletOp;
+use hymv_fem::analytic::PoissonProblem;
+use hymv_fem::PoissonKernel;
+use hymv_la::{
+    block_cg, resilient_cg, CheckpointPolicy, Jacobi, LinOp, MultiLinOp, Multivector,
+    RecoveryPolicy,
+};
+use hymv_mesh::partition::partition_mesh;
+use hymv_mesh::{ElementType, PartitionMethod, PartitionedMesh, StructuredHexMesh};
+use hymv_serve::{BatchPolicy, SolveService};
+
+/// Where in the solve the injected crash lands. The injector kills a
+/// rank's data plane after a number of envelope sends; the sweep first
+/// runs a calibration pass (crash trigger set unreachably high) that
+/// reads the victim's send counter at the setup/solve boundary and at
+/// completion, then places each window's trigger inside the solve-phase
+/// send range — so the placement tracks mesh size, rank count, and
+/// driver width instead of relying on hardcoded counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashWindow {
+    /// Death on the victim's first post-setup envelope: the initial
+    /// ghost-scatter window, before the first buddy checkpoint can
+    /// possibly matter — recovery restarts the solve from scratch
+    /// (`Recovery::checkpoint = None` path).
+    Scatter,
+    /// Death about a third into the solve traffic, between the
+    /// dot-product collectives — recovery rolls back to a committed
+    /// checkpoint round.
+    Allreduce,
+    /// Death about two thirds in, in the later exchange traffic
+    /// (multivector / block refresh windows of wide drivers) — several
+    /// checkpoint rounds exist and the newest consistent one must win.
+    BlockRefresh,
+}
+
+impl CrashWindow {
+    /// Every window, in sweep order.
+    pub const ALL: [CrashWindow; 3] = [
+        CrashWindow::Scatter,
+        CrashWindow::Allreduce,
+        CrashWindow::BlockRefresh,
+    ];
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashWindow::Scatter => "scatter-window",
+            CrashWindow::Allreduce => "allreduce",
+            CrashWindow::BlockRefresh => "block-refresh",
+        }
+    }
+
+    /// The victim's envelope-send budget before its data plane dies,
+    /// placed inside the calibrated `[setup, total]` send range.
+    pub fn place(self, setup: u64, total: u64) -> u64 {
+        let solve = total.saturating_sub(setup);
+        match self {
+            CrashWindow::Scatter => setup,
+            CrashWindow::Allreduce => setup + (solve * 35 / 100).max(1),
+            CrashWindow::BlockRefresh => setup + (solve * 70 / 100).max(2),
+        }
+    }
+}
+
+/// Which solver the crash interrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Single-vector [`resilient_cg`].
+    Cg,
+    /// Width-2 multivector [`block_cg`].
+    BlockCg,
+    /// [`SolveService`]: four requests batched two wide.
+    Service,
+}
+
+impl Driver {
+    /// Every driver, in sweep order.
+    pub const ALL: [Driver; 3] = [Driver::Cg, Driver::BlockCg, Driver::Service];
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Driver::Cg => "cg",
+            Driver::BlockCg => "block_cg",
+            Driver::Service => "service",
+        }
+    }
+}
+
+/// Verdict of one (window, driver, seed) case.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LflrCase {
+    /// Crash-window name.
+    pub window: &'static str,
+    /// Driver name.
+    pub driver: &'static str,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// `"recovered"` or `"FAILED"`.
+    pub outcome: &'static str,
+    /// LFLR recoveries the armed run consumed (max over ranks).
+    pub recoveries: usize,
+    /// Contract violations (empty = the case held the contract).
+    pub violations: Vec<String>,
+}
+
+/// The whole sweep, JSON-serializable for CI artifacts.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LflrSummary {
+    /// Mesh resolution (N³ Hex8 elements).
+    pub n: usize,
+    /// Rank count.
+    pub ranks: usize,
+    /// Checkpoint cadence the armed runs used.
+    pub ckpt_every: usize,
+    /// Cases that recovered bit-exactly.
+    pub recovered: usize,
+    /// Cases that broke the contract.
+    pub failures: usize,
+    /// Every case, in sweep order.
+    pub cases: Vec<LflrCase>,
+}
+
+impl LflrSummary {
+    /// True iff every case held the armed-recovery contract.
+    pub fn is_clean(&self) -> bool {
+        self.failures == 0
+    }
+
+    /// Pretty JSON encoding (the CI artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("lflr summary serialization cannot fail")
+    }
+
+    /// All violations across the sweep, one per line (assert messages).
+    pub fn violations(&self) -> String {
+        self.cases
+            .iter()
+            .flat_map(|c| {
+                c.violations
+                    .iter()
+                    .map(move |v| format!("[{}/{}/seed {}] {v}", c.window, c.driver, c.seed))
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Per-rank output of one driver run: solution bits (concatenated over
+/// columns/requests), recoveries consumed, and driver-level violations.
+type RankRun = (Vec<f64>, usize, Vec<String>);
+
+fn run_cfg(fault: Option<FaultPlan>) -> RunConfig {
+    RunConfig {
+        model: CostModel::default(),
+        perturb_seed: None,
+        // Crash runs legitimately strand tombstones; disabled on the
+        // baseline too so both runs execute identically.
+        audit: AuditMode::Disabled,
+        fault,
+        retry: RetryPolicy::default(),
+        trace: false,
+    }
+}
+
+/// The recovery policy every armed case runs under.
+fn armed_policy(ckpt_every: usize) -> RecoveryPolicy {
+    RecoveryPolicy {
+        checkpoint: CheckpointPolicy {
+            every: ckpt_every,
+            max_recoveries: 4,
+        },
+        ..RecoveryPolicy::default()
+    }
+}
+
+/// Adapter giving `DirichletOp<Box<dyn LinOp>>` (the [`FemSystem`]
+/// operator) the multivector interface via the column-loop default, with
+/// LFLR repair forwarded to the real operator underneath.
+struct MvOp<'a>(&'a mut DirichletOp<Box<dyn LinOp>>);
+
+impl LinOp for MvOp<'_> {
+    fn n_owned(&self) -> usize {
+        self.0.n_owned()
+    }
+    fn apply(&mut self, comm: &mut hymv_comm::Comm, x: &[f64], y: &mut [f64]) {
+        self.0.apply(comm, x, y);
+    }
+    fn repair(&mut self, comm: &mut hymv_comm::Comm, dead: &[usize]) {
+        self.0.repair(comm, dead);
+    }
+}
+
+impl MultiLinOp for MvOp<'_> {}
+
+/// Column `c` of the multi-RHS drivers: the Poisson load scaled by an
+/// exact power of two, so per-column solutions stay bitwise comparable.
+fn scaled_rhs(rhs: &[f64], c: i32) -> Vec<f64> {
+    let s = (0.5f64).powi(c);
+    rhs.iter().map(|v| v * s).collect()
+}
+
+fn build_system(pm: &PartitionedMesh, comm: &mut hymv_comm::Comm) -> FemSystem {
+    let part = &pm.parts[comm.rank()];
+    // Same non-eigen forcing rationale as the chaos sweep: a real
+    // multi-iteration solve with ghost traffic in every iteration.
+    let kernel = Arc::new(PoissonKernel::with_body(
+        ElementType::Hex8,
+        Arc::new(|x: [f64; 3]| 1.0 + x[0] - 2.0 * x[1] * x[1] + x[0] * x[1] * x[2]),
+    ));
+    FemSystem::build(
+        comm,
+        part,
+        kernel,
+        &PoissonProblem::dirichlet(),
+        BuildOptions::new(Method::Hymv),
+    )
+}
+
+fn drive(
+    pm: &PartitionedMesh,
+    driver: Driver,
+    ckpt_every: usize,
+    comm: &mut hymv_comm::Comm,
+) -> RankRun {
+    let mut sys = build_system(pm, comm);
+    solve_driver(&mut sys, driver, ckpt_every, comm)
+}
+
+/// Calibrate the victim's envelope-send counter for one driver: run the
+/// full pipeline under an injector whose crash trigger can never fire
+/// and read the counter at the setup/solve boundary and at completion.
+/// Returns `(setup_sends, total_sends)`.
+fn calibrate(pm: &PartitionedMesh, driver: Driver, ckpt_every: usize, p: usize) -> (u64, u64) {
+    let plan = FaultPlan::new(1).with_crash(p - 1, u64::MAX);
+    let (out, _) = Universe::run_configured(run_cfg(Some(plan)), p, |comm| {
+        let mut sys = build_system(pm, comm);
+        // The barrier orders the victim's setup sends before the read.
+        comm.barrier();
+        let setup = comm.crash_sends_posted().expect("crash spec set");
+        let _ = solve_driver(&mut sys, driver, ckpt_every, comm);
+        comm.barrier();
+        let total = comm.crash_sends_posted().expect("crash spec set");
+        (setup, total)
+    });
+    out[0]
+}
+
+fn solve_driver(
+    sys: &mut FemSystem,
+    driver: Driver,
+    ckpt_every: usize,
+    comm: &mut hymv_comm::Comm,
+) -> RankRun {
+    let mut pc = Jacobi::new(&sys.diag);
+    let policy = armed_policy(ckpt_every);
+    let rhs = sys.rhs.clone();
+    let n = sys.n_owned();
+    let mut notes = Vec::new();
+    match driver {
+        Driver::Cg => {
+            let mut x = vec![0.0; n];
+            match resilient_cg(
+                comm,
+                &mut sys.op,
+                &mut pc,
+                &rhs,
+                &mut x,
+                1e-9,
+                2_000,
+                &policy,
+            ) {
+                Ok(res) => {
+                    if !res.result.converged {
+                        notes.push("cg did not converge".into());
+                    }
+                    (x, res.recoveries, notes)
+                }
+                Err(e) => (x, 0, vec![format!("cg fault: {e}")]),
+            }
+        }
+        Driver::BlockCg => {
+            let cols: Vec<Vec<f64>> = (0..2).map(|c| scaled_rhs(&rhs, c)).collect();
+            let b = Multivector::from_columns(&cols);
+            let mut x = Multivector::new(n, 2);
+            let mut op = MvOp(&mut sys.op);
+            match block_cg(comm, &mut op, &mut pc, &b, &mut x, 1e-9, 2_000, &policy) {
+                Ok(res) => {
+                    if !res.converged {
+                        notes.push("block_cg did not converge".into());
+                    }
+                    let mut bits = Vec::with_capacity(2 * n);
+                    for c in 0..2 {
+                        bits.extend_from_slice(x.col(c));
+                    }
+                    (bits, res.recoveries, notes)
+                }
+                Err(e) => (Vec::new(), 0, vec![format!("block_cg fault: {e}")]),
+            }
+        }
+        Driver::Service => {
+            let mut op = MvOp(&mut sys.op);
+            let mut svc = SolveService::new(
+                &mut op,
+                &mut pc,
+                1e-9,
+                2_000,
+                BatchPolicy {
+                    max_width: 2,
+                    deadline_s: 1e-3,
+                },
+            )
+            .with_recovery(policy);
+            for c in 0..4 {
+                svc.submit(comm, scaled_rhs(&rhs, c));
+            }
+            let mut outcomes = svc.flush(comm);
+            outcomes.sort_by_key(|o| o.id);
+            // Recoveries are per batch; each request of a batch reports
+            // the same count.
+            let per_batch: BTreeMap<usize, usize> =
+                outcomes.iter().map(|o| (o.batch, o.recoveries)).collect();
+            let recoveries = per_batch.values().sum();
+            let mut bits = Vec::with_capacity(4 * n);
+            for o in &outcomes {
+                if let Some(f) = &o.fault {
+                    notes.push(format!("request {} faulted: {f}", o.id));
+                }
+                if !o.converged {
+                    notes.push(format!("request {} did not converge", o.id));
+                }
+                bits.extend_from_slice(&o.x);
+            }
+            (bits, recoveries, notes)
+        }
+    }
+}
+
+/// Run the matrix: every `window` × `driver` × `seed` case on an
+/// `n`³-element Hex8 Poisson problem over `p` ranks, with buddy
+/// checkpoints every `ckpt_every` solver iterations and the crash
+/// injected on the last rank. Needs `p ≥ 2`.
+pub fn lflr_sweep(
+    n: usize,
+    p: usize,
+    ckpt_every: usize,
+    seeds: &[u64],
+    windows: &[CrashWindow],
+    drivers: &[Driver],
+) -> LflrSummary {
+    assert!(p >= 2, "the LFLR sweep needs at least 2 ranks");
+    assert!(!seeds.is_empty() && !windows.is_empty() && !drivers.is_empty());
+    let mesh = StructuredHexMesh::unit(n, ElementType::Hex8).build();
+    let pm = partition_mesh(&mesh, p, PartitionMethod::GreedyGraph);
+
+    let mut cases = Vec::new();
+    for &driver in drivers {
+        // Fault-free baseline: identical configuration, no injector, so
+        // the checkpoint machinery never arms.
+        let (baseline, _) = Universe::run_configured(run_cfg(None), p, |comm| {
+            drive(&pm, driver, ckpt_every, comm)
+        });
+        let (setup, total) = calibrate(&pm, driver, ckpt_every, p);
+        assert!(
+            total > setup,
+            "{}: no solve-phase envelope traffic to crash into",
+            driver.name()
+        );
+        for &window in windows {
+            for &seed in seeds {
+                let plan = FaultPlan::new(seed).with_crash(p - 1, window.place(setup, total));
+                let (results, _) = Universe::run_chaos(run_cfg(Some(plan)), p, |comm| {
+                    drive(&pm, driver, ckpt_every, comm)
+                });
+                cases.push(judge(window, driver, seed, &baseline, results));
+            }
+        }
+    }
+
+    let recovered = cases.iter().filter(|c| c.outcome == "recovered").count();
+    LflrSummary {
+        n,
+        ranks: p,
+        ckpt_every,
+        recovered,
+        failures: cases.len() - recovered,
+        cases,
+    }
+}
+
+fn judge(
+    window: CrashWindow,
+    driver: Driver,
+    seed: u64,
+    baseline: &[RankRun],
+    results: Vec<Result<RankRun, FaultReport>>,
+) -> LflrCase {
+    let mut case = LflrCase {
+        window: window.name(),
+        driver: driver.name(),
+        seed,
+        outcome: "FAILED",
+        recoveries: 0,
+        violations: Vec::new(),
+    };
+    for (rank, res) in results.into_iter().enumerate() {
+        match res {
+            Ok((bits, recoveries, notes)) => {
+                case.recoveries = case.recoveries.max(recoveries);
+                for note in notes {
+                    case.violations.push(format!("rank {rank}: {note}"));
+                }
+                let (base_bits, base_recoveries, _) = &baseline[rank];
+                if *base_recoveries != 0 {
+                    case.violations
+                        .push(format!("rank {rank}: baseline consumed a recovery"));
+                }
+                // Bitwise: LFLR rollback replays identical arithmetic,
+                // so the recovered solution must match fault-free bits.
+                if &bits != base_bits {
+                    case.violations
+                        .push(format!("rank {rank}: solution bits differ from fault-free"));
+                }
+            }
+            Err(report) => {
+                case.violations
+                    .push(format!("rank {rank}: world abort despite LFLR: {report}"));
+            }
+        }
+    }
+    // A case whose crash never fired (or was never detected) proves
+    // nothing — recovery must actually have run.
+    if case.recoveries == 0 {
+        case.violations
+            .push("no recovery ran: the crash never fired in this window".into());
+    }
+    if case.violations.is_empty() {
+        case.outcome = "recovered";
+    }
+    case
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tentpole matrix: crash-during-{scatter-window, allreduce,
+    /// block-refresh} × {cg, block_cg, service} at p = 8 — every case
+    /// recovers and converges to the fault-free bits.
+    #[test]
+    fn crash_matrix_recovers_bit_exactly_p8() {
+        let summary = lflr_sweep(3, 8, 4, &[21], &CrashWindow::ALL, &Driver::ALL);
+        assert!(summary.is_clean(), "{}", summary.violations());
+        assert_eq!(summary.recovered, summary.cases.len());
+        let json = summary.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(
+            v.get("failures").and_then(|x| x.as_f64()),
+            Some(0.0),
+            "{json}"
+        );
+    }
+
+    /// The acceptance bar's large-world point: a single-rank crash
+    /// mid-solve at p = 32 completes without a world abort with a
+    /// bitwise-matching solution.
+    #[test]
+    fn crash_mid_solve_recovers_bit_exactly_p32() {
+        let summary = lflr_sweep(4, 32, 4, &[7], &[CrashWindow::Allreduce], &[Driver::Cg]);
+        assert!(summary.is_clean(), "{}", summary.violations());
+    }
+
+    /// 8-seed determinism: for every seed the recovered solve lands on
+    /// the fault-free bits — recovery replays, it never re-derives.
+    #[test]
+    fn recovered_solves_bitwise_deterministic_across_8_seeds() {
+        let seeds: Vec<u64> = (31..39).collect();
+        let summary = lflr_sweep(3, 8, 4, &seeds, &[CrashWindow::Allreduce], &[Driver::Cg]);
+        assert!(summary.is_clean(), "{}", summary.violations());
+        assert_eq!(summary.recovered, 8);
+    }
+
+    /// The observability satellite: a recovered solve emits the
+    /// checkpoint/restore/recovery counters on the Prometheus path.
+    #[test]
+    fn recovery_counters_reach_prometheus() {
+        let p = 4;
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, p, PartitionMethod::GreedyGraph);
+        // Calibrate outside the session so only the recovered solve is
+        // recorded.
+        let (setup, total) = calibrate(&pm, Driver::Cg, 4, p);
+        assert!(total > setup);
+        let session = hymv_trace::TraceSession::begin();
+        let plan = FaultPlan::new(3).with_crash(p - 1, CrashWindow::Allreduce.place(setup, total));
+        let mut cfg = run_cfg(Some(plan));
+        cfg.trace = true;
+        let (results, _) = Universe::run_chaos(cfg, p, |comm| drive(&pm, Driver::Cg, 4, comm));
+        let report = session.finish();
+        for res in results {
+            let (_, recoveries, notes) = res.expect("armed solve survives the crash");
+            assert!(notes.is_empty(), "{notes:?}");
+            assert!(recoveries >= 1, "the crash never fired");
+        }
+        let prom = report.to_prometheus();
+        for name in [
+            "hymv_ckpt_bytes_total",
+            "hymv_ckpt_taken_total",
+            "hymv_restores_total",
+            "hymv_recoveries_total",
+        ] {
+            assert!(prom.contains(name), "missing counter {name}:\n{prom}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for w in CrashWindow::ALL {
+            assert!(!w.name().is_empty());
+            // Placement is monotone in the window and stays in range.
+            assert!(w.place(10, 110) >= 10 && w.place(10, 110) <= 110);
+        }
+        assert!(CrashWindow::Scatter.place(10, 110) < CrashWindow::Allreduce.place(10, 110));
+        assert!(CrashWindow::Allreduce.place(10, 110) < CrashWindow::BlockRefresh.place(10, 110));
+        for d in Driver::ALL {
+            assert!(!d.name().is_empty());
+        }
+    }
+}

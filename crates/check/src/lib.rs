@@ -26,11 +26,17 @@
 //!   and under injected drop/duplicate/corrupt/reorder/delay/crash plans
 //!   across the SPMV operators, asserting bitwise-identical recovery or
 //!   a typed abort — never a hang, never a silently wrong answer.
+//! * [`lflr`] — the **crash-recovery matrix sweep**. [`lflr_sweep`]
+//!   crosses crash windows (scatter / allreduce / block-refresh) with
+//!   solver drivers (`cg`, `block_cg`, the batched solve service) under
+//!   armed buddy checkpointing, asserting every case detects the crash,
+//!   repairs the world, and converges to the fault-free solution bits.
 
 #![forbid(unsafe_code)]
 
 pub mod biteq;
 pub mod chaos;
+pub mod lflr;
 pub mod maps;
 pub mod perturb;
 pub mod protocol;
@@ -38,6 +44,7 @@ pub mod report;
 
 pub use biteq::BitEq;
 pub use chaos::{chaos_sweep, ChaosCase, ChaosSummary, Scenario};
+pub use lflr::{lflr_sweep, CrashWindow, Driver, LflrCase, LflrSummary};
 pub use maps::{check_exchange, check_maps, check_partition, MapsReport};
 pub use perturb::{parse_seeds, run_perturbed, seeds_from_env, SEEDS_ENV};
 pub use protocol::{run_audited, AuditMode, AuditReport, AuditViolation};

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use crate::audit::AuditEventKind;
 use crate::fault::{DeliverAs, FaultAbort, FaultReport, RetryPolicy};
 use crate::ledger::{thread_cpu_time, CommStats, Ledger};
+use crate::lflr::LflrState;
 use crate::payload::Payload;
 use crate::reliable::ReliableState;
 use crate::world::{mix64, next_rand, Message, World};
@@ -80,12 +81,16 @@ pub struct Comm {
     pub(crate) rank: usize,
     pub(crate) world: Arc<World>,
     pub(crate) ledger: Ledger,
-    coll_seq: u64,
+    /// Reset to 0 by LFLR world repair (a fresh collective epoch), so it
+    /// lives behind a crate-visible field rather than a local.
+    pub(crate) coll_seq: u64,
     /// Per-rank jitter stream under schedule perturbation (None otherwise).
     jitter: Option<u64>,
     /// Sequence numbers, retransmit window, and dedup state of the
     /// reliable envelope transport (see `crate::reliable`).
     pub(crate) reliable: ReliableState,
+    /// Local-failure local-recovery state (see `crate::lflr`).
+    pub(crate) lflr: LflrState,
 }
 
 impl Comm {
@@ -102,6 +107,7 @@ impl Comm {
             coll_seq: 0,
             jitter,
             reliable,
+            lflr: LflrState::default(),
         }
     }
 
@@ -227,7 +233,7 @@ impl Comm {
 
     /// Charge a send to the ledger and compute its modeled arrival stamp
     /// (with the perturbation jitter applied when enabled).
-    fn stamp_arrival(&mut self, tag: u32, bytes: usize) -> f64 {
+    pub(crate) fn stamp_arrival(&mut self, tag: u32, bytes: usize) -> f64 {
         hymv_trace::histogram_record("hymv_msg_bytes", &[], bytes as u64);
         let mut arrival_vt = self.ledger.on_send(tag, bytes);
         if let Some(state) = &mut self.jitter {
@@ -323,10 +329,13 @@ impl Comm {
             return self.world.receive(self.rank, src, tag);
         }
         loop {
+            // Satisfiability first, revoke second: an already-delivered
+            // message is consumed even mid-revocation (see `crate::lflr`).
             if let Some(msg) = self.world.try_receive(self.rank, src, tag) {
                 return msg;
             }
             self.world.check_poison(self.rank);
+            self.check_revoked();
             self.service_resend_requests();
             std::thread::yield_now();
         }
@@ -339,6 +348,7 @@ impl Comm {
                 return msg;
             }
             self.world.check_poison(self.rank);
+            self.check_revoked();
             self.service_resend_requests();
             std::thread::yield_now();
         }
@@ -367,6 +377,17 @@ impl Comm {
     /// The retry/backoff policy this rank runs under.
     pub fn retry_policy(&self) -> RetryPolicy {
         self.reliable.policy
+    }
+
+    /// Fault-scoped sends the injector's crash rank has posted so far
+    /// (`None` without an injector or a crash spec). Calibration hook for
+    /// crash-window tests: a run with an unreachable `after_sends` reads
+    /// this at phase boundaries to place real triggers inside a phase.
+    pub fn crash_sends_posted(&self) -> Option<u64> {
+        self.world
+            .fault
+            .as_ref()
+            .and_then(|f| f.crash_sends_posted())
     }
 
     /// Record the typed report, poison the world so every other rank
@@ -512,10 +533,15 @@ impl Comm {
             return self.world.rendezvous_await(self.rank, seq);
         }
         loop {
+            // Completed collectives are consumed before the revoke check
+            // so every rank that can consume a result does — the
+            // drain-before-revoke ordering the checkpoint-consistency
+            // lemma in `crate::lflr` relies on.
             if let Some(out) = self.world.try_rendezvous_result(self.rank, seq) {
                 return out;
             }
             self.world.check_poison(self.rank);
+            self.check_revoked();
             self.service_resend_requests();
             std::thread::yield_now();
         }

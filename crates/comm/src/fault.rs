@@ -27,7 +27,7 @@
 //! per-rank `Result<T, FaultReport>`.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -200,7 +200,8 @@ impl FaultPlan {
     }
 }
 
-/// Retry/backoff policy of the reliable envelope layer.
+/// Retry/backoff policy of the reliable envelope layer, including the
+/// heartbeat knobs of the LFLR (local-failure local-recovery) detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Retransmission attempts per message before the typed abort.
@@ -211,6 +212,19 @@ pub struct RetryPolicy {
     /// Total timeouts observed before the exchange degrades from
     /// overlapped to blocking (see `Comm::degraded`).
     pub degrade_after: u64,
+    /// Consecutive clean exchanges after which a degraded rank re-arms the
+    /// overlapped exchange (0 = degradation stays permanent).
+    pub rearm_after: u64,
+    /// Times a rank that answered its heartbeat probe (slow, not dead) is
+    /// granted a fresh retry budget before the typed abort fires anyway.
+    pub hb_grace: u32,
+    /// Liveness pongs a probed rank returns through its data plane; the
+    /// accuser declares it dead only on tombstoned pongs (positive
+    /// evidence of a crashed data plane), never on silence.
+    pub hb_pongs: u32,
+    /// Polling-iteration budget the accuser waits for pongs before
+    /// treating the peer as slow (silence is never a death verdict).
+    pub hb_spin: u64,
 }
 
 impl Default for RetryPolicy {
@@ -219,13 +233,19 @@ impl Default for RetryPolicy {
             max_retries: 8,
             backoff_s: 2.0e-5,
             degrade_after: 16,
+            rearm_after: 32,
+            hb_grace: 2,
+            hb_pongs: 3,
+            hb_spin: 20_000,
         }
     }
 }
 
 impl RetryPolicy {
     /// Builds the policy from `HYMV_RETRY_MAX`, `HYMV_RETRY_BACKOFF`
-    /// (seconds), and `HYMV_RETRY_DEGRADE`, defaulting each unset knob.
+    /// (seconds), `HYMV_RETRY_DEGRADE`, `HYMV_RETRY_REARM`, and the
+    /// heartbeat knobs `HYMV_HB_GRACE` / `HYMV_HB_PONGS` / `HYMV_HB_SPIN`,
+    /// defaulting each unset knob.
     ///
     /// # Panics
     /// Malformed values are hard errors (same rationale as
@@ -233,11 +253,13 @@ impl RetryPolicy {
     pub fn from_env() -> Self {
         let d = RetryPolicy::default();
         let get = |name: &str| std::env::var(name).ok();
+        let int = |name: &str, d: u64| -> u64 {
+            get(name).map_or(d, |s| {
+                s.parse().unwrap_or_else(|e| panic!("{name}={s:?}: {e}"))
+            })
+        };
         RetryPolicy {
-            max_retries: get("HYMV_RETRY_MAX").map_or(d.max_retries, |s| {
-                s.parse()
-                    .unwrap_or_else(|e| panic!("HYMV_RETRY_MAX={s:?}: {e}"))
-            }),
+            max_retries: int("HYMV_RETRY_MAX", d.max_retries as u64) as u32,
             backoff_s: get("HYMV_RETRY_BACKOFF").map_or(d.backoff_s, |s| {
                 let b: f64 = s
                     .parse()
@@ -245,10 +267,11 @@ impl RetryPolicy {
                 assert!(b >= 0.0, "HYMV_RETRY_BACKOFF={s:?}: must be >= 0");
                 b
             }),
-            degrade_after: get("HYMV_RETRY_DEGRADE").map_or(d.degrade_after, |s| {
-                s.parse()
-                    .unwrap_or_else(|e| panic!("HYMV_RETRY_DEGRADE={s:?}: {e}"))
-            }),
+            degrade_after: int("HYMV_RETRY_DEGRADE", d.degrade_after),
+            rearm_after: int("HYMV_RETRY_REARM", d.rearm_after),
+            hb_grace: int("HYMV_HB_GRACE", d.hb_grace as u64) as u32,
+            hb_pongs: int("HYMV_HB_PONGS", d.hb_pongs as u64) as u32,
+            hb_spin: int("HYMV_HB_SPIN", d.hb_spin),
         }
     }
 }
@@ -266,6 +289,14 @@ pub enum FaultKind {
     /// Another rank aborted first; this rank was unwound from a blocking
     /// wait by the poison flag.
     PeerAborted { origin: usize },
+    /// LFLR recovery found no usable checkpoint for a dead rank (its
+    /// buddy died too, the buddy copy failed its checksum, or the restore
+    /// rounds disagreed across ranks).
+    CheckpointLost { dead: usize },
+    /// A world revocation escaped every recovery handler (the solver was
+    /// not LFLR-armed, or recovery itself failed); `suspects` are the
+    /// ranks declared dead by the accusers.
+    Revoked { suspects: Vec<usize> },
 }
 
 /// The typed diagnostic every unrecoverable fault terminates with —
@@ -298,6 +329,16 @@ impl fmt::Display for FaultReport {
                     self.rank
                 )
             }
+            FaultKind::CheckpointLost { dead } => write!(
+                f,
+                "rank {}: no usable buddy checkpoint to recover dead rank {dead}",
+                self.rank
+            ),
+            FaultKind::Revoked { suspects } => write!(
+                f,
+                "rank {}: world revoked (suspects {suspects:?}) with no recovery handler",
+                self.rank
+            ),
         }
     }
 }
@@ -349,6 +390,11 @@ pub(crate) struct FaultState {
     /// Fault-scoped sends posted by the crash rank (program order on that
     /// rank's thread, hence deterministic).
     crash_sends: AtomicU64,
+    /// Set by LFLR recovery once the crashed rank has been resurrected
+    /// from its buddy checkpoint: the respawned rank has a working data
+    /// plane, so the (one-shot) crash stops tombstoning. Random faults
+    /// keep firing — only the crash is healed.
+    revived: AtomicBool,
 }
 
 impl FaultState {
@@ -357,6 +403,38 @@ impl FaultState {
             plan,
             links: Mutex::new(std::collections::HashMap::new()),
             crash_sends: AtomicU64::new(0),
+            revived: AtomicBool::new(false),
+        }
+    }
+
+    /// Heal the one-shot crash (idempotent): models the dead rank being
+    /// respawned with fresh hardware.
+    pub(crate) fn revive(&self) {
+        self.revived.store(true, Ordering::Release);
+    }
+
+    /// Fault-scoped sends the crash rank has posted so far; `None`
+    /// without a crash spec. Calibration hook for crash-window tests:
+    /// run once with an unreachable `after_sends`, read the counter at
+    /// phase boundaries, and place real crash triggers between them.
+    pub(crate) fn crash_sends_posted(&self) -> Option<u64> {
+        self.plan
+            .crash
+            .map(|_| self.crash_sends.load(Ordering::Relaxed))
+    }
+
+    /// True when `src`'s outbound data plane is currently dead: the crash
+    /// has reached its trigger and no recovery has revived the rank. The
+    /// heartbeat protocol consults this for pong delivery so a death
+    /// verdict is a deterministic function of the crash state, never of
+    /// the random drop stream.
+    pub(crate) fn data_plane_dead(&self, src: usize) -> bool {
+        if self.revived.load(Ordering::Acquire) {
+            return false;
+        }
+        match self.plan.crash {
+            Some(c) => src == c.rank && self.crash_sends.load(Ordering::Relaxed) > c.after_sends,
+            None => false,
         }
     }
 
@@ -365,7 +443,7 @@ impl FaultState {
     /// aligned regardless of which faults are enabled.
     pub(crate) fn decide(&self, src: usize, dst: usize) -> FaultDecision {
         if let Some(c) = self.plan.crash {
-            if src == c.rank {
+            if src == c.rank && !self.revived.load(Ordering::Acquire) {
                 let n = self.crash_sends.fetch_add(1, Ordering::Relaxed);
                 if n >= c.after_sends {
                     return FaultDecision::tombstone();

@@ -50,6 +50,7 @@ mod audit;
 mod comm;
 mod fault;
 mod ledger;
+mod lflr;
 mod payload;
 mod reliable;
 mod world;
@@ -58,6 +59,9 @@ pub use audit::{AuditEvent, AuditEventKind, AuditMode, AuditReport, AuditViolati
 pub use comm::{Comm, IallreduceHandle, RecvHandle, SendHandle};
 pub use fault::{CrashSpec, FaultKind, FaultPlan, FaultReport, RetryPolicy};
 pub use ledger::{thread_cpu_time, CommStats, CostModel, Ledger, TagStats};
+pub use lflr::{
+    catch_revoked, Recovery, Revoked, TAG_CKPT, TAG_CKPT_RESTORE, TAG_HB_PONG, TAG_HB_PROBE,
+};
 pub use payload::Payload;
 pub use reliable::{envelope_pack, envelope_unpack, EnvelopeError, ENVELOPE_MAGIC, TAG_RESEND};
 pub use world::{RunConfig, Universe};

@@ -155,6 +155,12 @@ pub(crate) struct ReliableState {
     /// itself degraded and operators fall back to blocking exchange.
     timeouts_seen: u64,
     pub(crate) degraded: bool,
+    /// Consecutive exchanges completed without a new timeout (see
+    /// [`Comm::note_exchange_outcome`]); at `policy.rearm_after` a
+    /// degraded rank re-arms the overlapped exchange.
+    clean_streak: u64,
+    /// `timeouts_seen` at the last outcome note, to detect fresh timeouts.
+    timeouts_at_note: u64,
 }
 
 impl ReliableState {
@@ -167,7 +173,19 @@ impl ReliableState {
             stash: HashMap::new(),
             timeouts_seen: 0,
             degraded: false,
+            clean_streak: 0,
+            timeouts_at_note: 0,
         }
+    }
+
+    /// Drop all transport state (sequence numbers, retransmit windows,
+    /// stashes, degradation counters) — the world-repair step of LFLR
+    /// recovery resynchronizes every rank to a fresh transport epoch after
+    /// mailboxes are drained, so stale sequence numbers from the aborted
+    /// epoch can never be confused with post-repair traffic.
+    pub(crate) fn reset(&mut self) {
+        let policy = self.policy;
+        *self = ReliableState::new(policy);
     }
 }
 
@@ -250,18 +268,29 @@ impl Comm {
 
     /// Charge one exponential-backoff step in virtual time and ask `peer`
     /// to retransmit, or abort with the typed diagnostic once the budget
-    /// is spent.
+    /// is spent. When LFLR is armed, a spent budget first runs the
+    /// heartbeat probe instead of aborting: a peer proven *dead* (its
+    /// data plane tombstones the pongs) revokes the world for local
+    /// recovery, a peer proven merely *slow* gets the retry budget
+    /// re-granted up to `hb_grace` times before the PR 4 abort fires.
     fn retry_or_abort(&mut self, peer: usize, tag: u32, seq: u64, attempts: &mut u32) {
         *attempts += 1;
         if *attempts > self.reliable.policy.max_retries {
-            self.fault_abort(FaultReport {
-                rank: self.rank(),
-                kind: FaultKind::RetryBudgetExhausted {
-                    peer,
-                    tag,
-                    attempts: *attempts,
-                },
-            });
+            if self.lflr_armed() && self.probe_peer_liveness(peer) {
+                // Slow, not dead: degrade and re-grant the budget (the
+                // reset restarts the exponential backoff too).
+                self.reliable.degraded = true;
+                *attempts = 1;
+            } else {
+                self.fault_abort(FaultReport {
+                    rank: self.rank(),
+                    kind: FaultKind::RetryBudgetExhausted {
+                        peer,
+                        tag,
+                        attempts: *attempts,
+                    },
+                });
+            }
         }
         // 2^(attempts-1) × base, capped to keep the arithmetic sane; all
         // in virtual time, so bitwise deterministic across schedules.
@@ -280,6 +309,9 @@ impl Comm {
     /// an unrelated receive still heals its neighbours. Requests for
     /// envelopes outside the window are dropped; the requester will ask
     /// again and eventually abort with a typed report rather than hang.
+    /// Heartbeat probes are answered here too — the probed rank replies
+    /// through its (possibly dead) data plane from the same loop, so any
+    /// rank parked at any blocking point can prove its liveness.
     pub(crate) fn service_resend_requests(&mut self) {
         while let Some(msg) = self.world.try_receive_any(self.rank, TAG_RESEND) {
             let req = match &msg.payload {
@@ -295,6 +327,34 @@ impl Comm {
                 .map(|(_, e)| e.clone());
             if let Some(env) = env {
                 let _ = self.isend_unreliable(msg.src, tag, env);
+            }
+        }
+        self.answer_liveness_probes();
+    }
+
+    /// Note the completion of one ghost-exchange cycle: a degraded rank
+    /// that has stayed timeout-free for `RetryPolicy::rearm_after`
+    /// consecutive exchanges re-arms the overlapped schedule (the PR 4
+    /// degradation was permanent — a rank whose link healed was stuck on
+    /// blocking exchange forever). `rearm_after = 0` keeps the old
+    /// stays-degraded behaviour.
+    pub fn note_exchange_outcome(&mut self) {
+        let r = &mut self.reliable;
+        if r.policy.rearm_after == 0 {
+            return;
+        }
+        if r.timeouts_seen != r.timeouts_at_note {
+            r.timeouts_at_note = r.timeouts_seen;
+            r.clean_streak = 0;
+        } else if r.degraded {
+            r.clean_streak += 1;
+            if r.clean_streak >= r.policy.rearm_after {
+                r.degraded = false;
+                r.clean_streak = 0;
+                // Leave degrade_after headroom again: a single stray
+                // timeout after a re-arm should not instantly re-degrade.
+                r.timeouts_seen = 0;
+                r.timeouts_at_note = 0;
             }
         }
     }
@@ -369,5 +429,63 @@ mod tests {
         let mut swapped = env.clone();
         swapped.swap(HEADER_WORDS, HEADER_WORDS + 1);
         assert!(envelope_unpack(&Payload::from_u64(swapped)).is_err());
+    }
+
+    fn rearm_cfg(rearm_after: u64) -> crate::RunConfig {
+        crate::RunConfig {
+            model: crate::CostModel::default(),
+            perturb_seed: None,
+            audit: crate::AuditMode::Disabled,
+            fault: None,
+            retry: crate::RetryPolicy {
+                rearm_after,
+                ..crate::RetryPolicy::default()
+            },
+            trace: false,
+        }
+    }
+
+    /// Satellite: the PR 4 degradation was permanent — a rank whose link
+    /// healed was stuck on blocking exchange forever. A degraded rank
+    /// must re-arm after `rearm_after` consecutive timeout-free
+    /// exchanges, and a fresh timeout must reset the streak.
+    #[test]
+    fn degraded_rank_rearms_after_clean_streak() {
+        let out = crate::Universe::run_configured(rearm_cfg(3), 1, |comm| {
+            comm.reliable.degraded = true;
+            // Two clean exchanges: not enough.
+            comm.note_exchange_outcome();
+            comm.note_exchange_outcome();
+            let still_degraded = comm.degraded();
+            // A fresh timeout resets the streak…
+            comm.reliable.timeouts_seen += 1;
+            comm.note_exchange_outcome();
+            comm.note_exchange_outcome();
+            comm.note_exchange_outcome();
+            let after_reset = comm.degraded();
+            // …so re-arming needs three clean exchanges from there.
+            comm.note_exchange_outcome();
+            let rearmed = !comm.degraded();
+            (still_degraded, after_reset, rearmed)
+        })
+        .0;
+        let (still_degraded, after_reset, rearmed) = out[0];
+        assert!(still_degraded, "re-armed before the streak completed");
+        assert!(after_reset, "a fresh timeout must reset the clean streak");
+        assert!(rearmed, "three clean exchanges after the timeout re-arm");
+    }
+
+    /// `rearm_after = 0` keeps the old stays-degraded behaviour.
+    #[test]
+    fn rearm_disabled_keeps_degradation_permanent() {
+        let out = crate::Universe::run_configured(rearm_cfg(0), 1, |comm| {
+            comm.reliable.degraded = true;
+            for _ in 0..100 {
+                comm.note_exchange_outcome();
+            }
+            comm.degraded()
+        })
+        .0;
+        assert!(out[0], "rearm_after = 0 must never re-arm");
     }
 }

@@ -11,6 +11,7 @@ use crate::audit::{self, AuditEventKind, AuditLog, AuditMode, AuditReport};
 use crate::comm::Comm;
 use crate::fault::{FaultAbort, FaultKind, FaultPlan, FaultReport, FaultState, RetryPolicy};
 use crate::ledger::CostModel;
+use crate::lflr::Revoked;
 use crate::payload::Payload;
 
 /// SplitMix64 step shared by the perturbation machinery (mailbox shuffle,
@@ -114,6 +115,11 @@ pub(crate) struct World {
     /// unwinds with a typed abort instead of hanging on a dead peer.
     poison: Mutex<Option<FaultReport>>,
     poisoned: AtomicBool,
+    /// Ranks declared dead by LFLR accusers. Unlike poison, a revocation
+    /// is *recoverable*: armed ranks unwind to their solver's recovery
+    /// handler, repair the world, and clear it.
+    revoke_suspects: Mutex<Vec<usize>>,
+    revoked: AtomicBool,
 }
 
 impl World {
@@ -153,7 +159,65 @@ impl World {
             trace,
             poison: Mutex::new(None),
             poisoned: AtomicBool::new(false),
+            revoke_suspects: Mutex::new(Vec::new()),
+            revoked: AtomicBool::new(false),
         })
+    }
+
+    /// Declare `suspects` dead and revoke the world: every armed rank
+    /// unwinds from its next blocking point with a [`Revoked`] payload
+    /// (after draining already-satisfiable operations). Concurrent
+    /// accusations merge their suspect sets.
+    pub(crate) fn revoke(&self, suspects: &[usize]) {
+        {
+            let mut set = self.revoke_suspects.lock();
+            for &s in suspects {
+                if !set.contains(&s) {
+                    set.push(s);
+                }
+            }
+        }
+        self.revoked.store(true, Ordering::Release);
+        for slot in &self.mail {
+            slot.cond.notify_all();
+        }
+        self.coll.cond.notify_all();
+    }
+
+    pub(crate) fn revoked(&self) -> bool {
+        self.revoked.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn revoke_suspects(&self) -> Vec<usize> {
+        self.revoke_suspects.lock().clone()
+    }
+
+    /// Lift the revocation (idempotent). Called during recovery, strictly
+    /// after the agreement rendezvous — by then every rank has stopped
+    /// accusing, so no new revocation can race the clear.
+    pub(crate) fn clear_revoke(&self) {
+        self.revoke_suspects.lock().clear();
+        self.revoked.store(false, Ordering::Release);
+    }
+
+    /// Drop every message pending for rank `me` except those with
+    /// `keep_tag` (restore payloads a buddy may post before this rank
+    /// reaches its drain step). Part of the world-repair transport reset:
+    /// pre-revocation traffic must not leak into the fresh epoch.
+    pub(crate) fn drain_mailbox(&self, me: usize, keep_tag: u32) {
+        self.mail[me]
+            .mailbox
+            .lock()
+            .queue
+            .retain(|m| m.tag == keep_tag);
+    }
+
+    /// Remove half-completed collective slots with `seq < bound` (the
+    /// aborted epoch; recovery rendezvous live at or above `bound`).
+    /// Their sequence numbers are reused after the epoch reset, and a
+    /// stale partial slot would corrupt the reused collective.
+    pub(crate) fn purge_collective_slots_below(&self, bound: u64) {
+        self.coll.slots.lock().retain(|&seq, _| seq >= bound);
     }
 
     /// Record the first fault report and wake every blocked rank so each
@@ -646,11 +710,23 @@ impl Universe {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| match h.join() {
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
                     Ok(out) => Ok(out),
                     Err(payload) => match payload.downcast::<FaultAbort>() {
                         Ok(abort) => Err(abort.0),
-                        Err(other) => std::panic::resume_unwind(other),
+                        // A revocation nobody recovered (the solver was
+                        // not LFLR-armed or recovery itself unwound):
+                        // typed, like every other chaos outcome.
+                        Err(other) => match other.downcast::<Revoked>() {
+                            Ok(revoked) => Err(FaultReport {
+                                rank,
+                                kind: FaultKind::Revoked {
+                                    suspects: revoked.suspects,
+                                },
+                            }),
+                            Err(other) => std::panic::resume_unwind(other),
+                        },
                     },
                 })
                 .collect()
@@ -661,16 +737,20 @@ impl Universe {
 }
 
 /// Silence the default panic printout for the *typed* fault aborts that
-/// [`Universe::run_chaos`] turns into `Err(FaultReport)` — a crash
-/// scenario would otherwise spray one backtrace per rank over a run
-/// whose contract held. Installed once, process-wide; every other panic
+/// [`Universe::run_chaos`] turns into `Err(FaultReport)`, and for the
+/// [`Revoked`] unwinds of LFLR recovery (caught by the solver's
+/// `catch_revoked` boundary in the expected case) — a crash scenario
+/// would otherwise spray one backtrace per rank over a run whose
+/// contract held. Installed once, process-wide; every other panic
 /// payload still reaches the previously installed hook untouched.
-fn install_fault_abort_hook() {
+pub(crate) fn install_fault_abort_hook() {
     static HOOK: std::sync::Once = std::sync::Once::new();
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<FaultAbort>().is_none() {
+            if info.payload().downcast_ref::<FaultAbort>().is_none()
+                && info.payload().downcast_ref::<Revoked>().is_none()
+            {
                 prev(info);
             }
         }));

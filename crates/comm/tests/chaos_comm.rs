@@ -136,6 +136,7 @@ fn crash_yields_typed_reports_on_every_rank() {
                 exhausted += 1;
             }
             FaultKind::PeerAborted { .. } => peer_aborts += 1,
+            other => panic!("unexpected fault kind without LFLR armed: {other:?}"),
         }
     }
     assert!(exhausted >= 1, "someone must observe the exhausted budget");

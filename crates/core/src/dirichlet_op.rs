@@ -111,6 +111,10 @@ impl<O: LinOp> LinOp for DirichletOp<O> {
     fn storage_bytes(&self) -> usize {
         self.inner.storage_bytes()
     }
+
+    fn repair(&mut self, comm: &mut Comm, dead: &[usize]) {
+        self.inner.repair(comm, dead);
+    }
 }
 
 impl<O: MultiLinOp> MultiLinOp for DirichletOp<O> {

@@ -405,6 +405,7 @@ impl HymvOperator {
 
         hymv_trace::counter_add("hymv_emv_flops_total", &[], self.flops_per_apply());
         y.copy_from_slice(self.v.owned());
+        comm.note_exchange_outcome();
     }
 
     /// A deliberately non-overlapped SPMV (blocking exchange up front, then
@@ -421,6 +422,7 @@ impl HymvOperator {
         self.exchange.gather_end(comm, &mut self.v);
         hymv_trace::counter_add("hymv_emv_flops_total", &[], self.flops_per_apply());
         y.copy_from_slice(self.v.owned());
+        comm.note_exchange_outcome();
     }
 
     /// Algorithm 2 over a whole multivector: the SpMM `V = K·U`.
@@ -495,6 +497,7 @@ impl HymvOperator {
 
         hymv_trace::counter_add("hymv_emv_flops_total", &[], flops);
         comm.work(|| ws.v.copy_owned_to(y));
+        comm.note_exchange_outcome();
     }
 }
 
@@ -528,6 +531,30 @@ impl LinOp for HymvOperator {
         // The interleaved slabs are what the batched SPMV streams; the
         // store remains authoritative for adaptive updates, so both count.
         self.store.bytes() + self.plan.as_ref().map_or(0, |p| p.bytes())
+    }
+
+    /// LFLR world repair: the partition is unchanged, but a resurrected
+    /// rank's exchange plan is gone and its derived layouts are stale.
+    /// `GhostExchange::build` is collective (it runs a sparse all-to-all),
+    /// so every rank rebuilds — survivors get a bit-identical plan, the
+    /// resurrected ranks get theirs back from the unchanged maps. The
+    /// purely local derived state (block plan, panel scratch, colors) is
+    /// rebuilt on the resurrected ranks only.
+    fn repair(&mut self, comm: &mut Comm, dead: &[usize]) {
+        let raw = self.exchange.raw_transport();
+        self.exchange = GhostExchange::build(comm, &self.maps);
+        self.exchange.set_raw_transport(raw);
+        if dead.contains(&comm.rank()) {
+            let bw = self.batch_width();
+            self.plan = (bw > 1).then(|| {
+                let mut p = BlockPlan::build(&self.maps, self.ndof, bw);
+                p.attach_store(&self.store);
+                p
+            });
+            self.mv_ws = None;
+            self.colors = None;
+            self.set_parallel_mode(self.mode);
+        }
     }
 }
 

@@ -29,7 +29,7 @@
 //!   [`resilient_cg`], which cannot break down on rank (and reports a
 //!   typed fault if the operator itself is at fault).
 
-use hymv_comm::Comm;
+use hymv_comm::{catch_revoked, Comm};
 
 use crate::mv::{column_norms, gram_sym, gram_sym_with_norms, MultiLinOp, Multivector};
 use crate::precond::Precond;
@@ -60,6 +60,8 @@ pub struct BlockCgResult {
     pub restarts: usize,
     /// Columns finished by the per-column resilient-CG fallback.
     pub deflated: usize,
+    /// LFLR rank-crash recoveries survived.
+    pub recoveries: usize,
 }
 
 /// Rank-revealing pivoted Cholesky solve of the SPSD system `G·X = C`
@@ -196,9 +198,47 @@ impl LinOp for AsLinOp<'_> {
     }
 }
 
+/// Flatten the block-CG recurrence state at a while-loop head into one
+/// checkpointable f64 vector ({X, R, P} panels plus the `s × s` Gram
+/// matrix, per-column norms, counters, and history — `Z`/`Q` are dead
+/// at the loop head).
+#[allow(clippy::too_many_arguments)]
+fn pack_block_state(
+    iterations: usize,
+    rollbacks: usize,
+    truncations: usize,
+    restarts: usize,
+    gamma: &[f64],
+    rnorms: &[f64],
+    x: &Multivector,
+    r: &Multivector,
+    p: &Multivector,
+    history: &[f64],
+) -> Vec<f64> {
+    let mut v =
+        Vec::with_capacity(4 + gamma.len() + rnorms.len() + 3 * x.as_slice().len() + history.len());
+    v.extend_from_slice(&[
+        iterations as f64,
+        rollbacks as f64,
+        truncations as f64,
+        restarts as f64,
+    ]);
+    v.extend_from_slice(gamma);
+    v.extend_from_slice(rnorms);
+    v.extend_from_slice(x.as_slice());
+    v.extend_from_slice(r.as_slice());
+    v.extend_from_slice(p.as_slice());
+    v.extend_from_slice(history);
+    v
+}
+
 /// Preconditioned block CG: solves `A X = B` column-wise to relative
 /// tolerance `rtol` with one operator panel-apply per iteration. `x`
 /// holds the initial guesses on entry and the solutions on exit.
+///
+/// With [`crate::resilient::CheckpointPolicy::every`] > 0 and an active
+/// fault injector the solve arms LFLR crash recovery, exactly like
+/// [`resilient_cg`].
 #[allow(clippy::too_many_arguments)]
 // verify: collective-entry
 pub fn block_cg(
@@ -210,6 +250,80 @@ pub fn block_cg(
     rtol: f64,
     max_iter: usize,
     policy: &RecoveryPolicy,
+) -> Result<BlockCgResult, SolverFault> {
+    // Same ownership rule as `resilient_cg`: arm only when nothing above
+    // us did, so a `Revoked` always unwinds to whoever holds the
+    // checkpoints.
+    let armed = policy.checkpoint.every > 0 && !comm.lflr_armed() && comm.lflr_arm();
+    if !armed {
+        return block_cg_attempt(
+            comm, op, precond, b, x, rtol, max_iter, policy, false, &mut None,
+        );
+    }
+    let x0 = x.clone();
+    let mut restore: Option<(u64, Vec<f64>)> = None;
+    let mut recoveries = 0usize;
+    loop {
+        let attempt = catch_revoked(|| {
+            block_cg_attempt(
+                comm,
+                op,
+                precond,
+                b,
+                x,
+                rtol,
+                max_iter,
+                policy,
+                true,
+                &mut restore,
+            )
+        });
+        match attempt {
+            Ok(res) => {
+                comm.lflr_disarm();
+                return res.map(|mut r| {
+                    r.recoveries = recoveries;
+                    r
+                });
+            }
+            Err(_revoked) => {
+                let recovery = comm.lflr_recover();
+                op.repair(comm, &recovery.dead);
+                recoveries += 1;
+                if recoveries > policy.checkpoint.max_recoveries {
+                    comm.lflr_disarm();
+                    return Err(SolverFault::RecoveryBudgetExhausted {
+                        recoveries: recoveries - 1,
+                    });
+                }
+                match recovery.checkpoint {
+                    Some(c) => restore = Some(c),
+                    None => {
+                        x.copy_from(&x0);
+                        restore = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One block-CG solve attempt: the rollback/truncation/restart
+/// recurrence, plus (when `armed`) periodic buddy checkpoints at the
+/// loop head and a rollback installation when `restore` carries a
+/// recovered state.
+#[allow(clippy::too_many_arguments)]
+fn block_cg_attempt(
+    comm: &mut Comm,
+    op: &mut dyn MultiLinOp,
+    precond: &mut dyn Precond,
+    b: &Multivector,
+    x: &mut Multivector,
+    rtol: f64,
+    max_iter: usize,
+    policy: &RecoveryPolicy,
+    armed: bool,
+    restore: &mut Option<(u64, Vec<f64>)>,
 ) -> Result<BlockCgResult, SolverFault> {
     let n = op.n_owned();
     let s = b.nvec();
@@ -256,41 +370,86 @@ pub fn block_cg(
     let mut rnorms;
     let mut deflate = false;
     'derive: loop {
-        // (Re-)derive the recurrence from the current panel:
-        // R = B − A X; Z = M⁻¹ R; P = Z. Runs once on entry and again
-        // after every recovery action.
-        op.apply_mv(comm, x, &mut r);
-        comm.work(|| {
-            let (rd, bd) = (r.as_mut_slice(), b.as_slice());
-            for i in 0..rd.len() {
-                rd[i] = bd[i] - rd[i];
+        let mut gamma;
+        if let Some((_round, blob)) = restore.take() {
+            // LFLR rollback: install the recovered checkpoint verbatim
+            // (every rank restores the same round — the recovery's
+            // consistency barrier proved it).
+            let ns = n * s;
+            let mut at = 0usize;
+            let mut take = |len: usize| {
+                at += len;
+                &blob[at - len..at]
+            };
+            let counters = take(4);
+            iterations = counters[0] as usize;
+            rollbacks = counters[1] as usize;
+            truncations = counters[2] as usize;
+            restarts = counters[3] as usize;
+            gamma = take(s * s).to_vec();
+            rnorms = take(s).to_vec();
+            x.as_mut_slice().copy_from_slice(take(ns));
+            r.as_mut_slice().copy_from_slice(take(ns));
+            p.as_mut_slice().copy_from_slice(take(ns));
+            history.clear();
+            history.extend_from_slice(&blob[at..]);
+            snapshot.copy_from(x);
+        } else {
+            // (Re-)derive the recurrence from the current panel:
+            // R = B − A X; Z = M⁻¹ R; P = Z. Runs once on entry and
+            // again after every recovery action.
+            op.apply_mv(comm, x, &mut r);
+            comm.work(|| {
+                let (rd, bd) = (r.as_mut_slice(), b.as_slice());
+                for i in 0..rd.len() {
+                    rd[i] = bd[i] - rd[i];
+                }
+            });
+            for c in 0..s {
+                precond.apply(comm, r.col(c), z.col_mut(c));
             }
-        });
-        for c in 0..s {
-            precond.apply(comm, r.col(c), z.col_mut(c));
-        }
-        p.copy_from(&z);
-        let (gamma_derived, rnorms_derived) = gram_sym_with_norms(comm, &z, &r);
-        let mut gamma = gamma_derived;
-        rnorms = rnorms_derived;
-        if !(gamma.iter().all(|v| v.is_finite()) && rnorms.iter().all(|v| v.is_finite())) {
-            // The derivation itself is poisoned; the reductions are
-            // collective, so the rollback decision is uniform.
-            rollbacks += 1;
-            if rollbacks > policy.max_rollbacks {
-                return Err(SolverFault::NonFiniteRecurrence {
-                    iteration: iterations,
-                    rollbacks: rollbacks - 1,
-                });
+            p.copy_from(&z);
+            let (gamma_derived, rnorms_derived) = gram_sym_with_norms(comm, &z, &r);
+            gamma = gamma_derived;
+            rnorms = rnorms_derived;
+            if !(gamma.iter().all(|v| v.is_finite()) && rnorms.iter().all(|v| v.is_finite())) {
+                // The derivation itself is poisoned; the reductions are
+                // collective, so the rollback decision is uniform.
+                rollbacks += 1;
+                if rollbacks > policy.max_rollbacks {
+                    return Err(SolverFault::NonFiniteRecurrence {
+                        iteration: iterations,
+                        rollbacks: rollbacks - 1,
+                    });
+                }
+                x.copy_from(&snapshot);
+                continue 'derive;
             }
-            x.copy_from(&snapshot);
-            continue 'derive;
-        }
-        if history.is_empty() {
-            history.push(worst(&rnorms, &scale));
+            if history.is_empty() {
+                history.push(worst(&rnorms, &scale));
+            }
         }
 
         while !all_converged(&rnorms, &scale) && iterations < max_iter {
+            if armed
+                && policy.checkpoint.every > 0
+                && iterations % policy.checkpoint.every == 0
+                && comm.checkpoint_round() != Some(iterations as u64)
+            {
+                let blob = pack_block_state(
+                    iterations,
+                    rollbacks,
+                    truncations,
+                    restarts,
+                    &gamma,
+                    &rnorms,
+                    x,
+                    &r,
+                    &p,
+                    &history,
+                );
+                comm.checkpoint_exchange(iterations as u64, &blob);
+            }
             let iter_span = hymv_trace::SpanGuard::open(hymv_trace::Phase::SolverIter, comm.vt());
             // One panel apply serves all s columns — the SpMM fast path.
             op.apply_mv(comm, &p, &mut q);
@@ -417,6 +576,7 @@ pub fn block_cg(
         truncations,
         restarts,
         deflated,
+        recoveries: 0,
     })
 }
 

@@ -288,6 +288,7 @@ impl DistCsr {
                 offd.spmv(ghost, y, true);
             });
         });
+        comm.note_exchange_outcome();
     }
 
     /// FLOPs of one SPMV on this rank.

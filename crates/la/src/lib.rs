@@ -49,5 +49,7 @@ pub use dense::{
 pub use dist_csr::DistCsr;
 pub use mv::{column_norms, gram, MultiLinOp, Multivector};
 pub use precond::{BlockJacobi, Identity, Jacobi, Precond};
-pub use resilient::{resilient_cg, RecoveryPolicy, ResilientCgResult, SolverFault};
+pub use resilient::{
+    resilient_cg, CheckpointPolicy, RecoveryPolicy, ResilientCgResult, SolverFault,
+};
 pub use solver::{cg, pipelined_cg, CgResult, LinOp};

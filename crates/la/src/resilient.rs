@@ -21,11 +21,67 @@
 //! Every action draws from a budget in [`RecoveryPolicy`]; exhausting a
 //! budget returns a typed [`SolverFault`] — the solver never hangs and
 //! never reports convergence from damaged arithmetic.
+//!
+//! A fourth door — a **rank crash** — is covered by the LFLR protocol
+//! (DESIGN.md §15): with [`CheckpointPolicy::every`] > 0 and an active
+//! fault injector, the solver arms `hymv-comm`'s crash detection, takes
+//! a buddy checkpoint of the full Krylov state every `every` iterations,
+//! and on a [`hymv_comm::Revoked`] unwind repairs the world
+//! ([`Comm::lflr_recover`] + [`LinOp::repair`]) and rolls every rank
+//! back to the last globally-consistent checkpoint. Recovered solves
+//! replay the same arithmetic from the same state, so they produce the
+//! same solution bits as a fault-free run.
 
-use hymv_comm::Comm;
+use hymv_comm::{catch_revoked, Comm};
 
 use crate::precond::Precond;
 use crate::solver::{dot, norm2, CgResult, LinOp};
+
+/// Crash-recovery knobs: buddy-checkpoint cadence and how many LFLR
+/// world repairs a single solve may consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Take a buddy checkpoint every this many solver iterations
+    /// (`0` = checkpointing and crash recovery off — the default, so a
+    /// solve that never opts in pays nothing).
+    pub every: usize,
+    /// LFLR recovery budget for one solve; exceeding it returns
+    /// [`SolverFault::RecoveryBudgetExhausted`].
+    pub max_recoveries: usize,
+}
+
+impl CheckpointPolicy {
+    /// Checkpointing disabled (the default).
+    pub const OFF: CheckpointPolicy = CheckpointPolicy {
+        every: 0,
+        max_recoveries: 3,
+    };
+
+    /// Read `HYMV_CKPT_EVERY` (default 0 = off) and
+    /// `HYMV_CKPT_MAX_RECOVERIES` (default 3).
+    ///
+    /// # Panics
+    /// On unparseable values — a typo must not silently disable
+    /// checkpointing.
+    pub fn from_env() -> Self {
+        let int = |name: &str, default: usize| -> usize {
+            std::env::var(name).map_or(default, |v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{name} must be an unsigned integer, got {v:?}"))
+            })
+        };
+        CheckpointPolicy {
+            every: int("HYMV_CKPT_EVERY", 0),
+            max_recoveries: int("HYMV_CKPT_MAX_RECOVERIES", 3),
+        }
+    }
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy::OFF
+    }
+}
 
 /// Budgets for the recovery actions [`resilient_cg`] may take.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +92,8 @@ pub struct RecoveryPolicy {
     pub max_restarts: usize,
     /// Re-derive `r = b − A x` every this many iterations (`0` = never).
     pub replace_every: usize,
+    /// Rank-crash checkpoint/recovery knobs (off by default).
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for RecoveryPolicy {
@@ -44,6 +102,7 @@ impl Default for RecoveryPolicy {
             max_rollbacks: 3,
             max_restarts: 3,
             replace_every: 0,
+            checkpoint: CheckpointPolicy::OFF,
         }
     }
 }
@@ -58,6 +117,9 @@ pub enum SolverFault {
     IndefiniteOperator { iteration: usize, restarts: usize },
     /// The right-hand side contained NaN/Inf on entry.
     NonFiniteRhs,
+    /// Rank crashes kept revoking the world past the LFLR budget in
+    /// [`CheckpointPolicy::max_recoveries`].
+    RecoveryBudgetExhausted { recoveries: usize },
 }
 
 impl std::fmt::Display for SolverFault {
@@ -78,6 +140,10 @@ impl std::fmt::Display for SolverFault {
                 "pᵀAp ≤ 0 at iteration {iteration} after {restarts} restarts — operator not SPD"
             ),
             SolverFault::NonFiniteRhs => write!(f, "right-hand side contains NaN/Inf"),
+            SolverFault::RecoveryBudgetExhausted { recoveries } => write!(
+                f,
+                "rank crashes persisted through {recoveries} LFLR recoveries"
+            ),
         }
     }
 }
@@ -93,12 +159,51 @@ pub struct ResilientCgResult {
     pub restarts: usize,
     /// Periodic residual replacements performed.
     pub replacements: usize,
+    /// LFLR rank-crash recoveries survived.
+    pub recoveries: usize,
+}
+
+/// Flatten the full CG recurrence state at a while-loop head into one
+/// checkpointable f64 vector. `z`/`ap` are dead there (overwritten
+/// before first read), so {x, r, p} plus the scalars and the residual
+/// history are the complete state; every count fits exactly in an f64.
+fn pack_cg_state(
+    iterations: usize,
+    rollbacks: usize,
+    restarts: usize,
+    replacements: usize,
+    rz: f64,
+    rnorm: f64,
+    x: &[f64],
+    r: &[f64],
+    p: &[f64],
+    history: &[f64],
+) -> Vec<f64> {
+    let mut v = Vec::with_capacity(6 + 3 * x.len() + history.len());
+    v.extend_from_slice(&[
+        iterations as f64,
+        rollbacks as f64,
+        restarts as f64,
+        replacements as f64,
+        rz,
+        rnorm,
+    ]);
+    v.extend_from_slice(x);
+    v.extend_from_slice(r);
+    v.extend_from_slice(p);
+    v.extend_from_slice(history);
+    v
 }
 
 /// Preconditioned CG with bounded rollback / restart / residual
 /// replacement. With the default policy and a healthy operator this is
 /// bit-for-bit the same arithmetic as [`crate::solver::cg`] — same
 /// iterates, same residual history.
+///
+/// With [`CheckpointPolicy::every`] > 0 and an active fault injector the
+/// solve additionally arms LFLR crash recovery: a revoked world rolls
+/// every rank back to the last buddy checkpoint and continues —
+/// producing the same bits a fault-free run would.
 #[allow(clippy::too_many_arguments)]
 pub fn resilient_cg(
     comm: &mut Comm,
@@ -109,6 +214,84 @@ pub fn resilient_cg(
     rtol: f64,
     max_iter: usize,
     policy: &RecoveryPolicy,
+) -> Result<ResilientCgResult, SolverFault> {
+    // Arm only when this invocation owns the protocol: checkpointing is
+    // requested, an injector exists, and no enclosing solver (block-CG
+    // deflation) armed it already — a nested arm would clobber the
+    // owner's checkpoints, and a `Revoked` must unwind to the owner.
+    let armed = policy.checkpoint.every > 0 && !comm.lflr_armed() && comm.lflr_arm();
+    if !armed {
+        return cg_attempt(
+            comm, op, precond, b, x, rtol, max_iter, policy, false, &mut None,
+        );
+    }
+    let x0 = x.to_vec();
+    let mut restore: Option<(u64, Vec<f64>)> = None;
+    let mut recoveries = 0usize;
+    loop {
+        let attempt = catch_revoked(|| {
+            cg_attempt(
+                comm,
+                op,
+                precond,
+                b,
+                x,
+                rtol,
+                max_iter,
+                policy,
+                true,
+                &mut restore,
+            )
+        });
+        match attempt {
+            Ok(res) => {
+                comm.lflr_disarm();
+                return res.map(|mut r| {
+                    r.recoveries = recoveries;
+                    r
+                });
+            }
+            Err(_revoked) => {
+                // Collective world repair, then operator repair (rebuild
+                // exchange plans on the resurrected ranks), then roll
+                // back to the restored checkpoint — or the initial
+                // guess if the crash predated the first checkpoint.
+                let recovery = comm.lflr_recover();
+                op.repair(comm, &recovery.dead);
+                recoveries += 1;
+                if recoveries > policy.checkpoint.max_recoveries {
+                    comm.lflr_disarm();
+                    return Err(SolverFault::RecoveryBudgetExhausted {
+                        recoveries: recoveries - 1,
+                    });
+                }
+                match recovery.checkpoint {
+                    Some(c) => restore = Some(c),
+                    None => {
+                        x.copy_from_slice(&x0);
+                        restore = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One solve attempt: the PR 4 rollback/restart/replacement recurrence,
+/// plus (when `armed`) periodic buddy checkpoints at the loop head and
+/// a rollback installation when `restore` carries a recovered state.
+#[allow(clippy::too_many_arguments)]
+fn cg_attempt(
+    comm: &mut Comm,
+    op: &mut dyn LinOp,
+    precond: &mut dyn Precond,
+    b: &[f64],
+    x: &mut [f64],
+    rtol: f64,
+    max_iter: usize,
+    policy: &RecoveryPolicy,
+    armed: bool,
+    restore: &mut Option<(u64, Vec<f64>)>,
 ) -> Result<ResilientCgResult, SolverFault> {
     let n = op.n_owned();
     assert_eq!(b.len(), n, "rhs length mismatch");
@@ -132,6 +315,7 @@ pub fn resilient_cg(
             rollbacks: 0,
             restarts: 0,
             replacements: 0,
+            recoveries: 0,
         });
     }
 
@@ -148,38 +332,80 @@ pub fn resilient_cg(
 
     let (mut rz, mut rnorm);
     'derive: loop {
-        // (Re-)derive the recurrence from the current iterate:
-        // r = b − A x; z = M⁻¹ r; p = z. Runs once on entry and again
-        // after every recovery action or periodic replacement.
-        op.apply(comm, x, &mut r);
-        comm.work(|| {
-            for i in 0..n {
-                r[i] = b[i] - r[i];
+        if let Some((_round, blob)) = restore.take() {
+            // LFLR rollback: install the recovered checkpoint verbatim
+            // instead of deriving. Every rank restores the same round
+            // (the recovery's consistency barrier proved it), so the
+            // replayed arithmetic is bitwise the fault-free run's.
+            let hist_len = blob.len() - 6 - 3 * n;
+            iterations = blob[0] as usize;
+            rollbacks = blob[1] as usize;
+            restarts = blob[2] as usize;
+            replacements = blob[3] as usize;
+            rz = blob[4];
+            rnorm = blob[5];
+            x.copy_from_slice(&blob[6..6 + n]);
+            r.copy_from_slice(&blob[6 + n..6 + 2 * n]);
+            p.copy_from_slice(&blob[6 + 2 * n..6 + 3 * n]);
+            history.clear();
+            history.extend_from_slice(&blob[6 + 3 * n..6 + 3 * n + hist_len]);
+            snapshot.copy_from_slice(x);
+        } else {
+            // (Re-)derive the recurrence from the current iterate:
+            // r = b − A x; z = M⁻¹ r; p = z. Runs once on entry and again
+            // after every recovery action or periodic replacement.
+            op.apply(comm, x, &mut r);
+            comm.work(|| {
+                for i in 0..n {
+                    r[i] = b[i] - r[i];
+                }
+            });
+            precond.apply(comm, &r, &mut z);
+            p.copy_from_slice(&z);
+            rz = dot(comm, &r, &z);
+            rnorm = norm2(comm, &r);
+            if !(rz.is_finite() && rnorm.is_finite()) {
+                // The derivation itself is poisoned (operator damage at
+                // the current iterate). Both reductions are collective,
+                // so the rollback decision is uniform across ranks.
+                rollbacks += 1;
+                if rollbacks > policy.max_rollbacks {
+                    return Err(SolverFault::NonFiniteRecurrence {
+                        iteration: iterations,
+                        rollbacks: rollbacks - 1,
+                    });
+                }
+                x.copy_from_slice(&snapshot);
+                continue 'derive;
             }
-        });
-        precond.apply(comm, &r, &mut z);
-        p.copy_from_slice(&z);
-        rz = dot(comm, &r, &z);
-        rnorm = norm2(comm, &r);
-        if !(rz.is_finite() && rnorm.is_finite()) {
-            // The derivation itself is poisoned (operator damage at the
-            // current iterate). Both reductions are collective, so the
-            // rollback decision is uniform across ranks.
-            rollbacks += 1;
-            if rollbacks > policy.max_rollbacks {
-                return Err(SolverFault::NonFiniteRecurrence {
-                    iteration: iterations,
-                    rollbacks: rollbacks - 1,
-                });
+            if history.is_empty() {
+                history.push(rnorm / bnorm);
             }
-            x.copy_from_slice(&snapshot);
-            continue 'derive;
-        }
-        if history.is_empty() {
-            history.push(rnorm / bnorm);
         }
 
         while rnorm / bnorm > rtol && iterations < max_iter {
+            if armed
+                && policy.checkpoint.every > 0
+                && iterations % policy.checkpoint.every == 0
+                && comm.checkpoint_round() != Some(iterations as u64)
+            {
+                // The round guard keeps the exchange collective: after a
+                // restore (or a rollback to the same iteration count)
+                // every rank already holds this round and skips it.
+                let blob = pack_cg_state(
+                    iterations,
+                    rollbacks,
+                    restarts,
+                    replacements,
+                    rz,
+                    rnorm,
+                    x,
+                    &r,
+                    &p,
+                    &history,
+                );
+                comm.checkpoint_exchange(iterations as u64, &blob);
+            }
             // Recovery exits (`continue 'derive`, `return Err`) drop the
             // guard, which closes the span at the last stamped instant.
             let iter_span = hymv_trace::SpanGuard::open(hymv_trace::Phase::SolverIter, comm.vt());
@@ -260,6 +486,7 @@ pub fn resilient_cg(
         rollbacks,
         restarts,
         replacements,
+        recoveries: 0,
     })
 }
 

@@ -27,6 +27,13 @@ pub trait LinOp {
     fn storage_bytes(&self) -> usize {
         0
     }
+
+    /// Rebuild rank-local derived state after the ranks in `dead` were
+    /// resurrected by LFLR recovery ([`Comm::lflr_recover`]): exchange
+    /// plans, batch layouts — anything the crash left stale on the
+    /// resurrected ranks. Collective: every rank calls it with the same
+    /// dead set. The default is a no-op for operators with no such state.
+    fn repair(&mut self, _comm: &mut Comm, _dead: &[usize]) {}
 }
 
 impl<T: LinOp + ?Sized> LinOp for Box<T> {
@@ -41,6 +48,9 @@ impl<T: LinOp + ?Sized> LinOp for Box<T> {
     }
     fn storage_bytes(&self) -> usize {
         (**self).storage_bytes()
+    }
+    fn repair(&mut self, comm: &mut Comm, dead: &[usize]) {
+        (**self).repair(comm, dead)
     }
 }
 

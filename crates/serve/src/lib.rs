@@ -91,6 +91,12 @@ pub struct SolveOutcome {
     pub width: usize,
     /// Virtual seconds spent queued before dispatch.
     pub wait_s: f64,
+    /// Typed fault of this request's batch solve (`None` = the solve
+    /// completed; individual columns may still be unconverged).
+    pub fault: Option<SolverFault>,
+    /// LFLR rank-crash recoveries the batch survived (or consumed, when
+    /// `fault` is [`SolverFault::RecoveryBudgetExhausted`]).
+    pub recoveries: usize,
 }
 
 /// Per-batch record for the bench harness and diagnostics.
@@ -108,6 +114,8 @@ pub struct BatchMetrics {
     pub solve_s: f64,
     /// Longest queue wait among the batch's requests.
     pub max_wait_s: f64,
+    /// Whether the batch solve returned a typed fault.
+    pub failed: bool,
 }
 
 /// The batched solve service. Holds the shared operator/preconditioner
@@ -188,8 +196,12 @@ impl<'a> SolveService<'a> {
     /// Dispatch every batch the policy allows *now*: full batches always
     /// go; a final partial batch goes only if its oldest request is past
     /// the deadline. Returns the completed requests (possibly empty).
+    /// Requests whose batch solve failed come back as failed
+    /// [`SolveOutcome`]s with the typed fault attached — a faulted batch
+    /// never tears down the service or loses the outcomes of batches
+    /// dispatched earlier in the same call.
     // verify: collective-entry
-    pub fn step(&mut self, comm: &mut Comm) -> Result<Vec<SolveOutcome>, SolverFault> {
+    pub fn step(&mut self, comm: &mut Comm) -> Vec<SolveOutcome> {
         let mut out = Vec::new();
         loop {
             let n = self.queue.len();
@@ -201,24 +213,27 @@ impl<'a> SolveService<'a> {
                 break;
             }
             let take = n.min(self.policy.max_width);
-            out.extend(self.dispatch(comm, take)?);
+            out.extend(self.dispatch(comm, take));
         }
-        Ok(out)
+        out
     }
 
     /// End of stream: dispatch everything still queued, deadline or not.
-    pub fn flush(&mut self, comm: &mut Comm) -> Result<Vec<SolveOutcome>, SolverFault> {
+    pub fn flush(&mut self, comm: &mut Comm) -> Vec<SolveOutcome> {
         let mut out = Vec::new();
         while !self.queue.is_empty() {
             let take = self.queue.len().min(self.policy.max_width);
-            out.extend(self.dispatch(comm, take)?);
+            out.extend(self.dispatch(comm, take));
         }
-        Ok(out)
+        out
     }
 
     /// Solve the first `take` queued requests as one width-`take`
-    /// block-CG multivector solve.
-    fn dispatch(&mut self, comm: &mut Comm, take: usize) -> Result<Vec<SolveOutcome>, SolverFault> {
+    /// block-CG multivector solve. A typed fault fails exactly this
+    /// batch: each of its requests gets a failed outcome carrying the
+    /// fault, and everything still queued stays queued for later
+    /// dispatches.
+    fn dispatch(&mut self, comm: &mut Comm, take: usize) -> Vec<SolveOutcome> {
         let reqs: Vec<Pending> = self.queue.drain(..take).collect();
         let width = reqs.len();
         let ordinal = self.batches.len();
@@ -231,9 +246,19 @@ impl<'a> SolveService<'a> {
         let (rtol, max_iter, recovery) = (self.rtol, self.max_iter, self.recovery);
         let res = comm.traced(Phase::ServeBatch, |comm| {
             block_cg(comm, op, precond, &b, &mut x, rtol, max_iter, &recovery)
-        })?;
+        });
         let solve_s = comm.vt() - dispatched_vt;
 
+        let (iterations, recoveries, fault) = match &res {
+            Ok(r) => (r.iterations, r.recoveries, None),
+            Err(e) => {
+                let recoveries = match e {
+                    SolverFault::RecoveryBudgetExhausted { recoveries } => *recoveries,
+                    _ => 0,
+                };
+                (0, recoveries, Some(e.clone()))
+            }
+        };
         let max_wait_s = reqs
             .iter()
             .map(|r| dispatched_vt - r.submitted_vt)
@@ -241,28 +266,36 @@ impl<'a> SolveService<'a> {
         self.batches.push(BatchMetrics {
             ordinal,
             width,
-            iterations: res.iterations,
+            iterations,
             dispatched_vt,
             solve_s,
             max_wait_s,
+            failed: fault.is_some(),
         });
         hymv_trace::counter_add("hymv_serve_batches_total", &[], 1);
-        hymv_trace::counter_add("hymv_serve_batch_iters_total", &[], res.iterations as u64);
+        hymv_trace::counter_add("hymv_serve_batch_iters_total", &[], iterations as u64);
+        if fault.is_some() {
+            hymv_trace::counter_add("hymv_serve_failed_batches_total", &[], 1);
+        }
 
-        Ok(reqs
-            .into_iter()
+        reqs.into_iter()
             .enumerate()
-            .map(|(c, r)| SolveOutcome {
-                id: r.id,
-                x: x.col(c).to_vec(),
-                iterations: res.iterations,
-                converged: res.rel_residuals[c] <= self.rtol,
-                rel_residual: res.rel_residuals[c],
-                batch: ordinal,
-                width,
-                wait_s: dispatched_vt - r.submitted_vt,
+            .map(|(c, r)| {
+                let rel_residual = res.as_ref().map_or(f64::INFINITY, |ok| ok.rel_residuals[c]);
+                SolveOutcome {
+                    id: r.id,
+                    x: x.col(c).to_vec(),
+                    iterations,
+                    converged: fault.is_none() && rel_residual <= self.rtol,
+                    rel_residual,
+                    batch: ordinal,
+                    width,
+                    wait_s: dispatched_vt - r.submitted_vt,
+                    fault: fault.clone(),
+                    recoveries,
+                }
             })
-            .collect())
+            .collect()
     }
 }
 
@@ -334,7 +367,7 @@ mod tests {
             let mut id = Identity;
             let mut svc = SolveService::new(&mut op, &mut id, 1e-10, 200, policy);
             let ids: Vec<u64> = rhss.iter().map(|r| svc.submit(comm, r.clone())).collect();
-            let mut results = svc.flush(comm).expect("healthy solve");
+            let mut results = svc.flush(comm);
             results.sort_by_key(|o| o.id);
             let metrics = svc.batch_metrics().to_vec();
             (ids, rhss, results, metrics)
@@ -376,11 +409,11 @@ mod tests {
             svc.submit(comm, vec![1.0; n]);
             svc.submit(comm, vec![2.0; n]);
             // Two pending, deadline not reached: step holds the batch.
-            let early = svc.step(comm).expect("healthy");
+            let early = svc.step(comm);
             let held = early.is_empty() && svc.pending() == 2;
             // Past the deadline the partial batch must go out.
             comm.add_modeled_time(1.0);
-            let late = svc.step(comm).expect("healthy");
+            let late = svc.step(comm);
             (held, late.len(), svc.pending(), late)
         });
         let (held, dispatched, pending, late) = &out[0];
@@ -432,7 +465,7 @@ mod tests {
                 let scaled: Vec<f64> = rhs.iter().map(|v| v * (k + 1) as f64).collect();
                 svc.submit(comm, scaled);
             }
-            let results = svc.flush(comm).expect("recoverable faults only");
+            let results = svc.flush(comm);
             assert!(results.iter().all(|o| o.converged), "unconverged request");
             assert_eq!(svc.batch_metrics().len(), 2);
             results.len()
@@ -452,6 +485,46 @@ mod tests {
         }
     }
 
+    /// A batch that fails with a typed fault must not tear down the
+    /// service: its requests come back as failed outcomes carrying the
+    /// fault, and later batches still solve.
+    #[test]
+    fn failed_batch_reports_per_request_and_later_batches_survive() {
+        let n = 12;
+        let out = Universe::run(1, |comm| {
+            let mut op = random_spd(n, 21);
+            let policy = BatchPolicy {
+                max_width: 2,
+                deadline_s: 1e-3,
+            };
+            let mut id = Identity;
+            let mut svc = SolveService::new(&mut op, &mut id, 1e-8, 100, policy);
+            let mut bad = vec![1.0; n];
+            bad[3] = f64::NAN; // poisons batch 0 (NonFiniteRhs)
+            svc.submit(comm, bad);
+            svc.submit(comm, vec![1.0; n]);
+            svc.submit(comm, vec![2.0; n]);
+            svc.submit(comm, vec![3.0; n]);
+            let results = svc.flush(comm);
+            let metrics = svc.batch_metrics().to_vec();
+            (results, metrics)
+        });
+        let (results, metrics) = &out[0];
+        assert_eq!(results.len(), 4, "every request gets an outcome");
+        assert_eq!(metrics.len(), 2);
+        assert!(metrics[0].failed && !metrics[1].failed);
+        for o in &results[..2] {
+            assert!(!o.converged);
+            assert_eq!(o.fault, Some(SolverFault::NonFiniteRhs));
+            assert_eq!(o.batch, 0);
+        }
+        for o in &results[2..] {
+            assert!(o.converged, "{o:?}");
+            assert_eq!(o.fault, None);
+            assert_eq!(o.batch, 1);
+        }
+    }
+
     #[test]
     fn full_batch_dispatches_without_waiting() {
         let n = 12;
@@ -466,7 +539,7 @@ mod tests {
             for k in 0..5 {
                 svc.submit(comm, vec![k as f64 + 1.0; n]);
             }
-            let full = svc.step(comm).expect("healthy");
+            let full = svc.step(comm);
             (full.len(), svc.pending())
         });
         let (dispatched, pending) = out[0];

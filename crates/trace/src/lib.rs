@@ -91,6 +91,10 @@ pub enum Phase {
     ServeBatch,
     /// Reliable-envelope retransmission backoff (fault recovery).
     Retry,
+    /// LFLR buddy-checkpoint exchange (every k solver iterations).
+    Checkpoint,
+    /// LFLR world repair after a rank was declared dead.
+    Recovery,
     /// Simulated device host-to-device copy.
     GpuH2D,
     /// Simulated device kernel execution.
@@ -119,6 +123,8 @@ impl Phase {
         Phase::SolverIter,
         Phase::ServeBatch,
         Phase::Retry,
+        Phase::Checkpoint,
+        Phase::Recovery,
         Phase::GpuH2D,
         Phase::GpuKernel,
         Phase::GpuD2H,
@@ -144,6 +150,8 @@ impl Phase {
             Phase::SolverIter => "solver_iter",
             Phase::ServeBatch => "serve_batch",
             Phase::Retry => "retry",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Recovery => "recovery",
             Phase::GpuH2D => "h2d",
             Phase::GpuKernel => "kernel",
             Phase::GpuD2H => "d2h",
@@ -164,7 +172,9 @@ impl Phase {
             | Phase::ScatterWait
             | Phase::GatherPost
             | Phase::GatherAccum
-            | Phase::Retry => "comm",
+            | Phase::Retry
+            | Phase::Checkpoint
+            | Phase::Recovery => "comm",
             Phase::IndepEmv | Phase::DepEmv | Phase::BlockRefresh => "emv",
             Phase::SolverIter | Phase::ServeBatch => "solver",
             Phase::GpuH2D | Phase::GpuKernel | Phase::GpuD2H => "gpu",
@@ -193,6 +203,8 @@ impl Phase {
             Phase::SolverIter => 'i',
             Phase::ServeBatch => 'B',
             Phase::Retry => '!',
+            Phase::Checkpoint => 'k',
+            Phase::Recovery => 'R',
             Phase::GpuH2D => 'h',
             Phase::GpuD2H => 'd',
         }

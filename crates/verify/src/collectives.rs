@@ -66,6 +66,8 @@ pub const COLLECTIVE_SEEDS: &[&str] = &[
     "bcast",
     "exchange_sparse",
     "iallreduce_sum_vec",
+    "checkpoint_exchange",
+    "lflr_recover",
 ];
 
 /// One mismatched-collective finding.

@@ -465,9 +465,20 @@ fn intrinsic_bits(call: &CallSite) -> u16 {
     let hint = call.hint.as_deref();
     match call.name.as_str() {
         "recv" | "recv_any" | "recv_enveloped" => BLOCKING_RECV | WAITS,
-        "barrier" | "allreduce_sum_f64" | "allreduce_max_f64" | "allreduce_min_f64"
-        | "allreduce_sum_u64" | "allreduce_max_u64" | "allgather_u64" | "bcast"
-        | "exchange_sparse" => WAITS | COLLECTIVE,
+        // LFLR's checkpoint_exchange and lflr_recover ride here too:
+        // buddy checkpoints and world repair block on symmetric
+        // participation from every rank — collectives in ordering terms.
+        "barrier"
+        | "allreduce_sum_f64"
+        | "allreduce_max_f64"
+        | "allreduce_min_f64"
+        | "allreduce_sum_u64"
+        | "allreduce_max_u64"
+        | "allgather_u64"
+        | "bcast"
+        | "exchange_sparse"
+        | "checkpoint_exchange"
+        | "lflr_recover" => WAITS | COLLECTIVE,
         // The *post* is the collective ordering event, so the non-blocking
         // iallreduce seeds COLLECTIVE without WAITS; its handle's generic
         // `wait` stays a plain WAITS below.
