@@ -71,8 +71,9 @@ cargo run -q --release -p hymv-bench --bin bench_emv_batch -- --smoke
 echo "== emv_multivec (SpMM + solve-service) bench smoke"
 cargo run -q --release -p hymv-bench --bin bench_emv_multivec -- --smoke
 
-echo "== hymv-prof traced-solve smoke (12^3 Poisson, 4 ranks, 8 seeds)"
-cargo run -q --release -p hymv-prof -- --n 12 --p 4 --seeds 8 --out target/experiments/prof
+echo "== hymv-prof traced-solve smoke (12^3 Poisson, 4 ranks, 8 seeds, live snapshot file)"
+HYMV_OBS_FILE=target/experiments/prof/live.prom \
+    cargo run -q --release -p hymv-prof -- --n 12 --p 4 --seeds 8 --out target/experiments/prof
 for f in trace.json metrics.prom summary.json; do
     test -s "target/experiments/prof/$f" || { echo "missing artifact $f"; exit 1; }
 done
@@ -82,8 +83,34 @@ done
 grep -qE '"overlap_efficiency": [0-9.]+' target/experiments/prof/summary.json
 grep -qE '"max_phase_imbalance": [0-9.]+' target/experiments/prof/summary.json
 grep -q '^hymv_vt_seconds' target/experiments/prof/metrics.prom
+grep -q '^# HELP hymv_' target/experiments/prof/metrics.prom
+# The live snapshot-file transport (HYMV_OBS_FILE, the no-network CI
+# fallback of the HTTP endpoint) must have published the registry.
+test -s target/experiments/prof/live.prom || { echo "missing live snapshot"; exit 1; }
+grep -q '^hymv_rank_utilization' target/experiments/prof/live.prom
 
-echo "== trace_overhead bench smoke (disabled-path <3% guard)"
+echo "== hymv-prof diff self-comparison smoke (identical artifacts, zero delta)"
+cargo run -q --release -p hymv-prof -- diff \
+    target/experiments/prof/summary.json target/experiments/prof/summary.json --threshold 0
+cargo run -q --release -p hymv-prof -- diff \
+    target/experiments/prof/metrics.prom target/experiments/prof/metrics.prom --threshold 0
+
+echo "== flight-recorder postmortem smoke (forced rank crash dumps a schema'd artifact)"
+rm -f target/experiments/postmortem.json
+HYMV_FLIGHT_OUT=target/experiments/postmortem.json \
+    HYMV_FAULT_CRASH_RANK=3 HYMV_FAULT_CRASH_AFTER=10 \
+    cargo run -q --release -p hymv-prof -- --n 6 --p 4 --seeds 1 \
+    --out target/experiments/prof-crash >/dev/null 2>&1 || true
+test -s target/experiments/postmortem.json || { echo "missing postmortem artifact"; exit 1; }
+grep -q '"schema":"hymv-postmortem-v1"' target/experiments/postmortem.json
+grep -q '"reason":"' target/experiments/postmortem.json
+grep -q '"kind":"span"' target/experiments/postmortem.json
+grep -qE '"kind":"(send|recv)"' target/experiments/postmortem.json
+
+echo "== serve SLO bench smoke (latency percentiles through the batched service)"
+cargo run -q --release -p hymv-bench --bin bench_serve_slo -- --smoke
+
+echo "== trace_overhead bench smoke (disabled-path <3% + flight-recorder <2% guards)"
 HYMV_BENCH_SMOKE=1 cargo bench -q -p hymv-bench --bench trace_overhead
 
 echo "CI green"

@@ -1,9 +1,13 @@
 //! Disabled-path overhead guard for `hymv-trace`: with `HYMV_TRACE`
-//! unset, every recording entry point is one relaxed atomic load plus a
-//! predicted branch. This bench prices that fast path against the two
-//! hot instrumented operations — a batched EMV block kernel and a ghost
-//! scatter/gather round — and (always, not just under criterion) asserts
-//! the per-matvec instrumentation budget stays **under 3%** of either.
+//! unset, every recording entry point is one relaxed atomic (or
+//! thread-local flag) load plus a predicted branch. This bench prices
+//! that fast path against a matvec's worth of the two hot instrumented
+//! operations — the batched EMV block kernel scaled by the block count
+//! of the smallest benched mesh, and a ghost scatter/gather round — and
+//! (always, not just under criterion) asserts the per-matvec
+//! instrumentation budget stays **under 3%** of either. The always-on
+//! flight-recorder ring gets its own, tighter bar: a matvec's worth of
+//! *armed* ring records must stay **under 2%** of both.
 //!
 //! `HYMV_BENCH_SMOKE=1` shrinks the criterion budget to a single-pass
 //! smoke run (CI); the guard assertion runs in both modes.
@@ -30,6 +34,14 @@ fn smoke() -> bool {
 /// Instrumentation calls per operator application: the six Algorithm 2
 /// phase spans plus the flop/refresh counters (see `HymvOperator::matvec`).
 const CALLS_PER_MATVEC: usize = 8;
+
+/// EMV block-kernel applications per operator application on the
+/// *smallest* mesh this suite benches (8³ Hex8 at batch width 8:
+/// 512 elements / 8 per block). The instrumentation budget is per
+/// matvec, so it is priced against a matvec's worth of block kernels —
+/// comparing 8 whole-matvec spans against ONE block application would
+/// overstate the overhead by this factor.
+const BLOCKS_PER_MATVEC: usize = 512 / 8;
 
 /// Best-of-`n` seconds for `reps` executions of `f`.
 fn best_of(n: usize, reps: usize, mut f: impl FnMut()) -> f64 {
@@ -105,28 +117,60 @@ fn exchange_round_seconds() -> f64 {
     out.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
+/// Seconds per *armed* flight-recorder deposit: a span record plus a
+/// comm-tail record into a live per-thread ring (the always-on path
+/// every traced site pays even with `HYMV_TRACE` unset).
+fn flight_record_unit_seconds() -> f64 {
+    let run = hymv_trace::flight::next_run_id();
+    hymv_trace::flight::rank_begin(run, 0);
+    let both = best_of(9, 20_000, || {
+        hymv_trace::flight::record_span(Phase::IndepEmv, 0.0, std::hint::black_box(1.0));
+        hymv_trace::flight::record_send(1, 7, 4096, std::hint::black_box(1.0));
+    });
+    hymv_trace::flight::rank_deposit();
+    hymv_trace::flight::discard(run);
+    both / 2.0
+}
+
 /// The guard: a matvec's worth of disabled instrumentation must cost
-/// under 3% of one EMV block and of one exchange round.
+/// under 3% of a matvec's worth of EMV block kernels and of one ghost
+/// exchange round (both per-matvec quantities), and a matvec's worth of
+/// *armed* flight-recorder records must stay **under 2%** of both (the
+/// flight ring is always on, so it gets its own, tighter bar).
 fn assert_disabled_overhead_bounded() {
     let unit = disabled_unit_seconds();
     let budget = unit * CALLS_PER_MATVEC as f64;
-    let emv = emv_block_seconds();
+    let flight_unit = flight_record_unit_seconds();
+    let flight_budget = flight_unit * CALLS_PER_MATVEC as f64;
+    let emv_matvec = emv_block_seconds() * BLOCKS_PER_MATVEC as f64;
     let round = exchange_round_seconds();
     println!(
         "trace_overhead guard: disabled unit {:.1} ns, matvec budget {:.1} ns, \
-         emv block {:.1} ns, exchange round {:.1} us",
+         flight unit {:.1} ns, flight budget {:.1} ns, \
+         emv matvec ({} blocks) {:.2} us, exchange round {:.1} us",
         unit * 1e9,
         budget * 1e9,
-        emv * 1e9,
+        flight_unit * 1e9,
+        flight_budget * 1e9,
+        BLOCKS_PER_MATVEC,
+        emv_matvec * 1e6,
         round * 1e6
     );
     assert!(
-        budget < 0.03 * emv,
-        "disabled tracing budget {budget:.3e}s exceeds 3% of an EMV block {emv:.3e}s"
+        budget < 0.03 * emv_matvec,
+        "disabled tracing budget {budget:.3e}s exceeds 3% of a matvec of EMV blocks {emv_matvec:.3e}s"
     );
     assert!(
         budget < 0.03 * round,
         "disabled tracing budget {budget:.3e}s exceeds 3% of an exchange round {round:.3e}s"
+    );
+    assert!(
+        flight_budget < 0.02 * emv_matvec,
+        "flight-recorder budget {flight_budget:.3e}s exceeds 2% of a matvec of EMV blocks {emv_matvec:.3e}s"
+    );
+    assert!(
+        flight_budget < 0.02 * round,
+        "flight-recorder budget {flight_budget:.3e}s exceeds 2% of an exchange round {round:.3e}s"
     );
 }
 
@@ -153,6 +197,15 @@ fn bench_disabled_path(c: &mut Criterion) {
     });
     group.bench_function("disabled_counter_add", |b| {
         b.iter(|| hymv_trace::counter_add("hymv_bench_guard_total", &[], 1));
+    });
+    group.bench_function("armed_flight_record", |b| {
+        let run = hymv_trace::flight::next_run_id();
+        hymv_trace::flight::rank_begin(run, 0);
+        b.iter(|| {
+            hymv_trace::flight::record_span(Phase::IndepEmv, 0.0, std::hint::black_box(1.0));
+        });
+        hymv_trace::flight::rank_deposit();
+        hymv_trace::flight::discard(run);
     });
     group.finish();
 }

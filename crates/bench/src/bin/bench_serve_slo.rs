@@ -1,0 +1,170 @@
+//! `BENCH_serve_slo` — request-latency SLO percentiles for the batched
+//! solve service.
+//!
+//! Replays a deterministic open-loop arrival stream (fixed virtual-time
+//! inter-arrival gap, the service stepped after every arrival) of
+//! Poisson solve requests against [`SolveService`] on 8 ranks, at batch
+//! widths {2, 8}, and distills the per-request virtual-time latencies
+//! into the RED-dashboard numbers: p50/p95/p99 of queue **wait**, batch
+//! **solve**, and submit-to-outcome **e2e** latency, plus aggregate
+//! throughput. Everything is measured in virtual time, so the committed
+//! artifact is bitwise reproducible on any machine.
+//!
+//! The artifact is a *trajectory*: `--out PATH` absorbs the rows an
+//! earlier run persisted at PATH and appends this run's rows (exact
+//! duplicates skipped), so the committed `BENCH_serve_slo.json` records
+//! how the SLO moved across commits instead of only its latest value.
+//!
+//! `--smoke` shrinks ranks/mesh/request count to a CI-sized single pass.
+
+use hymv_bench::Reporter;
+use hymv_comm::Universe;
+use hymv_core::dirichlet_op::owned_constraints;
+use hymv_core::maps::HymvMaps;
+use hymv_core::{DirichletOp, HymvOperator};
+use hymv_fem::dirichlet::{constrained_dofs, DirichletSpec};
+use hymv_fem::PoissonKernel;
+use hymv_la::Identity;
+use hymv_mesh::partition::{partition_mesh, PartitionMethod};
+use hymv_mesh::{ElementType, StructuredHexMesh};
+use hymv_serve::{BatchPolicy, SolveService};
+
+/// Virtual seconds between request arrivals (open-loop stream).
+const ARRIVAL_GAP_S: f64 = 2e-4;
+
+/// Deterministic, sign-varying load case `k` (zeroed on the walls so the
+/// constrained system stays consistent).
+fn load_case(maps: &HymvMaps, constrained: &[(u32, f64)], k: u64) -> Vec<f64> {
+    let lo = maps.node_range.0;
+    let n = (maps.node_range.1 - lo) as usize;
+    let mut f: Vec<f64> = (0..n)
+        .map(|i| {
+            let g = lo + i as u64;
+            ((g * (k + 3) + k * k) % 17) as f64 * 0.25 - 2.0
+        })
+        .collect();
+    for &(d, _) in constrained {
+        f[d as usize] = 0.0;
+    }
+    f
+}
+
+/// Exact percentile over a sorted sample (nearest-rank).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+/// `p50/p95/p99` of a latency sample, rendered in virtual microseconds.
+fn p50_95_99_us(mut sample: Vec<f64>) -> String {
+    sample.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    format!(
+        "{:.0}/{:.0}/{:.0}",
+        percentile(&sample, 0.50) * 1e6,
+        percentile(&sample, 0.95) * 1e6,
+        percentile(&sample, 0.99) * 1e6
+    )
+}
+
+/// One SLO measurement: `n_requests` arrivals at a fixed gap through a
+/// width-`width` service on `ranks` ranks of an `n`³ Hex8 Poisson
+/// problem. Returns the table row.
+fn slo_point(ranks: usize, n: usize, n_requests: usize, width: usize) -> Vec<String> {
+    let mesh = StructuredHexMesh::unit(n, ElementType::Hex8).build();
+    let pm = partition_mesh(&mesh, ranks, PartitionMethod::Slabs);
+    let spec = DirichletSpec::zero(
+        1,
+        std::sync::Arc::new(|x: [f64; 3]| x.iter().any(|&c| c < 1e-10 || c > 1.0 - 1e-10)),
+    );
+
+    let out = Universe::run(ranks, |comm| {
+        let part = &pm.parts[comm.rank()];
+        let kernel = PoissonKernel::new(ElementType::Hex8);
+        let maps = HymvMaps::build(part);
+        let (raw_op, _) = HymvOperator::setup(comm, part, &kernel);
+        let constrained = owned_constraints(&maps, 1, &constrained_dofs(part, &spec));
+        let mut op = DirichletOp::new(raw_op, constrained.clone());
+        let mut precond = Identity;
+        let policy = BatchPolicy {
+            max_width: width,
+            deadline_s: 1e-3,
+        };
+        let mut svc = SolveService::new(&mut op, &mut precond, 1e-8, 2_000, policy);
+
+        let t0 = comm.vt();
+        let mut outcomes = Vec::new();
+        for k in 0..n_requests {
+            svc.submit(comm, load_case(&maps, &constrained, k as u64));
+            comm.add_modeled_time(ARRIVAL_GAP_S);
+            outcomes.extend(svc.step(comm));
+        }
+        outcomes.extend(svc.flush(comm));
+        let span_s = comm.vt() - t0;
+        assert_eq!(outcomes.len(), n_requests, "lost requests");
+        assert!(outcomes.iter().all(|o| o.converged), "unconverged request");
+
+        let solve_of_batch: Vec<f64> = svc.batch_metrics().iter().map(|b| b.solve_s).collect();
+        let waits: Vec<f64> = outcomes.iter().map(|o| o.wait_s).collect();
+        let solves: Vec<f64> = outcomes.iter().map(|o| solve_of_batch[o.batch]).collect();
+        let e2es: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.wait_s + solve_of_batch[o.batch])
+            .collect();
+        (span_s, svc.batch_metrics().len(), waits, solves, e2es)
+    });
+    let (span_s, batches, waits, solves, e2es) = out[0].clone();
+    let throughput = n_requests as f64 / span_s;
+    vec![
+        width.to_string(),
+        n_requests.to_string(),
+        batches.to_string(),
+        format!("{throughput:.1}"),
+        p50_95_99_us(waits),
+        p50_95_99_us(solves),
+        p50_95_99_us(e2es),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let mut rep = Reporter::new(
+        "BENCH_serve_slo",
+        &[
+            "width",
+            "requests",
+            "batches",
+            "thr(req/s)",
+            "wait p50/p95/p99 (us)",
+            "solve p50/p95/p99 (us)",
+            "e2e p50/p95/p99 (us)",
+        ],
+    );
+
+    let (ranks, n, n_requests) = if smoke { (2, 4, 6) } else { (8, 6, 32) };
+    for width in [2usize, 8] {
+        rep.row(slo_point(ranks, n, n_requests, width));
+    }
+    rep.note(format!(
+        "open-loop arrivals every {ARRIVAL_GAP_S:.0e} virtual s over {ranks} ranks, \
+         {n}^3 hex8 Poisson; all latencies in virtual time (machine-independent)"
+    ));
+    rep.note("trajectory artifact: reruns append changed rows, identical rows dedup".to_string());
+
+    match out {
+        Some(path) => {
+            let absorbed = rep.absorb_trajectory(&path);
+            if absorbed > 0 {
+                println!("absorbed {absorbed} historical row(s) from {path}");
+            }
+            rep.finish_at(&path);
+        }
+        None => rep.finish(),
+    }
+}

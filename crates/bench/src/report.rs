@@ -3,7 +3,7 @@
 //! EXPERIMENTS.md).
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use serde::Serialize;
 
@@ -97,18 +97,76 @@ impl Reporter {
 
     /// Print to stdout and persist JSON under `target/experiments/`.
     pub fn finish(&self) {
-        print!("{}", self.render());
         let dir = PathBuf::from("target/experiments");
-        if std::fs::create_dir_all(&dir).is_ok() {
-            let path = dir.join(format!("{}.json", self.record.name));
-            if let Ok(mut f) = std::fs::File::create(&path) {
-                let _ = f.write_all(
-                    serde_json::to_string_pretty(&self.record)
-                        .expect("record serializes")
-                        .as_bytes(),
-                );
-                println!("saved: {}", path.display());
+        let _ = std::fs::create_dir_all(&dir);
+        self.finish_at(dir.join(format!("{}.json", self.record.name)));
+    }
+
+    /// Absorb the rows a previous run persisted at `path` (same record
+    /// name and columns), prepending them to this run's rows — repeated
+    /// runs build a *trajectory* instead of overwriting history. Rows
+    /// identical to one already present are skipped, so re-running an
+    /// unchanged benchmark leaves the artifact unchanged. Returns how
+    /// many historical rows were absorbed; a missing/foreign artifact
+    /// absorbs none.
+    pub fn absorb_trajectory(&mut self, path: impl AsRef<Path>) -> usize {
+        let Ok(text) = std::fs::read_to_string(path.as_ref()) else {
+            return 0;
+        };
+        let Ok(v) = serde_json::from_str::<serde_json::Value>(&text) else {
+            return 0;
+        };
+        if v["name"].as_str() != Some(self.record.name.as_str()) {
+            return 0;
+        }
+        let cols: Vec<&str> = v["columns"]
+            .as_array()
+            .map(|a| a.iter().filter_map(serde_json::Value::as_str).collect())
+            .unwrap_or_default();
+        if cols
+            != self
+                .record
+                .columns
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+        {
+            return 0;
+        }
+        let Some(rows) = v["rows"].as_array() else {
+            return 0;
+        };
+        let mut absorbed = Vec::new();
+        for row in rows {
+            let Some(cells) = row.as_array() else {
+                continue;
+            };
+            let cells: Vec<String> = cells
+                .iter()
+                .filter_map(|c| c.as_str().map(str::to_string))
+                .collect();
+            if cells.len() == self.record.columns.len() && !self.record.rows.contains(&cells) {
+                absorbed.push(cells);
             }
+        }
+        let n = absorbed.len();
+        absorbed.append(&mut self.record.rows);
+        self.record.rows = absorbed;
+        n
+    }
+
+    /// Print to stdout and persist JSON at an explicit path. Pair with
+    /// [`Reporter::absorb_trajectory`] on the same path for append
+    /// (trajectory) semantics.
+    pub fn finish_at(&self, path: impl AsRef<Path>) {
+        print!("{}", self.render());
+        if let Ok(mut f) = std::fs::File::create(path.as_ref()) {
+            let _ = f.write_all(
+                serde_json::to_string_pretty(&self.record)
+                    .expect("record serializes")
+                    .as_bytes(),
+            );
+            println!("saved: {}", path.as_ref().display());
         }
         println!();
     }
@@ -157,6 +215,39 @@ mod tests {
     fn row_width_checked() {
         let mut r = Reporter::new("x", &["a", "b"]);
         r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn trajectory_appends_instead_of_overwriting() {
+        let path =
+            std::env::temp_dir().join(format!("hymv_trajectory_test_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut first = Reporter::new("traj", &["k", "v"]);
+        first.row(vec!["a".into(), "1".into()]);
+        assert_eq!(first.absorb_trajectory(&path), 0, "no history yet");
+        first.finish_at(&path);
+
+        // A second run with a new row keeps the first run's history.
+        let mut second = Reporter::new("traj", &["k", "v"]);
+        second.row(vec!["b".into(), "2".into()]);
+        assert_eq!(second.absorb_trajectory(&path), 1);
+        assert_eq!(second.record().rows.len(), 2);
+        assert_eq!(second.record().rows[0], vec!["a", "1"]);
+        second.finish_at(&path);
+
+        // Re-running an unchanged benchmark leaves the artifact stable.
+        let mut third = Reporter::new("traj", &["k", "v"]);
+        third.row(vec!["b".into(), "2".into()]);
+        assert_eq!(third.absorb_trajectory(&path), 1, "only the foreign row");
+        assert_eq!(third.record().rows.len(), 2);
+
+        // A reporter with different columns refuses the artifact.
+        let mut other = Reporter::new("traj", &["k", "v", "w"]);
+        other.row(vec!["c".into(), "3".into(), "4".into()]);
+        assert_eq!(other.absorb_trajectory(&path), 0);
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -543,6 +543,97 @@ mod tests {
         }
     }
 
+    /// Request traces survive LFLR: a service solve whose batch eats a
+    /// rank crash still returns outcomes whose ids/contexts match the
+    /// submissions, and the recovery spans recorded mid-crash carry the
+    /// batch context that the request flow-links point at — the
+    /// postmortem chain request → batch → recovery is unbroken.
+    #[test]
+    fn request_traces_survive_crash_recovery_in_service() {
+        use hymv_trace::Phase;
+
+        let p = 4;
+        let mesh = StructuredHexMesh::unit(3, ElementType::Hex8).build();
+        let pm = partition_mesh(&mesh, p, PartitionMethod::GreedyGraph);
+        // Calibrate outside the session so only the recovered solve is
+        // recorded.
+        let (setup, total) = calibrate(&pm, Driver::Service, 4, p);
+        assert!(total > setup);
+        let session = hymv_trace::TraceSession::begin();
+        let plan = FaultPlan::new(5).with_crash(p - 1, CrashWindow::Allreduce.place(setup, total));
+        let mut cfg = run_cfg(Some(plan));
+        cfg.trace = true;
+        let (results, _) = Universe::run_chaos(cfg, p, |comm| {
+            let mut sys = build_system(&pm, comm);
+            let mut pc = Jacobi::new(&sys.diag);
+            let rhs = sys.rhs.clone();
+            let mut op = MvOp(&mut sys.op);
+            let mut svc = SolveService::new(
+                &mut op,
+                &mut pc,
+                1e-9,
+                2_000,
+                BatchPolicy {
+                    max_width: 2,
+                    deadline_s: 1e-3,
+                },
+            )
+            .with_recovery(armed_policy(4));
+            let ids: Vec<u64> = (0..4)
+                .map(|c| svc.submit(comm, scaled_rhs(&rhs, c)))
+                .collect();
+            let mut outcomes = svc.flush(comm);
+            outcomes.sort_by_key(|o| o.id);
+            let outs: Vec<_> = outcomes
+                .iter()
+                .map(|o| {
+                    (
+                        o.id,
+                        o.ctx,
+                        o.batch_ctx,
+                        o.batch,
+                        o.recoveries,
+                        o.fault.is_none() && o.converged,
+                    )
+                })
+                .collect();
+            (ids, outs)
+        });
+        let report = session.finish();
+        for res in results {
+            let (ids, outs) = res.expect("armed service survives the crash");
+            assert_eq!(outs.len(), ids.len(), "every submission gets an outcome");
+            let mut recoveries = 0;
+            for (k, &(id, ctx, batch_ctx, batch, rec, ok)) in outs.iter().enumerate() {
+                assert_eq!(id, ids[k], "outcome ids match submission order");
+                assert_eq!(ctx, hymv_trace::ctx_request(id));
+                assert_eq!(batch_ctx, hymv_trace::ctx_batch(batch as u64));
+                assert!(ok, "request {id} failed or did not converge");
+                recoveries += rec;
+            }
+            assert!(recoveries >= 1, "the crash never fired");
+        }
+        // The recovery spans recorded mid-crash inherited a batch
+        // context, and that context is the target of the request flow
+        // links — the trace walks request → batch → recovery.
+        let recovery_ctxs: std::collections::BTreeSet<u64> = report
+            .spans
+            .iter()
+            .filter(|e| e.phase == Phase::Recovery)
+            .map(|e| e.ctx)
+            .collect();
+        assert!(!recovery_ctxs.is_empty(), "no recovery spans recorded");
+        for ctx in &recovery_ctxs {
+            assert_eq!(*ctx, hymv_trace::ctx_batch(ctx & 0xffff_ffff));
+            assert!(
+                report.flows.iter().any(|&(_, to)| to == *ctx),
+                "recovery ctx {ctx:#x} not flow-linked from any request"
+            );
+        }
+        // Submit instants made it into the trace alongside.
+        assert!(report.spans.iter().any(|e| e.phase == Phase::Submit));
+    }
+
     #[test]
     fn names_round_trip() {
         for w in CrashWindow::ALL {

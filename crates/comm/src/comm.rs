@@ -177,6 +177,7 @@ impl Comm {
         };
         let base_arrival = self.stamp_arrival(tag, payload.len_bytes());
         let vt = self.ledger.vt();
+        hymv_trace::flight::record_send(dst, tag, payload.len_bytes(), vt);
         // A straggler link stretches the modeled transit only; the payload
         // and its eventual position in the residual history are untouched.
         let arrival_vt = vt + (base_arrival - vt) * decision.delay_mult;
@@ -217,7 +218,9 @@ impl Comm {
     /// Unchecked-tag send on the reliable fabric (internal: also carries
     /// the control-band traffic of the reliable layer).
     pub(crate) fn isend_internal(&mut self, dst: usize, tag: u32, payload: Payload) -> SendHandle {
-        let arrival_vt = self.stamp_arrival(tag, payload.len_bytes());
+        let bytes = payload.len_bytes();
+        let arrival_vt = self.stamp_arrival(tag, bytes);
+        hymv_trace::flight::record_send(dst, tag, bytes, self.ledger.vt());
         self.world.deliver(
             dst,
             Message {
@@ -298,6 +301,7 @@ impl Comm {
         self.expect_live(&msg);
         self.ledger
             .on_recv_complete(msg.arrival_vt, tag, msg.payload.len_bytes());
+        hymv_trace::flight::record_recv(msg.src, tag, msg.payload.len_bytes(), msg.arrival_vt);
         (msg.src, msg.payload)
     }
 
@@ -306,6 +310,7 @@ impl Comm {
         self.expect_live(&msg);
         self.ledger
             .on_recv_complete(msg.arrival_vt, tag, msg.payload.len_bytes());
+        hymv_trace::flight::record_recv(msg.src, tag, msg.payload.len_bytes(), msg.arrival_vt);
         msg.payload
     }
 
@@ -314,6 +319,7 @@ impl Comm {
             self.expect_live(&msg);
             self.ledger
                 .on_recv_complete(msg.arrival_vt, tag, msg.payload.len_bytes());
+            hymv_trace::flight::record_recv(msg.src, tag, msg.payload.len_bytes(), msg.arrival_vt);
             msg.payload
         })
     }
@@ -500,6 +506,40 @@ impl Comm {
             hymv_trace::counter_add("hymv_bytes_recv_total", labels, t.bytes_recv);
             hymv_trace::counter_add("hymv_msgs_recv_total", labels, t.msgs_recv);
         }
+    }
+
+    /// Refresh this rank's live telemetry: set the clock/utilization
+    /// gauges and publish a *replacement* copy of the rank's current
+    /// metrics registry to the configured live transports (HTTP
+    /// endpoint / snapshot file). Unlike [`Comm::publish_trace_metrics`]
+    /// this re-folds no counters, so calling it at every batch boundary
+    /// is safe. One relaxed atomic load when no transport is configured.
+    pub fn publish_live(&self) {
+        if !hymv_trace::live::live_enabled() {
+            return;
+        }
+        let s = self.ledger.stats();
+        hymv_trace::gauge_set("hymv_vt_seconds", &[], s.vt);
+        hymv_trace::gauge_set("hymv_compute_seconds", &[], s.compute_s);
+        hymv_trace::gauge_set("hymv_comm_wait_seconds", &[], s.comm_wait_s);
+        let util = if s.vt > 0.0 { s.compute_s / s.vt } else { 0.0 };
+        hymv_trace::gauge_set("hymv_rank_utilization", &[], util);
+        hymv_trace::rank_live_publish();
+    }
+
+    /// Collective flight-recorder postmortem for a run that *survives*
+    /// its incident (a failed batch, as opposed to a typed abort): every
+    /// rank snapshots its ring while still alive, and after the barrier
+    /// rank 0 renders and stores the artifact. Returns the JSON on rank
+    /// 0, `None` elsewhere. The trailing barrier keeps a later
+    /// incident's snapshots from racing this dump.
+    // verify: collective-entry
+    pub fn flight_postmortem(&mut self, reason: &str) -> Option<String> {
+        hymv_trace::flight::rank_snapshot();
+        self.barrier();
+        let out = (self.rank == 0).then(|| hymv_trace::flight::dump(self.world.flight_run, reason));
+        self.barrier();
+        out
     }
 
     // -------------------------------------------------------- collectives

@@ -111,6 +111,9 @@ pub(crate) struct World {
     pub retry: RetryPolicy,
     /// Whether rank threads record into the open trace session.
     pub trace: bool,
+    /// Flight-recorder run id: keys this run's per-rank postmortem
+    /// rings so concurrent universes (parallel tests) never mix dumps.
+    pub flight_run: u64,
     /// First fault report of the run; set once, then every blocking wait
     /// unwinds with a typed abort instead of hanging on a dead peer.
     poison: Mutex<Option<FaultReport>>,
@@ -157,6 +160,7 @@ impl World {
             fault: fault.filter(FaultPlan::is_active).map(FaultState::new),
             retry,
             trace,
+            flight_run: hymv_trace::flight::next_run_id(),
             poison: Mutex::new(None),
             poisoned: AtomicBool::new(false),
             revoke_suspects: Mutex::new(Vec::new()),
@@ -632,7 +636,8 @@ impl Universe {
             cfg.trace,
         );
         let f = &f;
-        let results = std::thread::scope(|scope| {
+        let flight_run = world.flight_run;
+        let results: Vec<T> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..size)
                 .map(|rank| {
                     let world = Arc::clone(&world);
@@ -641,10 +646,13 @@ impl Universe {
                         if traced {
                             hymv_trace::rank_begin(rank);
                         }
+                        hymv_trace::flight::rank_begin(world.flight_run, rank);
+                        let _flight = FlightDepositGuard;
                         let mut comm = Comm::new(rank, world);
                         let out = f(&mut comm);
                         if traced {
                             comm.publish_trace_metrics();
+                            comm.publish_live();
                             hymv_trace::rank_flush();
                         }
                         comm.note_exit();
@@ -652,9 +660,29 @@ impl Universe {
                     })
                 })
                 .collect();
-            handles
+            // Join everything before deciding the flight outcome so every
+            // rank's ring (crashed or not) has been deposited.
+            let joined: Vec<_> = handles
                 .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .map(std::thread::ScopedJoinHandle::join)
+                .collect();
+            let any_dead = joined.iter().any(Result::is_err);
+            if any_dead {
+                let reason = joined
+                    .iter()
+                    .find_map(|r| r.as_ref().err())
+                    .and_then(|p| p.downcast_ref::<FaultAbort>())
+                    .map_or_else(
+                        || "rank panic".to_string(),
+                        |abort| format!("{:?}", abort.0),
+                    );
+                hymv_trace::flight::dump(flight_run, &reason);
+            } else {
+                hymv_trace::flight::discard(flight_run);
+            }
+            joined
+                .into_iter()
+                .map(|r| r.unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect()
         });
         let report = world.audit_report();
@@ -688,7 +716,8 @@ impl Universe {
             cfg.trace,
         );
         let f = &f;
-        let results = std::thread::scope(|scope| {
+        let flight_run = world.flight_run;
+        let results: Vec<Result<T, FaultReport>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..size)
                 .map(|rank| {
                     let world = Arc::clone(&world);
@@ -697,10 +726,13 @@ impl Universe {
                         if traced {
                             hymv_trace::rank_begin(rank);
                         }
+                        hymv_trace::flight::rank_begin(world.flight_run, rank);
+                        let _flight = FlightDepositGuard;
                         let mut comm = Comm::new(rank, world);
                         let out = f(&mut comm);
                         if traced {
                             comm.publish_trace_metrics();
+                            comm.publish_live();
                             hymv_trace::rank_flush();
                         }
                         comm.note_exit();
@@ -708,7 +740,7 @@ impl Universe {
                     })
                 })
                 .collect();
-            handles
+            let typed: Vec<Result<T, FaultReport>> = handles
                 .into_iter()
                 .enumerate()
                 .map(|(rank, h)| match h.join() {
@@ -729,10 +761,33 @@ impl Universe {
                         },
                     },
                 })
-                .collect()
+                .collect();
+            // All ranks joined (so every ring is deposited): a run that
+            // died with any typed fault — crash aborts, CheckpointLost,
+            // unrecovered revocations — ships its postmortem; a clean
+            // run discards its rings.
+            match typed.iter().find_map(|r| r.as_ref().err()) {
+                Some(report) => {
+                    hymv_trace::flight::dump(flight_run, &format!("{report:?}"));
+                }
+                None => hymv_trace::flight::discard(flight_run),
+            }
+            typed
         });
         let report = world.audit_report();
         (results, report)
+    }
+}
+
+/// Deposits the rank thread's flight-recorder ring into the postmortem
+/// store when the rank ends — drop guards run on panic unwinds too,
+/// which is exactly the case the flight recorder exists for: the ring
+/// of a crashed rank must survive to the dump.
+struct FlightDepositGuard;
+
+impl Drop for FlightDepositGuard {
+    fn drop(&mut self) {
+        hymv_trace::flight::rank_deposit();
     }
 }
 

@@ -29,6 +29,8 @@ pub fn event_to_chrome(e: &TraceEvent) -> ChromeTraceEvent {
         dur: (e.end - e.start) * 1e6,
         pid: 0,
         tid: e.stream,
+        id: None,
+        bp: None,
     }
 }
 

@@ -4,6 +4,7 @@
 //! hymv-prof [--n N] [--p P] [--seeds K|s1,s2,...]
 //!           [--scheme blocking|overlap-cpu|overlap-gpu] [--streams S]
 //!           [--out DIR] [--width W]
+//! hymv-prof diff A B [--threshold FRACTION] [--limit ROWS]
 //! ```
 //!
 //! Runs a traced `N³`-element Poisson CG solve over `P` thread-ranks
@@ -15,6 +16,12 @@
 //! seed the canonical (timestamp-free) traces are additionally certified
 //! bitwise identical across seeds. Exits 0 on success, 1 on a
 //! determinism violation or failed solve, 2 on bad usage.
+//!
+//! `diff` compares two artifacts (`summary.json` or `metrics.prom`,
+//! auto-detected) metric by metric, distilling each histogram series
+//! into p50/p95/p99 shifts; with `--threshold` it exits 1 when any
+//! shared metric's relative delta exceeds the fraction — the CI
+//! regression gate over committed baselines.
 
 use std::process::ExitCode;
 
@@ -35,9 +42,78 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hymv-prof [--n N] [--p P] [--seeds K|s1,s2,...]\n\
          \x20                [--scheme blocking|overlap-cpu|overlap-gpu] [--streams S]\n\
-         \x20                [--out DIR] [--width W]"
+         \x20                [--out DIR] [--width W]\n\
+         \x20      hymv-prof diff A B [--threshold FRACTION] [--limit ROWS]"
     );
     ExitCode::from(2)
+}
+
+/// `hymv-prof diff A B [--threshold FRACTION] [--limit ROWS]`: compare
+/// two profiling artifacts; exit 1 when a shared metric moved by more
+/// than the threshold fraction.
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut threshold = f64::INFINITY;
+    let mut limit = 20usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .and_then(|v| v.parse::<f64>().map_err(|e| format!("{flag}: {e}")))
+        };
+        match arg.as_str() {
+            "--threshold" => match val("--threshold") {
+                Ok(t) if t >= 0.0 => threshold = t,
+                Ok(_) => {
+                    eprintln!("hymv-prof: --threshold must be non-negative");
+                    return usage();
+                }
+                Err(e) => {
+                    eprintln!("hymv-prof: {e}");
+                    return usage();
+                }
+            },
+            "--limit" => match val("--limit") {
+                Ok(l) if l >= 1.0 => limit = l as usize,
+                _ => {
+                    eprintln!("hymv-prof: --limit must be a positive integer");
+                    return usage();
+                }
+            },
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [a_path, b_path] = paths.as_slice() else {
+        eprintln!("hymv-prof: diff needs exactly two artifact paths");
+        return usage();
+    };
+    let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let (a, b) = match (read(a_path), read(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("hymv-prof: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match hymv_prof::diff::diff_artifacts(&a, &b) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hymv-prof: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("diff {a_path} -> {b_path}");
+    print!("{}", report.render(limit));
+    if threshold.is_finite() && report.exceeds(threshold) {
+        eprintln!(
+            "hymv-prof: worst relative delta {:.4}% exceeds threshold {:.4}%",
+            report.worst * 100.0,
+            threshold * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
@@ -102,6 +178,10 @@ fn write_artifact(dir: &str, name: &str, content: &str) -> Result<String, String
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("diff") {
+        return run_diff(&argv[1..]);
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {

@@ -1,0 +1,371 @@
+//! Artifact diffing for `hymv-prof diff`: compare two profiling
+//! artifacts — `summary.json` analyses or `metrics.prom` Prometheus
+//! dumps, auto-detected — metric by metric.
+//!
+//! Both formats flatten to the same shape, a sorted `name → value` map:
+//!
+//! * **summary JSON** — every numeric leaf, keyed by its dotted path
+//!   (array elements carrying a `"phase"` name use it instead of their
+//!   index, so reordered phase tables still line up);
+//! * **Prometheus text** — every sample verbatim, with each histogram
+//!   series additionally distilled into `p50`/`p95`/`p99` estimates from
+//!   its cumulative buckets — the percentile *shift* between two runs is
+//!   the signal a raw bucket-by-bucket diff buries.
+//!
+//! [`DiffReport::worst`] is the largest relative delta over the shared
+//! metrics; the CLI exits non-zero when it exceeds `--threshold`.
+
+use std::collections::BTreeMap;
+
+/// Estimated percentiles reported for each histogram series.
+pub const PERCENTILES: [(u8, f64); 3] = [(50, 0.50), (95, 0.95), (99, 0.99)];
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Flattened metric name.
+    pub metric: String,
+    /// Value in the first artifact.
+    pub a: f64,
+    /// Value in the second artifact.
+    pub b: f64,
+    /// Relative delta `|b - a| / max(|a|, |b|)` (0 when bitwise equal).
+    pub rel: f64,
+}
+
+/// The full comparison of two artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Shared metrics, sorted by descending relative delta then name.
+    pub rows: Vec<DiffRow>,
+    /// Metrics present only in the first artifact.
+    pub only_a: Vec<String>,
+    /// Metrics present only in the second artifact.
+    pub only_b: Vec<String>,
+    /// Largest relative delta over the shared metrics (0 when none).
+    pub worst: f64,
+}
+
+impl DiffReport {
+    /// True when some shared metric moved by more than `threshold`
+    /// (a fraction: `0.05` = 5%) — the CLI's failure condition.
+    pub fn exceeds(&self, threshold: f64) -> bool {
+        self.worst > threshold
+    }
+
+    /// Human-readable table: every changed metric (capped at `limit`
+    /// rows), the one-sided metrics, and the verdict line.
+    pub fn render(&self, limit: usize) -> String {
+        let mut out = String::new();
+        let changed: Vec<&DiffRow> = self.rows.iter().filter(|r| r.rel > 0.0).collect();
+        if changed.is_empty() {
+            out.push_str("no shared metric changed\n");
+        }
+        for row in changed.iter().take(limit) {
+            out.push_str(&format!(
+                "{:>9.4}%  {}  {} -> {}\n",
+                row.rel * 100.0,
+                row.metric,
+                row.a,
+                row.b
+            ));
+        }
+        if changed.len() > limit {
+            out.push_str(&format!("... and {} more\n", changed.len() - limit));
+        }
+        for m in &self.only_a {
+            out.push_str(&format!("only in A: {m}\n"));
+        }
+        for m in &self.only_b {
+            out.push_str(&format!("only in B: {m}\n"));
+        }
+        out.push_str(&format!(
+            "{} shared metrics, worst relative delta {:.4}%\n",
+            self.rows.len(),
+            self.worst * 100.0
+        ));
+        out
+    }
+}
+
+/// Flatten one artifact (format auto-detected: a leading `{` means
+/// summary JSON, anything else is Prometheus text) into `name → value`.
+pub fn parse_artifact(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    if text.trim_start().starts_with('{') {
+        let v: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| format!("summary JSON: {e}"))?;
+        let mut out = BTreeMap::new();
+        flatten_json(&v, "", &mut out);
+        Ok(out)
+    } else {
+        parse_prometheus(text)
+    }
+}
+
+/// Compare two flattened artifacts.
+pub fn diff(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> DiffReport {
+    let mut rows = Vec::new();
+    let mut only_a = Vec::new();
+    for (name, &va) in a {
+        match b.get(name) {
+            Some(&vb) => rows.push(DiffRow {
+                metric: name.clone(),
+                a: va,
+                b: vb,
+                rel: rel_delta(va, vb),
+            }),
+            None => only_a.push(name.clone()),
+        }
+    }
+    let only_b: Vec<String> = b.keys().filter(|k| !a.contains_key(*k)).cloned().collect();
+    rows.sort_by(|x, y| {
+        y.rel
+            .partial_cmp(&x.rel)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.metric.cmp(&y.metric))
+    });
+    let worst = rows.first().map_or(0.0, |r| r.rel);
+    DiffReport {
+        rows,
+        only_a,
+        only_b,
+        worst,
+    }
+}
+
+/// Parse, flatten, and compare two artifact texts in one call.
+pub fn diff_artifacts(a_text: &str, b_text: &str) -> Result<DiffReport, String> {
+    Ok(diff(&parse_artifact(a_text)?, &parse_artifact(b_text)?))
+}
+
+fn rel_delta(a: f64, b: f64) -> f64 {
+    if a == b || (a.is_nan() && b.is_nan()) {
+        return 0.0;
+    }
+    let scale = a.abs().max(b.abs());
+    if scale.is_finite() && scale > 0.0 {
+        ((b - a).abs() / scale).min(f64::INFINITY)
+    } else {
+        // One side infinite (or both, with opposite signs): a total shift.
+        1.0
+    }
+}
+
+fn flatten_json(v: &serde_json::Value, path: &str, out: &mut BTreeMap<String, f64>) {
+    use serde_json::Value;
+    match v {
+        Value::Number(x) => {
+            out.insert(path.to_string(), *x);
+        }
+        Value::Bool(b) => {
+            out.insert(path.to_string(), f64::from(u8::from(*b)));
+        }
+        Value::Object(members) => {
+            for (k, child) in members {
+                let sub = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                flatten_json(child, &sub, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                // Rows naming their phase key on the phase, not the
+                // index, so a reordered phase table still lines up.
+                let seg = child
+                    .get("phase")
+                    .and_then(Value::as_str)
+                    .map_or_else(|| i.to_string(), str::to_string);
+                flatten_json(child, &format!("{path}.{seg}"), out);
+            }
+        }
+        Value::Null | Value::String(_) => {}
+    }
+}
+
+/// One histogram series under reconstruction: `le → cumulative count`.
+#[derive(Default)]
+struct BucketSeries {
+    buckets: Vec<(f64, f64)>,
+    count: Option<f64>,
+}
+
+fn parse_prometheus(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let mut series: BTreeMap<String, BucketSeries> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("metrics line {}: no value: {line}", lineno + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|e| format!("metrics line {}: {e}: {line}", lineno + 1))?;
+        if let Some((base, le)) = split_bucket(key) {
+            let entry = series.entry(base).or_default();
+            entry.buckets.push((le, value));
+            if le.is_infinite() {
+                entry.count = Some(value);
+            }
+        } else {
+            out.insert(key.to_string(), value);
+        }
+    }
+    for (base, s) in series {
+        let Some(count) = s.count.filter(|c| *c > 0.0) else {
+            continue;
+        };
+        for (p, q) in PERCENTILES {
+            out.insert(format!("{base} p{p}"), percentile(&s.buckets, count, q));
+        }
+    }
+    Ok(out)
+}
+
+/// Split a `name_bucket{...,le="X",...}` sample into the series key
+/// (name + remaining labels) and the numeric bound.
+fn split_bucket(key: &str) -> Option<(String, f64)> {
+    let (name, labels) = key.split_once('{')?;
+    let name = name.strip_suffix("_bucket")?;
+    let labels = labels.strip_suffix('}')?;
+    let mut le = None;
+    let mut rest = Vec::new();
+    for part in labels.split(',') {
+        let (k, v) = part.split_once('=')?;
+        let v = v.trim_matches('"');
+        if k == "le" {
+            le = Some(if v == "+Inf" {
+                f64::INFINITY
+            } else {
+                v.parse().ok()?
+            });
+        } else {
+            rest.push(part.to_string());
+        }
+    }
+    let base = if rest.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{}}}", rest.join(","))
+    };
+    Some((base, le?))
+}
+
+/// Smallest bucket bound whose cumulative count covers quantile `q`.
+fn percentile(buckets: &[(f64, f64)], count: f64, q: f64) -> f64 {
+    let need = q * count;
+    let mut sorted: Vec<(f64, f64)> = buckets.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut last_finite = 0.0;
+    for (le, cum) in &sorted {
+        if le.is_finite() {
+            last_finite = *le;
+        }
+        if *cum >= need {
+            // The +Inf bucket pins to the largest finite bound seen, so
+            // two identical histograms diff to zero instead of NaN.
+            return if le.is_finite() { *le } else { last_finite };
+        }
+    }
+    last_finite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROM_A: &str = "\
+# HELP hymv_serve_requests_total Solve requests submitted to the service
+# TYPE hymv_serve_requests_total counter
+hymv_serve_requests_total{rank=\"0\"} 6
+# TYPE hymv_request_e2e_us histogram
+hymv_request_e2e_us_bucket{le=\"127\",rank=\"0\"} 2
+hymv_request_e2e_us_bucket{le=\"255\",rank=\"0\"} 5
+hymv_request_e2e_us_bucket{le=\"+Inf\",rank=\"0\"} 6
+hymv_request_e2e_us_sum{rank=\"0\"} 900
+hymv_request_e2e_us_count{rank=\"0\"} 6
+";
+
+    #[test]
+    fn prometheus_flattening_distills_percentiles() {
+        let m = parse_artifact(PROM_A).expect("parses");
+        assert_eq!(m["hymv_serve_requests_total{rank=\"0\"}"], 6.0);
+        assert_eq!(m["hymv_request_e2e_us_sum{rank=\"0\"}"], 900.0);
+        assert_eq!(m["hymv_request_e2e_us_count{rank=\"0\"}"], 6.0);
+        // p50 needs 3 of 6 → le=255; p95/p99 need ≥5.7 → the +Inf
+        // bucket, pinned to the largest finite bound.
+        assert_eq!(m["hymv_request_e2e_us{rank=\"0\"} p50"], 255.0);
+        assert_eq!(m["hymv_request_e2e_us{rank=\"0\"} p95"], 255.0);
+        assert_eq!(m["hymv_request_e2e_us{rank=\"0\"} p99"], 255.0);
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let report = diff_artifacts(PROM_A, PROM_A).expect("parses");
+        assert_eq!(report.worst, 0.0);
+        assert!(report.only_a.is_empty() && report.only_b.is_empty());
+        assert!(!report.exceeds(0.0));
+        assert!(report.render(10).contains("no shared metric changed"));
+    }
+
+    #[test]
+    fn shifted_histogram_moves_percentiles_and_trips_threshold() {
+        let b = PROM_A
+            .replace("le=\"127\",rank=\"0\"} 2", "le=\"127\",rank=\"0\"} 5")
+            .replace("le=\"255\",rank=\"0\"} 5", "le=\"255\",rank=\"0\"} 6");
+        let report = diff_artifacts(PROM_A, &b).expect("parses");
+        let p50 = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "hymv_request_e2e_us{rank=\"0\"} p50")
+            .expect("p50 compared");
+        assert_eq!((p50.a, p50.b), (255.0, 127.0));
+        assert!(report.exceeds(0.05), "worst {}", report.worst);
+        assert!(!report.exceeds(1.0));
+    }
+
+    #[test]
+    fn summary_json_flattens_by_phase_name() {
+        let a = r#"{"iterations": 12, "converged": true,
+                    "phases": [{"phase": "emv", "total_s": 1.0},
+                               {"phase": "allreduce", "total_s": 0.5}]}"#;
+        let b = r#"{"iterations": 12, "converged": true,
+                    "phases": [{"phase": "allreduce", "total_s": 0.5},
+                               {"phase": "emv", "total_s": 2.0}]}"#;
+        let report = diff_artifacts(a, b).expect("parses");
+        // Reordered phase rows still line up by name; only emv moved.
+        let emv = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "phases.emv.total_s")
+            .expect("emv row");
+        assert_eq!((emv.a, emv.b), (1.0, 2.0));
+        assert_eq!(report.rows.iter().filter(|r| r.rel > 0.0).count(), 1);
+        assert!((report.worst - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_sided_metrics_are_reported_not_compared() {
+        let a = "m_total 1\nextra_total 2\n";
+        let b = "m_total 1\nnovel_total 3\n";
+        let report = diff_artifacts(a, b).expect("parses");
+        assert_eq!(report.only_a, vec!["extra_total"]);
+        assert_eq!(report.only_b, vec!["novel_total"]);
+        assert_eq!(report.worst, 0.0);
+        let rendered = report.render(10);
+        assert!(rendered.contains("only in A: extra_total"), "{rendered}");
+        assert!(rendered.contains("only in B: novel_total"), "{rendered}");
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(parse_artifact("nonsense").is_err());
+        assert!(parse_artifact("m_total notanumber").is_err());
+        assert!(parse_artifact("{").is_err());
+    }
+}

@@ -12,6 +12,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
+
 use hymv_comm::{RunConfig, Universe};
 use hymv_fem::PoissonKernel;
 use hymv_gpu::{GpuModel, GpuScheme, HymvGpuOperator};

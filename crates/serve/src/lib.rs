@@ -77,6 +77,13 @@ struct Pending {
 pub struct SolveOutcome {
     /// The id returned by [`SolveService::submit`].
     pub id: u64,
+    /// The request's trace context (`hymv_trace::ctx_request(id)`):
+    /// the key that links this outcome to its submit instant, batch
+    /// spans, and recovery spans in the trace and flight recorder.
+    pub ctx: u64,
+    /// Trace context of the batch this request rode in
+    /// (`hymv_trace::ctx_batch(batch)`).
+    pub batch_ctx: u64,
     /// Owned-dof solution.
     pub x: Vec<f64>,
     /// Block iterations of the batch this request rode in.
@@ -179,7 +186,14 @@ impl<'a> SolveService<'a> {
             rhs,
             submitted_vt: comm.vt(),
         });
+        {
+            // The submit instant carries the request context — the
+            // anchor every later flow link binds back to.
+            let _req = hymv_trace::CtxGuard::enter(hymv_trace::ctx_request(id));
+            hymv_trace::instant(Phase::Submit, comm.vt());
+        }
         hymv_trace::counter_add("hymv_serve_requests_total", &[], 1);
+        hymv_trace::gauge_set("hymv_serve_queue_depth", &[], self.queue.len() as f64);
         id
     }
 
@@ -238,15 +252,25 @@ impl<'a> SolveService<'a> {
         let width = reqs.len();
         let ordinal = self.batches.len();
         let dispatched_vt = comm.vt();
+        let batch_ctx = hymv_trace::ctx_batch(ordinal as u64);
+        for r in &reqs {
+            hymv_trace::flow_link(hymv_trace::ctx_request(r.id), batch_ctx);
+        }
 
         let cols: Vec<Vec<f64>> = reqs.iter().map(|r| r.rhs.clone()).collect();
         let b = Multivector::from_columns(&cols);
         let mut x = Multivector::new(self.op.n_owned(), width);
         let (op, precond) = (&mut *self.op, &mut *self.precond);
         let (rtol, max_iter, recovery) = (self.rtol, self.max_iter, self.recovery);
-        let res = comm.traced(Phase::ServeBatch, |comm| {
-            block_cg(comm, op, precond, &b, &mut x, rtol, max_iter, &recovery)
-        });
+        let res = {
+            // Everything under the batch — ServeBatch itself, the
+            // SolverIter spans, and any Retry/Checkpoint/Recovery spans
+            // — inherits the batch context through the thread-local.
+            let _batch = hymv_trace::CtxGuard::enter(batch_ctx);
+            comm.traced(Phase::ServeBatch, |comm| {
+                block_cg(comm, op, precond, &b, &mut x, rtol, max_iter, &recovery)
+            })
+        };
         let solve_s = comm.vt() - dispatched_vt;
 
         let (iterations, recoveries, fault) = match &res {
@@ -274,9 +298,25 @@ impl<'a> SolveService<'a> {
         });
         hymv_trace::counter_add("hymv_serve_batches_total", &[], 1);
         hymv_trace::counter_add("hymv_serve_batch_iters_total", &[], iterations as u64);
-        if fault.is_some() {
-            hymv_trace::counter_add("hymv_serve_failed_batches_total", &[], 1);
+        hymv_trace::histogram_record("hymv_serve_batch_width", &[], width as u64);
+        hymv_trace::gauge_set("hymv_serve_queue_depth", &[], self.queue.len() as f64);
+        // Per-request latency, virtual microseconds. Count-only in the
+        // canonical form (the `_us` suffix), so tracing them does not
+        // disturb the determinism certification.
+        let us = |s: f64| s.max(0.0) * 1e6;
+        for r in &reqs {
+            let wait_s = dispatched_vt - r.submitted_vt;
+            hymv_trace::histogram_record("hymv_request_wait_us", &[], us(wait_s) as u64);
+            hymv_trace::histogram_record("hymv_request_solve_us", &[], us(solve_s) as u64);
+            hymv_trace::histogram_record("hymv_request_e2e_us", &[], us(wait_s + solve_s) as u64);
         }
+        if let Some(f) = &fault {
+            // A typed solver fault is SPMD-replicated (every rank sees
+            // the same batch fail), so the collective postmortem dump
+            // is safe here.
+            comm.flight_postmortem(&format!("failed batch {ordinal} (width {width}): {f:?}"));
+        }
+        comm.publish_live();
 
         reqs.into_iter()
             .enumerate()
@@ -284,6 +324,8 @@ impl<'a> SolveService<'a> {
                 let rel_residual = res.as_ref().map_or(f64::INFINITY, |ok| ok.rel_residuals[c]);
                 SolveOutcome {
                     id: r.id,
+                    ctx: hymv_trace::ctx_request(r.id),
+                    batch_ctx,
                     x: x.col(c).to_vec(),
                     iterations,
                     converged: fault.is_none() && rel_residual <= self.rtol,
@@ -522,6 +564,100 @@ mod tests {
             assert!(o.converged, "{o:?}");
             assert_eq!(o.fault, None);
             assert_eq!(o.batch, 1);
+        }
+    }
+
+    /// The tentpole contract: request contexts survive batching. Every
+    /// outcome carries its request/batch contexts, the trace records a
+    /// `Submit` instant per request, the batch spans (and the solver
+    /// iterations nested inside them) carry the batch context, a flow
+    /// link binds each request to its batch — and the whole canonical
+    /// trace stays bitwise identical across perturbation seeds.
+    #[test]
+    fn trace_contexts_link_requests_to_batches_deterministically() {
+        use hymv_comm::RunConfig;
+
+        let n_req = 5;
+        let run = |seed: Option<u64>| {
+            let n = 16;
+            let cfg = RunConfig {
+                perturb_seed: seed,
+                trace: true,
+                ..RunConfig::default()
+            };
+            let session = hymv_trace::TraceSession::begin();
+            let (out, _audit) = Universe::run_configured(cfg, 1, |comm| {
+                let mut op = random_spd(n, 5);
+                let policy = BatchPolicy {
+                    max_width: 2,
+                    deadline_s: 1e-3,
+                };
+                let mut id = Identity;
+                let mut svc = SolveService::new(&mut op, &mut id, 1e-8, 200, policy);
+                for k in 0..n_req {
+                    svc.submit(comm, vec![k as f64 + 1.0; n]);
+                }
+                let mut results = svc.flush(comm);
+                results.sort_by_key(|o| o.id);
+                results
+                    .into_iter()
+                    .map(|o| (o.id, o.ctx, o.batch_ctx, o.batch))
+                    .collect::<Vec<_>>()
+            });
+            (out, session.finish())
+        };
+
+        let (out, report) = run(None);
+        for &(id, ctx, batch_ctx, batch) in &out[0] {
+            assert_eq!(ctx, hymv_trace::ctx_request(id));
+            assert_eq!(batch_ctx, hymv_trace::ctx_batch(batch as u64));
+        }
+        // One Submit instant per request, carrying the request context.
+        for &(id, ctx, ..) in &out[0] {
+            assert!(
+                report
+                    .spans
+                    .iter()
+                    .any(|e| e.phase == Phase::Submit && e.ctx == ctx),
+                "no submit instant for request {id}"
+            );
+        }
+        // Batch spans and their nested solver iterations inherit the
+        // batch context through the thread-local.
+        for &(_, _, batch_ctx, _) in &out[0] {
+            assert!(report
+                .spans
+                .iter()
+                .any(|e| e.phase == Phase::ServeBatch && e.ctx == batch_ctx));
+            assert!(report
+                .spans
+                .iter()
+                .any(|e| e.phase == Phase::SolverIter && e.ctx == batch_ctx));
+        }
+        // Every request is flow-linked to its batch.
+        for &(_, ctx, batch_ctx, _) in &out[0] {
+            assert!(
+                report.flows.contains(&(ctx, batch_ctx)),
+                "missing flow {ctx:#x} -> {batch_ctx:#x}"
+            );
+        }
+        // And the links materialize as Chrome flow events.
+        let json = report.to_chrome_json();
+        assert!(json.contains("\"ph\": \"s\""), "flow start events present");
+        assert!(json.contains("\"bp\": \"e\""), "flow finish bound to slice");
+
+        // Determinism certification with request tracing on.
+        let reference = report.canonical();
+        assert!(reference.contains("ctx=req:0"));
+        assert!(reference.contains("flow "));
+        for seed in [2u64, 3, 5, 7, 23, 101, 65537, 4096] {
+            let (pert_out, pert_report) = run(Some(seed));
+            assert_eq!(out, pert_out, "seed {seed}: outcomes diverged");
+            assert_eq!(
+                reference,
+                pert_report.canonical(),
+                "seed {seed}: canonical trace diverged"
+            );
         }
     }
 

@@ -191,6 +191,7 @@ mod tests {
             t1,
             depth: 0,
             seq: 0,
+            ctx: 0,
         }
     }
 

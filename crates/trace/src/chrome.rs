@@ -1,19 +1,22 @@
 //! The one Chrome Trace Event serializer of the workspace (loadable in
 //! `chrome://tracing` or Perfetto). CPU rank spans and GPU stream events
 //! share this schema; `hymv-gpu`'s standalone device view delegates here
-//! instead of keeping its own serde struct.
+//! instead of keeping its own serde struct. Trace-context links
+//! (request → batch) ride along as `s`/`f` flow events.
 
-use crate::SpanEvent;
+use crate::{ctx_name, SpanEvent};
 
-/// One complete (`ph = "X"`) Chrome trace event; `ts`/`dur` are in
+/// One Chrome trace event: a complete span (`ph = "X"`) or a flow edge
+/// (`ph = "s"` start / `ph = "f"` finish); `ts`/`dur` are in
 /// microseconds per the format spec.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChromeTraceEvent {
     /// Event name shown on the slice.
     pub name: String,
     /// Category (drives viewer coloring/filtering).
     pub cat: String,
-    /// Event type; always `"X"` (complete event) here.
+    /// Event type: `"X"` (complete), `"s"` (flow start), `"f"` (flow
+    /// finish).
     pub ph: &'static str,
     /// Start timestamp, microseconds of virtual time.
     pub ts: f64,
@@ -23,6 +26,42 @@ pub struct ChromeTraceEvent {
     pub pid: u32,
     /// Thread id within the pid; 0 = CPU track, `1 + s` = GPU stream `s`.
     pub tid: usize,
+    /// Flow id binding an `s` event to its `f` events (flow events only).
+    pub id: Option<u64>,
+    /// Binding point; `"e"` attaches the flow finish to the enclosing
+    /// slice (flow `f` events only).
+    pub bp: Option<&'static str>,
+}
+
+// Hand-written so the optional flow fields are *omitted* (not null) on
+// complete events — `chrome://tracing` is picky about stray flow fields.
+impl serde::Serialize for ChromeTraceEvent {
+    fn serialize(&self, s: &mut serde::JsonSerializer) {
+        s.begin_object();
+        s.object_key("name");
+        self.name.serialize(s);
+        s.object_key("cat");
+        self.cat.serialize(s);
+        s.object_key("ph");
+        self.ph.serialize(s);
+        s.object_key("ts");
+        self.ts.serialize(s);
+        s.object_key("dur");
+        self.dur.serialize(s);
+        s.object_key("pid");
+        self.pid.serialize(s);
+        s.object_key("tid");
+        self.tid.serialize(s);
+        if let Some(id) = self.id {
+            s.object_key("id");
+            id.serialize(s);
+        }
+        if let Some(bp) = self.bp {
+            s.object_key("bp");
+            bp.serialize(s);
+        }
+        s.end_object();
+    }
 }
 
 /// Serialize events as pretty-printed Chrome-trace JSON (a bare event
@@ -45,6 +84,8 @@ pub fn span_to_chrome(e: &SpanEvent) -> ChromeTraceEvent {
         dur: (e.t1 - e.t0) * 1e6,
         pid: u32::try_from(e.rank).unwrap_or(u32::MAX),
         tid: e.tid,
+        id: None,
+        bp: None,
     }
 }
 
@@ -53,10 +94,48 @@ pub fn spans_to_chrome(spans: &[SpanEvent]) -> Vec<ChromeTraceEvent> {
     spans.iter().map(span_to_chrome).collect()
 }
 
+/// Flow events for the recorded context links: for each `(from, to)`
+/// link, an `s` event anchored at the first span carrying `from` and an
+/// `f` event (bound to the enclosing slice, `bp = "e"`) at the first
+/// span carrying `to`, sharing `id = from`'s context value. Links whose
+/// contexts never appear on a span are skipped.
+pub fn flows_to_chrome(spans: &[SpanEvent], flows: &[(u64, u64)]) -> Vec<ChromeTraceEvent> {
+    let anchor = |ctx: u64| spans.iter().find(|e| e.ctx == ctx);
+    let mut out = Vec::new();
+    for (from, to) in flows {
+        let (Some(a), Some(b)) = (anchor(*from), anchor(*to)) else {
+            continue;
+        };
+        out.push(ChromeTraceEvent {
+            name: ctx_name(*from),
+            cat: "flow".to_string(),
+            ph: "s",
+            ts: a.t0 * 1e6,
+            dur: 0.0,
+            pid: u32::try_from(a.rank).unwrap_or(u32::MAX),
+            tid: a.tid,
+            id: Some(*from),
+            bp: None,
+        });
+        out.push(ChromeTraceEvent {
+            name: ctx_name(*from),
+            cat: "flow".to_string(),
+            ph: "f",
+            ts: b.t0 * 1e6,
+            dur: 0.0,
+            pid: u32::try_from(b.rank).unwrap_or(u32::MAX),
+            tid: b.tid,
+            id: Some(*from),
+            bp: Some("e"),
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Phase;
+    use crate::{ctx_batch, ctx_request, Phase};
 
     #[test]
     fn span_mapping_and_json() {
@@ -70,6 +149,7 @@ mod tests {
                 t1: 1.5e-6,
                 depth: 0,
                 seq: 0,
+                ctx: 0,
             },
             SpanEvent {
                 rank: 1,
@@ -80,6 +160,7 @@ mod tests {
                 t1: 3.0e-6,
                 depth: 0,
                 seq: 1,
+                ctx: 0,
             },
         ];
         let events = spans_to_chrome(&spans);
@@ -98,6 +179,50 @@ mod tests {
         assert_eq!(arr.len(), 2);
         assert_eq!(arr[0]["ph"], "X");
         assert_eq!(arr[1]["pid"], 1);
+        // Complete events carry no flow fields at all.
+        assert!(arr[0].get("id").is_none());
+        assert!(arr[0].get("bp").is_none());
+    }
+
+    #[test]
+    fn flow_events_bind_request_to_batch() {
+        let req = ctx_request(4);
+        let batch = ctx_batch(1);
+        let spans = vec![
+            SpanEvent {
+                rank: 0,
+                tid: 0,
+                phase: Phase::Submit,
+                label: String::new(),
+                t0: 1.0e-6,
+                t1: 1.0e-6,
+                depth: 0,
+                seq: 0,
+                ctx: req,
+            },
+            SpanEvent {
+                rank: 0,
+                tid: 0,
+                phase: Phase::ServeBatch,
+                label: String::new(),
+                t0: 2.0e-6,
+                t1: 9.0e-6,
+                depth: 0,
+                seq: 1,
+                ctx: batch,
+            },
+        ];
+        let flows = vec![(req, batch), (req, ctx_batch(7))]; // second link dangles
+        let events = flows_to_chrome(&spans, &flows);
+        assert_eq!(events.len(), 2, "dangling links are skipped");
+        assert_eq!(events[0].ph, "s");
+        assert_eq!(events[1].ph, "f");
+        assert_eq!(events[0].id, events[1].id);
+        assert_eq!(events[0].name, "req:4");
+        assert_eq!(events[1].bp, Some("e"));
+        let json = to_chrome_json(&events);
+        assert!(json.contains("\"ph\": \"s\""), "{json}");
+        assert!(json.contains("\"bp\": \"e\""), "{json}");
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! The always-on flight recorder: a fixed-size per-rank ring buffer of
+//! recent spans and comm-ledger tail entries, kept cheap enough to leave
+//! enabled in production runs and dumped as a schema'd postmortem JSON
+//! artifact when a run dies (typed aborts, `CheckpointLost`) or a batch
+//! solve fails.
+//!
+//! # Cost model
+//!
+//! Recording is independent of the [`crate::TraceSession`] gate: it runs
+//! even in untraced runs. The not-armed path is a single thread-local
+//! flag load (the `HYMV_FLIGHT` gate is folded into [`rank_begin`]); the
+//! armed path adds a ring write into a buffer that was **preallocated at
+//! rank arm time** — the record path itself never allocates, so it is
+//! legal inside the scatter overlap window and the bench suite holds it
+//! under a 2% per-matvec overhead guard (`trace_overhead`).
+//!
+//! # Lifecycle
+//!
+//! `Universe` mints a run id per launch ([`next_run_id`]), arms every
+//! rank thread ([`rank_begin`]), and deposits each rank's ring into the
+//! global postmortem store when the rank thread ends — **including panic
+//! unwinds**, via a drop guard, which is the whole point: the ring of a
+//! crashed rank survives to the dump. A run that ends cleanly discards
+//! its rings ([`discard`]); a run that dies dumps them ([`dump`]).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crate::{ctx_name, current_ctx, tag_label, Phase};
+
+/// `HYMV_FLIGHT` truthiness, read once: the recorder is ON by default
+/// and disabled only by an explicit `0`/`off`/`false`.
+fn flight_on() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("HYMV_FLIGHT").map_or(true, |v| {
+            let v = v.trim();
+            !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false"))
+        })
+    })
+}
+
+/// `HYMV_FLIGHT_CAP`: entries retained per rank ring (default 256).
+fn ring_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("HYMV_FLIGHT_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(256)
+    })
+}
+
+/// What one ring entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A closed (or unwound-open) phase span.
+    Span,
+    /// A reliable-envelope payload send.
+    Send,
+    /// A payload arrival.
+    Recv,
+}
+
+/// One fixed-size ring entry. Flat and `Copy` on purpose: writing one is
+/// a handful of stores, no allocation, no formatting — tag labels and
+/// context names are resolved only at dump time.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightEntry {
+    /// Entry kind.
+    pub kind: FlightKind,
+    /// Phase name for spans; `"send"`/`"recv"` for comm entries.
+    pub phase: &'static str,
+    /// Trace context current when the entry was recorded (0 = none).
+    pub ctx: u64,
+    /// Start virtual time (spans) or event virtual time (comm).
+    pub t0: f64,
+    /// End virtual time (spans; equals `t0` for comm entries and for
+    /// spans recorded by an unwinding rank).
+    pub t1: f64,
+    /// Peer rank (comm entries).
+    pub peer: usize,
+    /// Raw message tag (comm entries).
+    pub tag: u32,
+    /// Payload bytes (comm entries).
+    pub bytes: usize,
+}
+
+struct FlightRing {
+    armed: bool,
+    run: u64,
+    rank: usize,
+    cap: usize,
+    buf: Vec<FlightEntry>,
+    head: usize,
+    total: u64,
+}
+
+impl FlightRing {
+    const fn new() -> Self {
+        FlightRing {
+            armed: false,
+            run: 0,
+            rank: 0,
+            cap: 0,
+            buf: Vec::new(),
+            head: 0,
+            total: 0,
+        }
+    }
+
+    fn record(&mut self, e: FlightEntry) {
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    /// Entries in recording order (oldest first).
+    fn ordered(&self) -> Vec<FlightEntry> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+thread_local! {
+    static RING: std::cell::RefCell<FlightRing> =
+        const { std::cell::RefCell::new(FlightRing::new()) };
+    // Mirror of `RING.armed`, readable without a `RefCell` borrow: the
+    // record entry points check this single flag before touching the
+    // entry fields (or the context thread-local), so threads that are
+    // not armed ranks — and `HYMV_FLIGHT=0` runs, which never arm — pay
+    // one predictable-branch load per instrumentation site.
+    static ARMED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+#[inline]
+fn armed_fast() -> bool {
+    ARMED.with(std::cell::Cell::get)
+}
+
+/// Deposited rank rings awaiting a dump or discard, keyed by
+/// `(run, rank)` so concurrent `Universe` runs (parallel tests) never
+/// mix their postmortems.
+static RINGS: Mutex<BTreeMap<(u64, usize), (Vec<FlightEntry>, u64)>> = Mutex::new(BTreeMap::new());
+
+/// The JSON artifact of the most recent dump (test observability).
+static LAST: Mutex<Option<String>> = Mutex::new(None);
+
+static NEXT_RUN: AtomicU64 = AtomicU64::new(1);
+
+fn lock_rings() -> MutexGuard<'static, BTreeMap<(u64, usize), (Vec<FlightEntry>, u64)>> {
+    RINGS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mint a fresh flight-recorder run id (one per `Universe` launch).
+pub fn next_run_id() -> u64 {
+    NEXT_RUN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Arm the calling thread as rank `rank` of flight run `run`,
+/// preallocating the ring so the record path never allocates. No-op
+/// when `HYMV_FLIGHT` disables the recorder.
+pub fn rank_begin(run: u64, rank: usize) {
+    if !flight_on() {
+        return;
+    }
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        r.armed = true;
+        r.run = run;
+        r.rank = rank;
+        r.cap = ring_cap();
+        r.buf = Vec::with_capacity(r.cap);
+        r.head = 0;
+        r.total = 0;
+    });
+    ARMED.with(|a| a.set(true));
+}
+
+/// Move the calling rank's ring into the postmortem store and disarm.
+/// Called from the rank thread's drop guard — it runs on clean exit
+/// *and* on panic unwind.
+pub fn rank_deposit() {
+    ARMED.with(|a| a.set(false));
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        if !r.armed {
+            return;
+        }
+        r.armed = false;
+        let entries = r.ordered();
+        let dropped = r.total - entries.len() as u64;
+        lock_rings().insert((r.run, r.rank), (entries, dropped));
+        r.buf = Vec::new();
+    });
+}
+
+/// Copy (without disarming) the calling rank's ring into the postmortem
+/// store — the collective snapshot used for failed-batch postmortems,
+/// where every rank is still alive and keeps recording afterwards.
+pub fn rank_snapshot() {
+    RING.with(|r| {
+        let r = r.borrow();
+        if !r.armed {
+            return;
+        }
+        let entries = r.ordered();
+        let dropped = r.total - entries.len() as u64;
+        lock_rings().insert((r.run, r.rank), (entries, dropped));
+    });
+}
+
+#[inline]
+fn record(e: FlightEntry) {
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        if r.armed {
+            r.record(e);
+        }
+    });
+}
+
+/// Record a closed span (called by [`crate::SpanGuard`]).
+#[inline]
+pub fn record_span(phase: Phase, t0: f64, t1: f64) {
+    if !armed_fast() {
+        return;
+    }
+    record(FlightEntry {
+        kind: FlightKind::Span,
+        phase: phase.name(),
+        ctx: current_ctx(),
+        t0,
+        t1,
+        peer: 0,
+        tag: 0,
+        bytes: 0,
+    });
+}
+
+/// Record a payload send on the comm-ledger tail.
+#[inline]
+pub fn record_send(peer: usize, tag: u32, bytes: usize, vt: f64) {
+    if !armed_fast() {
+        return;
+    }
+    record(FlightEntry {
+        kind: FlightKind::Send,
+        phase: "send",
+        ctx: current_ctx(),
+        t0: vt,
+        t1: vt,
+        peer,
+        tag,
+        bytes,
+    });
+}
+
+/// Record a payload arrival on the comm-ledger tail.
+#[inline]
+pub fn record_recv(peer: usize, tag: u32, bytes: usize, vt: f64) {
+    if !armed_fast() {
+        return;
+    }
+    record(FlightEntry {
+        kind: FlightKind::Recv,
+        phase: "recv",
+        ctx: current_ctx(),
+        t0: vt,
+        t1: vt,
+        peer,
+        tag,
+        bytes,
+    });
+}
+
+/// Drop run `run`'s deposited rings without dumping (clean run end).
+pub fn discard(run: u64) {
+    lock_rings().retain(|(r, _), _| *r != run);
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn entry_json(e: &FlightEntry) -> String {
+    let kind = match e.kind {
+        FlightKind::Span => "span",
+        FlightKind::Send => "send",
+        FlightKind::Recv => "recv",
+    };
+    let mut out = format!(
+        "{{\"kind\":\"{kind}\",\"phase\":\"{}\",\"ctx\":\"{}\",\"t0\":{:.9},\"t1\":{:.9}",
+        e.phase,
+        json_escape(&ctx_name(e.ctx)),
+        e.t0,
+        e.t1
+    );
+    if e.kind != FlightKind::Span {
+        write!(
+            out,
+            ",\"peer\":{},\"tag\":\"{}\",\"bytes\":{}",
+            e.peer,
+            json_escape(&tag_label(e.tag)),
+            e.bytes
+        )
+        .expect("write to String");
+    }
+    out.push('}');
+    out
+}
+
+/// Render and store the postmortem artifact for run `run`, consuming its
+/// deposited rings. `reason` is a short free-form description of the
+/// abort (fault report, failed-batch summary). Writes the artifact to
+/// `HYMV_FLIGHT_OUT` when set; always retains it for
+/// [`last_postmortem`]. Returns the JSON.
+pub fn dump(run: u64, reason: &str) -> String {
+    let mut rings = lock_rings();
+    let keys: Vec<(u64, usize)> = rings.keys().filter(|(r, _)| *r == run).copied().collect();
+    let mut ranks = Vec::with_capacity(keys.len());
+    for key in keys {
+        if let Some(v) = rings.remove(&key) {
+            ranks.push((key.1, v));
+        }
+    }
+    drop(rings);
+
+    let mut out = String::from("{\"schema\":\"hymv-postmortem-v1\"");
+    write!(out, ",\"run\":{run},\"reason\":\"{}\"", json_escape(reason)).expect("write to String");
+    out.push_str(",\"ranks\":[");
+    for (i, (rank, (entries, dropped))) in ranks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{{\"rank\":{rank},\"dropped\":{dropped},\"entries\":[").expect("write");
+        for (j, e) in entries.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&entry_json(e));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+
+    if let Ok(path) = std::env::var("HYMV_FLIGHT_OUT") {
+        if !path.is_empty() {
+            // Best effort: a failing artifact write must not mask the
+            // fault that triggered the dump.
+            let _ = std::fs::write(&path, &out);
+        }
+    }
+    *LAST.lock().unwrap_or_else(PoisonError::into_inner) = Some(out.clone());
+    out
+}
+
+/// The JSON artifact of the most recent [`dump`], if any.
+pub fn last_postmortem() -> Option<String> {
+    LAST.lock().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on_thread<R: Send>(f: impl FnOnce() -> R + Send) -> R {
+        std::thread::scope(|s| s.spawn(f).join().expect("flight test thread panicked"))
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_and_counts_drops() {
+        let run = next_run_id();
+        on_thread(|| {
+            rank_begin(run, 0);
+            // Overfill well past any plausible HYMV_FLIGHT_CAP.
+            for i in 0..ring_cap() + 10 {
+                record_span(Phase::SolverIter, i as f64, i as f64 + 0.5);
+            }
+            rank_deposit();
+        });
+        let dump = dump(run, "test");
+        assert!(dump.contains("\"schema\":\"hymv-postmortem-v1\""), "{dump}");
+        assert!(dump.contains("\"dropped\":10"), "{dump}");
+        // The tail survives; the head was overwritten.
+        let last_t0 = (ring_cap() + 9) as f64;
+        assert!(dump.contains(&format!("\"t0\":{last_t0:.9}")), "{dump}");
+        assert!(dump.contains("solver_iter"), "{dump}");
+        // Parallel tests may dump after us; only existence is stable.
+        assert!(last_postmortem().is_some());
+    }
+
+    #[test]
+    fn comm_entries_resolve_tag_labels_at_dump() {
+        let run = next_run_id();
+        on_thread(|| {
+            rank_begin(run, 1);
+            record_send(3, 0x0ABD, 4096, 1.25);
+            record_recv(3, 0x0ABD, 4096, 1.5);
+            rank_deposit();
+        });
+        let dump = dump(run, "tag test");
+        assert!(dump.contains("\"kind\":\"send\""), "{dump}");
+        assert!(dump.contains("\"peer\":3"), "{dump}");
+        assert!(dump.contains("\"tag\":\"0x0abd\""), "{dump}");
+        assert!(dump.contains("\"bytes\":4096"), "{dump}");
+    }
+
+    #[test]
+    fn discard_drops_rings_without_dumping() {
+        let run = next_run_id();
+        on_thread(|| {
+            rank_begin(run, 0);
+            record_span(Phase::Setup, 0.0, 1.0);
+            rank_deposit();
+        });
+        discard(run);
+        let dump = dump(run, "after discard");
+        assert!(dump.contains("\"ranks\":[]"), "{dump}");
+    }
+
+    #[test]
+    fn snapshot_keeps_recording() {
+        let run = next_run_id();
+        on_thread(|| {
+            rank_begin(run, 2);
+            record_span(Phase::ServeBatch, 0.0, 1.0);
+            rank_snapshot();
+            // Still armed: later entries land in the *next* snapshot.
+            record_span(Phase::Recovery, 1.0, 2.0);
+            rank_snapshot();
+            rank_deposit();
+        });
+        let dump = dump(run, "snapshot test");
+        assert!(
+            dump.contains("serve_batch") && dump.contains("recovery"),
+            "{dump}"
+        );
+    }
+
+    #[test]
+    fn unarmed_threads_record_nothing() {
+        let run = next_run_id();
+        on_thread(|| {
+            record_span(Phase::Setup, 0.0, 1.0);
+            rank_deposit();
+        });
+        let dump = dump(run, "unarmed");
+        assert!(dump.contains("\"ranks\":[]"), "{dump}");
+    }
+}

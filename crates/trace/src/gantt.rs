@@ -110,6 +110,7 @@ mod tests {
             t1,
             depth,
             seq,
+            ctx: 0,
         }
     }
 

@@ -36,7 +36,9 @@
 
 mod analysis;
 mod chrome;
+pub mod flight;
 mod gantt;
+pub mod live;
 mod metrics;
 
 pub use analysis::{analyze, PhaseStat, TraceAnalysis};
@@ -44,7 +46,7 @@ pub use chrome::{span_to_chrome, spans_to_chrome, to_chrome_json, ChromeTraceEve
 pub use gantt::{render_rows, render_spans};
 pub use metrics::{Histogram, MetricKey, Metrics};
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -87,6 +89,9 @@ pub enum Phase {
     BlockRefresh,
     /// One Krylov solver iteration.
     SolverIter,
+    /// A solve request entering the service queue (instant span; carries
+    /// the request's trace context).
+    Submit,
     /// One batched multi-RHS solve dispatched by the solve service.
     ServeBatch,
     /// Reliable-envelope retransmission backoff (fault recovery).
@@ -121,6 +126,7 @@ impl Phase {
         Phase::GatherAccum,
         Phase::BlockRefresh,
         Phase::SolverIter,
+        Phase::Submit,
         Phase::ServeBatch,
         Phase::Retry,
         Phase::Checkpoint,
@@ -148,6 +154,7 @@ impl Phase {
             Phase::GatherAccum => "gather_accum",
             Phase::BlockRefresh => "block_refresh",
             Phase::SolverIter => "solver_iter",
+            Phase::Submit => "submit",
             Phase::ServeBatch => "serve_batch",
             Phase::Retry => "retry",
             Phase::Checkpoint => "checkpoint",
@@ -176,7 +183,7 @@ impl Phase {
             | Phase::Checkpoint
             | Phase::Recovery => "comm",
             Phase::IndepEmv | Phase::DepEmv | Phase::BlockRefresh => "emv",
-            Phase::SolverIter | Phase::ServeBatch => "solver",
+            Phase::SolverIter | Phase::Submit | Phase::ServeBatch => "solver",
             Phase::GpuH2D | Phase::GpuKernel | Phase::GpuD2H => "gpu",
         }
     }
@@ -201,6 +208,7 @@ impl Phase {
             Phase::GatherAccum => 'a',
             Phase::BlockRefresh => 'r',
             Phase::SolverIter => 'i',
+            Phase::Submit => 'q',
             Phase::ServeBatch => 'B',
             Phase::Retry => '!',
             Phase::Checkpoint => 'k',
@@ -234,12 +242,17 @@ pub struct SpanEvent {
     pub depth: usize,
     /// Per-rank open-order sequence number (deterministic tiebreaker).
     pub seq: u64,
+    /// Trace context active when the span opened (0 = none). Request
+    /// and batch contexts are minted by [`ctx_request`]/[`ctx_batch`]
+    /// and installed with [`CtxGuard::enter`].
+    pub ctx: u64,
 }
 
 struct OpenSpan {
     phase: Phase,
     t0: f64,
     seq: u64,
+    ctx: u64,
 }
 
 struct RankTracer {
@@ -248,6 +261,7 @@ struct RankTracer {
     stack: Vec<OpenSpan>,
     events: Vec<SpanEvent>,
     metrics: Metrics,
+    flows: Vec<(u64, u64)>,
     last_vt: f64,
     next_seq: u64,
 }
@@ -260,6 +274,7 @@ impl RankTracer {
             stack: Vec::new(),
             events: Vec::new(),
             metrics: Metrics::new(),
+            flows: Vec::new(),
             last_vt: 0.0,
             next_seq: 0,
         }
@@ -277,6 +292,7 @@ impl RankTracer {
                 t1: vt,
                 depth: self.stack.len(),
                 seq: open.seq,
+                ctx: open.ctx,
             });
         }
     }
@@ -284,6 +300,88 @@ impl RankTracer {
 
 thread_local! {
     static TRACER: RefCell<RankTracer> = const { RefCell::new(RankTracer::new()) };
+    static CTX: Cell<u64> = const { Cell::new(0) };
+}
+
+// ---------------------------------------------------------- trace contexts
+
+/// Kind bits of a trace context (high 32 bits of the `u64`).
+const CTX_KIND_REQUEST: u64 = 1 << 32;
+const CTX_KIND_BATCH: u64 = 2 << 32;
+
+/// Mint the trace context of solve request `id`. Contexts are minted
+/// from the service's deterministic (SPMD-replicated) request counter,
+/// never from a global atomic, so the 8-seed canonical-trace
+/// certification sees identical contexts on every schedule.
+pub fn ctx_request(id: u64) -> u64 {
+    debug_assert!(id < (1 << 32), "request id overflows the ctx id space");
+    CTX_KIND_REQUEST | id
+}
+
+/// Mint the trace context of batch `ordinal` (the service's dispatch
+/// ordinal, also deterministic under SPMD).
+pub fn ctx_batch(ordinal: u64) -> u64 {
+    debug_assert!(
+        ordinal < (1 << 32),
+        "batch ordinal overflows the ctx id space"
+    );
+    CTX_KIND_BATCH | ordinal
+}
+
+/// Human-readable spelling of a context: `req:3`, `batch:1`, or `0`.
+pub fn ctx_name(ctx: u64) -> String {
+    let id = ctx & 0xffff_ffff;
+    match ctx & !0xffff_ffff {
+        CTX_KIND_REQUEST => format!("req:{id}"),
+        CTX_KIND_BATCH => format!("batch:{id}"),
+        _ => format!("{ctx}"),
+    }
+}
+
+/// The trace context installed on the calling thread (0 = none). Spans
+/// and flight-recorder entries opened while a context is installed carry
+/// it; the context is thread-local state independent of the trace gate,
+/// so the flight recorder sees it even in untraced runs.
+pub fn current_ctx() -> u64 {
+    CTX.with(Cell::get)
+}
+
+/// RAII installation of a trace context on the calling thread. Restores
+/// the previously installed context (supporting nesting: a batch context
+/// inside a request context) on drop, including panic unwinds, so a
+/// faulted batch never leaks its context into later batches.
+pub struct CtxGuard {
+    prev: u64,
+}
+
+impl CtxGuard {
+    /// Install `ctx` as the thread's current trace context.
+    pub fn enter(ctx: u64) -> CtxGuard {
+        CtxGuard {
+            prev: CTX.with(|c| c.replace(ctx)),
+        }
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| c.set(self.prev));
+    }
+}
+
+/// Record a parent/child flow link between two contexts (e.g. request →
+/// batch). Links are deduplicated at session harvest and exported as
+/// Chrome-trace flow events; they are part of the canonical trace.
+pub fn flow_link(from: u64, to: u64) {
+    if !enabled() {
+        return;
+    }
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.active {
+            t.flows.push((from, to));
+        }
+    });
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -293,6 +391,7 @@ static SINK: Mutex<Sink> = Mutex::new(Sink::new());
 struct Sink {
     spans: Vec<SpanEvent>,
     metrics: Metrics,
+    flows: Vec<(u64, u64)>,
 }
 
 impl Sink {
@@ -300,6 +399,7 @@ impl Sink {
         Sink {
             spans: Vec::new(),
             metrics: Metrics::new(),
+            flows: Vec::new(),
         }
     }
 }
@@ -329,6 +429,7 @@ pub fn rank_begin(rank: usize) {
         t.stack.clear();
         t.events.clear();
         t.metrics = Metrics::new();
+        t.flows.clear();
         t.last_vt = 0.0;
         t.next_seq = 0;
     });
@@ -350,11 +451,30 @@ pub fn rank_flush() {
         t.active = false;
         let events = std::mem::take(&mut t.events);
         let metrics = std::mem::take(&mut t.metrics);
+        let flows = std::mem::take(&mut t.flows);
         let rank = t.rank;
         drop(t);
         let mut sink = lock_sink();
         sink.spans.extend(events);
         sink.metrics.absorb_with_rank(&metrics, rank);
+        sink.flows.extend(flows);
+    });
+}
+
+/// Publish the calling rank's *current* metrics registry to the live
+/// telemetry transports (HTTP endpoint / snapshot file) without closing
+/// the session — replacement semantics, so calling this at every batch
+/// boundary is safe. No-op unless a transport is configured and the
+/// thread is a traced rank.
+pub fn rank_live_publish() {
+    if !live::live_enabled() || !enabled() {
+        return;
+    }
+    TRACER.with(|t| {
+        let t = t.borrow();
+        if t.active {
+            live::publish(t.rank, &t.metrics);
+        }
     });
 }
 
@@ -366,14 +486,23 @@ pub fn rank_flush() {
 #[must_use = "a span guard records its phase only when closed or dropped"]
 pub struct SpanGuard {
     armed: bool,
+    closed: bool,
+    phase: Phase,
+    t0: f64,
 }
 
 impl SpanGuard {
-    /// Open a span at virtual time `vt`. Disarmed (free) when tracing is
-    /// off or the thread is not a traced rank.
+    /// Open a span at virtual time `vt`. Disarmed (free, modulo the
+    /// always-on flight recorder) when tracing is off or the thread is
+    /// not a traced rank.
     pub fn open(phase: Phase, vt: f64) -> SpanGuard {
         if !enabled() {
-            return SpanGuard { armed: false };
+            return SpanGuard {
+                armed: false,
+                closed: false,
+                phase,
+                t0: vt,
+            };
         }
         let armed = TRACER.with(|t| {
             let mut t = t.borrow_mut();
@@ -383,10 +512,21 @@ impl SpanGuard {
             let seq = t.next_seq;
             t.next_seq += 1;
             t.last_vt = vt;
-            t.stack.push(OpenSpan { phase, t0: vt, seq });
+            let ctx = current_ctx();
+            t.stack.push(OpenSpan {
+                phase,
+                t0: vt,
+                seq,
+                ctx,
+            });
             true
         });
-        SpanGuard { armed }
+        SpanGuard {
+            armed,
+            closed: false,
+            phase,
+            t0: vt,
+        }
     }
 
     /// Close the span at virtual time `vt`.
@@ -395,6 +535,8 @@ impl SpanGuard {
             self.armed = false;
             TRACER.with(|t| t.borrow_mut().close_top(vt));
         }
+        self.closed = true;
+        flight::record_span(self.phase, self.t0, vt);
     }
 }
 
@@ -407,7 +549,44 @@ impl Drop for SpanGuard {
                 t.close_top(vt);
             });
         }
+        // Unwound or early-returned guard: flight-record the open edge
+        // (t1 == t0) so the ring still shows the phase that was running.
+        if !self.closed {
+            flight::record_span(self.phase, self.t0, self.t0);
+        }
     }
+}
+
+/// Record an instant (zero-length) span at virtual time `vt` carrying
+/// the thread's current trace context — the anchor for request-level
+/// flow events (e.g. [`Phase::Submit`] at `SolveService::submit`).
+pub fn instant(phase: Phase, vt: f64) {
+    flight::record_span(phase, vt, vt);
+    if !enabled() {
+        return;
+    }
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if !t.active {
+            return;
+        }
+        let seq = t.next_seq;
+        t.next_seq += 1;
+        t.last_vt = vt;
+        let rank = t.rank;
+        let depth = t.stack.len();
+        t.events.push(SpanEvent {
+            rank,
+            tid: 0,
+            phase,
+            label: String::new(),
+            t0: vt,
+            t1: vt,
+            depth,
+            seq,
+            ctx: current_ctx(),
+        });
+    });
 }
 
 /// Record one already-closed GPU stream event on the calling rank's
@@ -434,14 +613,21 @@ pub fn gpu_span(stream: usize, phase: Phase, label: &str, t0: f64, t1: f64) {
             t1,
             depth: 0,
             seq,
+            ctx: current_ctx(),
         });
     });
 }
 
 // ----------------------------------------------------------------- metrics
 
-/// Add `v` to a counter in the calling rank's registry.
+/// Add `v` to a counter in the calling rank's registry. Counter names
+/// must follow the Prometheus `_total` suffix convention (checked in
+/// debug builds; see DESIGN.md §16).
 pub fn counter_add(name: &str, labels: &[(&str, &str)], v: u64) {
+    debug_assert!(
+        name.ends_with("_total"),
+        "counter {name:?} violates the _total suffix convention"
+    );
     if !enabled() {
         return;
     }
@@ -522,7 +708,9 @@ impl TraceSession {
             let mut sink = lock_sink();
             sink.spans.clear();
             sink.metrics = Metrics::new();
+            sink.flows.clear();
         }
+        live::init_from_env();
         ENABLED.store(true, Ordering::SeqCst);
         TraceSession { _serial: serial }
     }
@@ -534,9 +722,16 @@ impl TraceSession {
         let mut sink = lock_sink();
         let mut spans = std::mem::take(&mut sink.spans);
         let metrics = std::mem::take(&mut sink.metrics);
+        let mut flows = std::mem::take(&mut sink.flows);
         drop(sink);
         spans.sort_by_key(|e| (e.rank, e.seq));
-        TraceReport { spans, metrics }
+        flows.sort_unstable();
+        flows.dedup();
+        TraceReport {
+            spans,
+            metrics,
+            flows,
+        }
     }
 }
 
@@ -574,13 +769,19 @@ pub struct TraceReport {
     pub spans: Vec<SpanEvent>,
     /// Merged registry; every key carries a `rank` label.
     pub metrics: Metrics,
+    /// Deduplicated parent/child context links (request → batch),
+    /// sorted; exported as Chrome-trace flow events.
+    pub flows: Vec<(u64, u64)>,
 }
 
 impl TraceReport {
     /// Merged multi-rank Chrome-trace JSON: CPU spans on `pid = rank,
-    /// tid = 0`, GPU stream events on `pid = rank, tid = 1 + stream`.
+    /// tid = 0`, GPU stream events on `pid = rank, tid = 1 + stream`,
+    /// plus `s`/`f` flow events for the recorded context links.
     pub fn to_chrome_json(&self) -> String {
-        to_chrome_json(&spans_to_chrome(&self.spans))
+        let mut events = spans_to_chrome(&self.spans);
+        events.extend(chrome::flows_to_chrome(&self.spans, &self.flows));
+        to_chrome_json(&events)
     }
 
     /// Prometheus text exposition of the metrics registry.
@@ -599,32 +800,46 @@ impl TraceReport {
     }
 
     /// The timestamp-free structural image of the trace: span order,
-    /// ranks, tracks, phases, nesting, labels, plus the counter and
-    /// histogram halves of the registry (gauges embed measured time and
-    /// are excluded). Bitwise identical across schedule-perturbation
-    /// seeds for a deterministic program — the object the 8-seed
-    /// determinism certification compares.
+    /// ranks, tracks, phases, nesting, labels, trace contexts, flow
+    /// links, plus the counter and histogram halves of the registry.
+    /// Gauges embed measured time and are excluded; histograms whose
+    /// names end in `_us` or `_seconds` hold time-valued observations
+    /// (per-request latencies), so only their counts — not their
+    /// measured sums or bucket spread — enter the canonical image.
+    /// Bitwise identical across schedule-perturbation seeds for a
+    /// deterministic program — the object the 8-seed determinism
+    /// certification compares.
     pub fn canonical(&self) -> String {
         let mut out = String::from("canonical-trace v1\n");
         for e in &self.spans {
             writeln!(
                 out,
-                "span rank={} tid={} depth={} seq={} phase={} label={}",
+                "span rank={} tid={} depth={} seq={} phase={} ctx={} label={}",
                 e.rank,
                 e.tid,
                 e.depth,
                 e.seq,
                 e.phase.name(),
+                ctx_name(e.ctx),
                 e.label
             )
             .expect("writing to String cannot fail");
+        }
+        for (from, to) in &self.flows {
+            writeln!(out, "flow {} -> {}", ctx_name(*from), ctx_name(*to))
+                .expect("writing to String cannot fail");
         }
         for (k, v) in &self.metrics.counters {
             writeln!(out, "counter {} {v}", k.render()).expect("writing to String cannot fail");
         }
         for (k, h) in &self.metrics.histograms {
-            writeln!(out, "hist {} count={} sum={}", k.render(), h.count, h.sum)
-                .expect("writing to String cannot fail");
+            if k.name.ends_with("_us") || k.name.ends_with("_seconds") {
+                writeln!(out, "hist {} count={}", k.render(), h.count)
+                    .expect("writing to String cannot fail");
+            } else {
+                writeln!(out, "hist {} count={} sum={}", k.render(), h.count, h.sum)
+                    .expect("writing to String cannot fail");
+            }
         }
         out
     }

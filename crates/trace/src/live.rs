@@ -1,0 +1,221 @@
+//! Live telemetry: expose the Prometheus registry *mid-run* instead of
+//! only as a post-run dump.
+//!
+//! Two transports, both dependency-free:
+//!
+//! * **HTTP** (`HYMV_OBS_ADDR=host:port`): a `std::net::TcpListener` on
+//!   a daemon thread answers every connection with the current merged
+//!   registry in Prometheus text exposition format — point a scraper or
+//!   `curl` at it while a solve is running.
+//! * **Snapshot file** (`HYMV_OBS_FILE=path`): every publish rewrites
+//!   the file via write-to-temp + atomic rename, so readers never see a
+//!   torn snapshot. This is the no-network CI fallback.
+//!
+//! Ranks publish by **replacement**: each rank's latest registry clone
+//! overwrites its previous one, so republishing is idempotent and
+//! counters are never double-folded. Publishing only happens inside
+//! traced runs (the per-rank registry is the thread-local tracer's) and
+//! is driven from the solve service at batch boundaries.
+
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crate::metrics::Metrics;
+
+static LIVE_ON: AtomicBool = AtomicBool::new(false);
+
+struct LiveState {
+    ranks: BTreeMap<usize, Metrics>,
+    file: Option<PathBuf>,
+}
+
+static LIVE: Mutex<LiveState> = Mutex::new(LiveState {
+    ranks: BTreeMap::new(),
+    file: None,
+});
+
+fn lock_live() -> MutexGuard<'static, LiveState> {
+    LIVE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// True when a live transport (HTTP or snapshot file) is configured.
+/// One relaxed atomic load: the fast path of every publish site.
+#[inline]
+pub fn live_enabled() -> bool {
+    LIVE_ON.load(Ordering::Relaxed)
+}
+
+/// Read `HYMV_OBS_ADDR` / `HYMV_OBS_FILE` once and start the configured
+/// transports. Called from [`crate::TraceSession::begin`]; idempotent.
+pub fn init_from_env() {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        if let Ok(path) = std::env::var("HYMV_OBS_FILE") {
+            if !path.is_empty() {
+                configure_file(path);
+            }
+        }
+        if let Ok(addr) = std::env::var("HYMV_OBS_ADDR") {
+            if !addr.is_empty() {
+                match serve_http(&addr) {
+                    Ok(bound) => eprintln!("hymv-trace: live telemetry on http://{bound}/"),
+                    Err(e) => eprintln!("hymv-trace: HYMV_OBS_ADDR {addr}: {e}"),
+                }
+            }
+        }
+    });
+}
+
+/// Enable snapshot-file mode: every publish atomically rewrites `path`.
+pub fn configure_file(path: impl Into<PathBuf>) {
+    lock_live().file = Some(path.into());
+    LIVE_ON.store(true, Ordering::SeqCst);
+}
+
+/// Bind `addr` (port 0 picks a free port) and serve the registry on a
+/// daemon thread. Returns the bound address.
+pub fn serve_http(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    LIVE_ON.store(true, Ordering::SeqCst);
+    std::thread::Builder::new()
+        .name("hymv-obs".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                // Drain whatever request line arrived (we answer every
+                // method/path identically), then respond and close.
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let body = render();
+                let header = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n",
+                    body.len()
+                );
+                let _ = stream.write_all(header.as_bytes());
+                let _ = stream.write_all(body.as_bytes());
+            }
+        })?;
+    Ok(bound)
+}
+
+/// Replace rank `rank`'s live registry with `metrics` and refresh the
+/// snapshot file if one is configured. No-op unless a transport is on.
+pub fn publish(rank: usize, metrics: &Metrics) {
+    if !live_enabled() {
+        return;
+    }
+    let mut state = lock_live();
+    state.ranks.insert(rank, metrics.clone());
+    if let Some(path) = state.file.clone() {
+        let body = render_locked(&state);
+        drop(state);
+        write_atomic(&path, &body);
+    }
+}
+
+/// The merged live registry (every rank's latest publish, rank-labeled)
+/// in Prometheus text exposition format.
+pub fn render() -> String {
+    render_locked(&lock_live())
+}
+
+fn render_locked(state: &LiveState) -> String {
+    let mut merged = Metrics::new();
+    for (rank, m) in &state.ranks {
+        merged.absorb_with_rank(m, *rank);
+    }
+    merged.to_prometheus()
+}
+
+/// Write-to-temp + rename so a concurrent reader never sees a torn file.
+fn write_atomic(path: &PathBuf, body: &str) {
+    let mut tmp = path.clone();
+    let file_name = tmp
+        .file_name()
+        .map_or_else(|| "obs".to_string(), |n| n.to_string_lossy().into_owned());
+    tmp.set_file_name(format!(".{file_name}.tmp"));
+    // Best effort: telemetry must never take down the run.
+    if std::fs::write(&tmp, body).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Drop all published rank registries (test isolation).
+pub fn reset() {
+    lock_live().ranks.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricKey;
+
+    // Live state is global; serialize the tests that mutate it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn sample(v: u64) -> Metrics {
+        let mut m = Metrics::new();
+        m.counter_add(MetricKey::new("hymv_live_test_total", &[]), v);
+        m
+    }
+
+    #[test]
+    fn publish_replaces_per_rank_instead_of_folding() {
+        let _serial = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        configure_file(std::env::temp_dir().join("hymv_live_replace.prom"));
+        reset();
+        publish(0, &sample(2));
+        publish(0, &sample(5)); // republish: replaces, not 7
+        publish(1, &sample(3));
+        let body = render();
+        assert!(
+            body.contains("hymv_live_test_total{rank=\"0\"} 5"),
+            "{body}"
+        );
+        assert!(
+            body.contains("hymv_live_test_total{rank=\"1\"} 3"),
+            "{body}"
+        );
+        reset();
+    }
+
+    #[test]
+    fn snapshot_file_is_rewritten_atomically() {
+        let _serial = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let path = std::env::temp_dir().join("hymv_live_snapshot.prom");
+        configure_file(&path);
+        reset();
+        publish(0, &sample(9));
+        let on_disk = std::fs::read_to_string(&path).expect("snapshot written");
+        assert!(on_disk.contains("hymv_live_test_total"), "{on_disk}");
+        assert!(on_disk.contains("# HELP hymv_live_test_total"), "{on_disk}");
+        let _ = std::fs::remove_file(&path);
+        reset();
+    }
+
+    #[test]
+    fn http_listener_serves_the_registry() {
+        let _serial = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let bound = serve_http("127.0.0.1:0").expect("bind loopback");
+        reset();
+        publish(2, &sample(4));
+        let mut stream = std::net::TcpStream::connect(bound).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(
+            response.contains("hymv_live_test_total{rank=\"2\"} 4"),
+            "{response}"
+        );
+        reset();
+    }
+}

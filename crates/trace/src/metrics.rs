@@ -162,14 +162,15 @@ impl Metrics {
             .sum()
     }
 
-    /// Prometheus text exposition. `# TYPE` headers are emitted once per
-    /// metric name; keys iterate in `BTreeMap` order, so the output is
-    /// deterministic.
+    /// Prometheus text exposition. `# HELP` / `# TYPE` headers are
+    /// emitted once per metric name; keys iterate in `BTreeMap` order,
+    /// so the output is deterministic.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_name = String::new();
         for (k, v) in &self.counters {
             if k.name != last_name {
+                writeln!(out, "# HELP {} {}", k.name, help_for(&k.name)).expect("write to String");
                 writeln!(out, "# TYPE {} counter", k.name).expect("write to String");
                 last_name.clone_from(&k.name);
             }
@@ -178,6 +179,7 @@ impl Metrics {
         last_name.clear();
         for (k, v) in &self.gauges {
             if k.name != last_name {
+                writeln!(out, "# HELP {} {}", k.name, help_for(&k.name)).expect("write to String");
                 writeln!(out, "# TYPE {} gauge", k.name).expect("write to String");
                 last_name.clone_from(&k.name);
             }
@@ -186,6 +188,7 @@ impl Metrics {
         last_name.clear();
         for (k, h) in &self.histograms {
             if k.name != last_name {
+                writeln!(out, "# HELP {} {}", k.name, help_for(&k.name)).expect("write to String");
                 writeln!(out, "# TYPE {} histogram", k.name).expect("write to String");
                 last_name.clone_from(&k.name);
             }
@@ -235,6 +238,45 @@ impl Metrics {
 impl Default for Metrics {
     fn default() -> Self {
         Metrics::new()
+    }
+}
+
+/// One-line `# HELP` text for the registry's known metric names; metrics
+/// minted outside this table get a generic line (the exposition format
+/// requires *a* HELP line, not a curated one).
+pub fn help_for(name: &str) -> &'static str {
+    match name {
+        "hymv_emv_flops_total" => "Floating-point operations executed by EMV applies",
+        "hymv_block_refresh_total" => "Element blocks recomputed by adaptive refresh",
+        "hymv_solver_iterations_total" => "Krylov solver iterations completed",
+        "hymv_serve_requests_total" => "Solve requests submitted to the service",
+        "hymv_serve_batches_total" => "Batches dispatched by the solve service",
+        "hymv_serve_batch_iters_total" => "Block-CG iterations summed over dispatched batches",
+        "hymv_serve_failed_batches_total" => "Batches whose block solve returned a typed fault",
+        "hymv_sends_confirmed_total" => "Reliable-envelope sends acknowledged",
+        "hymv_retries_total" => "Reliable-envelope retransmissions",
+        "hymv_timeouts_total" => "Reliable-envelope ack timeouts",
+        "hymv_dups_suppressed_total" => "Duplicate deliveries suppressed by the envelope",
+        "hymv_corrupt_detected_total" => "Checksum-rejected deliveries",
+        "hymv_bytes_sent_total" => "Payload bytes sent, by message tag",
+        "hymv_msgs_sent_total" => "Messages sent, by message tag",
+        "hymv_bytes_recv_total" => "Payload bytes received, by message tag",
+        "hymv_msgs_recv_total" => "Messages received, by message tag",
+        "hymv_ckpt_bytes_total" => "Bytes shipped in LFLR buddy checkpoints",
+        "hymv_ckpt_taken_total" => "LFLR buddy checkpoints taken",
+        "hymv_restores_total" => "LFLR checkpoint restores performed",
+        "hymv_recoveries_total" => "LFLR world repairs completed",
+        "hymv_vt_seconds" => "Rank virtual time at flush",
+        "hymv_compute_seconds" => "Rank measured compute seconds at flush",
+        "hymv_comm_wait_seconds" => "Rank modeled communication-wait seconds at flush",
+        "hymv_rank_utilization" => "Compute fraction of rank virtual time (USE utilization)",
+        "hymv_serve_queue_depth" => "Requests waiting in the service queue",
+        "hymv_msg_bytes" => "Per-message payload sizes in bytes",
+        "hymv_serve_batch_width" => "Requests per dispatched batch (nvec)",
+        "hymv_request_wait_us" => "Per-request queue wait, virtual microseconds",
+        "hymv_request_solve_us" => "Per-request batch solve time, virtual microseconds",
+        "hymv_request_e2e_us" => "Per-request submit-to-outcome latency, virtual microseconds",
+        _ => "hymv metric (no curated help text)",
     }
 }
 
